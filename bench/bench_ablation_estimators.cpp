@@ -1,0 +1,134 @@
+// Ablation: design choices inside the estimator library (beyond the paper's
+// figures; DESIGN.md experiment index, "ablation" rows).
+//
+//  1. Bernoulli variants on A_R — adaptive (default) vs pure coverage
+//     inversion vs per-segment expectation — across populations. Shows why
+//     the adaptive saturation refinement is needed: pure coverage loses
+//     resolution once the newGoZ pool saturates (~N >= 64).
+//  2. D3 miss-rate correction (extension): Bernoulli and sampling-coverage
+//     estimators with and without the calibrated miss rate.
+//  3. Hybrid semantic/temporal blend on A_R: weight sweep (paper
+//     future-work #1).
+//  4. Sampling-coverage (extension) vs Timing on A_S.
+#include <memory>
+
+#include "estimators/bernoulli.hpp"
+#include "estimators/hybrid.hpp"
+#include "estimators/timing.hpp"
+#include "support/experiment.hpp"
+#include "support/fig6.hpp"
+
+int main(int argc, char** argv) {
+  using namespace botmeter;
+  using namespace botmeter::bench;
+
+  const int trials = trials_from_args(argc, argv, 11);
+  const estimators::ModelLibrary library;
+
+  // ---- 1. Bernoulli variants across N ------------------------------------
+  print_header("Ablation 1: Bernoulli methods on A_R (newGoZ) across N");
+  for (std::uint32_t n : {16u, 64u, 256u}) {
+    std::vector<std::vector<double>> errors(3);
+    const std::vector<std::string> names{"bernoulli", "bernoulli-coverage",
+                                         "bernoulli-segment"};
+    for (int trial = 0; trial < trials; ++trial) {
+      Scenario scenario;
+      scenario.sim.dga = dga::newgoz_config();
+      scenario.sim.bot_count = n;
+      scenario.sim.seed = 100 + static_cast<std::uint64_t>(trial) * 13 + n;
+      scenario.sim.record_raw = false;
+      const ScenarioRun run(scenario);
+      for (std::size_t ei = 0; ei < names.size(); ++ei) {
+        errors[ei].push_back(scenario_are(library.get(names[ei]), run));
+      }
+    }
+    for (std::size_t ei = 0; ei < names.size(); ++ei) {
+      print_row("A_R", names[ei], "N=" + std::to_string(n),
+                summarize_quartiles(errors[ei]));
+    }
+  }
+
+  // ---- 2. Miss-rate correction -------------------------------------------
+  std::printf("\n");
+  print_header(
+      "Ablation 2: D3 miss-rate correction (x=40%), N=128 (extension)");
+  struct CorrectionCase {
+    const char* label;
+    dga::DgaConfig config;
+    const char* estimator;
+  };
+  dga::DgaConfig thin_conficker = dga::conficker_c_config();
+  thin_conficker.nxd_count = 9995;
+  thin_conficker.barrel_size = 300;
+  const std::vector<CorrectionCase> cases{
+      {"A_R", dga::newgoz_config(), "bernoulli"},
+      {"A_S", thin_conficker, "sampling-coverage"},
+  };
+  for (const CorrectionCase& c : cases) {
+    for (bool corrected : {false, true}) {
+      std::vector<double> errors;
+      for (int trial = 0; trial < trials; ++trial) {
+        Scenario scenario;
+        scenario.sim.dga = c.config;
+        scenario.sim.bot_count = kDefaultPopulation;
+        scenario.sim.seed = 300 + static_cast<std::uint64_t>(trial) * 17;
+        scenario.sim.record_raw = false;
+        scenario.detection_miss_rate = 0.4;
+        scenario.window_seed = 7000 + static_cast<std::uint64_t>(trial);
+        if (corrected) scenario.assumed_miss_rate = 0.4;
+        const ScenarioRun run(scenario);
+        errors.push_back(scenario_are(library.get(c.estimator), run));
+      }
+      print_row(c.label, c.estimator, corrected ? "corrected" : "uncorrected",
+                summarize_quartiles(errors));
+    }
+  }
+
+  // ---- 3. Hybrid weight sweep on A_R --------------------------------------
+  std::printf("\n");
+  print_header("Ablation 3: hybrid semantic weight on A_R (newGoZ), N=128");
+  for (double weight : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const estimators::HybridEstimator hybrid(
+        std::make_unique<estimators::BernoulliEstimator>(),
+        std::make_unique<estimators::TimingEstimator>(), weight);
+    std::vector<double> errors;
+    for (int trial = 0; trial < trials; ++trial) {
+      Scenario scenario;
+      scenario.sim.dga = dga::newgoz_config();
+      scenario.sim.bot_count = kDefaultPopulation;
+      scenario.sim.seed = 500 + static_cast<std::uint64_t>(trial) * 19;
+      scenario.sim.record_raw = false;
+      const ScenarioRun run(scenario);
+      errors.push_back(scenario_are(hybrid, run));
+    }
+    char label[16];
+    std::snprintf(label, sizeof(label), "w=%.2f", weight);
+    print_row("A_R", "hybrid", label, summarize_quartiles(errors));
+  }
+
+  // ---- 4. Sampling-coverage vs timing on A_S ------------------------------
+  std::printf("\n");
+  print_header(
+      "Ablation 4: sampling-coverage (extension) vs timing on A_S, full "
+      "Conficker.C pool");
+  for (std::uint32_t n : {32u, 128u}) {
+    std::vector<std::vector<double>> errors(2);
+    const std::vector<std::string> names{"timing", "sampling-coverage"};
+    for (int trial = 0; trial < trials; ++trial) {
+      Scenario scenario;
+      scenario.sim.dga = dga::conficker_c_config();
+      scenario.sim.bot_count = n;
+      scenario.sim.seed = 700 + static_cast<std::uint64_t>(trial) * 23 + n;
+      scenario.sim.record_raw = false;
+      const ScenarioRun run(scenario);
+      for (std::size_t ei = 0; ei < names.size(); ++ei) {
+        errors[ei].push_back(scenario_are(library.get(names[ei]), run));
+      }
+    }
+    for (std::size_t ei = 0; ei < names.size(); ++ei) {
+      print_row("A_S", names[ei], "N=" + std::to_string(n),
+                summarize_quartiles(errors[ei]));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 3: the DGA taxonomy grid — query-pool models (horizontal) x
+// query-barrel models (vertical) with the representative family per cell
+// ("?" marks cells not spotted in the wild).
+#include <cstdio>
+#include <string>
+
+#include "dga/taxonomy.hpp"
+
+int main() {
+  using namespace botmeter::dga;
+
+  std::printf("# Figure 3: a taxonomy of DGAs and representative families\n");
+  std::printf("%-14s", "barrel\\pool");
+  for (PoolModel pool : kAllPoolModels) {
+    std::printf(" %-22s", std::string(to_string(pool)).c_str());
+  }
+  std::printf("\n");
+
+  for (BarrelModel barrel : kAllBarrelModels) {
+    std::printf("%-14s", std::string(to_string(barrel)).c_str());
+    for (PoolModel pool : kAllPoolModels) {
+      const std::string_view family = representative_family({pool, barrel});
+      std::printf(" %-22s", family.empty() ? "?" : std::string(family).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(randomness increases downward along the barrel axis: "
+              "uniform -> permutation -> randomcut -> sampling)\n");
+  return 0;
+}

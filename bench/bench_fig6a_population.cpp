@@ -1,0 +1,29 @@
+// Figure 6(a): estimation accuracy as a function of the DGA-bot population
+// N in {16, 32, 64, 128, 256}, default parameters otherwise.
+//
+// Expected shapes (§V-A): error bars shrink with N for A_S/A_R; M_T loses
+// accuracy on A_U as N grows (cache collisions mask whole activations);
+// M_P and M_B outperform M_T on their models.
+#include "support/fig6.hpp"
+
+int main(int argc, char** argv) {
+  using namespace botmeter;
+  using namespace botmeter::bench;
+
+  const int trials = trials_from_args(argc, argv, 15);
+  const std::vector<std::uint32_t> populations{16, 32, 64, 128, 256};
+  std::vector<std::string> xs;
+  for (auto n : populations) xs.push_back("N=" + std::to_string(n));
+
+  run_fig6_sweep(
+      "Figure 6(a): ARE vs DGA-bot population N", xs, trials,
+      [&](const dga::DgaConfig& config, std::size_t xi, std::uint64_t seed) {
+        Scenario scenario;
+        scenario.sim.dga = config;
+        scenario.sim.bot_count = populations[xi];
+        scenario.sim.seed = seed * 7919 + populations[xi];
+        scenario.sim.record_raw = false;
+        return scenario;
+      });
+  return 0;
+}

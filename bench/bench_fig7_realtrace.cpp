@@ -1,0 +1,154 @@
+// Figure 7 + Table II: the enterprise-trace evaluation (§V-B).
+//
+// The paper's proprietary one-year trace is replaced by the synthetic
+// enterprise simulator (see DESIGN.md "Substitutions"): one local DNS
+// server, benign background clients, and three infected sub-populations —
+// newGoZ (A_R), Ramnit (A_U, no fixed query interval), Qakbot (A_U, no fixed
+// query interval) — with 1-second collection timestamps. Per day, BotMeter
+// estimates each family's active population from the forwarded stream; the
+// recommended estimator (M_B for newGoZ, M_P for Ramnit/Qakbot) and M_T are
+// both reported against the raw-trace ground truth.
+//
+// Output: Figure 7 rows (day, family, truth, recommended estimate, timing
+// estimate) followed by the Table II mean +/- std ARE summary.
+//
+// argv[1] (optional): number of simulated days (default 120; the paper's
+// horizon is 365).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/botmeter.hpp"
+#include "dga/families.hpp"
+#include "trace/dataset.hpp"
+#include "trace/enterprise.hpp"
+
+namespace {
+
+struct FamilyEval {
+  std::string recommended_name;
+  botmeter::RunningStats recommended_are;
+  botmeter::RunningStats timing_are;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace botmeter;
+
+  const std::int64_t total_days = (argc > 1 && std::atoi(argv[1]) > 0)
+                                      ? std::atoi(argv[1])
+                                      : 120;
+
+  trace::EnterpriseConfig config;
+  {
+    // Daily active populations sized to Fig. 7's log-scale series (newGoZ
+    // up to a few tens; Ramnit and Qakbot mostly in the single digits).
+    trace::InfectedPopulation newgoz;
+    newgoz.dga = dga::newgoz_config();
+    newgoz.infected_devices = 40;
+    newgoz.mean_activity = 0.4;
+    newgoz.activity_volatility = 0.6;
+    trace::InfectedPopulation ramnit;
+    ramnit.dga = dga::ramnit_config();
+    ramnit.infected_devices = 24;
+    ramnit.mean_activity = 0.5;
+    ramnit.activity_volatility = 0.6;
+    trace::InfectedPopulation qakbot;
+    qakbot.dga = dga::qakbot_config();
+    qakbot.infected_devices = 14;
+    qakbot.mean_activity = 0.45;
+    qakbot.activity_volatility = 0.6;
+    config.populations = {newgoz, ramnit, qakbot};
+  }
+  config.benign_clients = 300;
+  config.benign_queries_per_client_per_day = 20;
+  config.timestamp_granularity = seconds(1);  // §V-B granularity
+  // Enterprise resolvers commonly cap negative TTLs at minutes (§II-B:
+  // "negative TTLs varies from minutes to hours"; RFC 2308 SOA minimum).
+  config.ttl.negative = minutes(15);
+  // Real-trace artifacts (see trace/enterprise.hpp): raced duplicate
+  // forwards and benign collision lookups — the noise that makes M_T "
+  // arbitrarily bad" on the enterprise data (§V-B) while the collective
+  // statistics of M_P / M_B shrug it off.
+  config.duplicate_query_rate = 0.01;
+  config.collision_rate_per_pool_domain = 2e-4;
+  config.seed = 20140501;
+
+  trace::EnterpriseSimulator sim(config);
+  std::vector<FamilyEval> evals(config.populations.size());
+
+  std::printf(
+      "# Figure 7: daily actual vs estimated bot populations "
+      "(synthetic enterprise trace, %lld days, 1s timestamps)\n",
+      static_cast<long long>(total_days));
+  std::printf("%-6s %-10s %8s %14s %14s\n", "day", "family", "actual",
+              "recommended", "timing");
+
+  for (std::int64_t d = 0; d < total_days; ++d) {
+    const trace::EnterpriseDay day = sim.step();
+    for (std::size_t pi = 0; pi < config.populations.size(); ++pi) {
+      const dga::DgaConfig& family = config.populations[pi].dga;
+
+      core::BotMeterConfig recommended_config;
+      recommended_config.dga = family;
+      core::BotMeter recommended(recommended_config);
+      recommended.prepare_epochs(day.day, 1);
+      const double rec_estimate =
+          recommended.analyze(day.observable, 1).total_population();
+      if (evals[pi].recommended_name.empty()) {
+        evals[pi].recommended_name =
+            std::string(recommended.active_estimator().name());
+      }
+
+      core::BotMeterConfig timing_config;
+      timing_config.dga = family;
+      timing_config.estimator = "timing";
+      core::BotMeter timing(timing_config);
+      timing.prepare_epochs(day.day, 1);
+      const double timing_estimate =
+          timing.analyze(day.observable, 1).total_population();
+
+      const double truth = day.active_bots[pi];
+      if (truth > 0.0) {
+        evals[pi].recommended_are.add(
+            absolute_relative_error(rec_estimate, truth));
+        evals[pi].timing_are.add(
+            absolute_relative_error(timing_estimate, truth));
+      }
+      // Print a thinned series so the output stays readable (every 4th day),
+      // mirroring the sparse date axis of Fig. 7.
+      if (d % 4 == 0) {
+        std::printf("%-6lld %-10s %8.0f %14.1f %14.1f\n",
+                    static_cast<long long>(day.day), family.name.c_str(), truth,
+                    rec_estimate, timing_estimate);
+      }
+    }
+  }
+
+  std::printf("\n# Table II: average estimation errors (ARE, mean +/- std)\n");
+  std::printf("%-10s %-10s %-22s %-22s\n", "family", "delta_i",
+              "M_B / M_P (recommended)", "M_T (timing)");
+  for (std::size_t pi = 0; pi < config.populations.size(); ++pi) {
+    const dga::DgaConfig& family = config.populations[pi].dga;
+    std::printf("%-10s %-10s %-22s %-22s\n", family.name.c_str(),
+                family.query_interval.millis() > 0
+                    ? to_string(family.query_interval).c_str()
+                    : "none",
+                format_mean_std(evals[pi].recommended_are.mean(),
+                                evals[pi].recommended_are.stddev())
+                    .c_str(),
+                format_mean_std(evals[pi].timing_are.mean(),
+                                evals[pi].timing_are.stddev())
+                    .c_str());
+  }
+  std::printf("\n(recommended estimator per family: ");
+  for (std::size_t pi = 0; pi < evals.size(); ++pi) {
+    std::printf("%s=%s%s", config.populations[pi].dga.name.c_str(),
+                evals[pi].recommended_name.c_str(),
+                pi + 1 < evals.size() ? ", " : ")\n");
+  }
+  return 0;
+}

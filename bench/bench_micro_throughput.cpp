@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark): throughput of the components on
+// BotMeter's hot path — domain generation, the DNS cache, the matcher, the
+// analytical inversions, and the full per-epoch simulation.
+#include <benchmark/benchmark.h>
+
+#include "botnet/simulator.hpp"
+#include "detect/matcher.hpp"
+#include "dga/domain_gen.hpp"
+#include "dga/families.hpp"
+#include "dns/cache.hpp"
+#include "estimators/bernoulli.hpp"
+
+namespace {
+
+using namespace botmeter;
+
+void BM_DomainGeneration(benchmark::State& state) {
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dga::domain_name(0xABCD, 7, i++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DomainGeneration);
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  dns::DnsCache cache;
+  std::vector<std::string> domains;
+  for (std::uint32_t i = 0; i < 1024; ++i) {
+    domains.push_back(dga::domain_name(1, 1, i));
+    cache.insert(domains.back(), dns::Rcode::kNxDomain, TimePoint{0}, days(1));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(domains[i++ % domains.size()],
+                                          TimePoint{1000}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_CacheInsertExpireCycle(benchmark::State& state) {
+  dns::DnsCache cache;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const std::string domain = dga::domain_name(2, 2, i % 4096);
+    cache.insert(domain, dns::Rcode::kNxDomain,
+                 TimePoint{static_cast<std::int64_t>(i) * 10}, seconds(1));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheInsertExpireCycle);
+
+void BM_MatcherThroughput(benchmark::State& state) {
+  const dga::DgaConfig config = dga::newgoz_config();
+  auto pool_model = dga::make_pool_model(config);
+  const dga::EpochPool& pool = pool_model->epoch_pool(0);
+  detect::DomainMatcher matcher(days(1));
+  matcher.add_epoch(pool, detect::perfect_detection(pool));
+
+  // Half matching, half benign lookups.
+  std::vector<dns::ForwardedLookup> stream;
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    stream.push_back(dns::ForwardedLookup{
+        TimePoint{static_cast<std::int64_t>(i) * 100}, dns::ServerId{0},
+        (i % 2 == 0) ? pool.domains[i % pool.size()]
+                     : dga::benign_domain(i)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.match(stream));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_MatcherThroughput);
+
+void BM_BernoulliCoverageInversion(benchmark::State& state) {
+  const dga::DgaConfig config = dga::newgoz_config();
+  auto pool_model = dga::make_pool_model(config);
+  const dga::EpochPool& pool = pool_model->epoch_pool(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimators::BernoulliEstimator::invert_coverage(
+        pool, config, 5000.0, {}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BernoulliCoverageInversion);
+
+void BM_EpochSimulation(benchmark::State& state) {
+  botnet::SimulationConfig config;
+  config.dga = dga::murofet_config();
+  config.bot_count = static_cast<std::uint32_t>(state.range(0));
+  config.record_raw = false;
+  auto pool_model = dga::make_pool_model(config.dga);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(botnet::simulate(config, *pool_model));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EpochSimulation)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

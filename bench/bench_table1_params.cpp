@@ -1,0 +1,39 @@
+// Table I: DGA-specific parameter settings of the four synthetic-evaluation
+// prototypes, regenerated from the family registry (plus the remaining
+// registered families for reference).
+#include <cstdio>
+
+#include "dga/families.hpp"
+
+int main() {
+  using namespace botmeter;
+  using namespace botmeter::dga;
+
+  std::printf("# Table I: DGA-specific parameter setting\n");
+  std::printf("%-8s %-12s %8s %8s %8s %10s\n", "model", "prototype", "theta_0",
+              "theta_E", "theta_q", "delta_i");
+  for (const char* name : {"Murofet", "Conficker.C", "newGoZ", "Necurs"}) {
+    const DgaConfig c = family_config(name);
+    std::printf("%-8s %-12s %8u %8u %8u %10s\n",
+                std::string(short_label(c.taxonomy.barrel)).c_str(),
+                c.name.c_str(), c.nxd_count, c.valid_count, c.barrel_size,
+                c.query_interval.millis() > 0
+                    ? to_string(c.query_interval).c_str()
+                    : "none");
+  }
+
+  std::printf("\n# Other registered families (beyond Table I)\n");
+  std::printf("%-22s %-12s %10s %8s %8s %10s\n", "pool-model", "family",
+              "pool-size", "theta_E", "theta_q", "delta_i");
+  for (std::string_view name :
+       {"Ranbyus", "PushDo", "Pykspa", "Ramnit", "Qakbot", "Srizbi", "Torpig"}) {
+    const DgaConfig c = family_config(name);
+    std::printf("%-22s %-12s %10u %8u %8u %10s\n",
+                std::string(to_string(c.taxonomy.pool)).c_str(), c.name.c_str(),
+                c.pool_size() + c.noise_pool_size, c.valid_count, c.barrel_size,
+                c.query_interval.millis() > 0
+                    ? to_string(c.query_interval).c_str()
+                    : "none");
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "support/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "detect/matcher.hpp"
+
+namespace botmeter::bench {
+
+ScenarioRun::ScenarioRun(Scenario scenario) : scenario_(std::move(scenario)) {
+  pool_model_ = dga::make_pool_model(scenario_.sim.dga);
+  result_ = botnet::simulate(scenario_.sim, *pool_model_);
+
+  detect::DomainMatcher matcher(scenario_.sim.dga.epoch);
+  Rng window_rng{scenario_.window_seed};
+  const std::int64_t first = scenario_.sim.first_epoch;
+  const std::int64_t count = scenario_.sim.epoch_count;
+  windows_.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t e = first; e < first + count; ++e) {
+    const dga::EpochPool& pool = pool_model_->epoch_pool(e);
+    windows_.push_back(detect::make_detection_window(
+        pool, scenario_.detection_miss_rate, window_rng));
+    matcher.add_epoch(pool, windows_.back());
+  }
+
+  const detect::MatchedStreams matched = matcher.match(result_.observable);
+  static const std::vector<detect::MatchedLookup> kEmpty;
+  for (std::int64_t e = first; e < first + count; ++e) {
+    estimators::EpochObservation obs;
+    auto it = matched.find(detect::StreamKey{dns::ServerId{0}, e});
+    obs.lookups = (it != matched.end()) ? it->second : kEmpty;
+    obs.config = &scenario_.sim.dga;
+    obs.pool = &pool_model_->epoch_pool(e);
+    obs.window = &windows_[static_cast<std::size_t>(e - first)];
+    obs.ttl = scenario_.sim.ttl;
+    obs.window_start = TimePoint{e * scenario_.sim.dga.epoch.millis()};
+    obs.window_length = scenario_.sim.dga.epoch;
+    obs.assumed_miss_rate = scenario_.assumed_miss_rate;
+    observations_.push_back(std::move(obs));
+  }
+}
+
+double ScenarioRun::mean_truth() const {
+  double sum = 0.0;
+  for (const botnet::EpochTruth& t : result_.truth) sum += t.total_active;
+  return sum / static_cast<double>(result_.truth.size());
+}
+
+double scenario_are(const estimators::Estimator& estimator,
+                    const ScenarioRun& run) {
+  const double estimate = estimators::estimate_window(estimator, run.observations());
+  return absolute_relative_error(estimate, run.mean_truth());
+}
+
+int trials_from_args(int argc, char** argv, int default_trials) {
+  if (argc > 1) {
+    const int parsed = std::atoi(argv[1]);
+    if (parsed > 0) return parsed;
+  }
+  return default_trials;
+}
+
+void print_header(const std::string& title) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("%-6s %-20s %-12s %8s %8s %8s %8s %8s\n", "model", "estimator",
+              "x", "p25", "median", "p75", "mean", "max");
+}
+
+void print_row(const std::string& model, const std::string& estimator,
+               const std::string& x, const QuartileSummary& summary) {
+  std::printf("%-6s %-20s %-12s %8.3f %8.3f %8.3f %8.3f %8.3f\n", model.c_str(),
+              estimator.c_str(), x.c_str(), summary.p25, summary.median,
+              summary.p75, summary.mean, summary.max);
+}
+
+}  // namespace botmeter::bench

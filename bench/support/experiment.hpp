@@ -1,0 +1,72 @@
+// Shared experiment harness for the paper-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper: it sweeps
+// one parameter, runs repeated simulation trials per point, feeds the
+// cache-filtered vantage stream through the matcher, applies the estimators
+// under test, and prints the ARE quartiles (the error bars of Fig. 6) in a
+// plain column format.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "botnet/simulator.hpp"
+#include "common/stats.hpp"
+#include "detect/detection_window.hpp"
+#include "dga/pool.hpp"
+#include "estimators/estimator.hpp"
+
+namespace botmeter::bench {
+
+struct Scenario {
+  botnet::SimulationConfig sim;
+  double detection_miss_rate = 0.0;
+  std::optional<double> assumed_miss_rate;
+  std::uint64_t window_seed = 4242;
+};
+
+/// One executed scenario: runs the simulation at construction and owns the
+/// pools/windows the per-epoch observations point into.
+class ScenarioRun {
+ public:
+  explicit ScenarioRun(Scenario scenario);
+
+  ScenarioRun(const ScenarioRun&) = delete;
+  ScenarioRun& operator=(const ScenarioRun&) = delete;
+
+  [[nodiscard]] std::span<const estimators::EpochObservation> observations()
+      const {
+    return observations_;
+  }
+
+  /// Realised active population, averaged over the scenario's epochs.
+  [[nodiscard]] double mean_truth() const;
+
+ private:
+  Scenario scenario_;
+  std::unique_ptr<dga::QueryPoolModel> pool_model_;
+  std::vector<detect::DetectionWindow> windows_;
+  botnet::SimulationResult result_;
+  std::vector<estimators::EpochObservation> observations_;
+};
+
+/// ARE of `estimator` over a whole scenario (multi-epoch estimates averaged,
+/// compared against the realised mean truth).
+[[nodiscard]] double scenario_are(const estimators::Estimator& estimator,
+                                  const ScenarioRun& run);
+
+/// Number of trials per sweep point: argv[1] if given, otherwise
+/// `default_trials`.
+[[nodiscard]] int trials_from_args(int argc, char** argv, int default_trials);
+
+/// Emit the bench preamble (title + column header).
+void print_header(const std::string& title);
+
+/// One output row: model label (A_U...), estimator name, swept x value, and
+/// the ARE quartiles over the trials.
+void print_row(const std::string& model, const std::string& estimator,
+               const std::string& x, const QuartileSummary& summary);
+
+}  // namespace botmeter::bench

@@ -1,0 +1,75 @@
+// Shared sweep driver for the five panels of Fig. 6.
+//
+// Each Fig. 6 bench varies exactly one knob of the default synthetic setup
+// (§V-A: epoch 1 d, window 1 d, negative TTL 2 h, positive TTL 1 d,
+// timestamp granularity 100 ms, Table I family parameters) and reports the
+// ARE quartiles per (DGA model, estimator). The estimator assignment follows
+// the paper: the Timing estimator runs on every model, the Poisson estimator
+// additionally on A_U, the Bernoulli estimator additionally on A_R.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dga/families.hpp"
+#include "estimators/library.hpp"
+#include "support/experiment.hpp"
+
+namespace botmeter::bench {
+
+struct Fig6Model {
+  std::string label;                    // A_U, A_S, A_R, A_P
+  dga::DgaConfig config;                // Table I prototype
+  std::vector<std::string> estimators;  // model-library names to evaluate
+};
+
+/// The four Table I rows with their paper-assigned estimators.
+[[nodiscard]] inline std::vector<Fig6Model> fig6_models() {
+  return {
+      {"A_U", dga::murofet_config(), {"timing", "poisson"}},
+      {"A_S", dga::conficker_c_config(), {"timing"}},
+      {"A_R", dga::newgoz_config(), {"timing", "bernoulli"}},
+      {"A_P", dga::necurs_config(), {"timing"}},
+  };
+}
+
+/// Default population for the panels that do not sweep N.
+inline constexpr std::uint32_t kDefaultPopulation = 128;
+
+/// Run one Fig. 6 panel: for every model and every swept value, execute
+/// `trials` scenarios built by `make_scenario(model_config, x, trial_seed)`
+/// and print ARE quartiles per estimator.
+inline void run_fig6_sweep(
+    const std::string& title, const std::vector<std::string>& xs, int trials,
+    const std::function<Scenario(const dga::DgaConfig&, std::size_t x_index,
+                                 std::uint64_t seed)>& make_scenario) {
+  const estimators::ModelLibrary library;
+  print_header(title);
+  for (const Fig6Model& model : fig6_models()) {
+    for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+      std::vector<std::vector<double>> errors(model.estimators.size());
+      // Under extreme rate dynamics a trial can realise zero active bots
+      // (the first heavy-tailed gap overshoots the epoch); ARE is undefined
+      // there, so such trials are skipped and replaced, up to a cap.
+      int collected = 0;
+      for (std::uint64_t salt = 0;
+           collected < trials && salt < 4 * static_cast<std::uint64_t>(trials);
+           ++salt) {
+        const ScenarioRun run(make_scenario(model.config, xi, 1000 + salt));
+        if (run.mean_truth() <= 0.0) continue;
+        for (std::size_t ei = 0; ei < model.estimators.size(); ++ei) {
+          errors[ei].push_back(
+              scenario_are(library.get(model.estimators[ei]), run));
+        }
+        ++collected;
+      }
+      for (std::size_t ei = 0; ei < model.estimators.size(); ++ei) {
+        print_row(model.label, model.estimators[ei], xs[xi],
+                  summarize_quartiles(errors[ei]));
+      }
+    }
+  }
+}
+
+}  // namespace botmeter::bench

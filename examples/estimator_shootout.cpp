@@ -1,0 +1,71 @@
+// Estimator shootout: run every applicable analytical model against the
+// same observed stream and compare their estimates to the ground truth.
+//
+// Usage:  ./build/examples/estimator_shootout [family] [bot_count]
+// e.g.    ./build/examples/estimator_shootout newGoZ 64
+//         ./build/examples/estimator_shootout Murofet 128
+// Defaults: newGoZ, 64 bots.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "botnet/simulator.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "core/botmeter.hpp"
+#include "dga/families.hpp"
+#include "estimators/library.hpp"
+
+int main(int argc, char** argv) {
+  using namespace botmeter;
+
+  const std::string family = argc > 1 ? argv[1] : "newGoZ";
+  const auto bots = static_cast<std::uint32_t>(
+      argc > 2 && std::atoi(argv[2]) > 0 ? std::atoi(argv[2]) : 64);
+
+  dga::DgaConfig dga_config;
+  try {
+    dga_config = dga::family_config(family);
+  } catch (const ConfigError& e) {
+    std::fprintf(stderr, "%s\nknown families:", e.what());
+    for (std::string_view name : dga::family_names()) {
+      std::fprintf(stderr, " %s", std::string(name).c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  botnet::SimulationConfig world;
+  world.dga = dga_config;
+  world.bot_count = bots;
+  world.seed = 23;
+  world.record_raw = false;
+  world.first_epoch =
+      dga_config.taxonomy.pool == dga::PoolModel::kSlidingWindow ? 40 : 0;
+  const botnet::SimulationResult result = botnet::simulate(world);
+
+  std::printf("family %s (%s barrel), %u active bots, %zu forwarded lookups\n\n",
+              dga_config.name.c_str(),
+              std::string(to_string(dga_config.taxonomy.barrel)).c_str(), bots,
+              result.observable.size());
+
+  const estimators::ModelLibrary library;
+  std::printf("%-26s %10s %8s %s\n", "estimator", "estimate", "ARE", "");
+  for (const estimators::Estimator* estimator :
+       library.applicable(dga_config)) {
+    core::BotMeterConfig config;
+    config.dga = dga_config;
+    config.estimator = std::string(estimator->name());
+    core::BotMeter meter(config);
+    meter.prepare_epochs(world.first_epoch, 1);
+    const double estimate =
+        meter.analyze(result.observable, 1).total_population();
+    const bool recommended =
+        estimator->name() == library.recommended(dga_config).name();
+    std::printf("%-26s %10.1f %8.3f %s\n",
+                std::string(estimator->name()).c_str(), estimate,
+                absolute_relative_error(estimate, static_cast<double>(bots)),
+                recommended ? "<- recommended" : "");
+  }
+  return 0;
+}

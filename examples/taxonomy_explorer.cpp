@@ -1,0 +1,67 @@
+// Taxonomy explorer: how each DGA family's pool/barrel design shows up in
+// observable DNS dynamics.
+//
+// For every registered family this example prints its taxonomy cell and pool
+// shape, then simulates a small infection to measure how strongly the
+// caching-and-forwarding hierarchy masks its traffic (the fraction of bot
+// lookups that ever reach the border) — the uniform barrel is heavily
+// masked, the randomising barrels much less so — and which analytical model
+// the library recommends.
+//
+// Build & run:  ./build/examples/taxonomy_explorer
+#include <cstdio>
+#include <string>
+
+#include "botnet/simulator.hpp"
+#include "dga/families.hpp"
+#include "estimators/library.hpp"
+
+int main() {
+  using namespace botmeter;
+
+  const estimators::ModelLibrary library;
+
+  std::printf("%-12s %-22s %-12s %10s %8s %10s %12s\n", "family", "pool-model",
+              "barrel", "pool-size", "theta_q", "visible%", "recommended");
+
+  for (std::string_view name : dga::family_names()) {
+    dga::DgaConfig config = dga::family_config(name);
+
+    // Trim the heaviest pools so the demo stays instant.
+    if (config.name == "Conficker.C") {
+      config.nxd_count = 9995;
+      config.barrel_size = 300;
+    } else if (config.name == "Pykspa") {
+      config.noise_pool_size = 2000;
+      config.barrel_size = 2200;
+    }
+
+    botnet::SimulationConfig world;
+    world.dga = config;
+    world.bot_count = 24;
+    world.seed = 17;
+    // Sliding windows reach back in time; start away from day zero.
+    world.first_epoch = config.taxonomy.pool == dga::PoolModel::kSlidingWindow
+                            ? 40
+                            : 0;
+    const botnet::SimulationResult result = botnet::simulate(world);
+
+    const double visible =
+        100.0 * static_cast<double>(result.observable.size()) /
+        static_cast<double>(result.raw.size());
+
+    std::printf("%-12s %-22s %-12s %10u %8u %9.1f%% %12s\n",
+                config.name.c_str(),
+                std::string(to_string(config.taxonomy.pool)).c_str(),
+                std::string(to_string(config.taxonomy.barrel)).c_str(),
+                config.pool_size() + config.noise_pool_size,
+                config.barrel_size, visible,
+                std::string(library.recommended(config).name()).c_str());
+  }
+
+  std::printf(
+      "\nvisible%% = share of bot lookups that survive negative/positive "
+      "caching\nand reach the border vantage point (2h/1d TTLs, 24 bots, one "
+      "epoch).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "botnet/activation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace botmeter::botnet {
+
+void ActivationConfig::validate() const {
+  if (model == RateModel::kDynamic && !(sigma > 0.0)) {
+    throw ConfigError("ActivationConfig: sigma must be > 0 for the dynamic model");
+  }
+}
+
+std::vector<TimePoint> draw_activations(const ActivationConfig& config,
+                                        std::size_t n, TimePoint start,
+                                        Duration len, Rng& rng) {
+  config.validate();
+  if (len.millis() <= 0) throw ConfigError("draw_activations: window must be positive");
+  std::vector<TimePoint> times;
+  times.reserve(n);
+  if (n == 0) return times;
+
+  const double window_ms = static_cast<double>(len.millis());
+  const double lambda0 = static_cast<double>(n) / window_ms;  // arrivals per ms
+
+  if (config.model == RateModel::kConstant) {
+    // Poisson arrivals conditioned on n in-window events: i.i.d. uniform.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double u = rng.uniform01() * window_ms;
+      times.push_back(start + milliseconds(static_cast<std::int64_t>(u)));
+    }
+    std::sort(times.begin(), times.end());
+    return times;
+  }
+
+  // Dynamic rate: sequential gaps, each with its own modulated rate.
+  double t_ms = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double kappa = rng.normal(0.0, config.sigma);
+    const double lambda_i = lambda0 * std::exp(kappa);
+    t_ms += rng.exponential(lambda_i);
+    if (t_ms >= window_ms) break;  // this bot (and all later ones) stay dormant
+    times.push_back(start + milliseconds(static_cast<std::int64_t>(t_ms)));
+  }
+  return times;
+}
+
+}  // namespace botmeter::botnet

@@ -1,0 +1,44 @@
+// Bot-activation processes (§V-A).
+//
+// The paper models the activations of a population of N bots within an epoch
+// as a Poisson process and evaluates two variants:
+//
+//  - constant rate lambda_0 = N / delta_e. Conditioning a Poisson process on
+//    exactly N arrivals in the window makes the arrival instants i.i.d.
+//    uniform, which is how we draw them — every bot activates exactly once
+//    per epoch.
+//  - dynamic rate: the i-th activation happens after a gap drawn with rate
+//    lambda_i = lambda_0 * exp(kappa_i), kappa_i ~ Normal(0, sigma^2). Bots
+//    whose arrival falls past the end of the epoch simply do not activate
+//    that day; the ground truth used by the harness is the *realised* active
+//    count, so estimator error is never an artefact of dropped arrivals.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace botmeter::botnet {
+
+enum class RateModel {
+  kConstant,  // lambda_0 = N / delta_e throughout
+  kDynamic,   // per-arrival lambda_i = lambda_0 * exp(kappa_i)
+};
+
+struct ActivationConfig {
+  RateModel model = RateModel::kConstant;
+  double sigma = 1.0;  // stddev of kappa_i; only used by kDynamic
+
+  void validate() const;
+};
+
+/// Draw activation instants for up to `n` bots within [start, start + len).
+/// Returned times are sorted ascending; size() <= n (strictly fewer only
+/// under kDynamic when arrivals spill past the window).
+[[nodiscard]] std::vector<TimePoint> draw_activations(const ActivationConfig& config,
+                                                      std::size_t n, TimePoint start,
+                                                      Duration len, Rng& rng);
+
+}  // namespace botmeter::botnet

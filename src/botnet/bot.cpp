@@ -1,0 +1,38 @@
+#include "botnet/bot.hpp"
+
+#include "dga/barrel.hpp"
+
+namespace botmeter::botnet {
+
+std::vector<QueryEvent> activation_queries(const dga::DgaConfig& config,
+                                           const dga::EpochPool& pool,
+                                           TimePoint activation, Rng& bot_rng,
+                                           std::optional<TimePoint> c2_down_after) {
+  const std::vector<std::uint32_t> barrel =
+      dga::make_barrel(config, pool, bot_rng);
+
+  std::vector<QueryEvent> events;
+  events.reserve(barrel.size());
+  TimePoint t = activation;
+  for (std::uint32_t pos : barrel) {
+    events.push_back(QueryEvent{t, pos});
+    const bool resolves = pool.is_valid_position(pos) &&
+                          (!c2_down_after || t < *c2_down_after);
+    if (config.stop_on_hit && resolves) break;
+    if (config.query_interval.millis() > 0) {
+      t += config.query_interval;
+    } else {
+      t += milliseconds(bot_rng.uniform_range(config.jitter_min.millis(),
+                                              config.jitter_max.millis()));
+    }
+  }
+  return events;
+}
+
+Duration max_activation_duration(const dga::DgaConfig& config) {
+  const Duration step = config.query_interval.millis() > 0 ? config.query_interval
+                                                           : config.jitter_max;
+  return step * static_cast<std::int64_t>(config.barrel_size);
+}
+
+}  // namespace botmeter::botnet

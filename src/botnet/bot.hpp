@@ -1,0 +1,45 @@
+// A single bot's behaviour during one activation (§III).
+//
+// On activation the bot draws its barrel, then issues lookups sequentially —
+// separated by the family's fixed query interval delta_i, or by jittered
+// gaps for interval-free families — until a lookup resolves (stop-on-hit) or
+// the barrel is exhausted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "dga/config.hpp"
+#include "dga/pool.hpp"
+
+namespace botmeter::botnet {
+
+/// One DGA-triggered lookup this bot intends to issue.
+struct QueryEvent {
+  TimePoint t;
+  std::uint32_t pool_position = 0;
+
+  friend bool operator==(const QueryEvent&, const QueryEvent&) = default;
+};
+
+/// The timed lookup train of one activation starting at `activation`.
+/// `bot_rng` drives barrel randomness and jitter; outcomes (valid vs NXD)
+/// are determined by `pool.valid_positions`. If `c2_down_after` is set, the
+/// C2 servers are dead from that instant (mid-epoch takedown): a bot
+/// querying them later keeps walking its barrel — §I's success condition is
+/// "the domain resolves AND the corresponding server provides a valid
+/// response", so even a stale positively-cached DNS answer does not stop it.
+[[nodiscard]] std::vector<QueryEvent> activation_queries(
+    const dga::DgaConfig& config, const dga::EpochPool& pool,
+    TimePoint activation, Rng& bot_rng,
+    std::optional<TimePoint> c2_down_after = {});
+
+/// Upper bound on an activation's duration: theta_q * delta_i (used by the
+/// Timing estimator's heuristic #2). For interval-free families the maximum
+/// jitter stands in for delta_i.
+[[nodiscard]] Duration max_activation_duration(const dga::DgaConfig& config);
+
+}  // namespace botmeter::botnet

@@ -1,0 +1,230 @@
+#include "botnet/simulator.hpp"
+
+#include <algorithm>
+
+#include "botnet/bot.hpp"
+#include "dns/tiered.hpp"
+#include "common/error.hpp"
+
+namespace botmeter::botnet {
+
+namespace {
+
+/// A not-yet-cache-filtered lookup, tagged with the issuing bot.
+struct PendingQuery {
+  TimePoint t;
+  std::uint32_t bot = 0;
+  std::uint32_t pool_position = 0;
+  std::int64_t epoch = 0;
+};
+
+}  // namespace
+
+void SimulationConfig::validate() const {
+  dga.validate();
+  if (bot_count == 0) throw ConfigError("SimulationConfig: bot_count must be > 0");
+  if (server_count == 0) throw ConfigError("SimulationConfig: server_count must be > 0");
+  if (epoch_count <= 0) throw ConfigError("SimulationConfig: epoch_count must be > 0");
+  if (takedown_after_fraction <= 0.0 || takedown_after_fraction > 1.0) {
+    throw ConfigError("SimulationConfig: takedown_after_fraction must be in (0,1]");
+  }
+  ttl.validate();
+  activation.validate();
+}
+
+SimulationResult simulate(const SimulationConfig& config,
+                          dga::QueryPoolModel& pool_model) {
+  config.validate();
+
+  dns::Network network(config.server_count, config.ttl,
+                       config.timestamp_granularity);
+  if (config.client_assignment) {
+    network.set_client_assignment(config.client_assignment);
+  }
+  Rng master(config.seed);
+
+  const Duration epoch_len = config.dga.epoch;
+  // Keep registrations alive slightly past the epoch so activation trains
+  // spilling over the boundary still resolve consistently (the botmaster
+  // does not tear servers down at midnight sharp).
+  const Duration registration_slack = hours(1);
+
+  // Register every epoch's valid domains up front. With a takedown fraction
+  // below 1, registrations lapse mid-epoch (sinkholing), so bots querying a
+  // C2 domain afterwards receive NXDOMAIN.
+  const bool takedown = config.takedown_after_fraction < 1.0;
+  const Duration live_span{static_cast<std::int64_t>(
+      static_cast<double>(epoch_len.millis()) * config.takedown_after_fraction)};
+  for (std::int64_t e = config.first_epoch;
+       e < config.first_epoch + config.epoch_count; ++e) {
+    const dga::EpochPool& pool = pool_model.epoch_pool(e);
+    const TimePoint start{e * epoch_len.millis()};
+    const TimePoint until =
+        takedown ? start + live_span : start + epoch_len + registration_slack;
+    for (std::uint32_t pos : pool.valid_positions) {
+      network.authority().register_domain(pool.domains[pos], start, until);
+    }
+  }
+
+  SimulationResult result;
+  result.truth.reserve(static_cast<std::size_t>(config.epoch_count));
+
+  for (std::int64_t e = config.first_epoch;
+       e < config.first_epoch + config.epoch_count; ++e) {
+    const dga::EpochPool& pool = pool_model.epoch_pool(e);
+    const TimePoint epoch_start{e * epoch_len.millis()};
+
+    Rng epoch_stream = master.fork();
+
+    // Which bot activates at which instant this epoch: draw the arrival
+    // instants, then hand them to a random subset/order of the population.
+    std::vector<TimePoint> arrivals = draw_activations(
+        config.activation, config.bot_count, epoch_start, epoch_len, epoch_stream);
+    std::vector<std::uint32_t> bot_order(config.bot_count);
+    for (std::uint32_t i = 0; i < config.bot_count; ++i) bot_order[i] = i;
+    epoch_stream.shuffle(std::span<std::uint32_t>{bot_order});
+
+    std::vector<PendingQuery> queries;
+    EpochTruth truth;
+    truth.epoch = e;
+    truth.active_per_server.assign(config.server_count, 0);
+
+    for (std::size_t k = 0; k < arrivals.size(); ++k) {
+      const std::uint32_t bot = bot_order[k];
+      // Per-(bot, epoch) private stream: independent of every other bot and
+      // of how many draws the activation model consumed.
+      Rng bot_rng{mix64(config.seed ^ mix64(static_cast<std::uint64_t>(e) << 20 |
+                                            bot))};
+      std::optional<TimePoint> c2_down_after;
+      if (takedown) c2_down_after = epoch_start + live_span;
+      const auto events = activation_queries(config.dga, pool, arrivals[k],
+                                             bot_rng, c2_down_after);
+      for (const QueryEvent& ev : events) {
+        queries.push_back(PendingQuery{ev.t, bot, ev.pool_position, e});
+      }
+      ++truth.total_active;
+      const dns::ServerId server =
+          network.server_for_client(dns::ClientId{bot});
+      ++truth.active_per_server[server.value()];
+    }
+
+    // Global time order is what the caches see.
+    std::sort(queries.begin(), queries.end(), [](const PendingQuery& a,
+                                                 const PendingQuery& b) {
+      if (a.t != b.t) return a.t < b.t;
+      if (a.bot != b.bot) return a.bot < b.bot;
+      return a.pool_position < b.pool_position;
+    });
+
+    for (const PendingQuery& q : queries) {
+      const std::string& domain = pool.domains[q.pool_position];
+      const dns::ClientId client{q.bot};
+      const dns::Rcode rcode = network.resolve(q.t, client, domain);
+      if (config.record_raw) {
+        result.raw.push_back(RawRecord{q.t, client, domain, rcode});
+      }
+    }
+
+    result.truth.push_back(std::move(truth));
+    network.evict_expired(epoch_start + epoch_len);
+  }
+
+  result.observable = network.vantage().take();
+  return result;
+}
+
+SimulationResult simulate(const SimulationConfig& config) {
+  auto pool_model = dga::make_pool_model(config.dga);
+  return simulate(config, *pool_model);
+}
+
+SimulationResult simulate_tiered(const TieredSimulationConfig& tiered,
+                                 dga::QueryPoolModel& pool_model) {
+  const SimulationConfig& config = tiered.base;
+  config.validate();
+  tiered.regional_ttl.validate();
+
+  dns::TieredNetwork network(config.server_count, tiered.regional_count,
+                             config.ttl, tiered.regional_ttl,
+                             config.timestamp_granularity);
+  Rng master(config.seed);
+
+  const Duration epoch_len = config.dga.epoch;
+  const Duration registration_slack = hours(1);
+  const bool takedown = config.takedown_after_fraction < 1.0;
+  const Duration live_span{static_cast<std::int64_t>(
+      static_cast<double>(epoch_len.millis()) * config.takedown_after_fraction)};
+
+  for (std::int64_t e = config.first_epoch;
+       e < config.first_epoch + config.epoch_count; ++e) {
+    const dga::EpochPool& pool = pool_model.epoch_pool(e);
+    const TimePoint start{e * epoch_len.millis()};
+    const TimePoint until =
+        takedown ? start + live_span : start + epoch_len + registration_slack;
+    for (std::uint32_t pos : pool.valid_positions) {
+      network.authority().register_domain(pool.domains[pos], start, until);
+    }
+  }
+
+  SimulationResult result;
+  result.truth.reserve(static_cast<std::size_t>(config.epoch_count));
+
+  for (std::int64_t e = config.first_epoch;
+       e < config.first_epoch + config.epoch_count; ++e) {
+    const dga::EpochPool& pool = pool_model.epoch_pool(e);
+    const TimePoint epoch_start{e * epoch_len.millis()};
+
+    Rng epoch_stream = master.fork();
+    std::vector<TimePoint> arrivals = draw_activations(
+        config.activation, config.bot_count, epoch_start, epoch_len, epoch_stream);
+    std::vector<std::uint32_t> bot_order(config.bot_count);
+    for (std::uint32_t i = 0; i < config.bot_count; ++i) bot_order[i] = i;
+    epoch_stream.shuffle(std::span<std::uint32_t>{bot_order});
+
+    std::vector<PendingQuery> queries;
+    EpochTruth truth;
+    truth.epoch = e;
+    truth.active_per_server.assign(tiered.regional_count, 0);
+
+    for (std::size_t k = 0; k < arrivals.size(); ++k) {
+      const std::uint32_t bot = bot_order[k];
+      Rng bot_rng{mix64(config.seed ^ mix64(static_cast<std::uint64_t>(e) << 20 |
+                                            bot))};
+      std::optional<TimePoint> c2_down_after;
+      if (takedown) c2_down_after = epoch_start + live_span;
+      const auto events = activation_queries(config.dga, pool, arrivals[k],
+                                             bot_rng, c2_down_after);
+      for (const QueryEvent& ev : events) {
+        queries.push_back(PendingQuery{ev.t, bot, ev.pool_position, e});
+      }
+      ++truth.total_active;
+      const dns::ServerId region = network.regional_for_local(
+          network.local_for_client(dns::ClientId{bot}));
+      ++truth.active_per_server[region.value()];
+    }
+
+    std::sort(queries.begin(), queries.end(), [](const PendingQuery& a,
+                                                 const PendingQuery& b) {
+      if (a.t != b.t) return a.t < b.t;
+      if (a.bot != b.bot) return a.bot < b.bot;
+      return a.pool_position < b.pool_position;
+    });
+
+    for (const PendingQuery& q : queries) {
+      const std::string& domain = pool.domains[q.pool_position];
+      const dns::ClientId client{q.bot};
+      const dns::Rcode rcode = network.resolve(q.t, client, domain);
+      if (config.record_raw) {
+        result.raw.push_back(RawRecord{q.t, client, domain, rcode});
+      }
+    }
+
+    result.truth.push_back(std::move(truth));
+    network.evict_expired(epoch_start + epoch_len);
+  }
+
+  result.observable = network.vantage().take();
+  return result;
+}
+
+}  // namespace botmeter::botnet

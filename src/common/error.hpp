@@ -1,0 +1,34 @@
+// Error types shared across the BotMeter libraries.
+//
+// All BotMeter exceptions derive from `botmeter::Error` so callers can catch
+// the whole family with one handler while still distinguishing configuration
+// mistakes from data problems.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace botmeter {
+
+/// Root of the BotMeter exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An invalid or inconsistent configuration value (e.g. a DGA with an empty
+/// query pool, a negative TTL, or an estimator applied to the wrong taxonomy
+/// cell).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed input data (e.g. an unparseable trace line or out-of-order
+/// timestamps where monotonicity is required).
+class DataError : public Error {
+ public:
+  explicit DataError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace botmeter

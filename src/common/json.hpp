@@ -1,0 +1,66 @@
+// A minimal, dependency-free JSON reader.
+//
+// Just enough JSON for BotMeter's configuration files: objects, arrays,
+// strings (with the standard escapes), numbers, booleans, null. Parse errors
+// carry line/column positions. This is a *reader* — configs are written by
+// humans — so there is no serializer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace botmeter::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// One JSON value. Numbers are stored as double (the JSON model); integral
+/// accessors range-check the conversion.
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  explicit Value(std::nullptr_t) : data_(nullptr) {}
+  explicit Value(bool b) : data_(b) {}
+  explicit Value(double d) : data_(d) {}
+  explicit Value(std::string s) : data_(std::move(s)) {}
+  explicit Value(Array a) : data_(std::move(a)) {}
+  explicit Value(Object o) : data_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(data_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(data_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  /// Typed accessors; throw DataError on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;  // must be integral and in range
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member access; `at` throws DataError when absent, `find` returns
+  /// nullptr.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+/// Throws DataError with "line L, column C" context on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace botmeter::json

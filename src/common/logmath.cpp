@@ -1,0 +1,152 @@
+#include "common/logmath.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace botmeter {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+double log_factorial(std::int64_t n) {
+  if (n < 0) throw ConfigError("log_factorial: n must be >= 0");
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_binomial(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n) return kNegInf;
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double log_sum_exp(double a, double b) {
+  if (a == kNegInf) return b;
+  if (b == kNegInf) return a;
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double log_sum_exp(std::span<const double> v) {
+  double hi = kNegInf;
+  for (double x : v) hi = std::max(hi, x);
+  if (hi == kNegInf) return kNegInf;
+  double sum = 0.0;
+  for (double x : v) sum += std::exp(x - hi);
+  return hi + std::log(sum);
+}
+
+double log1m_exp(double x) {
+  if (x > 0.0) throw ConfigError("log1m_exp: argument must be <= 0");
+  if (x == 0.0) return kNegInf;
+  // Machler (2012): use log(-expm1(x)) near 0, log1p(-exp(x)) otherwise.
+  constexpr double kLogHalf = -0.6931471805599453;
+  if (x > kLogHalf) return std::log(-std::expm1(x));
+  return std::log1p(-std::exp(x));
+}
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw ConfigError("normal_quantile: p must be in (0,1)");
+  }
+  // Acklam (2003) rational approximation with central/tail split.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double chi_square_quantile(double p, double k) {
+  if (!(k > 0.0)) throw ConfigError("chi_square_quantile: k must be > 0");
+  const double z = normal_quantile(p);
+  // Wilson-Hilferty: (X/k)^(1/3) approx Normal(1 - 2/(9k), 2/(9k)).
+  const double f = 2.0 / (9.0 * k);
+  const double cube = 1.0 - f + z * std::sqrt(f);
+  if (cube <= 0.0) return 0.0;  // deep lower tail at tiny k
+  return k * cube * cube * cube;
+}
+
+double poisson_tail(double mean, std::int64_t k) {
+  if (mean < 0.0) throw ConfigError("poisson_tail: mean must be >= 0");
+  if (k < 0) throw ConfigError("poisson_tail: k must be >= 0");
+  if (k == 0) return 1.0;
+  if (mean == 0.0) return 0.0;
+  // CDF of the first k terms via the pmf recurrence. exp(-mean) underflows
+  // to 0 for mean >~ 745, making the tail 1 — the correct limit.
+  double pmf = std::exp(-mean);
+  double cdf = pmf;
+  for (std::int64_t j = 1; j < k; ++j) {
+    pmf *= mean / static_cast<double>(j);
+    cdf += pmf;
+  }
+  return std::max(0.0, 1.0 - cdf);
+}
+
+LogStirling2::LogStirling2(std::int64_t n_max) : n_max_(n_max) {
+  if (n_max < 0) throw ConfigError("LogStirling2: n_max must be >= 0");
+  const auto rows = static_cast<std::size_t>(n_max) + 1;
+  table_.assign(rows * (rows + 1) / 2, kNegInf);
+  table_[0] = 0.0;  // S(0,0) = 1
+  for (std::int64_t n = 1; n <= n_max; ++n) {
+    for (std::int64_t m = 1; m <= n; ++m) {
+      // S(n,m) = m*S(n-1,m) + S(n-1,m-1), all terms non-negative.
+      const double a = (m <= n - 1) ? std::log(static_cast<double>(m)) +
+                                          table_[index(n - 1, m)]
+                                    : kNegInf;
+      const double b = table_[index(n - 1, m - 1)];
+      table_[index(n, m)] = log_sum_exp(a, b);
+    }
+  }
+}
+
+std::size_t LogStirling2::index(std::int64_t n, std::int64_t m) const {
+  return static_cast<std::size_t>(n) * (static_cast<std::size_t>(n) + 1) / 2 +
+         static_cast<std::size_t>(m);
+}
+
+double LogStirling2::operator()(std::int64_t n, std::int64_t m) const {
+  if (n < 0 || n > n_max_) throw ConfigError("LogStirling2: n out of range");
+  if (m < 0 || m > n) return kNegInf;
+  return table_[index(n, m)];
+}
+
+double occupancy_probability(std::int64_t n, std::int64_t l, std::int64_t m,
+                             const LogStirling2& stirling) {
+  if (l < 1) throw ConfigError("occupancy_probability: l must be >= 1");
+  if (n < 0) throw ConfigError("occupancy_probability: n must be >= 0");
+  if (m < 0 || m > std::min(n, l)) return 0.0;
+  if (n == 0) return m == 0 ? 1.0 : 0.0;
+  const double log_p = log_binomial(l, m) + log_factorial(m) + stirling(n, m) -
+                       static_cast<double>(n) * std::log(static_cast<double>(l));
+  return std::exp(log_p);
+}
+
+}  // namespace botmeter

@@ -1,0 +1,81 @@
+// Log-space combinatorics for the Bernoulli estimator's analytical forms.
+//
+// The per-segment expectation of Theorem 1 (paper §IV-D) involves binomial
+// coefficients and Stirling numbers of the second kind over segment lengths
+// of several hundred, which overflow any fixed-width integer. Everything here
+// therefore works in log space; probabilities are reassembled with
+// log-sum-exp only at the end.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace botmeter {
+
+/// Natural log of n! via lgamma. n >= 0.
+[[nodiscard]] double log_factorial(std::int64_t n);
+
+/// Natural log of C(n, k). Returns -inf when k < 0 or k > n (coefficient 0).
+[[nodiscard]] double log_binomial(std::int64_t n, std::int64_t k);
+
+/// log(exp(a) + exp(b)) without overflow. Either argument may be -inf.
+[[nodiscard]] double log_sum_exp(double a, double b);
+
+/// log(sum_i exp(v[i])). Empty input yields -inf.
+[[nodiscard]] double log_sum_exp(std::span<const double> v);
+
+/// Numerically-stable log(1 - exp(x)) for x < 0 (log of a complement
+/// probability). Requires x <= 0; x == 0 yields -inf.
+[[nodiscard]] double log1m_exp(double x);
+
+/// Table of log Stirling numbers of the second kind, log S(n, m), for
+/// 0 <= m <= n <= n_max. S(n, m) counts partitions of an n-set into m
+/// non-empty blocks; in the occupancy interpretation used by the Bernoulli
+/// estimator, C(l,m) * m! * S(n,m) / l^n is the probability that n balls
+/// thrown uniformly into l boxes occupy exactly m distinct boxes.
+class LogStirling2 {
+ public:
+  explicit LogStirling2(std::int64_t n_max);
+
+  /// log S(n, m). Returns -inf for the zero cases (m > n, or m == 0 with
+  /// n > 0). S(0,0) = 1 so (0,0) returns 0.
+  [[nodiscard]] double operator()(std::int64_t n, std::int64_t m) const;
+
+  [[nodiscard]] std::int64_t n_max() const { return n_max_; }
+
+ private:
+  std::int64_t n_max_;
+  // Row-major lower-triangular storage: row n holds m = 0..n.
+  std::vector<double> table_;
+  [[nodiscard]] std::size_t index(std::int64_t n, std::int64_t m) const;
+};
+
+/// Inverse CDF of the standard normal distribution (quantile function),
+/// p in (0, 1). Acklam's rational approximation, |error| < 1.2e-9 —
+/// far below the statistical error of anything built on it here.
+[[nodiscard]] double normal_quantile(double p);
+
+/// Inverse CDF of the chi-square distribution with k > 0 degrees of freedom
+/// (k may be fractional), via the Wilson-Hilferty cube-root normal
+/// approximation. Used for exponential/Poisson rate confidence intervals:
+/// if sum(gaps) ~ Gamma(n, rate) then 2*rate*sum(gaps) ~ chi^2(2n).
+[[nodiscard]] double chi_square_quantile(double p, double k);
+
+/// P(Poisson(mean) >= k): the upper tail of a Poisson distribution, equal to
+/// the CDF of a Gamma(k, rate) waiting time at t = mean/rate — which is how
+/// the Bernoulli estimator's renewal model uses it. Requires mean >= 0 and
+/// k >= 0. Numerically: 1 - sum_{j<k} pmf(j), with the pmf recurrence
+/// underflowing to 0 (hence tail 1) for very large means, which is the
+/// correct limit.
+[[nodiscard]] double poisson_tail(double mean, std::int64_t k);
+
+/// Probability that n balls thrown uniformly and independently into l boxes
+/// occupy exactly m distinct boxes (classical occupancy distribution),
+/// computed in log space: C(l,m) * m! * S(n,m) / l^n. Requires l >= 1,
+/// n >= 0, 0 <= m <= min(n, l); out-of-support m yields 0.
+[[nodiscard]] double occupancy_probability(std::int64_t n, std::int64_t l,
+                                           std::int64_t m,
+                                           const LogStirling2& stirling);
+
+}  // namespace botmeter

@@ -1,0 +1,134 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace botmeter {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  if (bound == 0) throw ConfigError("Rng::uniform: bound must be positive");
+  // Lemire's method: multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw ConfigError("Rng::uniform_range: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const std::uint64_t draw = (span == 0) ? next() : uniform(span);
+  return lo + static_cast<std::int64_t>(draw);
+}
+
+double Rng::uniform01() {
+  // 53 high-quality bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double rate) {
+  if (!(rate > 0.0)) throw ConfigError("Rng::exponential: rate must be > 0");
+  double u = uniform01();
+  // u in [0,1); 1-u in (0,1] so the log is finite.
+  return -std::log1p(-u) / rate;
+}
+
+double Rng::normal(double mu, double sigma) {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mu + sigma * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform01() - 1.0;
+    v = 2.0 * uniform01() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double f = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * f;
+  have_spare_normal_ = true;
+  return mu + sigma * (u * f);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean < 0.0) throw ConfigError("Rng::poisson: mean must be >= 0");
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product method.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double prod = uniform01();
+    while (prod > limit) {
+      ++k;
+      prod *= uniform01();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction, clamped at zero.
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t k) {
+  if (k > n) throw ConfigError("sample_without_replacement: k > n");
+  // Partial Fisher-Yates using a sparse displacement map: O(k) time/space.
+  std::unordered_map<std::uint64_t, std::uint64_t> displaced;
+  displaced.reserve(static_cast<std::size_t>(2 * k));
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const std::uint64_t j = i + uniform(n - i);
+    auto it_j = displaced.find(j);
+    const std::uint64_t value_j = (it_j == displaced.end()) ? j : it_j->second;
+    auto it_i = displaced.find(i);
+    const std::uint64_t value_i = (it_i == displaced.end()) ? i : it_i->second;
+    displaced[j] = value_i;
+    out.push_back(value_j);
+  }
+  return out;
+}
+
+Rng Rng::fork() { return Rng{next() ^ 0xA02BDBF7BB3C0A7ULL}; }
+
+}  // namespace botmeter

@@ -1,0 +1,87 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace botmeter {
+
+double absolute_relative_error(double estimated, double actual) {
+  if (actual == 0.0) {
+    throw DataError("absolute_relative_error: actual population is zero");
+  }
+  return std::abs(estimated - actual) / std::abs(actual);
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  if (n_ == 0) throw DataError("RunningStats::mean: no samples");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ == 0) throw DataError("RunningStats::variance: no samples");
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  if (n_ == 0) throw DataError("RunningStats::min: no samples");
+  return min_;
+}
+
+double RunningStats::max() const {
+  if (n_ == 0) throw DataError("RunningStats::max: no samples");
+  return max_;
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) throw DataError("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw ConfigError("percentile: p out of [0,100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+QuartileSummary summarize_quartiles(std::span<const double> values) {
+  QuartileSummary s;
+  s.p25 = percentile(values, 25.0);
+  s.median = percentile(values, 50.0);
+  s.p75 = percentile(values, 75.0);
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  s.mean = rs.mean();
+  s.max = rs.max();
+  return s;
+}
+
+std::string format_mean_std(double mean, double stddev) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << mean << " +/- " << stddev;
+  return os.str();
+}
+
+}  // namespace botmeter

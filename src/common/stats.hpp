@@ -1,0 +1,57 @@
+// Descriptive statistics used by the evaluation harness.
+//
+// The paper reports absolute relative error (ARE, Eqn 4) with 25th/50th/75th
+// percentile error bars (Fig. 6) and mean +/- stddev summaries (Table II).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace botmeter {
+
+/// Absolute relative error |estimate - actual| / actual (paper Eqn 4).
+/// `actual` must be non-zero.
+[[nodiscard]] double absolute_relative_error(double estimated, double actual);
+
+/// Streaming accumulator for mean / variance (Welford) plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated percentile of a sample, p in [0, 100]. The input is
+/// copied and sorted; empty input is a DataError.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// The quartile summary plotted as one error bar in Fig. 6.
+struct QuartileSummary {
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] QuartileSummary summarize_quartiles(std::span<const double> values);
+
+/// "mean +/- stddev" with three decimals, matching Table II formatting.
+[[nodiscard]] std::string format_mean_std(double mean, double stddev);
+
+}  // namespace botmeter

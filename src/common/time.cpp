@@ -1,0 +1,76 @@
+#include "common/time.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace botmeter {
+
+TimePoint quantize(TimePoint t, Duration granularity) {
+  if (granularity.millis() <= 0) {
+    throw ConfigError("quantize: granularity must be positive");
+  }
+  const std::int64_t g = granularity.millis();
+  std::int64_t ms = t.millis();
+  // Floor division so negative instants also truncate downward.
+  std::int64_t q = ms / g;
+  if (ms % g != 0 && ms < 0) --q;
+  return TimePoint{q * g};
+}
+
+std::string to_string(TimePoint t) {
+  std::int64_t ms = t.millis();
+  const bool neg = ms < 0;
+  if (neg) ms = -ms;
+  const std::int64_t d = ms / 86'400'000;
+  ms %= 86'400'000;
+  const std::int64_t h = ms / 3'600'000;
+  ms %= 3'600'000;
+  const std::int64_t m = ms / 60'000;
+  ms %= 60'000;
+  const std::int64_t s = ms / 1000;
+  ms %= 1000;
+  std::ostringstream os;
+  if (neg) os << '-';
+  os << d << 'd';
+  os.fill('0');
+  os.width(2);
+  os << h << ':';
+  os.width(2);
+  os << m << ':';
+  os.width(2);
+  os << s << '.';
+  os.width(3);
+  os << ms;
+  return os.str();
+}
+
+std::string to_string(Duration dur) {
+  std::int64_t ms = dur.millis();
+  if (ms == 0) return "0ms";
+  std::ostringstream os;
+  if (ms < 0) {
+    os << '-';
+    ms = -ms;
+  }
+  const std::int64_t d = ms / 86'400'000;
+  ms %= 86'400'000;
+  const std::int64_t h = ms / 3'600'000;
+  ms %= 3'600'000;
+  const std::int64_t m = ms / 60'000;
+  ms %= 60'000;
+  const std::int64_t s = ms / 1000;
+  ms %= 1000;
+  if (d != 0) os << d << 'd';
+  if (h != 0) os << h << 'h';
+  if (m != 0) os << m << 'm';
+  if (s != 0) os << s << 's';
+  if (ms != 0) os << ms << "ms";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, TimePoint t) { return os << to_string(t); }
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << to_string(d); }
+
+}  // namespace botmeter

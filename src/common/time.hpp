@@ -1,0 +1,88 @@
+// Simulated time for the DNS/botnet substrate.
+//
+// The whole system runs on a discrete simulated clock with millisecond
+// resolution. `Duration` and `TimePoint` are distinct strong types so that
+// absolute instants and spans cannot be mixed up by accident; the usual
+// affine-space arithmetic is provided (point - point = duration,
+// point + duration = point, duration +/- duration = duration).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace botmeter {
+
+/// A span of simulated time, in milliseconds. May be negative (a gap
+/// computed between out-of-order events), though most APIs require
+/// non-negative values and say so.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ms) : ms_(ms) {}
+
+  [[nodiscard]] constexpr std::int64_t millis() const { return ms_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ms_) / 1000.0;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ms_ + o.ms_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ms_ - o.ms_}; }
+  constexpr Duration operator-() const { return Duration{-ms_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ms_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ms_ / k}; }
+  constexpr Duration& operator+=(Duration o) { ms_ += o.ms_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ms_ -= o.ms_; return *this; }
+
+  /// Integer division of two spans (how many `o` fit in `*this`).
+  [[nodiscard]] constexpr std::int64_t div(Duration o) const { return ms_ / o.ms_; }
+  /// Remainder of `*this` modulo `o` (sign follows the C++ `%` rules).
+  [[nodiscard]] constexpr Duration mod(Duration o) const { return Duration{ms_ % o.ms_}; }
+
+ private:
+  std::int64_t ms_ = 0;
+};
+
+constexpr Duration milliseconds(std::int64_t n) { return Duration{n}; }
+constexpr Duration seconds(std::int64_t n) { return Duration{n * 1000}; }
+constexpr Duration minutes(std::int64_t n) { return Duration{n * 60'000}; }
+constexpr Duration hours(std::int64_t n) { return Duration{n * 3'600'000}; }
+constexpr Duration days(std::int64_t n) { return Duration{n * 86'400'000}; }
+
+/// An absolute instant on the simulated clock, in milliseconds since the
+/// simulation origin (time zero).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t ms) : ms_(ms) {}
+
+  [[nodiscard]] constexpr std::int64_t millis() const { return ms_; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ms_ + d.millis()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ms_ - d.millis()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration{ms_ - o.ms_}; }
+  constexpr TimePoint& operator+=(Duration d) { ms_ += d.millis(); return *this; }
+
+ private:
+  std::int64_t ms_ = 0;
+};
+
+/// Truncate `t` downward to a multiple of `granularity` (used to model the
+/// coarse timestamp resolution of collected traces, e.g. the 1-second
+/// granularity of the paper's enterprise dataset).
+[[nodiscard]] TimePoint quantize(TimePoint t, Duration granularity);
+
+/// Render as "DdHH:MM:SS.mmm" for logs and test diagnostics.
+[[nodiscard]] std::string to_string(TimePoint t);
+/// Render as a human-readable span, e.g. "2h", "500ms", "1d4h".
+[[nodiscard]] std::string to_string(Duration d);
+
+std::ostream& operator<<(std::ostream& os, TimePoint t);
+std::ostream& operator<<(std::ostream& os, Duration d);
+
+}  // namespace botmeter

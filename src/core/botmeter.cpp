@@ -1,0 +1,133 @@
+#include "core/botmeter.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "estimators/observation.hpp"
+
+namespace botmeter::core {
+
+void BotMeterConfig::validate() const {
+  dga.validate();
+  ttl.validate();
+  if (detection_miss_rate < 0.0 || detection_miss_rate > 1.0) {
+    throw ConfigError("BotMeterConfig: detection_miss_rate must be in [0,1]");
+  }
+  if (assumed_miss_rate &&
+      (*assumed_miss_rate < 0.0 || *assumed_miss_rate >= 1.0)) {
+    throw ConfigError("BotMeterConfig: assumed_miss_rate must be in [0,1)");
+  }
+}
+
+double LandscapeReport::total_population() const {
+  double total = 0.0;
+  for (const ServerEstimate& s : servers) total += s.population;
+  return total;
+}
+
+BotMeter::BotMeter(BotMeterConfig config) : config_(std::move(config)) {
+  config_.validate();
+  pool_model_ = dga::make_pool_model(config_.dga);
+  matcher_ = std::make_unique<detect::DomainMatcher>(config_.dga.epoch);
+  if (!config_.estimator.empty()) {
+    (void)library_.get(config_.estimator);  // fail fast on unknown names
+  }
+}
+
+const estimators::Estimator& BotMeter::active_estimator() const {
+  return config_.estimator.empty() ? library_.recommended(config_.dga)
+                                   : library_.get(config_.estimator);
+}
+
+void BotMeter::prepare_epochs(std::int64_t first_epoch, std::int64_t epoch_count) {
+  if (epoch_count <= 0) throw ConfigError("prepare_epochs: epoch_count must be > 0");
+  Rng window_rng{mix64(config_.seed ^ static_cast<std::uint64_t>(first_epoch))};
+  for (std::int64_t e = first_epoch; e < first_epoch + epoch_count; ++e) {
+    if (std::binary_search(prepared_epochs_.begin(), prepared_epochs_.end(), e)) {
+      continue;
+    }
+    const dga::EpochPool& pool = pool_model_->epoch_pool(e);
+    detect::DetectionWindow window =
+        detect::make_detection_window(pool, config_.detection_miss_rate, window_rng);
+    matcher_->add_epoch(pool, window);
+    windows_.emplace_back(e, std::move(window));
+    prepared_epochs_.insert(
+        std::upper_bound(prepared_epochs_.begin(), prepared_epochs_.end(), e), e);
+  }
+}
+
+const detect::DetectionWindow& BotMeter::window_for_epoch(std::int64_t epoch) const {
+  for (const auto& [e, window] : windows_) {
+    if (e == epoch) return window;
+  }
+  throw ConfigError("window_for_epoch: epoch not prepared");
+}
+
+LandscapeReport BotMeter::analyze(std::span<const dns::ForwardedLookup> stream,
+                                  std::size_t server_count) const {
+  if (prepared_epochs_.empty()) {
+    throw ConfigError("BotMeter::analyze: no epochs prepared");
+  }
+  if (server_count == 0) {
+    throw ConfigError("BotMeter::analyze: server_count must be > 0");
+  }
+
+  const detect::MatchedStreams matched = matcher_->match(stream);
+  const estimators::Estimator& estimator = active_estimator();
+
+  LandscapeReport report;
+  report.estimator_name = std::string(estimator.name());
+  report.servers.reserve(server_count);
+
+  static const std::vector<detect::MatchedLookup> kEmpty;
+
+  for (std::uint32_t s = 0; s < server_count; ++s) {
+    ServerEstimate server_estimate;
+    server_estimate.server = dns::ServerId{s};
+
+    std::vector<estimators::EpochObservation> observations;
+    observations.reserve(prepared_epochs_.size());
+    for (std::int64_t e : prepared_epochs_) {
+      auto it = matched.find(detect::StreamKey{dns::ServerId{s}, e});
+      const std::vector<detect::MatchedLookup>& lookups =
+          (it != matched.end()) ? it->second : kEmpty;
+      server_estimate.matched_lookups += lookups.size();
+
+      estimators::EpochObservation obs;
+      obs.lookups = lookups;
+      obs.config = &config_.dga;
+      obs.pool = &pool_model_->epoch_pool(e);
+      obs.window = &window_for_epoch(e);
+      obs.ttl = config_.ttl;
+      obs.window_start = TimePoint{e * config_.dga.epoch.millis()};
+      obs.window_length = config_.dga.epoch;
+      obs.assumed_miss_rate = config_.assumed_miss_rate;
+      observations.push_back(std::move(obs));
+    }
+
+    double sum = 0.0, lo_sum = 0.0, hi_sum = 0.0;
+    bool all_intervals = true;
+    for (auto& obs : observations) {
+      const estimators::IntervalEstimate estimate =
+          estimator.estimate_with_interval(obs, 0.9);
+      server_estimate.per_epoch.emplace_back(obs.pool->epoch, estimate.value);
+      sum += estimate.value;
+      if (estimate.interval) {
+        lo_sum += estimate.interval->first;
+        hi_sum += estimate.interval->second;
+      } else {
+        all_intervals = false;
+      }
+    }
+    const auto epochs = static_cast<double>(observations.size());
+    server_estimate.population = sum / epochs;
+    if (all_intervals) {
+      server_estimate.interval90 = {lo_sum / epochs, hi_sum / epochs};
+    }
+    report.servers.push_back(std::move(server_estimate));
+  }
+  return report;
+}
+
+}  // namespace botmeter::core

@@ -1,0 +1,110 @@
+// The BotMeter pipeline (Fig. 2).
+//
+// Tap the border vantage point (1), describe the target DGA (2), match the
+// forwarded stream against the detection window (3), feed the matching
+// results (4) to the analytical model selected from the library (5) under
+// the analyst's parameter specification (6), and report the estimated bot
+// population behind every local DNS server (7) — the botnet landscape.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "detect/detection_window.hpp"
+#include "detect/matcher.hpp"
+#include "dga/config.hpp"
+#include "dga/pool.hpp"
+#include "dns/ids.hpp"
+#include "dns/record.hpp"
+#include "dns/vantage.hpp"
+#include "estimators/library.hpp"
+
+namespace botmeter::core {
+
+struct BotMeterConfig {
+  /// The target DGA family (step 2: algorithmic pattern / plain list source).
+  dga::DgaConfig dga;
+
+  /// Caching policy of the network's local servers (analyst knowledge).
+  dns::TtlPolicy ttl;
+
+  /// Fraction of pool NXDs the deployed D3 algorithm misses (§II-B). The
+  /// matcher can only recognise detected domains.
+  double detection_miss_rate = 0.0;
+
+  /// If set, estimators correct their statistics for the miss rate
+  /// (extension; leave unset for paper-faithful behaviour).
+  std::optional<double> assumed_miss_rate;
+
+  /// Estimator name from the model library; empty selects the paper's
+  /// recommendation for the family's barrel model.
+  std::string estimator;
+
+  /// Seed for the detection-window sampling.
+  std::uint64_t seed = 7;
+
+  void validate() const;
+};
+
+/// Estimated population behind one local DNS server.
+struct ServerEstimate {
+  dns::ServerId server;
+  double population = 0.0;  // mean over the prepared epochs
+  std::vector<std::pair<std::int64_t, double>> per_epoch;
+  std::uint64_t matched_lookups = 0;
+
+  /// 90% confidence band, present when the active estimator quantifies its
+  /// uncertainty in every prepared epoch (Poisson: exact chi-square rate
+  /// interval; Bernoulli: parametric bootstrap). Multi-epoch windows use the
+  /// mean of the per-epoch bounds — conservative, since epoch estimates are
+  /// close to independent.
+  std::optional<std::pair<double, double>> interval90;
+};
+
+/// The charted landscape (step 7).
+struct LandscapeReport {
+  std::string estimator_name;
+  std::vector<ServerEstimate> servers;  // sorted by server id
+
+  [[nodiscard]] double total_population() const;
+};
+
+class BotMeter {
+ public:
+  explicit BotMeter(BotMeterConfig config);
+
+  BotMeter(const BotMeter&) = delete;
+  BotMeter& operator=(const BotMeter&) = delete;
+
+  /// Build pools, detection windows, and the matcher index for epochs
+  /// [first_epoch, first_epoch + epoch_count). Must be called before
+  /// analyze(); may be called again to extend the window.
+  void prepare_epochs(std::int64_t first_epoch, std::int64_t epoch_count);
+
+  /// Chart the landscape from a vantage-point stream. `server_count` fixes
+  /// the report size so that servers with zero matched lookups still appear
+  /// (population 0 is a statement, not an omission).
+  [[nodiscard]] LandscapeReport analyze(
+      std::span<const dns::ForwardedLookup> stream,
+      std::size_t server_count) const;
+
+  [[nodiscard]] const dga::QueryPoolModel& pool_model() const { return *pool_model_; }
+  [[nodiscard]] const estimators::ModelLibrary& library() const { return library_; }
+  [[nodiscard]] const estimators::Estimator& active_estimator() const;
+  [[nodiscard]] const detect::DetectionWindow& window_for_epoch(
+      std::int64_t epoch) const;
+
+ private:
+  BotMeterConfig config_;
+  estimators::ModelLibrary library_;
+  std::unique_ptr<dga::QueryPoolModel> pool_model_;
+  std::unique_ptr<detect::DomainMatcher> matcher_;
+  std::vector<std::pair<std::int64_t, detect::DetectionWindow>> windows_;
+  std::vector<std::int64_t> prepared_epochs_;  // sorted
+};
+
+}  // namespace botmeter::core

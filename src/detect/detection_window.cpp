@@ -1,0 +1,38 @@
+#include "detect/detection_window.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace botmeter::detect {
+
+std::size_t DetectionWindow::detected_count() const {
+  return static_cast<std::size_t>(
+      std::count(detected.begin(), detected.end(), true));
+}
+
+DetectionWindow make_detection_window(const dga::EpochPool& pool,
+                                      double miss_rate, Rng& rng) {
+  if (miss_rate < 0.0 || miss_rate > 1.0) {
+    throw ConfigError("make_detection_window: miss_rate must be in [0,1]");
+  }
+  DetectionWindow window;
+  window.epoch = pool.epoch;
+  window.miss_rate = miss_rate;
+  window.detected.assign(pool.size(), true);
+  for (std::uint32_t pos = 0; pos < pool.size(); ++pos) {
+    if (pool.is_valid_position(pos)) continue;  // confirmed C2 always known
+    if (rng.bernoulli(miss_rate)) window.detected[pos] = false;
+  }
+  return window;
+}
+
+DetectionWindow perfect_detection(const dga::EpochPool& pool) {
+  DetectionWindow window;
+  window.epoch = pool.epoch;
+  window.miss_rate = 0.0;
+  window.detected.assign(pool.size(), true);
+  return window;
+}
+
+}  // namespace botmeter::detect

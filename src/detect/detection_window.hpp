@@ -1,0 +1,39 @@
+// The D3 (DGA-domain detection) window model (§II-B, Fig. 6(e)).
+//
+// A perfect detector would know every domain in the pool. Real detectors —
+// reverse-engineered generators, NXD clustering, lexical classifiers — miss
+// a fraction. We model the window as the pool minus a uniformly random x%
+// of its NXDs; confirmed C2 (valid) domains are always known, since they are
+// what incident responders sinkhole first.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dga/pool.hpp"
+
+namespace botmeter::detect {
+
+struct DetectionWindow {
+  std::int64_t epoch = 0;
+  double miss_rate = 0.0;        // fraction of NXDs unknown to the detector
+  std::vector<bool> detected;    // per pool position
+
+  [[nodiscard]] bool covers(std::uint32_t pool_position) const {
+    return pool_position < detected.size() && detected[pool_position];
+  }
+  [[nodiscard]] std::size_t detected_count() const;
+};
+
+/// Build a window over `pool` that misses each NXD independently with
+/// probability `miss_rate` in [0, 1]. Valid positions are always covered.
+[[nodiscard]] DetectionWindow make_detection_window(const dga::EpochPool& pool,
+                                                    double miss_rate, Rng& rng);
+
+/// The perfect detector (miss_rate = 0) used by the synthetic benches unless
+/// Fig. 6(e) varies coverage.
+[[nodiscard]] DetectionWindow perfect_detection(const dga::EpochPool& pool);
+
+}  // namespace botmeter::detect

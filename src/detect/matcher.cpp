@@ -1,0 +1,110 @@
+#include "detect/matcher.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace botmeter::detect {
+
+DomainMatcher::DomainMatcher(Duration epoch_length)
+    : epoch_length_(epoch_length) {
+  if (epoch_length.millis() <= 0) {
+    throw ConfigError("DomainMatcher: epoch length must be positive");
+  }
+}
+
+void DomainMatcher::add_epoch(const dga::EpochPool& pool,
+                              const DetectionWindow& window) {
+  if (window.epoch != pool.epoch) {
+    throw ConfigError("DomainMatcher: detection window epoch mismatch");
+  }
+  if (window.detected.size() != pool.domains.size()) {
+    throw ConfigError("DomainMatcher: detection window size mismatch");
+  }
+  for (std::uint32_t pos = 0; pos < pool.size(); ++pos) {
+    if (!window.detected[pos]) continue;
+    index_[pool.domains[pos]].push_back(
+        Occurrence{pool.epoch, pos, pool.is_valid_position(pos)});
+    ++index_size_;
+  }
+}
+
+MatchedStreams DomainMatcher::match(
+    std::span<const dns::ForwardedLookup> stream) const {
+  MatchedStreams out;
+  for (const dns::ForwardedLookup& lookup : stream) {
+    auto it = index_.find(lookup.domain);
+    if (it == index_.end()) continue;
+    const std::vector<Occurrence>& occurrences = it->second;
+
+    // Attribute the lookup to the pool epoch containing its timestamp when
+    // possible; otherwise to the closest registered epoch (a lookup train
+    // that spilled past an epoch boundary, or a sliding-window domain
+    // observed outside its generation day).
+    const std::int64_t nominal =
+        lookup.timestamp.millis() >= 0
+            ? lookup.timestamp.millis() / epoch_length_.millis()
+            : (lookup.timestamp.millis() - epoch_length_.millis() + 1) /
+                  epoch_length_.millis();
+    const Occurrence* best = &occurrences.front();
+    std::int64_t best_distance =
+        std::abs(best->epoch - nominal);
+    for (const Occurrence& occ : occurrences) {
+      const std::int64_t distance = std::abs(occ.epoch - nominal);
+      if (distance < best_distance) {
+        best = &occ;
+        best_distance = distance;
+      }
+    }
+
+    out[StreamKey{lookup.forwarder, best->epoch}].push_back(
+        MatchedLookup{lookup.timestamp, best->pool_position, best->is_valid});
+  }
+  for (auto& [key, lookups] : out) {
+    std::sort(lookups.begin(), lookups.end(),
+              [](const MatchedLookup& a, const MatchedLookup& b) {
+                if (a.t != b.t) return a.t < b.t;
+                return a.pool_position < b.pool_position;
+              });
+  }
+  return out;
+}
+
+AlgorithmicPattern::AlgorithmicPattern(std::size_t min_label_len,
+                                       std::size_t max_label_len,
+                                       std::vector<std::string> tlds)
+    : min_label_len_(min_label_len),
+      max_label_len_(max_label_len),
+      tlds_(std::move(tlds)) {
+  if (min_label_len_ == 0 || max_label_len_ < min_label_len_) {
+    throw ConfigError("AlgorithmicPattern: invalid label length bounds");
+  }
+  for (const auto& tld : tlds_) {
+    if (tld.empty() || tld.front() != '.') {
+      throw ConfigError("AlgorithmicPattern: TLDs must start with '.'");
+    }
+  }
+}
+
+bool AlgorithmicPattern::matches(std::string_view domain) const {
+  // Find a TLD suffix first.
+  const std::string* tld = nullptr;
+  for (const auto& candidate : tlds_) {
+    if (domain.size() > candidate.size() &&
+        domain.substr(domain.size() - candidate.size()) == candidate) {
+      tld = &candidate;
+      break;
+    }
+  }
+  if (tld == nullptr) return false;
+  const std::string_view label = domain.substr(0, domain.size() - tld->size());
+  if (label.size() < min_label_len_ || label.size() > max_label_len_) return false;
+  // DGA labels here are a single flat label of [a-z0-9] starting with a letter.
+  if (label.find('.') != std::string_view::npos) return false;
+  if (!(label.front() >= 'a' && label.front() <= 'z')) return false;
+  return std::all_of(label.begin(), label.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+  });
+}
+
+}  // namespace botmeter::detect

@@ -1,0 +1,97 @@
+// The DGA-domain matcher (architecture step 3 of Fig. 2).
+//
+// The matcher consumes the vantage-point stream and keeps the lookups whose
+// domain falls inside a registered detection window, grouping them by
+// (forwarding server, pool epoch) — exactly the matching results handed to
+// the analytical models in step 4. Domains may be registered from plain
+// lists (detection windows over known pools) or recognised structurally via
+// `AlgorithmicPattern` (§ "algorithmic patterns (or plain lists)").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "detect/detection_window.hpp"
+#include "dga/pool.hpp"
+#include "dns/ids.hpp"
+#include "dns/vantage.hpp"
+
+namespace botmeter::detect {
+
+/// One matched, cache-filtered lookup. `pool_position` indexes the epoch's
+/// pool; `is_valid_domain` says whether that position is registered C2.
+struct MatchedLookup {
+  TimePoint t;
+  std::uint32_t pool_position = 0;
+  bool is_valid_domain = false;
+
+  friend bool operator==(const MatchedLookup&, const MatchedLookup&) = default;
+};
+
+/// Grouping key for matched streams.
+struct StreamKey {
+  dns::ServerId server;
+  std::int64_t epoch = 0;
+
+  friend auto operator<=>(const StreamKey&, const StreamKey&) = default;
+};
+
+/// Matched lookups per (server, epoch), each stream sorted by timestamp.
+using MatchedStreams = std::map<StreamKey, std::vector<MatchedLookup>>;
+
+class DomainMatcher {
+ public:
+  /// `epoch_length` maps timestamps to nominal epochs when a domain string
+  /// belongs to several epochs' pools (sliding-window families).
+  explicit DomainMatcher(Duration epoch_length);
+
+  /// Register one epoch's pool and its detection window. Only detected
+  /// positions become matchable.
+  void add_epoch(const dga::EpochPool& pool, const DetectionWindow& window);
+
+  /// Match a vantage-point stream. Unmatched lookups (benign traffic,
+  /// missed NXDs) are dropped; `unmatched_count()` reports how many.
+  [[nodiscard]] MatchedStreams match(
+      std::span<const dns::ForwardedLookup> stream) const;
+
+  [[nodiscard]] std::uint64_t matchable_domain_count() const {
+    return index_size_;
+  }
+
+ private:
+  struct Occurrence {
+    std::int64_t epoch;
+    std::uint32_t pool_position;
+    bool is_valid;
+  };
+
+  Duration epoch_length_;
+  std::unordered_map<std::string, std::vector<Occurrence>> index_;
+  std::uint64_t index_size_ = 0;
+};
+
+/// Structural recognition of a DGA family's output: length bounds, allowed
+/// label characters, and candidate TLDs. This is the "algorithmic pattern"
+/// entry path of the BotMeter configuration interface; it cannot tell two
+/// families with the same shape apart, so the pipeline prefers plain lists
+/// when a generator is available.
+class AlgorithmicPattern {
+ public:
+  AlgorithmicPattern(std::size_t min_label_len, std::size_t max_label_len,
+                     std::vector<std::string> tlds);
+
+  [[nodiscard]] bool matches(std::string_view domain) const;
+
+ private:
+  std::size_t min_label_len_;
+  std::size_t max_label_len_;
+  std::vector<std::string> tlds_;
+};
+
+}  // namespace botmeter::detect

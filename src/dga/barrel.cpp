@@ -1,0 +1,66 @@
+#include "dga/barrel.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+
+#include "common/error.hpp"
+
+namespace botmeter::dga {
+
+std::vector<std::uint32_t> make_barrel(const DgaConfig& config,
+                                       const EpochPool& pool, Rng& bot_rng) {
+  const std::uint32_t pool_size = pool.size();
+  if (pool_size == 0) throw ConfigError("make_barrel: empty pool");
+  const std::uint32_t k = std::min(config.barrel_size, pool_size);
+
+  std::vector<std::uint32_t> barrel;
+  barrel.reserve(k);
+
+  switch (config.taxonomy.barrel) {
+    case BarrelModel::kUniform: {
+      for (std::uint32_t i = 0; i < k; ++i) barrel.push_back(i);
+      break;
+    }
+    case BarrelModel::kSampling: {
+      auto picks = bot_rng.sample_without_replacement(pool_size, k);
+      for (auto p : picks) barrel.push_back(static_cast<std::uint32_t>(p));
+      break;
+    }
+    case BarrelModel::kRandomCut: {
+      const auto start = static_cast<std::uint32_t>(bot_rng.uniform(pool_size));
+      for (std::uint32_t i = 0; i < k; ++i) {
+        barrel.push_back((start + i) % pool_size);
+      }
+      break;
+    }
+    case BarrelModel::kPermutation: {
+      std::vector<std::uint32_t> all(pool_size);
+      std::iota(all.begin(), all.end(), 0U);
+      bot_rng.shuffle(std::span<std::uint32_t>{all});
+      all.resize(k);
+      barrel = std::move(all);
+      break;
+    }
+    case BarrelModel::kCoordinatedCut: {
+      // Evasive extension: the epoch's base start is derived from the shared
+      // DGA state (seed + epoch), so every bot lands on (nearly) the same
+      // cut; the per-bot jitter keeps a sliver of individual variation
+      // without expanding the population's collective footprint.
+      const auto base = static_cast<std::uint32_t>(
+          mix64(config.seed ^ mix64(static_cast<std::uint64_t>(pool.epoch) +
+                                    0xC0DECA71ULL)) %
+          pool_size);
+      const std::uint32_t jitter_span = std::max(1u, k / 16);
+      const auto offset =
+          static_cast<std::uint32_t>(bot_rng.uniform(jitter_span));
+      for (std::uint32_t i = 0; i < k; ++i) {
+        barrel.push_back((base + offset + i) % pool_size);
+      }
+      break;
+    }
+  }
+  return barrel;
+}
+
+}  // namespace botmeter::dga

@@ -1,0 +1,35 @@
+// Query-barrel models (§III-B).
+//
+// A barrel is the ordered list of pool positions one bot will attempt during
+// one activation. The four models trade determinism (easy coordination,
+// easy detection) against randomness (detection resilience, lower C2 hit
+// rate) — the vertical axis of Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dga/config.hpp"
+#include "dga/pool.hpp"
+
+namespace botmeter::dga {
+
+/// Build the barrel one bot draws for one activation over `pool`.
+/// `bot_rng` is the bot's private stream — two bots (or two activations of
+/// the same bot where the model says so) draw independently.
+///
+///  - kUniform:     positions 0..min(theta_q, pool)-1 in pool order; every
+///                  bot's barrel is identical (the caching-collision problem
+///                  that motivates the Poisson estimator).
+///  - kSampling:    theta_q positions sampled without replacement
+///                  (Conficker.C: 500 of 50K).
+///  - kRandomCut:   a uniformly random start, then theta_q consecutive
+///                  positions modulo the pool size (newGoZ: 500 of 10K).
+///  - kPermutation: the full pool in a fresh random order, truncated to
+///                  theta_q (Necurs).
+[[nodiscard]] std::vector<std::uint32_t> make_barrel(const DgaConfig& config,
+                                                     const EpochPool& pool,
+                                                     Rng& bot_rng);
+
+}  // namespace botmeter::dga

@@ -1,0 +1,34 @@
+#include "dga/config.hpp"
+
+#include "common/error.hpp"
+
+namespace botmeter::dga {
+
+void DgaConfig::validate() const {
+  if (name.empty()) throw ConfigError("DgaConfig: name must be set");
+  if (pool_size() == 0) throw ConfigError("DgaConfig: empty query pool");
+  if (valid_count == 0) {
+    throw ConfigError("DgaConfig: at least one registered domain required");
+  }
+  if (barrel_size == 0) throw ConfigError("DgaConfig: barrel_size must be > 0");
+  if (barrel_size > pool_size() &&
+      taxonomy.pool == PoolModel::kDrainReplenish) {
+    throw ConfigError("DgaConfig: barrel larger than pool");
+  }
+  if (query_interval.millis() < 0) {
+    throw ConfigError("DgaConfig: negative query interval");
+  }
+  if (query_interval.millis() == 0 &&
+      (jitter_min.millis() <= 0 || jitter_max < jitter_min)) {
+    throw ConfigError("DgaConfig: invalid jitter range for interval-free family");
+  }
+  if (epoch.millis() <= 0) throw ConfigError("DgaConfig: epoch must be positive");
+  if (taxonomy.pool == PoolModel::kSlidingWindow && fresh_per_day == 0) {
+    throw ConfigError("DgaConfig: sliding-window pool needs fresh_per_day > 0");
+  }
+  if (taxonomy.pool == PoolModel::kMultipleMixture && noise_pool_size == 0) {
+    throw ConfigError("DgaConfig: multiple-mixture pool needs noise_pool_size > 0");
+  }
+}
+
+}  // namespace botmeter::dga

@@ -1,0 +1,107 @@
+#include "dga/config_io.hpp"
+
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace botmeter::dga {
+
+namespace {
+
+PoolModel pool_model_from_name(const std::string& name) {
+  for (PoolModel m : kAllPoolModels) {
+    if (name == to_string(m)) return m;
+  }
+  throw ConfigError("config: unknown pool_model '" + name +
+                    "' (expected drain-and-replenish, sliding-window, or "
+                    "multiple-mixture)");
+}
+
+BarrelModel barrel_model_from_name(const std::string& name) {
+  for (BarrelModel m : kAllBarrelModels) {
+    if (name == to_string(m)) return m;
+  }
+  if (name == to_string(BarrelModel::kCoordinatedCut)) {
+    return BarrelModel::kCoordinatedCut;
+  }
+  throw ConfigError("config: unknown barrel_model '" + name +
+                    "' (expected uniform, sampling, randomcut, permutation, "
+                    "or coordinatedcut)");
+}
+
+std::uint32_t uint_field(const json::Value& object, const std::string& key) {
+  const std::int64_t v = object.at(key).as_int();
+  if (v < 0 || v > UINT32_MAX) {
+    throw ConfigError("config: " + key + " out of range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+DgaConfig config_from_json(const json::Value& value) {
+  const json::Object& object = value.as_object();
+
+  static const std::set<std::string> kKnownKeys{
+      "name",           "pool_model",        "barrel_model",
+      "nxd_count",      "valid_count",       "barrel_size",
+      "query_interval_ms", "jitter_min_ms",  "jitter_max_ms",
+      "epoch_hours",    "stop_on_hit",       "fresh_per_day",
+      "window_back_days", "window_forward_days", "noise_pool_size",
+      "seed"};
+  for (const auto& [key, unused] : object) {
+    if (!kKnownKeys.contains(key)) {
+      throw ConfigError("config: unknown key '" + key + "'");
+    }
+  }
+
+  DgaConfig config;
+  config.name = value.at("name").as_string();
+  config.taxonomy.pool =
+      pool_model_from_name(value.at("pool_model").as_string());
+  config.taxonomy.barrel =
+      barrel_model_from_name(value.at("barrel_model").as_string());
+  config.nxd_count = uint_field(value, "nxd_count");
+  config.valid_count = uint_field(value, "valid_count");
+  config.barrel_size = uint_field(value, "barrel_size");
+  config.query_interval =
+      milliseconds(value.at("query_interval_ms").as_int());
+
+  if (const json::Value* v = value.find("jitter_min_ms")) {
+    config.jitter_min = milliseconds(v->as_int());
+  }
+  if (const json::Value* v = value.find("jitter_max_ms")) {
+    config.jitter_max = milliseconds(v->as_int());
+  }
+  if (const json::Value* v = value.find("epoch_hours")) {
+    config.epoch = hours(v->as_int());
+  }
+  if (const json::Value* v = value.find("stop_on_hit")) {
+    config.stop_on_hit = v->as_bool();
+  }
+  if (const json::Value* v = value.find("fresh_per_day")) {
+    config.fresh_per_day = static_cast<std::uint32_t>(v->as_int());
+  }
+  if (const json::Value* v = value.find("window_back_days")) {
+    config.window_back_days = static_cast<std::uint32_t>(v->as_int());
+  }
+  if (const json::Value* v = value.find("window_forward_days")) {
+    config.window_forward_days = static_cast<std::uint32_t>(v->as_int());
+  }
+  if (const json::Value* v = value.find("noise_pool_size")) {
+    config.noise_pool_size = static_cast<std::uint32_t>(v->as_int());
+  }
+  if (const json::Value* v = value.find("seed")) {
+    config.seed = static_cast<std::uint64_t>(v->as_int());
+  }
+
+  config.validate();
+  return config;
+}
+
+DgaConfig config_from_json_text(std::string_view text) {
+  return config_from_json(json::parse(text));
+}
+
+}  // namespace botmeter::dga

@@ -1,0 +1,36 @@
+// JSON (de)serialisation of DGA family configurations.
+//
+// Lets operators describe a newly reverse-engineered family in a config file
+// and run the tools against it without recompiling:
+//
+//   {
+//     "name": "MyDga",
+//     "pool_model": "drain-and-replenish",
+//     "barrel_model": "randomcut",
+//     "nxd_count": 9995,
+//     "valid_count": 5,
+//     "barrel_size": 500,
+//     "query_interval_ms": 1000
+//   }
+//
+// Optional keys: jitter_min_ms / jitter_max_ms (for interval-free families),
+// epoch_hours (default 24), stop_on_hit (default true), fresh_per_day /
+// window_back_days / window_forward_days (sliding-window pools),
+// noise_pool_size (multiple-mixture pools), seed. Unknown keys are an error
+// — typos must not silently fall back to defaults.
+#pragma once
+
+#include <string_view>
+
+#include "common/json.hpp"
+#include "dga/config.hpp"
+
+namespace botmeter::dga {
+
+/// Build a validated DgaConfig from a parsed JSON object.
+[[nodiscard]] DgaConfig config_from_json(const json::Value& value);
+
+/// Convenience: parse `text` as JSON, then build the config.
+[[nodiscard]] DgaConfig config_from_json_text(std::string_view text);
+
+}  // namespace botmeter::dga

@@ -1,0 +1,46 @@
+#include "dga/domain_gen.hpp"
+
+#include <array>
+
+#include "common/rng.hpp"
+
+namespace botmeter::dga {
+
+namespace {
+
+constexpr std::array<const char*, 6> kTlds = {".com", ".net",  ".org",
+                                              ".biz", ".info", ".ru"};
+
+constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+constexpr std::uint64_t kAlphabetSize = sizeof(kAlphabet) - 1;
+
+}  // namespace
+
+std::string domain_name(std::uint64_t seed, std::int64_t day,
+                        std::uint32_t index) {
+  // Derive a private stream for the triple; two mixing rounds decorrelate
+  // neighbouring (day, index) pairs.
+  std::uint64_t state =
+      mix64(seed ^ mix64(static_cast<std::uint64_t>(day) * 0x9E3779B97F4A7C15ULL) ^
+            (static_cast<std::uint64_t>(index) << 32 | index));
+  const std::uint64_t len = 8 + splitmix64(state) % 12;  // 8..19 chars
+  std::string name;
+  name.reserve(len + 5);
+  // First character must be a letter so the name is a plausible hostname.
+  name.push_back(kAlphabet[splitmix64(state) % 26]);
+  for (std::uint64_t i = 1; i < len; ++i) {
+    name.push_back(kAlphabet[splitmix64(state) % kAlphabetSize]);
+  }
+  name += kTlds[splitmix64(state) % kTlds.size()];
+  return name;
+}
+
+std::string benign_domain(std::uint64_t k) {
+  std::uint64_t state = mix64(k ^ 0xBEEF0000BEEFULL);
+  const std::uint64_t host = splitmix64(state) % 4096;
+  const std::uint64_t site = splitmix64(state) % 64;
+  return "host" + std::to_string(host) + ".corp" + std::to_string(site) +
+         ".example";
+}
+
+}  // namespace botmeter::dga

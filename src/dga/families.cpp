@@ -1,0 +1,200 @@
+#include "dga/families.hpp"
+
+#include <array>
+#include <functional>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace botmeter::dga {
+
+DgaConfig murofet_config() {
+  DgaConfig c;
+  c.name = "Murofet";
+  c.taxonomy = {PoolModel::kDrainReplenish, BarrelModel::kUniform};
+  c.nxd_count = 798;
+  c.valid_count = 2;
+  c.barrel_size = 798;
+  c.query_interval = milliseconds(500);
+  c.seed = 0x4D55524FULL;  // "MURO"
+  return c;
+}
+
+DgaConfig conficker_c_config() {
+  DgaConfig c;
+  c.name = "Conficker.C";
+  c.taxonomy = {PoolModel::kDrainReplenish, BarrelModel::kSampling};
+  c.nxd_count = 49995;
+  c.valid_count = 5;
+  c.barrel_size = 500;
+  c.query_interval = seconds(1);
+  c.seed = 0x434F4E46ULL;  // "CONF"
+  return c;
+}
+
+DgaConfig newgoz_config() {
+  DgaConfig c;
+  c.name = "newGoZ";
+  c.taxonomy = {PoolModel::kDrainReplenish, BarrelModel::kRandomCut};
+  c.nxd_count = 9995;
+  c.valid_count = 5;
+  c.barrel_size = 500;
+  c.query_interval = seconds(1);
+  c.seed = 0x474F5A32ULL;  // "GOZ2"
+  return c;
+}
+
+DgaConfig necurs_config() {
+  DgaConfig c;
+  c.name = "Necurs";
+  c.taxonomy = {PoolModel::kDrainReplenish, BarrelModel::kPermutation};
+  c.nxd_count = 2046;
+  c.valid_count = 2;
+  c.barrel_size = 2046;
+  c.query_interval = milliseconds(500);
+  c.seed = 0x4E454355ULL;  // "NECU"
+  return c;
+}
+
+DgaConfig ranbyus_config() {
+  DgaConfig c;
+  c.name = "Ranbyus";
+  c.taxonomy = {PoolModel::kSlidingWindow, BarrelModel::kUniform};
+  c.fresh_per_day = 40;
+  c.window_back_days = 30;
+  c.window_forward_days = 0;
+  // Pool of 40 * 31 = 1240 domains (§III-A), a few registered.
+  c.valid_count = 2;
+  c.nxd_count = 40 * 31 - 2;
+  c.barrel_size = 40 * 31;
+  c.query_interval = milliseconds(500);
+  c.seed = 0x52414E42ULL;  // "RANB"
+  return c;
+}
+
+DgaConfig pushdo_config() {
+  DgaConfig c;
+  c.name = "PushDo";
+  c.taxonomy = {PoolModel::kSlidingWindow, BarrelModel::kUniform};
+  c.fresh_per_day = 30;
+  c.window_back_days = 30;
+  c.window_forward_days = 15;
+  // Pool of 30 * 46 = 1380 domains (§III-A).
+  c.valid_count = 2;
+  c.nxd_count = 30 * 46 - 2;
+  c.barrel_size = 30 * 46;
+  c.query_interval = milliseconds(500);
+  c.seed = 0x50555348ULL;  // "PUSH"
+  return c;
+}
+
+DgaConfig pykspa_config() {
+  DgaConfig c;
+  c.name = "Pykspa";
+  c.taxonomy = {PoolModel::kMultipleMixture, BarrelModel::kUniform};
+  // 200 useful domains alongside a 16K decoy pool (§III-A).
+  c.valid_count = 2;
+  c.nxd_count = 198;
+  c.noise_pool_size = 16'000;
+  c.barrel_size = 200 + 16'000;
+  c.query_interval = milliseconds(500);
+  c.seed = 0x50594B53ULL;  // "PYKS"
+  return c;
+}
+
+DgaConfig ramnit_config() {
+  DgaConfig c;
+  c.name = "Ramnit";
+  c.taxonomy = {PoolModel::kDrainReplenish, BarrelModel::kUniform};
+  // Table II: no fixed query interval. Pool size is a representative public
+  // value (Ramnit derives ~300 domains per seed round).
+  c.nxd_count = 298;
+  c.valid_count = 2;
+  c.barrel_size = 300;
+  c.query_interval = milliseconds(0);  // "none": jittered gaps
+  c.seed = 0x52414D4EULL;  // "RAMN"
+  return c;
+}
+
+DgaConfig qakbot_config() {
+  DgaConfig c;
+  c.name = "Qakbot";
+  c.taxonomy = {PoolModel::kDrainReplenish, BarrelModel::kUniform};
+  // Table II: no fixed query interval. Representative daily slice of
+  // Qakbot's 5K-per-cycle pool.
+  c.nxd_count = 495;
+  c.valid_count = 5;
+  c.barrel_size = 500;
+  c.query_interval = milliseconds(0);  // "none": jittered gaps
+  c.seed = 0x51414B42ULL;  // "QAKB"
+  return c;
+}
+
+DgaConfig srizbi_config() {
+  DgaConfig c;
+  c.name = "Srizbi";
+  c.taxonomy = {PoolModel::kDrainReplenish, BarrelModel::kUniform};
+  // Representative: Srizbi's generator yields a small daily pool.
+  c.nxd_count = 998;
+  c.valid_count = 2;
+  c.barrel_size = 1000;
+  c.query_interval = milliseconds(500);
+  c.seed = 0x53525A42ULL;  // "SRZB"
+  return c;
+}
+
+DgaConfig torpig_config() {
+  DgaConfig c;
+  c.name = "Torpig";
+  c.taxonomy = {PoolModel::kDrainReplenish, BarrelModel::kUniform};
+  // Representative: Torpig's daily domain set is small.
+  c.nxd_count = 498;
+  c.valid_count = 2;
+  c.barrel_size = 500;
+  c.query_interval = milliseconds(500);
+  c.seed = 0x544F5250ULL;  // "TORP"
+  return c;
+}
+
+DgaConfig evasive_variant(DgaConfig base) {
+  base.taxonomy.barrel = BarrelModel::kCoordinatedCut;
+  base.name += "-evasive";
+  return base;
+}
+
+namespace {
+using Factory = DgaConfig (*)();
+struct NamedFactory {
+  std::string_view name;
+  Factory make;
+};
+constexpr std::array<NamedFactory, 11> kRegistry = {{
+    {"Murofet", &murofet_config},
+    {"Conficker.C", &conficker_c_config},
+    {"newGoZ", &newgoz_config},
+    {"Necurs", &necurs_config},
+    {"Ranbyus", &ranbyus_config},
+    {"PushDo", &pushdo_config},
+    {"Pykspa", &pykspa_config},
+    {"Ramnit", &ramnit_config},
+    {"Qakbot", &qakbot_config},
+    {"Srizbi", &srizbi_config},
+    {"Torpig", &torpig_config},
+}};
+}  // namespace
+
+DgaConfig family_config(std::string_view name) {
+  for (const auto& entry : kRegistry) {
+    if (entry.name == name) return entry.make();
+  }
+  throw ConfigError("family_config: unknown DGA family '" + std::string(name) + "'");
+}
+
+std::vector<std::string_view> family_names() {
+  std::vector<std::string_view> names;
+  names.reserve(kRegistry.size());
+  for (const auto& entry : kRegistry) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace botmeter::dga

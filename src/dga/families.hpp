@@ -1,0 +1,49 @@
+// Registry of concrete DGA families.
+//
+// The four Table I prototypes carry the paper's exact parameters (theta_0,
+// theta_E, theta_q, delta_i). The remaining families are parameterised from
+// the descriptions in §III and §V-B; where the paper gives no number we use
+// a representative public value and say so in DESIGN.md.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "dga/config.hpp"
+
+namespace botmeter::dga {
+
+/// Table I prototypes (exact paper parameters).
+[[nodiscard]] DgaConfig murofet_config();      // A_U: 798 / 2 / 798, 500 ms
+[[nodiscard]] DgaConfig conficker_c_config();  // A_S: 49995 / 5 / 500, 1 s
+[[nodiscard]] DgaConfig newgoz_config();       // A_R: 9995 / 5 / 500, 1 s
+[[nodiscard]] DgaConfig necurs_config();       // A_P: 2046 / 2 / 2046, 500 ms
+
+/// Sliding-window families (§III-A).
+[[nodiscard]] DgaConfig ranbyus_config();  // 40/day, past 30 days => 1240
+[[nodiscard]] DgaConfig pushdo_config();   // 30/day, -30..+15 days => 1380
+
+/// Multiple-mixture family (§III-A).
+[[nodiscard]] DgaConfig pykspa_config();  // 200 useful + 16K noisy
+
+/// Additional uniform-barrel families used in the real-trace evaluation
+/// (§V-B; "none" query interval in Table II) and in Fig. 3.
+[[nodiscard]] DgaConfig ramnit_config();
+[[nodiscard]] DgaConfig qakbot_config();
+[[nodiscard]] DgaConfig srizbi_config();
+[[nodiscard]] DgaConfig torpig_config();
+
+/// The coordinated-cut evasive variant of a family (paper future-work #3):
+/// same pool, same parameters, but all bots share an epoch-derived cut so
+/// the population's collective DNS footprint mimics one bot. The name gains
+/// an "-evasive" suffix.
+[[nodiscard]] DgaConfig evasive_variant(DgaConfig base);
+
+/// Look up a family by (case-sensitive) name; throws ConfigError for an
+/// unknown name.
+[[nodiscard]] DgaConfig family_config(std::string_view name);
+
+/// Names of every registered family.
+[[nodiscard]] std::vector<std::string_view> family_names();
+
+}  // namespace botmeter::dga

@@ -1,0 +1,168 @@
+#include "dga/pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dga/domain_gen.hpp"
+
+namespace botmeter::dga {
+
+namespace {
+
+/// Deterministic per-epoch RNG for the botmaster's choices (which positions
+/// to register). Shared-seed property of §III: bots could recompute this.
+Rng epoch_rng(const DgaConfig& config, std::int64_t epoch) {
+  return Rng{mix64(config.seed ^ mix64(static_cast<std::uint64_t>(epoch)))};
+}
+
+std::vector<std::uint32_t> sample_valid_positions(std::uint32_t pool_size,
+                                                  std::uint32_t valid_count,
+                                                  Rng& rng) {
+  auto picks = rng.sample_without_replacement(pool_size, valid_count);
+  std::vector<std::uint32_t> positions;
+  positions.reserve(picks.size());
+  for (auto p : picks) positions.push_back(static_cast<std::uint32_t>(p));
+  std::sort(positions.begin(), positions.end());
+  return positions;
+}
+
+}  // namespace
+
+bool EpochPool::is_valid_position(std::uint32_t pos) const {
+  return std::binary_search(valid_positions.begin(), valid_positions.end(), pos);
+}
+
+QueryPoolModel::QueryPoolModel(DgaConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+const EpochPool& QueryPoolModel::epoch_pool(std::int64_t epoch) {
+  for (const auto& [key, pool] : cache_) {
+    if (key == epoch) return *pool;
+  }
+  auto pool = std::make_unique<EpochPool>(build(epoch));
+  const EpochPool& ref = *pool;
+  cache_.emplace_back(epoch, std::move(pool));
+  return ref;
+}
+
+// ---------------------------------------------------------------- drain
+
+DrainReplenishPool::DrainReplenishPool(DgaConfig config)
+    : QueryPoolModel(std::move(config)) {
+  if (config_.taxonomy.pool != PoolModel::kDrainReplenish) {
+    throw ConfigError("DrainReplenishPool: config declares a different pool model");
+  }
+}
+
+EpochPool DrainReplenishPool::build(std::int64_t epoch) const {
+  EpochPool pool;
+  pool.epoch = epoch;
+  const std::uint32_t n = config_.pool_size();
+  pool.domains.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    pool.domains.push_back(domain_name(config_.seed, epoch, i));
+  }
+  Rng rng = epoch_rng(config_, epoch);
+  pool.valid_positions = sample_valid_positions(n, config_.valid_count, rng);
+  return pool;
+}
+
+// -------------------------------------------------------------- sliding
+
+SlidingWindowPool::SlidingWindowPool(DgaConfig config)
+    : QueryPoolModel(std::move(config)) {
+  if (config_.taxonomy.pool != PoolModel::kSlidingWindow) {
+    throw ConfigError("SlidingWindowPool: config declares a different pool model");
+  }
+  const std::uint64_t window_days = static_cast<std::uint64_t>(config_.window_back_days) +
+                                    config_.window_forward_days + 1;
+  if (window_days * config_.fresh_per_day != config_.pool_size()) {
+    throw ConfigError(
+        "SlidingWindowPool: nxd_count + valid_count must equal "
+        "fresh_per_day * (window_back_days + window_forward_days + 1)");
+  }
+}
+
+EpochPool SlidingWindowPool::build(std::int64_t epoch) const {
+  EpochPool pool;
+  pool.epoch = epoch;
+  pool.domains.reserve(config_.pool_size());
+  // Batches in day order, oldest first; this is the canonical pool order.
+  const std::int64_t first = epoch - config_.window_back_days;
+  const std::int64_t last = epoch + config_.window_forward_days;
+  for (std::int64_t day = first; day <= last; ++day) {
+    for (std::uint32_t i = 0; i < config_.fresh_per_day; ++i) {
+      pool.domains.push_back(domain_name(config_.seed, day, i));
+    }
+  }
+  Rng rng = epoch_rng(config_, epoch);
+  pool.valid_positions =
+      sample_valid_positions(pool.size(), config_.valid_count, rng);
+  return pool;
+}
+
+// -------------------------------------------------------------- mixture
+
+MultipleMixturePool::MultipleMixturePool(DgaConfig config)
+    : QueryPoolModel(std::move(config)) {
+  if (config_.taxonomy.pool != PoolModel::kMultipleMixture) {
+    throw ConfigError("MultipleMixturePool: config declares a different pool model");
+  }
+}
+
+EpochPool MultipleMixturePool::build(std::int64_t epoch) const {
+  EpochPool pool;
+  pool.epoch = epoch;
+  const std::uint32_t useful = config_.pool_size();
+  const std::uint32_t noise = config_.noise_pool_size;
+  const std::uint32_t total = useful + noise;
+  pool.domains.reserve(total);
+
+  // Interleave the useful stream into the noise stream at a deterministic
+  // stride so neither is a contiguous block (the decoys are meant to hide
+  // the useful domains). Record where the useful ones landed.
+  const std::uint64_t noise_seed = mix64(config_.seed ^ 0x1705CA5EULL);
+  std::vector<std::uint32_t> useful_positions;
+  useful_positions.reserve(useful);
+  const std::uint32_t stride = total / useful;
+  std::uint32_t next_useful = 0, useful_emitted = 0, noise_emitted = 0;
+  for (std::uint32_t pos = 0; pos < total; ++pos) {
+    const bool emit_useful =
+        useful_emitted < useful && (pos == next_useful || noise_emitted >= noise);
+    if (emit_useful) {
+      pool.domains.push_back(domain_name(config_.seed, epoch, useful_emitted));
+      useful_positions.push_back(pos);
+      ++useful_emitted;
+      next_useful += stride;
+    } else {
+      pool.domains.push_back(domain_name(noise_seed, epoch, noise_emitted));
+      ++noise_emitted;
+    }
+  }
+
+  // The botmaster registers only useful domains.
+  Rng rng = epoch_rng(config_, epoch);
+  auto picks = rng.sample_without_replacement(useful, config_.valid_count);
+  pool.valid_positions.reserve(picks.size());
+  for (auto p : picks) {
+    pool.valid_positions.push_back(useful_positions[static_cast<std::size_t>(p)]);
+  }
+  std::sort(pool.valid_positions.begin(), pool.valid_positions.end());
+  return pool;
+}
+
+std::unique_ptr<QueryPoolModel> make_pool_model(const DgaConfig& config) {
+  switch (config.taxonomy.pool) {
+    case PoolModel::kDrainReplenish:
+      return std::make_unique<DrainReplenishPool>(config);
+    case PoolModel::kSlidingWindow:
+      return std::make_unique<SlidingWindowPool>(config);
+    case PoolModel::kMultipleMixture:
+      return std::make_unique<MultipleMixturePool>(config);
+  }
+  throw ConfigError("make_pool_model: unknown pool model");
+}
+
+}  // namespace botmeter::dga

@@ -1,0 +1,98 @@
+// Query-pool models (§III-A).
+//
+// A pool model answers one question: which ordered list of domains is "the
+// pool" on a given epoch, and which of its positions are registered as C2
+// servers. The order is significant — it is the generation order that the
+// uniform barrel walks and the circle order that the randomcut barrel cuts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dga/config.hpp"
+
+namespace botmeter::dga {
+
+/// The pool as it stands on one epoch.
+struct EpochPool {
+  std::int64_t epoch = 0;
+  std::vector<std::string> domains;             // canonical (circle) order
+  std::vector<std::uint32_t> valid_positions;   // sorted; registered this epoch
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(domains.size());
+  }
+  [[nodiscard]] bool is_valid_position(std::uint32_t pos) const;
+  [[nodiscard]] std::uint32_t nxd_count() const {
+    return size() - static_cast<std::uint32_t>(valid_positions.size());
+  }
+};
+
+/// Interface over the three pool models. Implementations are deterministic
+/// functions of (config.seed, epoch); results are memoised because the
+/// simulator, matcher and estimators all consult the same pools.
+class QueryPoolModel {
+ public:
+  virtual ~QueryPoolModel() = default;
+
+  QueryPoolModel(const QueryPoolModel&) = delete;
+  QueryPoolModel& operator=(const QueryPoolModel&) = delete;
+
+  /// The pool for `epoch` (0-based day number). Reference stays valid for
+  /// the lifetime of the model.
+  [[nodiscard]] const EpochPool& epoch_pool(std::int64_t epoch);
+
+  [[nodiscard]] const DgaConfig& config() const { return config_; }
+
+ protected:
+  explicit QueryPoolModel(DgaConfig config);
+  [[nodiscard]] virtual EpochPool build(std::int64_t epoch) const = 0;
+
+  DgaConfig config_;
+
+ private:
+  // Small epoch-keyed memo; pools are immutable once built.
+  std::vector<std::pair<std::int64_t, std::unique_ptr<EpochPool>>> cache_;
+};
+
+/// §III-A "drain-and-replenish": a completely fresh pool of
+/// nxd_count + valid_count domains every epoch (Murofet, Conficker, newGoZ,
+/// Necurs, GameoverZeus, Srizbi, ...).
+class DrainReplenishPool final : public QueryPoolModel {
+ public:
+  explicit DrainReplenishPool(DgaConfig config);
+
+ private:
+  EpochPool build(std::int64_t epoch) const override;
+};
+
+/// §III-A "sliding-window": each day contributes fresh_per_day new domains;
+/// the pool on day D spans the batches of days
+/// [D - window_back_days, D + window_forward_days] (Ranbyus: -30..0 x 40,
+/// PushDo: -30..+15 x 30).
+class SlidingWindowPool final : public QueryPoolModel {
+ public:
+  explicit SlidingWindowPool(DgaConfig config);
+
+ private:
+  EpochPool build(std::int64_t epoch) const override;
+};
+
+/// §III-A "multiple-mixture": the useful pool is interleaved with a decoy
+/// pool produced by an identical DGA instance under a different seed
+/// (Pykspa: 200 useful + 16K noisy). Valid positions only ever fall on
+/// useful domains.
+class MultipleMixturePool final : public QueryPoolModel {
+ public:
+  explicit MultipleMixturePool(DgaConfig config);
+
+ private:
+  EpochPool build(std::int64_t epoch) const override;
+};
+
+/// Factory dispatching on config.taxonomy.pool. Validates the config.
+[[nodiscard]] std::unique_ptr<QueryPoolModel> make_pool_model(const DgaConfig& config);
+
+}  // namespace botmeter::dga

@@ -1,0 +1,34 @@
+#include "dga/taxonomy.hpp"
+
+namespace botmeter::dga {
+
+std::string_view representative_family(const Taxonomy& t) {
+  using P = PoolModel;
+  using B = BarrelModel;
+  // Fig. 3: representative families per cell; "?" cells have not been
+  // spotted in the wild.
+  if (t.pool == P::kDrainReplenish) {
+    switch (t.barrel) {
+      case B::kUniform: return "Murofet";  // also Srizbi, Torpig
+      case B::kSampling: return "Conficker.C";
+      case B::kRandomCut: return "newGoZ";
+      case B::kPermutation: return "Necurs";
+      default: return "";  // coordinated-cut extension: not spotted in the wild
+    }
+  }
+  if (t.pool == P::kSlidingWindow) {
+    switch (t.barrel) {
+      case B::kUniform: return "PushDo";  // also Ranbyus
+      default: return "";
+    }
+  }
+  if (t.pool == P::kMultipleMixture) {
+    switch (t.barrel) {
+      case B::kUniform: return "Pykspa";
+      default: return "";
+    }
+  }
+  return "";
+}
+
+}  // namespace botmeter::dga

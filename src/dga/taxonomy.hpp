@@ -1,0 +1,104 @@
+// The paper's DGA taxonomy (§III, Fig. 3).
+//
+// A DGA family is classified by how its daily *query pool* is maintained and
+// how each bot draws its *query barrel* from that pool. The twelve
+// (pool x barrel) cells partition the DGA universe; the estimator library is
+// keyed on the barrel axis because that is what determines the observable
+// DNS dynamics.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <ostream>
+#include <string_view>
+
+namespace botmeter::dga {
+
+/// How the query pool evolves over time (§III-A).
+enum class PoolModel {
+  kDrainReplenish,   // entire pool replaced each epoch (Murofet, Conficker, ...)
+  kSlidingWindow,    // daily batches, window of past/future days (Ranbyus, PushDo)
+  kMultipleMixture,  // useful pool interleaved with decoy pools (Pykspa)
+};
+
+/// How each bot selects the domains it will query (§III-B).
+enum class BarrelModel {
+  kUniform,      // whole pool, generation order (A_U)
+  kSampling,     // random subset of the pool (A_S, Conficker.C)
+  kRandomCut,    // theta_q consecutive domains from a random start (A_R, newGoZ)
+  kPermutation,  // whole pool in a random order (A_P, Necurs)
+
+  // Extension (paper future-work #3, not part of the Fig. 3 grid): an
+  // adversarial barrel designed to defeat population estimation. All bots
+  // derive a *shared* cut start from the DGA seed and epoch (they already
+  // share both), then jitter it slightly per bot. To a randomcut-style
+  // coverage model the whole population looks like one or two bots; to the
+  // Timing estimator the near-identical trains are cache-masked like A_U.
+  kCoordinatedCut,
+};
+
+struct Taxonomy {
+  PoolModel pool = PoolModel::kDrainReplenish;
+  BarrelModel barrel = BarrelModel::kUniform;
+
+  friend bool operator==(const Taxonomy&, const Taxonomy&) = default;
+};
+
+[[nodiscard]] constexpr std::string_view to_string(PoolModel m) {
+  switch (m) {
+    case PoolModel::kDrainReplenish: return "drain-and-replenish";
+    case PoolModel::kSlidingWindow: return "sliding-window";
+    case PoolModel::kMultipleMixture: return "multiple-mixture";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(BarrelModel m) {
+  switch (m) {
+    case BarrelModel::kUniform: return "uniform";
+    case BarrelModel::kSampling: return "sampling";
+    case BarrelModel::kRandomCut: return "randomcut";
+    case BarrelModel::kPermutation: return "permutation";
+    case BarrelModel::kCoordinatedCut: return "coordinatedcut";
+  }
+  return "?";
+}
+
+/// Short labels used in the paper: A_U, A_S, A_R, A_P (barrel axis under the
+/// drain-and-replenish pool).
+[[nodiscard]] constexpr std::string_view short_label(BarrelModel m) {
+  switch (m) {
+    case BarrelModel::kUniform: return "A_U";
+    case BarrelModel::kSampling: return "A_S";
+    case BarrelModel::kRandomCut: return "A_R";
+    case BarrelModel::kPermutation: return "A_P";
+    case BarrelModel::kCoordinatedCut: return "A_C";  // extension
+  }
+  return "?";
+}
+
+inline constexpr std::array<PoolModel, 3> kAllPoolModels = {
+    PoolModel::kDrainReplenish, PoolModel::kSlidingWindow,
+    PoolModel::kMultipleMixture};
+
+/// The paper's Fig. 3 barrel axis (the coordinated-cut extension is
+/// deliberately excluded: the taxonomy grid reproduces the paper).
+inline constexpr std::array<BarrelModel, 4> kAllBarrelModels = {
+    BarrelModel::kUniform, BarrelModel::kSampling, BarrelModel::kRandomCut,
+    BarrelModel::kPermutation};
+
+/// The representative family spotted in the wild for a taxonomy cell, or ""
+/// for the cells marked "?" in Fig. 3.
+[[nodiscard]] std::string_view representative_family(const Taxonomy& t);
+
+inline std::ostream& operator<<(std::ostream& os, PoolModel m) {
+  return os << to_string(m);
+}
+inline std::ostream& operator<<(std::ostream& os, BarrelModel m) {
+  return os << to_string(m);
+}
+inline std::ostream& operator<<(std::ostream& os, const Taxonomy& t) {
+  return os << to_string(t.pool) << '/' << to_string(t.barrel);
+}
+
+}  // namespace botmeter::dga

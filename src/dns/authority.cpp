@@ -1,0 +1,31 @@
+#include "dns/authority.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace botmeter::dns {
+
+void AuthoritativeRegistry::register_domain(const std::string& domain,
+                                            TimePoint from, TimePoint until) {
+  if (domain.empty()) throw ConfigError("register_domain: empty domain name");
+  if (until <= from) throw ConfigError("register_domain: empty validity interval");
+  intervals_[domain].push_back(Interval{from, until});
+}
+
+void AuthoritativeRegistry::register_permanent(const std::string& domain) {
+  register_domain(domain, TimePoint{std::numeric_limits<std::int64_t>::min()},
+                  TimePoint{std::numeric_limits<std::int64_t>::max()});
+}
+
+Rcode AuthoritativeRegistry::resolve(const std::string& domain,
+                                     TimePoint now) const {
+  auto it = intervals_.find(domain);
+  if (it == intervals_.end()) return Rcode::kNxDomain;
+  for (const Interval& iv : it->second) {
+    if (now >= iv.from && now < iv.until) return Rcode::kAddress;
+  }
+  return Rcode::kNxDomain;
+}
+
+}  // namespace botmeter::dns

@@ -1,0 +1,43 @@
+// Authoritative view of the global DNS: which names resolve, and when.
+//
+// The botmaster registers a handful of pool domains per epoch as C2 servers
+// (§III); everything else in the pool is an NXDOMAIN. Registrations carry a
+// validity interval so takedown-and-relocate dynamics can be simulated.
+// Benign (non-DGA) names can be registered permanently to model background
+// enterprise traffic.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "dns/record.hpp"
+
+namespace botmeter::dns {
+
+class AuthoritativeRegistry {
+ public:
+  /// Register `domain` as resolving within [from, until). Multiple disjoint
+  /// registrations of the same name are allowed (re-registration after a
+  /// takedown).
+  void register_domain(const std::string& domain, TimePoint from, TimePoint until);
+
+  /// Register `domain` as resolving forever (benign infrastructure).
+  void register_permanent(const std::string& domain);
+
+  /// Resolve at time `now`: kAddress if a live registration exists,
+  /// kNxDomain otherwise.
+  [[nodiscard]] Rcode resolve(const std::string& domain, TimePoint now) const;
+
+  [[nodiscard]] std::size_t registered_count() const { return intervals_.size(); }
+
+ private:
+  struct Interval {
+    TimePoint from;
+    TimePoint until;  // exclusive; TimePoint{INT64_MAX} means permanent
+  };
+  std::unordered_map<std::string, std::vector<Interval>> intervals_;
+};
+
+}  // namespace botmeter::dns

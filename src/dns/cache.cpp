@@ -1,0 +1,37 @@
+#include "dns/cache.hpp"
+
+namespace botmeter::dns {
+
+std::optional<Rcode> DnsCache::lookup(const std::string& domain, TimePoint now) {
+  auto it = entries_.find(domain);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (now >= it->second.expires_at) {
+    entries_.erase(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second.rcode;
+}
+
+void DnsCache::insert(const std::string& domain, Rcode rcode, TimePoint now,
+                      Duration ttl) {
+  entries_[domain] = Entry{rcode, now + ttl};
+}
+
+void DnsCache::evict_expired(TimePoint now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now >= it->second.expires_at) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DnsCache::clear() { entries_.clear(); }
+
+}  // namespace botmeter::dns

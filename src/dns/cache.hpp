@@ -1,0 +1,53 @@
+// Positive/negative DNS cache with TTL expiry.
+//
+// Models the record store of a caching-and-forwarding local DNS server
+// (§II-A): previously-seen responses — valid addresses *and* NXDOMAINs — are
+// answered locally until their TTL lapses; only misses are forwarded
+// upstream. This cache is exactly what "masks" repeated DGA lookups from the
+// vantage point and motivates the Poisson estimator.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/time.hpp"
+#include "dns/record.hpp"
+
+namespace botmeter::dns {
+
+class DnsCache {
+ public:
+  /// A cached answer: what it was and until when it may be served.
+  struct Entry {
+    Rcode rcode = Rcode::kNxDomain;
+    TimePoint expires_at;  // exclusive: an entry is stale at t >= expires_at
+  };
+
+  /// Look up `domain` at simulated time `now`. A live entry is returned and
+  /// counted as a hit; a stale entry is evicted and treated as a miss.
+  [[nodiscard]] std::optional<Rcode> lookup(const std::string& domain, TimePoint now);
+
+  /// Store the upstream answer received at `now`, valid for `ttl`.
+  /// Overwrites any previous entry for the domain.
+  void insert(const std::string& domain, Rcode rcode, TimePoint now, Duration ttl);
+
+  /// Drop every entry whose TTL has lapsed by `now`. The simulator calls this
+  /// between epochs to keep long runs bounded; correctness never depends on
+  /// it because `lookup` checks expiry itself.
+  void evict_expired(TimePoint now);
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace botmeter::dns

@@ -1,0 +1,51 @@
+// Strongly-typed identifiers for the DNS substrate.
+//
+// Clients, local DNS servers, and pool positions are all small integers at
+// heart; tagging them prevents, e.g., passing a client id where a forwarding
+// server id is expected — the exact confusion the vantage-point tuple format
+// of §II-B invites.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <ostream>
+
+namespace botmeter::dns {
+
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << id.value_;
+  }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+struct ClientTag {};
+struct ServerTag {};
+
+/// A device issuing DNS lookups (an IP address in the paper's traces).
+using ClientId = Id<ClientTag>;
+/// A local (caching-and-forwarding) DNS server; the "forwarding server s" of
+/// the vantage-point tuple.
+using ServerId = Id<ServerTag>;
+
+}  // namespace botmeter::dns
+
+template <typename Tag>
+struct std::hash<botmeter::dns::Id<Tag>> {
+  std::size_t operator()(botmeter::dns::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

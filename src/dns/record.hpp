@@ -1,0 +1,43 @@
+// DNS response records and TTL policy.
+#pragma once
+
+#include <iosfwd>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+
+namespace botmeter::dns {
+
+/// Outcome of a DNS resolution: a valid address record, or NXDOMAIN.
+enum class Rcode {
+  kAddress,   // domain resolves (a registered C2 domain, or benign traffic)
+  kNxDomain,  // non-existent domain
+};
+
+[[nodiscard]] constexpr const char* to_string(Rcode r) {
+  return r == Rcode::kAddress ? "ADDRESS" : "NXDOMAIN";
+}
+
+inline std::ostream& operator<<(std::ostream& os, Rcode r) {
+  return os << to_string(r);
+}
+
+/// Positive / negative caching durations (§II-B: positive TTLs are typically
+/// one to several days, negative TTLs minutes to hours; RFC 2308 / RFC 1912).
+struct TtlPolicy {
+  Duration positive = days(1);
+  Duration negative = hours(2);
+
+  void validate() const {
+    if (positive.millis() <= 0 || negative.millis() <= 0) {
+      throw ConfigError("TtlPolicy: TTLs must be positive");
+    }
+  }
+
+  [[nodiscard]] Duration for_rcode(Rcode r) const {
+    return r == Rcode::kAddress ? positive : negative;
+  }
+};
+
+}  // namespace botmeter::dns

@@ -1,0 +1,20 @@
+#include "dns/resolver.hpp"
+
+namespace botmeter::dns {
+
+LocalResolver::LocalResolver(ServerId id, TtlPolicy ttl,
+                             const AuthoritativeRegistry& authority,
+                             VantagePoint& vantage)
+    : id_(id), ttl_(ttl), authority_(&authority), vantage_(&vantage) {
+  ttl_.validate();
+}
+
+Rcode LocalResolver::resolve(TimePoint t, const std::string& domain) {
+  if (auto cached = cache_.lookup(domain, t)) return *cached;
+  vantage_->record(t, id_, domain);
+  const Rcode answer = authority_->resolve(domain, t);
+  cache_.insert(domain, answer, t, ttl_.for_rcode(answer));
+  return answer;
+}
+
+}  // namespace botmeter::dns

@@ -1,0 +1,44 @@
+// A caching-and-forwarding local DNS server (§II-A, Fig. 1).
+//
+// Each client query first consults the server's positive/negative cache.
+// Only on a miss is the query forwarded to the border server — where the
+// vantage point records it — and resolved against the authoritative
+// registry; the answer is then cached under the TTL policy.
+#pragma once
+
+#include "common/time.hpp"
+#include "dns/authority.hpp"
+#include "dns/cache.hpp"
+#include "dns/ids.hpp"
+#include "dns/record.hpp"
+#include "dns/vantage.hpp"
+
+namespace botmeter::dns {
+
+class LocalResolver {
+ public:
+  /// `authority` and `vantage` must outlive the resolver.
+  LocalResolver(ServerId id, TtlPolicy ttl, const AuthoritativeRegistry& authority,
+                VantagePoint& vantage);
+
+  /// Resolve `domain` for a client at time `t`. Cache hits are answered
+  /// locally (invisible upstream); misses are recorded at the vantage point,
+  /// resolved authoritatively, and cached.
+  Rcode resolve(TimePoint t, const std::string& domain);
+
+  [[nodiscard]] ServerId id() const { return id_; }
+  [[nodiscard]] const DnsCache& cache() const { return cache_; }
+  [[nodiscard]] const TtlPolicy& ttl() const { return ttl_; }
+
+  /// Housekeeping between epochs; see DnsCache::evict_expired.
+  void evict_expired(TimePoint now) { cache_.evict_expired(now); }
+
+ private:
+  ServerId id_;
+  TtlPolicy ttl_;
+  const AuthoritativeRegistry* authority_;
+  VantagePoint* vantage_;
+  DnsCache cache_;
+};
+
+}  // namespace botmeter::dns

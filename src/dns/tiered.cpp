@@ -1,0 +1,65 @@
+#include "dns/tiered.hpp"
+
+#include "common/error.hpp"
+
+namespace botmeter::dns {
+
+TieredNetwork::TieredNetwork(std::size_t local_count, std::size_t regional_count,
+                             TtlPolicy local_ttl, TtlPolicy regional_ttl,
+                             Duration timestamp_granularity)
+    : vantage_(timestamp_granularity),
+      local_ttl_(local_ttl),
+      regional_ttl_(regional_ttl) {
+  if (local_count == 0 || regional_count == 0) {
+    throw ConfigError("TieredNetwork: need at least one server per tier");
+  }
+  if (regional_count > local_count) {
+    throw ConfigError("TieredNetwork: more regional than local servers");
+  }
+  local_ttl_.validate();
+  regional_ttl_.validate();
+  local_caches_.resize(local_count);
+  regional_caches_.resize(regional_count);
+}
+
+ServerId TieredNetwork::local_for_client(ClientId client) const {
+  return ServerId{client.value() %
+                  static_cast<std::uint32_t>(local_caches_.size())};
+}
+
+ServerId TieredNetwork::regional_for_local(ServerId local) const {
+  if (local.value() >= local_caches_.size()) {
+    throw ConfigError("TieredNetwork: unknown local server");
+  }
+  return ServerId{local.value() %
+                  static_cast<std::uint32_t>(regional_caches_.size())};
+}
+
+Rcode TieredNetwork::resolve(TimePoint t, ClientId client,
+                             const std::string& domain) {
+  const ServerId local = local_for_client(client);
+  DnsCache& local_cache = local_caches_[local.value()];
+  if (auto cached = local_cache.lookup(domain, t)) return *cached;
+
+  const ServerId regional = regional_for_local(local);
+  DnsCache& regional_cache = regional_caches_[regional.value()];
+  if (auto cached = regional_cache.lookup(domain, t)) {
+    // Served by the concentrator: invisible at the border, but the local
+    // resolver caches the answer under its own policy.
+    local_cache.insert(domain, *cached, t, local_ttl_.for_rcode(*cached));
+    return *cached;
+  }
+
+  vantage_.record(t, regional, domain);
+  const Rcode answer = authority_.resolve(domain, t);
+  regional_cache.insert(domain, answer, t, regional_ttl_.for_rcode(answer));
+  local_cache.insert(domain, answer, t, local_ttl_.for_rcode(answer));
+  return answer;
+}
+
+void TieredNetwork::evict_expired(TimePoint now) {
+  for (auto& cache : local_caches_) cache.evict_expired(now);
+  for (auto& cache : regional_caches_) cache.evict_expired(now);
+}
+
+}  // namespace botmeter::dns

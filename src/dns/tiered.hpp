@@ -1,0 +1,72 @@
+// A two-tier caching hierarchy: clients -> local resolvers -> regional
+// resolvers -> border vantage point.
+//
+// The paper's setting (Fig. 1) has one caching layer below the vantage
+// point. Real enterprise DNS often stacks several: site resolvers forward
+// to regional concentrators that cache too. Two consequences matter for
+// population estimation, and `bench_ablation_hierarchy` quantifies both:
+//
+//  1. *Attribution coarsens*: the border sees the regional server as the
+//     forwarder, so the landscape can only be charted per region.
+//  2. *Masking compounds*: a lookup served from the regional cache never
+//     reaches the border even though it missed the local cache; the
+//     effective negative TTL at the vantage point is the regional one
+//     (a local-cache hit can only occur while the regional entry is also
+//     live, when the TTLs are equal).
+//
+// The estimators remain unbiased at regional granularity provided they are
+// configured with the *regional* TTL — that is the actionable guidance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "dns/authority.hpp"
+#include "dns/cache.hpp"
+#include "dns/ids.hpp"
+#include "dns/record.hpp"
+#include "dns/vantage.hpp"
+
+namespace botmeter::dns {
+
+class TieredNetwork {
+ public:
+  /// `local_count` site resolvers are spread round-robin over
+  /// `regional_count` regional resolvers; clients round-robin over locals.
+  TieredNetwork(std::size_t local_count, std::size_t regional_count,
+                TtlPolicy local_ttl, TtlPolicy regional_ttl,
+                Duration timestamp_granularity);
+
+  TieredNetwork(const TieredNetwork&) = delete;
+  TieredNetwork& operator=(const TieredNetwork&) = delete;
+
+  [[nodiscard]] AuthoritativeRegistry& authority() { return authority_; }
+  [[nodiscard]] VantagePoint& vantage() { return vantage_; }
+  [[nodiscard]] const VantagePoint& vantage() const { return vantage_; }
+
+  [[nodiscard]] std::size_t local_count() const { return local_caches_.size(); }
+  [[nodiscard]] std::size_t regional_count() const {
+    return regional_caches_.size();
+  }
+
+  [[nodiscard]] ServerId local_for_client(ClientId client) const;
+  [[nodiscard]] ServerId regional_for_local(ServerId local) const;
+
+  /// Resolve through both cache tiers; only a miss at both reaches the
+  /// border, recorded with the *regional* server as forwarder.
+  Rcode resolve(TimePoint t, ClientId client, const std::string& domain);
+
+  void evict_expired(TimePoint now);
+
+ private:
+  AuthoritativeRegistry authority_;
+  VantagePoint vantage_;
+  TtlPolicy local_ttl_;
+  TtlPolicy regional_ttl_;
+  std::vector<DnsCache> local_caches_;
+  std::vector<DnsCache> regional_caches_;
+};
+
+}  // namespace botmeter::dns

@@ -1,0 +1,42 @@
+#include "dns/topology.hpp"
+
+namespace botmeter::dns {
+
+Network::Network(std::size_t server_count, TtlPolicy ttl,
+                 Duration timestamp_granularity)
+    : vantage_(timestamp_granularity) {
+  if (server_count == 0) throw ConfigError("Network: need at least one local server");
+  ttl.validate();
+  resolvers_.reserve(server_count);
+  for (std::size_t i = 0; i < server_count; ++i) {
+    resolvers_.emplace_back(ServerId{static_cast<std::uint32_t>(i)}, ttl,
+                            authority_, vantage_);
+  }
+}
+
+LocalResolver& Network::resolver(ServerId id) {
+  if (id.value() >= resolvers_.size()) {
+    throw ConfigError("Network::resolver: unknown server id");
+  }
+  return resolvers_[id.value()];
+}
+
+ServerId Network::server_for_client(ClientId client) const {
+  if (assignment_) return assignment_(client);
+  return ServerId{client.value() % static_cast<std::uint32_t>(resolvers_.size())};
+}
+
+void Network::set_client_assignment(
+    std::function<ServerId(ClientId)> assignment) {
+  assignment_ = std::move(assignment);
+}
+
+Rcode Network::resolve(TimePoint t, ClientId client, const std::string& domain) {
+  return resolver(server_for_client(client)).resolve(t, domain);
+}
+
+void Network::evict_expired(TimePoint now) {
+  for (auto& r : resolvers_) r.evict_expired(now);
+}
+
+}  // namespace botmeter::dns

@@ -1,0 +1,59 @@
+// The hierarchical DNS topology of Fig. 1: a set of local
+// caching-and-forwarding servers behind one border server / vantage point,
+// and a static assignment of clients to local servers.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dns/authority.hpp"
+#include "dns/ids.hpp"
+#include "dns/resolver.hpp"
+#include "dns/vantage.hpp"
+
+namespace botmeter::dns {
+
+class Network {
+ public:
+  /// Build a network of `server_count` local servers sharing one TTL policy.
+  /// `timestamp_granularity` applies to the vantage-point recording; pass
+  /// Duration{0} for exact timestamps.
+  Network(std::size_t server_count, TtlPolicy ttl, Duration timestamp_granularity);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] AuthoritativeRegistry& authority() { return authority_; }
+  [[nodiscard]] const AuthoritativeRegistry& authority() const { return authority_; }
+
+  [[nodiscard]] VantagePoint& vantage() { return vantage_; }
+  [[nodiscard]] const VantagePoint& vantage() const { return vantage_; }
+
+  [[nodiscard]] std::size_t server_count() const { return resolvers_.size(); }
+  [[nodiscard]] LocalResolver& resolver(ServerId id);
+
+  /// Client placement. Defaults to deterministic round-robin; real
+  /// deployments pin each device to the resolver of its site, which a custom
+  /// assignment can model (e.g. a skewed infection landscape).
+  [[nodiscard]] ServerId server_for_client(ClientId client) const;
+
+  /// Override the placement. The function must return an id below
+  /// server_count() for every client it will see; out-of-range results are
+  /// rejected at resolve time.
+  void set_client_assignment(std::function<ServerId(ClientId)> assignment);
+
+  /// Resolve on behalf of `client` at time `t` through its local server.
+  Rcode resolve(TimePoint t, ClientId client, const std::string& domain);
+
+  void evict_expired(TimePoint now);
+
+ private:
+  AuthoritativeRegistry authority_;
+  VantagePoint vantage_;
+  std::vector<LocalResolver> resolvers_;
+  std::function<ServerId(ClientId)> assignment_;  // empty = round-robin
+};
+
+}  // namespace botmeter::dns

@@ -1,0 +1,50 @@
+// The border-server vantage point (§II-B).
+//
+// The vantage point sits at the border DNS server and records every lookup
+// forwarded to it by lower-level servers as a tuple
+// (timestamp t, forwarding server s, domain d). Client identities are NOT
+// visible here — that is the central difficulty the estimators address.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "dns/ids.hpp"
+
+namespace botmeter::dns {
+
+/// One cache-missed lookup as seen at the border.
+struct ForwardedLookup {
+  TimePoint timestamp;
+  ServerId forwarder;
+  std::string domain;
+
+  friend bool operator==(const ForwardedLookup&, const ForwardedLookup&) = default;
+};
+
+/// Append-only sink of forwarded lookups, with optional timestamp
+/// quantisation to model the coarse collection granularity of real traces
+/// (100 ms in the synthetic experiments, 1 s in the enterprise dataset).
+class VantagePoint {
+ public:
+  VantagePoint() = default;
+  /// `granularity` <= 0 ms means "record exact timestamps".
+  explicit VantagePoint(Duration granularity) : granularity_(granularity) {}
+
+  void record(TimePoint t, ServerId forwarder, std::string domain);
+
+  [[nodiscard]] const std::vector<ForwardedLookup>& stream() const { return stream_; }
+  [[nodiscard]] std::size_t size() const { return stream_.size(); }
+  void clear() { stream_.clear(); }
+
+  /// Move the accumulated stream out (the harness drains per-epoch).
+  [[nodiscard]] std::vector<ForwardedLookup> take();
+
+ private:
+  Duration granularity_{0};
+  std::vector<ForwardedLookup> stream_;
+};
+
+}  // namespace botmeter::dns

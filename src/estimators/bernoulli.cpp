@@ -1,0 +1,413 @@
+#include "estimators/bernoulli.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/logmath.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "estimators/segments.hpp"
+
+namespace botmeter::estimators {
+
+namespace {
+
+/// Fraction of the (detected) NXD ceiling beyond which the coverage count is
+/// considered saturated and the adaptive method switches to the
+/// forwarded-count statistic.
+constexpr double kSaturationFraction = 0.7;
+
+/// Histogram of "how many start positions cover this NXD" — min(a_d,
+/// theta_q) — over all NXD positions of the pool. The coverage expectation
+/// only depends on these weights, so the histogram collapses the O(P) sum
+/// to O(distinct weights).
+std::map<std::uint32_t, std::uint32_t> coverage_weight_histogram(
+    const dga::EpochPool& pool, const dga::DgaConfig& config) {
+  std::map<std::uint32_t, std::uint32_t> histogram;
+  const std::uint32_t size = pool.size();
+  const auto& valid = pool.valid_positions;
+  if (valid.empty()) throw ConfigError("BernoulliEstimator: pool has no arcs");
+
+  // Walk each arc once: depths run 1..arc_len, so weights are
+  // min(1..arc_len, theta_q).
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    const std::uint32_t boundary = valid[i];
+    const std::uint32_t next = valid[(i + 1) % valid.size()];
+    const std::uint32_t arc_len =
+        (next + size - boundary) % size == 0
+            ? size - 1  // single valid position: one arc spanning the rest
+            : (next + size - boundary) % size - 1;
+    if (arc_len == 0) continue;
+    const std::uint32_t capped = std::min(arc_len, config.barrel_size);
+    // Depths 1..capped each appear once; depths capped+1..arc_len all share
+    // weight theta_q (== barrel_size, but never more than `capped`).
+    for (std::uint32_t depth = 1; depth <= capped; ++depth) {
+      ++histogram[depth];
+    }
+    if (arc_len > capped) {
+      histogram[config.barrel_size] += arc_len - capped;
+    }
+  }
+  return histogram;
+}
+
+/// Count of distinct observed NXD positions.
+double observed_distinct_nxds(const EpochObservation& obs) {
+  std::unordered_set<std::uint32_t> distinct;
+  for (const detect::MatchedLookup& lookup : obs.lookups) {
+    if (!lookup.is_valid_domain) distinct.insert(lookup.pool_position);
+  }
+  return static_cast<double>(distinct.size());
+}
+
+/// Count of observed (forwarded) NXD lookups, duplicates included.
+double observed_nxd_lookups(const EpochObservation& obs) {
+  std::uint64_t count = 0;
+  for (const detect::MatchedLookup& lookup : obs.lookups) {
+    if (!lookup.is_valid_domain) ++count;
+  }
+  return static_cast<double>(count);
+}
+
+/// Generic increasing-function inversion by doubling + bisection, capped.
+template <typename F>
+double invert_increasing(F&& expectation, double observed) {
+  if (observed <= 0.0) return 0.0;
+  constexpr double kMaxPopulation = 1e8;
+  double lo = 0.0;
+  double hi = 1.0;
+  while (expectation(hi) < observed) {
+    hi *= 2.0;
+    if (hi >= kMaxPopulation) return kMaxPopulation;  // saturated statistic
+  }
+  for (int iter = 0; iter < 200 && (hi - lo) > 1e-9 * std::max(hi, 1.0);
+       ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (expectation(mid) < observed) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+BernoulliEstimator::BernoulliEstimator(BernoulliMethod method)
+    : method_(method) {}
+
+std::string_view BernoulliEstimator::name() const {
+  switch (method_) {
+    case BernoulliMethod::kAdaptive:
+      return "bernoulli";
+    case BernoulliMethod::kCoverageInversion:
+      return "bernoulli-coverage";
+    case BernoulliMethod::kSegmentExpectation:
+      return "bernoulli-segment";
+  }
+  return "bernoulli";
+}
+
+namespace {
+
+using WeightHistogram = std::map<std::uint32_t, std::uint32_t>;
+
+double expected_coverage_from_histogram(const WeightHistogram& histogram,
+                                        double pool_size, double n,
+                                        double keep) {
+  double expected = 0.0;
+  for (const auto& [weight, count] : histogram) {
+    const double p = static_cast<double>(weight) / pool_size;
+    // (1-p)^n for real n via exp/log; p < 1 because weight < pool size.
+    const double miss_all = std::exp(n * std::log1p(-p));
+    expected += static_cast<double>(count) * (1.0 - miss_all) * keep;
+  }
+  return expected;
+}
+
+double expected_forwards_from_histogram(const WeightHistogram& histogram,
+                                        double pool_size, double n,
+                                        double ttl_fraction, double keep) {
+  // Lookups of NXD d arrive (across the population, activations uniform over
+  // the epoch) as an approximately Poisson stream with mean m = n * p_d per
+  // epoch. Negative caching turns the forwarded sub-stream into a renewal
+  // process: the k-th forward happens at (k-1) TTL blocks plus a
+  // Gamma(k, rate) wait, so over the normalised epoch [0, 1]
+  //   E[forwards] = sum_k P(Gamma(k) <= 1 - (k-1) f)
+  //               = sum_k P(Poisson(m (1 - (k-1) f)) >= k),  f = TTL/epoch —
+  // exact at every TTL, including the short-TTL regime with many windows.
+  const auto renewal_count = [ttl_fraction](double mean_queries) {
+    double total = 0.0;
+    for (std::int64_t k = 1;; ++k) {
+      const double horizon = 1.0 - static_cast<double>(k - 1) * ttl_fraction;
+      if (horizon <= 0.0) break;
+      const double tail = poisson_tail(mean_queries * horizon, k);
+      total += tail;
+      if (tail < 1e-12 && static_cast<double>(k) > mean_queries) break;
+    }
+    return total;
+  };
+  double expected = 0.0;
+  for (const auto& [weight, count] : histogram) {
+    const double mean_queries = n * static_cast<double>(weight) / pool_size;
+    expected += static_cast<double>(count) * keep * renewal_count(mean_queries);
+  }
+  return expected;
+}
+
+}  // namespace
+
+double BernoulliEstimator::expected_coverage(const dga::EpochPool& pool,
+                                             const dga::DgaConfig& config,
+                                             double n,
+                                             std::optional<double> miss_rate) {
+  if (n < 0.0) throw ConfigError("expected_coverage: n must be >= 0");
+  return expected_coverage_from_histogram(
+      coverage_weight_histogram(pool, config), pool.size(), n,
+      miss_rate ? (1.0 - *miss_rate) : 1.0);
+}
+
+double BernoulliEstimator::invert_coverage(const dga::EpochPool& pool,
+                                           const dga::DgaConfig& config,
+                                           double observed,
+                                           std::optional<double> miss_rate) {
+  // Build the weight histogram once; the bisection evaluates the expectation
+  // a few hundred times.
+  const WeightHistogram histogram = coverage_weight_histogram(pool, config);
+  const double pool_size = pool.size();
+  const double keep = miss_rate ? (1.0 - *miss_rate) : 1.0;
+  return invert_increasing(
+      [&](double n) {
+        return expected_coverage_from_histogram(histogram, pool_size, n, keep);
+      },
+      observed);
+}
+
+double BernoulliEstimator::expected_forward_count(
+    const dga::EpochPool& pool, const dga::DgaConfig& config, double n,
+    Duration negative_ttl, Duration epoch_length,
+    std::optional<double> miss_rate) {
+  if (n < 0.0) throw ConfigError("expected_forward_count: n must be >= 0");
+  if (negative_ttl.millis() <= 0 || epoch_length.millis() <= 0) {
+    throw ConfigError("expected_forward_count: TTL and epoch must be positive");
+  }
+  const double ttl_fraction = static_cast<double>(negative_ttl.millis()) /
+                              static_cast<double>(epoch_length.millis());
+  return expected_forwards_from_histogram(
+      coverage_weight_histogram(pool, config), pool.size(), n, ttl_fraction,
+      miss_rate ? (1.0 - *miss_rate) : 1.0);
+}
+
+double BernoulliEstimator::invert_forward_count(
+    const dga::EpochPool& pool, const dga::DgaConfig& config, double observed,
+    Duration negative_ttl, Duration epoch_length,
+    std::optional<double> miss_rate) {
+  if (negative_ttl.millis() <= 0 || epoch_length.millis() <= 0) {
+    throw ConfigError("invert_forward_count: TTL and epoch must be positive");
+  }
+  const WeightHistogram histogram = coverage_weight_histogram(pool, config);
+  const double pool_size = pool.size();
+  const double ttl_fraction = static_cast<double>(negative_ttl.millis()) /
+                              static_cast<double>(epoch_length.millis());
+  const double keep = miss_rate ? (1.0 - *miss_rate) : 1.0;
+  return invert_increasing(
+      [&](double n) {
+        return expected_forwards_from_histogram(histogram, pool_size, n,
+                                                ttl_fraction, keep);
+      },
+      observed);
+}
+
+double BernoulliEstimator::estimate(const EpochObservation& obs) const {
+  obs.validate();
+  if (!applicable(*obs.config)) {
+    throw ConfigError("BernoulliEstimator: requires the randomcut barrel (A_R)");
+  }
+  if (method_ == BernoulliMethod::kSegmentExpectation) {
+    return estimate_by_segments(obs);
+  }
+
+  const double distinct = observed_distinct_nxds(obs);
+  const double coverage_estimate =
+      invert_coverage(*obs.pool, *obs.config, distinct, obs.assumed_miss_rate);
+  if (method_ == BernoulliMethod::kCoverageInversion) {
+    return coverage_estimate;
+  }
+
+  // Adaptive: the coverage count is the cleaner statistic (no temporal
+  // assumptions at all) while it still has slope; past saturation it stops
+  // resolving N and the forwarded-count renewal statistic takes over.
+  const double keep =
+      obs.assumed_miss_rate ? (1.0 - *obs.assumed_miss_rate) : 1.0;
+  const double ceiling =
+      static_cast<double>(obs.pool->nxd_count()) * keep;
+  if (distinct < kSaturationFraction * ceiling) {
+    return coverage_estimate;
+  }
+  return invert_forward_count(*obs.pool, *obs.config, observed_nxd_lookups(obs),
+                              obs.ttl.negative, obs.window_length,
+                              obs.assumed_miss_rate);
+}
+
+IntervalEstimate BernoulliEstimator::estimate_with_interval(
+    const EpochObservation& obs, double level) const {
+  if (!(level > 0.0 && level < 1.0)) {
+    throw ConfigError("estimate_with_interval: level must be in (0,1)");
+  }
+  IntervalEstimate result;
+  result.value = estimate(obs);
+  result.level = level;
+  if (method_ == BernoulliMethod::kSegmentExpectation || result.value <= 0.0) {
+    return result;
+  }
+
+  const dga::EpochPool& pool = *obs.pool;
+  const dga::DgaConfig& config = *obs.config;
+  const double keep =
+      obs.assumed_miss_rate ? (1.0 - *obs.assumed_miss_rate) : 1.0;
+  const double distinct = observed_distinct_nxds(obs);
+  const bool use_forward_statistic =
+      method_ == BernoulliMethod::kAdaptive &&
+      distinct >=
+          kSaturationFraction * static_cast<double>(pool.nxd_count()) * keep;
+
+  // Parametric bootstrap under the point estimate. Deterministic: the seed
+  // depends only on the observation, not on global state.
+  Rng rng{mix64(0xB0075742ULL ^ static_cast<std::uint64_t>(pool.epoch) ^
+                (static_cast<std::uint64_t>(obs.lookups.size()) << 20))};
+  constexpr int kResamples = 32;
+  const auto n_hat = static_cast<std::uint32_t>(
+      std::min(result.value + 0.5, 5e6));
+  RunningStats statistic;
+
+  if (!use_forward_statistic) {
+    // Re-simulate the distinct-coverage statistic: N bots, random starts,
+    // runs to the boundary or theta_q, thinned by the detection keep rate.
+    std::vector<bool> covered(pool.size());
+    for (int r = 0; r < kResamples; ++r) {
+      std::fill(covered.begin(), covered.end(), false);
+      for (std::uint32_t b = 0; b < n_hat; ++b) {
+        auto pos = static_cast<std::uint32_t>(rng.uniform(pool.size()));
+        for (std::uint32_t step = 0; step < config.barrel_size; ++step) {
+          if (pool.is_valid_position(pos)) break;
+          covered[pos] = true;
+          pos = (pos + 1) % pool.size();
+        }
+      }
+      double count = 0.0;
+      for (std::uint32_t d = 0; d < pool.size(); ++d) {
+        if (covered[d] && (keep >= 1.0 || rng.bernoulli(keep))) count += 1.0;
+      }
+      statistic.add(count);
+    }
+  } else {
+    // Re-simulate the forwarded-count statistic at the *bot* level: one
+    // bot's run touches up to theta_q consecutive domains at nearly the
+    // same time, so per-domain arrival processes are strongly correlated —
+    // a per-domain Poisson bootstrap would understate the variance badly.
+    const double ttl_fraction =
+        static_cast<double>(obs.ttl.negative.millis()) /
+        static_cast<double>(obs.window_length.millis());
+    const Duration step = config.query_interval.millis() > 0
+                              ? config.query_interval
+                              : (config.jitter_min + config.jitter_max) / 2;
+    const double step_fraction =
+        static_cast<double>(step.millis()) /
+        static_cast<double>(obs.window_length.millis());
+    std::vector<std::vector<double>> arrival_times(pool.size());
+    for (int r = 0; r < kResamples; ++r) {
+      for (auto& times : arrival_times) times.clear();
+      for (std::uint32_t b = 0; b < n_hat; ++b) {
+        auto pos = static_cast<std::uint32_t>(rng.uniform(pool.size()));
+        const double t0 = rng.uniform01();
+        for (std::uint32_t s = 0; s < config.barrel_size; ++s) {
+          if (pool.is_valid_position(pos)) break;
+          arrival_times[pos].push_back(t0 + s * step_fraction);
+          pos = (pos + 1) % pool.size();
+        }
+      }
+      double forwards = 0.0;
+      for (auto& times : arrival_times) {
+        if (times.empty()) continue;
+        std::sort(times.begin(), times.end());
+        double blocked_until = -1.0;
+        for (double t : times) {
+          if (t >= 1.0) break;  // spilled past the window
+          if (t >= blocked_until) {
+            if (keep >= 1.0 || rng.bernoulli(keep)) forwards += 1.0;
+            blocked_until = t + ttl_fraction;
+          }
+        }
+      }
+      statistic.add(forwards);
+    }
+  }
+
+  const double z = normal_quantile(0.5 + level / 2.0);
+  const double observed_statistic =
+      use_forward_statistic ? observed_nxd_lookups(obs) : distinct;
+  const double lo_stat = std::max(observed_statistic - z * statistic.stddev(), 0.0);
+  const double hi_stat = observed_statistic + z * statistic.stddev();
+  const auto invert = [&](double s) {
+    return use_forward_statistic
+               ? invert_forward_count(pool, config, s, obs.ttl.negative,
+                                      obs.window_length, obs.assumed_miss_rate)
+               : invert_coverage(pool, config, s, obs.assumed_miss_rate);
+  };
+  result.interval = {invert(lo_stat), invert(hi_stat)};
+  return result;
+}
+
+double BernoulliEstimator::estimate_by_segments(
+    const EpochObservation& obs) const {
+  const dga::EpochPool& pool = *obs.pool;
+  const dga::DgaConfig& config = *obs.config;
+
+  std::vector<std::uint32_t> positions;
+  positions.reserve(obs.lookups.size());
+  for (const detect::MatchedLookup& lookup : obs.lookups) {
+    if (!lookup.is_valid_domain) positions.push_back(lookup.pool_position);
+  }
+  const std::vector<Segment> segments = extract_segments(pool, positions);
+  if (segments.empty()) return 0.0;
+
+  const double pool_size = static_cast<double>(pool.size());
+  const double theta_q = static_cast<double>(config.barrel_size);
+
+  // E[N_L | mu]: expected bots required to cover one segment, with bot
+  // starts Poissonized at intensity mu per position. A b-segment is the run
+  // of its leftmost bot (1 start observed at the left end, plus interior
+  // starts at rate mu); an m-segment of length l > theta_q pins both the
+  // leftmost and rightmost start of a window of l - theta_q + 1 positions.
+  const auto segment_expectation = [&](const Segment& s, double mu) {
+    const double l = static_cast<double>(s.length);
+    if (s.kind == SegmentKind::kBoundary) {
+      return 1.0 + mu * std::max(l - 1.0, 0.0);
+    }
+    if (l <= theta_q) return 1.0;  // a single (possibly truncated) run
+    const double window = l - theta_q + 1.0;
+    return 2.0 + mu * std::max(window - 2.0, 0.0);
+  };
+
+  // Fixed point on the population (contraction: the slope in mu is
+  // sum(l)/P < 1).
+  double n_hat = static_cast<double>(segments.size());
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mu = n_hat / pool_size;
+    double next = 0.0;
+    for (const Segment& s : segments) next += segment_expectation(s, mu);
+    if (std::abs(next - n_hat) < 1e-9) {
+      n_hat = next;
+      break;
+    }
+    n_hat = next;
+  }
+  return n_hat;
+}
+
+}  // namespace botmeter::estimators

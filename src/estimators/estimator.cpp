@@ -1,0 +1,36 @@
+#include "estimators/estimator.hpp"
+
+#include "common/error.hpp"
+
+namespace botmeter::estimators {
+
+void EpochObservation::validate() const {
+  if (config == nullptr) throw ConfigError("EpochObservation: config missing");
+  if (pool == nullptr) throw ConfigError("EpochObservation: pool missing");
+  if (window == nullptr) throw ConfigError("EpochObservation: detection window missing");
+  if (window->detected.size() != pool->domains.size()) {
+    throw ConfigError("EpochObservation: window/pool size mismatch");
+  }
+  if (window_length.millis() <= 0) {
+    throw ConfigError("EpochObservation: window length must be positive");
+  }
+  if (assumed_miss_rate &&
+      (*assumed_miss_rate < 0.0 || *assumed_miss_rate >= 1.0)) {
+    throw ConfigError("EpochObservation: assumed_miss_rate must be in [0,1)");
+  }
+  for (std::size_t i = 1; i < lookups.size(); ++i) {
+    if (lookups[i].t < lookups[i - 1].t) {
+      throw DataError("EpochObservation: lookups must be time-sorted");
+    }
+  }
+}
+
+double estimate_window(const Estimator& estimator,
+                       std::span<const EpochObservation> epochs) {
+  if (epochs.empty()) throw ConfigError("estimate_window: no epochs");
+  double sum = 0.0;
+  for (const EpochObservation& obs : epochs) sum += estimator.estimate(obs);
+  return sum / static_cast<double>(epochs.size());
+}
+
+}  // namespace botmeter::estimators

@@ -1,0 +1,61 @@
+// The estimator interface and window-level helpers.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <utility>
+
+#include "estimators/observation.hpp"
+
+namespace botmeter::estimators {
+
+/// A population estimate with an optional confidence interval. Models that
+/// can quantify their uncertainty (Poisson via the exact chi-square rate
+/// interval, Bernoulli via a parametric bootstrap of its statistic) fill
+/// `interval`; others return the point alone.
+struct IntervalEstimate {
+  double value = 0.0;
+  std::optional<std::pair<double, double>> interval;  // [lo, hi]
+  double level = 0.9;                                 // confidence level
+};
+
+/// A bot-population estimation model (one entry of the analytic model
+/// library, step 5 of Fig. 2).
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  Estimator() = default;
+  Estimator(const Estimator&) = delete;
+  Estimator& operator=(const Estimator&) = delete;
+
+  /// Short identifier, e.g. "timing", "poisson", "bernoulli".
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Whether the model's assumptions hold for this family (e.g. the Poisson
+  /// estimator requires the uniform barrel, the Bernoulli estimator the
+  /// randomcut barrel). The Timing estimator applies everywhere.
+  [[nodiscard]] virtual bool applicable(const dga::DgaConfig& config) const = 0;
+
+  /// Estimate the active-bot population behind one server for one epoch.
+  /// Returns a non-negative real (fractional estimates are meaningful:
+  /// they are expectations).
+  [[nodiscard]] virtual double estimate(const EpochObservation& obs) const = 0;
+
+  /// Estimate with a confidence interval at the given level. The default
+  /// returns the point estimate with no interval; models that can quantify
+  /// uncertainty override it.
+  [[nodiscard]] virtual IntervalEstimate estimate_with_interval(
+      const EpochObservation& obs, double level = 0.9) const {
+    return IntervalEstimate{estimate(obs), std::nullopt, level};
+  }
+};
+
+/// Multi-epoch observation window (§V-A, Fig. 6(b)): per-epoch estimates are
+/// averaged over the number of epochs.
+[[nodiscard]] double estimate_window(const Estimator& estimator,
+                                     std::span<const EpochObservation> epochs);
+
+}  // namespace botmeter::estimators

@@ -1,0 +1,68 @@
+#include "estimators/library.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "estimators/bernoulli.hpp"
+#include "estimators/hybrid.hpp"
+#include "estimators/poisson.hpp"
+#include "estimators/sampling_coverage.hpp"
+#include "estimators/timing.hpp"
+
+namespace botmeter::estimators {
+
+ModelLibrary::ModelLibrary() {
+  models_.push_back(std::make_unique<TimingEstimator>());
+  models_.push_back(std::make_unique<PoissonEstimator>());
+  models_.push_back(
+      std::make_unique<BernoulliEstimator>(BernoulliMethod::kAdaptive));
+  models_.push_back(
+      std::make_unique<BernoulliEstimator>(BernoulliMethod::kCoverageInversion));
+  models_.push_back(
+      std::make_unique<BernoulliEstimator>(BernoulliMethod::kSegmentExpectation));
+  models_.push_back(std::make_unique<SamplingCoverageEstimator>());
+  models_.push_back(std::make_unique<HybridEstimator>(
+      std::make_unique<BernoulliEstimator>(BernoulliMethod::kAdaptive),
+      std::make_unique<TimingEstimator>()));
+}
+
+const Estimator& ModelLibrary::get(std::string_view name) const {
+  for (const auto& model : models_) {
+    if (model->name() == name) return *model;
+  }
+  throw ConfigError("ModelLibrary: unknown estimator '" + std::string(name) + "'");
+}
+
+std::vector<const Estimator*> ModelLibrary::applicable(
+    const dga::DgaConfig& config) const {
+  std::vector<const Estimator*> out;
+  for (const auto& model : models_) {
+    if (model->applicable(config)) out.push_back(model.get());
+  }
+  return out;
+}
+
+const Estimator& ModelLibrary::recommended(const dga::DgaConfig& config) const {
+  switch (config.taxonomy.barrel) {
+    case dga::BarrelModel::kUniform:
+      return get("poisson");
+    case dga::BarrelModel::kRandomCut:
+      return get("bernoulli");
+    case dga::BarrelModel::kSampling:
+    case dga::BarrelModel::kPermutation:
+    // No estimator is *designed* for the coordinated-cut evasion model
+    // (that is its point); the Timing estimator is the only generic fallback.
+    case dga::BarrelModel::kCoordinatedCut:
+      return get("timing");
+  }
+  throw ConfigError("ModelLibrary: unknown barrel model");
+}
+
+std::vector<std::string_view> ModelLibrary::names() const {
+  std::vector<std::string_view> out;
+  out.reserve(models_.size());
+  for (const auto& model : models_) out.push_back(model->name());
+  return out;
+}
+
+}  // namespace botmeter::estimators

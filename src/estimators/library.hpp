@@ -1,0 +1,44 @@
+// The analytical model library (step 5 of Fig. 2).
+//
+// Owns one instance of every estimation model and answers the two questions
+// the BotMeter configuration interface needs: which models *can* run against
+// a given DGA family, and which one the paper's evaluation recommends.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "dga/config.hpp"
+#include "estimators/estimator.hpp"
+
+namespace botmeter::estimators {
+
+class ModelLibrary {
+ public:
+  /// Registers: timing, poisson, bernoulli (coverage inversion),
+  /// bernoulli-segment, sampling-coverage, and the hybrid blend for A_R.
+  ModelLibrary();
+
+  ModelLibrary(const ModelLibrary&) = delete;
+  ModelLibrary& operator=(const ModelLibrary&) = delete;
+
+  /// Look up by name; throws ConfigError if absent.
+  [[nodiscard]] const Estimator& get(std::string_view name) const;
+
+  /// Every registered model whose assumptions hold for `config`.
+  [[nodiscard]] std::vector<const Estimator*> applicable(
+      const dga::DgaConfig& config) const;
+
+  /// The paper's recommendation (§V): the Poisson estimator for uniform
+  /// barrels, the Bernoulli estimator for randomcut barrels, the Timing
+  /// estimator otherwise.
+  [[nodiscard]] const Estimator& recommended(const dga::DgaConfig& config) const;
+
+  [[nodiscard]] std::vector<std::string_view> names() const;
+
+ private:
+  std::vector<std::unique_ptr<Estimator>> models_;
+};
+
+}  // namespace botmeter::estimators

@@ -1,0 +1,62 @@
+#include "estimators/sampling_coverage.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace botmeter::estimators {
+
+double SamplingCoverageEstimator::per_bot_nxd_probability(
+    const dga::DgaConfig& config) {
+  const double nxds = config.nxd_count;
+  const double pool = config.pool_size();
+  const std::uint32_t draws = std::min(config.barrel_size, config.pool_size());
+
+  // E[X] = sum_k P(X >= k); running product of (theta_0 - j)/(P - j).
+  double expected_nxd_queries = 0.0;
+  if (config.stop_on_hit) {
+    double survive = 1.0;  // P(first k-1 draws all NXD)
+    for (std::uint32_t k = 1; k <= draws; ++k) {
+      const double j = static_cast<double>(k - 1);
+      survive *= (nxds - j) / (pool - j);
+      if (survive <= 0.0) break;
+      expected_nxd_queries += survive;
+    }
+  } else {
+    // Without stop-on-hit the bot queries its whole barrel; expected NXDs
+    // among theta_q uniform draws without replacement.
+    expected_nxd_queries = static_cast<double>(draws) * nxds / pool;
+  }
+  return expected_nxd_queries / nxds;
+}
+
+double SamplingCoverageEstimator::estimate(const EpochObservation& obs) const {
+  obs.validate();
+  if (!applicable(*obs.config)) {
+    throw ConfigError("SamplingCoverageEstimator: requires the sampling barrel");
+  }
+  std::unordered_set<std::uint32_t> distinct;
+  for (const detect::MatchedLookup& lookup : obs.lookups) {
+    if (!lookup.is_valid_domain) distinct.insert(lookup.pool_position);
+  }
+  const double observed = static_cast<double>(distinct.size());
+  if (observed <= 0.0) return 0.0;
+
+  const double q = per_bot_nxd_probability(*obs.config);
+  if (!(q > 0.0)) throw ConfigError("SamplingCoverageEstimator: q must be > 0");
+
+  const double keep =
+      obs.assumed_miss_rate ? (1.0 - *obs.assumed_miss_rate) : 1.0;
+  const double ceiling = static_cast<double>(obs.config->nxd_count) * keep;
+  // Saturated coverage: every (detected) NXD was seen; the inversion
+  // diverges, so report the largest population distinguishable at this
+  // coverage resolution (within half a domain of the ceiling).
+  if (observed >= ceiling - 0.5) {
+    return std::log(0.5 / ceiling) / std::log1p(-q);
+  }
+  return std::log1p(-observed / ceiling) / std::log1p(-q);
+}
+
+}  // namespace botmeter::estimators

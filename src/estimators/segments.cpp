@@ -1,0 +1,83 @@
+#include "estimators/segments.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace botmeter::estimators {
+
+std::uint32_t arc_depth(const dga::EpochPool& pool, std::uint32_t pos) {
+  const std::uint32_t size = pool.size();
+  if (pos >= size) throw ConfigError("arc_depth: position out of range");
+  const auto& valid = pool.valid_positions;
+  if (valid.empty()) return size;
+  if (pool.is_valid_position(pos)) return 0;
+  // Find the nearest valid position strictly before `pos` on the circle.
+  auto it = std::lower_bound(valid.begin(), valid.end(), pos);
+  const std::uint32_t prev = (it == valid.begin()) ? valid.back() : *(it - 1);
+  return (pos + size - prev) % size;
+}
+
+std::vector<Segment> extract_segments(
+    const dga::EpochPool& pool,
+    std::span<const std::uint32_t> observed_positions) {
+  const std::uint32_t size = pool.size();
+  std::vector<std::uint32_t> nxds;
+  nxds.reserve(observed_positions.size());
+  for (std::uint32_t pos : observed_positions) {
+    if (pos >= size) throw ConfigError("extract_segments: position out of range");
+    if (!pool.is_valid_position(pos)) nxds.push_back(pos);
+  }
+  std::sort(nxds.begin(), nxds.end());
+  nxds.erase(std::unique(nxds.begin(), nxds.end()), nxds.end());
+  if (nxds.empty()) return {};
+
+  // Walk sorted positions grouping consecutive ones, then stitch a possible
+  // wrap-around (last position == size-1 joining position 0).
+  std::vector<Segment> segments;
+  std::uint32_t run_start = nxds.front();
+  std::uint32_t prev = nxds.front();
+  auto close_run = [&](std::uint32_t end) {
+    Segment s;
+    s.start = run_start;
+    s.length = end - run_start + 1;
+    const std::uint32_t after = (end + 1) % size;
+    s.kind = pool.is_valid_position(after) ? SegmentKind::kBoundary
+                                           : SegmentKind::kMiddle;
+    segments.push_back(s);
+  };
+  for (std::size_t i = 1; i < nxds.size(); ++i) {
+    if (nxds[i] == prev + 1) {
+      prev = nxds[i];
+      continue;
+    }
+    close_run(prev);
+    run_start = nxds[i];
+    prev = nxds[i];
+  }
+  close_run(prev);
+
+  // Wrap-around: a run ending at size-1 and a run starting at 0 are one
+  // circular run (unless position 0 is a valid domain, in which case the
+  // first run already closed as a b-segment... note position 0 being valid
+  // means it is absent from `nxds`, so no run starts at 0).
+  if (segments.size() >= 2) {
+    const Segment& first = segments.front();
+    const Segment& last = segments.back();
+    if (first.start == 0 && last.start + last.length == size) {
+      Segment merged;
+      merged.start = last.start;
+      merged.length = last.length + first.length;
+      merged.kind = first.kind;  // the merged run ends where `first` ended
+      segments.back() = merged;
+      segments.erase(segments.begin());
+    }
+  } else if (segments.size() == 1 && segments.front().length == size) {
+    // Entire circle covered with no valid positions: one circular segment.
+    segments.front().kind = SegmentKind::kMiddle;
+  }
+
+  return segments;
+}
+
+}  // namespace botmeter::estimators

@@ -1,0 +1,44 @@
+// NXD segment extraction for the randomcut barrel A_R (§IV-D, Fig. 5).
+//
+// The pool forms a circle; the theta_E valid domains partition it into arcs.
+// The distinct NXDs looked up during an epoch form maximal runs of
+// consecutive positions — *segments*. A segment that ends immediately before
+// a valid domain is a b-segment (its bots hit the C2 boundary); one that
+// ends mid-arc is an m-segment (its bots aborted after theta_q lookups).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dga/pool.hpp"
+
+namespace botmeter::estimators {
+
+enum class SegmentKind {
+  kBoundary,  // b-segment: ends at an arc boundary (valid domain)
+  kMiddle,    // m-segment: ends in the middle of an arc
+};
+
+struct Segment {
+  std::uint32_t start = 0;   // first covered pool position
+  std::uint32_t length = 0;  // number of consecutive covered NXDs
+  SegmentKind kind = SegmentKind::kMiddle;
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// Extract segments from the distinct observed NXD positions.
+/// `observed_positions` need not be sorted or deduplicated; valid-domain
+/// positions are ignored. Runs wrap around the circle. A run abutting a
+/// valid position is a b-segment; all others are m-segments.
+[[nodiscard]] std::vector<Segment> extract_segments(
+    const dga::EpochPool& pool, std::span<const std::uint32_t> observed_positions);
+
+/// Depth of NXD position `pos` inside its arc: the number of steps from the
+/// first position after the preceding valid domain up to `pos`, inclusive
+/// (so the position right after a boundary has depth 1). With no valid
+/// positions the whole circle is one arc and the depth is the pool size.
+[[nodiscard]] std::uint32_t arc_depth(const dga::EpochPool& pool, std::uint32_t pos);
+
+}  // namespace botmeter::estimators

@@ -1,0 +1,72 @@
+#include "estimators/timing.hpp"
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "botnet/bot.hpp"
+
+namespace botmeter::estimators {
+
+namespace {
+
+/// One entry of Algorithm 1's list L: a conjectured bot.
+struct BotEntry {
+  TimePoint first_seen;
+  std::unordered_set<std::uint32_t> domains;
+};
+
+}  // namespace
+
+double TimingEstimator::estimate(const EpochObservation& obs) const {
+  obs.validate();
+  const dga::DgaConfig& config = *obs.config;
+
+  const Duration max_duration = botnet::max_activation_duration(config);
+  const bool has_fixed_interval = config.query_interval.millis() > 0;
+  const std::int64_t interval_ms = config.query_interval.millis();
+
+  // Entries that can no longer absorb anything (heuristic #2 already rejects
+  // every future lookup, since input is time-sorted) are retired to a
+  // counter; `active` stays small.
+  std::vector<BotEntry> active;
+  std::uint64_t retired = 0;
+
+  for (const detect::MatchedLookup& lookup : obs.lookups) {
+    // Retire entries that have aged out of heuristic #2's horizon.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (active[i].first_seen + max_duration <= lookup.t) {
+        ++retired;
+      } else {
+        if (keep != i) active[keep] = std::move(active[i]);
+        ++keep;
+      }
+    }
+    active.resize(keep);
+
+    bool absorbed = false;
+    for (BotEntry& entry : active) {
+      // Heuristic #3: gap must be an exact multiple of delta_i.
+      if (has_fixed_interval &&
+          (lookup.t - entry.first_seen).millis() % interval_ms != 0) {
+        continue;
+      }
+      // Heuristic #1: an entry never repeats a domain.
+      if (entry.domains.contains(lookup.pool_position)) continue;
+      entry.domains.insert(lookup.pool_position);
+      absorbed = true;
+      break;
+    }
+    if (!absorbed) {
+      BotEntry entry;
+      entry.first_seen = lookup.t;
+      entry.domains.insert(lookup.pool_position);
+      active.push_back(std::move(entry));
+    }
+  }
+
+  return static_cast<double>(retired + active.size());
+}
+
+}  // namespace botmeter::estimators

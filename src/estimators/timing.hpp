@@ -1,0 +1,35 @@
+// The Timing estimator M_T (§IV-B, Algorithm 1).
+//
+// M_T greedily classifies the matched lookups into per-bot groups using
+// three temporal heuristics and reports the number of groups:
+//   #1  a bot does not look up the same domain twice within the window;
+//   #2  two lookups farther apart than the maximum activation duration
+//       (theta_q * delta_i) belong to different bots;
+//   #3  a bot's lookups are separated by exact multiples of its fixed query
+//       interval delta_i, so a gap that is not such a multiple separates
+//       different bots.
+// Heuristic #3 is disabled for families without a fixed interval ("none" in
+// Table II) and degrades as collection granularity coarsens — both effects
+// the paper demonstrates on the enterprise trace.
+#pragma once
+
+#include "estimators/estimator.hpp"
+
+namespace botmeter::estimators {
+
+class TimingEstimator final : public Estimator {
+ public:
+  TimingEstimator() = default;
+
+  [[nodiscard]] std::string_view name() const override { return "timing"; }
+
+  /// M_T relies only on temporal traits, so it applies to every taxonomy
+  /// cell (§IV-C).
+  [[nodiscard]] bool applicable(const dga::DgaConfig&) const override {
+    return true;
+  }
+
+  [[nodiscard]] double estimate(const EpochObservation& obs) const override;
+};
+
+}  // namespace botmeter::estimators

@@ -1,0 +1,80 @@
+#include "trace/dataset.hpp"
+
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace botmeter::trace {
+
+namespace {
+
+std::int64_t epoch_of(TimePoint t, Duration epoch_length) {
+  const std::int64_t ms = t.millis();
+  const std::int64_t len = epoch_length.millis();
+  if (ms >= 0) return ms / len;
+  return (ms - len + 1) / len;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> ground_truth_from_raw(
+    std::span<const botnet::RawRecord> raw, dga::QueryPoolModel& pool_model,
+    std::int64_t first_epoch, std::int64_t epoch_count) {
+  if (epoch_count <= 0) throw ConfigError("ground_truth_from_raw: epoch_count > 0");
+  const Duration epoch_length = pool_model.config().epoch;
+
+  // Pool dataset: domain -> generation epochs, over the requested window.
+  // Sliding-window pools list the same domain under several epochs; records
+  // are attributed to the epoch closest to their timestamp, matching the
+  // DomainMatcher's policy.
+  std::unordered_map<std::string, std::vector<std::int64_t>> pool_index;
+  for (std::int64_t e = first_epoch; e < first_epoch + epoch_count; ++e) {
+    const dga::EpochPool& pool = pool_model.epoch_pool(e);
+    for (const std::string& d : pool.domains) pool_index[d].push_back(e);
+  }
+
+  std::vector<std::unordered_set<std::uint32_t>> clients(
+      static_cast<std::size_t>(epoch_count));
+  for (const botnet::RawRecord& record : raw) {
+    auto it = pool_index.find(record.domain);
+    if (it == pool_index.end()) continue;
+    const std::int64_t nominal = epoch_of(record.t, epoch_length);
+    std::int64_t best = it->second.front();
+    for (std::int64_t e : it->second) {
+      if (std::abs(e - nominal) < std::abs(best - nominal)) best = e;
+    }
+    if (best < first_epoch || best >= first_epoch + epoch_count) continue;
+    clients[static_cast<std::size_t>(best - first_epoch)].insert(
+        record.client.value());
+  }
+
+  std::vector<std::uint32_t> truth;
+  truth.reserve(clients.size());
+  for (const auto& set : clients) {
+    truth.push_back(static_cast<std::uint32_t>(set.size()));
+  }
+  return truth;
+}
+
+std::vector<std::uint32_t> active_clients_per_day(
+    std::span<const botnet::RawRecord> raw, Duration epoch_length,
+    std::int64_t first_epoch, std::int64_t epoch_count) {
+  if (epoch_count <= 0) throw ConfigError("active_clients_per_day: epoch_count > 0");
+  std::vector<std::unordered_set<std::uint32_t>> clients(
+      static_cast<std::size_t>(epoch_count));
+  for (const botnet::RawRecord& record : raw) {
+    const std::int64_t e = epoch_of(record.t, epoch_length);
+    if (e < first_epoch || e >= first_epoch + epoch_count) continue;
+    clients[static_cast<std::size_t>(e - first_epoch)].insert(
+        record.client.value());
+  }
+  std::vector<std::uint32_t> counts;
+  counts.reserve(clients.size());
+  for (const auto& set : clients) {
+    counts.push_back(static_cast<std::uint32_t>(set.size()));
+  }
+  return counts;
+}
+
+}  // namespace botmeter::trace

@@ -1,0 +1,36 @@
+// Dataset containers mirroring §V-B.
+//
+// The *raw dataset* is the local server's full view — (timestamp, client,
+// domain) — and exists only to extract ground truth. The *observable
+// dataset* is what the border sees: (timestamp, domain) per forwarding
+// server, i.e. the cache-filtered stream BotMeter actually analyzes. The
+// *pool dataset* is the set of DGA domains per family per day (DGArchive's
+// role, played by our family generators).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "botnet/simulator.hpp"
+#include "dga/pool.hpp"
+#include "dns/vantage.hpp"
+
+namespace botmeter::trace {
+
+/// Per-day distinct-client ground truth for one DGA family, computed the way
+/// the paper does: correlate the raw dataset with the pool dataset and count
+/// distinct client IPs per day (§V-B).
+[[nodiscard]] std::vector<std::uint32_t> ground_truth_from_raw(
+    std::span<const botnet::RawRecord> raw, dga::QueryPoolModel& pool_model,
+    std::int64_t first_epoch, std::int64_t epoch_count);
+
+/// Distinct active clients per day regardless of family (the "active IP
+/// addresses per day" statistic of §V-B).
+[[nodiscard]] std::vector<std::uint32_t> active_clients_per_day(
+    std::span<const botnet::RawRecord> raw, Duration epoch_length,
+    std::int64_t first_epoch, std::int64_t epoch_count);
+
+}  // namespace botmeter::trace

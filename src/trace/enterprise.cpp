@@ -1,0 +1,216 @@
+#include "trace/enterprise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "botnet/bot.hpp"
+#include "common/error.hpp"
+#include "dga/domain_gen.hpp"
+
+namespace botmeter::trace {
+
+namespace {
+
+constexpr std::uint32_t kBenignDomainUniverse = 2048;
+
+double logit(double p) { return std::log(p / (1.0 - p)); }
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// One pending lookup of the day, before cache filtering.
+struct PendingQuery {
+  TimePoint t;
+  std::uint32_t client = 0;
+  std::uint32_t population = 0;  // UINT32_MAX for benign
+  std::uint32_t pool_position = 0;
+  std::uint32_t benign_index = 0;
+};
+
+}  // namespace
+
+void EnterpriseConfig::validate() const {
+  if (populations.empty()) {
+    throw ConfigError("EnterpriseConfig: at least one infected population");
+  }
+  for (const InfectedPopulation& p : populations) {
+    p.dga.validate();
+    if (p.infected_devices == 0) {
+      throw ConfigError("EnterpriseConfig: infected_devices must be > 0");
+    }
+    if (p.mean_activity <= 0.0 || p.mean_activity >= 1.0) {
+      throw ConfigError("EnterpriseConfig: mean_activity must be in (0,1)");
+    }
+    if (p.activity_volatility < 0.0) {
+      throw ConfigError("EnterpriseConfig: negative activity_volatility");
+    }
+    if (p.dga.epoch != days(1)) {
+      throw ConfigError("EnterpriseConfig: populations must use one-day epochs");
+    }
+  }
+  if (duplicate_query_rate < 0.0 || duplicate_query_rate > 1.0) {
+    throw ConfigError("EnterpriseConfig: duplicate_query_rate must be in [0,1]");
+  }
+  if (collision_rate_per_pool_domain < 0.0 ||
+      collision_rate_per_pool_domain > 1.0) {
+    throw ConfigError(
+        "EnterpriseConfig: collision_rate_per_pool_domain must be in [0,1]");
+  }
+  ttl.validate();
+}
+
+EnterpriseSimulator::EnterpriseSimulator(EnterpriseConfig config)
+    : config_(std::move(config)),
+      network_(1, config_.ttl, config_.timestamp_granularity),
+      rng_(config_.seed) {
+  config_.validate();
+  pools_.reserve(config_.populations.size());
+  for (const InfectedPopulation& p : config_.populations) {
+    pools_.push_back(dga::make_pool_model(p.dga));
+    activity_logit_.push_back(logit(p.mean_activity));
+  }
+  // The benign universe resolves forever.
+  for (std::uint32_t j = 0; j < kBenignDomainUniverse; ++j) {
+    network_.authority().register_permanent(dga::benign_domain(j));
+  }
+}
+
+dga::QueryPoolModel& EnterpriseSimulator::pool_model(std::size_t index) {
+  if (index >= pools_.size()) throw ConfigError("pool_model: index out of range");
+  return *pools_[index];
+}
+
+std::uint32_t EnterpriseSimulator::client_base(std::size_t index) const {
+  if (index >= config_.populations.size()) {
+    throw ConfigError("client_base: index out of range");
+  }
+  std::uint32_t base = 0;
+  for (std::size_t i = 0; i < index; ++i) {
+    base += config_.populations[i].infected_devices;
+  }
+  return base;
+}
+
+EnterpriseDay EnterpriseSimulator::step() {
+  const std::int64_t day = day_++;
+  const TimePoint day_start{day * days(1).millis()};
+  const Duration day_len = days(1);
+
+  EnterpriseDay result;
+  result.day = day;
+  result.active_bots.assign(config_.populations.size(), 0);
+
+  std::vector<PendingQuery> queries;
+
+  // --- DGA traffic ---------------------------------------------------
+  for (std::size_t pi = 0; pi < config_.populations.size(); ++pi) {
+    const InfectedPopulation& pop = config_.populations[pi];
+    const dga::EpochPool& pool = pools_[pi]->epoch_pool(day);
+
+    // Register today's C2 domains (with slack past midnight, as in the
+    // epoch simulator).
+    for (std::uint32_t pos : pool.valid_positions) {
+      network_.authority().register_domain(pool.domains[pos], day_start,
+                                           day_start + day_len + hours(1));
+    }
+
+    // Mean-reverting random walk on the activity level.
+    double& l = activity_logit_[pi];
+    const double anchor = logit(pop.mean_activity);
+    l += rng_.normal(0.0, pop.activity_volatility) + 0.1 * (anchor - l);
+    l = std::clamp(l, anchor - 3.0, anchor + 3.0);
+    const double activity = sigmoid(l);
+
+    const std::uint32_t base = client_base(pi);
+    for (std::uint32_t device = 0; device < pop.infected_devices; ++device) {
+      if (!rng_.bernoulli(activity)) continue;
+      ++result.active_bots[pi];
+      const TimePoint activation =
+          day_start + milliseconds(rng_.uniform_range(0, day_len.millis() - 1));
+      Rng bot_rng{mix64(config_.seed ^
+                        mix64((static_cast<std::uint64_t>(day) << 24) |
+                              (static_cast<std::uint64_t>(pi) << 16) | device))};
+      for (const botnet::QueryEvent& ev :
+           botnet::activation_queries(pop.dga, pool, activation, bot_rng)) {
+        queries.push_back(PendingQuery{ev.t, base + device,
+                                       static_cast<std::uint32_t>(pi),
+                                       ev.pool_position, 0});
+      }
+    }
+  }
+
+  // --- Collision cases (§II-B) -----------------------------------------
+  // A few pool NXDs coincide with names benign software queries anyway.
+  const std::uint32_t benign_base_for_collisions =
+      client_base(config_.populations.size() - 1) +
+      config_.populations.back().infected_devices;
+  if (config_.collision_rate_per_pool_domain > 0.0) {
+    for (std::size_t pi = 0; pi < config_.populations.size(); ++pi) {
+      const dga::EpochPool& pool = pools_[pi]->epoch_pool(day);
+      const double expected =
+          config_.collision_rate_per_pool_domain * pool.size();
+      const std::uint64_t collisions = rng_.poisson(expected);
+      for (std::uint64_t c = 0; c < collisions; ++c) {
+        const auto pos = static_cast<std::uint32_t>(rng_.uniform(pool.size()));
+        const std::uint64_t hits = 2 + rng_.uniform(3);  // 2..4 benign queries
+        for (std::uint64_t h = 0; h < hits; ++h) {
+          const TimePoint t = day_start + milliseconds(rng_.uniform_range(
+                                              0, day_len.millis() - 1));
+          const auto benign_client = static_cast<std::uint32_t>(
+              benign_base_for_collisions +
+              rng_.uniform(std::max(config_.benign_clients, 1u)));
+          queries.push_back(PendingQuery{t, benign_client,
+                                         static_cast<std::uint32_t>(pi), pos,
+                                         0});
+        }
+      }
+    }
+  }
+
+  // --- Benign background traffic --------------------------------------
+  const std::uint32_t benign_base = client_base(config_.populations.size() - 1) +
+                                    config_.populations.back().infected_devices;
+  for (std::uint32_t c = 0; c < config_.benign_clients; ++c) {
+    for (std::uint32_t q = 0; q < config_.benign_queries_per_client_per_day; ++q) {
+      const TimePoint t =
+          day_start + milliseconds(rng_.uniform_range(0, day_len.millis() - 1));
+      queries.push_back(PendingQuery{
+          t, benign_base + c, UINT32_MAX, 0,
+          static_cast<std::uint32_t>(rng_.uniform(kBenignDomainUniverse))});
+    }
+  }
+
+  // --- Cache filtering in global time order ----------------------------
+  std::sort(queries.begin(), queries.end(),
+            [](const PendingQuery& a, const PendingQuery& b) {
+              if (a.t != b.t) return a.t < b.t;
+              return a.client < b.client;
+            });
+
+  result.raw.reserve(queries.size());
+  for (const PendingQuery& q : queries) {
+    const std::string& domain =
+        q.population == UINT32_MAX
+            ? dga::benign_domain(q.benign_index)
+            : pools_[q.population]->epoch_pool(day).domains[q.pool_position];
+    const std::size_t forwarded_before = network_.vantage().size();
+    const dns::Rcode rcode =
+        network_.resolve(q.t, dns::ClientId{q.client}, domain);
+    result.raw.push_back(
+        botnet::RawRecord{q.t, dns::ClientId{q.client}, domain, rcode});
+    // Raced duplicate: a retransmission (or a concurrent query from another
+    // device) that beat the cache insert also reaches the border.
+    const bool was_forwarded = network_.vantage().size() > forwarded_before;
+    if (was_forwarded && config_.duplicate_query_rate > 0.0 &&
+        rng_.bernoulli(config_.duplicate_query_rate)) {
+      const TimePoint dup_time = q.t + milliseconds(rng_.uniform_range(0, 999));
+      network_.vantage().record(dup_time, dns::ServerId{0}, domain);
+      result.raw.push_back(
+          botnet::RawRecord{dup_time, dns::ClientId{q.client}, domain, rcode});
+    }
+  }
+
+  result.observable = network_.vantage().take();
+  network_.evict_expired(day_start + day_len);
+  return result;
+}
+
+}  // namespace botmeter::trace

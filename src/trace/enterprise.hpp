@@ -1,0 +1,96 @@
+// Synthetic enterprise DNS trace (substitute for the paper's proprietary
+// one-year dataset, §V-B; see DESIGN.md "Substitutions").
+//
+// One local DNS server serves a population of benign clients plus several
+// DGA-infected sub-populations. Each infected device stays infected across
+// the whole horizon but is only *active* on a given day with a
+// slowly-varying probability (a mean-reverting random walk), reproducing the
+// bursty daily-population series of Fig. 7. Timestamps are quantised to the
+// paper's one-second collection granularity. The generator runs day by day
+// so year-long horizons stream in O(day) memory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "botnet/simulator.hpp"
+#include "common/rng.hpp"
+#include "dga/config.hpp"
+#include "dga/pool.hpp"
+#include "dns/topology.hpp"
+
+namespace botmeter::trace {
+
+struct InfectedPopulation {
+  dga::DgaConfig dga;
+  std::uint32_t infected_devices = 40;  // stable infected set size
+  double mean_activity = 0.5;           // long-run P(device active on a day)
+  double activity_volatility = 0.25;    // day-to-day random-walk step (logit)
+};
+
+struct EnterpriseConfig {
+  std::vector<InfectedPopulation> populations;
+  std::uint32_t benign_clients = 200;
+  std::uint32_t benign_queries_per_client_per_day = 20;
+  dns::TtlPolicy ttl;                                // defaults per §II-B
+  Duration timestamp_granularity = seconds(1);       // §V-B
+  std::uint64_t seed = 2014;
+
+  // --- real-trace artifacts (default off; the Fig. 7 bench enables them) --
+  // Raced duplicate forwards: a stub-resolver retransmission or a concurrent
+  // same-domain query from another device can reach the local server before
+  // the first answer is cached, so the border occasionally sees the same
+  // lookup twice. Probability applies per forwarded DGA lookup. Duplicates
+  // split the Timing estimator's entries (heuristic #1) but are invisible to
+  // the burst/coverage statistics of M_P / M_B.
+  double duplicate_query_rate = 0.0;
+  // Collision cases (§II-B): a small share of pool NXDs coincides with
+  // names benign software also queries. Expected collision domains per
+  // family per day = rate * pool size; each is queried a few times by
+  // benign clients over the day.
+  double collision_rate_per_pool_domain = 0.0;
+
+  void validate() const;
+};
+
+/// Everything one simulated day produced.
+struct EnterpriseDay {
+  std::int64_t day = 0;
+  std::vector<botnet::RawRecord> raw;
+  std::vector<dns::ForwardedLookup> observable;
+  std::vector<std::uint32_t> active_bots;  // per population, ground truth
+};
+
+class EnterpriseSimulator {
+ public:
+  explicit EnterpriseSimulator(EnterpriseConfig config);
+
+  EnterpriseSimulator(const EnterpriseSimulator&) = delete;
+  EnterpriseSimulator& operator=(const EnterpriseSimulator&) = delete;
+
+  /// Simulate the next day and return its artefacts.
+  [[nodiscard]] EnterpriseDay step();
+
+  [[nodiscard]] std::int64_t next_day() const { return day_; }
+  [[nodiscard]] const EnterpriseConfig& config() const { return config_; }
+
+  /// The shared pool model for population `index` (the same object the
+  /// analysis side should use so pool contents agree).
+  [[nodiscard]] dga::QueryPoolModel& pool_model(std::size_t index);
+
+  /// The client-id block assigned to population `index`'s devices (benign
+  /// clients live above all blocks).
+  [[nodiscard]] std::uint32_t client_base(std::size_t index) const;
+
+ private:
+  EnterpriseConfig config_;
+  dns::Network network_;
+  std::vector<std::unique_ptr<dga::QueryPoolModel>> pools_;
+  std::vector<double> activity_logit_;  // per population, random-walk state
+  Rng rng_;
+  std::int64_t day_ = 0;
+};
+
+}  // namespace botmeter::trace

@@ -1,0 +1,111 @@
+#include "trace/io.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace botmeter::trace {
+
+namespace {
+
+[[noreturn]] void malformed(std::size_t line_no, const std::string& line) {
+  throw DataError("trace parse error at line " + std::to_string(line_no) +
+                  ": '" + line + "'");
+}
+
+/// Split `line` into exactly `n` tab-separated fields; returns false on a
+/// field-count mismatch.
+bool split_tabs(std::string_view line, std::span<std::string_view> fields) {
+  std::size_t i = 0;
+  while (!line.empty() || i < fields.size()) {
+    if (i == fields.size()) return false;  // too many fields
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) {
+      fields[i++] = line;
+      line = {};
+      break;
+    }
+    fields[i++] = line.substr(0, tab);
+    line.remove_prefix(tab + 1);
+  }
+  return i == fields.size();
+}
+
+template <typename T>
+bool parse_int(std::string_view s, T& out) {
+  const auto* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+void write_raw(std::ostream& os, std::span<const botnet::RawRecord> records) {
+  for (const botnet::RawRecord& r : records) {
+    os << r.t.millis() << '\t' << r.client.value() << '\t' << r.domain << '\t'
+       << (r.rcode == dns::Rcode::kAddress ? "A" : "NX") << '\n';
+  }
+}
+
+void write_observable(std::ostream& os,
+                      std::span<const dns::ForwardedLookup> lookups) {
+  for (const dns::ForwardedLookup& l : lookups) {
+    os << l.timestamp.millis() << '\t' << l.forwarder.value() << '\t'
+       << l.domain << '\n';
+  }
+}
+
+std::vector<botnet::RawRecord> read_raw(std::istream& is) {
+  std::vector<botnet::RawRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string_view fields[4];
+    if (!split_tabs(line, fields)) malformed(line_no, line);
+    std::int64_t t_ms = 0;
+    std::uint32_t client = 0;
+    if (!parse_int(fields[0], t_ms) || !parse_int(fields[1], client) ||
+        fields[2].empty()) {
+      malformed(line_no, line);
+    }
+    dns::Rcode rcode;
+    if (fields[3] == "A") {
+      rcode = dns::Rcode::kAddress;
+    } else if (fields[3] == "NX") {
+      rcode = dns::Rcode::kNxDomain;
+    } else {
+      malformed(line_no, line);
+    }
+    records.push_back(botnet::RawRecord{TimePoint{t_ms}, dns::ClientId{client},
+                                        std::string(fields[2]), rcode});
+  }
+  return records;
+}
+
+std::vector<dns::ForwardedLookup> read_observable(std::istream& is) {
+  std::vector<dns::ForwardedLookup> lookups;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string_view fields[3];
+    if (!split_tabs(line, fields)) malformed(line_no, line);
+    std::int64_t t_ms = 0;
+    std::uint32_t server = 0;
+    if (!parse_int(fields[0], t_ms) || !parse_int(fields[1], server) ||
+        fields[2].empty()) {
+      malformed(line_no, line);
+    }
+    lookups.push_back(dns::ForwardedLookup{TimePoint{t_ms}, dns::ServerId{server},
+                                           std::string(fields[2])});
+  }
+  return lookups;
+}
+
+}  // namespace botmeter::trace

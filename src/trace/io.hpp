@@ -1,0 +1,29 @@
+// Text (de)serialisation of the raw and observable datasets.
+//
+// One record per line, tab-separated, millisecond timestamps:
+//   raw:        <t_ms> \t <client> \t <domain> \t <A|NX>
+//   observable: <t_ms> \t <server> \t <domain>
+// The format is deliberately trivial — it exists so traces can be produced
+// once, archived, and re-analyzed, and so external collectors can feed
+// BotMeter.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "botnet/simulator.hpp"
+#include "dns/vantage.hpp"
+
+namespace botmeter::trace {
+
+void write_raw(std::ostream& os, std::span<const botnet::RawRecord> records);
+void write_observable(std::ostream& os,
+                      std::span<const dns::ForwardedLookup> lookups);
+
+/// Parse; throws DataError with the offending line number on malformed input.
+[[nodiscard]] std::vector<botnet::RawRecord> read_raw(std::istream& is);
+[[nodiscard]] std::vector<dns::ForwardedLookup> read_observable(std::istream& is);
+
+}  // namespace botmeter::trace

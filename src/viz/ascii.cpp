@@ -1,0 +1,127 @@
+#include "viz/ascii.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace botmeter::viz {
+
+namespace {
+
+constexpr char kLevels[] = " .:-=+*#%@";
+constexpr std::size_t kLevelCount = sizeof(kLevels) - 1;  // 10 levels
+
+/// Map value in [0, max] to an intensity character; max <= 0 maps all to ' '.
+char intensity(double value, double max) {
+  if (max <= 0.0 || value <= 0.0) return kLevels[0];
+  const double unit = std::min(value / max, 1.0);
+  auto level = static_cast<std::size_t>(unit * (kLevelCount - 1) + 0.5);
+  return kLevels[std::min(level, kLevelCount - 1)];
+}
+
+std::string format_value(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string bar_chart(std::span<const std::pair<std::string, double>> rows,
+                      const BarChartOptions& options) {
+  if (options.max_bar_width == 0) {
+    throw ConfigError("bar_chart: max_bar_width must be positive");
+  }
+  std::size_t label_width = 0;
+  double max_value = 0.0;
+  for (const auto& [label, value] : rows) {
+    if (value < 0.0) throw ConfigError("bar_chart: negative value");
+    label_width = std::max(label_width, label.size());
+    max_value = std::max(max_value, value);
+  }
+
+  std::ostringstream os;
+  for (const auto& [label, value] : rows) {
+    os << label << std::string(label_width - label.size(), ' ') << " |";
+    const std::size_t width =
+        max_value > 0.0
+            ? static_cast<std::size_t>(value / max_value *
+                                           static_cast<double>(options.max_bar_width) +
+                                       0.5)
+            : 0;
+    os << std::string(width, options.fill);
+    if (options.show_values) {
+      os << ' ' << format_value(value);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string sparkline(std::span<const double> values) {
+  if (values.empty()) return {};
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string line;
+  line.reserve(values.size());
+  const double range = hi - lo;
+  for (double v : values) {
+    if (range <= 0.0) {
+      // Constant series: lowest visible level (blank would read as "no data").
+      line.push_back(kLevels[1]);
+      continue;
+    }
+    const double unit = (v - lo) / range;
+    auto level = static_cast<std::size_t>(unit * (kLevelCount - 2) + 0.5) + 1;
+    line.push_back(kLevels[std::min(level, kLevelCount - 1)]);
+  }
+  return line;
+}
+
+std::string heatmap(const std::vector<std::string>& row_labels,
+                    const std::vector<std::string>& col_labels,
+                    const std::vector<std::vector<double>>& cells) {
+  if (cells.size() != row_labels.size()) {
+    throw ConfigError("heatmap: row label / cell count mismatch");
+  }
+  double max_value = 0.0;
+  for (const auto& row : cells) {
+    if (row.size() != col_labels.size()) {
+      throw ConfigError("heatmap: ragged cell rows");
+    }
+    for (double v : row) {
+      if (v < 0.0) throw ConfigError("heatmap: negative cell");
+      max_value = std::max(max_value, v);
+    }
+  }
+  std::size_t label_width = 0;
+  for (const auto& label : row_labels) {
+    label_width = std::max(label_width, label.size());
+  }
+  std::size_t col_width = 1;
+  for (const auto& label : col_labels) {
+    col_width = std::max(col_width, label.size());
+  }
+
+  std::ostringstream os;
+  os << std::string(label_width, ' ');
+  for (const auto& label : col_labels) {
+    os << ' ' << std::string(col_width - label.size(), ' ') << label;
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < cells.size(); ++r) {
+    os << row_labels[r] << std::string(label_width - row_labels[r].size(), ' ');
+    for (double v : cells[r]) {
+      os << ' ' << std::string(col_width - 1, ' ') << intensity(v, max_value);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace botmeter::viz

@@ -1,0 +1,42 @@
+// Plain-ASCII chart primitives for terminal dashboards.
+//
+// The paper's future-work list (§VII, item 2) calls for "visual analytical
+// components to fully exploit BotMeter's potential". This module provides
+// the rendering primitives — horizontal bar charts, sparklines, and
+// intensity heatmaps — used by viz::landscape to chart estimates. Output is
+// pure 7-bit ASCII so it renders in any terminal or log file.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace botmeter::viz {
+
+struct BarChartOptions {
+  std::size_t max_bar_width = 50;  // widest bar, in characters
+  bool show_values = true;         // append the numeric value after each bar
+  char fill = '#';
+};
+
+/// Horizontal bar chart, one row per (label, value). Values must be
+/// non-negative; bars are scaled so the maximum value fills max_bar_width.
+/// All-zero input renders empty bars.
+[[nodiscard]] std::string bar_chart(
+    std::span<const std::pair<std::string, double>> rows,
+    const BarChartOptions& options = {});
+
+/// One-line sparkline: each value maps to one of ten ASCII intensity levels
+/// (" .:-=+*#%@"), scaled to [min, max] of the series. Empty input yields an
+/// empty string; a constant series renders at the lowest non-blank level.
+[[nodiscard]] std::string sparkline(std::span<const double> values);
+
+/// Intensity heatmap with row and column labels. `cells[r][c]` must be
+/// non-negative and every row must have col_labels.size() entries. Intensity
+/// is scaled to the global maximum.
+[[nodiscard]] std::string heatmap(const std::vector<std::string>& row_labels,
+                                  const std::vector<std::string>& col_labels,
+                                  const std::vector<std::vector<double>>& cells);
+
+}  // namespace botmeter::viz

@@ -1,0 +1,82 @@
+#include "viz/landscape.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "viz/ascii.hpp"
+
+namespace botmeter::viz {
+
+std::string render_landscape(const core::LandscapeReport& report,
+                             std::span<const double> actual) {
+  if (!actual.empty() && actual.size() != report.servers.size()) {
+    throw ConfigError("render_landscape: actual size must match server count");
+  }
+
+  // Order servers by estimated population, descending: the remediation
+  // priority of §I.
+  std::vector<std::size_t> order(report.servers.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return report.servers[a].population > report.servers[b].population;
+  });
+
+  std::vector<std::pair<std::string, double>> rows;
+  rows.reserve(order.size());
+  for (std::size_t i : order) {
+    const core::ServerEstimate& s = report.servers[i];
+    std::string label = "server-" + std::to_string(s.server.value());
+    if (!actual.empty()) {
+      char note[32];
+      std::snprintf(note, sizeof(note), " (actual %.0f)", actual[i]);
+      label += note;
+    }
+    rows.emplace_back(std::move(label), s.population);
+  }
+
+  std::ostringstream os;
+  os << "botnet landscape (" << report.estimator_name
+     << " estimator), remediation order:\n";
+  os << bar_chart(rows);
+  char total[64];
+  std::snprintf(total, sizeof(total), "total estimated population: %.1f\n",
+                report.total_population());
+  os << total;
+  return os.str();
+}
+
+std::string render_series(std::span<const Series> series) {
+  std::size_t label_width = 0;
+  for (const Series& s : series) {
+    label_width = std::max(label_width, s.label.size());
+  }
+  std::ostringstream os;
+  for (const Series& s : series) {
+    double lo = 0.0, hi = 0.0, last = 0.0;
+    if (!s.values.empty()) {
+      lo = *std::min_element(s.values.begin(), s.values.end());
+      hi = *std::max_element(s.values.begin(), s.values.end());
+      last = s.values.back();
+    }
+    os << s.label << std::string(label_width - s.label.size(), ' ') << " |"
+       << sparkline(s.values) << "|";
+    char annotation[64];
+    std::snprintf(annotation, sizeof(annotation),
+                  " min %.1f last %.1f max %.1f", lo, last, hi);
+    os << annotation << '\n';
+  }
+  return os.str();
+}
+
+std::string render_threat_grid(const std::vector<std::string>& server_labels,
+                               const std::vector<std::string>& family_labels,
+                               const std::vector<std::vector<double>>& populations) {
+  std::ostringstream os;
+  os << "threat grid (rows: servers, cols: families; darker = more bots)\n";
+  os << heatmap(server_labels, family_labels, populations);
+  return os.str();
+}
+
+}  // namespace botmeter::viz

@@ -1,0 +1,41 @@
+// Visual-analytics views over BotMeter outputs (paper future-work #2).
+//
+// Three views cover the analyst workflow the paper motivates:
+//  - render_landscape: per-server population bars with a remediation
+//    ordering ("prioritize the remediation efforts", §I);
+//  - render_series: daily estimate sparklines per family (the Fig. 7 view);
+//  - render_threat_grid: server x family heatmap for multi-family sweeps.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/botmeter.hpp"
+
+namespace botmeter::viz {
+
+/// Bar-chart view of a landscape report, servers ordered by estimated
+/// population (the remediation priority). If `actual` is non-empty it must
+/// hold one ground-truth value per server and is annotated for evaluation
+/// runs.
+[[nodiscard]] std::string render_landscape(const core::LandscapeReport& report,
+                                           std::span<const double> actual = {});
+
+/// One named time series (e.g. a family's daily population estimates).
+struct Series {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Sparkline panel: one row per series with min/last/max annotations.
+[[nodiscard]] std::string render_series(std::span<const Series> series);
+
+/// Server x family threat grid: `populations[s][f]` is the estimated
+/// population of family `f` behind server `s`.
+[[nodiscard]] std::string render_threat_grid(
+    const std::vector<std::string>& server_labels,
+    const std::vector<std::string>& family_labels,
+    const std::vector<std::vector<double>>& populations);
+
+}  // namespace botmeter::viz

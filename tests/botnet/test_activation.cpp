@@ -1,0 +1,146 @@
+#include "botnet/activation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace botmeter::botnet {
+namespace {
+
+TEST(ActivationTest, ConstantRateActivatesEveryBot) {
+  Rng rng{1};
+  ActivationConfig config;  // constant
+  const auto times =
+      draw_activations(config, 100, TimePoint{0}, days(1), rng);
+  EXPECT_EQ(times.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  for (TimePoint t : times) {
+    EXPECT_GE(t, TimePoint{0});
+    EXPECT_LT(t, TimePoint{days(1).millis()});
+  }
+}
+
+TEST(ActivationTest, ConstantRateTimesRoughlyUniform) {
+  Rng rng{2};
+  ActivationConfig config;
+  const std::size_t n = 20'000;
+  const auto times = draw_activations(config, n, TimePoint{0}, days(1), rng);
+  // Mean activation time ~ half the window.
+  double sum = 0.0;
+  for (TimePoint t : times) sum += static_cast<double>(t.millis());
+  const double mean = sum / static_cast<double>(n);
+  EXPECT_NEAR(mean, days(1).millis() / 2.0, days(1).millis() * 0.01);
+  // Quarter-window occupancy ~ n/4 each.
+  std::size_t first_quarter = 0;
+  for (TimePoint t : times) {
+    if (t < TimePoint{days(1).millis() / 4}) ++first_quarter;
+  }
+  EXPECT_NEAR(static_cast<double>(first_quarter), n / 4.0, n * 0.02);
+}
+
+TEST(ActivationTest, WindowOffsetRespected) {
+  Rng rng{3};
+  ActivationConfig config;
+  const TimePoint start{days(5).millis()};
+  const auto times = draw_activations(config, 50, start, hours(6), rng);
+  for (TimePoint t : times) {
+    EXPECT_GE(t, start);
+    EXPECT_LT(t, start + hours(6));
+  }
+}
+
+TEST(ActivationTest, DynamicRateMayDropLateBots) {
+  Rng rng{4};
+  ActivationConfig config{.model = RateModel::kDynamic, .sigma = 2.0};
+  const auto times = draw_activations(config, 500, TimePoint{0}, days(1), rng);
+  EXPECT_LE(times.size(), 500u);
+  // With sigma = 2 the mean gap is inflated by E[e^-kappa] = e^{sigma^2/2},
+  // so a substantial fraction of arrivals spill past the window — but the
+  // process must not collapse entirely.
+  EXPECT_GT(times.size(), 15u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  for (TimePoint t : times) {
+    EXPECT_GE(t, TimePoint{0});
+    EXPECT_LT(t, TimePoint{days(1).millis()});
+  }
+}
+
+TEST(ActivationTest, DynamicRateMeanCountNearPopulation) {
+  // Averaged over trials, the dynamic process with moderate sigma should
+  // activate a large majority of the population within the window.
+  ActivationConfig config{.model = RateModel::kDynamic, .sigma = 0.5};
+  double total = 0.0;
+  const int trials = 50;
+  Rng rng{5};
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(
+        draw_activations(config, 200, TimePoint{0}, days(1), rng).size());
+  }
+  EXPECT_GT(total / trials, 140.0);
+}
+
+TEST(ActivationTest, LargerSigmaMoreVariableGaps) {
+  // Larger sigma means more dynamically varying activation rate (§V-A):
+  // the dispersion of inter-arrival gaps must grow with sigma.
+  auto log_gap_variance = [](double sigma) {
+    ActivationConfig config{.model = RateModel::kDynamic, .sigma = sigma};
+    Rng rng{6};
+    double sum = 0.0, sum_sq = 0.0;
+    std::size_t count = 0;
+    for (int t = 0; t < 200; ++t) {
+      const auto times =
+          draw_activations(config, 128, TimePoint{0}, days(1), rng);
+      for (std::size_t i = 1; i < times.size(); ++i) {
+        const double gap =
+            std::max<double>(1.0,
+                             static_cast<double>((times[i] - times[i - 1]).millis()));
+        const double lg = std::log(gap);
+        sum += lg;
+        sum_sq += lg * lg;
+        ++count;
+      }
+    }
+    const double mean = sum / static_cast<double>(count);
+    return sum_sq / static_cast<double>(count) - mean * mean;
+  };
+  EXPECT_LT(log_gap_variance(0.5), log_gap_variance(2.5));
+}
+
+TEST(ActivationTest, LargerSigmaFewerRealisedActivations) {
+  // E[1/lambda_i] = e^{sigma^2/2}/lambda_0 grows with sigma, so higher
+  // volatility pushes more arrivals past the epoch boundary.
+  auto mean_count = [](double sigma) {
+    ActivationConfig config{.model = RateModel::kDynamic, .sigma = sigma};
+    Rng rng{9};
+    double total = 0.0;
+    const int trials = 100;
+    for (int t = 0; t < trials; ++t) {
+      total += static_cast<double>(
+          draw_activations(config, 128, TimePoint{0}, days(1), rng).size());
+    }
+    return total / trials;
+  };
+  EXPECT_GT(mean_count(0.5), mean_count(2.5));
+}
+
+TEST(ActivationTest, ZeroBotsYieldNothing) {
+  Rng rng{7};
+  ActivationConfig config;
+  EXPECT_TRUE(draw_activations(config, 0, TimePoint{0}, days(1), rng).empty());
+}
+
+TEST(ActivationTest, InvalidInputsRejected) {
+  Rng rng{8};
+  ActivationConfig config;
+  EXPECT_THROW((void)draw_activations(config, 10, TimePoint{0}, Duration{0}, rng),
+               ConfigError);
+  ActivationConfig bad{.model = RateModel::kDynamic, .sigma = 0.0};
+  EXPECT_THROW((void)draw_activations(bad, 10, TimePoint{0}, days(1), rng),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace botmeter::botnet

@@ -1,0 +1,110 @@
+#include "botnet/bot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dga/families.hpp"
+#include "dga/pool.hpp"
+
+namespace botmeter::botnet {
+namespace {
+
+dga::DgaConfig uniform_config() {
+  dga::DgaConfig c;
+  c.name = "test-uniform";
+  c.taxonomy = {dga::PoolModel::kDrainReplenish, dga::BarrelModel::kUniform};
+  c.nxd_count = 48;
+  c.valid_count = 2;
+  c.barrel_size = 50;
+  c.query_interval = milliseconds(500);
+  c.seed = 123;
+  return c;
+}
+
+TEST(BotTest, StopsAtFirstValidDomain) {
+  const dga::DgaConfig config = uniform_config();
+  auto model = dga::make_pool_model(config);
+  const dga::EpochPool& pool = model->epoch_pool(0);
+  Rng rng{1};
+  const auto events = activation_queries(config, pool, TimePoint{0}, rng);
+  ASSERT_FALSE(events.empty());
+  // Every event except the last must be an NXD; the last is the first valid
+  // position of the uniform order (or the barrel ran dry).
+  for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+    EXPECT_FALSE(pool.is_valid_position(events[i].pool_position));
+  }
+  const std::uint32_t first_valid = pool.valid_positions.front();
+  if (first_valid < config.barrel_size) {
+    EXPECT_EQ(events.back().pool_position, first_valid);
+    EXPECT_EQ(events.size(), static_cast<std::size_t>(first_valid) + 1);
+  }
+}
+
+TEST(BotTest, FixedIntervalSpacing) {
+  const dga::DgaConfig config = uniform_config();
+  auto model = dga::make_pool_model(config);
+  const dga::EpochPool& pool = model->epoch_pool(0);
+  Rng rng{2};
+  const TimePoint start{12'345};
+  const auto events = activation_queries(config, pool, start, rng);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].t,
+              start + config.query_interval * static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(BotTest, JitteredGapsWhenNoFixedInterval) {
+  dga::DgaConfig config = uniform_config();
+  config.query_interval = Duration{0};
+  config.jitter_min = milliseconds(200);
+  config.jitter_max = milliseconds(1200);
+  auto model = dga::make_pool_model(config);
+  const dga::EpochPool& pool = model->epoch_pool(0);
+  Rng rng{3};
+  const auto events = activation_queries(config, pool, TimePoint{0}, rng);
+  ASSERT_GT(events.size(), 2u);
+  bool any_nonuniform = false;
+  Duration first_gap = events[1].t - events[0].t;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const Duration gap = events[i].t - events[i - 1].t;
+    EXPECT_GE(gap, config.jitter_min);
+    EXPECT_LE(gap, config.jitter_max);
+    if (gap != first_gap) any_nonuniform = true;
+  }
+  EXPECT_TRUE(any_nonuniform);
+}
+
+TEST(BotTest, WithoutStopOnHitWalksWholeBarrel) {
+  dga::DgaConfig config = uniform_config();
+  config.stop_on_hit = false;
+  auto model = dga::make_pool_model(config);
+  const dga::EpochPool& pool = model->epoch_pool(0);
+  Rng rng{4};
+  const auto events = activation_queries(config, pool, TimePoint{0}, rng);
+  EXPECT_EQ(events.size(), 50u);
+}
+
+TEST(BotTest, RandomCutBotCoversConsecutiveRun) {
+  const dga::DgaConfig config = dga::newgoz_config();
+  auto model = dga::make_pool_model(config);
+  const dga::EpochPool& pool = model->epoch_pool(0);
+  Rng rng{5};
+  const auto events = activation_queries(config, pool, TimePoint{0}, rng);
+  ASSERT_FALSE(events.empty());
+  EXPECT_LE(events.size(), static_cast<std::size_t>(config.barrel_size));
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].pool_position,
+              (events[i - 1].pool_position + 1) % pool.size());
+  }
+}
+
+TEST(BotTest, MaxActivationDuration) {
+  const dga::DgaConfig fixed = uniform_config();
+  EXPECT_EQ(max_activation_duration(fixed), milliseconds(500) * 50);
+  dga::DgaConfig jittered = uniform_config();
+  jittered.query_interval = Duration{0};
+  jittered.jitter_max = milliseconds(1200);
+  EXPECT_EQ(max_activation_duration(jittered), milliseconds(1200) * 50);
+}
+
+}  // namespace
+}  // namespace botmeter::botnet

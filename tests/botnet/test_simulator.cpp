@@ -1,0 +1,187 @@
+#include "botnet/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "dga/families.hpp"
+
+namespace botmeter::botnet {
+namespace {
+
+SimulationConfig small_config() {
+  SimulationConfig config;
+  config.dga = dga::murofet_config();
+  config.bot_count = 16;
+  config.server_count = 1;
+  config.epoch_count = 1;
+  config.timestamp_granularity = milliseconds(100);
+  config.seed = 11;
+  return config;
+}
+
+TEST(SimulatorTest, TruthMatchesConstantRatePopulation) {
+  const auto result = simulate(small_config());
+  ASSERT_EQ(result.truth.size(), 1u);
+  EXPECT_EQ(result.truth[0].total_active, 16u);
+  EXPECT_EQ(result.truth[0].active_per_server.size(), 1u);
+  EXPECT_EQ(result.truth[0].active_per_server[0], 16u);
+}
+
+TEST(SimulatorTest, RawTraceContainsEveryBot) {
+  const auto result = simulate(small_config());
+  std::unordered_set<std::uint32_t> clients;
+  for (const RawRecord& r : result.raw) clients.insert(r.client.value());
+  EXPECT_EQ(clients.size(), 16u);
+}
+
+TEST(SimulatorTest, RawTraceIsTimeOrdered) {
+  const auto result = simulate(small_config());
+  EXPECT_TRUE(std::is_sorted(
+      result.raw.begin(), result.raw.end(),
+      [](const RawRecord& a, const RawRecord& b) { return a.t < b.t; }));
+}
+
+TEST(SimulatorTest, ObservableIsCacheFilteredSubsetOfRaw) {
+  const auto result = simulate(small_config());
+  EXPECT_FALSE(result.observable.empty());
+  EXPECT_LT(result.observable.size(), result.raw.size());
+  // Every observable domain appears in the raw trace.
+  std::set<std::string> raw_domains;
+  for (const RawRecord& r : result.raw) raw_domains.insert(r.domain);
+  for (const auto& lookup : result.observable) {
+    EXPECT_TRUE(raw_domains.contains(lookup.domain)) << lookup.domain;
+  }
+}
+
+TEST(SimulatorTest, UniformBarrelCachingMasksHeavily) {
+  // With A_U all bots issue the same train, so the observable stream is a
+  // small fraction of the raw one when many bots share a TTL window.
+  SimulationConfig config = small_config();
+  config.bot_count = 128;
+  const auto result = simulate(config);
+  EXPECT_LT(static_cast<double>(result.observable.size()),
+            0.25 * static_cast<double>(result.raw.size()));
+}
+
+TEST(SimulatorTest, SamplingBarrelLessMasked) {
+  SimulationConfig uniform = small_config();
+  uniform.bot_count = 64;
+  SimulationConfig sampling = small_config();
+  sampling.dga = dga::conficker_c_config();
+  sampling.bot_count = 64;
+  const auto u = simulate(uniform);
+  const auto s = simulate(sampling);
+  const double u_ratio = static_cast<double>(u.observable.size()) /
+                         static_cast<double>(u.raw.size());
+  const double s_ratio = static_cast<double>(s.observable.size()) /
+                         static_cast<double>(s.raw.size());
+  EXPECT_GT(s_ratio, u_ratio);
+}
+
+TEST(SimulatorTest, ValidDomainsResolve) {
+  const auto result = simulate(small_config());
+  bool saw_address = false;
+  for (const RawRecord& r : result.raw) {
+    if (r.rcode == dns::Rcode::kAddress) saw_address = true;
+  }
+  EXPECT_TRUE(saw_address);
+}
+
+TEST(SimulatorTest, StopOnHitBoundsPerBotQueries) {
+  // With stop-on-hit, each bot issues at most (first valid position + 1)
+  // lookups; count per-client lookups and check against the pool.
+  SimulationConfig config = small_config();
+  const auto pool_model = dga::make_pool_model(config.dga);
+  auto& model = *pool_model;
+  const auto result = simulate(config, model);
+  const dga::EpochPool& pool = model.epoch_pool(0);
+  const std::uint32_t first_valid = pool.valid_positions.front();
+  std::unordered_map<std::uint32_t, std::uint32_t> per_client;
+  for (const RawRecord& r : result.raw) ++per_client[r.client.value()];
+  for (const auto& [client, count] : per_client) {
+    EXPECT_LE(count, first_valid + 1) << "client " << client;
+  }
+}
+
+TEST(SimulatorTest, MultiServerSplitsTraffic) {
+  SimulationConfig config = small_config();
+  config.server_count = 4;
+  config.bot_count = 64;
+  const auto result = simulate(config);
+  ASSERT_EQ(result.truth[0].active_per_server.size(), 4u);
+  std::uint32_t total = 0;
+  for (std::uint32_t c : result.truth[0].active_per_server) {
+    EXPECT_EQ(c, 16u);  // round-robin placement of 64 bots over 4 servers
+    total += c;
+  }
+  EXPECT_EQ(total, 64u);
+  std::set<std::uint32_t> forwarders;
+  for (const auto& lookup : result.observable) {
+    forwarders.insert(lookup.forwarder.value());
+  }
+  EXPECT_EQ(forwarders.size(), 4u);
+}
+
+TEST(SimulatorTest, MultiEpochProducesPerEpochTruth) {
+  SimulationConfig config = small_config();
+  config.epoch_count = 3;
+  const auto result = simulate(config);
+  ASSERT_EQ(result.truth.size(), 3u);
+  for (const EpochTruth& t : result.truth) {
+    EXPECT_EQ(t.total_active, 16u);
+  }
+}
+
+TEST(SimulatorTest, DeterministicGivenSeed) {
+  const auto a = simulate(small_config());
+  const auto b = simulate(small_config());
+  ASSERT_EQ(a.observable.size(), b.observable.size());
+  for (std::size_t i = 0; i < a.observable.size(); ++i) {
+    EXPECT_EQ(a.observable[i], b.observable[i]);
+  }
+}
+
+TEST(SimulatorTest, SeedChangesTrace) {
+  SimulationConfig config = small_config();
+  const auto a = simulate(config);
+  config.seed = 12;
+  const auto b = simulate(config);
+  EXPECT_NE(a.observable, b.observable);
+}
+
+TEST(SimulatorTest, RecordRawCanBeDisabled) {
+  SimulationConfig config = small_config();
+  config.record_raw = false;
+  const auto result = simulate(config);
+  EXPECT_TRUE(result.raw.empty());
+  EXPECT_FALSE(result.observable.empty());
+}
+
+TEST(SimulatorTest, TimestampGranularityApplied) {
+  SimulationConfig config = small_config();
+  config.timestamp_granularity = seconds(1);
+  const auto result = simulate(config);
+  for (const auto& lookup : result.observable) {
+    EXPECT_EQ(lookup.timestamp.millis() % 1000, 0);
+  }
+}
+
+TEST(SimulatorTest, InvalidConfigRejected) {
+  SimulationConfig config = small_config();
+  config.bot_count = 0;
+  EXPECT_THROW(simulate(config), ConfigError);
+  config = small_config();
+  config.server_count = 0;
+  EXPECT_THROW(simulate(config), ConfigError);
+  config = small_config();
+  config.epoch_count = 0;
+  EXPECT_THROW(simulate(config), ConfigError);
+}
+
+}  // namespace
+}  // namespace botmeter::botnet

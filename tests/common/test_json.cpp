@@ -1,0 +1,98 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace botmeter::json {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("3.5").as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(parse("-0.25").as_double(), -0.25);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("\"hello\"").as_string(), "hello");
+}
+
+TEST(JsonParseTest, IntegralRangeChecked) {
+  EXPECT_THROW((void)parse("3.5").as_int(), DataError);
+  EXPECT_EQ(parse("-7").as_int(), -7);
+}
+
+TEST(JsonParseTest, StringsWithEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d")").as_string(), "a\"b\\c/d");
+  EXPECT_EQ(parse(R"("line\nbreak\ttab")").as_string(), "line\nbreak\ttab");
+  EXPECT_EQ(parse(R"("Aé")").as_string(), "A\xC3\xA9");
+}
+
+TEST(JsonParseTest, Arrays) {
+  const Value v = parse("[1, 2, 3]");
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.as_array().size(), 3u);
+  EXPECT_EQ(v.as_array()[2].as_int(), 3);
+  EXPECT_TRUE(parse("[]").as_array().empty());
+  const Value nested = parse("[[1],[2,[3]]]");
+  EXPECT_EQ(nested.as_array()[1].as_array()[1].as_array()[0].as_int(), 3);
+}
+
+TEST(JsonParseTest, Objects) {
+  const Value v = parse(R"({"a": 1, "b": {"c": "x"}, "d": [true]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_EQ(v.at("b").at("c").as_string(), "x");
+  EXPECT_TRUE(v.at("d").as_array()[0].as_bool());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), DataError);
+  EXPECT_TRUE(parse("{}").as_object().empty());
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  const Value v = parse("  {\n\t\"a\" :\r\n [ 1 , 2 ]\n}  ");
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+}
+
+TEST(JsonParseTest, TypeMismatchesThrow) {
+  EXPECT_THROW((void)parse("1").as_string(), DataError);
+  EXPECT_THROW((void)parse("\"x\"").as_double(), DataError);
+  EXPECT_THROW((void)parse("[1]").as_object(), DataError);
+  EXPECT_THROW((void)parse("{}").as_array(), DataError);
+  EXPECT_THROW((void)parse("null").as_bool(), DataError);
+}
+
+TEST(JsonParseTest, MalformedInputsRejected) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "nul", "01x", "\"unterminated",
+        "{\"a\":1,}", "[1 2]", "{\"a\" 1}", "\"bad\\escape\"", "\"\\u12g4\"",
+        "1 2", "{} extra"}) {
+    EXPECT_THROW((void)parse(bad), DataError) << bad;
+  }
+}
+
+TEST(JsonParseTest, DuplicateKeysRejected) {
+  EXPECT_THROW((void)parse(R"({"a":1,"a":2})"), DataError);
+}
+
+TEST(JsonParseTest, ErrorsCarryPosition) {
+  try {
+    (void)parse("{\n  \"a\": bad\n}");
+    FAIL() << "expected DataError";
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonParseTest, ControlCharactersRejected) {
+  EXPECT_THROW((void)parse("\"a\nb\""), DataError);
+}
+
+TEST(JsonParseTest, SurrogateEscapesRejected) {
+  EXPECT_THROW((void)parse(R"("\ud800")"), DataError);
+}
+
+}  // namespace
+}  // namespace botmeter::json

@@ -1,0 +1,214 @@
+#include "common/logmath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace botmeter {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+TEST(LogFactorialTest, SmallValuesExact) {
+  EXPECT_DOUBLE_EQ(log_factorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(log_factorial(1), 0.0);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(log_factorial(10), std::log(3'628'800.0), 1e-10);
+  EXPECT_THROW((void)log_factorial(-1), ConfigError);
+}
+
+TEST(LogBinomialTest, MatchesSmallCoefficients) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 5)), 252.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(52, 5)), 2'598'960.0, 1e-3);
+  EXPECT_DOUBLE_EQ(log_binomial(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(log_binomial(5, 5), 0.0);
+}
+
+TEST(LogBinomialTest, OutOfSupportIsNegInf) {
+  EXPECT_EQ(log_binomial(5, 6), kNegInf);
+  EXPECT_EQ(log_binomial(5, -1), kNegInf);
+}
+
+TEST(LogBinomialTest, LargeArgumentsFinite) {
+  const double v = log_binomial(50'000, 500);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0.0);
+  // Symmetry C(n,k) == C(n,n-k).
+  EXPECT_NEAR(log_binomial(50'000, 500), log_binomial(50'000, 49'500), 1e-6);
+}
+
+TEST(LogSumExpTest, PairwiseBasics) {
+  EXPECT_NEAR(log_sum_exp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_DOUBLE_EQ(log_sum_exp(kNegInf, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(log_sum_exp(1.5, kNegInf), 1.5);
+  EXPECT_EQ(log_sum_exp(kNegInf, kNegInf), kNegInf);
+}
+
+TEST(LogSumExpTest, NoOverflowForLargeInputs) {
+  const double v = log_sum_exp(1000.0, 1000.0);
+  EXPECT_NEAR(v, 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExpTest, SpanVersion) {
+  const std::vector<double> v{std::log(1.0), std::log(2.0), std::log(3.0)};
+  EXPECT_NEAR(log_sum_exp(v), std::log(6.0), 1e-12);
+  EXPECT_EQ(log_sum_exp(std::vector<double>{}), kNegInf);
+  EXPECT_EQ(log_sum_exp(std::vector<double>{kNegInf, kNegInf}), kNegInf);
+}
+
+TEST(Log1mExpTest, MatchesDirectComputation) {
+  for (double x : {-0.001, -0.1, -0.5, -1.0, -5.0, -50.0}) {
+    EXPECT_NEAR(log1m_exp(x), std::log(1.0 - std::exp(x)), 1e-12) << x;
+  }
+  EXPECT_EQ(log1m_exp(0.0), kNegInf);
+  EXPECT_THROW((void)log1m_exp(0.1), ConfigError);
+}
+
+TEST(LogStirling2Test, SmallTableExact) {
+  const LogStirling2 s(6);
+  // Known values: S(4,2)=7, S(5,3)=25, S(6,3)=90.
+  EXPECT_DOUBLE_EQ(s(0, 0), 0.0);
+  EXPECT_NEAR(std::exp(s(4, 2)), 7.0, 1e-9);
+  EXPECT_NEAR(std::exp(s(5, 3)), 25.0, 1e-9);
+  EXPECT_NEAR(std::exp(s(6, 3)), 90.0, 1e-9);
+  EXPECT_NEAR(std::exp(s(6, 1)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(s(6, 6)), 1.0, 1e-9);
+}
+
+TEST(LogStirling2Test, ZeroCases) {
+  const LogStirling2 s(5);
+  EXPECT_EQ(s(3, 4), kNegInf);   // m > n
+  EXPECT_EQ(s(3, 0), kNegInf);   // m == 0, n > 0
+  EXPECT_EQ(s(5, -1), kNegInf);  // negative m
+  EXPECT_THROW((void)s(6, 2), ConfigError);
+  EXPECT_THROW(LogStirling2(-1), ConfigError);
+}
+
+TEST(LogStirling2Test, RowSumsEqualBellNumbers) {
+  const LogStirling2 s(8);
+  // Bell numbers: B(8) = 4140.
+  double total = 0.0;
+  for (int m = 0; m <= 8; ++m) {
+    const double lv = s(8, m);
+    if (lv != kNegInf) total += std::exp(lv);
+  }
+  EXPECT_NEAR(total, 4140.0, 1e-6);
+}
+
+TEST(LogStirling2Test, LargeTableFinite) {
+  const LogStirling2 s(600);
+  EXPECT_TRUE(std::isfinite(s(600, 100)));
+  EXPECT_GT(s(600, 100), 0.0);
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.95), 1.644854, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.841344746), 1.0, 1e-6);
+}
+
+TEST(NormalQuantileTest, SymmetryAndTails) {
+  for (double p : {0.01, 0.1, 0.3}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-8) << p;
+  }
+  EXPECT_NEAR(normal_quantile(0.001), -3.090232, 1e-4);
+  EXPECT_LT(normal_quantile(1e-9), -5.0);
+}
+
+TEST(NormalQuantileTest, InvalidArguments) {
+  EXPECT_THROW((void)normal_quantile(0.0), ConfigError);
+  EXPECT_THROW((void)normal_quantile(1.0), ConfigError);
+  EXPECT_THROW((void)normal_quantile(-0.1), ConfigError);
+}
+
+TEST(ChiSquareQuantileTest, MatchesTables) {
+  // Wilson-Hilferty is accurate to well under 1% at moderate dof.
+  EXPECT_NEAR(chi_square_quantile(0.95, 10.0), 18.307, 0.15);
+  EXPECT_NEAR(chi_square_quantile(0.05, 10.0), 3.940, 0.10);
+  EXPECT_NEAR(chi_square_quantile(0.95, 2.0), 5.991, 0.25);
+  EXPECT_NEAR(chi_square_quantile(0.5, 20.0), 19.337, 0.10);
+}
+
+TEST(ChiSquareQuantileTest, MonotoneAndValid) {
+  double prev = 0.0;
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double q = chi_square_quantile(p, 12.0);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+  EXPECT_GE(chi_square_quantile(0.0001, 0.5), 0.0);
+  EXPECT_THROW((void)chi_square_quantile(0.5, 0.0), ConfigError);
+  EXPECT_THROW((void)chi_square_quantile(0.5, -2.0), ConfigError);
+}
+
+TEST(PoissonTailTest, KnownValues) {
+  // P(Poisson(1) >= 1) = 1 - e^-1.
+  EXPECT_NEAR(poisson_tail(1.0, 1), 1.0 - std::exp(-1.0), 1e-12);
+  // P(Poisson(2) >= 2) = 1 - e^-2 (1 + 2).
+  EXPECT_NEAR(poisson_tail(2.0, 2), 1.0 - std::exp(-2.0) * 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(poisson_tail(5.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(poisson_tail(0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(poisson_tail(0.0, 3), 0.0);
+}
+
+TEST(PoissonTailTest, MonotoneInMeanAndK) {
+  EXPECT_LT(poisson_tail(1.0, 3), poisson_tail(2.0, 3));
+  EXPECT_GT(poisson_tail(2.0, 1), poisson_tail(2.0, 2));
+}
+
+TEST(PoissonTailTest, ExtremeMeansStable) {
+  EXPECT_DOUBLE_EQ(poisson_tail(1e6, 3), 1.0);  // underflow limit -> tail 1
+  // 1 - exp(-m) for tiny m cancels near 1.0, so the error floor is one ULP
+  // of 1.0 (~2.2e-16); the value itself remains the right order of magnitude.
+  EXPECT_NEAR(poisson_tail(1e-12, 1), 1e-12, 1e-15);
+  EXPECT_GE(poisson_tail(700.0, 650), 0.0);
+  EXPECT_LE(poisson_tail(700.0, 650), 1.0);
+}
+
+TEST(PoissonTailTest, InvalidArguments) {
+  EXPECT_THROW((void)poisson_tail(-1.0, 1), ConfigError);
+  EXPECT_THROW((void)poisson_tail(1.0, -1), ConfigError);
+}
+
+TEST(OccupancyTest, DistributionSumsToOne) {
+  const LogStirling2 s(20);
+  for (std::int64_t n : {1, 3, 7, 20}) {
+    for (std::int64_t l : {1, 4, 9}) {
+      double total = 0.0;
+      for (std::int64_t m = 0; m <= std::min<std::int64_t>(n, l); ++m) {
+        total += occupancy_probability(n, l, m, s);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-9) << "n=" << n << " l=" << l;
+    }
+  }
+}
+
+TEST(OccupancyTest, KnownValues) {
+  const LogStirling2 s(10);
+  // 2 balls in 2 boxes: P(1 box) = 1/2, P(2 boxes) = 1/2.
+  EXPECT_NEAR(occupancy_probability(2, 2, 1, s), 0.5, 1e-12);
+  EXPECT_NEAR(occupancy_probability(2, 2, 2, s), 0.5, 1e-12);
+  // 3 balls in 3 boxes: P(all distinct) = 3!/27 = 2/9.
+  EXPECT_NEAR(occupancy_probability(3, 3, 3, s), 2.0 / 9.0, 1e-12);
+  // Zero balls occupy zero boxes.
+  EXPECT_DOUBLE_EQ(occupancy_probability(0, 5, 0, s), 1.0);
+  EXPECT_DOUBLE_EQ(occupancy_probability(0, 5, 1, s), 0.0);
+}
+
+TEST(OccupancyTest, OutOfSupportAndErrors) {
+  const LogStirling2 s(10);
+  EXPECT_DOUBLE_EQ(occupancy_probability(2, 5, 3, s), 0.0);   // m > n
+  EXPECT_DOUBLE_EQ(occupancy_probability(5, 2, 3, s), 0.0);   // m > l
+  EXPECT_DOUBLE_EQ(occupancy_probability(5, 2, -1, s), 0.0);  // m < 0
+  EXPECT_THROW((void)occupancy_probability(2, 0, 1, s), ConfigError);
+  EXPECT_THROW((void)occupancy_probability(-1, 5, 1, s), ConfigError);
+}
+
+}  // namespace
+}  // namespace botmeter

@@ -1,0 +1,197 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace botmeter {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformRejectsZeroBound) {
+  Rng rng{7};
+  EXPECT_THROW((void)rng.uniform(0), ConfigError);
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng{11};
+  std::vector<int> counts(10, 0);
+  const int draws = 100'000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 10, 500);  // ~5 sigma
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng{3};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = rng.uniform_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW((void)rng.uniform_range(3, 2), ConfigError);
+}
+
+TEST(RngTest, Uniform01InUnitInterval) {
+  Rng rng{5};
+  double sum = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng{13};
+  const double rate = 0.25;
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.05);
+  EXPECT_THROW((void)rng.exponential(0.0), ConfigError);
+  EXPECT_THROW((void)rng.exponential(-1.0), ConfigError);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng{17};
+  const int n = 200'000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, BernoulliEdgeCasesAndFrequency) {
+  Rng rng{19};
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, PoissonSmallAndLargeMeans) {
+  Rng rng{23};
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_THROW((void)rng.poisson(-1.0), ConfigError);
+  for (double mean : {2.0, 80.0}) {
+    double sum = 0.0;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.03 + 0.05);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng{29};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(std::span<int>{v});
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng{31};
+  std::vector<int> v(52);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i);
+  const auto original = v;
+  rng.shuffle(std::span<int>{v});
+  EXPECT_NE(v, original);  // probability 1/52! of flaking
+}
+
+TEST(RngTest, SampleWithoutReplacementProperties) {
+  Rng rng{37};
+  const auto sample = rng.sample_without_replacement(1000, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<std::uint64_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 100u);
+  for (auto s : sample) EXPECT_LT(s, 1000u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng{41};
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::uint64_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 10u);
+  EXPECT_THROW((void)rng.sample_without_replacement(5, 6), ConfigError);
+}
+
+TEST(RngTest, SampleWithoutReplacementUniformMarginals) {
+  Rng rng{43};
+  std::vector<int> counts(20, 0);
+  const int trials = 20'000;
+  for (int t = 0; t < trials; ++t) {
+    for (auto s : rng.sample_without_replacement(20, 5)) {
+      ++counts[s];
+    }
+  }
+  // Each index appears with probability 5/20 = 0.25.
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.25, 0.02);
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent{47};
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Mix64Test, DeterministicAndSpreading) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+  // Low-bit changes flip roughly half the output bits.
+  const std::uint64_t diff = mix64(0) ^ mix64(1);
+  EXPECT_GT(__builtin_popcountll(diff), 16);
+}
+
+}  // namespace
+}  // namespace botmeter

@@ -1,0 +1,98 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace botmeter {
+namespace {
+
+TEST(AreTest, MatchesPaperDefinition) {
+  EXPECT_DOUBLE_EQ(absolute_relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(absolute_relative_error(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(absolute_relative_error(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(absolute_relative_error(0.0, 50.0), 1.0);
+  EXPECT_DOUBLE_EQ(absolute_relative_error(529.4, 100.0), 4.294);
+}
+
+TEST(AreTest, ZeroActualThrows) {
+  EXPECT_THROW((void)absolute_relative_error(5.0, 0.0), DataError);
+}
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, EmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW((void)s.mean(), DataError);
+  EXPECT_THROW((void)s.variance(), DataError);
+  EXPECT_THROW((void)s.min(), DataError);
+  EXPECT_THROW((void)s.max(), DataError);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  for (double x : {-3.0, -1.0, 1.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+}
+
+TEST(PercentileTest, UnsortedInputHandled) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+}
+
+TEST(PercentileTest, SingleElementAndErrors) {
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 10.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 90.0), 7.0);
+  EXPECT_THROW((void)percentile(std::vector<double>{}, 50.0), DataError);
+  EXPECT_THROW((void)percentile(one, -1.0), ConfigError);
+  EXPECT_THROW((void)percentile(one, 101.0), ConfigError);
+}
+
+TEST(QuartileSummaryTest, MatchesPercentiles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(static_cast<double>(i));
+  const QuartileSummary s = summarize_quartiles(v);
+  EXPECT_DOUBLE_EQ(s.p25, 26.0);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.p75, 76.0);
+  EXPECT_DOUBLE_EQ(s.mean, 51.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+}
+
+TEST(FormatMeanStdTest, TableIIFormatting) {
+  EXPECT_EQ(format_mean_std(0.116, 0.177), "0.116 +/- 0.177");
+  EXPECT_EQ(format_mean_std(4.294, 5.118), "4.294 +/- 5.118");
+}
+
+}  // namespace
+}  // namespace botmeter

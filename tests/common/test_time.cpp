@@ -1,0 +1,88 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace botmeter {
+namespace {
+
+TEST(DurationTest, ConstructorsAndAccessors) {
+  EXPECT_EQ(milliseconds(1500).millis(), 1500);
+  EXPECT_EQ(seconds(2).millis(), 2000);
+  EXPECT_EQ(minutes(3).millis(), 180'000);
+  EXPECT_EQ(hours(2).millis(), 7'200'000);
+  EXPECT_EQ(days(1).millis(), 86'400'000);
+  EXPECT_DOUBLE_EQ(milliseconds(2500).seconds(), 2.5);
+}
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ((seconds(3) + seconds(2)).millis(), 5000);
+  EXPECT_EQ((seconds(3) - seconds(5)).millis(), -2000);
+  EXPECT_EQ((seconds(3) * 4).millis(), 12'000);
+  EXPECT_EQ((seconds(10) / 4).millis(), 2500);
+  EXPECT_EQ(-seconds(1), milliseconds(-1000));
+  Duration d = seconds(1);
+  d += seconds(2);
+  EXPECT_EQ(d, seconds(3));
+  d -= seconds(1);
+  EXPECT_EQ(d, seconds(2));
+}
+
+TEST(DurationTest, DivAndMod) {
+  EXPECT_EQ(hours(5).div(hours(2)), 2);
+  EXPECT_EQ(hours(5).mod(hours(2)), hours(1));
+  EXPECT_EQ(seconds(10).mod(seconds(5)).millis(), 0);
+}
+
+TEST(DurationTest, Ordering) {
+  EXPECT_LT(seconds(1), seconds(2));
+  EXPECT_GT(minutes(1), seconds(59));
+  EXPECT_EQ(minutes(1), seconds(60));
+}
+
+TEST(TimePointTest, AffineArithmetic) {
+  const TimePoint t{1000};
+  EXPECT_EQ((t + seconds(2)).millis(), 3000);
+  EXPECT_EQ((t - milliseconds(500)).millis(), 500);
+  EXPECT_EQ((TimePoint{5000} - t), seconds(4));
+  TimePoint u = t;
+  u += seconds(1);
+  EXPECT_EQ(u.millis(), 2000);
+}
+
+TEST(QuantizeTest, TruncatesDownward) {
+  EXPECT_EQ(quantize(TimePoint{1234}, milliseconds(100)).millis(), 1200);
+  EXPECT_EQ(quantize(TimePoint{999}, seconds(1)).millis(), 0);
+  EXPECT_EQ(quantize(TimePoint{1000}, seconds(1)).millis(), 1000);
+  EXPECT_EQ(quantize(TimePoint{0}, seconds(1)).millis(), 0);
+}
+
+TEST(QuantizeTest, NegativeInstantsTruncateDownward) {
+  EXPECT_EQ(quantize(TimePoint{-1}, seconds(1)).millis(), -1000);
+  EXPECT_EQ(quantize(TimePoint{-1000}, seconds(1)).millis(), -1000);
+  EXPECT_EQ(quantize(TimePoint{-1500}, seconds(1)).millis(), -2000);
+}
+
+TEST(QuantizeTest, RejectsNonPositiveGranularity) {
+  EXPECT_THROW((void)quantize(TimePoint{10}, Duration{0}), ConfigError);
+  EXPECT_THROW((void)quantize(TimePoint{10}, milliseconds(-5)), ConfigError);
+}
+
+TEST(FormatTest, TimePointRendering) {
+  EXPECT_EQ(to_string(TimePoint{0}), "0d00:00:00.000");
+  const TimePoint t{days(2).millis() + hours(3).millis() +
+                    minutes(4).millis() + seconds(5).millis() + 6};
+  EXPECT_EQ(to_string(t), "2d03:04:05.006");
+}
+
+TEST(FormatTest, DurationRendering) {
+  EXPECT_EQ(to_string(Duration{0}), "0ms");
+  EXPECT_EQ(to_string(hours(2)), "2h");
+  EXPECT_EQ(to_string(days(1) + hours(4)), "1d4h");
+  EXPECT_EQ(to_string(milliseconds(1500)), "1s500ms");
+  EXPECT_EQ(to_string(-seconds(90)), "-1m30s");
+}
+
+}  // namespace
+}  // namespace botmeter

@@ -1,0 +1,77 @@
+#include "detect/detection_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dga/families.hpp"
+
+namespace botmeter::detect {
+namespace {
+
+class DetectionWindowTest : public ::testing::Test {
+ protected:
+  DetectionWindowTest() {
+    model_ = dga::make_pool_model(dga::newgoz_config());
+    pool_ = &model_->epoch_pool(0);
+  }
+  std::unique_ptr<dga::QueryPoolModel> model_;
+  const dga::EpochPool* pool_ = nullptr;
+};
+
+TEST_F(DetectionWindowTest, PerfectDetectionCoversAll) {
+  const DetectionWindow window = perfect_detection(*pool_);
+  EXPECT_EQ(window.detected_count(), pool_->size());
+  EXPECT_DOUBLE_EQ(window.miss_rate, 0.0);
+  EXPECT_EQ(window.epoch, 0);
+}
+
+TEST_F(DetectionWindowTest, MissRateZeroEqualsPerfect) {
+  Rng rng{1};
+  const DetectionWindow window = make_detection_window(*pool_, 0.0, rng);
+  EXPECT_EQ(window.detected_count(), pool_->size());
+}
+
+TEST_F(DetectionWindowTest, MissRateRemovesRoughlyExpectedFraction) {
+  Rng rng{2};
+  const DetectionWindow window = make_detection_window(*pool_, 0.3, rng);
+  const auto nxds = static_cast<double>(pool_->nxd_count());
+  const auto detected_nxds =
+      static_cast<double>(window.detected_count() - pool_->valid_positions.size());
+  EXPECT_NEAR(detected_nxds / nxds, 0.7, 0.03);
+}
+
+TEST_F(DetectionWindowTest, ValidDomainsAlwaysCovered) {
+  Rng rng{3};
+  const DetectionWindow window = make_detection_window(*pool_, 0.9, rng);
+  for (std::uint32_t pos : pool_->valid_positions) {
+    EXPECT_TRUE(window.covers(pos));
+  }
+}
+
+TEST_F(DetectionWindowTest, FullMissLeavesOnlyValid) {
+  Rng rng{4};
+  const DetectionWindow window = make_detection_window(*pool_, 1.0, rng);
+  EXPECT_EQ(window.detected_count(), pool_->valid_positions.size());
+}
+
+TEST_F(DetectionWindowTest, CoversOutOfRangeIsFalse) {
+  const DetectionWindow window = perfect_detection(*pool_);
+  EXPECT_FALSE(window.covers(pool_->size()));
+  EXPECT_FALSE(window.covers(pool_->size() + 100));
+}
+
+TEST_F(DetectionWindowTest, InvalidMissRateRejected) {
+  Rng rng{5};
+  EXPECT_THROW((void)make_detection_window(*pool_, -0.1, rng), ConfigError);
+  EXPECT_THROW((void)make_detection_window(*pool_, 1.1, rng), ConfigError);
+}
+
+TEST_F(DetectionWindowTest, DeterministicGivenRngState) {
+  Rng a{6}, b{6};
+  const DetectionWindow wa = make_detection_window(*pool_, 0.5, a);
+  const DetectionWindow wb = make_detection_window(*pool_, 0.5, b);
+  EXPECT_EQ(wa.detected, wb.detected);
+}
+
+}  // namespace
+}  // namespace botmeter::detect

@@ -1,0 +1,170 @@
+#include "detect/matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dga/families.hpp"
+
+namespace botmeter::detect {
+namespace {
+
+dga::DgaConfig tiny_config() {
+  dga::DgaConfig c;
+  c.name = "tiny";
+  c.taxonomy = {dga::PoolModel::kDrainReplenish, dga::BarrelModel::kUniform};
+  c.nxd_count = 9;
+  c.valid_count = 1;
+  c.barrel_size = 10;
+  c.query_interval = milliseconds(500);
+  c.seed = 55;
+  return c;
+}
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  MatcherTest() : matcher_(days(1)) {
+    model_ = dga::make_pool_model(tiny_config());
+    for (std::int64_t e = 0; e < 2; ++e) {
+      const dga::EpochPool& pool = model_->epoch_pool(e);
+      windows_.push_back(perfect_detection(pool));
+      matcher_.add_epoch(pool, windows_.back());
+    }
+  }
+
+  dns::ForwardedLookup lookup_for(std::int64_t epoch, std::uint32_t pos,
+                                  Duration offset,
+                                  dns::ServerId server = dns::ServerId{0}) {
+    return dns::ForwardedLookup{
+        TimePoint{epoch * days(1).millis()} + offset, server,
+        model_->epoch_pool(epoch).domains[pos]};
+  }
+
+  std::unique_ptr<dga::QueryPoolModel> model_;
+  std::vector<DetectionWindow> windows_;
+  DomainMatcher matcher_;
+};
+
+TEST_F(MatcherTest, MatchesKnownDomainWithPositionAndValidity) {
+  const dga::EpochPool& pool = model_->epoch_pool(0);
+  const std::uint32_t valid = pool.valid_positions.front();
+  std::vector<dns::ForwardedLookup> stream{
+      lookup_for(0, 0, seconds(10)),
+      lookup_for(0, valid, seconds(20)),
+  };
+  const MatchedStreams matched = matcher_.match(stream);
+  ASSERT_EQ(matched.size(), 1u);
+  const auto& lookups = matched.at(StreamKey{dns::ServerId{0}, 0});
+  ASSERT_EQ(lookups.size(), 2u);
+  EXPECT_EQ(lookups[0].pool_position, 0u);
+  EXPECT_EQ(lookups[0].is_valid_domain, pool.is_valid_position(0));
+  EXPECT_EQ(lookups[1].pool_position, valid);
+  EXPECT_TRUE(lookups[1].is_valid_domain);
+}
+
+TEST_F(MatcherTest, DropsUnknownDomains) {
+  std::vector<dns::ForwardedLookup> stream{
+      {TimePoint{100}, dns::ServerId{0}, "benign.example"},
+      {TimePoint{200}, dns::ServerId{0}, "another.example"},
+  };
+  EXPECT_TRUE(matcher_.match(stream).empty());
+}
+
+TEST_F(MatcherTest, GroupsByServer) {
+  std::vector<dns::ForwardedLookup> stream{
+      lookup_for(0, 1, seconds(1), dns::ServerId{0}),
+      lookup_for(0, 2, seconds(2), dns::ServerId{1}),
+  };
+  const MatchedStreams matched = matcher_.match(stream);
+  EXPECT_EQ(matched.size(), 2u);
+  EXPECT_TRUE(matched.contains(StreamKey{dns::ServerId{0}, 0}));
+  EXPECT_TRUE(matched.contains(StreamKey{dns::ServerId{1}, 0}));
+}
+
+TEST_F(MatcherTest, GroupsByPoolEpoch) {
+  std::vector<dns::ForwardedLookup> stream{
+      lookup_for(0, 1, seconds(1)),
+      lookup_for(1, 1, seconds(1)),
+  };
+  const MatchedStreams matched = matcher_.match(stream);
+  EXPECT_EQ(matched.size(), 2u);
+  EXPECT_TRUE(matched.contains(StreamKey{dns::ServerId{0}, 0}));
+  EXPECT_TRUE(matched.contains(StreamKey{dns::ServerId{0}, 1}));
+}
+
+TEST_F(MatcherTest, BoundarySpillAttributedToPoolEpoch) {
+  // An epoch-0 domain looked up a few minutes past midnight still belongs to
+  // epoch 0's pool.
+  std::vector<dns::ForwardedLookup> stream{
+      lookup_for(0, 3, days(1) + minutes(5)),
+  };
+  const MatchedStreams matched = matcher_.match(stream);
+  ASSERT_EQ(matched.size(), 1u);
+  EXPECT_TRUE(matched.contains(StreamKey{dns::ServerId{0}, 0}));
+}
+
+TEST_F(MatcherTest, StreamsSortedByTime) {
+  std::vector<dns::ForwardedLookup> stream{
+      lookup_for(0, 5, seconds(50)),
+      lookup_for(0, 1, seconds(10)),
+      lookup_for(0, 3, seconds(30)),
+  };
+  const MatchedStreams matched = matcher_.match(stream);
+  const auto& lookups = matched.at(StreamKey{dns::ServerId{0}, 0});
+  ASSERT_EQ(lookups.size(), 3u);
+  EXPECT_LT(lookups[0].t, lookups[1].t);
+  EXPECT_LT(lookups[1].t, lookups[2].t);
+}
+
+TEST_F(MatcherTest, UndetectedDomainsNotMatchable) {
+  DomainMatcher partial(days(1));
+  const dga::EpochPool& pool = model_->epoch_pool(0);
+  DetectionWindow window = perfect_detection(pool);
+  window.detected[4] = false;
+  partial.add_epoch(pool, window);
+  std::vector<dns::ForwardedLookup> stream{lookup_for(0, 4, seconds(1))};
+  EXPECT_TRUE(partial.match(stream).empty());
+  EXPECT_EQ(partial.matchable_domain_count(), pool.size() - 1);
+}
+
+TEST_F(MatcherTest, WindowMismatchRejected) {
+  DomainMatcher other(days(1));
+  const dga::EpochPool& pool0 = model_->epoch_pool(0);
+  DetectionWindow wrong_epoch = perfect_detection(pool0);
+  wrong_epoch.epoch = 5;
+  EXPECT_THROW(other.add_epoch(pool0, wrong_epoch), ConfigError);
+  DetectionWindow wrong_size = perfect_detection(pool0);
+  wrong_size.detected.pop_back();
+  EXPECT_THROW(other.add_epoch(pool0, wrong_size), ConfigError);
+}
+
+TEST(MatcherConfigTest, PositiveEpochLengthRequired) {
+  EXPECT_THROW(DomainMatcher{Duration{0}}, ConfigError);
+}
+
+TEST(AlgorithmicPatternTest, MatchesGeneratedDomains) {
+  const AlgorithmicPattern pattern(8, 19, {".com", ".net", ".org", ".biz",
+                                           ".info", ".ru"});
+  auto model = dga::make_pool_model(dga::murofet_config());
+  for (const std::string& d : model->epoch_pool(0).domains) {
+    EXPECT_TRUE(pattern.matches(d)) << d;
+  }
+}
+
+TEST(AlgorithmicPatternTest, RejectsBenignShapes) {
+  const AlgorithmicPattern pattern(8, 19, {".com", ".net"});
+  EXPECT_FALSE(pattern.matches("host12.corp3.example"));  // wrong TLD
+  EXPECT_FALSE(pattern.matches("www.google.com"));        // dots in label
+  EXPECT_FALSE(pattern.matches("short.com"));             // too short
+  EXPECT_FALSE(pattern.matches("UPPERCASEDOMAIN.com"));   // wrong charset
+  EXPECT_FALSE(pattern.matches("1startsdigit.com"));      // leading digit
+  EXPECT_FALSE(pattern.matches(".com"));                  // empty label
+}
+
+TEST(AlgorithmicPatternTest, InvalidConstruction) {
+  EXPECT_THROW(AlgorithmicPattern(0, 5, {".com"}), ConfigError);
+  EXPECT_THROW(AlgorithmicPattern(5, 4, {".com"}), ConfigError);
+  EXPECT_THROW(AlgorithmicPattern(5, 9, {"com"}), ConfigError);
+}
+
+}  // namespace
+}  // namespace botmeter::detect

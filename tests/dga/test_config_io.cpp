@@ -1,0 +1,138 @@
+#include "dga/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "botnet/simulator.hpp"
+#include "common/error.hpp"
+
+namespace botmeter::dga {
+namespace {
+
+constexpr const char* kMinimal = R"({
+  "name": "TestDga",
+  "pool_model": "drain-and-replenish",
+  "barrel_model": "randomcut",
+  "nxd_count": 995,
+  "valid_count": 5,
+  "barrel_size": 100,
+  "query_interval_ms": 1000
+})";
+
+TEST(ConfigIoTest, MinimalConfig) {
+  const DgaConfig config = config_from_json_text(kMinimal);
+  EXPECT_EQ(config.name, "TestDga");
+  EXPECT_EQ(config.taxonomy.pool, PoolModel::kDrainReplenish);
+  EXPECT_EQ(config.taxonomy.barrel, BarrelModel::kRandomCut);
+  EXPECT_EQ(config.nxd_count, 995u);
+  EXPECT_EQ(config.valid_count, 5u);
+  EXPECT_EQ(config.barrel_size, 100u);
+  EXPECT_EQ(config.query_interval, seconds(1));
+  // Defaults preserved.
+  EXPECT_EQ(config.epoch, days(1));
+  EXPECT_TRUE(config.stop_on_hit);
+}
+
+TEST(ConfigIoTest, OptionalFieldsApplied) {
+  const DgaConfig config = config_from_json_text(R"({
+    "name": "Jittered",
+    "pool_model": "drain-and-replenish",
+    "barrel_model": "uniform",
+    "nxd_count": 298, "valid_count": 2, "barrel_size": 300,
+    "query_interval_ms": 0,
+    "jitter_min_ms": 100, "jitter_max_ms": 900,
+    "epoch_hours": 12, "stop_on_hit": false, "seed": 777
+  })");
+  EXPECT_EQ(config.query_interval, Duration{0});
+  EXPECT_EQ(config.jitter_min, milliseconds(100));
+  EXPECT_EQ(config.jitter_max, milliseconds(900));
+  EXPECT_EQ(config.epoch, hours(12));
+  EXPECT_FALSE(config.stop_on_hit);
+  EXPECT_EQ(config.seed, 777u);
+}
+
+TEST(ConfigIoTest, SlidingWindowConfig) {
+  const DgaConfig config = config_from_json_text(R"({
+    "name": "SlidingTest",
+    "pool_model": "sliding-window",
+    "barrel_model": "uniform",
+    "nxd_count": 398, "valid_count": 2, "barrel_size": 400,
+    "query_interval_ms": 500,
+    "fresh_per_day": 40, "window_back_days": 9, "window_forward_days": 0
+  })");
+  EXPECT_EQ(config.taxonomy.pool, PoolModel::kSlidingWindow);
+  EXPECT_EQ(config.fresh_per_day, 40u);
+  EXPECT_EQ(config.window_back_days, 9u);
+  // Pool builds and sizes correctly.
+  auto model = make_pool_model(config);
+  EXPECT_EQ(model->epoch_pool(20).size(), 400u);
+}
+
+TEST(ConfigIoTest, MixtureAndEvasiveModels) {
+  const DgaConfig mixture = config_from_json_text(R"({
+    "name": "MixTest", "pool_model": "multiple-mixture",
+    "barrel_model": "uniform", "nxd_count": 198, "valid_count": 2,
+    "barrel_size": 1200, "query_interval_ms": 500, "noise_pool_size": 1000
+  })");
+  EXPECT_EQ(mixture.noise_pool_size, 1000u);
+
+  const DgaConfig evasive = config_from_json_text(R"({
+    "name": "Sneaky", "pool_model": "drain-and-replenish",
+    "barrel_model": "coordinatedcut", "nxd_count": 995, "valid_count": 5,
+    "barrel_size": 100, "query_interval_ms": 1000
+  })");
+  EXPECT_EQ(evasive.taxonomy.barrel, BarrelModel::kCoordinatedCut);
+}
+
+TEST(ConfigIoTest, MissingRequiredKeyRejected) {
+  EXPECT_THROW((void)config_from_json_text(R"({
+    "name": "x", "pool_model": "drain-and-replenish",
+    "barrel_model": "uniform", "valid_count": 2, "barrel_size": 10,
+    "query_interval_ms": 500
+  })"),
+               DataError);  // nxd_count missing
+}
+
+TEST(ConfigIoTest, UnknownKeyRejected) {
+  std::string with_typo = kMinimal;
+  with_typo.insert(with_typo.rfind('}'), R"(, "barel_size": 3)");
+  EXPECT_THROW((void)config_from_json_text(with_typo), ConfigError);
+}
+
+TEST(ConfigIoTest, UnknownModelNamesRejected) {
+  std::string bad_pool = kMinimal;
+  bad_pool.replace(bad_pool.find("drain-and-replenish"), 19, "draining");
+  EXPECT_THROW((void)config_from_json_text(bad_pool), Error);
+
+  std::string bad_barrel = kMinimal;
+  bad_barrel.replace(bad_barrel.find("randomcut"), 9, "randomest");
+  EXPECT_THROW((void)config_from_json_text(bad_barrel), Error);
+}
+
+TEST(ConfigIoTest, SemanticValidationStillApplies) {
+  // barrel_size > pool under drain-and-replenish must fail DgaConfig::validate.
+  std::string too_big = kMinimal;
+  too_big.replace(too_big.find("\"barrel_size\": 100"), 18,
+                  "\"barrel_size\": 5000");
+  EXPECT_THROW((void)config_from_json_text(too_big), ConfigError);
+}
+
+TEST(ConfigIoTest, OutOfRangeNumbersRejected) {
+  std::string negative = kMinimal;
+  negative.replace(negative.find("\"valid_count\": 5"), 16,
+                   "\"valid_count\": -1");
+  EXPECT_THROW((void)config_from_json_text(negative), ConfigError);
+}
+
+TEST(ConfigIoTest, ConfigRunsThroughSimulator) {
+  const DgaConfig config = config_from_json_text(kMinimal);
+  botnet::SimulationConfig sim;
+  sim.dga = config;
+  sim.bot_count = 8;
+  sim.seed = 4;
+  const auto result = botnet::simulate(sim);
+  EXPECT_EQ(result.truth[0].total_active, 8u);
+  EXPECT_FALSE(result.observable.empty());
+}
+
+}  // namespace
+}  // namespace botmeter::dga

@@ -1,0 +1,72 @@
+#include "dga/domain_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+
+namespace botmeter::dga {
+namespace {
+
+TEST(DomainGenTest, Deterministic) {
+  EXPECT_EQ(domain_name(1, 2, 3), domain_name(1, 2, 3));
+}
+
+TEST(DomainGenTest, DistinctAcrossTripleComponents) {
+  EXPECT_NE(domain_name(1, 2, 3), domain_name(2, 2, 3));
+  EXPECT_NE(domain_name(1, 2, 3), domain_name(1, 3, 3));
+  EXPECT_NE(domain_name(1, 2, 3), domain_name(1, 2, 4));
+}
+
+TEST(DomainGenTest, PlausibleDgaShape) {
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const std::string d = domain_name(0xABCD, 17, i);
+    const std::size_t dot = d.rfind('.');
+    ASSERT_NE(dot, std::string::npos) << d;
+    const std::string label = d.substr(0, dot);
+    const std::string tld = d.substr(dot);
+    EXPECT_GE(label.size(), 8u) << d;
+    EXPECT_LE(label.size(), 19u) << d;
+    EXPECT_TRUE(std::islower(static_cast<unsigned char>(label.front()))) << d;
+    for (char c : label) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << d;
+    }
+    EXPECT_TRUE(tld == ".com" || tld == ".net" || tld == ".org" ||
+                tld == ".biz" || tld == ".info" || tld == ".ru")
+        << d;
+  }
+}
+
+TEST(DomainGenTest, NoCollisionsWithinLargePool) {
+  std::set<std::string> seen;
+  for (std::uint32_t i = 0; i < 50'000; ++i) {
+    seen.insert(domain_name(0x51ED, 42, i));
+  }
+  EXPECT_EQ(seen.size(), 50'000u);
+}
+
+TEST(DomainGenTest, NegativeDaysSupported) {
+  // Sliding-window pools reach back before epoch 0.
+  EXPECT_EQ(domain_name(9, -5, 0), domain_name(9, -5, 0));
+  EXPECT_NE(domain_name(9, -5, 0), domain_name(9, 5, 0));
+}
+
+TEST(BenignDomainTest, ShapeAndDeterminism) {
+  const std::string d = benign_domain(7);
+  EXPECT_EQ(d, benign_domain(7));
+  EXPECT_NE(d.find("host"), std::string::npos);
+  EXPECT_NE(d.find(".corp"), std::string::npos);
+  EXPECT_EQ(d.substr(d.size() - 8), ".example");
+}
+
+TEST(BenignDomainTest, DisjointFromDgaDomains) {
+  // Benign names live under .example, which the DGA generator never emits.
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const std::string dga = domain_name(3, 3, i);
+    EXPECT_EQ(dga.find(".example"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace botmeter::dga

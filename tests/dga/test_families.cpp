@@ -1,0 +1,110 @@
+#include "dga/families.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace botmeter::dga {
+namespace {
+
+TEST(FamiliesTest, Table1Murofet) {
+  const DgaConfig c = murofet_config();
+  EXPECT_EQ(c.taxonomy.barrel, BarrelModel::kUniform);
+  EXPECT_EQ(c.nxd_count, 798u);
+  EXPECT_EQ(c.valid_count, 2u);
+  EXPECT_EQ(c.barrel_size, 798u);
+  EXPECT_EQ(c.query_interval, milliseconds(500));
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(FamiliesTest, Table1ConfickerC) {
+  const DgaConfig c = conficker_c_config();
+  EXPECT_EQ(c.taxonomy.barrel, BarrelModel::kSampling);
+  EXPECT_EQ(c.nxd_count, 49'995u);
+  EXPECT_EQ(c.valid_count, 5u);
+  EXPECT_EQ(c.barrel_size, 500u);
+  EXPECT_EQ(c.query_interval, seconds(1));
+  EXPECT_EQ(c.pool_size(), 50'000u);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(FamiliesTest, Table1NewGoZ) {
+  const DgaConfig c = newgoz_config();
+  EXPECT_EQ(c.taxonomy.barrel, BarrelModel::kRandomCut);
+  EXPECT_EQ(c.nxd_count, 9995u);
+  EXPECT_EQ(c.valid_count, 5u);
+  EXPECT_EQ(c.barrel_size, 500u);
+  EXPECT_EQ(c.query_interval, seconds(1));
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(FamiliesTest, Table1Necurs) {
+  const DgaConfig c = necurs_config();
+  EXPECT_EQ(c.taxonomy.barrel, BarrelModel::kPermutation);
+  EXPECT_EQ(c.nxd_count, 2046u);
+  EXPECT_EQ(c.valid_count, 2u);
+  EXPECT_EQ(c.barrel_size, 2046u);
+  EXPECT_EQ(c.query_interval, milliseconds(500));
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(FamiliesTest, SlidingWindowFamilies) {
+  const DgaConfig ranbyus = ranbyus_config();
+  EXPECT_EQ(ranbyus.taxonomy.pool, PoolModel::kSlidingWindow);
+  EXPECT_EQ(ranbyus.fresh_per_day, 40u);
+  EXPECT_EQ(ranbyus.window_back_days, 30u);
+  EXPECT_EQ(ranbyus.pool_size(), 1240u);  // §III-A
+  EXPECT_NO_THROW(ranbyus.validate());
+
+  const DgaConfig pushdo = pushdo_config();
+  EXPECT_EQ(pushdo.taxonomy.pool, PoolModel::kSlidingWindow);
+  EXPECT_EQ(pushdo.window_back_days, 30u);
+  EXPECT_EQ(pushdo.window_forward_days, 15u);
+  EXPECT_EQ(pushdo.pool_size(), 1380u);  // §III-A
+  EXPECT_NO_THROW(pushdo.validate());
+}
+
+TEST(FamiliesTest, PykspaMixture) {
+  const DgaConfig c = pykspa_config();
+  EXPECT_EQ(c.taxonomy.pool, PoolModel::kMultipleMixture);
+  EXPECT_EQ(c.pool_size(), 200u);         // useful pool
+  EXPECT_EQ(c.noise_pool_size, 16'000u);  // decoy pool
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(FamiliesTest, IntervalFreeFamilies) {
+  // Table II lists no fixed query interval for Ramnit and Qakbot.
+  EXPECT_EQ(ramnit_config().query_interval, Duration{0});
+  EXPECT_EQ(qakbot_config().query_interval, Duration{0});
+  EXPECT_NO_THROW(ramnit_config().validate());
+  EXPECT_NO_THROW(qakbot_config().validate());
+}
+
+TEST(FamiliesTest, LookupByName) {
+  EXPECT_EQ(family_config("newGoZ").name, "newGoZ");
+  EXPECT_EQ(family_config("Conficker.C").pool_size(), 50'000u);
+  EXPECT_THROW(family_config("NotAFamily"), ConfigError);
+}
+
+TEST(FamiliesTest, RegistryCompleteAndValid) {
+  const auto names = family_names();
+  EXPECT_EQ(names.size(), 11u);
+  for (std::string_view name : names) {
+    const DgaConfig c = family_config(name);
+    EXPECT_EQ(c.name, name);
+    EXPECT_NO_THROW(c.validate()) << name;
+  }
+}
+
+TEST(FamiliesTest, DistinctSeedsPerFamily) {
+  const auto names = family_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(family_config(names[i]).seed, family_config(names[j]).seed)
+          << names[i] << " vs " << names[j];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace botmeter::dga

@@ -1,0 +1,172 @@
+#include "dga/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "dga/domain_gen.hpp"
+#include "dga/families.hpp"
+
+namespace botmeter::dga {
+namespace {
+
+DgaConfig small_drain_config() {
+  DgaConfig c;
+  c.name = "test-drain";
+  c.taxonomy = {PoolModel::kDrainReplenish, BarrelModel::kUniform};
+  c.nxd_count = 98;
+  c.valid_count = 2;
+  c.barrel_size = 100;
+  c.query_interval = milliseconds(500);
+  c.seed = 77;
+  return c;
+}
+
+TEST(DrainReplenishPoolTest, SizeAndValidity) {
+  DrainReplenishPool pool_model(small_drain_config());
+  const EpochPool& pool = pool_model.epoch_pool(0);
+  EXPECT_EQ(pool.size(), 100u);
+  EXPECT_EQ(pool.valid_positions.size(), 2u);
+  EXPECT_EQ(pool.nxd_count(), 98u);
+  for (std::uint32_t pos : pool.valid_positions) {
+    EXPECT_LT(pos, 100u);
+    EXPECT_TRUE(pool.is_valid_position(pos));
+  }
+}
+
+TEST(DrainReplenishPoolTest, EntirePoolReplacedEachEpoch) {
+  DrainReplenishPool pool_model(small_drain_config());
+  const EpochPool& day0 = pool_model.epoch_pool(0);
+  const EpochPool& day1 = pool_model.epoch_pool(1);
+  std::set<std::string> d0(day0.domains.begin(), day0.domains.end());
+  for (const std::string& d : day1.domains) {
+    EXPECT_FALSE(d0.contains(d)) << d;
+  }
+}
+
+TEST(DrainReplenishPoolTest, DeterministicAndMemoised) {
+  DrainReplenishPool a(small_drain_config());
+  DrainReplenishPool b(small_drain_config());
+  EXPECT_EQ(a.epoch_pool(3).domains, b.epoch_pool(3).domains);
+  EXPECT_EQ(a.epoch_pool(3).valid_positions, b.epoch_pool(3).valid_positions);
+  // Memoisation: same reference back.
+  const EpochPool& first = a.epoch_pool(3);
+  const EpochPool& second = a.epoch_pool(3);
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(DrainReplenishPoolTest, DistinctDomainsWithinPool) {
+  DrainReplenishPool pool_model(small_drain_config());
+  const EpochPool& pool = pool_model.epoch_pool(5);
+  std::set<std::string> names(pool.domains.begin(), pool.domains.end());
+  EXPECT_EQ(names.size(), pool.domains.size());
+}
+
+TEST(DrainReplenishPoolTest, ValidPositionsVaryAcrossEpochs) {
+  DrainReplenishPool pool_model(small_drain_config());
+  // Over 20 epochs the registered positions should not all coincide.
+  std::set<std::vector<std::uint32_t>> distinct;
+  for (std::int64_t e = 0; e < 20; ++e) {
+    distinct.insert(pool_model.epoch_pool(e).valid_positions);
+  }
+  EXPECT_GT(distinct.size(), 10u);
+}
+
+TEST(SlidingWindowPoolTest, RanbyusWindowComposition) {
+  SlidingWindowPool pool_model(ranbyus_config());
+  const EpochPool& day40 = pool_model.epoch_pool(40);
+  EXPECT_EQ(day40.size(), 40u * 31u);
+  const EpochPool& day41 = pool_model.epoch_pool(41);
+  // Consecutive days share all but one daily batch: 30 * 40 = 1200 common.
+  std::set<std::string> s40(day40.domains.begin(), day40.domains.end());
+  std::size_t shared = 0;
+  for (const std::string& d : day41.domains) {
+    if (s40.contains(d)) ++shared;
+  }
+  EXPECT_EQ(shared, 40u * 30u);
+}
+
+TEST(SlidingWindowPoolTest, PushDoForwardWindow) {
+  SlidingWindowPool pool_model(pushdo_config());
+  const EpochPool& today = pool_model.epoch_pool(100);
+  EXPECT_EQ(today.size(), 30u * 46u);
+  // The pool must contain tomorrow's batch (forward window +15): compare
+  // with the pool of day 115, whose *oldest* batch is day 85.
+  const EpochPool& future = pool_model.epoch_pool(115);
+  std::set<std::string> f(future.domains.begin(), future.domains.end());
+  std::size_t shared = 0;
+  for (const std::string& d : today.domains) {
+    if (f.contains(d)) ++shared;
+  }
+  // Overlap of [70,115] and [85,130] = days 85..115 = 31 batches.
+  EXPECT_EQ(shared, 30u * 31u);
+}
+
+TEST(SlidingWindowPoolTest, InconsistentSizesRejected) {
+  DgaConfig c = ranbyus_config();
+  c.nxd_count = 100;  // no longer matches fresh_per_day * window
+  EXPECT_THROW(SlidingWindowPool{c}, ConfigError);
+}
+
+TEST(MultipleMixturePoolTest, PykspaInterleaving) {
+  MultipleMixturePool pool_model(pykspa_config());
+  const EpochPool& pool = pool_model.epoch_pool(0);
+  EXPECT_EQ(pool.size(), 200u + 16'000u);
+  EXPECT_EQ(pool.valid_positions.size(), 2u);
+  // Valid positions must fall on useful domains, which are spread out.
+  EXPECT_TRUE(std::is_sorted(pool.valid_positions.begin(),
+                             pool.valid_positions.end()));
+}
+
+TEST(MultipleMixturePoolTest, UsefulDomainsSpreadAcrossPool) {
+  MultipleMixturePool pool_model(pykspa_config());
+  const EpochPool& pool = pool_model.epoch_pool(0);
+  // The useful (seeded) domains should not be a contiguous block: check the
+  // first domain of the pool equals the first useful domain (stride
+  // interleave starts at 0) and the second does not.
+  const std::string useful0 = domain_name(pykspa_config().seed, 0, 0);
+  const std::string useful1 = domain_name(pykspa_config().seed, 0, 1);
+  EXPECT_EQ(pool.domains[0], useful0);
+  EXPECT_NE(pool.domains[1], useful1);
+}
+
+TEST(PoolFactoryTest, DispatchesOnTaxonomy) {
+  EXPECT_NE(dynamic_cast<DrainReplenishPool*>(
+                make_pool_model(small_drain_config()).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<SlidingWindowPool*>(
+                make_pool_model(ranbyus_config()).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<MultipleMixturePool*>(
+                make_pool_model(pykspa_config()).get()),
+            nullptr);
+}
+
+TEST(PoolFactoryTest, MismatchedModelClassRejected) {
+  EXPECT_THROW(SlidingWindowPool{small_drain_config()}, ConfigError);
+  EXPECT_THROW(DrainReplenishPool{ranbyus_config()}, ConfigError);
+  EXPECT_THROW(MultipleMixturePool{small_drain_config()}, ConfigError);
+}
+
+TEST(PoolConfigTest, ValidationErrors) {
+  DgaConfig c = small_drain_config();
+  c.valid_count = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = small_drain_config();
+  c.barrel_size = 0;
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = small_drain_config();
+  c.barrel_size = 101;  // > pool for drain-replenish
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = small_drain_config();
+  c.name.clear();
+  EXPECT_THROW(c.validate(), ConfigError);
+  c = small_drain_config();
+  c.epoch = Duration{0};
+  EXPECT_THROW(c.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace botmeter::dga

@@ -1,0 +1,71 @@
+#include "dga/taxonomy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace botmeter::dga {
+namespace {
+
+TEST(TaxonomyTest, StringNames) {
+  EXPECT_EQ(to_string(PoolModel::kDrainReplenish), "drain-and-replenish");
+  EXPECT_EQ(to_string(PoolModel::kSlidingWindow), "sliding-window");
+  EXPECT_EQ(to_string(PoolModel::kMultipleMixture), "multiple-mixture");
+  EXPECT_EQ(to_string(BarrelModel::kUniform), "uniform");
+  EXPECT_EQ(to_string(BarrelModel::kSampling), "sampling");
+  EXPECT_EQ(to_string(BarrelModel::kRandomCut), "randomcut");
+  EXPECT_EQ(to_string(BarrelModel::kPermutation), "permutation");
+}
+
+TEST(TaxonomyTest, ShortLabelsMatchPaperNotation) {
+  EXPECT_EQ(short_label(BarrelModel::kUniform), "A_U");
+  EXPECT_EQ(short_label(BarrelModel::kSampling), "A_S");
+  EXPECT_EQ(short_label(BarrelModel::kRandomCut), "A_R");
+  EXPECT_EQ(short_label(BarrelModel::kPermutation), "A_P");
+}
+
+TEST(TaxonomyTest, TwelveCells) {
+  EXPECT_EQ(kAllPoolModels.size() * kAllBarrelModels.size(), 12u);
+}
+
+TEST(TaxonomyTest, Fig3RepresentativeFamilies) {
+  using P = PoolModel;
+  using B = BarrelModel;
+  EXPECT_EQ(representative_family({P::kDrainReplenish, B::kUniform}), "Murofet");
+  EXPECT_EQ(representative_family({P::kDrainReplenish, B::kSampling}),
+            "Conficker.C");
+  EXPECT_EQ(representative_family({P::kDrainReplenish, B::kRandomCut}),
+            "newGoZ");
+  EXPECT_EQ(representative_family({P::kDrainReplenish, B::kPermutation}),
+            "Necurs");
+  EXPECT_EQ(representative_family({P::kSlidingWindow, B::kUniform}), "PushDo");
+  EXPECT_EQ(representative_family({P::kMultipleMixture, B::kUniform}), "Pykspa");
+}
+
+TEST(TaxonomyTest, UnspottedCellsAreEmpty) {
+  // Fig. 3 marks six cells with "?": every non-uniform barrel under the
+  // sliding-window and multiple-mixture pools.
+  int unspotted = 0;
+  for (PoolModel p : kAllPoolModels) {
+    for (BarrelModel b : kAllBarrelModels) {
+      if (representative_family({p, b}).empty()) ++unspotted;
+    }
+  }
+  EXPECT_EQ(unspotted, 6);
+}
+
+TEST(TaxonomyTest, EqualityAndStreaming) {
+  const Taxonomy a{PoolModel::kDrainReplenish, BarrelModel::kRandomCut};
+  const Taxonomy b{PoolModel::kDrainReplenish, BarrelModel::kRandomCut};
+  const Taxonomy c{PoolModel::kSlidingWindow, BarrelModel::kRandomCut};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  std::ostringstream os;
+  os << a;
+  EXPECT_EQ(os.str(), "drain-and-replenish/randomcut");
+}
+
+}  // namespace
+}  // namespace botmeter::dga

@@ -1,0 +1,61 @@
+#include "dns/authority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace botmeter::dns {
+namespace {
+
+TEST(AuthorityTest, UnknownDomainIsNxd) {
+  AuthoritativeRegistry registry;
+  EXPECT_EQ(registry.resolve("nosuch.com", TimePoint{0}), Rcode::kNxDomain);
+}
+
+TEST(AuthorityTest, RegistrationWindowRespected) {
+  AuthoritativeRegistry registry;
+  registry.register_domain("c2.net", TimePoint{100}, TimePoint{200});
+  EXPECT_EQ(registry.resolve("c2.net", TimePoint{99}), Rcode::kNxDomain);
+  EXPECT_EQ(registry.resolve("c2.net", TimePoint{100}), Rcode::kAddress);
+  EXPECT_EQ(registry.resolve("c2.net", TimePoint{199}), Rcode::kAddress);
+  EXPECT_EQ(registry.resolve("c2.net", TimePoint{200}), Rcode::kNxDomain);
+}
+
+TEST(AuthorityTest, PermanentRegistration) {
+  AuthoritativeRegistry registry;
+  registry.register_permanent("corp.example");
+  EXPECT_EQ(registry.resolve("corp.example", TimePoint{-1'000'000}),
+            Rcode::kAddress);
+  EXPECT_EQ(registry.resolve("corp.example", TimePoint{1'000'000'000}),
+            Rcode::kAddress);
+}
+
+TEST(AuthorityTest, ReRegistrationAfterTakedown) {
+  AuthoritativeRegistry registry;
+  registry.register_domain("c2.net", TimePoint{0}, TimePoint{100});
+  registry.register_domain("c2.net", TimePoint{500}, TimePoint{600});
+  EXPECT_EQ(registry.resolve("c2.net", TimePoint{50}), Rcode::kAddress);
+  EXPECT_EQ(registry.resolve("c2.net", TimePoint{300}), Rcode::kNxDomain);
+  EXPECT_EQ(registry.resolve("c2.net", TimePoint{550}), Rcode::kAddress);
+}
+
+TEST(AuthorityTest, InvalidRegistrationsRejected) {
+  AuthoritativeRegistry registry;
+  EXPECT_THROW((void)registry.register_domain("", TimePoint{0}, TimePoint{1}),
+               ConfigError);
+  EXPECT_THROW((void)registry.register_domain("a.com", TimePoint{10}, TimePoint{10}),
+               ConfigError);
+  EXPECT_THROW((void)registry.register_domain("a.com", TimePoint{10}, TimePoint{5}),
+               ConfigError);
+}
+
+TEST(AuthorityTest, RegisteredCountTracksIntervals) {
+  AuthoritativeRegistry registry;
+  EXPECT_EQ(registry.registered_count(), 0u);
+  registry.register_domain("a.com", TimePoint{0}, TimePoint{10});
+  registry.register_domain("b.com", TimePoint{0}, TimePoint{10});
+  EXPECT_EQ(registry.registered_count(), 2u);
+}
+
+}  // namespace
+}  // namespace botmeter::dns

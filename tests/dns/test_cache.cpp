@@ -1,0 +1,84 @@
+#include "dns/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace botmeter::dns {
+namespace {
+
+TEST(DnsCacheTest, MissOnEmptyCache) {
+  DnsCache cache;
+  EXPECT_FALSE(cache.lookup("example.com", TimePoint{0}).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(DnsCacheTest, HitWithinTtl) {
+  DnsCache cache;
+  cache.insert("a.com", Rcode::kAddress, TimePoint{0}, hours(2));
+  const auto hit = cache.lookup("a.com", TimePoint{hours(1).millis()});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, Rcode::kAddress);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(DnsCacheTest, NegativeEntriesAreCachedToo) {
+  DnsCache cache;
+  cache.insert("nx.com", Rcode::kNxDomain, TimePoint{0}, minutes(30));
+  const auto hit = cache.lookup("nx.com", TimePoint{minutes(29).millis()});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, Rcode::kNxDomain);
+}
+
+TEST(DnsCacheTest, ExpiryBoundaryIsExclusive) {
+  DnsCache cache;
+  cache.insert("a.com", Rcode::kAddress, TimePoint{0}, seconds(10));
+  // t == expiry is stale.
+  EXPECT_FALSE(cache.lookup("a.com", TimePoint{seconds(10).millis()}).has_value());
+}
+
+TEST(DnsCacheTest, StaleEntryEvictedOnLookup) {
+  DnsCache cache;
+  cache.insert("a.com", Rcode::kAddress, TimePoint{0}, seconds(1));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.lookup("a.com", TimePoint{seconds(2).millis()}).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DnsCacheTest, ReinsertOverwrites) {
+  DnsCache cache;
+  cache.insert("a.com", Rcode::kNxDomain, TimePoint{0}, seconds(1));
+  cache.insert("a.com", Rcode::kAddress, TimePoint{0}, seconds(100));
+  const auto hit = cache.lookup("a.com", TimePoint{seconds(50).millis()});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, Rcode::kAddress);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DnsCacheTest, EvictExpiredSweeps) {
+  DnsCache cache;
+  cache.insert("a.com", Rcode::kAddress, TimePoint{0}, seconds(1));
+  cache.insert("b.com", Rcode::kNxDomain, TimePoint{0}, seconds(100));
+  cache.insert("c.com", Rcode::kNxDomain, TimePoint{0}, seconds(2));
+  cache.evict_expired(TimePoint{seconds(10).millis()});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.lookup("b.com", TimePoint{seconds(10).millis()}).has_value());
+}
+
+TEST(DnsCacheTest, ClearEmpties) {
+  DnsCache cache;
+  cache.insert("a.com", Rcode::kAddress, TimePoint{0}, seconds(10));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup("a.com", TimePoint{1}).has_value());
+}
+
+TEST(DnsCacheTest, DistinctDomainsIndependent) {
+  DnsCache cache;
+  cache.insert("a.com", Rcode::kAddress, TimePoint{0}, seconds(10));
+  cache.insert("b.com", Rcode::kNxDomain, TimePoint{0}, seconds(10));
+  EXPECT_EQ(*cache.lookup("a.com", TimePoint{5}), Rcode::kAddress);
+  EXPECT_EQ(*cache.lookup("b.com", TimePoint{5}), Rcode::kNxDomain);
+}
+
+}  // namespace
+}  // namespace botmeter::dns

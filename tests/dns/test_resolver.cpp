@@ -1,0 +1,88 @@
+#include "dns/resolver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dns/authority.hpp"
+#include "dns/vantage.hpp"
+
+namespace botmeter::dns {
+namespace {
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  ResolverTest() : resolver_(ServerId{3}, ttl_, authority_, vantage_) {
+    authority_.register_permanent("valid.com");
+  }
+
+  TtlPolicy ttl_{.positive = days(1), .negative = hours(2)};
+  AuthoritativeRegistry authority_;
+  VantagePoint vantage_;
+  LocalResolver resolver_;
+};
+
+TEST_F(ResolverTest, MissForwardsAndRecordsAtVantage) {
+  EXPECT_EQ(resolver_.resolve(TimePoint{0}, "valid.com"), Rcode::kAddress);
+  ASSERT_EQ(vantage_.size(), 1u);
+  EXPECT_EQ(vantage_.stream()[0].domain, "valid.com");
+  EXPECT_EQ(vantage_.stream()[0].forwarder, ServerId{3});
+  EXPECT_EQ(vantage_.stream()[0].timestamp, TimePoint{0});
+}
+
+TEST_F(ResolverTest, HitIsInvisibleUpstream) {
+  (void)resolver_.resolve(TimePoint{0}, "valid.com");
+  (void)resolver_.resolve(TimePoint{1000}, "valid.com");
+  EXPECT_EQ(vantage_.size(), 1u);  // second lookup answered from cache
+  EXPECT_EQ(resolver_.cache().hits(), 1u);
+}
+
+TEST_F(ResolverTest, NegativeCachingMasksRepeatedNxds) {
+  EXPECT_EQ(resolver_.resolve(TimePoint{0}, "nxd.com"), Rcode::kNxDomain);
+  EXPECT_EQ(resolver_.resolve(TimePoint{hours(1).millis()}, "nxd.com"),
+            Rcode::kNxDomain);
+  EXPECT_EQ(vantage_.size(), 1u);
+  // After the negative TTL the lookup is forwarded again.
+  EXPECT_EQ(resolver_.resolve(TimePoint{hours(3).millis()}, "nxd.com"),
+            Rcode::kNxDomain);
+  EXPECT_EQ(vantage_.size(), 2u);
+}
+
+TEST_F(ResolverTest, PositiveTtlOutlivesNegativeTtl) {
+  (void)resolver_.resolve(TimePoint{0}, "valid.com");
+  // 3 hours later (past the negative TTL) the positive entry still holds.
+  (void)resolver_.resolve(TimePoint{hours(3).millis()}, "valid.com");
+  EXPECT_EQ(vantage_.size(), 1u);
+  // Past the positive TTL it is forwarded again.
+  (void)resolver_.resolve(TimePoint{days(1).millis() + 1}, "valid.com");
+  EXPECT_EQ(vantage_.size(), 2u);
+}
+
+TEST_F(ResolverTest, RegistrationChangeVisibleAfterExpiry) {
+  authority_.register_domain("late.com", TimePoint{hours(4).millis()},
+                             TimePoint{days(2).millis()});
+  EXPECT_EQ(resolver_.resolve(TimePoint{0}, "late.com"), Rcode::kNxDomain);
+  // While the NXD is cached the (now registered) domain still answers NXD —
+  // that is precisely what negative caching does.
+  EXPECT_EQ(resolver_.resolve(TimePoint{hours(5).millis()}, "late.com"),
+            Rcode::kAddress);
+}
+
+TEST(ResolverQuantizationTest, VantageTimestampsQuantized) {
+  TtlPolicy ttl;
+  AuthoritativeRegistry authority;
+  VantagePoint vantage{milliseconds(100)};
+  LocalResolver resolver(ServerId{0}, ttl, authority, vantage);
+  (void)resolver.resolve(TimePoint{1234}, "x.com");
+  ASSERT_EQ(vantage.size(), 1u);
+  EXPECT_EQ(vantage.stream()[0].timestamp.millis(), 1200);
+}
+
+TEST(ResolverConfigTest, InvalidTtlRejected) {
+  AuthoritativeRegistry authority;
+  VantagePoint vantage;
+  TtlPolicy bad{.positive = Duration{0}, .negative = hours(1)};
+  EXPECT_THROW(LocalResolver(ServerId{0}, bad, authority, vantage),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace botmeter::dns

@@ -1,0 +1,89 @@
+#include "dns/tiered.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace botmeter::dns {
+namespace {
+
+TtlPolicy short_ttl() { return {.positive = hours(1), .negative = minutes(10)}; }
+TtlPolicy long_ttl() { return {.positive = days(1), .negative = hours(2)}; }
+
+TEST(TieredNetworkTest, ConstructionValidation) {
+  EXPECT_THROW(TieredNetwork(0, 1, short_ttl(), long_ttl(), Duration{0}),
+               ConfigError);
+  EXPECT_THROW(TieredNetwork(4, 0, short_ttl(), long_ttl(), Duration{0}),
+               ConfigError);
+  EXPECT_THROW(TieredNetwork(2, 4, short_ttl(), long_ttl(), Duration{0}),
+               ConfigError);
+}
+
+TEST(TieredNetworkTest, PlacementRoundRobin) {
+  TieredNetwork net(6, 2, short_ttl(), long_ttl(), Duration{0});
+  EXPECT_EQ(net.local_for_client(ClientId{0}), ServerId{0});
+  EXPECT_EQ(net.local_for_client(ClientId{7}), ServerId{1});
+  EXPECT_EQ(net.regional_for_local(ServerId{0}), ServerId{0});
+  EXPECT_EQ(net.regional_for_local(ServerId{3}), ServerId{1});
+  EXPECT_EQ(net.regional_for_local(ServerId{4}), ServerId{0});
+  EXPECT_THROW((void)net.regional_for_local(ServerId{6}), ConfigError);
+}
+
+TEST(TieredNetworkTest, BorderSeesRegionalForwarder) {
+  TieredNetwork net(4, 2, short_ttl(), long_ttl(), Duration{0});
+  // Client 1 -> local 1 -> regional 1.
+  (void)net.resolve(TimePoint{0}, ClientId{1}, "x.nx");
+  ASSERT_EQ(net.vantage().size(), 1u);
+  EXPECT_EQ(net.vantage().stream()[0].forwarder, ServerId{1});
+}
+
+TEST(TieredNetworkTest, RegionalCacheMasksAcrossLocals) {
+  TieredNetwork net(4, 1, short_ttl(), long_ttl(), Duration{0});
+  // Clients 0 and 1 sit behind different locals but the same regional.
+  (void)net.resolve(TimePoint{0}, ClientId{0}, "x.nx");
+  (void)net.resolve(TimePoint{1000}, ClientId{1}, "x.nx");
+  EXPECT_EQ(net.vantage().size(), 1u);  // second lookup served regionally
+}
+
+TEST(TieredNetworkTest, LocalCachePopulatedOnRegionalHit) {
+  TieredNetwork net(2, 1, short_ttl(), long_ttl(), Duration{0});
+  (void)net.resolve(TimePoint{0}, ClientId{0}, "x.nx");   // miss everywhere
+  (void)net.resolve(TimePoint{1000}, ClientId{1}, "x.nx");  // regional hit
+  // Client 1's local now holds the entry: a repeat does not even reach the
+  // regional tier (observable only via no new border records, still 1).
+  (void)net.resolve(TimePoint{2000}, ClientId{1}, "x.nx");
+  EXPECT_EQ(net.vantage().size(), 1u);
+}
+
+TEST(TieredNetworkTest, EffectiveMaskingFollowsRegionalTtl) {
+  // Local negative TTL 10 min, regional 2 h: after 30 min the local entry is
+  // stale but the regional one still masks the lookup from the border.
+  TieredNetwork net(2, 1, short_ttl(), long_ttl(), Duration{0});
+  (void)net.resolve(TimePoint{0}, ClientId{0}, "x.nx");
+  (void)net.resolve(TimePoint{minutes(30).millis()}, ClientId{0}, "x.nx");
+  EXPECT_EQ(net.vantage().size(), 1u);
+  // Past the regional TTL it reaches the border again.
+  (void)net.resolve(TimePoint{hours(3).millis()}, ClientId{0}, "x.nx");
+  EXPECT_EQ(net.vantage().size(), 2u);
+}
+
+TEST(TieredNetworkTest, ValidDomainsResolveThroughTiers) {
+  TieredNetwork net(2, 1, short_ttl(), long_ttl(), Duration{0});
+  net.authority().register_permanent("c2.example");
+  EXPECT_EQ(net.resolve(TimePoint{0}, ClientId{0}, "c2.example"),
+            Rcode::kAddress);
+  EXPECT_EQ(net.resolve(TimePoint{1}, ClientId{1}, "c2.example"),
+            Rcode::kAddress);
+  EXPECT_EQ(net.vantage().size(), 1u);
+}
+
+TEST(TieredNetworkTest, EvictExpiredKeepsCorrectness) {
+  TieredNetwork net(2, 1, short_ttl(), short_ttl(), Duration{0});
+  (void)net.resolve(TimePoint{0}, ClientId{0}, "x.nx");
+  net.evict_expired(TimePoint{hours(1).millis()});
+  (void)net.resolve(TimePoint{hours(1).millis() + 1}, ClientId{0}, "x.nx");
+  EXPECT_EQ(net.vantage().size(), 2u);
+}
+
+}  // namespace
+}  // namespace botmeter::dns

@@ -1,0 +1,66 @@
+#include "dns/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace botmeter::dns {
+namespace {
+
+TEST(NetworkTest, RequiresAtLeastOneServer) {
+  EXPECT_THROW(Network(0, TtlPolicy{}, Duration{0}), ConfigError);
+}
+
+TEST(NetworkTest, RoundRobinClientPlacement) {
+  Network net(3, TtlPolicy{}, Duration{0});
+  EXPECT_EQ(net.server_for_client(ClientId{0}), ServerId{0});
+  EXPECT_EQ(net.server_for_client(ClientId{1}), ServerId{1});
+  EXPECT_EQ(net.server_for_client(ClientId{2}), ServerId{2});
+  EXPECT_EQ(net.server_for_client(ClientId{3}), ServerId{0});
+  EXPECT_EQ(net.server_for_client(ClientId{7}), ServerId{1});
+}
+
+TEST(NetworkTest, ResolverLookupBoundsChecked) {
+  Network net(2, TtlPolicy{}, Duration{0});
+  EXPECT_EQ(net.resolver(ServerId{1}).id(), ServerId{1});
+  EXPECT_THROW((void)net.resolver(ServerId{2}), ConfigError);
+}
+
+TEST(NetworkTest, PerServerCachesAreIndependent) {
+  Network net(2, TtlPolicy{}, Duration{0});
+  net.authority().register_permanent("valid.com");
+  // Client 0 -> server 0; client 1 -> server 1. Both lookups miss their own
+  // cache and are forwarded: the vantage sees two records with different
+  // forwarders.
+  (void)net.resolve(TimePoint{0}, ClientId{0}, "valid.com");
+  (void)net.resolve(TimePoint{10}, ClientId{1}, "valid.com");
+  ASSERT_EQ(net.vantage().size(), 2u);
+  EXPECT_EQ(net.vantage().stream()[0].forwarder, ServerId{0});
+  EXPECT_EQ(net.vantage().stream()[1].forwarder, ServerId{1});
+  // Same-server repeat is masked.
+  (void)net.resolve(TimePoint{20}, ClientId{2}, "valid.com");
+  EXPECT_EQ(net.vantage().size(), 2u);
+}
+
+TEST(NetworkTest, EvictExpiredSweepsAllServers) {
+  TtlPolicy ttl{.positive = seconds(10), .negative = seconds(5)};
+  Network net(2, ttl, Duration{0});
+  (void)net.resolve(TimePoint{0}, ClientId{0}, "a.nx");
+  (void)net.resolve(TimePoint{0}, ClientId{1}, "b.nx");
+  EXPECT_EQ(net.resolver(ServerId{0}).cache().size(), 1u);
+  EXPECT_EQ(net.resolver(ServerId{1}).cache().size(), 1u);
+  net.evict_expired(TimePoint{seconds(30).millis()});
+  EXPECT_EQ(net.resolver(ServerId{0}).cache().size(), 0u);
+  EXPECT_EQ(net.resolver(ServerId{1}).cache().size(), 0u);
+}
+
+TEST(NetworkTest, VantageTakeDrains) {
+  Network net(1, TtlPolicy{}, Duration{0});
+  (void)net.resolve(TimePoint{0}, ClientId{0}, "x.nx");
+  auto stream = net.vantage().take();
+  EXPECT_EQ(stream.size(), 1u);
+  EXPECT_EQ(net.vantage().size(), 0u);
+}
+
+}  // namespace
+}  // namespace botmeter::dns

@@ -1,0 +1,80 @@
+#include "estimators/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dga/families.hpp"
+
+namespace botmeter::estimators {
+namespace {
+
+TEST(ModelLibraryTest, RegistersAllModels) {
+  const ModelLibrary library;
+  const auto names = library.names();
+  for (const char* expected : {"timing", "poisson", "bernoulli",
+                               "bernoulli-coverage", "bernoulli-segment",
+                               "sampling-coverage",
+                               "hybrid(bernoulli+timing)"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(ModelLibraryTest, GetByNameAndUnknownRejected) {
+  const ModelLibrary library;
+  EXPECT_EQ(library.get("timing").name(), "timing");
+  EXPECT_EQ(library.get("bernoulli").name(), "bernoulli");
+  EXPECT_THROW((void)library.get("nope"), ConfigError);
+}
+
+TEST(ModelLibraryTest, ApplicableSetsPerBarrel) {
+  const ModelLibrary library;
+
+  auto names_for = [&](const dga::DgaConfig& config) {
+    std::vector<std::string_view> names;
+    for (const Estimator* e : library.applicable(config)) {
+      names.push_back(e->name());
+    }
+    return names;
+  };
+
+  const auto uniform = names_for(dga::murofet_config());
+  EXPECT_NE(std::find(uniform.begin(), uniform.end(), "timing"), uniform.end());
+  EXPECT_NE(std::find(uniform.begin(), uniform.end(), "poisson"), uniform.end());
+  EXPECT_EQ(std::find(uniform.begin(), uniform.end(), "bernoulli"), uniform.end());
+
+  const auto randomcut = names_for(dga::newgoz_config());
+  EXPECT_NE(std::find(randomcut.begin(), randomcut.end(), "bernoulli"),
+            randomcut.end());
+  EXPECT_EQ(std::find(randomcut.begin(), randomcut.end(), "poisson"),
+            randomcut.end());
+
+  const auto sampling = names_for(dga::conficker_c_config());
+  EXPECT_NE(std::find(sampling.begin(), sampling.end(), "sampling-coverage"),
+            sampling.end());
+}
+
+TEST(ModelLibraryTest, TimingApplicableEverywhere) {
+  const ModelLibrary library;
+  for (std::string_view family : dga::family_names()) {
+    const auto applicable = library.applicable(dga::family_config(family));
+    const bool has_timing =
+        std::any_of(applicable.begin(), applicable.end(),
+                    [](const Estimator* e) { return e->name() == "timing"; });
+    EXPECT_TRUE(has_timing) << family;
+  }
+}
+
+TEST(ModelLibraryTest, RecommendationsMatchPaper) {
+  const ModelLibrary library;
+  EXPECT_EQ(library.recommended(dga::murofet_config()).name(), "poisson");
+  EXPECT_EQ(library.recommended(dga::ramnit_config()).name(), "poisson");
+  EXPECT_EQ(library.recommended(dga::newgoz_config()).name(), "bernoulli");
+  EXPECT_EQ(library.recommended(dga::conficker_c_config()).name(), "timing");
+  EXPECT_EQ(library.recommended(dga::necurs_config()).name(), "timing");
+}
+
+}  // namespace
+}  // namespace botmeter::estimators

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "detect/detection_window.hpp"
+#include "dga/families.hpp"
+#include "estimators/estimator.hpp"
+#include "estimators/timing.hpp"
+#include "support/observation_factory.hpp"
+
+namespace botmeter::estimators {
+namespace {
+
+class ObservationTest : public ::testing::Test {
+ protected:
+  ObservationTest() {
+    config_ = dga::murofet_config();
+    model_ = dga::make_pool_model(config_);
+    pool_ = &model_->epoch_pool(0);
+    window_ = detect::perfect_detection(*pool_);
+  }
+
+  EpochObservation valid_observation() {
+    EpochObservation obs;
+    obs.config = &config_;
+    obs.pool = pool_;
+    obs.window = &window_;
+    obs.window_start = TimePoint{0};
+    obs.window_length = days(1);
+    return obs;
+  }
+
+  dga::DgaConfig config_;
+  std::unique_ptr<dga::QueryPoolModel> model_;
+  const dga::EpochPool* pool_ = nullptr;
+  detect::DetectionWindow window_;
+};
+
+TEST_F(ObservationTest, ValidObservationPasses) {
+  EXPECT_NO_THROW(valid_observation().validate());
+}
+
+TEST_F(ObservationTest, MissingPointersRejected) {
+  EpochObservation obs = valid_observation();
+  obs.config = nullptr;
+  EXPECT_THROW(obs.validate(), ConfigError);
+  obs = valid_observation();
+  obs.pool = nullptr;
+  EXPECT_THROW(obs.validate(), ConfigError);
+  obs = valid_observation();
+  obs.window = nullptr;
+  EXPECT_THROW(obs.validate(), ConfigError);
+}
+
+TEST_F(ObservationTest, WindowPoolSizeMismatchRejected) {
+  detect::DetectionWindow bad = window_;
+  bad.detected.pop_back();
+  EpochObservation obs = valid_observation();
+  obs.window = &bad;
+  EXPECT_THROW(obs.validate(), ConfigError);
+}
+
+TEST_F(ObservationTest, NonPositiveWindowLengthRejected) {
+  EpochObservation obs = valid_observation();
+  obs.window_length = Duration{0};
+  EXPECT_THROW(obs.validate(), ConfigError);
+}
+
+TEST_F(ObservationTest, OutOfRangeAssumedMissRateRejected) {
+  EpochObservation obs = valid_observation();
+  obs.assumed_miss_rate = 1.0;
+  EXPECT_THROW(obs.validate(), ConfigError);
+  obs.assumed_miss_rate = -0.1;
+  EXPECT_THROW(obs.validate(), ConfigError);
+  obs.assumed_miss_rate = 0.0;
+  EXPECT_NO_THROW(obs.validate());
+}
+
+TEST_F(ObservationTest, UnsortedLookupsRejected) {
+  EpochObservation obs = valid_observation();
+  obs.lookups = {{TimePoint{100}, 0, false}, {TimePoint{50}, 1, false}};
+  EXPECT_THROW(obs.validate(), DataError);
+}
+
+TEST_F(ObservationTest, TiedTimestampsAllowed) {
+  EpochObservation obs = valid_observation();
+  obs.lookups = {{TimePoint{100}, 0, false}, {TimePoint{100}, 1, false}};
+  EXPECT_NO_THROW(obs.validate());
+}
+
+// ---- estimate_window ------------------------------------------------------
+
+TEST(EstimateWindowTest, AveragesPerEpochEstimates) {
+  botnet::SimulationConfig sim;
+  sim.dga = dga::murofet_config();
+  sim.bot_count = 8;
+  sim.epoch_count = 3;
+  sim.seed = 77;
+  testing::ObservationFactory factory(sim);
+  const TimingEstimator timing;
+  double sum = 0.0;
+  for (const auto& obs : factory.observations()) sum += timing.estimate(obs);
+  EXPECT_NEAR(estimate_window(timing, factory.observations()), sum / 3.0,
+              1e-12);
+}
+
+TEST(EstimateWindowTest, EmptyWindowRejected) {
+  const TimingEstimator timing;
+  EXPECT_THROW((void)estimate_window(timing, {}), ConfigError);
+}
+
+}  // namespace
+}  // namespace botmeter::estimators

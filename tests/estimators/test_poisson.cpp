@@ -1,0 +1,159 @@
+#include "estimators/poisson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "detect/detection_window.hpp"
+#include "dga/families.hpp"
+#include "support/observation_factory.hpp"
+
+namespace botmeter::estimators {
+namespace {
+
+class PoissonSyntheticTest : public ::testing::Test {
+ protected:
+  PoissonSyntheticTest() {
+    config_ = dga::murofet_config();
+    model_ = dga::make_pool_model(config_);
+    pool_ = &model_->epoch_pool(0);
+    window_ = detect::perfect_detection(*pool_);
+  }
+
+  EpochObservation observation(std::vector<detect::MatchedLookup> lookups) {
+    EpochObservation obs;
+    obs.lookups = std::move(lookups);
+    obs.config = &config_;
+    obs.pool = pool_;
+    obs.window = &window_;
+    obs.ttl = dns::TtlPolicy{};  // negative 2 h
+    obs.window_start = TimePoint{0};
+    obs.window_length = days(1);
+    return obs;
+  }
+
+  /// A visible activation burst of `len` NXD lookups starting at `start`.
+  void add_burst(std::vector<detect::MatchedLookup>& lookups, TimePoint start,
+                 std::uint32_t len) {
+    std::uint32_t emitted = 0;
+    for (std::uint32_t pos = 0; emitted < len; ++pos) {
+      if (pool_->is_valid_position(pos)) continue;
+      lookups.push_back(
+          {start + config_.query_interval * emitted, pos, false});
+      ++emitted;
+    }
+  }
+
+  dga::DgaConfig config_;
+  std::unique_ptr<dga::QueryPoolModel> model_;
+  const dga::EpochPool* pool_ = nullptr;
+  detect::DetectionWindow window_;
+  PoissonEstimator estimator_;
+};
+
+TEST_F(PoissonSyntheticTest, EmptyStreamIsZero) {
+  EXPECT_DOUBLE_EQ(estimator_.estimate(observation({})), 0.0);
+}
+
+TEST_F(PoissonSyntheticTest, BurstClusteringFindsVisibleActivations) {
+  std::vector<detect::MatchedLookup> lookups;
+  add_burst(lookups, TimePoint{hours(1).millis()}, 20);
+  add_burst(lookups, TimePoint{hours(5).millis()}, 20);
+  add_burst(lookups, TimePoint{hours(9).millis()}, 20);
+  const auto bursts = PoissonEstimator::visible_activations(observation(lookups));
+  ASSERT_EQ(bursts.size(), 3u);
+  EXPECT_EQ(bursts[0], TimePoint{hours(1).millis()});
+  EXPECT_EQ(bursts[1], TimePoint{hours(5).millis()});
+  EXPECT_EQ(bursts[2], TimePoint{hours(9).millis()});
+}
+
+TEST_F(PoissonSyntheticTest, ValidDomainLookupsIgnored) {
+  std::vector<detect::MatchedLookup> lookups;
+  add_burst(lookups, TimePoint{hours(1).millis()}, 5);
+  lookups.push_back(
+      {TimePoint{hours(12).millis()}, pool_->valid_positions.front(), true});
+  const auto bursts = PoissonEstimator::visible_activations(observation(lookups));
+  EXPECT_EQ(bursts.size(), 1u);
+}
+
+TEST_F(PoissonSyntheticTest, EquationOneMatchesHandComputation) {
+  // Bursts at 2 h and 6 h with negative TTL 2 h:
+  // Delta_1 = 2 h, Delta_2 = 6 h - (2 h + 2 h) = 2 h; n = 2.
+  // Unbiased rate lambda = (n-1)/sum(Delta) = 1 / 4 h;
+  // E(N) = lambda * (sum(Delta) + n * delta_l) = (4 h + 4 h) / 4 h = 2.
+  std::vector<detect::MatchedLookup> lookups;
+  add_burst(lookups, TimePoint{hours(2).millis()}, 10);
+  add_burst(lookups, TimePoint{hours(6).millis()}, 10);
+  EXPECT_NEAR(estimator_.estimate(observation(lookups)), 2.0, 1e-9);
+}
+
+TEST_F(PoissonSyntheticTest, SingleActivationReportsOneBot) {
+  // With one visible activation the waiting-gap rate is unmeasurable; the
+  // estimator must not explode even when the burst sits right at the window
+  // start (the Delta_1 -> 0 pathology of the raw MLE form).
+  std::vector<detect::MatchedLookup> lookups;
+  add_burst(lookups, TimePoint{seconds(10).millis()}, 10);
+  EXPECT_DOUBLE_EQ(estimator_.estimate(observation(lookups)), 1.0);
+}
+
+TEST_F(PoissonSyntheticTest, BackToBackBurstsSaturateGracefully) {
+  // Activations exactly TTL apart leave zero waiting gaps except Delta_1.
+  std::vector<detect::MatchedLookup> lookups;
+  add_burst(lookups, TimePoint{hours(2).millis()}, 5);
+  add_burst(lookups, TimePoint{hours(4).millis()}, 5);
+  add_burst(lookups, TimePoint{hours(6).millis()}, 5);
+  const double estimate = estimator_.estimate(observation(lookups));
+  EXPECT_GT(estimate, 3.0);
+  EXPECT_TRUE(std::isfinite(estimate));
+}
+
+TEST_F(PoissonSyntheticTest, OnlyApplicableToUniformBarrel) {
+  EXPECT_TRUE(estimator_.applicable(dga::murofet_config()));
+  EXPECT_TRUE(estimator_.applicable(dga::ramnit_config()));
+  EXPECT_FALSE(estimator_.applicable(dga::newgoz_config()));
+  EXPECT_FALSE(estimator_.applicable(dga::conficker_c_config()));
+  EXPECT_FALSE(estimator_.applicable(dga::necurs_config()));
+}
+
+// ---- realistic simulated traffic ----------------------------------------
+
+botnet::SimulationConfig sim_config(std::uint32_t bots, std::uint64_t seed) {
+  botnet::SimulationConfig config;
+  config.dga = dga::murofet_config();
+  config.bot_count = bots;
+  config.timestamp_granularity = milliseconds(100);
+  config.seed = seed;
+  return config;
+}
+
+TEST(PoissonRealisticTest, RecoverablePopulationsAcrossSizes) {
+  // Average ARE over several seeds should be modest (paper Fig. 6(a) shows
+  // median ~.05-.15 for M_P on A_U).
+  PoissonEstimator estimator;
+  for (std::uint32_t n : {64u, 128u}) {
+    RunningStats errors;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      testing::ObservationFactory factory(sim_config(n, seed));
+      const double estimate = estimator.estimate(factory.observations()[0]);
+      errors.add(absolute_relative_error(estimate, static_cast<double>(n)));
+    }
+    EXPECT_LT(errors.mean(), 0.35) << "N=" << n;
+  }
+}
+
+TEST(PoissonRealisticTest, BeatsTimingOnUniformBarrelAtScale) {
+  // Fig. 6(a), A_U panel: M_P outperforms M_T as N grows.
+  PoissonEstimator poisson;
+  RunningStats poisson_err;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    testing::ObservationFactory factory(sim_config(256, seed * 31));
+    poisson_err.add(absolute_relative_error(
+        poisson.estimate(factory.observations()[0]), 256.0));
+  }
+  EXPECT_LT(poisson_err.mean(), 0.4);
+}
+
+}  // namespace
+}  // namespace botmeter::estimators

@@ -1,0 +1,112 @@
+#include "estimators/sampling_coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dga/families.hpp"
+#include "support/observation_factory.hpp"
+
+namespace botmeter::estimators {
+namespace {
+
+dga::DgaConfig thin_conficker() {
+  // Conficker-shaped but with a smaller pool so tests stay fast.
+  dga::DgaConfig c = dga::conficker_c_config();
+  c.nxd_count = 9995;
+  c.valid_count = 5;
+  c.barrel_size = 500;
+  return c;
+}
+
+TEST(SamplingCoverageTest, PerBotProbabilityStopOnHit) {
+  // With theta_E = 5 of 10000 and 500 draws, the expected number of NXDs a
+  // bot queries is sum_k prod (theta_0 - j)/(P - j); sanity bounds: close
+  // to but below 500 * (1 - small hit mass).
+  const double q = SamplingCoverageEstimator::per_bot_nxd_probability(
+      thin_conficker());
+  EXPECT_GT(q, 0.0);
+  EXPECT_LT(q, 500.0 / 9995.0);
+  EXPECT_GT(q, 0.8 * 500.0 / 9995.0);
+}
+
+TEST(SamplingCoverageTest, PerBotProbabilityWithoutStopOnHit) {
+  dga::DgaConfig c = thin_conficker();
+  c.stop_on_hit = false;
+  const double q = SamplingCoverageEstimator::per_bot_nxd_probability(c);
+  // Exactly theta_q / P of the pool, normalised over NXDs.
+  EXPECT_NEAR(q, 500.0 / 10'000.0, 1e-12);
+}
+
+TEST(SamplingCoverageTest, ApplicableToSamplingBarrelOnly) {
+  const SamplingCoverageEstimator estimator;
+  EXPECT_TRUE(estimator.applicable(dga::conficker_c_config()));
+  // A_P saturates its coverage with a handful of bots (q = 1/(theta_E+1)
+  // regardless of pool size), so the estimator refuses it.
+  EXPECT_FALSE(estimator.applicable(dga::necurs_config()));
+  EXPECT_FALSE(estimator.applicable(dga::murofet_config()));
+  EXPECT_FALSE(estimator.applicable(dga::newgoz_config()));
+}
+
+botnet::SimulationConfig sampling_sim(std::uint32_t bots, std::uint64_t seed) {
+  botnet::SimulationConfig config;
+  config.dga = thin_conficker();
+  config.bot_count = bots;
+  config.timestamp_granularity = milliseconds(100);
+  config.seed = seed;
+  return config;
+}
+
+TEST(SamplingCoverageTest, AccurateOnSamplingBarrel) {
+  const SamplingCoverageEstimator estimator;
+  RunningStats errors;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    testing::ObservationFactory factory(sampling_sim(64, seed));
+    errors.add(absolute_relative_error(
+        estimator.estimate(factory.observations()[0]), 64.0));
+  }
+  EXPECT_LT(errors.mean(), 0.20);
+}
+
+TEST(SamplingCoverageTest, PermutationBarrelRejected) {
+  botnet::SimulationConfig config;
+  config.dga = dga::necurs_config();
+  config.bot_count = 8;
+  config.timestamp_granularity = milliseconds(100);
+  config.seed = 3;
+  const SamplingCoverageEstimator estimator;
+  testing::ObservationFactory factory(config);
+  EXPECT_THROW((void)estimator.estimate(factory.observations()[0]), ConfigError);
+}
+
+TEST(SamplingCoverageTest, EmptyObservationIsZero) {
+  testing::ObservationFactory factory(sampling_sim(4, 5));
+  EpochObservation obs = factory.observations()[0];
+  obs.lookups.clear();
+  const SamplingCoverageEstimator estimator;
+  EXPECT_DOUBLE_EQ(estimator.estimate(obs), 0.0);
+}
+
+TEST(SamplingCoverageTest, WrongBarrelThrows) {
+  botnet::SimulationConfig config;
+  config.dga = dga::murofet_config();
+  config.bot_count = 4;
+  config.seed = 5;
+  testing::ObservationFactory factory(config);
+  const SamplingCoverageEstimator estimator;
+  EXPECT_THROW((void)estimator.estimate(factory.observations()[0]), ConfigError);
+}
+
+TEST(SamplingCoverageTest, MissRateCorrectionImproves) {
+  const SamplingCoverageEstimator estimator;
+  testing::ObservationFactory uncorrected(sampling_sim(64, 11), 0.4);
+  testing::ObservationFactory corrected(sampling_sim(64, 11), 0.4, 0.4);
+  const double err_uncorrected = absolute_relative_error(
+      estimator.estimate(uncorrected.observations()[0]), 64.0);
+  const double err_corrected = absolute_relative_error(
+      estimator.estimate(corrected.observations()[0]), 64.0);
+  EXPECT_LT(err_corrected, err_uncorrected);
+}
+
+}  // namespace
+}  // namespace botmeter::estimators

@@ -1,0 +1,202 @@
+#include "estimators/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "detect/detection_window.hpp"
+#include "dga/families.hpp"
+#include "support/observation_factory.hpp"
+
+namespace botmeter::estimators {
+namespace {
+
+/// Fixture with a tiny pool and hand-crafted lookup streams so each
+/// Algorithm 1 heuristic can be exercised in isolation.
+class TimingHeuristicsTest : public ::testing::Test {
+ protected:
+  TimingHeuristicsTest() {
+    config_.name = "tiny";
+    config_.taxonomy = {dga::PoolModel::kDrainReplenish,
+                        dga::BarrelModel::kUniform};
+    config_.nxd_count = 19;
+    config_.valid_count = 1;
+    config_.barrel_size = 20;
+    config_.query_interval = milliseconds(500);
+    config_.seed = 7;
+    model_ = dga::make_pool_model(config_);
+    pool_ = &model_->epoch_pool(0);
+    window_ = detect::perfect_detection(*pool_);
+  }
+
+  EpochObservation observation(std::vector<detect::MatchedLookup> lookups) {
+    EpochObservation obs;
+    obs.lookups = std::move(lookups);
+    obs.config = &config_;
+    obs.pool = pool_;
+    obs.window = &window_;
+    obs.ttl = dns::TtlPolicy{};
+    obs.window_start = TimePoint{0};
+    obs.window_length = days(1);
+    return obs;
+  }
+
+  /// An NXD position of the pool (avoids the valid position).
+  std::uint32_t nxd(std::uint32_t k) const {
+    std::uint32_t pos = 0, seen = 0;
+    for (;; ++pos) {
+      if (!pool_->is_valid_position(pos)) {
+        if (seen == k) return pos;
+        ++seen;
+      }
+    }
+  }
+
+  dga::DgaConfig config_;
+  std::unique_ptr<dga::QueryPoolModel> model_;
+  const dga::EpochPool* pool_ = nullptr;
+  detect::DetectionWindow window_;
+  TimingEstimator estimator_;
+};
+
+TEST_F(TimingHeuristicsTest, EmptyStreamIsZero) {
+  EXPECT_DOUBLE_EQ(estimator_.estimate(observation({})), 0.0);
+}
+
+TEST_F(TimingHeuristicsTest, SingleTrainIsOneBot) {
+  std::vector<detect::MatchedLookup> lookups;
+  for (std::uint32_t k = 0; k < 5; ++k) {
+    lookups.push_back({TimePoint{static_cast<std::int64_t>(k) * 500}, nxd(k),
+                       false});
+  }
+  EXPECT_DOUBLE_EQ(estimator_.estimate(observation(lookups)), 1.0);
+}
+
+TEST_F(TimingHeuristicsTest, Heuristic1RepeatedDomainSplitsBots) {
+  // Same NXD twice: must be two bots even with compatible timing.
+  std::vector<detect::MatchedLookup> lookups{
+      {TimePoint{0}, nxd(0), false},
+      {TimePoint{500}, nxd(0), false},
+  };
+  EXPECT_DOUBLE_EQ(estimator_.estimate(observation(lookups)), 2.0);
+}
+
+TEST_F(TimingHeuristicsTest, Heuristic2GapBeyondMaxDurationSplitsBots) {
+  // Max duration = 20 * 500 ms = 10 s; a lookup 11 s later is another bot
+  // even though the gap is a multiple of delta_i and the domain is fresh.
+  std::vector<detect::MatchedLookup> lookups{
+      {TimePoint{0}, nxd(0), false},
+      {TimePoint{11'000}, nxd(1), false},
+  };
+  EXPECT_DOUBLE_EQ(estimator_.estimate(observation(lookups)), 2.0);
+}
+
+TEST_F(TimingHeuristicsTest, Heuristic3OffPhaseGapSplitsBots) {
+  // 750 ms is not a multiple of 500 ms (paper's own example).
+  std::vector<detect::MatchedLookup> lookups{
+      {TimePoint{0}, nxd(0), false},
+      {TimePoint{750}, nxd(1), false},
+  };
+  EXPECT_DOUBLE_EQ(estimator_.estimate(observation(lookups)), 2.0);
+}
+
+TEST_F(TimingHeuristicsTest, InPhaseFreshDomainAbsorbed) {
+  // Multiple of delta_i, within duration, fresh domain: same bot.
+  std::vector<detect::MatchedLookup> lookups{
+      {TimePoint{0}, nxd(0), false},
+      {TimePoint{1500}, nxd(3), false},  // skipped ticks still in phase
+  };
+  EXPECT_DOUBLE_EQ(estimator_.estimate(observation(lookups)), 1.0);
+}
+
+TEST_F(TimingHeuristicsTest, InterleavedOffPhaseTrainsSeparated) {
+  // Two bots offset by 250 ms, same domains: heuristics #1/#3 must keep
+  // them apart -> 2 bots.
+  std::vector<detect::MatchedLookup> lookups;
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    lookups.push_back({TimePoint{static_cast<std::int64_t>(k) * 500}, nxd(k),
+                       false});
+    lookups.push_back({TimePoint{static_cast<std::int64_t>(k) * 500 + 250},
+                       nxd(k), false});
+  }
+  std::sort(lookups.begin(), lookups.end(),
+            [](const auto& a, const auto& b) { return a.t < b.t; });
+  EXPECT_DOUBLE_EQ(estimator_.estimate(observation(lookups)), 2.0);
+}
+
+TEST_F(TimingHeuristicsTest, Heuristic3DisabledForIntervalFreeFamilies) {
+  config_.query_interval = Duration{0};
+  std::vector<detect::MatchedLookup> lookups{
+      {TimePoint{0}, nxd(0), false},
+      {TimePoint{750}, nxd(1), false},  // off-phase but no fixed interval
+  };
+  EXPECT_DOUBLE_EQ(estimator_.estimate(observation(lookups)), 1.0);
+}
+
+TEST_F(TimingHeuristicsTest, ApplicableEverywhere) {
+  for (auto barrel :
+       {dga::BarrelModel::kUniform, dga::BarrelModel::kSampling,
+        dga::BarrelModel::kRandomCut, dga::BarrelModel::kPermutation}) {
+    dga::DgaConfig c = config_;
+    c.taxonomy.barrel = barrel;
+    EXPECT_TRUE(estimator_.applicable(c));
+  }
+}
+
+// ---- behaviour on realistic simulated traffic --------------------------
+
+botnet::SimulationConfig sim_config(dga::DgaConfig dga_config,
+                                    std::uint32_t bots, std::uint64_t seed) {
+  botnet::SimulationConfig config;
+  config.dga = std::move(dga_config);
+  config.bot_count = bots;
+  config.timestamp_granularity = milliseconds(100);
+  config.seed = seed;
+  return config;
+}
+
+TEST(TimingRealisticTest, AccurateOnSamplingBarrel) {
+  // Paper Fig. 6(a): M_T works well on A_S where bots query different
+  // domains. Use a thinned Conficker-like config to keep runtime low.
+  dga::DgaConfig dga_config = dga::conficker_c_config();
+  dga_config.nxd_count = 9995;
+  dga_config.valid_count = 5;
+  dga_config.barrel_size = 200;
+  testing::ObservationFactory factory(sim_config(dga_config, 32, 21));
+  TimingEstimator estimator;
+  const double estimate = estimator.estimate(factory.observations()[0]);
+  EXPECT_LT(absolute_relative_error(estimate, 32.0), 0.30);
+}
+
+TEST(TimingRealisticTest, UnderestimatesUniformBarrelUnderHeavyCaching) {
+  // Paper Fig. 6(a): M_T collapses on A_U at larger N because caching masks
+  // whole activations.
+  testing::ObservationFactory factory(
+      sim_config(dga::murofet_config(), 128, 22));
+  TimingEstimator estimator;
+  const double estimate = estimator.estimate(factory.observations()[0]);
+  EXPECT_LT(estimate, 0.6 * 128.0);
+}
+
+TEST(TimingRealisticTest, CoarseTimestampsDegradeEstimates) {
+  // §V-B: with 1 s granularity and delta_i <= 1 s, heuristic #3 loses its
+  // power and M_T can be arbitrarily bad.
+  dga::DgaConfig dga_config = dga::newgoz_config();
+  botnet::SimulationConfig fine = sim_config(dga_config, 32, 23);
+  fine.timestamp_granularity = milliseconds(100);
+  botnet::SimulationConfig coarse = sim_config(dga_config, 32, 23);
+  coarse.timestamp_granularity = seconds(1);
+
+  TimingEstimator estimator;
+  const double err_fine = absolute_relative_error(
+      estimator.estimate(
+          testing::ObservationFactory(fine).observations()[0]),
+      32.0);
+  const double err_coarse = absolute_relative_error(
+      estimator.estimate(
+          testing::ObservationFactory(coarse).observations()[0]),
+      32.0);
+  EXPECT_LT(err_fine, err_coarse + 0.05);
+}
+
+}  // namespace
+}  // namespace botmeter::estimators

@@ -1,0 +1,117 @@
+// Tests for the coordinated-cut evasion extension (paper future-work #3).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "botnet/simulator.hpp"
+#include "common/stats.hpp"
+#include "dga/barrel.hpp"
+#include "dga/families.hpp"
+#include "estimators/bernoulli.hpp"
+#include "estimators/library.hpp"
+#include "support/observation_factory.hpp"
+
+namespace botmeter {
+namespace {
+
+TEST(EvasiveVariantTest, ConfigDerivation) {
+  const dga::DgaConfig evasive = dga::evasive_variant(dga::newgoz_config());
+  EXPECT_EQ(evasive.name, "newGoZ-evasive");
+  EXPECT_EQ(evasive.taxonomy.barrel, dga::BarrelModel::kCoordinatedCut);
+  EXPECT_EQ(evasive.nxd_count, dga::newgoz_config().nxd_count);
+  EXPECT_NO_THROW(evasive.validate());
+}
+
+TEST(EvasiveVariantTest, TaxonomyLabels) {
+  EXPECT_EQ(dga::to_string(dga::BarrelModel::kCoordinatedCut), "coordinatedcut");
+  EXPECT_EQ(dga::short_label(dga::BarrelModel::kCoordinatedCut), "A_C");
+  // The Fig. 3 grid stays the paper's twelve cells.
+  EXPECT_EQ(dga::kAllBarrelModels.size(), 4u);
+}
+
+TEST(EvasiveBarrelTest, BotsShareTheEpochCut) {
+  const dga::DgaConfig config = dga::evasive_variant(dga::newgoz_config());
+  auto model = dga::make_pool_model(config);
+  const dga::EpochPool& pool = model->epoch_pool(0);
+  // Many bots: their barrels differ only by a jitter below theta_q / 16.
+  std::set<std::uint32_t> starts;
+  for (std::uint64_t b = 0; b < 32; ++b) {
+    Rng bot{b};
+    const auto barrel = dga::make_barrel(config, pool, bot);
+    ASSERT_FALSE(barrel.empty());
+    // Consecutive modulo pool size, like randomcut.
+    for (std::size_t i = 1; i < barrel.size(); ++i) {
+      ASSERT_EQ(barrel[i], (barrel[i - 1] + 1) % pool.size());
+    }
+    starts.insert(barrel.front());
+  }
+  // Starts span at most the jitter window.
+  const std::uint32_t lo = *starts.begin();
+  const std::uint32_t hi = *starts.rbegin();
+  EXPECT_LE(hi - lo, config.barrel_size / 16);
+  EXPECT_GT(starts.size(), 1u);  // some per-bot variation remains
+}
+
+TEST(EvasiveBarrelTest, CutMovesAcrossEpochs) {
+  const dga::DgaConfig config = dga::evasive_variant(dga::newgoz_config());
+  auto model = dga::make_pool_model(config);
+  Rng bot{1};
+  const auto day0 = dga::make_barrel(config, model->epoch_pool(0), bot);
+  Rng bot_again{1};
+  const auto day1 = dga::make_barrel(config, model->epoch_pool(1), bot_again);
+  EXPECT_NE(day0.front(), day1.front());
+}
+
+TEST(EvasionEffectTest, CoverageFootprintIndependentOfPopulation) {
+  // The collective footprint of 8 and 128 evasive bots is nearly the same —
+  // that is the attack.
+  auto footprint = [](std::uint32_t bots) {
+    botnet::SimulationConfig sim;
+    sim.dga = dga::evasive_variant(dga::newgoz_config());
+    sim.bot_count = bots;
+    sim.seed = 99;
+    sim.record_raw = false;
+    testing::ObservationFactory factory(sim);
+    std::set<std::uint32_t> distinct;
+    for (const auto& lookup : factory.observations()[0].lookups) {
+      if (!lookup.is_valid_domain) distinct.insert(lookup.pool_position);
+    }
+    return distinct.size();
+  };
+  const std::size_t small = footprint(8);
+  const std::size_t large = footprint(128);
+  EXPECT_LT(static_cast<double>(large),
+            1.3 * static_cast<double>(small));
+}
+
+TEST(EvasionEffectTest, BernoulliCollapsesOnEvasiveTraffic) {
+  // The analyst believes the traffic is honest A_R; the estimate barely
+  // moves with the true population.
+  const dga::DgaConfig believed = dga::newgoz_config();
+  auto estimate_for = [&](std::uint32_t bots) {
+    botnet::SimulationConfig sim;
+    sim.dga = dga::evasive_variant(dga::newgoz_config());
+    sim.bot_count = bots;
+    sim.seed = 7;
+    sim.record_raw = false;
+    testing::ObservationFactory factory(sim);
+    estimators::EpochObservation obs = factory.observations()[0];
+    obs.config = &believed;
+    const estimators::BernoulliEstimator estimator;
+    return estimator.estimate(obs);
+  };
+  const double at_16 = estimate_for(16);
+  const double at_256 = estimate_for(256);
+  EXPECT_LT(at_256, 16.0);          // wildly below the truth of 256
+  EXPECT_LT(at_256, 4.0 * at_16);   // and nearly flat in N
+}
+
+TEST(EvasionEffectTest, RecommendedFallbackIsTiming) {
+  const estimators::ModelLibrary library;
+  EXPECT_EQ(
+      library.recommended(dga::evasive_variant(dga::newgoz_config())).name(),
+      "timing");
+}
+
+}  // namespace
+}  // namespace botmeter

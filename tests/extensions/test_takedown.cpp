@@ -1,0 +1,126 @@
+// Tests for mid-epoch C2 takedown dynamics (§I: "even if the current C2
+// domains or IPs are captured and taken down, the bots will eventually
+// identify the relocated C2 servers").
+#include <gtest/gtest.h>
+
+#include "botnet/bot.hpp"
+#include "botnet/simulator.hpp"
+#include "common/error.hpp"
+#include "dga/families.hpp"
+
+namespace botmeter::botnet {
+namespace {
+
+dga::DgaConfig small_uniform() {
+  dga::DgaConfig c;
+  c.name = "test-uniform";
+  c.taxonomy = {dga::PoolModel::kDrainReplenish, dga::BarrelModel::kUniform};
+  c.nxd_count = 48;
+  c.valid_count = 2;
+  c.barrel_size = 50;
+  c.query_interval = milliseconds(500);
+  c.seed = 321;
+  return c;
+}
+
+TEST(TakedownBotTest, BotRollsPastDownedC2) {
+  const dga::DgaConfig config = small_uniform();
+  auto model = dga::make_pool_model(config);
+  const dga::EpochPool& pool = model->epoch_pool(0);
+  Rng rng_live{1}, rng_down{1};
+
+  const auto live = activation_queries(config, pool, TimePoint{0}, rng_live);
+  // Takedown before the activation: no query resolves, the bot walks the
+  // entire barrel.
+  const auto downed = activation_queries(config, pool, TimePoint{0}, rng_down,
+                                         TimePoint{0});
+  EXPECT_EQ(downed.size(), 50u);
+  EXPECT_LE(live.size(), downed.size());
+}
+
+TEST(TakedownBotTest, TakedownAfterTrainHasNoEffect) {
+  const dga::DgaConfig config = small_uniform();
+  auto model = dga::make_pool_model(config);
+  const dga::EpochPool& pool = model->epoch_pool(0);
+  Rng rng_a{2}, rng_b{2};
+  const auto live = activation_queries(config, pool, TimePoint{0}, rng_a);
+  const auto late_takedown = activation_queries(
+      config, pool, TimePoint{0}, rng_b, TimePoint{hours(1).millis()});
+  EXPECT_EQ(live, late_takedown);
+}
+
+TEST(TakedownSimulatorTest, EarlierTakedownMoreQueries) {
+  botnet::SimulationConfig base;
+  base.dga = small_uniform();
+  base.bot_count = 32;
+  base.seed = 5;
+
+  botnet::SimulationConfig half = base;
+  half.takedown_after_fraction = 0.5;
+  botnet::SimulationConfig quarter = base;
+  quarter.takedown_after_fraction = 0.25;
+
+  const auto full_day = botnet::simulate(base);
+  const auto half_day = botnet::simulate(half);
+  const auto quarter_day = botnet::simulate(quarter);
+  // Bots activating after the takedown abort only once the barrel is dry, so
+  // raw volume grows as the takedown moves earlier.
+  EXPECT_LE(full_day.raw.size(), half_day.raw.size());
+  EXPECT_LE(half_day.raw.size(), quarter_day.raw.size());
+}
+
+TEST(TakedownSimulatorTest, PostTakedownC2QueriesReturnNxd) {
+  botnet::SimulationConfig config;
+  config.dga = small_uniform();
+  config.bot_count = 32;
+  config.seed = 6;
+  config.takedown_after_fraction = 0.5;
+  // A sinkholed domain keeps answering from the positive cache until the
+  // TTL lapses — realistic and intended. Shorten the positive TTL so the
+  // stale-cache window is small and the takedown becomes observable.
+  config.ttl.positive = minutes(10);
+  auto pool_model = dga::make_pool_model(config.dga);
+  const auto result = botnet::simulate(config, *pool_model);
+  const dga::EpochPool& pool = pool_model->epoch_pool(0);
+  const TimePoint takedown{days(1).millis() / 2};
+
+  bool saw_pre_takedown_address = false;
+  for (const RawRecord& record : result.raw) {
+    bool is_c2 = false;
+    for (std::uint32_t pos : pool.valid_positions) {
+      if (pool.domains[pos] == record.domain) is_c2 = true;
+    }
+    if (!is_c2) continue;
+    if (record.t < takedown) {
+      EXPECT_EQ(record.rcode, dns::Rcode::kAddress) << to_string(record.t);
+      saw_pre_takedown_address = true;
+    } else if (record.t >= takedown + config.ttl.positive) {
+      // Past the stale-cache window every C2 answer must be NXDOMAIN.
+      EXPECT_EQ(record.rcode, dns::Rcode::kNxDomain) << to_string(record.t);
+    }
+  }
+  EXPECT_TRUE(saw_pre_takedown_address);
+}
+
+TEST(TakedownSimulatorTest, TruthUnchangedByTakedown) {
+  botnet::SimulationConfig config;
+  config.dga = small_uniform();
+  config.bot_count = 24;
+  config.seed = 7;
+  config.takedown_after_fraction = 0.25;
+  const auto result = botnet::simulate(config);
+  EXPECT_EQ(result.truth[0].total_active, 24u);
+}
+
+TEST(TakedownSimulatorTest, InvalidFractionRejected) {
+  botnet::SimulationConfig config;
+  config.dga = small_uniform();
+  config.bot_count = 4;
+  config.takedown_after_fraction = 0.0;
+  EXPECT_THROW((void)botnet::simulate(config), ConfigError);
+  config.takedown_after_fraction = 1.5;
+  EXPECT_THROW((void)botnet::simulate(config), ConfigError);
+}
+
+}  // namespace
+}  // namespace botmeter::botnet

@@ -1,0 +1,160 @@
+// End-to-end integration: simulator -> hierarchical DNS -> vantage stream ->
+// BotMeter pipeline, across the taxonomy's barrel models and the enterprise
+// trace generator.
+#include <gtest/gtest.h>
+
+#include "botnet/simulator.hpp"
+#include "common/stats.hpp"
+#include "core/botmeter.hpp"
+#include "dga/families.hpp"
+#include "trace/dataset.hpp"
+#include "trace/enterprise.hpp"
+#include "trace/io.hpp"
+
+#include <sstream>
+
+namespace botmeter {
+namespace {
+
+botnet::SimulationConfig sim_for(const dga::DgaConfig& dga_config,
+                                 std::uint32_t bots, std::uint64_t seed) {
+  botnet::SimulationConfig config;
+  config.dga = dga_config;
+  config.bot_count = bots;
+  config.seed = seed;
+  config.record_raw = false;
+  return config;
+}
+
+TEST(EndToEndTest, RecommendedEstimatorsRecoverPopulations) {
+  struct Case {
+    dga::DgaConfig config;
+    double tolerance;
+  };
+  // Thin the Conficker pool so the integration suite stays fast; the barrel
+  // statistics are unchanged in kind.
+  dga::DgaConfig thin_conficker = dga::conficker_c_config();
+  thin_conficker.nxd_count = 9995;
+  thin_conficker.barrel_size = 300;
+
+  const std::vector<Case> cases{
+      {dga::murofet_config(), 0.45},  // A_U via M_P
+      {thin_conficker, 0.35},         // A_S via M_T
+      {dga::newgoz_config(), 0.30},   // A_R via M_B
+      {dga::necurs_config(), 0.45},   // A_P via M_T
+  };
+  for (const Case& c : cases) {
+    RunningStats errors;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const auto result = botnet::simulate(sim_for(c.config, 64, seed));
+      core::BotMeterConfig meter_config;
+      meter_config.dga = c.config;
+      core::BotMeter meter(meter_config);
+      meter.prepare_epochs(0, 1);
+      const auto report = meter.analyze(result.observable, 1);
+      errors.add(absolute_relative_error(report.total_population(), 64.0));
+    }
+    EXPECT_LT(errors.mean(), c.tolerance) << c.config.name;
+  }
+}
+
+TEST(EndToEndTest, SerializedTraceReanalyzesIdentically) {
+  const auto result = botnet::simulate(sim_for(dga::newgoz_config(), 32, 9));
+
+  core::BotMeterConfig meter_config;
+  meter_config.dga = dga::newgoz_config();
+  core::BotMeter meter(meter_config);
+  meter.prepare_epochs(0, 1);
+  const double direct = meter.analyze(result.observable, 1).total_population();
+
+  // Round-trip the observable dataset through the text format.
+  std::stringstream ss;
+  trace::write_observable(ss, result.observable);
+  const auto reloaded = trace::read_observable(ss);
+  const double replayed = meter.analyze(reloaded, 1).total_population();
+  EXPECT_DOUBLE_EQ(direct, replayed);
+}
+
+TEST(EndToEndTest, SlidingWindowFamilyThroughPipeline) {
+  // Ranbyus: sliding-window pool, uniform barrel; the matcher must attribute
+  // window-shared domains to the right epoch and M_T must run.
+  botnet::SimulationConfig sim = sim_for(dga::ranbyus_config(), 24, 10);
+  sim.first_epoch = 40;  // away from day zero so the window reaches back
+  const auto result = botnet::simulate(sim);
+
+  core::BotMeterConfig meter_config;
+  meter_config.dga = dga::ranbyus_config();
+  meter_config.estimator = "timing";
+  core::BotMeter meter(meter_config);
+  meter.prepare_epochs(40, 1);
+  const auto report = meter.analyze(result.observable, 1);
+  EXPECT_GT(report.servers[0].matched_lookups, 0u);
+  EXPECT_GT(report.total_population(), 0.0);
+}
+
+TEST(EndToEndTest, MultipleMixtureFamilyThroughPipeline) {
+  dga::DgaConfig pykspa = dga::pykspa_config();
+  // Trim the decoy pool so the test runs quickly; keep the structure.
+  pykspa.noise_pool_size = 2000;
+  pykspa.barrel_size = 2200;
+  const auto result = botnet::simulate(sim_for(pykspa, 12, 11));
+
+  core::BotMeterConfig meter_config;
+  meter_config.dga = pykspa;
+  meter_config.estimator = "timing";
+  core::BotMeter meter(meter_config);
+  meter.prepare_epochs(0, 1);
+  const auto report = meter.analyze(result.observable, 1);
+  EXPECT_GT(report.servers[0].matched_lookups, 0u);
+  EXPECT_GT(report.total_population(), 0.0);
+}
+
+TEST(EndToEndTest, EnterpriseDayAnalyzedPerFamily) {
+  trace::EnterpriseConfig config;
+  trace::InfectedPopulation newgoz;
+  newgoz.dga = dga::newgoz_config();
+  newgoz.infected_devices = 30;
+  newgoz.mean_activity = 0.6;
+  config.populations = {newgoz};
+  config.benign_clients = 50;
+  config.seed = 2015;
+
+  trace::EnterpriseSimulator sim(config);
+  core::BotMeterConfig meter_config;
+  meter_config.dga = dga::newgoz_config();
+  core::BotMeter meter(meter_config);
+
+  RunningStats errors;
+  for (int d = 0; d < 4; ++d) {
+    const auto day = sim.step();
+    meter.prepare_epochs(day.day, 1);
+    const auto report = meter.analyze(day.observable, 1);
+    const double truth = day.active_bots[0];
+    if (truth > 0) {
+      errors.add(absolute_relative_error(
+          report.servers[0].per_epoch.back().second, truth));
+    }
+  }
+  EXPECT_LT(errors.mean(), 0.35);
+}
+
+TEST(EndToEndTest, DynamicActivationStillRecoverable) {
+  botnet::SimulationConfig sim = sim_for(dga::newgoz_config(), 64, 12);
+  sim.activation.model = botnet::RateModel::kDynamic;
+  sim.activation.sigma = 1.5;
+  auto pool_model = dga::make_pool_model(sim.dga);
+  const auto result = botnet::simulate(sim, *pool_model);
+
+  core::BotMeterConfig meter_config;
+  meter_config.dga = sim.dga;
+  core::BotMeter meter(meter_config);
+  meter.prepare_epochs(0, 1);
+  const auto report = meter.analyze(result.observable, 1);
+  // Ground truth is the realised active count, not the configured 64.
+  const double truth = result.truth[0].total_active;
+  ASSERT_GT(truth, 0.0);
+  EXPECT_LT(absolute_relative_error(report.total_population(), truth), 0.35);
+}
+
+}  // namespace
+}  // namespace botmeter

@@ -1,0 +1,92 @@
+// Parameterized full-pipeline sweep over every registered DGA family:
+// simulate -> hierarchical caching -> vantage stream -> BotMeter with the
+// recommended estimator. Catches regressions where a family's pool/barrel
+// combination breaks any stage of the pipeline.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "botnet/simulator.hpp"
+#include "common/stats.hpp"
+#include "core/botmeter.hpp"
+#include "dga/families.hpp"
+
+namespace botmeter {
+namespace {
+
+class FamilyPipelineSweep : public ::testing::TestWithParam<std::string> {
+ protected:
+  /// Trim the heaviest pools so the sweep stays fast without changing the
+  /// family's structural character.
+  static dga::DgaConfig trimmed_config(const std::string& name) {
+    dga::DgaConfig config = dga::family_config(name);
+    if (config.name == "Conficker.C") {
+      config.nxd_count = 4995;
+      config.barrel_size = 250;
+    } else if (config.name == "Pykspa") {
+      config.noise_pool_size = 2000;
+      config.barrel_size = 2200;
+    }
+    return config;
+  }
+};
+
+TEST_P(FamilyPipelineSweep, RecommendedEstimatorProducesSaneLandscape) {
+  const dga::DgaConfig config = trimmed_config(GetParam());
+
+  botnet::SimulationConfig sim;
+  sim.dga = config;
+  sim.bot_count = 24;
+  sim.seed = 1234;
+  sim.record_raw = false;
+  sim.first_epoch =
+      config.taxonomy.pool == dga::PoolModel::kSlidingWindow ? 40 : 0;
+  const auto result = botnet::simulate(sim);
+  ASSERT_FALSE(result.observable.empty()) << config.name;
+
+  core::BotMeterConfig meter_config;
+  meter_config.dga = config;
+  core::BotMeter meter(meter_config);
+  meter.prepare_epochs(sim.first_epoch, 1);
+  const auto report = meter.analyze(result.observable, 1);
+
+  EXPECT_GT(report.servers[0].matched_lookups, 0u) << config.name;
+  const double estimate = report.total_population();
+  EXPECT_GT(estimate, 0.0) << config.name;
+  // Loose envelope: every family's recommended model must land within a
+  // factor of ~2.5 of the truth on clean traffic.
+  EXPECT_LT(absolute_relative_error(estimate, 24.0), 1.5) << config.name;
+}
+
+TEST_P(FamilyPipelineSweep, TrafficDeterministicPerFamily) {
+  const dga::DgaConfig config = trimmed_config(GetParam());
+  botnet::SimulationConfig sim;
+  sim.dga = config;
+  sim.bot_count = 6;
+  sim.seed = 99;
+  sim.record_raw = false;
+  sim.first_epoch =
+      config.taxonomy.pool == dga::PoolModel::kSlidingWindow ? 40 : 0;
+  const auto a = botnet::simulate(sim);
+  const auto b = botnet::simulate(sim);
+  EXPECT_EQ(a.observable, b.observable) << config.name;
+}
+
+std::string family_name(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyPipelineSweep,
+                         ::testing::Values("Murofet", "Conficker.C", "newGoZ",
+                                           "Necurs", "Ranbyus", "PushDo",
+                                           "Pykspa", "Ramnit", "Qakbot",
+                                           "Srizbi", "Torpig"),
+                         family_name);
+
+}  // namespace
+}  // namespace botmeter

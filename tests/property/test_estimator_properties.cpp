@@ -1,0 +1,172 @@
+// Property-style sweeps (TEST_P) over the estimator library: accuracy bands
+// across populations and barrel models, determinism, non-negativity, and
+// monotonicity invariants of the analytical forms.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "dga/families.hpp"
+#include "estimators/bernoulli.hpp"
+#include "estimators/library.hpp"
+#include "support/observation_factory.hpp"
+
+namespace botmeter::estimators {
+namespace {
+
+dga::DgaConfig family_for_barrel(dga::BarrelModel barrel) {
+  switch (barrel) {
+    case dga::BarrelModel::kUniform:
+      return dga::murofet_config();
+    case dga::BarrelModel::kSampling: {
+      dga::DgaConfig c = dga::conficker_c_config();
+      c.nxd_count = 9995;  // thinned pool for test speed
+      c.barrel_size = 300;
+      return c;
+    }
+    case dga::BarrelModel::kRandomCut:
+      return dga::newgoz_config();
+    case dga::BarrelModel::kPermutation:
+      return dga::necurs_config();
+    default:
+      throw ConfigError("sweep covers the paper's four barrel models");
+  }
+}
+
+struct SweepParam {
+  dga::BarrelModel barrel;
+  std::uint32_t population;
+};
+
+class RecommendedEstimatorSweep
+    : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RecommendedEstimatorSweep, BoundedRelativeError) {
+  const SweepParam param = GetParam();
+  const dga::DgaConfig dga_config = family_for_barrel(param.barrel);
+  const ModelLibrary library;
+  const Estimator& estimator = library.recommended(dga_config);
+
+  RunningStats errors;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    botnet::SimulationConfig sim;
+    sim.dga = dga_config;
+    sim.bot_count = param.population;
+    sim.seed = seed * 101 + param.population;
+    sim.record_raw = false;
+    testing::ObservationFactory factory(sim);
+    errors.add(absolute_relative_error(
+        estimator.estimate(factory.observations()[0]),
+        static_cast<double>(param.population)));
+  }
+  // Loose envelope: the paper's medians sit well below these, but property
+  // sweeps must not flake on unlucky seeds.
+  EXPECT_LT(errors.mean(), 0.6)
+      << short_label(param.barrel) << " N=" << param.population;
+}
+
+TEST_P(RecommendedEstimatorSweep, EstimatesDeterministicAndNonNegative) {
+  const SweepParam param = GetParam();
+  const dga::DgaConfig dga_config = family_for_barrel(param.barrel);
+  const ModelLibrary library;
+  const Estimator& estimator = library.recommended(dga_config);
+
+  botnet::SimulationConfig sim;
+  sim.dga = dga_config;
+  sim.bot_count = param.population;
+  sim.seed = 7;
+  sim.record_raw = false;
+  testing::ObservationFactory factory(sim);
+  const double a = estimator.estimate(factory.observations()[0]);
+  const double b = estimator.estimate(factory.observations()[0]);
+  EXPECT_GE(a, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  std::string label(short_label(info.param.barrel));
+  label.erase(std::remove(label.begin(), label.end(), '_'), label.end());
+  return label + "_N" + std::to_string(info.param.population);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BarrelByPopulation, RecommendedEstimatorSweep,
+    ::testing::Values(SweepParam{dga::BarrelModel::kUniform, 16},
+                      SweepParam{dga::BarrelModel::kUniform, 64},
+                      SweepParam{dga::BarrelModel::kSampling, 16},
+                      SweepParam{dga::BarrelModel::kSampling, 64},
+                      SweepParam{dga::BarrelModel::kRandomCut, 16},
+                      SweepParam{dga::BarrelModel::kRandomCut, 64},
+                      SweepParam{dga::BarrelModel::kRandomCut, 256},
+                      SweepParam{dga::BarrelModel::kPermutation, 16},
+                      SweepParam{dga::BarrelModel::kPermutation, 64}),
+    sweep_name);
+
+// ---- analytical invariants ----------------------------------------------
+
+class CoverageMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoverageMonotonicity, MoreBotsNeverLessCoverage) {
+  const double miss_rate = GetParam();
+  auto model = dga::make_pool_model(dga::newgoz_config());
+  const dga::EpochPool& pool = model->epoch_pool(0);
+  std::optional<double> miss;
+  if (miss_rate > 0.0) miss = miss_rate;
+  double prev = -1.0;
+  for (double n = 0.0; n <= 2048.0; n = (n == 0.0 ? 1.0 : n * 2.0)) {
+    const double c = BernoulliEstimator::expected_coverage(
+        pool, dga::newgoz_config(), n, miss);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST_P(CoverageMonotonicity, InversionIsRightInverse) {
+  const double miss_rate = GetParam();
+  auto model = dga::make_pool_model(dga::newgoz_config());
+  const dga::EpochPool& pool = model->epoch_pool(0);
+  std::optional<double> miss;
+  if (miss_rate > 0.0) miss = miss_rate;
+  for (double n : {2.0, 17.0, 93.0, 410.0}) {
+    const double c = BernoulliEstimator::expected_coverage(
+        pool, dga::newgoz_config(), n, miss);
+    EXPECT_NEAR(
+        BernoulliEstimator::invert_coverage(pool, dga::newgoz_config(), c, miss),
+        n, 1e-3 * n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MissRates, CoverageMonotonicity,
+                         ::testing::Values(0.0, 0.2, 0.5),
+                         [](const ::testing::TestParamInfo<double>& param_info) {
+                           return "miss" +
+                                  std::to_string(static_cast<int>(
+                                      param_info.param * 100));
+                         });
+
+// Window-length property (Fig. 6(b)): averaging over more epochs does not
+// worsen mean error for the Bernoulli estimator.
+TEST(WindowLengthProperty, LongerWindowsHelpOnAverage) {
+  const ModelLibrary library;
+  const Estimator& bernoulli = library.get("bernoulli");
+  RunningStats err_short, err_long;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    botnet::SimulationConfig sim;
+    sim.dga = dga::newgoz_config();
+    sim.bot_count = 32;
+    sim.seed = seed;
+    sim.record_raw = false;
+
+    sim.epoch_count = 1;
+    testing::ObservationFactory one(sim);
+    err_short.add(absolute_relative_error(
+        estimate_window(bernoulli, one.observations()), 32.0));
+
+    sim.epoch_count = 4;
+    testing::ObservationFactory four(sim);
+    err_long.add(absolute_relative_error(
+        estimate_window(bernoulli, four.observations()), 32.0));
+  }
+  EXPECT_LE(err_long.mean(), err_short.mean() + 0.05);
+}
+
+}  // namespace
+}  // namespace botmeter::estimators

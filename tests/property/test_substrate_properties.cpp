@@ -1,0 +1,120 @@
+// Property-style sweeps over the DNS/DGA substrate: caching invariants that
+// must hold for every TTL setting, and pool invariants that must hold for
+// every registered family.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+
+#include "botnet/simulator.hpp"
+#include "dga/families.hpp"
+#include "support/observation_factory.hpp"
+
+namespace botmeter {
+namespace {
+
+class CachingInvariants : public ::testing::TestWithParam<int> {
+ protected:
+  botnet::SimulationConfig config() const {
+    botnet::SimulationConfig sim;
+    sim.dga = dga::murofet_config();
+    sim.bot_count = 48;
+    sim.seed = 1234;
+    sim.ttl.negative = minutes(GetParam());
+    return sim;
+  }
+};
+
+TEST_P(CachingInvariants, FirstLookupOfEveryQueriedDomainIsForwarded) {
+  const auto result = botnet::simulate(config());
+  std::set<std::string> raw_domains, observable_domains;
+  for (const auto& r : result.raw) raw_domains.insert(r.domain);
+  for (const auto& l : result.observable) observable_domains.insert(l.domain);
+  // Caches can only mask repeats: every domain ever queried shows up at the
+  // border at least once.
+  EXPECT_EQ(raw_domains, observable_domains);
+}
+
+TEST_P(CachingInvariants, ForwardCountBoundedByTtlWindows) {
+  const auto result = botnet::simulate(config());
+  std::map<std::string, std::size_t> forwards;
+  for (const auto& l : result.observable) ++forwards[l.domain];
+  // Within a one-day window, a domain can be forwarded at most once per
+  // negative-TTL window (plus one for the boundary).
+  const auto max_forwards = static_cast<std::size_t>(
+      days(1).millis() / minutes(GetParam()).millis() + 2);
+  for (const auto& [domain, count] : forwards) {
+    EXPECT_LE(count, max_forwards) << domain;
+  }
+}
+
+TEST_P(CachingInvariants, ShorterTtlNeverReducesVisibility) {
+  // Compare against a doubled TTL with identical traffic (same seed): the
+  // longer TTL must not reveal more lookups.
+  const auto base = botnet::simulate(config());
+  botnet::SimulationConfig doubled = config();
+  doubled.ttl.negative = doubled.ttl.negative * 2;
+  const auto longer = botnet::simulate(doubled);
+  EXPECT_GE(base.observable.size(), longer.observable.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(NegativeTtlMinutes, CachingInvariants,
+                         ::testing::Values(20, 40, 80, 160, 320),
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "ttl" + std::to_string(param_info.param) + "min";
+                         });
+
+// ---- per-family pool invariants ------------------------------------------
+
+class FamilyPoolInvariants
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FamilyPoolInvariants, PoolsWellFormedAcrossEpochs) {
+  const dga::DgaConfig config = dga::family_config(GetParam());
+  auto model = dga::make_pool_model(config);
+  for (std::int64_t epoch : {40L, 41L, 100L}) {
+    const dga::EpochPool& pool = model->epoch_pool(epoch);
+    EXPECT_GT(pool.size(), 0u);
+    // Valid positions sorted, in range, and of the declared cardinality.
+    EXPECT_TRUE(std::is_sorted(pool.valid_positions.begin(),
+                               pool.valid_positions.end()));
+    EXPECT_EQ(pool.valid_positions.size(), config.valid_count);
+    for (std::uint32_t pos : pool.valid_positions) {
+      EXPECT_LT(pos, pool.size());
+    }
+    // Domains unique within the pool.
+    std::set<std::string> names(pool.domains.begin(), pool.domains.end());
+    EXPECT_EQ(names.size(), pool.domains.size());
+    // nxd_count consistent.
+    EXPECT_EQ(pool.nxd_count() + pool.valid_positions.size(), pool.size());
+  }
+}
+
+TEST_P(FamilyPoolInvariants, PoolDeterministicAcrossInstances) {
+  const dga::DgaConfig config = dga::family_config(GetParam());
+  auto a = dga::make_pool_model(config);
+  auto b = dga::make_pool_model(config);
+  EXPECT_EQ(a->epoch_pool(50).domains, b->epoch_pool(50).domains);
+  EXPECT_EQ(a->epoch_pool(50).valid_positions, b->epoch_pool(50).valid_positions);
+}
+
+std::string family_test_name(
+    const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyPoolInvariants,
+                         ::testing::Values("Murofet", "Conficker.C", "newGoZ",
+                                           "Necurs", "Ranbyus", "PushDo",
+                                           "Pykspa", "Ramnit", "Qakbot",
+                                           "Srizbi", "Torpig"),
+                         family_test_name);
+
+}  // namespace
+}  // namespace botmeter

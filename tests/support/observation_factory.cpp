@@ -1,0 +1,51 @@
+#include "support/observation_factory.hpp"
+
+#include "common/rng.hpp"
+
+namespace botmeter::testing {
+
+ObservationFactory::ObservationFactory(botnet::SimulationConfig config,
+                                       double detection_miss_rate,
+                                       std::optional<double> assumed_miss_rate,
+                                       std::uint64_t window_seed)
+    : config_(std::move(config)) {
+  pool_model_ = dga::make_pool_model(config_.dga);
+  result_ = botnet::simulate(config_, *pool_model_);
+
+  detect::DomainMatcher matcher(config_.dga.epoch);
+  Rng window_rng{window_seed};
+  windows_.reserve(static_cast<std::size_t>(config_.epoch_count));
+  for (std::int64_t e = config_.first_epoch;
+       e < config_.first_epoch + config_.epoch_count; ++e) {
+    const dga::EpochPool& pool = pool_model_->epoch_pool(e);
+    windows_.push_back(
+        detect::make_detection_window(pool, detection_miss_rate, window_rng));
+    matcher.add_epoch(pool, windows_.back());
+  }
+
+  const detect::MatchedStreams matched = matcher.match(result_.observable);
+
+  static const std::vector<detect::MatchedLookup> kEmpty;
+  for (std::int64_t e = config_.first_epoch;
+       e < config_.first_epoch + config_.epoch_count; ++e) {
+    estimators::EpochObservation obs;
+    auto it = matched.find(detect::StreamKey{dns::ServerId{0}, e});
+    obs.lookups = (it != matched.end()) ? it->second : kEmpty;
+    obs.config = &config_.dga;
+    obs.pool = &pool_model_->epoch_pool(e);
+    obs.window = &windows_[static_cast<std::size_t>(e - config_.first_epoch)];
+    obs.ttl = config_.ttl;
+    obs.window_start = TimePoint{e * config_.dga.epoch.millis()};
+    obs.window_length = config_.dga.epoch;
+    obs.assumed_miss_rate = assumed_miss_rate;
+    observations_.push_back(std::move(obs));
+  }
+}
+
+double ObservationFactory::mean_truth() const {
+  double sum = 0.0;
+  for (const botnet::EpochTruth& t : result_.truth) sum += t.total_active;
+  return sum / static_cast<double>(result_.truth.size());
+}
+
+}  // namespace botmeter::testing

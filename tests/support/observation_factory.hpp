@@ -1,0 +1,48 @@
+// Test support: run a full simulation and package per-epoch observations
+// for estimator-level tests, with the ownership of pools, windows and
+// matched streams kept alive inside the factory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "botnet/simulator.hpp"
+#include "detect/detection_window.hpp"
+#include "detect/matcher.hpp"
+#include "dga/pool.hpp"
+#include "estimators/observation.hpp"
+
+namespace botmeter::testing {
+
+class ObservationFactory {
+ public:
+  /// Simulates `config`, applies a D3 window with `detection_miss_rate`,
+  /// matches the observable stream, and builds one observation per epoch
+  /// for local server 0.
+  explicit ObservationFactory(botnet::SimulationConfig config,
+                              double detection_miss_rate = 0.0,
+                              std::optional<double> assumed_miss_rate = {},
+                              std::uint64_t window_seed = 99);
+
+  [[nodiscard]] const std::vector<estimators::EpochObservation>& observations()
+      const {
+    return observations_;
+  }
+  [[nodiscard]] const botnet::SimulationResult& result() const { return result_; }
+  [[nodiscard]] const botnet::SimulationConfig& config() const { return config_; }
+
+  /// Ground-truth active population averaged over the epochs (constant-rate
+  /// activation keeps it equal to bot_count each epoch).
+  [[nodiscard]] double mean_truth() const;
+
+ private:
+  botnet::SimulationConfig config_;
+  std::unique_ptr<dga::QueryPoolModel> pool_model_;
+  std::vector<detect::DetectionWindow> windows_;
+  botnet::SimulationResult result_;
+  std::vector<estimators::EpochObservation> observations_;
+};
+
+}  // namespace botmeter::testing

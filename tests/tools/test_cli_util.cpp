@@ -1,0 +1,68 @@
+#include "cli_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace botmeter::tools {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv,
+              std::set<std::string> value_flags = {"--family", "--bots"},
+              std::set<std::string> bool_flags = {"--viz"}) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()),
+                 const_cast<char**>(argv.data()), std::move(value_flags),
+                 std::move(bool_flags));
+}
+
+TEST(CliArgsTest, ValuesAndBooleans) {
+  const CliArgs args = parse({"--family", "newGoZ", "--viz"});
+  EXPECT_EQ(args.value("--family"), "newGoZ");
+  EXPECT_TRUE(args.flag("--viz"));
+  EXPECT_FALSE(args.value("--bots").has_value());
+}
+
+TEST(CliArgsTest, DefaultsApplied) {
+  const CliArgs args = parse({"--family", "Ramnit"});
+  EXPECT_EQ(args.value_or("--family", "x"), "Ramnit");
+  EXPECT_EQ(args.int_or("--bots", 64), 64);
+  EXPECT_DOUBLE_EQ(args.double_or("--bots", 1.5), 1.5);
+  EXPECT_FALSE(args.flag("--viz"));
+}
+
+TEST(CliArgsTest, IntegerParsing) {
+  const CliArgs args = parse({"--bots", "128"});
+  EXPECT_EQ(args.int_or("--bots", 0), 128);
+}
+
+TEST(CliArgsTest, NegativeAndDoubleParsing) {
+  const CliArgs args = parse({"--bots", "-3"});
+  EXPECT_EQ(args.int_or("--bots", 0), -3);
+  const CliArgs d = parse({"--bots", "0.25"});
+  EXPECT_DOUBLE_EQ(d.double_or("--bots", 0.0), 0.25);
+}
+
+TEST(CliArgsTest, MalformedNumbersRejected) {
+  const CliArgs args = parse({"--bots", "many"});
+  EXPECT_THROW((void)args.int_or("--bots", 0), ConfigError);
+  EXPECT_THROW((void)args.double_or("--bots", 0.0), ConfigError);
+}
+
+TEST(CliArgsTest, UnknownArgumentRejected) {
+  EXPECT_THROW(parse({"--nope", "1"}), ConfigError);
+  EXPECT_THROW(parse({"stray"}), ConfigError);
+}
+
+TEST(CliArgsTest, MissingValueRejected) {
+  EXPECT_THROW(parse({"--family"}), ConfigError);
+}
+
+TEST(CliArgsTest, EmptyCommandLine) {
+  const CliArgs args = parse({});
+  EXPECT_FALSE(args.flag("--viz"));
+  EXPECT_EQ(args.int_or("--bots", 7), 7);
+}
+
+}  // namespace
+}  // namespace botmeter::tools

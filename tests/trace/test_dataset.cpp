@@ -1,0 +1,100 @@
+#include "trace/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dga/families.hpp"
+
+namespace botmeter::trace {
+namespace {
+
+TEST(GroundTruthTest, MatchesSimulatorTruth) {
+  // The paper's methodology — correlate the raw dataset with the pool
+  // dataset and count distinct clients — must agree with the simulator's
+  // internal bookkeeping.
+  botnet::SimulationConfig config;
+  config.dga = dga::murofet_config();
+  config.bot_count = 24;
+  config.epoch_count = 3;
+  config.seed = 42;
+  auto pool_model = dga::make_pool_model(config.dga);
+  const auto result = botnet::simulate(config, *pool_model);
+
+  const auto truth = ground_truth_from_raw(result.raw, *pool_model, 0, 3);
+  ASSERT_EQ(truth.size(), 3u);
+  for (std::size_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(truth[e], result.truth[e].total_active) << "epoch " << e;
+  }
+}
+
+TEST(GroundTruthTest, UnrelatedTrafficIgnored) {
+  auto pool_model = dga::make_pool_model(dga::murofet_config());
+  std::vector<botnet::RawRecord> raw{
+      {TimePoint{100}, dns::ClientId{1}, "benign.example",
+       dns::Rcode::kAddress},
+      {TimePoint{200}, dns::ClientId{2}, "other.example", dns::Rcode::kAddress},
+  };
+  const auto truth = ground_truth_from_raw(raw, *pool_model, 0, 2);
+  EXPECT_EQ(truth[0], 0u);
+  EXPECT_EQ(truth[1], 0u);
+}
+
+TEST(GroundTruthTest, DistinctClientsCountedOnce) {
+  auto pool_model = dga::make_pool_model(dga::murofet_config());
+  const auto& pool = pool_model->epoch_pool(0);
+  std::vector<botnet::RawRecord> raw{
+      {TimePoint{100}, dns::ClientId{1}, pool.domains[0], dns::Rcode::kNxDomain},
+      {TimePoint{200}, dns::ClientId{1}, pool.domains[1], dns::Rcode::kNxDomain},
+      {TimePoint{300}, dns::ClientId{2}, pool.domains[0], dns::Rcode::kNxDomain},
+  };
+  const auto truth = ground_truth_from_raw(raw, *pool_model, 0, 1);
+  EXPECT_EQ(truth[0], 2u);
+}
+
+TEST(GroundTruthTest, EpochAttributionByPoolNotTimestamp) {
+  auto pool_model = dga::make_pool_model(dga::murofet_config());
+  const auto& pool0 = pool_model->epoch_pool(0);
+  // Lookup of an epoch-0 domain shortly after midnight: counts for epoch 0.
+  std::vector<botnet::RawRecord> raw{
+      {TimePoint{days(1).millis() + 60'000}, dns::ClientId{5}, pool0.domains[3],
+       dns::Rcode::kNxDomain},
+  };
+  const auto truth = ground_truth_from_raw(raw, *pool_model, 0, 2);
+  EXPECT_EQ(truth[0], 1u);
+  EXPECT_EQ(truth[1], 0u);
+}
+
+TEST(GroundTruthTest, InvalidEpochCountRejected) {
+  auto pool_model = dga::make_pool_model(dga::murofet_config());
+  EXPECT_THROW(
+      ground_truth_from_raw(std::vector<botnet::RawRecord>{}, *pool_model, 0, 0),
+      ConfigError);
+}
+
+TEST(ActiveClientsTest, CountsDistinctClientsPerDay) {
+  std::vector<botnet::RawRecord> raw{
+      {TimePoint{100}, dns::ClientId{1}, "a.com", dns::Rcode::kNxDomain},
+      {TimePoint{200}, dns::ClientId{1}, "b.com", dns::Rcode::kNxDomain},
+      {TimePoint{300}, dns::ClientId{2}, "c.com", dns::Rcode::kNxDomain},
+      {TimePoint{days(1).millis() + 100}, dns::ClientId{3}, "d.com",
+       dns::Rcode::kNxDomain},
+  };
+  const auto counts = active_clients_per_day(raw, days(1), 0, 2);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(ActiveClientsTest, OutOfWindowRecordsDropped) {
+  std::vector<botnet::RawRecord> raw{
+      {TimePoint{-100}, dns::ClientId{1}, "a.com", dns::Rcode::kNxDomain},
+      {TimePoint{days(5).millis()}, dns::ClientId{2}, "b.com",
+       dns::Rcode::kNxDomain},
+  };
+  const auto counts = active_clients_per_day(raw, days(1), 0, 2);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 0u);
+}
+
+}  // namespace
+}  // namespace botmeter::trace

@@ -1,0 +1,155 @@
+#include "trace/enterprise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dga/families.hpp"
+#include "trace/dataset.hpp"
+
+namespace botmeter::trace {
+namespace {
+
+EnterpriseConfig small_config() {
+  EnterpriseConfig config;
+  InfectedPopulation ramnit;
+  ramnit.dga = dga::ramnit_config();
+  ramnit.infected_devices = 20;
+  ramnit.mean_activity = 0.5;
+  InfectedPopulation newgoz;
+  newgoz.dga = dga::newgoz_config();
+  newgoz.infected_devices = 15;
+  newgoz.mean_activity = 0.4;
+  config.populations = {ramnit, newgoz};
+  config.benign_clients = 30;
+  config.benign_queries_per_client_per_day = 5;
+  config.seed = 77;
+  return config;
+}
+
+TEST(EnterpriseTest, StepAdvancesDays) {
+  EnterpriseSimulator sim(small_config());
+  EXPECT_EQ(sim.next_day(), 0);
+  const auto day0 = sim.step();
+  EXPECT_EQ(day0.day, 0);
+  EXPECT_EQ(sim.next_day(), 1);
+  const auto day1 = sim.step();
+  EXPECT_EQ(day1.day, 1);
+}
+
+TEST(EnterpriseTest, ActiveBotsWithinInfectedPopulation) {
+  EnterpriseSimulator sim(small_config());
+  for (int d = 0; d < 5; ++d) {
+    const auto day = sim.step();
+    ASSERT_EQ(day.active_bots.size(), 2u);
+    EXPECT_LE(day.active_bots[0], 20u);
+    EXPECT_LE(day.active_bots[1], 15u);
+  }
+}
+
+TEST(EnterpriseTest, ActivityVariesAcrossDays) {
+  EnterpriseSimulator sim(small_config());
+  std::set<std::uint32_t> distinct_counts;
+  for (int d = 0; d < 15; ++d) {
+    distinct_counts.insert(sim.step().active_bots[0]);
+  }
+  EXPECT_GT(distinct_counts.size(), 3u);
+}
+
+TEST(EnterpriseTest, TimestampsQuantizedToOneSecond) {
+  EnterpriseSimulator sim(small_config());
+  const auto day = sim.step();
+  for (const auto& lookup : day.observable) {
+    EXPECT_EQ(lookup.timestamp.millis() % 1000, 0);
+  }
+}
+
+TEST(EnterpriseTest, RawContainsBenignAndDgaTraffic) {
+  EnterpriseSimulator sim(small_config());
+  const auto day = sim.step();
+  bool benign = false, dga_traffic = false;
+  for (const auto& r : day.raw) {
+    if (r.domain.find(".example") != std::string::npos) {
+      benign = true;
+    } else {
+      dga_traffic = true;
+    }
+  }
+  EXPECT_TRUE(benign);
+  EXPECT_TRUE(dga_traffic);
+}
+
+TEST(EnterpriseTest, BenignDomainsResolve) {
+  EnterpriseSimulator sim(small_config());
+  const auto day = sim.step();
+  for (const auto& r : day.raw) {
+    if (r.domain.find(".example") != std::string::npos) {
+      EXPECT_EQ(r.rcode, dns::Rcode::kAddress) << r.domain;
+    }
+  }
+}
+
+TEST(EnterpriseTest, GroundTruthMatchesRawExtraction) {
+  EnterpriseConfig config = small_config();
+  EnterpriseSimulator sim(config);
+  const auto day = sim.step();
+  const auto extracted =
+      ground_truth_from_raw(day.raw, sim.pool_model(0), 0, 1);
+  EXPECT_EQ(extracted[0], day.active_bots[0]);
+  const auto extracted_goz =
+      ground_truth_from_raw(day.raw, sim.pool_model(1), 0, 1);
+  EXPECT_EQ(extracted_goz[0], day.active_bots[1]);
+}
+
+TEST(EnterpriseTest, ClientBlocksDisjoint) {
+  EnterpriseSimulator sim(small_config());
+  EXPECT_EQ(sim.client_base(0), 0u);
+  EXPECT_EQ(sim.client_base(1), 20u);
+  EXPECT_THROW((void)sim.client_base(2), ConfigError);
+  const auto day = sim.step();
+  // No DGA client id may exceed its block; benign ids start at 35.
+  std::unordered_set<std::uint32_t> dga_clients;
+  for (const auto& r : day.raw) {
+    if (r.domain.find(".example") == std::string::npos) {
+      dga_clients.insert(r.client.value());
+      EXPECT_LT(r.client.value(), 35u);
+    } else {
+      EXPECT_GE(r.client.value(), 35u);
+    }
+  }
+}
+
+TEST(EnterpriseTest, CacheMasksObservableBelowRaw) {
+  EnterpriseSimulator sim(small_config());
+  const auto day = sim.step();
+  EXPECT_LT(day.observable.size(), day.raw.size());
+  EXPECT_FALSE(day.observable.empty());
+}
+
+TEST(EnterpriseTest, DeterministicGivenSeed) {
+  EnterpriseSimulator a(small_config());
+  EnterpriseSimulator b(small_config());
+  const auto da = a.step();
+  const auto db = b.step();
+  EXPECT_EQ(da.active_bots, db.active_bots);
+  EXPECT_EQ(da.observable.size(), db.observable.size());
+}
+
+TEST(EnterpriseTest, ConfigValidation) {
+  EnterpriseConfig config;  // no populations
+  EXPECT_THROW(EnterpriseSimulator{config}, ConfigError);
+
+  config = small_config();
+  config.populations[0].mean_activity = 1.5;
+  EXPECT_THROW(EnterpriseSimulator{config}, ConfigError);
+
+  config = small_config();
+  config.populations[0].infected_devices = 0;
+  EXPECT_THROW(EnterpriseSimulator{config}, ConfigError);
+}
+
+}  // namespace
+}  // namespace botmeter::trace

@@ -1,0 +1,90 @@
+#include "trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace botmeter::trace {
+namespace {
+
+TEST(TraceIoTest, RawRoundTrip) {
+  std::vector<botnet::RawRecord> records{
+      {TimePoint{1000}, dns::ClientId{7}, "abc.com", dns::Rcode::kNxDomain},
+      {TimePoint{2500}, dns::ClientId{9}, "def.net", dns::Rcode::kAddress},
+  };
+  std::stringstream ss;
+  write_raw(ss, records);
+  const auto parsed = read_raw(ss);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].t, TimePoint{1000});
+  EXPECT_EQ(parsed[0].client, dns::ClientId{7});
+  EXPECT_EQ(parsed[0].domain, "abc.com");
+  EXPECT_EQ(parsed[0].rcode, dns::Rcode::kNxDomain);
+  EXPECT_EQ(parsed[1].rcode, dns::Rcode::kAddress);
+}
+
+TEST(TraceIoTest, ObservableRoundTrip) {
+  std::vector<dns::ForwardedLookup> lookups{
+      {TimePoint{1000}, dns::ServerId{0}, "abc.com"},
+      {TimePoint{-500}, dns::ServerId{3}, "xyz.ru"},
+  };
+  std::stringstream ss;
+  write_observable(ss, lookups);
+  const auto parsed = read_observable(ss);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], lookups[0]);
+  EXPECT_EQ(parsed[1], lookups[1]);
+}
+
+TEST(TraceIoTest, EmptyStreams) {
+  std::stringstream ss;
+  EXPECT_TRUE(read_raw(ss).empty());
+  std::stringstream ss2;
+  EXPECT_TRUE(read_observable(ss2).empty());
+}
+
+TEST(TraceIoTest, BlankLinesSkipped) {
+  std::stringstream ss("\n1000\t0\tabc.com\n\n");
+  const auto parsed = read_observable(ss);
+  EXPECT_EQ(parsed.size(), 1u);
+}
+
+TEST(TraceIoTest, MalformedLinesRejectedWithLineNumber) {
+  {
+    std::stringstream ss("1000\t0\tabc.com\nnot-a-number\t0\tx.com");
+    try {
+      (void)read_observable(ss);
+      FAIL() << "expected DataError";
+    } catch (const DataError& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+  }
+  {
+    std::stringstream ss("1000\t7\tabc.com\tMAYBE");
+    EXPECT_THROW((void)read_raw(ss), DataError);
+  }
+  {
+    std::stringstream ss("1000\t7");  // missing fields
+    EXPECT_THROW((void)read_observable(ss), DataError);
+  }
+  {
+    std::stringstream ss("1000\t7\tabc.com\tA\textra");  // too many fields
+    EXPECT_THROW((void)read_raw(ss), DataError);
+  }
+  {
+    std::stringstream ss("1000\t7\t\tA");  // empty domain
+    EXPECT_THROW((void)read_raw(ss), DataError);
+  }
+}
+
+TEST(TraceIoTest, NegativeTimestampsSupported) {
+  std::stringstream ss("-250\t2\tearly.com");
+  const auto parsed = read_observable(ss);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].timestamp.millis(), -250);
+}
+
+}  // namespace
+}  // namespace botmeter::trace

@@ -1,0 +1,106 @@
+#include "viz/ascii.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace botmeter::viz {
+namespace {
+
+TEST(BarChartTest, ScalesToMaxWidth) {
+  std::vector<std::pair<std::string, double>> rows{
+      {"a", 10.0}, {"b", 5.0}, {"zz", 0.0}};
+  BarChartOptions options;
+  options.max_bar_width = 10;
+  options.show_values = false;
+  const std::string chart = bar_chart(rows, options);
+  EXPECT_EQ(chart,
+            "a  |##########\n"
+            "b  |#####\n"
+            "zz |\n");
+}
+
+TEST(BarChartTest, ValuesAppended) {
+  std::vector<std::pair<std::string, double>> rows{{"x", 2.5}};
+  BarChartOptions options;
+  options.max_bar_width = 4;
+  const std::string chart = bar_chart(rows, options);
+  EXPECT_EQ(chart, "x |#### 2.5\n");
+}
+
+TEST(BarChartTest, AllZeroRendersEmptyBars) {
+  std::vector<std::pair<std::string, double>> rows{{"a", 0.0}, {"b", 0.0}};
+  BarChartOptions options;
+  options.show_values = false;
+  const std::string chart = bar_chart(rows, options);
+  EXPECT_EQ(chart, "a |\nb |\n");
+}
+
+TEST(BarChartTest, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(bar_chart({}).empty());
+}
+
+TEST(BarChartTest, InvalidInputsRejected) {
+  std::vector<std::pair<std::string, double>> negative{{"a", -1.0}};
+  EXPECT_THROW((void)bar_chart(negative), ConfigError);
+  std::vector<std::pair<std::string, double>> ok{{"a", 1.0}};
+  BarChartOptions zero_width;
+  zero_width.max_bar_width = 0;
+  EXPECT_THROW((void)bar_chart(ok, zero_width), ConfigError);
+}
+
+TEST(SparklineTest, MapsRangeToLevels) {
+  const std::vector<double> values{0.0, 5.0, 10.0};
+  const std::string line = sparkline(values);
+  ASSERT_EQ(line.size(), 3u);
+  EXPECT_EQ(line.front(), '.');  // minimum -> lowest visible level
+  EXPECT_EQ(line.back(), '@');   // maximum -> highest level
+  EXPECT_NE(line[1], line[0]);
+  EXPECT_NE(line[1], line[2]);
+}
+
+TEST(SparklineTest, ConstantSeriesVisible) {
+  const std::vector<double> values{3.0, 3.0, 3.0};
+  EXPECT_EQ(sparkline(values), "...");
+}
+
+TEST(SparklineTest, EmptyInput) { EXPECT_TRUE(sparkline({}).empty()); }
+
+TEST(SparklineTest, MonotoneSeriesMonotoneLevels) {
+  // The level alphabet " .:-=+*#%@" is ordered by intensity (not by ASCII
+  // code), so compare indices into it.
+  const std::vector<double> values{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::string line = sparkline(values);
+  const std::string levels = " .:-=+*#%@";
+  std::size_t prev = 0;
+  for (char c : line) {
+    const std::size_t idx = levels.find(c);
+    ASSERT_NE(idx, std::string::npos);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(HeatmapTest, LayoutAndIntensity) {
+  const std::vector<std::string> rows{"r1", "r2"};
+  const std::vector<std::string> cols{"c1", "c2"};
+  const std::vector<std::vector<double>> cells{{0.0, 10.0}, {5.0, 10.0}};
+  const std::string map = heatmap(rows, cols, cells);
+  // Header then two rows.
+  EXPECT_NE(map.find("c1"), std::string::npos);
+  EXPECT_NE(map.find("c2"), std::string::npos);
+  EXPECT_NE(map.find("r1"), std::string::npos);
+  // Max cells render '@', zero renders ' '.
+  EXPECT_NE(map.find('@'), std::string::npos);
+}
+
+TEST(HeatmapTest, ValidationErrors) {
+  EXPECT_THROW((void)heatmap({"r"}, {"c"}, {}), ConfigError);  // count mismatch
+  EXPECT_THROW((void)heatmap({"r"}, {"c1", "c2"}, {{1.0}}), ConfigError);
+  EXPECT_THROW((void)heatmap({"r"}, {"c"}, {{-1.0}}), ConfigError);
+}
+
+}  // namespace
+}  // namespace botmeter::viz

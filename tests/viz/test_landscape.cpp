@@ -1,0 +1,77 @@
+#include "viz/landscape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace botmeter::viz {
+namespace {
+
+core::LandscapeReport sample_report() {
+  core::LandscapeReport report;
+  report.estimator_name = "bernoulli";
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    core::ServerEstimate estimate;
+    estimate.server = dns::ServerId{s};
+    estimate.population = static_cast<double>(10 * (s + 1));
+    estimate.matched_lookups = 100;
+    report.servers.push_back(estimate);
+  }
+  return report;
+}
+
+TEST(LandscapeViewTest, OrdersByPopulationDescending) {
+  const std::string view = render_landscape(sample_report());
+  const std::size_t s2 = view.find("server-2");
+  const std::size_t s1 = view.find("server-1");
+  const std::size_t s0 = view.find("server-0");
+  ASSERT_NE(s2, std::string::npos);
+  ASSERT_NE(s1, std::string::npos);
+  ASSERT_NE(s0, std::string::npos);
+  EXPECT_LT(s2, s1);
+  EXPECT_LT(s1, s0);
+  EXPECT_NE(view.find("bernoulli"), std::string::npos);
+  EXPECT_NE(view.find("total estimated population: 60.0"), std::string::npos);
+}
+
+TEST(LandscapeViewTest, ActualAnnotationsWhenProvided) {
+  const std::vector<double> actual{9.0, 21.0, 33.0};
+  const std::string view = render_landscape(sample_report(), actual);
+  EXPECT_NE(view.find("(actual 33)"), std::string::npos);
+  EXPECT_NE(view.find("(actual 9)"), std::string::npos);
+}
+
+TEST(LandscapeViewTest, ActualSizeMismatchRejected) {
+  const std::vector<double> wrong{1.0};
+  EXPECT_THROW((void)render_landscape(sample_report(), wrong), ConfigError);
+}
+
+TEST(SeriesViewTest, RendersSparklinesWithAnnotations) {
+  std::vector<Series> series{
+      {"newGoZ", {1.0, 5.0, 3.0}},
+      {"Qakbot", {2.0, 2.0}},
+  };
+  const std::string view = render_series(series);
+  EXPECT_NE(view.find("newGoZ |"), std::string::npos);
+  EXPECT_NE(view.find("min 1.0 last 3.0 max 5.0"), std::string::npos);
+  EXPECT_NE(view.find("min 2.0 last 2.0 max 2.0"), std::string::npos);
+}
+
+TEST(SeriesViewTest, EmptySeriesHandled) {
+  std::vector<Series> series{{"empty", {}}};
+  const std::string view = render_series(series);
+  EXPECT_NE(view.find("empty"), std::string::npos);
+  EXPECT_NE(view.find("min 0.0 last 0.0 max 0.0"), std::string::npos);
+}
+
+TEST(ThreatGridTest, RendersHeatmap) {
+  const std::string view = render_threat_grid(
+      {"site-a", "site-b"}, {"newGoZ", "Ramnit"}, {{10.0, 0.0}, {5.0, 10.0}});
+  EXPECT_NE(view.find("threat grid"), std::string::npos);
+  EXPECT_NE(view.find("site-a"), std::string::npos);
+  EXPECT_NE(view.find("newGoZ"), std::string::npos);
+  EXPECT_NE(view.find('@'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace botmeter::viz

@@ -1,0 +1,117 @@
+// botmeter_analyze — chart a DGA-botnet landscape from a border DNS trace.
+//
+// Reads an observable trace (the tab-separated format of trace/io.hpp, as
+// produced by botmeter_simulate or an external collector) from stdin or a
+// file and estimates the bot population behind every local DNS server.
+//
+// Usage:
+//   botmeter_analyze --family <name> [--estimator <model>] [--servers n]
+//                    [--epochs n] [--first-epoch e] [--neg-ttl-min m]
+//                    [--miss-rate x] [--assume-miss x] [--trace file] [--viz]
+// Example:
+//   botmeter_simulate --family newGoZ --bots 64 --servers 4 |
+//     botmeter_analyze --family newGoZ --servers 4 --viz
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "cli_util.hpp"
+#include "core/botmeter.hpp"
+#include "dga/config_io.hpp"
+#include "dga/families.hpp"
+#include "estimators/library.hpp"
+#include "trace/io.hpp"
+#include "viz/landscape.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: botmeter_analyze (--family <name> | --config <file.json>)\n"
+    "         [--estimator timing|poisson|bernoulli|...] [--servers n]\n"
+    "         [--epochs n] [--first-epoch e] [--neg-ttl-min m]\n"
+    "         [--miss-rate x] [--assume-miss x] [--trace file] [--viz]\n"
+    "reads the observable (border) trace from --trace or stdin.\n";
+
+botmeter::dga::DgaConfig config_from_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw botmeter::DataError("cannot open " + path);
+  std::string text((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  return botmeter::dga::config_from_json_text(text);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace botmeter;
+  try {
+    tools::CliArgs args(argc, argv,
+                        {"--family", "--config", "--estimator", "--servers",
+                         "--epochs", "--first-epoch", "--neg-ttl-min",
+                         "--miss-rate", "--assume-miss", "--trace"},
+                        {"--help", "--viz"});
+    if (args.flag("--help")) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    const auto family = args.value("--family");
+    const auto config_path = args.value("--config");
+    if (family.has_value() == config_path.has_value()) {
+      throw ConfigError("exactly one of --family / --config is required");
+    }
+
+    core::BotMeterConfig config;
+    config.dga = family ? dga::family_config(*family)
+                        : config_from_file(*config_path);
+    config.estimator = args.value_or("--estimator", "");
+    config.ttl.negative = minutes(args.int_or("--neg-ttl-min", 120));
+    config.detection_miss_rate = args.double_or("--miss-rate", 0.0);
+    if (auto assume = args.value("--assume-miss")) {
+      config.assumed_miss_rate = args.double_or("--assume-miss", 0.0);
+    }
+
+    std::vector<dns::ForwardedLookup> stream;
+    if (auto path = args.value("--trace")) {
+      std::ifstream file(*path);
+      if (!file) throw DataError("cannot open " + *path);
+      stream = trace::read_observable(file);
+    } else {
+      stream = trace::read_observable(std::cin);
+    }
+    if (stream.empty()) throw DataError("empty observable trace");
+
+    const std::int64_t first_epoch = args.int_or(
+        "--first-epoch",
+        config.dga.taxonomy.pool == dga::PoolModel::kSlidingWindow ? 40 : 0);
+    const std::int64_t epochs = args.int_or("--epochs", 1);
+    auto server_count = static_cast<std::size_t>(args.int_or("--servers", 1));
+
+    core::BotMeter meter(config);
+    meter.prepare_epochs(first_epoch, epochs);
+    const core::LandscapeReport report = meter.analyze(stream, server_count);
+
+    if (args.flag("--viz")) {
+      std::fputs(viz::render_landscape(report).c_str(), stdout);
+    } else {
+      std::printf("# estimator: %s, %zu lookups analyzed\n",
+                  report.estimator_name.c_str(), stream.size());
+      std::printf("%-10s %12s %18s %16s\n", "server", "population", "90%-CI",
+                  "matched_lookups");
+      for (const core::ServerEstimate& s : report.servers) {
+        char ci[32] = "-";
+        if (s.interval90) {
+          std::snprintf(ci, sizeof(ci), "[%.1f, %.1f]", s.interval90->first,
+                        s.interval90->second);
+        }
+        std::printf("server-%-3u %12.1f %18s %16llu\n", s.server.value(),
+                    s.population, ci,
+                    static_cast<unsigned long long>(s.matched_lookups));
+      }
+      std::printf("total: %.1f\n", report.total_population());
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(), kUsage);
+    return 1;
+  }
+}

@@ -1,0 +1,85 @@
+// Minimal command-line parsing shared by the BotMeter tools.
+//
+// Flags are "--name value" pairs (plus bare "--name" booleans); anything the
+// tool did not declare is an error, so typos fail loudly instead of being
+// silently ignored.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace botmeter::tools {
+
+class CliArgs {
+ public:
+  /// Parse argv against the declared flag names. `value_flags` take one
+  /// argument; `bool_flags` take none.
+  CliArgs(int argc, char** argv, std::set<std::string> value_flags,
+          std::set<std::string> bool_flags) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (bool_flags.contains(arg)) {
+        bools_.insert(arg);
+        continue;
+      }
+      if (value_flags.contains(arg)) {
+        if (i + 1 >= argc) {
+          throw ConfigError("missing value for " + arg);
+        }
+        values_[arg] = argv[++i];
+        continue;
+      }
+      throw ConfigError("unknown argument '" + arg + "'");
+    }
+  }
+
+  [[nodiscard]] bool flag(const std::string& name) const {
+    return bools_.contains(name);
+  }
+
+  [[nodiscard]] std::optional<std::string> value(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::string value_or(const std::string& name,
+                                     std::string fallback) const {
+    return value(name).value_or(std::move(fallback));
+  }
+
+  [[nodiscard]] std::int64_t int_or(const std::string& name,
+                                    std::int64_t fallback) const {
+    auto v = value(name);
+    if (!v) return fallback;
+    try {
+      return std::stoll(*v);
+    } catch (const std::exception&) {
+      throw ConfigError("argument " + name + " expects an integer, got '" +
+                        *v + "'");
+    }
+  }
+
+  [[nodiscard]] double double_or(const std::string& name, double fallback) const {
+    auto v = value(name);
+    if (!v) return fallback;
+    try {
+      return std::stod(*v);
+    } catch (const std::exception&) {
+      throw ConfigError("argument " + name + " expects a number, got '" + *v +
+                        "'");
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> bools_;
+};
+
+}  // namespace botmeter::tools
