@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_estimators.dir/bench_ablation_estimators.cpp.o"
+  "CMakeFiles/bench_ablation_estimators.dir/bench_ablation_estimators.cpp.o.d"
+  "bench_ablation_estimators"
+  "bench_ablation_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

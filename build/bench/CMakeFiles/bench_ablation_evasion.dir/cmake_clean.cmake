@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_evasion.dir/bench_ablation_evasion.cpp.o"
+  "CMakeFiles/bench_ablation_evasion.dir/bench_ablation_evasion.cpp.o.d"
+  "bench_ablation_evasion"
+  "bench_ablation_evasion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hierarchy.dir/bench_ablation_hierarchy.cpp.o"
+  "CMakeFiles/bench_ablation_hierarchy.dir/bench_ablation_hierarchy.cpp.o.d"
+  "bench_ablation_hierarchy"
+  "bench_ablation_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

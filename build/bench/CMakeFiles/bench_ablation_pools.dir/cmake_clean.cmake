@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pools.dir/bench_ablation_pools.cpp.o"
+  "CMakeFiles/bench_ablation_pools.dir/bench_ablation_pools.cpp.o.d"
+  "bench_ablation_pools"
+  "bench_ablation_pools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

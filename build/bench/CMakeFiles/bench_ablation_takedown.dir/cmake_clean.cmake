@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_takedown.dir/bench_ablation_takedown.cpp.o"
+  "CMakeFiles/bench_ablation_takedown.dir/bench_ablation_takedown.cpp.o.d"
+  "bench_ablation_takedown"
+  "bench_ablation_takedown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_takedown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_taxonomy.dir/bench_fig3_taxonomy.cpp.o"
+  "CMakeFiles/bench_fig3_taxonomy.dir/bench_fig3_taxonomy.cpp.o.d"
+  "bench_fig3_taxonomy"
+  "bench_fig3_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_population.dir/bench_fig6a_population.cpp.o"
+  "CMakeFiles/bench_fig6a_population.dir/bench_fig6a_population.cpp.o.d"
+  "bench_fig6a_population"
+  "bench_fig6a_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_window.dir/bench_fig6b_window.cpp.o"
+  "CMakeFiles/bench_fig6b_window.dir/bench_fig6b_window.cpp.o.d"
+  "bench_fig6b_window"
+  "bench_fig6b_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6c_ttl.dir/bench_fig6c_ttl.cpp.o"
+  "CMakeFiles/bench_fig6c_ttl.dir/bench_fig6c_ttl.cpp.o.d"
+  "bench_fig6c_ttl"
+  "bench_fig6c_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6c_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

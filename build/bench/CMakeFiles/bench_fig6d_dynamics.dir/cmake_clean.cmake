@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6d_dynamics.dir/bench_fig6d_dynamics.cpp.o"
+  "CMakeFiles/bench_fig6d_dynamics.dir/bench_fig6d_dynamics.cpp.o.d"
+  "bench_fig6d_dynamics"
+  "bench_fig6d_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6d_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6e_detection.dir/bench_fig6e_detection.cpp.o"
+  "CMakeFiles/bench_fig6e_detection.dir/bench_fig6e_detection.cpp.o.d"
+  "bench_fig6e_detection"
+  "bench_fig6e_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6e_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

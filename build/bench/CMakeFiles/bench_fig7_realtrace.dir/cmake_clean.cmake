@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_realtrace.dir/bench_fig7_realtrace.cpp.o"
+  "CMakeFiles/bench_fig7_realtrace.dir/bench_fig7_realtrace.cpp.o.d"
+  "bench_fig7_realtrace"
+  "bench_fig7_realtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_realtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

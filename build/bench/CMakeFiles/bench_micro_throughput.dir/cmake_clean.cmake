@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_throughput.dir/bench_micro_throughput.cpp.o"
+  "CMakeFiles/bench_micro_throughput.dir/bench_micro_throughput.cpp.o.d"
+  "bench_micro_throughput"
+  "bench_micro_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

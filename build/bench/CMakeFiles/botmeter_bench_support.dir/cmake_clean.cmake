@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botmeter_bench_support.dir/support/experiment.cpp.o"
+  "CMakeFiles/botmeter_bench_support.dir/support/experiment.cpp.o.d"
+  "libbotmeter_bench_support.a"
+  "libbotmeter_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botmeter_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_monitor.dir/daily_monitor.cpp.o"
+  "CMakeFiles/daily_monitor.dir/daily_monitor.cpp.o.d"
+  "daily_monitor"
+  "daily_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_landscape.dir/enterprise_landscape.cpp.o"
+  "CMakeFiles/enterprise_landscape.dir/enterprise_landscape.cpp.o.d"
+  "enterprise_landscape"
+  "enterprise_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for enterprise_landscape.
+# This may be replaced when dependencies are built.

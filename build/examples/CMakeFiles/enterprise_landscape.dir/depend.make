@@ -1,0 +1,2 @@
+# Empty dependencies file for enterprise_landscape.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_shootout.dir/estimator_shootout.cpp.o"
+  "CMakeFiles/estimator_shootout.dir/estimator_shootout.cpp.o.d"
+  "estimator_shootout"
+  "estimator_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

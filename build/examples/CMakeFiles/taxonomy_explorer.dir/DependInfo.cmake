@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/taxonomy_explorer.cpp" "examples/CMakeFiles/taxonomy_explorer.dir/taxonomy_explorer.cpp.o" "gcc" "examples/CMakeFiles/taxonomy_explorer.dir/taxonomy_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/botmeter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/botnet/CMakeFiles/botmeter_botnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/botmeter_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimators/CMakeFiles/botmeter_estimators.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/botmeter_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/botmeter_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/dga/CMakeFiles/botmeter_dga.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/botmeter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botmeter_botnet.dir/activation.cpp.o"
+  "CMakeFiles/botmeter_botnet.dir/activation.cpp.o.d"
+  "CMakeFiles/botmeter_botnet.dir/bot.cpp.o"
+  "CMakeFiles/botmeter_botnet.dir/bot.cpp.o.d"
+  "CMakeFiles/botmeter_botnet.dir/simulator.cpp.o"
+  "CMakeFiles/botmeter_botnet.dir/simulator.cpp.o.d"
+  "libbotmeter_botnet.a"
+  "libbotmeter_botnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botmeter_botnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

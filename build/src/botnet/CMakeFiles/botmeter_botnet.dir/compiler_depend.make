@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for botmeter_botnet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for botmeter_botnet.
+# This may be replaced when dependencies are built.

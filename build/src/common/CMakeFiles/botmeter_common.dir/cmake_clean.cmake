@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botmeter_common.dir/json.cpp.o"
+  "CMakeFiles/botmeter_common.dir/json.cpp.o.d"
+  "CMakeFiles/botmeter_common.dir/logmath.cpp.o"
+  "CMakeFiles/botmeter_common.dir/logmath.cpp.o.d"
+  "CMakeFiles/botmeter_common.dir/rng.cpp.o"
+  "CMakeFiles/botmeter_common.dir/rng.cpp.o.d"
+  "CMakeFiles/botmeter_common.dir/stats.cpp.o"
+  "CMakeFiles/botmeter_common.dir/stats.cpp.o.d"
+  "CMakeFiles/botmeter_common.dir/time.cpp.o"
+  "CMakeFiles/botmeter_common.dir/time.cpp.o.d"
+  "libbotmeter_common.a"
+  "libbotmeter_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botmeter_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botmeter_core.dir/botmeter.cpp.o"
+  "CMakeFiles/botmeter_core.dir/botmeter.cpp.o.d"
+  "libbotmeter_core.a"
+  "libbotmeter_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botmeter_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/detection_window.cpp" "src/detect/CMakeFiles/botmeter_detect.dir/detection_window.cpp.o" "gcc" "src/detect/CMakeFiles/botmeter_detect.dir/detection_window.cpp.o.d"
+  "/root/repo/src/detect/matcher.cpp" "src/detect/CMakeFiles/botmeter_detect.dir/matcher.cpp.o" "gcc" "src/detect/CMakeFiles/botmeter_detect.dir/matcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/botmeter_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/botmeter_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/dga/CMakeFiles/botmeter_dga.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

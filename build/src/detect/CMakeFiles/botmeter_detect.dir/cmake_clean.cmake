@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botmeter_detect.dir/detection_window.cpp.o"
+  "CMakeFiles/botmeter_detect.dir/detection_window.cpp.o.d"
+  "CMakeFiles/botmeter_detect.dir/matcher.cpp.o"
+  "CMakeFiles/botmeter_detect.dir/matcher.cpp.o.d"
+  "libbotmeter_detect.a"
+  "libbotmeter_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botmeter_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for botmeter_detect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dga/barrel.cpp" "src/dga/CMakeFiles/botmeter_dga.dir/barrel.cpp.o" "gcc" "src/dga/CMakeFiles/botmeter_dga.dir/barrel.cpp.o.d"
+  "/root/repo/src/dga/config.cpp" "src/dga/CMakeFiles/botmeter_dga.dir/config.cpp.o" "gcc" "src/dga/CMakeFiles/botmeter_dga.dir/config.cpp.o.d"
+  "/root/repo/src/dga/config_io.cpp" "src/dga/CMakeFiles/botmeter_dga.dir/config_io.cpp.o" "gcc" "src/dga/CMakeFiles/botmeter_dga.dir/config_io.cpp.o.d"
+  "/root/repo/src/dga/domain_gen.cpp" "src/dga/CMakeFiles/botmeter_dga.dir/domain_gen.cpp.o" "gcc" "src/dga/CMakeFiles/botmeter_dga.dir/domain_gen.cpp.o.d"
+  "/root/repo/src/dga/families.cpp" "src/dga/CMakeFiles/botmeter_dga.dir/families.cpp.o" "gcc" "src/dga/CMakeFiles/botmeter_dga.dir/families.cpp.o.d"
+  "/root/repo/src/dga/pool.cpp" "src/dga/CMakeFiles/botmeter_dga.dir/pool.cpp.o" "gcc" "src/dga/CMakeFiles/botmeter_dga.dir/pool.cpp.o.d"
+  "/root/repo/src/dga/taxonomy.cpp" "src/dga/CMakeFiles/botmeter_dga.dir/taxonomy.cpp.o" "gcc" "src/dga/CMakeFiles/botmeter_dga.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/botmeter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

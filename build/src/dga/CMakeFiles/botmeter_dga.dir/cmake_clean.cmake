@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botmeter_dga.dir/barrel.cpp.o"
+  "CMakeFiles/botmeter_dga.dir/barrel.cpp.o.d"
+  "CMakeFiles/botmeter_dga.dir/config.cpp.o"
+  "CMakeFiles/botmeter_dga.dir/config.cpp.o.d"
+  "CMakeFiles/botmeter_dga.dir/config_io.cpp.o"
+  "CMakeFiles/botmeter_dga.dir/config_io.cpp.o.d"
+  "CMakeFiles/botmeter_dga.dir/domain_gen.cpp.o"
+  "CMakeFiles/botmeter_dga.dir/domain_gen.cpp.o.d"
+  "CMakeFiles/botmeter_dga.dir/families.cpp.o"
+  "CMakeFiles/botmeter_dga.dir/families.cpp.o.d"
+  "CMakeFiles/botmeter_dga.dir/pool.cpp.o"
+  "CMakeFiles/botmeter_dga.dir/pool.cpp.o.d"
+  "CMakeFiles/botmeter_dga.dir/taxonomy.cpp.o"
+  "CMakeFiles/botmeter_dga.dir/taxonomy.cpp.o.d"
+  "libbotmeter_dga.a"
+  "libbotmeter_dga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botmeter_dga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/authority.cpp" "src/dns/CMakeFiles/botmeter_dns.dir/authority.cpp.o" "gcc" "src/dns/CMakeFiles/botmeter_dns.dir/authority.cpp.o.d"
+  "/root/repo/src/dns/cache.cpp" "src/dns/CMakeFiles/botmeter_dns.dir/cache.cpp.o" "gcc" "src/dns/CMakeFiles/botmeter_dns.dir/cache.cpp.o.d"
+  "/root/repo/src/dns/resolver.cpp" "src/dns/CMakeFiles/botmeter_dns.dir/resolver.cpp.o" "gcc" "src/dns/CMakeFiles/botmeter_dns.dir/resolver.cpp.o.d"
+  "/root/repo/src/dns/tiered.cpp" "src/dns/CMakeFiles/botmeter_dns.dir/tiered.cpp.o" "gcc" "src/dns/CMakeFiles/botmeter_dns.dir/tiered.cpp.o.d"
+  "/root/repo/src/dns/topology.cpp" "src/dns/CMakeFiles/botmeter_dns.dir/topology.cpp.o" "gcc" "src/dns/CMakeFiles/botmeter_dns.dir/topology.cpp.o.d"
+  "/root/repo/src/dns/vantage.cpp" "src/dns/CMakeFiles/botmeter_dns.dir/vantage.cpp.o" "gcc" "src/dns/CMakeFiles/botmeter_dns.dir/vantage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/botmeter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botmeter_dns.dir/authority.cpp.o"
+  "CMakeFiles/botmeter_dns.dir/authority.cpp.o.d"
+  "CMakeFiles/botmeter_dns.dir/cache.cpp.o"
+  "CMakeFiles/botmeter_dns.dir/cache.cpp.o.d"
+  "CMakeFiles/botmeter_dns.dir/resolver.cpp.o"
+  "CMakeFiles/botmeter_dns.dir/resolver.cpp.o.d"
+  "CMakeFiles/botmeter_dns.dir/tiered.cpp.o"
+  "CMakeFiles/botmeter_dns.dir/tiered.cpp.o.d"
+  "CMakeFiles/botmeter_dns.dir/topology.cpp.o"
+  "CMakeFiles/botmeter_dns.dir/topology.cpp.o.d"
+  "CMakeFiles/botmeter_dns.dir/vantage.cpp.o"
+  "CMakeFiles/botmeter_dns.dir/vantage.cpp.o.d"
+  "libbotmeter_dns.a"
+  "libbotmeter_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botmeter_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbotmeter_dns.a"
+)

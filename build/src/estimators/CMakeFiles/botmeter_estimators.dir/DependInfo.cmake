@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimators/bernoulli.cpp" "src/estimators/CMakeFiles/botmeter_estimators.dir/bernoulli.cpp.o" "gcc" "src/estimators/CMakeFiles/botmeter_estimators.dir/bernoulli.cpp.o.d"
+  "/root/repo/src/estimators/estimator.cpp" "src/estimators/CMakeFiles/botmeter_estimators.dir/estimator.cpp.o" "gcc" "src/estimators/CMakeFiles/botmeter_estimators.dir/estimator.cpp.o.d"
+  "/root/repo/src/estimators/hybrid.cpp" "src/estimators/CMakeFiles/botmeter_estimators.dir/hybrid.cpp.o" "gcc" "src/estimators/CMakeFiles/botmeter_estimators.dir/hybrid.cpp.o.d"
+  "/root/repo/src/estimators/library.cpp" "src/estimators/CMakeFiles/botmeter_estimators.dir/library.cpp.o" "gcc" "src/estimators/CMakeFiles/botmeter_estimators.dir/library.cpp.o.d"
+  "/root/repo/src/estimators/poisson.cpp" "src/estimators/CMakeFiles/botmeter_estimators.dir/poisson.cpp.o" "gcc" "src/estimators/CMakeFiles/botmeter_estimators.dir/poisson.cpp.o.d"
+  "/root/repo/src/estimators/sampling_coverage.cpp" "src/estimators/CMakeFiles/botmeter_estimators.dir/sampling_coverage.cpp.o" "gcc" "src/estimators/CMakeFiles/botmeter_estimators.dir/sampling_coverage.cpp.o.d"
+  "/root/repo/src/estimators/segments.cpp" "src/estimators/CMakeFiles/botmeter_estimators.dir/segments.cpp.o" "gcc" "src/estimators/CMakeFiles/botmeter_estimators.dir/segments.cpp.o.d"
+  "/root/repo/src/estimators/timing.cpp" "src/estimators/CMakeFiles/botmeter_estimators.dir/timing.cpp.o" "gcc" "src/estimators/CMakeFiles/botmeter_estimators.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/botmeter_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/botmeter_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/dga/CMakeFiles/botmeter_dga.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/botmeter_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/botnet/CMakeFiles/botmeter_botnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botmeter_estimators.dir/bernoulli.cpp.o"
+  "CMakeFiles/botmeter_estimators.dir/bernoulli.cpp.o.d"
+  "CMakeFiles/botmeter_estimators.dir/estimator.cpp.o"
+  "CMakeFiles/botmeter_estimators.dir/estimator.cpp.o.d"
+  "CMakeFiles/botmeter_estimators.dir/hybrid.cpp.o"
+  "CMakeFiles/botmeter_estimators.dir/hybrid.cpp.o.d"
+  "CMakeFiles/botmeter_estimators.dir/library.cpp.o"
+  "CMakeFiles/botmeter_estimators.dir/library.cpp.o.d"
+  "CMakeFiles/botmeter_estimators.dir/poisson.cpp.o"
+  "CMakeFiles/botmeter_estimators.dir/poisson.cpp.o.d"
+  "CMakeFiles/botmeter_estimators.dir/sampling_coverage.cpp.o"
+  "CMakeFiles/botmeter_estimators.dir/sampling_coverage.cpp.o.d"
+  "CMakeFiles/botmeter_estimators.dir/segments.cpp.o"
+  "CMakeFiles/botmeter_estimators.dir/segments.cpp.o.d"
+  "CMakeFiles/botmeter_estimators.dir/timing.cpp.o"
+  "CMakeFiles/botmeter_estimators.dir/timing.cpp.o.d"
+  "libbotmeter_estimators.a"
+  "libbotmeter_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botmeter_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

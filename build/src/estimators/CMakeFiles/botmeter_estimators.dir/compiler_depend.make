@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for botmeter_estimators.
+# This may be replaced when dependencies are built.

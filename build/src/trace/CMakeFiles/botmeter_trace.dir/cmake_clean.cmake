@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botmeter_trace.dir/dataset.cpp.o"
+  "CMakeFiles/botmeter_trace.dir/dataset.cpp.o.d"
+  "CMakeFiles/botmeter_trace.dir/enterprise.cpp.o"
+  "CMakeFiles/botmeter_trace.dir/enterprise.cpp.o.d"
+  "CMakeFiles/botmeter_trace.dir/io.cpp.o"
+  "CMakeFiles/botmeter_trace.dir/io.cpp.o.d"
+  "libbotmeter_trace.a"
+  "libbotmeter_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botmeter_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

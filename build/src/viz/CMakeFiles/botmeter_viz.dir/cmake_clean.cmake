@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botmeter_viz.dir/ascii.cpp.o"
+  "CMakeFiles/botmeter_viz.dir/ascii.cpp.o.d"
+  "CMakeFiles/botmeter_viz.dir/landscape.cpp.o"
+  "CMakeFiles/botmeter_viz.dir/landscape.cpp.o.d"
+  "libbotmeter_viz.a"
+  "libbotmeter_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botmeter_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botmeter_test_support.dir/support/observation_factory.cpp.o"
+  "CMakeFiles/botmeter_test_support.dir/support/observation_factory.cpp.o.d"
+  "libbotmeter_test_support.a"
+  "libbotmeter_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botmeter_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botnet_tests.dir/botnet/test_activation.cpp.o"
+  "CMakeFiles/botnet_tests.dir/botnet/test_activation.cpp.o.d"
+  "CMakeFiles/botnet_tests.dir/botnet/test_bot.cpp.o"
+  "CMakeFiles/botnet_tests.dir/botnet/test_bot.cpp.o.d"
+  "CMakeFiles/botnet_tests.dir/botnet/test_simulator.cpp.o"
+  "CMakeFiles/botnet_tests.dir/botnet/test_simulator.cpp.o.d"
+  "botnet_tests"
+  "botnet_tests.pdb"
+  "botnet_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botnet_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

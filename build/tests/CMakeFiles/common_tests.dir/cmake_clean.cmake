@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tests.dir/common/test_json.cpp.o"
+  "CMakeFiles/common_tests.dir/common/test_json.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/test_logmath.cpp.o"
+  "CMakeFiles/common_tests.dir/common/test_logmath.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/test_rng.cpp.o"
+  "CMakeFiles/common_tests.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/test_stats.cpp.o"
+  "CMakeFiles/common_tests.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/common_tests.dir/common/test_time.cpp.o"
+  "CMakeFiles/common_tests.dir/common/test_time.cpp.o.d"
+  "common_tests"
+  "common_tests.pdb"
+  "common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

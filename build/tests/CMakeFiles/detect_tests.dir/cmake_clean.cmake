@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_tests.dir/detect/test_detection_window.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/test_detection_window.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/test_matcher.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/test_matcher.cpp.o.d"
+  "detect_tests"
+  "detect_tests.pdb"
+  "detect_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dga_tests.dir/dga/test_barrel.cpp.o"
+  "CMakeFiles/dga_tests.dir/dga/test_barrel.cpp.o.d"
+  "CMakeFiles/dga_tests.dir/dga/test_config_io.cpp.o"
+  "CMakeFiles/dga_tests.dir/dga/test_config_io.cpp.o.d"
+  "CMakeFiles/dga_tests.dir/dga/test_domain_gen.cpp.o"
+  "CMakeFiles/dga_tests.dir/dga/test_domain_gen.cpp.o.d"
+  "CMakeFiles/dga_tests.dir/dga/test_families.cpp.o"
+  "CMakeFiles/dga_tests.dir/dga/test_families.cpp.o.d"
+  "CMakeFiles/dga_tests.dir/dga/test_pool.cpp.o"
+  "CMakeFiles/dga_tests.dir/dga/test_pool.cpp.o.d"
+  "CMakeFiles/dga_tests.dir/dga/test_taxonomy.cpp.o"
+  "CMakeFiles/dga_tests.dir/dga/test_taxonomy.cpp.o.d"
+  "dga_tests"
+  "dga_tests.pdb"
+  "dga_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dga_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_tests.dir/dns/test_authority.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/test_authority.cpp.o.d"
+  "CMakeFiles/dns_tests.dir/dns/test_cache.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/test_cache.cpp.o.d"
+  "CMakeFiles/dns_tests.dir/dns/test_resolver.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/test_resolver.cpp.o.d"
+  "CMakeFiles/dns_tests.dir/dns/test_tiered.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/test_tiered.cpp.o.d"
+  "CMakeFiles/dns_tests.dir/dns/test_topology.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/test_topology.cpp.o.d"
+  "CMakeFiles/dns_tests.dir/dns/test_vantage.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/test_vantage.cpp.o.d"
+  "dns_tests"
+  "dns_tests.pdb"
+  "dns_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/estimators/test_bernoulli.cpp" "tests/CMakeFiles/estimator_tests.dir/estimators/test_bernoulli.cpp.o" "gcc" "tests/CMakeFiles/estimator_tests.dir/estimators/test_bernoulli.cpp.o.d"
+  "/root/repo/tests/estimators/test_hybrid.cpp" "tests/CMakeFiles/estimator_tests.dir/estimators/test_hybrid.cpp.o" "gcc" "tests/CMakeFiles/estimator_tests.dir/estimators/test_hybrid.cpp.o.d"
+  "/root/repo/tests/estimators/test_intervals.cpp" "tests/CMakeFiles/estimator_tests.dir/estimators/test_intervals.cpp.o" "gcc" "tests/CMakeFiles/estimator_tests.dir/estimators/test_intervals.cpp.o.d"
+  "/root/repo/tests/estimators/test_library.cpp" "tests/CMakeFiles/estimator_tests.dir/estimators/test_library.cpp.o" "gcc" "tests/CMakeFiles/estimator_tests.dir/estimators/test_library.cpp.o.d"
+  "/root/repo/tests/estimators/test_observation.cpp" "tests/CMakeFiles/estimator_tests.dir/estimators/test_observation.cpp.o" "gcc" "tests/CMakeFiles/estimator_tests.dir/estimators/test_observation.cpp.o.d"
+  "/root/repo/tests/estimators/test_poisson.cpp" "tests/CMakeFiles/estimator_tests.dir/estimators/test_poisson.cpp.o" "gcc" "tests/CMakeFiles/estimator_tests.dir/estimators/test_poisson.cpp.o.d"
+  "/root/repo/tests/estimators/test_sampling_coverage.cpp" "tests/CMakeFiles/estimator_tests.dir/estimators/test_sampling_coverage.cpp.o" "gcc" "tests/CMakeFiles/estimator_tests.dir/estimators/test_sampling_coverage.cpp.o.d"
+  "/root/repo/tests/estimators/test_segments.cpp" "tests/CMakeFiles/estimator_tests.dir/estimators/test_segments.cpp.o" "gcc" "tests/CMakeFiles/estimator_tests.dir/estimators/test_segments.cpp.o.d"
+  "/root/repo/tests/estimators/test_timing.cpp" "tests/CMakeFiles/estimator_tests.dir/estimators/test_timing.cpp.o" "gcc" "tests/CMakeFiles/estimator_tests.dir/estimators/test_timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/botmeter_test_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/botmeter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/botmeter_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimators/CMakeFiles/botmeter_estimators.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/botmeter_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/botnet/CMakeFiles/botmeter_botnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/botmeter_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/dga/CMakeFiles/botmeter_dga.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/botmeter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

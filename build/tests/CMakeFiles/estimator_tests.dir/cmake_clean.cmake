@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_tests.dir/estimators/test_bernoulli.cpp.o"
+  "CMakeFiles/estimator_tests.dir/estimators/test_bernoulli.cpp.o.d"
+  "CMakeFiles/estimator_tests.dir/estimators/test_hybrid.cpp.o"
+  "CMakeFiles/estimator_tests.dir/estimators/test_hybrid.cpp.o.d"
+  "CMakeFiles/estimator_tests.dir/estimators/test_intervals.cpp.o"
+  "CMakeFiles/estimator_tests.dir/estimators/test_intervals.cpp.o.d"
+  "CMakeFiles/estimator_tests.dir/estimators/test_library.cpp.o"
+  "CMakeFiles/estimator_tests.dir/estimators/test_library.cpp.o.d"
+  "CMakeFiles/estimator_tests.dir/estimators/test_observation.cpp.o"
+  "CMakeFiles/estimator_tests.dir/estimators/test_observation.cpp.o.d"
+  "CMakeFiles/estimator_tests.dir/estimators/test_poisson.cpp.o"
+  "CMakeFiles/estimator_tests.dir/estimators/test_poisson.cpp.o.d"
+  "CMakeFiles/estimator_tests.dir/estimators/test_sampling_coverage.cpp.o"
+  "CMakeFiles/estimator_tests.dir/estimators/test_sampling_coverage.cpp.o.d"
+  "CMakeFiles/estimator_tests.dir/estimators/test_segments.cpp.o"
+  "CMakeFiles/estimator_tests.dir/estimators/test_segments.cpp.o.d"
+  "CMakeFiles/estimator_tests.dir/estimators/test_timing.cpp.o"
+  "CMakeFiles/estimator_tests.dir/estimators/test_timing.cpp.o.d"
+  "estimator_tests"
+  "estimator_tests.pdb"
+  "estimator_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

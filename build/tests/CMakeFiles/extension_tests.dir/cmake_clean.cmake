@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_tests.dir/extensions/test_evasion.cpp.o"
+  "CMakeFiles/extension_tests.dir/extensions/test_evasion.cpp.o.d"
+  "CMakeFiles/extension_tests.dir/extensions/test_takedown.cpp.o"
+  "CMakeFiles/extension_tests.dir/extensions/test_takedown.cpp.o.d"
+  "CMakeFiles/extension_tests.dir/extensions/test_tiered_estimation.cpp.o"
+  "CMakeFiles/extension_tests.dir/extensions/test_tiered_estimation.cpp.o.d"
+  "CMakeFiles/extension_tests.dir/extensions/test_trace_artifacts.cpp.o"
+  "CMakeFiles/extension_tests.dir/extensions/test_trace_artifacts.cpp.o.d"
+  "extension_tests"
+  "extension_tests.pdb"
+  "extension_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_tests.dir/tools/test_cli_util.cpp.o"
+  "CMakeFiles/tools_tests.dir/tools/test_cli_util.cpp.o.d"
+  "tools_tests"
+  "tools_tests.pdb"
+  "tools_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

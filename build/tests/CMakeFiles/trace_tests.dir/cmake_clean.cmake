@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_tests.dir/trace/test_dataset.cpp.o"
+  "CMakeFiles/trace_tests.dir/trace/test_dataset.cpp.o.d"
+  "CMakeFiles/trace_tests.dir/trace/test_enterprise.cpp.o"
+  "CMakeFiles/trace_tests.dir/trace/test_enterprise.cpp.o.d"
+  "CMakeFiles/trace_tests.dir/trace/test_io.cpp.o"
+  "CMakeFiles/trace_tests.dir/trace/test_io.cpp.o.d"
+  "trace_tests"
+  "trace_tests.pdb"
+  "trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/dns_tests[1]_include.cmake")
+include("/root/repo/build/tests/dga_tests[1]_include.cmake")
+include("/root/repo/build/tests/botnet_tests[1]_include.cmake")
+include("/root/repo/build/tests/detect_tests[1]_include.cmake")
+include("/root/repo/build/tests/estimator_tests[1]_include.cmake")
+include("/root/repo/build/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/viz_tests[1]_include.cmake")
+include("/root/repo/build/tests/tools_tests[1]_include.cmake")
+include("/root/repo/build/tests/extension_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")

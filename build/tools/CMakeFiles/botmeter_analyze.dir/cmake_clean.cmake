@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botmeter_analyze.dir/botmeter_analyze.cpp.o"
+  "CMakeFiles/botmeter_analyze.dir/botmeter_analyze.cpp.o.d"
+  "botmeter_analyze"
+  "botmeter_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botmeter_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for botmeter_analyze.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botmeter_simulate.dir/botmeter_simulate.cpp.o"
+  "CMakeFiles/botmeter_simulate.dir/botmeter_simulate.cpp.o.d"
+  "botmeter_simulate"
+  "botmeter_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botmeter_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
