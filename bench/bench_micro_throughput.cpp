@@ -3,6 +3,10 @@
 // analytical inversions, and the full per-epoch simulation.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "botnet/simulator.hpp"
 #include "detect/matcher.hpp"
 #include "dga/domain_gen.hpp"
@@ -40,12 +44,29 @@ void BM_CacheLookupHit(benchmark::State& state) {
 BENCHMARK(BM_CacheLookupHit);
 
 void BM_CacheInsertExpireCycle(benchmark::State& state) {
+  // Exercise the full entry lifecycle: insert, a hit while fresh, and a
+  // lookup after the TTL lapsed (which takes the expiry/erase path). At
+  // 10 ms per step and a 1 s TTL, the entry inserted 50 steps ago is still
+  // fresh while the one from 200 steps ago has expired.
   dns::DnsCache cache;
+  std::vector<std::string> domains;
+  domains.reserve(4096);
+  for (std::uint32_t d = 0; d < 4096; ++d) {
+    domains.push_back(dga::domain_name(2, 2, d));
+  }
   std::uint32_t i = 0;
   for (auto _ : state) {
-    const std::string domain = dga::domain_name(2, 2, i % 4096);
-    cache.insert(domain, dns::Rcode::kNxDomain,
-                 TimePoint{static_cast<std::int64_t>(i) * 10}, seconds(1));
+    const TimePoint now{static_cast<std::int64_t>(i) * 10};
+    cache.insert(domains[i % domains.size()], dns::Rcode::kNxDomain, now,
+                 seconds(1));
+    if (i >= 50) {
+      benchmark::DoNotOptimize(
+          cache.lookup(domains[(i - 50) % domains.size()], now));
+    }
+    if (i >= 200) {
+      benchmark::DoNotOptimize(
+          cache.lookup(domains[(i - 200) % domains.size()], now));
+    }
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
@@ -102,6 +123,50 @@ void BM_EpochSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_EpochSimulation)->Arg(16)->Arg(64)->Arg(256);
 
+void BM_EpochSimulationThreaded(benchmark::State& state) {
+  botnet::SimulationConfig config;
+  config.dga = dga::murofet_config();
+  config.bot_count = static_cast<std::uint32_t>(state.range(0));
+  config.record_raw = false;
+  config.worker_threads = static_cast<std::size_t>(state.range(1));
+  auto pool_model = dga::make_pool_model(config.dga);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(botnet::simulate(config, *pool_model));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EpochSimulationThreaded)
+    ->ArgsProduct({{256}, {1, 2, 4, 8}})
+    ->ArgNames({"bots", "threads"})
+    ->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults to also writing the results as JSON to
+// BENCH_micro.json (for CI artifact upload) unless the caller passed their
+// own --benchmark_out.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

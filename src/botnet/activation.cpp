@@ -13,6 +13,14 @@ void ActivationConfig::validate() const {
   }
 }
 
+TimePoint draw_activation(TimePoint start, Duration len, Rng& bot_rng) {
+  if (len.millis() <= 0) {
+    throw ConfigError("draw_activation: window must be positive");
+  }
+  return start + milliseconds(static_cast<std::int64_t>(
+                     bot_rng.uniform(static_cast<std::uint64_t>(len.millis()))));
+}
+
 std::vector<TimePoint> draw_activations(const ActivationConfig& config,
                                         std::size_t n, TimePoint start,
                                         Duration len, Rng& rng) {

@@ -41,4 +41,13 @@ struct ActivationConfig {
                                                       std::size_t n, TimePoint start,
                                                       Duration len, Rng& rng);
 
+/// Draw one bot's activation instant under the constant-rate model from the
+/// bot's own private stream. Conditioning the constant-rate Poisson process
+/// on n in-window arrivals makes the instants i.i.d. uniform, so every bot
+/// can draw its own with no shared state — which is what lets the simulation
+/// engine shard the constant-model activation draws per bot. The dynamic
+/// model is a sequential gap process and keeps using draw_activations.
+[[nodiscard]] TimePoint draw_activation(TimePoint start, Duration len,
+                                        Rng& bot_rng);
+
 }  // namespace botmeter::botnet

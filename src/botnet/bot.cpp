@@ -8,24 +8,11 @@ std::vector<QueryEvent> activation_queries(const dga::DgaConfig& config,
                                            const dga::EpochPool& pool,
                                            TimePoint activation, Rng& bot_rng,
                                            std::optional<TimePoint> c2_down_after) {
-  const std::vector<std::uint32_t> barrel =
-      dga::make_barrel(config, pool, bot_rng);
-
   std::vector<QueryEvent> events;
-  events.reserve(barrel.size());
-  TimePoint t = activation;
-  for (std::uint32_t pos : barrel) {
-    events.push_back(QueryEvent{t, pos});
-    const bool resolves = pool.is_valid_position(pos) &&
-                          (!c2_down_after || t < *c2_down_after);
-    if (config.stop_on_hit && resolves) break;
-    if (config.query_interval.millis() > 0) {
-      t += config.query_interval;
-    } else {
-      t += milliseconds(bot_rng.uniform_range(config.jitter_min.millis(),
-                                              config.jitter_max.millis()));
-    }
-  }
+  for_each_activation_query(config, pool, activation, bot_rng, c2_down_after,
+                            [&](TimePoint t, std::uint32_t pos) {
+                              events.push_back(QueryEvent{t, pos});
+                            });
   return events;
 }
 

@@ -6,12 +6,14 @@
 // the barrel is exhausted.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "dga/barrel.hpp"
 #include "dga/config.hpp"
 #include "dga/pool.hpp"
 
@@ -36,6 +38,43 @@ struct QueryEvent {
     const dga::DgaConfig& config, const dga::EpochPool& pool,
     TimePoint activation, Rng& bot_rng,
     std::optional<TimePoint> c2_down_after = {});
+
+/// Streaming form of activation_queries: invoke sink(t, pool_position) for
+/// every lookup of the train, in issue order, without materialising an event
+/// vector — and, for the cut-style barrels whose i-th position is computable
+/// directly (dga::lazy_barrel_start), without materialising the barrel
+/// either. This is the simulation engine's hot path: one call per
+/// (bot, epoch), writing straight into the worker's chunk buffer.
+template <typename Sink>
+void for_each_activation_query(const dga::DgaConfig& config,
+                               const dga::EpochPool& pool, TimePoint activation,
+                               Rng& bot_rng,
+                               std::optional<TimePoint> c2_down_after,
+                               Sink&& sink) {
+  const std::uint32_t pool_size = pool.size();
+  const std::optional<std::uint32_t> cut_start =
+      dga::lazy_barrel_start(config, pool, bot_rng);
+  std::vector<std::uint32_t> barrel;
+  if (!cut_start) barrel = dga::make_barrel(config, pool, bot_rng);
+  const std::uint32_t k =
+      cut_start ? std::min(config.barrel_size, pool_size)
+                : static_cast<std::uint32_t>(barrel.size());
+  TimePoint t = activation;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::uint32_t pos =
+        cut_start ? (*cut_start + i) % pool_size : barrel[i];
+    sink(t, pos);
+    const bool resolves = pool.is_valid_position(pos) &&
+                          (!c2_down_after || t < *c2_down_after);
+    if (config.stop_on_hit && resolves) break;
+    if (config.query_interval.millis() > 0) {
+      t += config.query_interval;
+    } else {
+      t += milliseconds(bot_rng.uniform_range(config.jitter_min.millis(),
+                                              config.jitter_max.millis()));
+    }
+  }
+}
 
 /// Upper bound on an activation's duration: theta_q * delta_i (used by the
 /// Timing estimator's heuristic #2). For interval-free families the maximum

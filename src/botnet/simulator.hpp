@@ -38,6 +38,8 @@ struct RawRecord {
   dns::ClientId client;
   std::string domain;
   dns::Rcode rcode = dns::Rcode::kNxDomain;
+
+  friend bool operator==(const RawRecord&, const RawRecord&) = default;
 };
 
 /// Per-epoch ground truth: how many distinct bots were active (issued at
@@ -46,6 +48,8 @@ struct EpochTruth {
   std::int64_t epoch = 0;
   std::uint32_t total_active = 0;
   std::vector<std::uint32_t> active_per_server;
+
+  friend bool operator==(const EpochTruth&, const EpochTruth&) = default;
 };
 
 struct SimulationConfig {
@@ -59,6 +63,13 @@ struct SimulationConfig {
   ActivationConfig activation;
   bool record_raw = true;             // keep the ground-truth trace
   std::uint64_t seed = 1;
+
+  /// Worker threads for the per-epoch pipeline (query generation, sorting,
+  /// and the domain-sharded cache replay). 0 = one per hardware thread.
+  /// Results are bit-identical for every value: each (epoch, bot) pair owns
+  /// a private collision-free RNG stream, work partitions never depend on
+  /// the thread count, and all merges happen in a canonical order.
+  std::size_t worker_threads = 1;
 
   /// Optional client placement override (default: round-robin). Lets
   /// scenarios skew the infection landscape across local servers.
@@ -79,7 +90,9 @@ struct SimulationResult {
   std::vector<EpochTruth> truth;                 // one entry per epoch
 };
 
-/// Run the configured scenario. Deterministic given config.seed.
+/// Run the configured scenario. Deterministic given config.seed — including
+/// across worker_threads values: the same seed yields the same
+/// SimulationResult whether the epochs run on one thread or many.
 /// `pool_model` must match config.dga (same object the matcher/estimators
 /// will consult, so everyone agrees on pool contents).
 [[nodiscard]] SimulationResult simulate(const SimulationConfig& config,

@@ -1,0 +1,88 @@
+#include "common/parallel.hpp"
+
+namespace botmeter {
+
+WorkerPool::WorkerPool(std::size_t thread_count) {
+  std::size_t cores = std::thread::hardware_concurrency();
+  if (cores == 0) cores = 1;
+  if (thread_count == 0 || thread_count > cores) thread_count = cores;
+  workers_.reserve(thread_count - 1);
+  for (std::size_t i = 0; i + 1 < thread_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WorkerPool::run_indices(Batch& batch) {
+  try {
+    for (std::size_t i = batch.next.fetch_add(1); i < batch.n;
+         i = batch.next.fetch_add(1)) {
+      (*batch.body)(i);
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    // Stop handing out further indices; peers drain quickly.
+    batch.next.store(batch.n);
+  }
+}
+
+void WorkerPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  Batch batch;
+  batch.n = n;
+  batch.body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+    active_ = workers_.size();
+    error_ = nullptr;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  run_indices(batch);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return active_ == 0; });
+  batch_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      batch = batch_;
+    }
+    run_indices(*batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace botmeter

@@ -1,0 +1,67 @@
+// A small persistent worker pool for deterministic data parallelism.
+//
+// The simulation engine shards per-epoch work (per-bot query generation,
+// chunk sorting, per-domain-shard cache replay) over a fixed number of
+// threads. Determinism is preserved by construction: every parallel_for body
+// writes only to slots indexed by its own item, the item partition never
+// depends on the thread count, and all cross-item merging happens serially
+// afterwards in a canonical order. The pool itself therefore makes no
+// ordering promises beyond "each index runs exactly once".
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace botmeter {
+
+class WorkerPool {
+ public:
+  /// `thread_count` is the total parallelism including the calling thread;
+  /// 0 means std::thread::hardware_concurrency(). Counts above the hardware
+  /// concurrency are clamped to it — oversubscribing cores only adds
+  /// scheduling overhead, and no result ever depends on the thread count.
+  /// With an effective count <= 1 no threads are spawned and parallel_for
+  /// degrades to a plain loop.
+  explicit WorkerPool(std::size_t thread_count = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total parallelism (worker threads + the calling thread).
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Invoke body(i) once for every i in [0, n), distributing indices over
+  /// the pool (the caller participates). Blocks until all complete. The
+  /// first exception thrown by any body is rethrown here; remaining indices
+  /// may be skipped once an exception is seen.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Batch {
+    std::atomic<std::size_t> next{0};
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+  };
+
+  void worker_loop();
+  void run_indices(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;  // bumped per batch to wake the workers
+  std::size_t active_ = 0;        // workers still running the current batch
+  Batch* batch_ = nullptr;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace botmeter

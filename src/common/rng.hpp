@@ -30,6 +30,23 @@ namespace botmeter {
   return splitmix64(s);
 }
 
+/// Derive the seed of an independent substream identified by two 64-bit
+/// coordinates (e.g. epoch and bot id). Every coordinate passes through a
+/// full-width avalanche with its own salt and the results are chained, so —
+/// unlike bit-packing schemes such as `epoch << 20 | bot` — distinct
+/// (a, b) pairs never alias, at any population scale, and negative
+/// coordinates (cast to uint64) are handled like any other value.
+[[nodiscard]] constexpr std::uint64_t stream_seed(std::uint64_t root,
+                                                  std::uint64_t a,
+                                                  std::uint64_t b = 0) {
+  // Chained rather than XOR-combined so swapping coordinates, or moving bits
+  // between them, cannot cancel out: h <- mix64(h ^ mix64(x_i ^ salt_i)).
+  std::uint64_t h = mix64(root ^ 0xD1B54A32D192ED03ULL);
+  h = mix64(h ^ mix64(a ^ 0x8CB92BA72F3D8DD7ULL));
+  h = mix64(h ^ mix64(b ^ 0x2545F4914F6CDD1DULL));
+  return h;
+}
+
 /// xoshiro256** 1.0 — fast, high-quality, 256-bit state. Satisfies
 /// `std::uniform_random_bit_generator` so it plugs into <random> if needed,
 /// though the members below cover everything this codebase uses.
@@ -89,6 +106,14 @@ class Rng {
   /// / epoch / trial its own stream so that changing one component's draw
   /// count does not perturb the others.
   [[nodiscard]] Rng fork();
+
+  /// The generator of substream (a, b) of `root` — see stream_seed(). This is
+  /// the collision-free way to hand every (epoch, bot) pair its own private
+  /// stream, independent of iteration order and of every other stream.
+  [[nodiscard]] static Rng stream(std::uint64_t root, std::uint64_t a,
+                                  std::uint64_t b = 0) {
+    return Rng{stream_seed(root, a, b)};
+  }
 
  private:
   std::array<std::uint64_t, 4> s_{};

@@ -63,4 +63,30 @@ std::vector<std::uint32_t> make_barrel(const DgaConfig& config,
   return barrel;
 }
 
+std::optional<std::uint32_t> lazy_barrel_start(const DgaConfig& config,
+                                               const EpochPool& pool,
+                                               Rng& bot_rng) {
+  const std::uint32_t pool_size = pool.size();
+  if (pool_size == 0) throw ConfigError("make_barrel: empty pool");
+  const std::uint32_t k = std::min(config.barrel_size, pool_size);
+  switch (config.taxonomy.barrel) {
+    case BarrelModel::kUniform:
+      return 0;
+    case BarrelModel::kRandomCut:
+      return static_cast<std::uint32_t>(bot_rng.uniform(pool_size));
+    case BarrelModel::kCoordinatedCut: {
+      const auto base = static_cast<std::uint32_t>(
+          mix64(config.seed ^ mix64(static_cast<std::uint64_t>(pool.epoch) +
+                                    0xC0DECA71ULL)) %
+          pool_size);
+      const std::uint32_t jitter_span = std::max(1u, k / 16);
+      const auto offset =
+          static_cast<std::uint32_t>(bot_rng.uniform(jitter_span));
+      return (base + offset) % pool_size;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
 }  // namespace botmeter::dga

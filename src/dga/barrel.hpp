@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -31,5 +32,14 @@ namespace botmeter::dga {
 [[nodiscard]] std::vector<std::uint32_t> make_barrel(const DgaConfig& config,
                                                      const EpochPool& pool,
                                                      Rng& bot_rng);
+
+/// For the cut-style barrels (uniform, random-cut, coordinated-cut) the
+/// whole barrel is `(start + i) mod pool` — return that start, drawn with
+/// exactly the rng consumption make_barrel would have used, so callers can
+/// walk the barrel lazily without materialising it (the simulator's hot
+/// path). Returns nullopt for the models whose barrels genuinely need
+/// materialising (sampling, permutation).
+[[nodiscard]] std::optional<std::uint32_t> lazy_barrel_start(
+    const DgaConfig& config, const EpochPool& pool, Rng& bot_rng);
 
 }  // namespace botmeter::dga

@@ -3,35 +3,58 @@
 namespace botmeter::dns {
 
 std::optional<Rcode> DnsCache::lookup(const std::string& domain, TimePoint now) {
-  auto it = entries_.find(domain);
-  if (it == entries_.end()) {
-    ++misses_;
+  Shard& s = shards_[shard_of(domain)];
+  auto it = s.entries_.find(domain);
+  if (it == s.entries_.end()) {
+    ++s.misses_;
     return std::nullopt;
   }
   if (now >= it->second.expires_at) {
-    entries_.erase(it);
-    ++misses_;
+    s.entries_.erase(it);
+    ++s.misses_;
     return std::nullopt;
   }
-  ++hits_;
+  ++s.hits_;
   return it->second.rcode;
 }
 
 void DnsCache::insert(const std::string& domain, Rcode rcode, TimePoint now,
                       Duration ttl) {
-  entries_[domain] = Entry{rcode, now + ttl};
+  shards_[shard_of(domain)].entries_[domain] = Entry{rcode, now + ttl};
 }
 
 void DnsCache::evict_expired(TimePoint now) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (now >= it->second.expires_at) {
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  for (Shard& s : shards_) {
+    for (auto it = s.entries_.begin(); it != s.entries_.end();) {
+      if (now >= it->second.expires_at) {
+        it = s.entries_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
-void DnsCache::clear() { entries_.clear(); }
+void DnsCache::clear() {
+  for (Shard& s : shards_) s.entries_.clear();
+}
+
+std::size_t DnsCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) total += s.entries_.size();
+  return total;
+}
+
+std::uint64_t DnsCache::hits() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.hits_;
+  return total;
+}
+
+std::uint64_t DnsCache::misses() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.misses_;
+  return total;
+}
 
 }  // namespace botmeter::dns

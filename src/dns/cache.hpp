@@ -5,11 +5,22 @@
 // answered locally until their TTL lapses; only misses are forwarded
 // upstream. This cache is exactly what "masks" repeated DGA lookups from the
 // vantage point and motivates the Poisson estimator.
+//
+// Storage is split into kShardCount shards keyed by a fixed hash of the
+// domain, so that the parallel batch replay (botnet/simulator.cpp) can have
+// concurrent workers operate on disjoint shards of the *same* cache without
+// locks: the cache state touched by a query depends only on its domain, and
+// two domains in different shards share no mutable state. The shard map is a
+// pure function of the domain — never of the thread count — so results stay
+// bit-identical however the shards are scheduled.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <limits>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/time.hpp"
@@ -19,11 +30,60 @@ namespace botmeter::dns {
 
 class DnsCache {
  public:
-  /// A cached answer: what it was and until when it may be served.
+  /// A cached answer: what it was and until when it may be served. A
+  /// freshly created slot (see Shard::slot) starts already expired, i.e. a
+  /// guaranteed miss.
   struct Entry {
     Rcode rcode = Rcode::kNxDomain;
-    TimePoint expires_at;  // exclusive: an entry is stale at t >= expires_at
+    TimePoint expires_at{std::numeric_limits<std::int64_t>::min()};
   };
+
+  static constexpr std::size_t kShardCount = 64;
+
+  /// Which shard owns `domain`. Stable within a process; used both for the
+  /// internal routing and by the batch replay to partition its workers.
+  [[nodiscard]] static std::size_t shard_of(std::string_view domain) {
+    return std::hash<std::string_view>{}(domain) & (kShardCount - 1);
+  }
+
+  /// One shard: the entries (and hit/miss accounting) for the domains that
+  /// hash into it. Operations on distinct shards are safe to run
+  /// concurrently; operations within one shard are not synchronised.
+  class Shard {
+   public:
+    /// Stable pointer to the entry for `domain`, created expired if absent.
+    /// `domain` must hash to this shard. The pointer stays valid until the
+    /// entry is erased (lookup eviction, evict_expired, clear) — the batch
+    /// replay only holds it across lookup_slot/insert_slot, which never
+    /// erase.
+    [[nodiscard]] Entry* slot(const std::string& domain) {
+      return &entries_[domain];
+    }
+
+    /// Slot-based hit check: like DnsCache::lookup but without re-hashing
+    /// the domain, and a stale entry is left in place (the caller
+    /// immediately overwrites it via insert_slot after resolving upstream).
+    [[nodiscard]] std::optional<Rcode> lookup_slot(Entry& e, TimePoint now) {
+      if (now < e.expires_at) {
+        ++hits_;
+        return e.rcode;
+      }
+      ++misses_;
+      return std::nullopt;
+    }
+
+    static void insert_slot(Entry& e, Rcode rcode, TimePoint now, Duration ttl) {
+      e = Entry{rcode, now + ttl};
+    }
+
+   private:
+    friend class DnsCache;
+    std::unordered_map<std::string, Entry> entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+  };
+
+  [[nodiscard]] Shard& shard(std::size_t s) { return shards_[s]; }
 
   /// Look up `domain` at simulated time `now`. A live entry is returned and
   /// counted as a hit; a stale entry is evicted and treated as a miss.
@@ -40,14 +100,12 @@ class DnsCache {
 
   void clear();
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] std::uint64_t hits() const { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
 
  private:
-  std::unordered_map<std::string, Entry> entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::array<Shard, kShardCount> shards_;
 };
 
 }  // namespace botmeter::dns

@@ -1,0 +1,58 @@
+// Support types for the deterministic parallel batch replay.
+//
+// The simulation engine replays each epoch's time-sorted query stream
+// through the caching network in parallel, partitioned by cache shard
+// (DnsCache::shard_of): all cache state a query can touch — across every
+// tier — lives in the shard its domain hashes to, so workers on distinct
+// shards never share mutable state. Border misses cannot be appended to the
+// vantage point from inside the workers without racing on order, so each
+// worker collects them (tagged with the query's index in the globally
+// sorted stream) and merge_misses() replays them into the vantage point
+// serially, in exactly the order a sequential replay would have produced.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "dns/ids.hpp"
+#include "dns/vantage.hpp"
+
+namespace botmeter::dns {
+
+/// One border-visible miss produced during a batch replay, tagged with the
+/// index of the originating query in the epoch's sorted stream.
+struct ReplayMiss {
+  std::size_t query_index = 0;
+  TimePoint t;
+  ServerId forwarder{0};
+  std::uint32_t pool_position = 0;
+};
+
+/// Merge per-shard miss streams (each already ordered by query_index) into
+/// the vantage point in global query order — bit-identical to a sequential
+/// replay, independent of how many workers produced them.
+inline void merge_misses(VantagePoint& vantage,
+                         const std::vector<std::string>& domains,
+                         std::vector<std::vector<ReplayMiss>>& per_shard) {
+  std::vector<ReplayMiss> all;
+  std::size_t total = 0;
+  for (const auto& v : per_shard) total += v.size();
+  all.reserve(total);
+  for (auto& v : per_shard) {
+    all.insert(all.end(), v.begin(), v.end());
+    v.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const ReplayMiss& a, const ReplayMiss& b) {
+              return a.query_index < b.query_index;
+            });
+  for (const ReplayMiss& m : all) {
+    vantage.record(m.t, m.forwarder, domains[m.pool_position]);
+  }
+}
+
+}  // namespace botmeter::dns

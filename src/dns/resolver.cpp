@@ -17,4 +17,18 @@ Rcode LocalResolver::resolve(TimePoint t, const std::string& domain) {
   return answer;
 }
 
+Rcode LocalResolver::resolve_slotted(TimePoint t, const std::string& domain,
+                                     std::uint32_t pool_position,
+                                     std::size_t shard, DnsCache::Entry*& slot,
+                                     std::size_t query_index,
+                                     std::vector<ReplayMiss>& sink) {
+  DnsCache::Shard& cache_shard = cache_.shard(shard);
+  if (slot == nullptr) slot = cache_shard.slot(domain);
+  if (auto cached = cache_shard.lookup_slot(*slot, t)) return *cached;
+  sink.push_back(ReplayMiss{query_index, t, id_, pool_position});
+  const Rcode answer = authority_->resolve(domain, t);
+  DnsCache::Shard::insert_slot(*slot, answer, t, ttl_.for_rcode(answer));
+  return answer;
+}
+
 }  // namespace botmeter::dns

@@ -6,11 +6,14 @@
 // registry; the answer is then cached under the TTL policy.
 #pragma once
 
+#include <vector>
+
 #include "common/time.hpp"
 #include "dns/authority.hpp"
 #include "dns/cache.hpp"
 #include "dns/ids.hpp"
 #include "dns/record.hpp"
+#include "dns/replay.hpp"
 #include "dns/vantage.hpp"
 
 namespace botmeter::dns {
@@ -25,6 +28,19 @@ class LocalResolver {
   /// locally (invisible upstream); misses are recorded at the vantage point,
   /// resolved authoritatively, and cached.
   Rcode resolve(TimePoint t, const std::string& domain);
+
+  /// Batch-replay variant of resolve() with identical outcomes: the cache
+  /// entry is reached through `slot` (looked up at most once per
+  /// (session, domain), then reused — no per-query hashing), and a border
+  /// miss is appended to `sink` tagged with `query_index` instead of going
+  /// to the vantage point, so per-shard workers can be merged back into
+  /// canonical order (see dns/replay.hpp). `shard` must be
+  /// DnsCache::shard_of(domain); concurrent calls are safe iff their shards
+  /// differ.
+  Rcode resolve_slotted(TimePoint t, const std::string& domain,
+                        std::uint32_t pool_position, std::size_t shard,
+                        DnsCache::Entry*& slot, std::size_t query_index,
+                        std::vector<ReplayMiss>& sink);
 
   [[nodiscard]] ServerId id() const { return id_; }
   [[nodiscard]] const DnsCache& cache() const { return cache_; }

@@ -62,4 +62,43 @@ void TieredNetwork::evict_expired(TimePoint now) {
   for (auto& cache : regional_caches_) cache.evict_expired(now);
 }
 
+Rcode TieredNetwork::Replay::resolve(TimePoint t, ServerId route,
+                                     std::uint32_t pos, std::size_t shard,
+                                     std::size_t query_index,
+                                     std::vector<ReplayMiss>& sink) {
+  const std::string& domain = (*domains_)[pos];
+  const ServerId local = route;
+  if (local.value() >= net_->local_count()) {
+    throw ConfigError("TieredNetwork::resolve: unknown local server id");
+  }
+  DnsCache::Shard& local_shard =
+      net_->local_caches_[local.value()].shard(shard);
+  DnsCache::Entry*& local_slot =
+      local_slots_[static_cast<std::size_t>(pos) * net_->local_count() +
+                   local.value()];
+  if (local_slot == nullptr) local_slot = local_shard.slot(domain);
+  if (auto cached = local_shard.lookup_slot(*local_slot, t)) return *cached;
+
+  const ServerId regional = net_->regional_for_local(local);
+  DnsCache::Shard& regional_shard =
+      net_->regional_caches_[regional.value()].shard(shard);
+  DnsCache::Entry*& regional_slot =
+      regional_slots_[static_cast<std::size_t>(pos) * net_->regional_count() +
+                      regional.value()];
+  if (regional_slot == nullptr) regional_slot = regional_shard.slot(domain);
+  if (auto cached = regional_shard.lookup_slot(*regional_slot, t)) {
+    DnsCache::Shard::insert_slot(*local_slot, *cached, t,
+                                 net_->local_ttl_.for_rcode(*cached));
+    return *cached;
+  }
+
+  sink.push_back(ReplayMiss{query_index, t, regional, pos});
+  const Rcode answer = net_->authority_.resolve(domain, t);
+  DnsCache::Shard::insert_slot(*regional_slot, answer, t,
+                               net_->regional_ttl_.for_rcode(answer));
+  DnsCache::Shard::insert_slot(*local_slot, answer, t,
+                               net_->local_ttl_.for_rcode(answer));
+  return answer;
+}
+
 }  // namespace botmeter::dns

@@ -27,6 +27,7 @@
 #include "dns/cache.hpp"
 #include "dns/ids.hpp"
 #include "dns/record.hpp"
+#include "dns/replay.hpp"
 #include "dns/vantage.hpp"
 
 namespace botmeter::dns {
@@ -54,11 +55,48 @@ class TieredNetwork {
   [[nodiscard]] ServerId local_for_client(ClientId client) const;
   [[nodiscard]] ServerId regional_for_local(ServerId local) const;
 
+  /// The forwarder id the border attributes this client's misses to — its
+  /// regional resolver. Mirrors Network::server_for_client so the shared
+  /// simulation core can chart both topologies uniformly.
+  [[nodiscard]] ServerId server_for_client(ClientId client) const {
+    return regional_for_local(local_for_client(client));
+  }
+
+  /// The resolver whose cache serves this client first — its *local* server.
+  /// The batch replay routes by this id and derives the regional tier from
+  /// it; callers precompute it once per client.
+  [[nodiscard]] ServerId route_for_client(ClientId client) const {
+    return local_for_client(client);
+  }
+
   /// Resolve through both cache tiers; only a miss at both reaches the
   /// border, recorded with the *regional* server as forwarder.
   Rcode resolve(TimePoint t, ClientId client, const std::string& domain);
 
   void evict_expired(TimePoint now);
+
+  /// Batch-replay session; see Network::Replay for the contract. Both tiers'
+  /// state for a domain lives in the same cache shard, so the shard
+  /// partition keeps concurrent workers disjoint across the whole hierarchy.
+  class Replay {
+   public:
+    Replay(TieredNetwork& net, const std::vector<std::string>& domains)
+        : net_(&net),
+          domains_(&domains),
+          local_slots_(domains.size() * net.local_count(), nullptr),
+          regional_slots_(domains.size() * net.regional_count(), nullptr) {}
+
+    /// `route` is the client's local server as returned by route_for_client.
+    Rcode resolve(TimePoint t, ServerId route, std::uint32_t pos,
+                  std::size_t shard, std::size_t query_index,
+                  std::vector<ReplayMiss>& sink);
+
+   private:
+    TieredNetwork* net_;
+    const std::vector<std::string>* domains_;
+    std::vector<DnsCache::Entry*> local_slots_;
+    std::vector<DnsCache::Entry*> regional_slots_;
+  };
 
  private:
   AuthoritativeRegistry authority_;

@@ -39,15 +39,64 @@ class Network {
   /// assignment can model (e.g. a skewed infection landscape).
   [[nodiscard]] ServerId server_for_client(ClientId client) const;
 
+  /// The resolver whose cache serves this client — the id the batch replay
+  /// routes queries by. For the flat topology this is simply the client's
+  /// local server (in the tiered topology it is too, with the regional tier
+  /// derived from it).
+  [[nodiscard]] ServerId route_for_client(ClientId client) const {
+    return server_for_client(client);
+  }
+
   /// Override the placement. The function must return an id below
   /// server_count() for every client it will see; out-of-range results are
-  /// rejected at resolve time.
+  /// rejected at resolve time. It must be a pure function of the client id —
+  /// the parallel batch replay calls it from concurrent workers.
   void set_client_assignment(std::function<ServerId(ClientId)> assignment);
 
   /// Resolve on behalf of `client` at time `t` through its local server.
   Rcode resolve(TimePoint t, ClientId client, const std::string& domain);
 
   void evict_expired(TimePoint now);
+
+  /// Batch-replay session over one epoch's domain pool (positions index into
+  /// `domains`). Outcomes are identical to calling Network::resolve() in
+  /// query order; the differences are purely mechanical: per-(server, domain)
+  /// cache slots are resolved once and then reused (no per-query string
+  /// hashing), and border misses are collected into the caller's per-shard
+  /// sinks for a later order-restoring merge (dns/replay.hpp). Concurrent
+  /// resolve() calls are safe provided each worker only passes positions
+  /// whose domain falls in its own cache shard (DnsCache::shard_of).
+  class Replay {
+   public:
+    /// `net` and `domains` must outlive the session; the session must be
+    /// dropped before anything erases cache entries (evict_expired/clear).
+    Replay(Network& net, const std::vector<std::string>& domains)
+        : net_(&net),
+          domains_(&domains),
+          slots_(domains.size() * net.server_count(), nullptr) {}
+
+    /// `route` is the client's resolver as returned by route_for_client —
+    /// precomputed by the caller once per client rather than per query.
+    Rcode resolve(TimePoint t, ServerId route, std::uint32_t pos,
+                  std::size_t shard, std::size_t query_index,
+                  std::vector<ReplayMiss>& sink) {
+      const std::size_t server_count = net_->resolvers_.size();
+      if (route.value() >= server_count) {
+        throw ConfigError("Network::resolver: unknown server id");
+      }
+      // Pos-major layout: a position belongs to exactly one domain shard, so
+      // concurrent workers touch disjoint rows.
+      DnsCache::Entry*& slot =
+          slots_[static_cast<std::size_t>(pos) * server_count + route.value()];
+      return net_->resolvers_[route.value()].resolve_slotted(
+          t, (*domains_)[pos], pos, shard, slot, query_index, sink);
+    }
+
+   private:
+    Network* net_;
+    const std::vector<std::string>* domains_;
+    std::vector<DnsCache::Entry*> slots_;
+  };
 
  private:
   AuthoritativeRegistry authority_;

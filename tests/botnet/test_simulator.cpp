@@ -171,6 +171,66 @@ TEST(SimulatorTest, TimestampGranularityApplied) {
   }
 }
 
+// The acceptance gate for the parallel engine: the same seed must produce a
+// bit-identical SimulationResult whether the epochs run on one thread or
+// many. Covers the raw trace, the vantage stream, and the truth counters.
+TEST(SimulatorTest, WorkerThreadCountDoesNotChangeResult) {
+  SimulationConfig config = small_config();
+  config.bot_count = 64;
+  config.server_count = 3;
+  config.epoch_count = 2;
+  config.worker_threads = 1;
+  const auto baseline = simulate(config);
+  for (std::size_t threads : {2u, 8u}) {
+    config.worker_threads = threads;
+    const auto result = simulate(config);
+    EXPECT_EQ(result.raw, baseline.raw) << "threads=" << threads;
+    EXPECT_EQ(result.observable, baseline.observable) << "threads=" << threads;
+    EXPECT_EQ(result.truth, baseline.truth) << "threads=" << threads;
+  }
+}
+
+TEST(SimulatorTest, WorkerThreadCountDoesNotChangeDynamicModelResult) {
+  SimulationConfig config = small_config();
+  config.bot_count = 64;
+  config.epoch_count = 2;
+  config.activation.model = RateModel::kDynamic;
+  config.worker_threads = 1;
+  const auto baseline = simulate(config);
+  config.worker_threads = 8;
+  const auto result = simulate(config);
+  EXPECT_EQ(result.raw, baseline.raw);
+  EXPECT_EQ(result.observable, baseline.observable);
+  EXPECT_EQ(result.truth, baseline.truth);
+}
+
+TEST(SimulatorTest, WorkerThreadCountDoesNotChangeTieredResult) {
+  TieredSimulationConfig config;
+  config.base = small_config();
+  config.base.bot_count = 64;
+  config.base.server_count = 4;
+  config.base.epoch_count = 2;
+  config.regional_count = 2;
+  auto pool_model = dga::make_pool_model(config.base.dga);
+  config.base.worker_threads = 1;
+  const auto baseline = simulate_tiered(config, *pool_model);
+  config.base.worker_threads = 8;
+  const auto result = simulate_tiered(config, *pool_model);
+  EXPECT_EQ(result.raw, baseline.raw);
+  EXPECT_EQ(result.observable, baseline.observable);
+  EXPECT_EQ(result.truth, baseline.truth);
+}
+
+TEST(SimulatorTest, WorkerThreadsZeroUsesHardwareConcurrency) {
+  SimulationConfig config = small_config();
+  config.worker_threads = 1;
+  const auto baseline = simulate(config);
+  config.worker_threads = 0;  // auto-detect
+  const auto result = simulate(config);
+  EXPECT_EQ(result.raw, baseline.raw);
+  EXPECT_EQ(result.observable, baseline.observable);
+}
+
 TEST(SimulatorTest, InvalidConfigRejected) {
   SimulationConfig config = small_config();
   config.bot_count = 0;

@@ -1,0 +1,67 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace botmeter {
+namespace {
+
+TEST(WorkerPoolTest, RunsEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    WorkerPool pool(threads);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(WorkerPoolTest, ZeroThreadsAutoDetects) {
+  WorkerPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(WorkerPoolTest, EmptyRangeIsANoop) {
+  WorkerPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(WorkerPoolTest, ReusableAcrossCalls) {
+  WorkerPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::atomic<int>> hits(64);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    const int total = std::accumulate(
+        hits.begin(), hits.end(), 0,
+        [](int acc, const std::atomic<int>& h) { return acc + h.load(); });
+    EXPECT_EQ(total, 64);
+  }
+}
+
+TEST(WorkerPoolTest, PropagatesFirstException) {
+  WorkerPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 42) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool survives the failed batch.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace botmeter

@@ -185,6 +185,49 @@ TEST(RngTest, ForkDecorrelates) {
   EXPECT_LT(equal, 3);
 }
 
+TEST(StreamSeedTest, DistinctAcrossEpochAndBotGrid) {
+  // The old packing (epoch << 20 | bot) aliased whenever bot >= 2^20 and
+  // sign-extended negative epochs. The chained-mix split must give every
+  // (epoch, bot) pair its own stream, including bot ids above 2^20 and
+  // negative epochs.
+  const std::uint64_t root = 99;
+  const std::int64_t epochs[] = {-3, -1, 0, 1, 2, 1000};
+  const std::uint64_t bots[] = {0,        1,         2,         (1u << 20) - 1,
+                                1u << 20, 1u << 21,  (1u << 22) | 5,
+                                0xFFFFFFFFull};
+  std::set<std::uint64_t> seeds;
+  for (std::int64_t e : epochs) {
+    for (std::uint64_t b : bots) {
+      seeds.insert(stream_seed(root, static_cast<std::uint64_t>(e), b));
+    }
+  }
+  EXPECT_EQ(seeds.size(), std::size(epochs) * std::size(bots));
+}
+
+TEST(StreamSeedTest, OldPackingAliasesAreNowDistinct) {
+  // (epoch=1, bot=0) and (epoch=0, bot=2^20) collided under the old scheme.
+  EXPECT_NE(stream_seed(7, 1, 0), stream_seed(7, 0, 1u << 20));
+  // Stream splitting is sensitive to the root seed and argument order.
+  EXPECT_NE(stream_seed(7, 1, 2), stream_seed(8, 1, 2));
+  EXPECT_NE(stream_seed(7, 1, 2), stream_seed(7, 2, 1));
+}
+
+TEST(StreamSeedTest, RngStreamMatchesStreamSeed) {
+  Rng direct{stream_seed(5, 10, 20)};
+  Rng named = Rng::stream(5, 10, 20);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(direct.next(), named.next());
+}
+
+TEST(StreamSeedTest, StreamsAreDecorrelated) {
+  Rng a = Rng::stream(5, 0, 0);
+  Rng b = Rng::stream(5, 0, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
 TEST(Mix64Test, DeterministicAndSpreading) {
   EXPECT_EQ(mix64(123), mix64(123));
   EXPECT_NE(mix64(123), mix64(124));
