@@ -13,6 +13,8 @@
 #include "dga/families.hpp"
 #include "dns/cache.hpp"
 #include "estimators/bernoulli.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -122,6 +124,29 @@ void BM_EpochSimulation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EpochSimulation)->Arg(16)->Arg(64)->Arg(256);
+
+// BM_EpochSimulation with a live metrics registry and trace session
+// attached — the observability overhead guard. The instrumented run must
+// stay within a few percent of the plain one (the per-epoch bulk flush is
+// the only added work on the hot path).
+void BM_EpochSimulationInstrumented(benchmark::State& state) {
+  botnet::SimulationConfig config;
+  config.dga = dga::murofet_config();
+  config.bot_count = static_cast<std::uint32_t>(state.range(0));
+  config.record_raw = false;
+  obs::MetricsRegistry metrics;
+  obs::TraceSession trace;
+  config.metrics = &metrics;
+  config.trace = &trace;
+  auto pool_model = dga::make_pool_model(config.dga);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(botnet::simulate(config, *pool_model));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EpochSimulationInstrumented)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_EpochSimulationThreaded(benchmark::State& state) {
   botnet::SimulationConfig config;

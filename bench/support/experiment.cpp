@@ -8,7 +8,35 @@
 
 namespace botmeter::bench {
 
+namespace {
+
+/// Prints the accumulated phase table to stderr when the process exits —
+/// registered lazily so benches that never run a scenario stay silent.
+struct PhaseTablePrinter {
+  ~PhaseTablePrinter() {
+    const std::string table = obs::format_phase_table(bench_trace());
+    if (!table.empty()) {
+      std::fprintf(stderr, "# stage timing (wall ms)\n%s", table.c_str());
+    }
+  }
+};
+
+}  // namespace
+
+obs::MetricsRegistry& bench_metrics() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+
+obs::TraceSession& bench_trace() {
+  static obs::TraceSession session;
+  static PhaseTablePrinter printer;
+  return session;
+}
+
 ScenarioRun::ScenarioRun(Scenario scenario) : scenario_(std::move(scenario)) {
+  if (scenario_.sim.metrics == nullptr) scenario_.sim.metrics = &bench_metrics();
+  if (scenario_.sim.trace == nullptr) scenario_.sim.trace = &bench_trace();
   pool_model_ = dga::make_pool_model(scenario_.sim.dga);
   result_ = botnet::simulate(scenario_.sim, *pool_model_);
 
@@ -24,7 +52,19 @@ ScenarioRun::ScenarioRun(Scenario scenario) : scenario_(std::move(scenario)) {
     matcher.add_epoch(pool, windows_.back());
   }
 
-  const detect::MatchedStreams matched = matcher.match(result_.observable);
+  obs::ScopedTimer match_timer(scenario_.sim.trace, "bench.match");
+  detect::MatchStats match_stats;
+  const detect::MatchedStreams matched =
+      matcher.match(result_.observable, &match_stats);
+  match_timer.stop();
+  if (scenario_.sim.metrics != nullptr) {
+    scenario_.sim.metrics->counter("bench.matcher.stream")
+        .add(match_stats.stream_size);
+    scenario_.sim.metrics->counter("bench.matcher.matched")
+        .add(match_stats.matched);
+    scenario_.sim.metrics->counter("bench.matcher.unmatched")
+        .add(match_stats.unmatched);
+  }
   static const std::vector<detect::MatchedLookup> kEmpty;
   for (std::int64_t e = first; e < first + count; ++e) {
     estimators::EpochObservation obs;
@@ -49,7 +89,9 @@ double ScenarioRun::mean_truth() const {
 
 double scenario_are(const estimators::Estimator& estimator,
                     const ScenarioRun& run) {
-  const double estimate = estimators::estimate_window(estimator, run.observations());
+  obs::ScopedTimer timer(&bench_trace(), "bench.estimate");
+  const double estimate = estimators::estimate_window(
+      estimator, run.observations(), &bench_metrics());
   return absolute_relative_error(estimate, run.mean_truth());
 }
 

@@ -17,8 +17,18 @@
 #include "detect/detection_window.hpp"
 #include "dga/pool.hpp"
 #include "estimators/estimator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace botmeter::bench {
+
+/// Process-wide observability sinks shared by every bench binary: each
+/// ScenarioRun attaches them (unless the scenario already carries its own),
+/// so every regenerated figure gets per-stage wall times for free. The
+/// harness prints the phase table to stderr at process exit when any span
+/// was recorded.
+[[nodiscard]] obs::MetricsRegistry& bench_metrics();
+[[nodiscard]] obs::TraceSession& bench_trace();
 
 struct Scenario {
   botnet::SimulationConfig sim;

@@ -10,6 +10,8 @@
 #include "common/parallel.hpp"
 #include "dns/replay.hpp"
 #include "dns/tiered.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace botmeter::botnet {
 
@@ -151,15 +153,34 @@ void merge_into_buckets(const std::vector<std::vector<PendingQuery>>& runs,
   }
 }
 
+/// Per-tier cache accounting, uniform across the two topologies so the
+/// shared epoch loop can chart both. Tier names become metric name segments
+/// ("sim.cache.local.hits", "sim.cache.regional.hits").
+struct TierStats {
+  const char* tier;
+  dns::CacheStats stats;
+};
+
+std::vector<TierStats> cache_tier_stats(const dns::Network& network) {
+  return {TierStats{"local", network.cache_stats()}};
+}
+
+std::vector<TierStats> cache_tier_stats(const dns::TieredNetwork& network) {
+  return {TierStats{"local", network.local_cache_stats()},
+          TierStats{"regional", network.regional_cache_stats()}};
+}
+
 template <typename NetworkT>
-void register_epoch_domains(const SimulationConfig& config,
-                            dga::QueryPoolModel& pool_model, NetworkT& network,
-                            bool takedown, Duration live_span) {
+std::size_t register_epoch_domains(const SimulationConfig& config,
+                                   dga::QueryPoolModel& pool_model,
+                                   NetworkT& network, bool takedown,
+                                   Duration live_span) {
   const Duration epoch_len = config.dga.epoch;
   // Keep registrations alive slightly past the epoch so activation trains
   // spilling over the boundary still resolve consistently (the botmaster
   // does not tear servers down at midnight sharp).
   const Duration registration_slack = hours(1);
+  std::size_t registered = 0;
   for (std::int64_t e = config.first_epoch;
        e < config.first_epoch + config.epoch_count; ++e) {
     const dga::EpochPool& pool = pool_model.epoch_pool(e);
@@ -168,8 +189,10 @@ void register_epoch_domains(const SimulationConfig& config,
         takedown ? start + live_span : start + epoch_len + registration_slack;
     for (std::uint32_t pos : pool.valid_positions) {
       network.authority().register_domain(pool.domains[pos], start, until);
+      ++registered;
     }
   }
+  return registered;
 }
 
 /// The epoch-loop core shared by the flat and tiered topologies. Per epoch:
@@ -189,7 +212,21 @@ SimulationResult run_simulation(const SimulationConfig& config,
   // (sinkholing), so bots querying a C2 domain afterwards receive NXDOMAIN.
   const Duration live_span{static_cast<std::int64_t>(
       static_cast<double>(epoch_len.millis()) * config.takedown_after_fraction)};
-  register_epoch_domains(config, pool_model, network, takedown, live_span);
+
+  obs::MetricsRegistry* const metrics = config.metrics;
+  obs::TraceSession* const trace = config.trace;
+
+  std::size_t registered = 0;
+  {
+    // Covers pool construction for every epoch (lazy in epoch_pool) plus
+    // the authoritative registrations.
+    obs::ScopedTimer timer(trace, "sim.register_domains");
+    registered =
+        register_epoch_domains(config, pool_model, network, takedown, live_span);
+  }
+  if (metrics != nullptr) {
+    metrics->counter("sim.authority.registered_domains").add(registered);
+  }
 
   WorkerPool workers(config.worker_threads);
   const bool per_bot_arrivals = config.activation.model == RateModel::kConstant;
@@ -219,8 +256,14 @@ SimulationResult run_simulation(const SimulationConfig& config,
   SimulationResult result;
   result.truth.reserve(static_cast<std::size_t>(config.epoch_count));
 
+  // Per-tier cumulative cache stats at the previous epoch boundary, so each
+  // epoch's metrics are deltas rather than running totals.
+  std::vector<TierStats> prev_tiers;
+  if (metrics != nullptr) prev_tiers = cache_tier_stats(network);
+
   for (std::int64_t e = config.first_epoch;
        e < config.first_epoch + config.epoch_count; ++e) {
+    obs::ScopedTimer epoch_timer(trace, "sim.epoch");
     const dga::EpochPool& pool = pool_model.epoch_pool(e);
     const TimePoint epoch_start{e * epoch_len.millis()};
     std::optional<TimePoint> c2_down_after;
@@ -265,6 +308,7 @@ SimulationResult run_simulation(const SimulationConfig& config,
     };
     const std::size_t n_chunks = chunk_count_for(active_count);
     std::vector<ChunkOutput> chunk_out(n_chunks);
+    obs::ScopedTimer generate_timer(trace, "sim.generate");
     workers.parallel_for(n_chunks, [&](std::size_t c) {
       const auto [lo, hi] = chunk_bounds(active_count, n_chunks, c);
       ChunkOutput& out = chunk_out[c];
@@ -293,7 +337,9 @@ SimulationResult run_simulation(const SimulationConfig& config,
       }
       merge_chunk_runs(out.queries, std::move(bounds));
     });
+    generate_timer.stop();
 
+    obs::ScopedTimer merge_timer(trace, "sim.merge");
     EpochTruth truth;
     truth.epoch = e;
     truth.total_active = static_cast<std::uint32_t>(active_count);
@@ -336,6 +382,7 @@ SimulationResult run_simulation(const SimulationConfig& config,
       merge_into_buckets(runs, shard_of_pos, next_slot, bucketed);
     }
     runs.clear();
+    merge_timer.stop();
 
     // Sharded cache/vantage replay: each worker replays one shard's
     // subsequence in stream order — every piece of cache state it touches,
@@ -345,6 +392,7 @@ SimulationResult run_simulation(const SimulationConfig& config,
     const std::size_t raw_base = result.raw.size();
     if (record_raw) result.raw.resize(raw_base + n_queries);
     std::vector<std::vector<dns::ReplayMiss>> miss_sinks(kShards);
+    obs::ScopedTimer replay_timer(trace, "sim.replay");
     {
       typename NetworkT::Replay replay(network, pool.domains);
       workers.parallel_for(kShards, [&](std::size_t s) {
@@ -362,10 +410,73 @@ SimulationResult run_simulation(const SimulationConfig& config,
         }
       });
     }
-    dns::merge_misses(network.vantage(), pool.domains, miss_sinks);
+    replay_timer.stop();
+
+    // Per-server forwarded-lookup tally, summed over the shard sinks in
+    // fixed shard order — thread-count independent. Must happen before
+    // merge_misses drains the sinks.
+    std::vector<std::uint64_t> forwarded_per_server;
+    if (metrics != nullptr) {
+      forwarded_per_server.assign(truth_server_count, 0);
+      for (const std::vector<dns::ReplayMiss>& sink : miss_sinks) {
+        for (const dns::ReplayMiss& miss : sink) {
+          ++forwarded_per_server[miss.forwarder.value()];
+        }
+      }
+    }
+    {
+      obs::ScopedTimer timer(trace, "sim.vantage_merge");
+      dns::merge_misses(network.vantage(), pool.domains, miss_sinks);
+    }
 
     result.truth.push_back(std::move(truth));
     network.evict_expired(epoch_start + epoch_len);
+
+    // Bulk metrics flush for the epoch, from the serial section: every value
+    // below is a deterministic function of the simulation state, so counter
+    // totals are bit-identical across worker_threads and metrics on/off
+    // never perturbs the results.
+    if (metrics != nullptr) {
+      const std::string epoch_label = "epoch_" + std::to_string(e);
+      metrics->counter("sim.epochs").add(1);
+      metrics->counter("sim.queries").add(n_queries);
+      metrics->counter("sim.queries.per_epoch", epoch_label).add(n_queries);
+      metrics->counter("sim.active_bots").add(active_count);
+      metrics->counter("sim.active_bots.per_epoch", epoch_label)
+          .add(active_count);
+      static constexpr double kEpochQueryBounds[] = {1e2, 1e3, 1e4, 1e5, 1e6};
+      metrics->histogram("sim.epoch_queries", kEpochQueryBounds)
+          .observe(static_cast<double>(n_queries));
+
+      std::uint64_t forwarded_total = 0;
+      for (std::size_t s = 0; s < forwarded_per_server.size(); ++s) {
+        forwarded_total += forwarded_per_server[s];
+        metrics->counter("sim.vantage.forwarded.per_server",
+                         "server_" + std::to_string(s))
+            .add(forwarded_per_server[s]);
+      }
+      metrics->counter("sim.vantage.forwarded").add(forwarded_total);
+      metrics->counter("sim.vantage.forwarded.per_epoch", epoch_label)
+          .add(forwarded_total);
+
+      const std::vector<TierStats> tiers = cache_tier_stats(network);
+      for (std::size_t i = 0; i < tiers.size(); ++i) {
+        const dns::CacheStats delta = tiers[i].stats.since(prev_tiers[i].stats);
+        const std::string base = std::string("sim.cache.") + tiers[i].tier;
+        metrics->counter(base + ".hits").add(delta.hits);
+        metrics->counter(base + ".hits.per_epoch", epoch_label)
+            .add(delta.hits);
+        metrics->counter(base + ".misses").add(delta.misses);
+        metrics->counter(base + ".misses.per_epoch", epoch_label)
+            .add(delta.misses);
+        metrics->counter(base + ".evictions").add(delta.evictions);
+        metrics->counter(base + ".evictions.per_epoch", epoch_label)
+            .add(delta.evictions);
+        metrics->gauge(base + ".entries.per_epoch", epoch_label)
+            .set(static_cast<double>(delta.entries));
+      }
+      prev_tiers = tiers;
+    }
   }
 
   result.observable = network.vantage().take();

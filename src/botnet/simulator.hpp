@@ -30,6 +30,11 @@
 #include "dns/topology.hpp"
 #include "dns/vantage.hpp"
 
+namespace botmeter::obs {
+class MetricsRegistry;
+class TraceSession;
+}  // namespace botmeter::obs
+
 namespace botmeter::botnet {
 
 /// One line of the raw dataset (§V-B): client identity is visible here.
@@ -74,6 +79,16 @@ struct SimulationConfig {
   /// Optional client placement override (default: round-robin). Lets
   /// scenarios skew the infection landscape across local servers.
   std::function<dns::ServerId(dns::ClientId)> client_assignment;
+
+  /// Optional observability sinks (see src/obs/). With both null the run
+  /// pays nothing — not even a clock read. Attaching them never changes the
+  /// SimulationResult: every recorded quantity is derived from values the
+  /// simulation computes anyway, flushed in bulk from the serial section of
+  /// each epoch, so counter totals are also bit-identical across
+  /// worker_threads values. Wall times in `trace` are the one
+  /// nondeterministic output, and they feed the run report only.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSession* trace = nullptr;
 
   /// Fraction of each epoch after which the botmaster's registered domains
   /// are taken down (sinkholed). 1.0 = live all epoch; e.g. 0.5 takes every

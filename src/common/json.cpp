@@ -3,6 +3,8 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 
 namespace botmeter::json {
 
@@ -255,8 +257,133 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
+class Writer {
+ public:
+  explicit Writer(int indent) : indent_(indent) {}
+
+  std::string serialize(const Value& value) {
+    write_value(value, 0);
+    if (indent_ >= 0) out_.push_back('\n');
+    return std::move(out_);
+  }
+
+ private:
+  void write_value(const Value& value, int depth) {
+    if (value.is_null()) {
+      out_ += "null";
+    } else if (value.is_bool()) {
+      out_ += value.as_bool() ? "true" : "false";
+    } else if (value.is_number()) {
+      write_number(value.as_double());
+    } else if (value.is_string()) {
+      write_string(value.as_string());
+    } else if (value.is_array()) {
+      write_array(value.as_array(), depth);
+    } else {
+      write_object(value.as_object(), depth);
+    }
+  }
+
+  void write_number(double d) {
+    if (!std::isfinite(d)) {
+      throw DataError("json: cannot serialize a non-finite number");
+    }
+    char buf[64];
+    // 2^53: below this every integral double has an exact integer spelling,
+    // which reads better than scientific shortest form and parses back to
+    // the same value.
+    constexpr double kExactIntLimit = 9007199254740992.0;
+    if (d == std::floor(d) && std::abs(d) < kExactIntLimit) {
+      const auto [ptr, ec] =
+          std::to_chars(buf, buf + sizeof(buf), static_cast<std::int64_t>(d));
+      out_.append(buf, ptr);
+      return;
+    }
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+    out_.append(buf, ptr);
+  }
+
+  void write_string(std::string_view s) {
+    out_.push_back('"');
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\b': out_ += "\\b"; break;
+        case '\f': out_ += "\\f"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_.push_back(c);
+          }
+      }
+    }
+    out_.push_back('"');
+  }
+
+  void write_array(const Array& array, int depth) {
+    if (array.empty()) {
+      out_ += "[]";
+      return;
+    }
+    out_.push_back('[');
+    bool first = true;
+    for (const Value& element : array) {
+      if (!first) out_.push_back(',');
+      first = false;
+      newline_indent(depth + 1);
+      write_value(element, depth + 1);
+    }
+    newline_indent(depth);
+    out_.push_back(']');
+  }
+
+  void write_object(const Object& object, int depth) {
+    if (object.empty()) {
+      out_ += "{}";
+      return;
+    }
+    out_.push_back('{');
+    bool first = true;
+    for (const auto& [key, element] : object) {
+      if (!first) out_.push_back(',');
+      first = false;
+      newline_indent(depth + 1);
+      write_string(key);
+      out_.push_back(':');
+      if (indent_ >= 0) out_.push_back(' ');
+      write_value(element, depth + 1);
+    }
+    newline_indent(depth);
+    out_.push_back('}');
+  }
+
+  void newline_indent(int depth) {
+    if (indent_ < 0) return;
+    out_.push_back('\n');
+    out_.append(static_cast<std::size_t>(depth * indent_), ' ');
+  }
+
+  int indent_;
+  std::string out_;
+};
+
 }  // namespace
 
 Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::string write(const Value& value) { return Writer(-1).serialize(value); }
+
+std::string write_pretty(const Value& value, int indent) {
+  if (indent < 0) indent = 0;
+  return Writer(indent).serialize(value);
+}
 
 }  // namespace botmeter::json

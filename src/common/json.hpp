@@ -1,9 +1,11 @@
-// A minimal, dependency-free JSON reader.
+// A minimal, dependency-free JSON reader and writer.
 //
-// Just enough JSON for BotMeter's configuration files: objects, arrays,
-// strings (with the standard escapes), numbers, booleans, null. Parse errors
-// carry line/column positions. This is a *reader* — configs are written by
-// humans — so there is no serializer.
+// Just enough JSON for BotMeter's configuration files and run reports:
+// objects, arrays, strings (with the standard escapes), numbers, booleans,
+// null. Parse errors carry line/column positions. The writer is
+// deterministic and byte-stable: object keys serialize in sorted order
+// (Object is a std::map) and numbers use the shortest round-trip
+// representation, so write(parse(write(v))) == write(v).
 #pragma once
 
 #include <cstdint>
@@ -62,5 +64,16 @@ class Value {
 /// Parse a complete JSON document; trailing non-whitespace is an error.
 /// Throws DataError with "line L, column C" context on malformed input.
 [[nodiscard]] Value parse(std::string_view text);
+
+/// Serialize compactly (no whitespace). Numbers that hold an integral value
+/// within the exactly-representable double range print as integers ("42",
+/// not "42.0"); everything else uses the shortest representation that
+/// round-trips through parse(). Non-finite numbers throw DataError — JSON
+/// cannot represent them.
+[[nodiscard]] std::string write(const Value& value);
+
+/// Pretty serializer: `indent` spaces per nesting level, one member per
+/// line, newline-terminated. Same number/key determinism as write().
+[[nodiscard]] std::string write_pretty(const Value& value, int indent = 2);
 
 }  // namespace botmeter::json

@@ -53,14 +53,24 @@ double RunningStats::max() const {
 
 double percentile(std::span<const double> values, double p) {
   if (values.empty()) throw DataError("percentile: empty sample");
-  if (p < 0.0 || p > 100.0) throw ConfigError("percentile: p out of [0,100]");
+  // The negated comparison also rejects NaN (every comparison with NaN is
+  // false), which the naive `p < 0 || p > 100` check silently accepted and
+  // then fed through an undefined float-to-integer cast.
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw ConfigError("percentile: p out of [0,100]");
+  }
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();
-  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const auto max_rank = static_cast<double>(sorted.size() - 1);
+  // Clamp: floating-point rounding of p/100*(n-1) must never push the index
+  // outside [0, n-1], and p == 0 / p == 100 must hit min/max exactly.
+  const double rank = std::clamp(p / 100.0 * max_rank, 0.0, max_rank);
+  const auto lo = std::min(static_cast<std::size_t>(rank), sorted.size() - 2);
+  const std::size_t hi = lo + 1;
   const double frac = rank - static_cast<double>(lo);
+  if (frac <= 0.0) return sorted[lo];
+  if (frac >= 1.0) return sorted[hi];
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 

@@ -5,6 +5,8 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "estimators/observation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace botmeter::core {
 
@@ -73,8 +75,27 @@ LandscapeReport BotMeter::analyze(std::span<const dns::ForwardedLookup> stream,
     throw ConfigError("BotMeter::analyze: server_count must be > 0");
   }
 
-  const detect::MatchedStreams matched = matcher_->match(stream);
+  obs::MetricsRegistry* const metrics = config_.metrics;
+  obs::TraceSession* const trace = config_.trace;
+
+  obs::ScopedTimer match_timer(trace, "analyze.match");
+  detect::MatchStats match_stats;
+  const detect::MatchedStreams matched =
+      matcher_->match(stream, metrics != nullptr ? &match_stats : nullptr);
+  match_timer.stop();
+  if (metrics != nullptr) {
+    metrics->counter("analyze.matcher.stream").add(match_stats.stream_size);
+    metrics->counter("analyze.matcher.matched").add(match_stats.matched);
+    metrics->counter("analyze.matcher.unmatched").add(match_stats.unmatched);
+    metrics->counter("analyze.matcher.valid_domain")
+        .add(match_stats.valid_domain);
+    metrics->counter("analyze.matcher.nxd").add(match_stats.nxd);
+    metrics->counter("analyze.servers").add(server_count);
+    metrics->counter("analyze.epochs").add(prepared_epochs_.size());
+  }
+
   const estimators::Estimator& estimator = active_estimator();
+  obs::ScopedTimer estimate_timer(trace, "analyze.estimate");
 
   LandscapeReport report;
   report.estimator_name = std::string(estimator.name());
@@ -125,7 +146,18 @@ LandscapeReport BotMeter::analyze(std::span<const dns::ForwardedLookup> stream,
     if (all_intervals) {
       server_estimate.interval90 = {lo_sum / epochs, hi_sum / epochs};
     }
+    if (metrics != nullptr) {
+      const std::string label = "server_" + std::to_string(s);
+      metrics->counter("analyze.matched_lookups.per_server", label)
+          .add(server_estimate.matched_lookups);
+      metrics->gauge("analyze.population.per_server", label)
+          .set(server_estimate.population);
+    }
     report.servers.push_back(std::move(server_estimate));
+  }
+  estimate_timer.stop();
+  if (metrics != nullptr) {
+    metrics->gauge("analyze.population.total").set(report.total_population());
   }
   return report;
 }

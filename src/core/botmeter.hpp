@@ -23,6 +23,11 @@
 #include "dns/vantage.hpp"
 #include "estimators/library.hpp"
 
+namespace botmeter::obs {
+class MetricsRegistry;
+class TraceSession;
+}  // namespace botmeter::obs
+
 namespace botmeter::core {
 
 struct BotMeterConfig {
@@ -46,6 +51,12 @@ struct BotMeterConfig {
 
   /// Seed for the detection-window sampling.
   std::uint64_t seed = 7;
+
+  /// Optional observability sinks (see src/obs/): matcher tallies,
+  /// estimator inputs/outputs, and per-stage wall times of analyze().
+  /// Null means no-op; attaching them never changes the LandscapeReport.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSession* trace = nullptr;
 
   void validate() const;
 };

@@ -30,11 +30,16 @@ void DomainMatcher::add_epoch(const dga::EpochPool& pool,
 }
 
 MatchedStreams DomainMatcher::match(
-    std::span<const dns::ForwardedLookup> stream) const {
+    std::span<const dns::ForwardedLookup> stream, MatchStats* stats) const {
   MatchedStreams out;
+  if (stats != nullptr) *stats = MatchStats{};
   for (const dns::ForwardedLookup& lookup : stream) {
+    if (stats != nullptr) ++stats->stream_size;
     auto it = index_.find(lookup.domain);
-    if (it == index_.end()) continue;
+    if (it == index_.end()) {
+      if (stats != nullptr) ++stats->unmatched;
+      continue;
+    }
     const std::vector<Occurrence>& occurrences = it->second;
 
     // Attribute the lookup to the pool epoch containing its timestamp when
@@ -57,6 +62,14 @@ MatchedStreams DomainMatcher::match(
       }
     }
 
+    if (stats != nullptr) {
+      ++stats->matched;
+      if (best->is_valid) {
+        ++stats->valid_domain;
+      } else {
+        ++stats->nxd;
+      }
+    }
     out[StreamKey{lookup.forwarder, best->epoch}].push_back(
         MatchedLookup{lookup.timestamp, best->pool_position, best->is_valid});
   }

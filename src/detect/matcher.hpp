@@ -45,6 +45,19 @@ struct StreamKey {
 /// Matched lookups per (server, epoch), each stream sorted by timestamp.
 using MatchedStreams = std::map<StreamKey, std::vector<MatchedLookup>>;
 
+/// Tallies of one match() pass (observability): how much of the vantage
+/// stream the detection window recognised, split by registered C2 vs
+/// detected-NXD hits.
+struct MatchStats {
+  std::uint64_t stream_size = 0;  // lookups examined
+  std::uint64_t matched = 0;      // fell inside a detection window
+  std::uint64_t unmatched = 0;    // benign traffic / missed NXDs
+  std::uint64_t valid_domain = 0; // matched, registered C2 position
+  std::uint64_t nxd = 0;          // matched, detected NXD position
+
+  friend bool operator==(const MatchStats&, const MatchStats&) = default;
+};
+
 class DomainMatcher {
  public:
   /// `epoch_length` maps timestamps to nominal epochs when a domain string
@@ -56,9 +69,13 @@ class DomainMatcher {
   void add_epoch(const dga::EpochPool& pool, const DetectionWindow& window);
 
   /// Match a vantage-point stream. Unmatched lookups (benign traffic,
-  /// missed NXDs) are dropped; `unmatched_count()` reports how many.
+  /// missed NXDs) are dropped; pass `stats` to learn how many.
   [[nodiscard]] MatchedStreams match(
-      std::span<const dns::ForwardedLookup> stream) const;
+      std::span<const dns::ForwardedLookup> stream) const {
+    return match(stream, nullptr);
+  }
+  [[nodiscard]] MatchedStreams match(
+      std::span<const dns::ForwardedLookup> stream, MatchStats* stats) const;
 
   [[nodiscard]] std::uint64_t matchable_domain_count() const {
     return index_size_;

@@ -12,6 +12,7 @@ std::optional<Rcode> DnsCache::lookup(const std::string& domain, TimePoint now) 
   if (now >= it->second.expires_at) {
     s.entries_.erase(it);
     ++s.misses_;
+    ++s.evictions_;
     return std::nullopt;
   }
   ++s.hits_;
@@ -28,6 +29,7 @@ void DnsCache::evict_expired(TimePoint now) {
     for (auto it = s.entries_.begin(); it != s.entries_.end();) {
       if (now >= it->second.expires_at) {
         it = s.entries_.erase(it);
+        ++s.evictions_;
       } else {
         ++it;
       }
@@ -54,6 +56,20 @@ std::uint64_t DnsCache::hits() const {
 std::uint64_t DnsCache::misses() const {
   std::uint64_t total = 0;
   for (const Shard& s : shards_) total += s.misses_;
+  return total;
+}
+
+std::uint64_t DnsCache::evictions() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.evictions_;
+  return total;
+}
+
+CacheStats DnsCache::stats() const {
+  CacheStats total;
+  for (const Shard& s : shards_) {
+    total += CacheStats{s.hits_, s.misses_, s.evictions_, s.entries_.size()};
+  }
   return total;
 }
 

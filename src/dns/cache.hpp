@@ -28,6 +28,33 @@
 
 namespace botmeter::dns {
 
+/// Point-in-time accounting snapshot of a cache (or a sum over several).
+/// hits/misses/evictions are monotonic; `entries` is the live entry count at
+/// snapshot time.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+
+  CacheStats& operator+=(const CacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    entries += o.entries;
+    return *this;
+  }
+
+  /// Delta between two snapshots of the same cache: the monotonic counters
+  /// subtract; `entries` keeps the newer snapshot's live count.
+  [[nodiscard]] CacheStats since(const CacheStats& earlier) const {
+    return CacheStats{hits - earlier.hits, misses - earlier.misses,
+                      evictions - earlier.evictions, entries};
+  }
+
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
+};
+
 class DnsCache {
  public:
   /// A cached answer: what it was and until when it may be served. A
@@ -81,6 +108,7 @@ class DnsCache {
     std::unordered_map<std::string, Entry> entries_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
   };
 
   [[nodiscard]] Shard& shard(std::size_t s) { return shards_[s]; }
@@ -103,6 +131,13 @@ class DnsCache {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
+  /// Entries dropped because their TTL lapsed (the lazy erase in lookup()
+  /// plus evict_expired() sweeps). clear() does not count — it is a reset,
+  /// not an expiry.
+  [[nodiscard]] std::uint64_t evictions() const;
+
+  /// All accounting in one snapshot, summed over the shards.
+  [[nodiscard]] CacheStats stats() const;
 
  private:
   std::array<Shard, kShardCount> shards_;

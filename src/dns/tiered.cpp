@@ -35,6 +35,18 @@ ServerId TieredNetwork::regional_for_local(ServerId local) const {
                   static_cast<std::uint32_t>(regional_caches_.size())};
 }
 
+CacheStats TieredNetwork::local_cache_stats() const {
+  CacheStats total;
+  for (const DnsCache& cache : local_caches_) total += cache.stats();
+  return total;
+}
+
+CacheStats TieredNetwork::regional_cache_stats() const {
+  CacheStats total;
+  for (const DnsCache& cache : regional_caches_) total += cache.stats();
+  return total;
+}
+
 Rcode TieredNetwork::resolve(TimePoint t, ClientId client,
                              const std::string& domain) {
   const ServerId local = local_for_client(client);

@@ -52,6 +52,10 @@ class TieredNetwork {
     return regional_caches_.size();
   }
 
+  /// Per-tier cache accounting (observability), summed over the tier.
+  [[nodiscard]] CacheStats local_cache_stats() const;
+  [[nodiscard]] CacheStats regional_cache_stats() const;
+
   [[nodiscard]] ServerId local_for_client(ClientId client) const;
   [[nodiscard]] ServerId regional_for_local(ServerId local) const;
 

@@ -14,6 +14,12 @@ Network::Network(std::size_t server_count, TtlPolicy ttl,
   }
 }
 
+CacheStats Network::cache_stats() const {
+  CacheStats total;
+  for (const LocalResolver& r : resolvers_) total += r.cache().stats();
+  return total;
+}
+
 LocalResolver& Network::resolver(ServerId id) {
   if (id.value() >= resolvers_.size()) {
     throw ConfigError("Network::resolver: unknown server id");

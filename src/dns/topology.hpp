@@ -34,6 +34,9 @@ class Network {
   [[nodiscard]] std::size_t server_count() const { return resolvers_.size(); }
   [[nodiscard]] LocalResolver& resolver(ServerId id);
 
+  /// Cache accounting summed over every local resolver (observability).
+  [[nodiscard]] CacheStats cache_stats() const;
+
   /// Client placement. Defaults to deterministic round-robin; real
   /// deployments pin each device to the resolver of its site, which a custom
   /// assignment can model (e.g. a skewed infection landscape).

@@ -1,6 +1,9 @@
 #include "estimators/estimator.hpp"
 
+#include <string>
+
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace botmeter::estimators {
 
@@ -26,11 +29,24 @@ void EpochObservation::validate() const {
 }
 
 double estimate_window(const Estimator& estimator,
-                       std::span<const EpochObservation> epochs) {
+                       std::span<const EpochObservation> epochs,
+                       obs::MetricsRegistry* metrics) {
   if (epochs.empty()) throw ConfigError("estimate_window: no epochs");
   double sum = 0.0;
-  for (const EpochObservation& obs : epochs) sum += estimator.estimate(obs);
-  return sum / static_cast<double>(epochs.size());
+  std::uint64_t lookups = 0;
+  for (const EpochObservation& obs : epochs) {
+    sum += estimator.estimate(obs);
+    lookups += obs.lookups.size();
+  }
+  const double value = sum / static_cast<double>(epochs.size());
+  if (metrics != nullptr) {
+    const std::string prefix = "estimator." + std::string(estimator.name());
+    metrics->counter(prefix + ".windows").add(1);
+    metrics->counter(prefix + ".epochs").add(epochs.size());
+    metrics->counter(prefix + ".lookups").add(lookups);
+    metrics->gauge(prefix + ".last_estimate").set(value);
+  }
+  return value;
 }
 
 }  // namespace botmeter::estimators

@@ -9,6 +9,10 @@
 
 #include "estimators/observation.hpp"
 
+namespace botmeter::obs {
+class MetricsRegistry;
+}  // namespace botmeter::obs
+
 namespace botmeter::estimators {
 
 /// A population estimate with an optional confidence interval. Models that
@@ -54,8 +58,11 @@ class Estimator {
 };
 
 /// Multi-epoch observation window (§V-A, Fig. 6(b)): per-epoch estimates are
-/// averaged over the number of epochs.
+/// averaged over the number of epochs. With a non-null `metrics` the call
+/// records its inputs/outputs under `estimator.<name>.*` (windows, epochs,
+/// matched lookups consumed, last window estimate); null is a strict no-op.
 [[nodiscard]] double estimate_window(const Estimator& estimator,
-                                     std::span<const EpochObservation> epochs);
+                                     std::span<const EpochObservation> epochs,
+                                     obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace botmeter::estimators

@@ -1,0 +1,85 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace botmeter::obs {
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()),
+      buckets_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    throw ConfigError("Histogram: at least one upper bound is required");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw ConfigError("Histogram: upper bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double x) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[SeriesKey{std::string(name), std::string(label)}];
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[SeriesKey{std::string(name), std::string(label)}];
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(std::string(name));
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(std::string(name), upper_bounds).first;
+    return it->second;
+  }
+  const std::span<const double> existing = it->second.upper_bounds();
+  if (!std::equal(existing.begin(), existing.end(), upper_bounds.begin(),
+                  upper_bounds.end())) {
+    throw ConfigError("MetricsRegistry: histogram '" + std::string(name) +
+                      "' re-registered with different bounds");
+  }
+  return it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) {
+    snap.counters.push_back(CounterSample{key.first, key.second, counter.value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, gauge] : gauges_) {
+    snap.gauges.push_back(GaugeSample{key.first, key.second, gauge.value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.upper_bounds.assign(hist.upper_bounds().begin(),
+                               hist.upper_bounds().end());
+    sample.counts.reserve(hist.bucket_size());
+    for (std::size_t i = 0; i < hist.bucket_size(); ++i) {
+      sample.counts.push_back(hist.bucket_count(i));
+    }
+    sample.count = hist.count();
+    sample.sum = hist.sum();
+    snap.histograms.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+}  // namespace botmeter::obs

@@ -1,0 +1,161 @@
+// The BotMeter metrics registry: named counters, gauges, and fixed-bucket
+// histograms shared by every pipeline stage (simulator, DNS hierarchy,
+// matcher, estimators).
+//
+// Design constraints, in order:
+//   1. *Optional.* Every instrumentation point in the pipeline takes a
+//      nullable `MetricsRegistry*`; a null registry means no-op — the hot
+//      paths pay a single pointer test per epoch, nothing per query.
+//   2. *Cheap.* Handles (`Counter&`, `Gauge&`, `Histogram&`) are resolved
+//      once (one lock + map lookup) and stay valid for the registry's
+//      lifetime; increments are single relaxed atomic RMWs. Hot loops go
+//      further and tally into plain locals (the simulator's per-chunk /
+//      per-shard accumulators), flushing one bulk `add` per epoch — the
+//      thread-local-shard pattern with the merge done in canonical order.
+//   3. *Deterministic.* Counter and histogram-bucket totals are integer sums,
+//      so they are identical however concurrent adds interleave and however
+//      many workers produced them; `snapshot()` orders every series by
+//      (name, label). The one caveat is `Histogram::sum()`: a floating-point
+//      accumulation whose rounding may depend on add order (documented
+//      there).
+//
+// Series may carry one label value (e.g. the epoch number or a server id),
+// giving per-epoch / per-server breakdowns next to the plain totals; see
+// obs/report.hpp for how families are exported.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace botmeter::obs {
+
+/// Monotonic event count. Concurrent `add`s are safe and, being integer
+/// sums, order-independent: the total is bit-identical for any schedule.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written point-in-time value (e.g. a population estimate, a cache
+/// entry count at epoch end).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `upper_bounds` (strictly increasing) plus an
+/// implicit overflow bucket. An observation lands in the first bucket whose
+/// bound is >= the value. Bucket counts and the observation count are
+/// integer sums (deterministic under concurrency); `sum()` is a
+/// floating-point accumulation whose last-ulp rounding may depend on the
+/// order of concurrent observes.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> upper_bounds);
+
+  void observe(double x) noexcept;
+
+  [[nodiscard]] std::span<const double> upper_bounds() const { return bounds_; }
+  /// `i` in [0, upper_bounds().size()]; the last index is the overflow bucket.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t bucket_size() const { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. References stay valid for the registry's lifetime
+  /// (map nodes are stable); creation takes the registry lock, so resolve
+  /// handles outside per-query loops.
+  Counter& counter(std::string_view name) { return counter(name, {}); }
+  Counter& counter(std::string_view name, std::string_view label);
+  Gauge& gauge(std::string_view name) { return gauge(name, {}); }
+  Gauge& gauge(std::string_view name, std::string_view label);
+  /// Histograms are unlabeled. Re-getting an existing histogram with
+  /// different bounds is a ConfigError.
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> upper_bounds);
+
+  struct CounterSample {
+    std::string name;
+    std::string label;  // empty for plain series
+    std::uint64_t value = 0;
+
+    friend bool operator==(const CounterSample&, const CounterSample&) = default;
+  };
+  struct GaugeSample {
+    std::string name;
+    std::string label;
+    double value = 0.0;
+
+    friend bool operator==(const GaugeSample&, const GaugeSample&) = default;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> counts;  // upper_bounds.size() + 1 (overflow)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+
+    friend bool operator==(const HistogramSample&, const HistogramSample&) = default;
+  };
+
+  /// A consistent-enough copy of every series, sorted by (name, label).
+  /// Values are read with relaxed loads; take the snapshot from a quiescent
+  /// point (between epochs, after a run) for exact totals.
+  struct Snapshot {
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<HistogramSample> histograms;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  using SeriesKey = std::pair<std::string, std::string>;  // (name, label)
+
+  mutable std::mutex mu_;
+  std::map<SeriesKey, Counter> counters_;
+  std::map<SeriesKey, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace botmeter::obs

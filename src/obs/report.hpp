@@ -1,0 +1,71 @@
+// Structured run reports (schema "botmeter.run_report.v1").
+//
+// A run report is one machine-readable JSON document per pipeline run: an
+// echo of the configuration, every metric series from the registry
+// (per-epoch cache hit/miss/eviction counts, per-server forwarded-lookup
+// counts, matcher tallies, estimator inputs/outputs, ...), and the phase
+// tracer's wall-time breakdown. Reports are emitted by the CLI tools
+// (--metrics-out) and by the bench harness next to every regenerated figure.
+//
+// Everything exported here parses back through common/json and re-serializes
+// byte-stably (sorted keys, shortest round-trip numbers) — the format is the
+// stable interface future perf PRs cite.
+//
+// Exported layout:
+//   {
+//     "schema": "botmeter.run_report.v1",
+//     "tool": "<producer>",
+//     "config": { ...caller echo... },
+//     "counters": {
+//       "sim.queries": 123,                       // plain series
+//       "sim.queries.per_epoch": {"0": 60, ...}   // labeled family
+//     },
+//     "gauges": { ... same shape, double values ... },
+//     "histograms": {
+//       "<name>": {"upper_bounds": [...], "counts": [...],  // +overflow
+//                   "count": n, "sum": s}
+//     },
+//     "trace": {
+//       "phases": [{"phase": ..., "count": ..., "total_ms": ...,
+//                   "mean_ms": ..., "min_ms": ..., "p50_ms": ...,
+//                   "max_ms": ...}],
+//       "spans": [{"phase": ..., "ms": ...}]
+//     }
+//   }
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace botmeter::obs {
+
+/// The registry's series as a JSON object with "counters" / "gauges" /
+/// "histograms" members. A metric name with only the unlabeled series maps
+/// to a bare number; a name with labeled series maps to a label -> value
+/// object (an unlabeled series alongside labels appears under "_total").
+[[nodiscard]] json::Value metrics_json(const MetricsRegistry& registry);
+
+/// The tracer's spans and per-phase summary as a JSON object.
+[[nodiscard]] json::Value trace_json(const TraceSession& session);
+
+struct RunReport {
+  std::string tool;                         // producing binary, e.g. "botmeter_simulate"
+  json::Value config;                       // configuration echo (object) or null
+  const MetricsRegistry* metrics = nullptr; // optional
+  const TraceSession* trace = nullptr;      // optional
+};
+
+/// The complete report as a json::Value (callers can extend it before
+/// serialization).
+[[nodiscard]] json::Value report_json(const RunReport& report);
+
+/// Pretty-printed (2-space) serialization of report_json().
+[[nodiscard]] std::string export_json(const RunReport& report);
+
+/// Serialize to `path`; throws DataError when the file cannot be written.
+void write_report_file(const RunReport& report, const std::string& path);
+
+}  // namespace botmeter::obs

@@ -1,0 +1,86 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/stats.hpp"
+
+namespace botmeter::obs {
+
+void TraceSession::record(std::string_view phase, double millis) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(Span{std::string(phase), millis});
+}
+
+std::vector<TraceSession::Span> TraceSession::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::size_t TraceSession::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<TraceSession::PhaseSummary> TraceSession::summary() const {
+  std::map<std::string, std::vector<double>> by_phase;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Span& span : spans_) {
+      by_phase[span.phase].push_back(span.millis);
+    }
+  }
+  std::vector<PhaseSummary> out;
+  out.reserve(by_phase.size());
+  for (const auto& [phase, samples] : by_phase) {
+    PhaseSummary row;
+    row.phase = phase;
+    row.count = samples.size();
+    for (double s : samples) row.total_ms += s;
+    row.mean_ms = row.total_ms / static_cast<double>(samples.size());
+    row.min_ms = percentile(samples, 0.0);
+    row.p50_ms = percentile(samples, 50.0);
+    row.max_ms = percentile(samples, 100.0);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+void TraceSession::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+double ScopedTimer::stop() {
+  if (session_ == nullptr) return 0.0;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const double millis =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  session_->record(phase_, millis);
+  session_ = nullptr;
+  return millis;
+}
+
+std::string format_phase_table(const TraceSession& session) {
+  const std::vector<TraceSession::PhaseSummary> rows = session.summary();
+  if (rows.empty()) return {};
+  std::size_t width = 5;  // "phase"
+  for (const auto& row : rows) width = std::max(width, row.phase.size());
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-*s %8s %12s %10s %10s %10s\n",
+                static_cast<int>(width), "phase", "count", "total_ms",
+                "mean_ms", "p50_ms", "max_ms");
+  out += line;
+  for (const auto& row : rows) {
+    std::snprintf(line, sizeof(line), "%-*s %8llu %12.3f %10.3f %10.3f %10.3f\n",
+                  static_cast<int>(width), row.phase.c_str(),
+                  static_cast<unsigned long long>(row.count), row.total_ms,
+                  row.mean_ms, row.p50_ms, row.max_ms);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace botmeter::obs

@@ -1,0 +1,85 @@
+// Phase tracing for the BotMeter pipeline: wall-clock spans per stage
+// (pool build, query generation, merge, cache replay, matching, estimation)
+// recorded into a `TraceSession` and summarized per phase.
+//
+// Like the metrics registry, tracing is optional everywhere: a null
+// `TraceSession*` makes `ScopedTimer` a no-op (it does not even read the
+// clock). Wall times are inherently nondeterministic — they feed the run
+// report only, never the simulation itself, so results stay bit-identical
+// with tracing on or off.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace botmeter::obs {
+
+/// Append-only sink of (phase, wall-milliseconds) spans. Thread-safe.
+class TraceSession {
+ public:
+  struct Span {
+    std::string phase;
+    double millis = 0.0;
+  };
+
+  /// One per-phase aggregate row; min/median/max reuse the evaluation
+  /// harness' percentile code (common/stats).
+  struct PhaseSummary {
+    std::string phase;
+    std::uint64_t count = 0;
+    double total_ms = 0.0;
+    double mean_ms = 0.0;
+    double min_ms = 0.0;
+    double p50_ms = 0.0;
+    double max_ms = 0.0;
+  };
+
+  void record(std::string_view phase, double millis);
+
+  /// Copy of every span, in recording order.
+  [[nodiscard]] std::vector<Span> spans() const;
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// Aggregates sorted by phase name.
+  [[nodiscard]] std::vector<PhaseSummary> summary() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+};
+
+/// RAII wall timer: records one span into the session on destruction (or at
+/// the first `stop()`). With a null session every operation is a no-op.
+class ScopedTimer {
+ public:
+  ScopedTimer(TraceSession* session, std::string_view phase)
+      : session_(session), phase_(session != nullptr ? phase : ""),
+        start_(session != nullptr ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{}) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { (void)stop(); }
+
+  /// Record the span now; later calls (and the destructor) do nothing.
+  /// Returns the elapsed milliseconds (0 when there is no session).
+  double stop();
+
+ private:
+  TraceSession* session_;
+  std::string phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Render `summary()` as an aligned text table (for --trace / bench stderr
+/// output). Returns an empty string when no spans were recorded.
+[[nodiscard]] std::string format_phase_table(const TraceSession& session);
+
+}  // namespace botmeter::obs

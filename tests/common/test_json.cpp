@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
+#include <utility>
 
 namespace botmeter::json {
 namespace {
@@ -92,6 +94,74 @@ TEST(JsonParseTest, ControlCharactersRejected) {
 
 TEST(JsonParseTest, SurrogateEscapesRejected) {
   EXPECT_THROW((void)parse(R"("\ud800")"), DataError);
+}
+
+TEST(JsonWriteTest, ScalarsCompact) {
+  EXPECT_EQ(write(parse("null")), "null");
+  EXPECT_EQ(write(parse("true")), "true");
+  EXPECT_EQ(write(parse("false")), "false");
+  EXPECT_EQ(write(parse("\"hi\"")), "\"hi\"");
+}
+
+TEST(JsonWriteTest, IntegralDoublesPrintAsIntegers) {
+  EXPECT_EQ(write(Value{42.0}), "42");
+  EXPECT_EQ(write(Value{-7.0}), "-7");
+  EXPECT_EQ(write(Value{0.0}), "0");
+  EXPECT_EQ(write(Value{9007199254740991.0}), "9007199254740991");  // 2^53 - 1
+  EXPECT_EQ(write(Value{0.5}), "0.5");
+  EXPECT_EQ(write(Value{0.1}), "0.1");  // shortest round-trip form
+}
+
+TEST(JsonWriteTest, NonFiniteNumbersRejected) {
+  EXPECT_THROW((void)write(Value{std::numeric_limits<double>::infinity()}),
+               DataError);
+  EXPECT_THROW((void)write(Value{std::numeric_limits<double>::quiet_NaN()}),
+               DataError);
+}
+
+TEST(JsonWriteTest, StringEscapes) {
+  EXPECT_EQ(write(Value{std::string("a\"b\\c\n\t")}),
+            R"("a\"b\\c\n\t")");
+  EXPECT_EQ(write(Value{std::string("\x01")}), "\"\\u0001\"");
+}
+
+TEST(JsonWriteTest, ObjectKeysSerializeSorted) {
+  Object o;
+  o.emplace("zeta", Value{1.0});
+  o.emplace("alpha", Value{2.0});
+  EXPECT_EQ(write(Value{std::move(o)}), R"({"alpha":2,"zeta":1})");
+}
+
+TEST(JsonWriteTest, PrettyPrinting) {
+  Object inner;
+  inner.emplace("x", Value{1.0});
+  Object o;
+  o.emplace("a", Value{std::move(inner)});
+  o.emplace("b", Value{Array{Value{1.0}, Value{2.0}}});
+  EXPECT_EQ(write_pretty(Value{std::move(o)}, 2),
+            "{\n  \"a\": {\n    \"x\": 1\n  },\n  \"b\": [\n    1,\n    2\n  ]\n}\n");
+  EXPECT_EQ(write_pretty(Value{Object{}}, 2), "{}\n");
+  EXPECT_EQ(write_pretty(Value{Array{}}, 2), "[]\n");
+}
+
+// The byte-stability contract: write(parse(write(v))) == write(v) for every
+// value the writer emits, compact and pretty.
+TEST(JsonWriteTest, RoundTripIsByteStable) {
+  const char* documents[] = {
+      "null",
+      R"({"a":1,"b":[1,2.5,"x",null,true],"c":{"d":0.1}})",
+      R"([1e-300,1e300,123456789.123456789,-0.0078125])",
+      R"({"unicode":"\u0001\u001f","quote":"\"","backslash":"\\"})",
+  };
+  for (const char* doc : documents) {
+    const Value v = parse(doc);
+    const std::string once = write(v);
+    EXPECT_EQ(write(parse(once)), once) << doc;
+    const std::string pretty = write_pretty(v, 2);
+    EXPECT_EQ(write_pretty(parse(pretty), 2), pretty) << doc;
+    // Compact and pretty agree on content.
+    EXPECT_EQ(write(parse(pretty)), once) << doc;
+  }
 }
 
 }  // namespace

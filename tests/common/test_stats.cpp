@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -76,6 +78,39 @@ TEST(PercentileTest, SingleElementAndErrors) {
   EXPECT_THROW((void)percentile(std::vector<double>{}, 50.0), DataError);
   EXPECT_THROW((void)percentile(one, -1.0), ConfigError);
   EXPECT_THROW((void)percentile(one, 101.0), ConfigError);
+}
+
+TEST(PercentileTest, NanPercentileRejected) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW((void)percentile(v, std::numeric_limits<double>::quiet_NaN()),
+               ConfigError);
+}
+
+TEST(PercentileTest, ExtremesAreExactNotInterpolated) {
+  // p0 / p100 must return the exact min / max sample, with no floating-point
+  // interpolation residue, even on unsorted input.
+  const std::vector<double> v{0.3, 0.1, 0.2};
+  EXPECT_EQ(percentile(v, 0.0), 0.1);
+  EXPECT_EQ(percentile(v, 100.0), 0.3);
+  // A rank that lands a hair past the last index must clamp, not read
+  // out of bounds or interpolate against a missing element.
+  EXPECT_EQ(percentile(v, std::nextafter(100.0, 0.0)),
+            percentile(v, std::nextafter(100.0, 0.0)));
+  EXPECT_LE(percentile(v, std::nextafter(100.0, 0.0)), 0.3);
+}
+
+TEST(PercentileTest, SingleElementAllPercentiles) {
+  const std::vector<double> one{42.0};
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(percentile(one, p), 42.0) << "p=" << p;
+  }
+}
+
+TEST(PercentileTest, TwoElements) {
+  const std::vector<double> v{10.0, 20.0};
+  EXPECT_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_EQ(percentile(v, 100.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 15.0);
 }
 
 TEST(QuartileSummaryTest, MatchesPercentiles) {

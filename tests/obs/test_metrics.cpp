@@ -1,0 +1,122 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace botmeter::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(MetricsRegistry, CounterHandleIsStableAndShared) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("sim.queries");
+  Counter& b = registry.counter("sim.queries");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(registry.counter("sim.queries").value(), 7u);
+}
+
+TEST(MetricsRegistry, LabelsSeparateSeries) {
+  MetricsRegistry registry;
+  registry.counter("cache.hits", "local").add(3);
+  registry.counter("cache.hits", "regional").add(5);
+  registry.counter("cache.hits").add(8);
+  EXPECT_EQ(registry.counter("cache.hits", "local").value(), 3u);
+  EXPECT_EQ(registry.counter("cache.hits", "regional").value(), 5u);
+  EXPECT_EQ(registry.counter("cache.hits").value(), 8u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByNameThenLabel) {
+  MetricsRegistry registry;
+  registry.counter("b.metric", "z").add(1);
+  registry.counter("b.metric", "a").add(2);
+  registry.counter("a.metric").add(3);
+  registry.gauge("g", "late").set(1.0);
+  registry.gauge("g", "early").set(2.0);
+
+  const MetricsRegistry::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "a.metric");
+  EXPECT_EQ(snap.counters[1].name, "b.metric");
+  EXPECT_EQ(snap.counters[1].label, "a");
+  EXPECT_EQ(snap.counters[2].label, "z");
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].label, "early");
+  EXPECT_EQ(snap.gauges[1].label, "late");
+}
+
+TEST(Histogram, PlacesObservationsByUpperBound) {
+  const std::array<double, 3> bounds{1.0, 10.0, 100.0};
+  Histogram h{bounds};
+  ASSERT_EQ(h.bucket_size(), 4u);  // three bounds + overflow
+
+  h.observe(0.5);    // <= 1       -> bucket 0
+  h.observe(1.0);    // == bound   -> bucket 0 (first bound >= x)
+  h.observe(2.0);    // <= 10      -> bucket 1
+  h.observe(100.0);  // == bound   -> bucket 2
+  h.observe(1e9);    // overflow   -> bucket 3
+
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 2.0 + 100.0 + 1e9);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  const std::array<double, 2> unsorted{10.0, 1.0};
+  EXPECT_THROW(Histogram{unsorted}, ConfigError);
+  const std::array<double, 2> equal{1.0, 1.0};
+  EXPECT_THROW(Histogram{equal}, ConfigError);
+  const std::array<double, 0> empty{};
+  EXPECT_THROW(Histogram{empty}, ConfigError);
+}
+
+TEST(MetricsRegistry, HistogramReboundsRejected) {
+  MetricsRegistry registry;
+  const std::array<double, 2> bounds{1.0, 2.0};
+  Histogram& h = registry.histogram("lat", bounds);
+  EXPECT_EQ(&registry.histogram("lat", bounds), &h);
+  const std::array<double, 2> other{1.0, 3.0};
+  EXPECT_THROW(registry.histogram("lat", other), ConfigError);
+}
+
+TEST(MetricsRegistry, ConcurrentAddsSumExactly) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("contended");
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+}  // namespace
+}  // namespace botmeter::obs

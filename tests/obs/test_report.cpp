@@ -1,0 +1,149 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace botmeter::obs {
+namespace {
+
+TEST(MetricsJson, PlainSeriesExportAsBareNumbers) {
+  MetricsRegistry registry;
+  registry.counter("sim.queries").add(120);
+  registry.gauge("sim.rate").set(1.5);
+
+  const json::Value v = metrics_json(registry);
+  EXPECT_EQ(v.at("counters").at("sim.queries").as_int(), 120);
+  EXPECT_DOUBLE_EQ(v.at("gauges").at("sim.rate").as_double(), 1.5);
+  EXPECT_TRUE(v.at("histograms").as_object().empty());
+}
+
+TEST(MetricsJson, LabeledFamiliesExportAsObjects) {
+  MetricsRegistry registry;
+  registry.counter("cache.hits", "epoch_0").add(10);
+  registry.counter("cache.hits", "epoch_1").add(20);
+  registry.counter("cache.hits").add(30);  // alongside labels -> "_total"
+
+  const json::Value v = metrics_json(registry);
+  const json::Value& family = v.at("counters").at("cache.hits");
+  EXPECT_EQ(family.at("epoch_0").as_int(), 10);
+  EXPECT_EQ(family.at("epoch_1").as_int(), 20);
+  EXPECT_EQ(family.at("_total").as_int(), 30);
+}
+
+TEST(MetricsJson, HistogramExportsBoundsCountsAndOverflow) {
+  MetricsRegistry registry;
+  const std::array<double, 2> bounds{1.0, 10.0};
+  Histogram& h = registry.histogram("epoch_queries", bounds);
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);  // overflow
+
+  const json::Value v = metrics_json(registry);
+  const json::Value& hist = v.at("histograms").at("epoch_queries");
+  ASSERT_EQ(hist.at("upper_bounds").as_array().size(), 2u);
+  ASSERT_EQ(hist.at("counts").as_array().size(), 3u);  // + overflow
+  EXPECT_EQ(hist.at("counts").as_array()[0].as_int(), 1);
+  EXPECT_EQ(hist.at("counts").as_array()[1].as_int(), 1);
+  EXPECT_EQ(hist.at("counts").as_array()[2].as_int(), 1);
+  EXPECT_EQ(hist.at("count").as_int(), 3);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_double(), 105.5);
+}
+
+TEST(TraceJson, ExportsPhasesAndSpans) {
+  TraceSession session;
+  session.record("sim.generate", 1.5);
+  session.record("sim.generate", 2.5);
+  session.record("sim.replay", 4.0);
+
+  const json::Value v = trace_json(session);
+  const json::Array& phases = v.at("phases").as_array();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].at("phase").as_string(), "sim.generate");
+  EXPECT_EQ(phases[0].at("count").as_int(), 2);
+  EXPECT_DOUBLE_EQ(phases[0].at("total_ms").as_double(), 4.0);
+  EXPECT_DOUBLE_EQ(phases[0].at("mean_ms").as_double(), 2.0);
+  ASSERT_EQ(v.at("spans").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("spans").as_array()[2].at("ms").as_double(), 4.0);
+}
+
+TEST(RunReportJson, CarriesSchemaToolAndConfig) {
+  MetricsRegistry registry;
+  registry.counter("n").add(1);
+  json::Object config;
+  config.emplace("bots", json::Value{64.0});
+
+  RunReport report;
+  report.tool = "unit_test";
+  report.config = json::Value{std::move(config)};
+  report.metrics = &registry;
+
+  const json::Value v = report_json(report);
+  EXPECT_EQ(v.at("schema").as_string(), "botmeter.run_report.v1");
+  EXPECT_EQ(v.at("tool").as_string(), "unit_test");
+  EXPECT_EQ(v.at("config").at("bots").as_int(), 64);
+  EXPECT_EQ(v.at("counters").at("n").as_int(), 1);
+  EXPECT_EQ(v.find("trace"), nullptr);  // no session attached
+}
+
+// Satellite: everything export_json emits must parse back through
+// common/json and re-serialize byte-stably.
+TEST(RunReportJson, ExportRoundTripsByteStably) {
+  MetricsRegistry registry;
+  registry.counter("sim.queries").add(1234567);
+  registry.counter("sim.queries", "epoch_0").add(1234500);
+  registry.gauge("pop", "server_0").set(17.25);
+  registry.gauge("frac").set(0.1);  // not exactly representable
+  const std::array<double, 3> bounds{1e2, 1e3, 1e4};
+  registry.histogram("q", bounds).observe(333.0);
+
+  TraceSession session;
+  session.record("sim.epoch", 12.625);
+  session.record("sim.epoch", 0.078125);
+
+  json::Object config;
+  config.emplace("family", json::Value{std::string("newGoZ")});
+  config.emplace("seed", json::Value{1.0});
+
+  RunReport report;
+  report.tool = "botmeter_simulate";
+  report.config = json::Value{std::move(config)};
+  report.metrics = &registry;
+  report.trace = &session;
+
+  const std::string text = export_json(report);
+  const json::Value parsed = json::parse(text);
+  EXPECT_EQ(json::write_pretty(parsed, 2), text);
+  EXPECT_EQ(json::write(json::parse(json::write(parsed))),
+            json::write(parsed));
+  EXPECT_DOUBLE_EQ(parsed.at("gauges").at("frac").as_double(), 0.1);
+}
+
+TEST(WriteReportFile, WritesParseableFile) {
+  MetricsRegistry registry;
+  registry.counter("x").add(2);
+  RunReport report;
+  report.tool = "t";
+  report.metrics = &registry;
+
+  const std::string path = testing::TempDir() + "/botmeter_report_test.json";
+  write_report_file(report, path);
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string text((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  const json::Value parsed = json::parse(text);
+  EXPECT_EQ(parsed.at("counters").at("x").as_int(), 2);
+  EXPECT_TRUE(parsed.at("config").is_null());
+}
+
+}  // namespace
+}  // namespace botmeter::obs

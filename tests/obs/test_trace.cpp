@@ -1,0 +1,96 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace botmeter::obs {
+namespace {
+
+TEST(TraceSession, RecordsSpansInOrder) {
+  TraceSession session;
+  session.record("generate", 1.5);
+  session.record("replay", 2.5);
+  session.record("generate", 0.5);
+
+  const auto spans = session.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].phase, "generate");
+  EXPECT_EQ(spans[1].phase, "replay");
+  EXPECT_EQ(spans[2].millis, 0.5);
+  EXPECT_EQ(session.span_count(), 3u);
+}
+
+TEST(TraceSession, SummaryAggregatesPerPhaseSorted) {
+  TraceSession session;
+  session.record("replay", 4.0);
+  session.record("generate", 1.0);
+  session.record("generate", 3.0);
+  session.record("generate", 2.0);
+
+  const auto summary = session.summary();
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_EQ(summary[0].phase, "generate");
+  EXPECT_EQ(summary[0].count, 3u);
+  EXPECT_DOUBLE_EQ(summary[0].total_ms, 6.0);
+  EXPECT_DOUBLE_EQ(summary[0].mean_ms, 2.0);
+  EXPECT_DOUBLE_EQ(summary[0].min_ms, 1.0);
+  EXPECT_DOUBLE_EQ(summary[0].p50_ms, 2.0);
+  EXPECT_DOUBLE_EQ(summary[0].max_ms, 3.0);
+  EXPECT_EQ(summary[1].phase, "replay");
+  EXPECT_EQ(summary[1].count, 1u);
+  EXPECT_DOUBLE_EQ(summary[1].min_ms, 4.0);
+  EXPECT_DOUBLE_EQ(summary[1].max_ms, 4.0);
+}
+
+TEST(ScopedTimer, NullSessionIsNoOp) {
+  ScopedTimer timer(nullptr, "anything");
+  EXPECT_EQ(timer.stop(), 0.0);
+}
+
+TEST(ScopedTimer, RecordsExactlyOnce) {
+  TraceSession session;
+  {
+    ScopedTimer timer(&session, "phase");
+    const double ms = timer.stop();
+    EXPECT_GE(ms, 0.0);
+    EXPECT_EQ(timer.stop(), 0.0);  // second stop: no-op
+  }  // destructor must not double-record
+  EXPECT_EQ(session.span_count(), 1u);
+  EXPECT_EQ(session.spans()[0].phase, "phase");
+}
+
+TEST(ScopedTimer, DestructorRecords) {
+  TraceSession session;
+  {
+    ScopedTimer timer(&session, "scoped");
+  }
+  ASSERT_EQ(session.span_count(), 1u);
+  EXPECT_GE(session.spans()[0].millis, 0.0);
+}
+
+TEST(TraceSession, ClearEmptiesTheSession) {
+  TraceSession session;
+  session.record("x", 1.0);
+  session.clear();
+  EXPECT_EQ(session.span_count(), 0u);
+  EXPECT_TRUE(session.summary().empty());
+}
+
+TEST(FormatPhaseTable, EmptySessionYieldsEmptyString) {
+  TraceSession session;
+  EXPECT_TRUE(format_phase_table(session).empty());
+}
+
+TEST(FormatPhaseTable, ContainsPhaseNamesAndHeader) {
+  TraceSession session;
+  session.record("sim.generate", 1.25);
+  session.record("sim.replay", 2.5);
+  const std::string table = format_phase_table(session);
+  EXPECT_NE(table.find("sim.generate"), std::string::npos);
+  EXPECT_NE(table.find("sim.replay"), std::string::npos);
+  EXPECT_NE(table.find("phase"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace botmeter::obs

@@ -20,6 +20,9 @@
 #include "dga/config_io.hpp"
 #include "dga/families.hpp"
 #include "estimators/library.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "trace/io.hpp"
 #include "viz/landscape.hpp"
 
@@ -30,7 +33,11 @@ constexpr const char* kUsage =
     "         [--estimator timing|poisson|bernoulli|...] [--servers n]\n"
     "         [--epochs n] [--first-epoch e] [--neg-ttl-min m]\n"
     "         [--miss-rate x] [--assume-miss x] [--trace file] [--viz]\n"
-    "reads the observable (border) trace from --trace or stdin.\n";
+    "         [--metrics-out file] [--trace-timing]\n"
+    "reads the observable (border) trace from --trace or stdin.\n"
+    "--metrics-out writes a botmeter.run_report.v1 JSON document (matcher\n"
+    "tallies, per-server matched lookups and populations, stage wall times);\n"
+    "--trace-timing prints the phase timing table to stderr.\n";
 
 botmeter::dga::DgaConfig config_from_file(const std::string& path) {
   std::ifstream file(path);
@@ -38,6 +45,27 @@ botmeter::dga::DgaConfig config_from_file(const std::string& path) {
   std::string text((std::istreambuf_iterator<char>(file)),
                    std::istreambuf_iterator<char>());
   return botmeter::dga::config_from_json_text(text);
+}
+
+/// Configuration echo embedded in the run report.
+botmeter::json::Value config_echo(const botmeter::core::BotMeterConfig& c,
+                                  std::int64_t first_epoch,
+                                  std::int64_t epochs,
+                                  std::size_t server_count,
+                                  std::size_t stream_size) {
+  using botmeter::json::Value;
+  botmeter::json::Object o;
+  o.emplace("family", Value(c.dga.name));
+  o.emplace("estimator",
+            Value(c.estimator.empty() ? std::string("(recommended)")
+                                      : c.estimator));
+  o.emplace("servers", Value(static_cast<double>(server_count)));
+  o.emplace("epochs", Value(static_cast<double>(epochs)));
+  o.emplace("first_epoch", Value(static_cast<double>(first_epoch)));
+  o.emplace("detection_miss_rate", Value(c.detection_miss_rate));
+  o.emplace("neg_ttl_ms", Value(static_cast<double>(c.ttl.negative.millis())));
+  o.emplace("stream_size", Value(static_cast<double>(stream_size)));
+  return Value(std::move(o));
 }
 
 }  // namespace
@@ -48,8 +76,9 @@ int main(int argc, char** argv) {
     tools::CliArgs args(argc, argv,
                         {"--family", "--config", "--estimator", "--servers",
                          "--epochs", "--first-epoch", "--neg-ttl-min",
-                         "--miss-rate", "--assume-miss", "--trace"},
-                        {"--help", "--viz"});
+                         "--miss-rate", "--assume-miss", "--trace",
+                         "--metrics-out"},
+                        {"--help", "--viz", "--trace-timing"});
     if (args.flag("--help")) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -86,9 +115,32 @@ int main(int argc, char** argv) {
     const std::int64_t epochs = args.int_or("--epochs", 1);
     auto server_count = static_cast<std::size_t>(args.int_or("--servers", 1));
 
+    const auto metrics_path = args.value("--metrics-out");
+    const bool want_trace = args.flag("--trace-timing");
+    obs::MetricsRegistry metrics;
+    obs::TraceSession trace_session;
+    if (metrics_path) config.metrics = &metrics;
+    if (metrics_path || want_trace) config.trace = &trace_session;
+
     core::BotMeter meter(config);
-    meter.prepare_epochs(first_epoch, epochs);
+    {
+      obs::ScopedTimer prepare_timer(config.trace, "analyze.prepare");
+      meter.prepare_epochs(first_epoch, epochs);
+    }
     const core::LandscapeReport report = meter.analyze(stream, server_count);
+
+    if (metrics_path) {
+      obs::RunReport run_report;
+      run_report.tool = "botmeter_analyze";
+      run_report.config =
+          config_echo(config, first_epoch, epochs, server_count, stream.size());
+      run_report.metrics = &metrics;
+      run_report.trace = &trace_session;
+      obs::write_report_file(run_report, *metrics_path);
+    }
+    if (want_trace) {
+      std::fputs(obs::format_phase_table(trace_session).c_str(), stderr);
+    }
 
     if (args.flag("--viz")) {
       std::fputs(viz::render_landscape(report).c_str(), stdout);

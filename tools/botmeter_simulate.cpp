@@ -19,8 +19,14 @@
 
 #include "botnet/simulator.hpp"
 #include "cli_util.hpp"
+#include "common/rng.hpp"
+#include "detect/detection_window.hpp"
+#include "detect/matcher.hpp"
 #include "dga/config_io.hpp"
 #include "dga/families.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "trace/io.hpp"
 
 namespace {
@@ -30,8 +36,12 @@ constexpr const char* kUsage =
     "--bots <N>\n"
     "         [--servers n] [--epochs n] [--first-epoch e] [--seed s]\n"
     "         [--neg-ttl-min m] [--granularity-ms g] [--dynamic-sigma s]\n"
-    "         [--evasive] [--raw-out file]\n"
-    "writes the observable (border) trace to stdout.\n";
+    "         [--evasive] [--raw-out file] [--threads n]\n"
+    "         [--metrics-out file] [--trace]\n"
+    "writes the observable (border) trace to stdout.\n"
+    "--metrics-out writes a botmeter.run_report.v1 JSON document (cache,\n"
+    "vantage, and matcher counters plus per-stage wall times); --trace\n"
+    "prints the phase timing table to stderr.\n";
 
 botmeter::dga::DgaConfig config_from_file(const std::string& path) {
   std::ifstream file(path);
@@ -39,6 +49,49 @@ botmeter::dga::DgaConfig config_from_file(const std::string& path) {
   std::string text((std::istreambuf_iterator<char>(file)),
                    std::istreambuf_iterator<char>());
   return botmeter::dga::config_from_json_text(text);
+}
+
+/// Configuration echo embedded in the run report.
+botmeter::json::Value config_echo(const botmeter::botnet::SimulationConfig& c) {
+  using botmeter::json::Value;
+  botmeter::json::Object o;
+  o.emplace("family", Value(c.dga.name));
+  o.emplace("bots", Value(static_cast<double>(c.bot_count)));
+  o.emplace("servers", Value(static_cast<double>(c.server_count)));
+  o.emplace("epochs", Value(static_cast<double>(c.epoch_count)));
+  o.emplace("first_epoch", Value(static_cast<double>(c.first_epoch)));
+  o.emplace("seed", Value(static_cast<double>(c.seed)));
+  o.emplace("worker_threads", Value(static_cast<double>(c.worker_threads)));
+  o.emplace("neg_ttl_ms", Value(static_cast<double>(c.ttl.negative.millis())));
+  o.emplace("pos_ttl_ms", Value(static_cast<double>(c.ttl.positive.millis())));
+  return Value(std::move(o));
+}
+
+/// Run a perfect-detection matcher over the observable stream so the report
+/// carries matcher tallies (how much of the border traffic the target DGA's
+/// detection window would recognise). Happens only under --metrics-out.
+void tally_matches(const botmeter::botnet::SimulationConfig& config,
+                   botmeter::dga::QueryPoolModel& pool_model,
+                   std::span<const botmeter::dns::ForwardedLookup> observable,
+                   botmeter::obs::MetricsRegistry& metrics,
+                   botmeter::obs::TraceSession* trace) {
+  namespace bm = botmeter;
+  bm::obs::ScopedTimer timer(trace, "sim.match_tally");
+  bm::detect::DomainMatcher matcher(config.dga.epoch);
+  bm::Rng window_rng{bm::mix64(config.seed)};
+  for (std::int64_t e = config.first_epoch;
+       e < config.first_epoch + config.epoch_count; ++e) {
+    const bm::dga::EpochPool& pool = pool_model.epoch_pool(e);
+    matcher.add_epoch(pool,
+                      bm::detect::make_detection_window(pool, 0.0, window_rng));
+  }
+  bm::detect::MatchStats stats;
+  (void)matcher.match(observable, &stats);
+  metrics.counter("sim.matcher.stream").add(stats.stream_size);
+  metrics.counter("sim.matcher.matched").add(stats.matched);
+  metrics.counter("sim.matcher.unmatched").add(stats.unmatched);
+  metrics.counter("sim.matcher.valid_domain").add(stats.valid_domain);
+  metrics.counter("sim.matcher.nxd").add(stats.nxd);
 }
 
 }  // namespace
@@ -50,8 +103,8 @@ int main(int argc, char** argv) {
         argc, argv,
         {"--family", "--config", "--bots", "--servers", "--epochs",
          "--first-epoch", "--seed", "--neg-ttl-min", "--granularity-ms",
-         "--dynamic-sigma", "--raw-out"},
-        {"--help", "--evasive"});
+         "--dynamic-sigma", "--raw-out", "--threads", "--metrics-out"},
+        {"--help", "--evasive", "--trace"});
     if (args.flag("--help")) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -84,8 +137,33 @@ int main(int argc, char** argv) {
       config.activation.sigma = args.double_or("--dynamic-sigma", 1.0);
     }
     config.record_raw = args.value("--raw-out").has_value();
+    config.worker_threads =
+        static_cast<std::size_t>(args.int_or("--threads", 1));
 
-    const botnet::SimulationResult result = botnet::simulate(config);
+    const auto metrics_path = args.value("--metrics-out");
+    const bool want_trace = args.flag("--trace");
+    obs::MetricsRegistry metrics;
+    obs::TraceSession trace_session;
+    if (metrics_path) config.metrics = &metrics;
+    if (metrics_path || want_trace) config.trace = &trace_session;
+
+    auto pool_model = dga::make_pool_model(config.dga);
+    const botnet::SimulationResult result =
+        botnet::simulate(config, *pool_model);
+
+    if (metrics_path) {
+      tally_matches(config, *pool_model, result.observable, metrics,
+                    config.trace);
+      obs::RunReport report;
+      report.tool = "botmeter_simulate";
+      report.config = config_echo(config);
+      report.metrics = &metrics;
+      report.trace = &trace_session;
+      obs::write_report_file(report, *metrics_path);
+    }
+    if (want_trace) {
+      std::fputs(obs::format_phase_table(trace_session).c_str(), stderr);
+    }
 
     if (auto raw_path = args.value("--raw-out")) {
       std::ofstream raw_file(*raw_path);
