@@ -1,0 +1,176 @@
+// bench_stream_throughput — streaming-engine performance characterisation.
+//
+// For a set of scenarios (family x bots x servers x epochs), simulates the
+// observable border feed once, then measures:
+//   - per-tuple ingest throughput of stream::StreamEngine (tuples/sec,
+//     including the epoch closes the watermark triggers along the way);
+//   - the epoch-close (flush) latency distribution: p50 / p99 / max wall ms;
+//   - peak resident state (matched lookups buffered at once);
+//   - batch core::BotMeter::analyze wall time on the same stream, as the
+//     reference point, plus a bit-equivalence check of the two totals.
+//
+// Results go to stdout as a table and to BENCH_stream.json
+// (schema botmeter.bench_stream.v1) for CI artifact upload; pass an output
+// path as argv[1] to redirect the JSON.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "botnet/simulator.hpp"
+#include "common/json.hpp"
+#include "common/stats.hpp"
+#include "dga/families.hpp"
+#include "stream/stream_engine.hpp"
+
+namespace {
+
+using namespace botmeter;
+
+struct Scenario {
+  std::string family;
+  std::uint32_t bots;
+  std::size_t servers;
+  std::int64_t epochs;
+  std::size_t threads;
+};
+
+struct Measurement {
+  Scenario scenario;
+  std::size_t tuples = 0;
+  double ingest_ms = 0.0;
+  double tuples_per_sec = 0.0;
+  double close_p50_ms = 0.0;
+  double close_p99_ms = 0.0;
+  double close_max_ms = 0.0;
+  std::size_t peak_resident = 0;
+  double batch_ms = 0.0;
+  bool totals_match = false;
+};
+
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+Measurement run_scenario(const Scenario& scenario) {
+  const dga::DgaConfig family = dga::family_config(scenario.family);
+  const std::int64_t first_epoch =
+      family.taxonomy.pool == dga::PoolModel::kSlidingWindow ? 40 : 0;
+
+  botnet::SimulationConfig sim;
+  sim.dga = family;
+  sim.bot_count = scenario.bots;
+  sim.server_count = scenario.servers;
+  sim.first_epoch = first_epoch;
+  sim.epoch_count = scenario.epochs;
+  sim.seed = 7;
+  sim.record_raw = false;
+  const botnet::SimulationResult result = botnet::simulate(sim);
+
+  stream::StreamEngineConfig config;
+  config.meter.dga = family;
+  config.first_epoch = first_epoch;
+  config.epoch_count = scenario.epochs;
+  config.server_count = scenario.servers;
+  config.worker_threads = scenario.threads;
+  stream::StreamEngine engine(config);
+
+  Measurement m;
+  m.scenario = scenario;
+  m.tuples = result.observable.size();
+
+  const auto ingest_start = std::chrono::steady_clock::now();
+  for (const dns::ForwardedLookup& lookup : result.observable) {
+    engine.ingest(lookup);
+  }
+  const core::LandscapeReport streamed = engine.finish();
+  m.ingest_ms = wall_ms_since(ingest_start);
+  m.tuples_per_sec = m.ingest_ms > 0.0
+                         ? static_cast<double>(m.tuples) / (m.ingest_ms / 1e3)
+                         : 0.0;
+  const std::span<const double> closes = engine.close_latencies_ms();
+  m.close_p50_ms = percentile(closes, 50.0);
+  m.close_p99_ms = percentile(closes, 99.0);
+  m.close_max_ms = percentile(closes, 100.0);
+  m.peak_resident = engine.peak_resident_lookups();
+
+  core::BotMeter meter(config.meter);
+  meter.prepare_epochs(first_epoch, scenario.epochs);
+  const auto batch_start = std::chrono::steady_clock::now();
+  const core::LandscapeReport batch =
+      meter.analyze(result.observable, scenario.servers);
+  m.batch_ms = wall_ms_since(batch_start);
+  m.totals_match = streamed.total_population() == batch.total_population();
+  return m;
+}
+
+json::Value to_json(const Measurement& m) {
+  using json::Value;
+  json::Object o;
+  o.emplace("family", Value(m.scenario.family));
+  o.emplace("bots", Value(static_cast<double>(m.scenario.bots)));
+  o.emplace("servers", Value(static_cast<double>(m.scenario.servers)));
+  o.emplace("epochs", Value(static_cast<double>(m.scenario.epochs)));
+  o.emplace("threads", Value(static_cast<double>(m.scenario.threads)));
+  o.emplace("tuples", Value(static_cast<double>(m.tuples)));
+  o.emplace("ingest_ms", Value(m.ingest_ms));
+  o.emplace("tuples_per_sec", Value(m.tuples_per_sec));
+  o.emplace("epoch_close_p50_ms", Value(m.close_p50_ms));
+  o.emplace("epoch_close_p99_ms", Value(m.close_p99_ms));
+  o.emplace("epoch_close_max_ms", Value(m.close_max_ms));
+  o.emplace("peak_resident_lookups",
+            Value(static_cast<double>(m.peak_resident)));
+  o.emplace("batch_analyze_ms", Value(m.batch_ms));
+  o.emplace("totals_match_batch", Value(m.totals_match));
+  return Value(std::move(o));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_stream.json";
+  const std::vector<Scenario> scenarios = {
+      {"newGoZ", 64, 4, 6, 1},
+      {"newGoZ", 64, 4, 6, 8},
+      {"Murofet", 256, 8, 4, 1},
+      {"Murofet", 256, 8, 4, 8},
+  };
+
+  std::printf("%-10s %5s %4s %3s %3s %9s %12s %9s %9s %9s %9s\n", "family",
+              "bots", "srv", "ep", "thr", "tuples", "tuples/s", "p50ms",
+              "p99ms", "batchms", "equal");
+  json::Array results;
+  bool all_match = true;
+  for (const Scenario& scenario : scenarios) {
+    const Measurement m = run_scenario(scenario);
+    all_match = all_match && m.totals_match;
+    std::printf("%-10s %5u %4zu %3lld %3zu %9zu %12.0f %9.2f %9.2f %9.1f %9s\n",
+                m.scenario.family.c_str(), m.scenario.bots, m.scenario.servers,
+                static_cast<long long>(m.scenario.epochs), m.scenario.threads,
+                m.tuples, m.tuples_per_sec, m.close_p50_ms, m.close_p99_ms,
+                m.batch_ms, m.totals_match ? "yes" : "NO");
+    results.push_back(to_json(m));
+  }
+
+  json::Object root;
+  root.emplace("schema", json::Value(std::string("botmeter.bench_stream.v1")));
+  root.emplace("results", json::Value(std::move(results)));
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json::write_pretty(json::Value(std::move(root)));
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FAIL: streaming and batch totals diverged in at least one "
+                 "scenario\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,25 +1,67 @@
 // Daily monitoring dashboard — the visual-analytics workflow of the paper's
-// future-work list (§VII, item 2).
+// future-work list (§VII, item 2), on the online streaming engine.
 //
 // Simulates a month of enterprise DNS traffic with three concurrent
-// infections (newGoZ / Ramnit / Qakbot), runs BotMeter every day on the
-// border stream, and renders the analyst's view: per-family daily-estimate
-// sparklines (the Fig. 7 series), today's landscape with confidence
-// intervals, and a family threat grid.
+// infections (newGoZ / Ramnit / Qakbot) and feeds the border stream into one
+// stream::StreamEngine per family. Each day the feed is ingested
+// incrementally and the day's epoch is closed explicitly (close_through), so
+// the daily estimate is published the moment the day completes — no
+// per-day re-analysis, O(active-day) memory. Mid-month the engines are
+// checkpointed, destroyed, and restored from the serialized state, the way a
+// real monitor survives a restart without reprocessing the feed.
+//
+// The rendered view: per-family daily-estimate sparklines (the Fig. 7
+// series), today's landscape with confidence intervals, and a family threat
+// grid.
 //
 // Build & run:  ./build/examples/daily_monitor [days]
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
-#include "core/botmeter.hpp"
+#include "common/json.hpp"
 #include "dga/families.hpp"
+#include "stream/stream_engine.hpp"
 #include "trace/enterprise.hpp"
 #include "viz/landscape.hpp"
 
-int main(int argc, char** argv) {
-  using namespace botmeter;
+namespace {
 
+using namespace botmeter;
+
+/// One streaming engine per monitored family, with the day-close callback
+/// wired into the dashboard series.
+std::vector<std::unique_ptr<stream::StreamEngine>> make_engines(
+    const trace::EnterpriseConfig& config, std::int64_t days_to_run,
+    std::vector<viz::Series>& estimate_series,
+    std::vector<std::vector<double>>& daily_estimates,
+    std::vector<std::optional<stream::EpochReport>>& last_report) {
+  std::vector<std::unique_ptr<stream::StreamEngine>> engines;
+  for (std::size_t pi = 0; pi < config.populations.size(); ++pi) {
+    stream::StreamEngineConfig engine_config;
+    engine_config.meter.dga = config.populations[pi].dga;
+    engine_config.first_epoch = 0;
+    engine_config.epoch_count = days_to_run;
+    engine_config.server_count = 1;
+    engines.push_back(
+        std::make_unique<stream::StreamEngine>(std::move(engine_config)));
+    engines.back()->on_epoch_close(
+        [pi, &estimate_series, &daily_estimates,
+         &last_report](const stream::EpochReport& report) {
+          estimate_series[pi].values.push_back(report.total_population());
+          daily_estimates[pi].push_back(report.total_population());
+          last_report[pi] = report;
+        });
+  }
+  return engines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   const std::int64_t days_to_run =
       (argc > 1 && std::atoi(argv[1]) > 0) ? std::atoi(argv[1]) : 30;
 
@@ -44,54 +86,89 @@ int main(int argc, char** argv) {
   config.seed = 31337;
 
   trace::EnterpriseSimulator sim(config);
+  const std::size_t families = config.populations.size();
 
-  std::vector<viz::Series> estimate_series(config.populations.size());
-  std::vector<viz::Series> truth_series(config.populations.size());
-  for (std::size_t pi = 0; pi < config.populations.size(); ++pi) {
+  std::vector<viz::Series> estimate_series(families);
+  std::vector<viz::Series> truth_series(families);
+  for (std::size_t pi = 0; pi < families; ++pi) {
     estimate_series[pi].label = config.populations[pi].dga.name + " (est)";
     truth_series[pi].label = config.populations[pi].dga.name + " (act)";
   }
+  std::vector<std::vector<double>> daily_estimates(families);
+  std::vector<std::optional<stream::EpochReport>> last_report(families);
 
-  std::vector<std::vector<double>> today_grid(1);  // one site in this demo
-  std::string landscape_today;
+  auto engines = make_engines(config, days_to_run, estimate_series,
+                              daily_estimates, last_report);
 
+  std::uint32_t last_day_truth = 0;
   for (std::int64_t d = 0; d < days_to_run; ++d) {
-    const trace::EnterpriseDay day = sim.step();
-    today_grid[0].clear();
-    for (std::size_t pi = 0; pi < config.populations.size(); ++pi) {
-      core::BotMeterConfig meter_config;
-      meter_config.dga = config.populations[pi].dga;
-      core::BotMeter meter(meter_config);
-      meter.prepare_epochs(day.day, 1);
-      const core::LandscapeReport report = meter.analyze(day.observable, 1);
-      estimate_series[pi].values.push_back(report.total_population());
-      truth_series[pi].values.push_back(day.active_bots[pi]);
-      today_grid[0].push_back(report.total_population());
-      if (d == days_to_run - 1 && pi == 0) {
-        landscape_today =
-            viz::render_landscape(
-                report, {{static_cast<double>(day.active_bots[pi])}});
+    // Restart drill at mid-month: serialize every engine's state through the
+    // checkpoint schema, throw the engines away, and resume from the JSON —
+    // the published series continues without reprocessing a single tuple.
+    if (d == days_to_run / 2 && d > 0) {
+      std::vector<std::string> checkpoints;
+      checkpoints.reserve(families);
+      for (const auto& engine : engines) {
+        checkpoints.push_back(json::write(engine->checkpoint()));
       }
+      engines = make_engines(config, days_to_run, estimate_series,
+                             daily_estimates, last_report);
+      for (std::size_t pi = 0; pi < families; ++pi) {
+        engines[pi]->restore(json::parse(checkpoints[pi]));
+      }
+      std::fprintf(stderr,
+                   "day %lld: checkpointed, restarted, and restored %zu "
+                   "engines (%zu bytes of state)\n",
+                   static_cast<long long>(d), families,
+                   checkpoints[0].size());
     }
+
+    const trace::EnterpriseDay day = sim.step();
+    for (std::size_t pi = 0; pi < families; ++pi) {
+      engines[pi]->ingest(day.observable);
+      engines[pi]->close_through(day.day);  // the day is complete: publish it
+      truth_series[pi].values.push_back(day.active_bots[pi]);
+    }
+    last_day_truth = day.active_bots[0];
   }
 
   std::printf("=== daily population estimates, last %lld days ===\n",
               static_cast<long long>(days_to_run));
   std::vector<viz::Series> interleaved;
-  for (std::size_t pi = 0; pi < estimate_series.size(); ++pi) {
+  for (std::size_t pi = 0; pi < families; ++pi) {
     interleaved.push_back(estimate_series[pi]);
     interleaved.push_back(truth_series[pi]);
   }
   std::fputs(viz::render_series(interleaved).c_str(), stdout);
 
   std::printf("\n=== today's newGoZ landscape ===\n");
-  std::fputs(landscape_today.c_str(), stdout);
+  if (last_report[0]) {
+    std::fputs(
+        viz::render_landscape(last_report[0]->as_landscape(),
+                              {{static_cast<double>(last_day_truth)}})
+            .c_str(),
+        stdout);
+  }
 
   std::printf("\n=== today's threat grid ===\n");
+  std::vector<double> today_row;
+  for (std::size_t pi = 0; pi < families; ++pi) {
+    today_row.push_back(daily_estimates[pi].empty()
+                            ? 0.0
+                            : daily_estimates[pi].back());
+  }
   std::vector<std::string> family_names;
   for (const auto& p : config.populations) family_names.push_back(p.dga.name);
   std::fputs(
-      viz::render_threat_grid({"site-hq"}, family_names, today_grid).c_str(),
+      viz::render_threat_grid({"site-hq"}, family_names, {today_row}).c_str(),
       stdout);
+
+  for (std::size_t pi = 0; pi < families; ++pi) {
+    if (engines[pi]->late_dropped() > 0) {
+      std::fprintf(stderr, "note: %s dropped %llu late tuples\n",
+                   config.populations[pi].dga.name.c_str(),
+                   static_cast<unsigned long long>(engines[pi]->late_dropped()));
+    }
+  }
   return 0;
 }

@@ -512,6 +512,9 @@ SimulationResult simulate(const SimulationConfig& config,
   if (config.client_assignment) {
     network.set_client_assignment(config.client_assignment);
   }
+  if (config.observable_sink) {
+    network.vantage().set_sink(config.observable_sink);
+  }
   return run_simulation(config, pool_model, network, config.server_count);
 }
 
@@ -528,6 +531,9 @@ SimulationResult simulate_tiered(const TieredSimulationConfig& tiered,
   dns::TieredNetwork network(config.server_count, tiered.regional_count,
                              config.ttl, tiered.regional_ttl,
                              config.timestamp_granularity);
+  if (config.observable_sink) {
+    network.vantage().set_sink(config.observable_sink);
+  }
   return run_simulation(config, pool_model, network, tiered.regional_count);
 }
 

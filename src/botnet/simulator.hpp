@@ -80,6 +80,13 @@ struct SimulationConfig {
   /// scenarios skew the infection landscape across local servers.
   std::function<dns::ServerId(dns::ClientId)> client_assignment;
 
+  /// Streaming tap on the vantage point: when set, every observable tuple is
+  /// handed to this callback in canonical stream order (the same order the
+  /// batch vector would have) and SimulationResult::observable stays empty —
+  /// the bounded-memory path that feeds stream::StreamEngine on long
+  /// horizons. The raw trace and truth are unaffected.
+  std::function<void(const dns::ForwardedLookup&)> observable_sink;
+
   /// Optional observability sinks (see src/obs/). With both null the run
   /// pays nothing — not even a clock read. Attaching them never changes the
   /// SimulationResult: every recorded quantity is derived from values the

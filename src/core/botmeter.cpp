@@ -66,6 +66,20 @@ const detect::DetectionWindow& BotMeter::window_for_epoch(std::int64_t epoch) co
   throw ConfigError("window_for_epoch: epoch not prepared");
 }
 
+estimators::EpochObservation BotMeter::make_observation(
+    std::int64_t epoch, std::vector<detect::MatchedLookup> lookups) const {
+  estimators::EpochObservation obs;
+  obs.lookups = std::move(lookups);
+  obs.config = &config_.dga;
+  obs.pool = &pool_model_->epoch_pool(epoch);
+  obs.window = &window_for_epoch(epoch);
+  obs.ttl = config_.ttl;
+  obs.window_start = TimePoint{epoch * config_.dga.epoch.millis()};
+  obs.window_length = config_.dga.epoch;
+  obs.assumed_miss_rate = config_.assumed_miss_rate;
+  return obs;
+}
+
 LandscapeReport BotMeter::analyze(std::span<const dns::ForwardedLookup> stream,
                                   std::size_t server_count) const {
   if (prepared_epochs_.empty()) {
@@ -107,45 +121,26 @@ LandscapeReport BotMeter::analyze(std::span<const dns::ForwardedLookup> stream,
     ServerEstimate server_estimate;
     server_estimate.server = dns::ServerId{s};
 
-    std::vector<estimators::EpochObservation> observations;
-    observations.reserve(prepared_epochs_.size());
+    std::vector<estimators::EpochCell> cells;
+    cells.reserve(prepared_epochs_.size());
     for (std::int64_t e : prepared_epochs_) {
       auto it = matched.find(detect::StreamKey{dns::ServerId{s}, e});
       const std::vector<detect::MatchedLookup>& lookups =
           (it != matched.end()) ? it->second : kEmpty;
-      server_estimate.matched_lookups += lookups.size();
-
-      estimators::EpochObservation obs;
-      obs.lookups = lookups;
-      obs.config = &config_.dga;
-      obs.pool = &pool_model_->epoch_pool(e);
-      obs.window = &window_for_epoch(e);
-      obs.ttl = config_.ttl;
-      obs.window_start = TimePoint{e * config_.dga.epoch.millis()};
-      obs.window_length = config_.dga.epoch;
-      obs.assumed_miss_rate = config_.assumed_miss_rate;
-      observations.push_back(std::move(obs));
+      const estimators::EpochObservation obs = make_observation(e, lookups);
+      estimators::EpochCell cell;
+      cell.epoch = e;
+      cell.estimate = estimator.estimate_with_interval(obs, 0.9);
+      cell.matched = lookups.size();
+      server_estimate.per_epoch.emplace_back(e, cell.estimate.value);
+      cells.push_back(cell);
     }
 
-    double sum = 0.0, lo_sum = 0.0, hi_sum = 0.0;
-    bool all_intervals = true;
-    for (auto& obs : observations) {
-      const estimators::IntervalEstimate estimate =
-          estimator.estimate_with_interval(obs, 0.9);
-      server_estimate.per_epoch.emplace_back(obs.pool->epoch, estimate.value);
-      sum += estimate.value;
-      if (estimate.interval) {
-        lo_sum += estimate.interval->first;
-        hi_sum += estimate.interval->second;
-      } else {
-        all_intervals = false;
-      }
-    }
-    const auto epochs = static_cast<double>(observations.size());
-    server_estimate.population = sum / epochs;
-    if (all_intervals) {
-      server_estimate.interval90 = {lo_sum / epochs, hi_sum / epochs};
-    }
+    const estimators::WindowAggregate aggregate =
+        estimators::aggregate_cells(cells);
+    server_estimate.population = aggregate.population;
+    server_estimate.interval90 = aggregate.interval;
+    server_estimate.matched_lookups = aggregate.matched;
     if (metrics != nullptr) {
       const std::string label = "server_" + std::to_string(s);
       metrics->counter("analyze.matched_lookups.per_server", label)

@@ -103,11 +103,24 @@ class BotMeter {
       std::span<const dns::ForwardedLookup> stream,
       std::size_t server_count) const;
 
+  /// Bundle the matched lookups of one (server, epoch) cell into the
+  /// estimator input. `lookups` must already be sorted by (t, pool_position)
+  /// — the order match() emits. Shared by analyze() and the streaming
+  /// engine so both hand the estimator byte-identical observations.
+  [[nodiscard]] estimators::EpochObservation make_observation(
+      std::int64_t epoch, std::vector<detect::MatchedLookup> lookups) const;
+
   [[nodiscard]] const dga::QueryPoolModel& pool_model() const { return *pool_model_; }
   [[nodiscard]] const estimators::ModelLibrary& library() const { return library_; }
   [[nodiscard]] const estimators::Estimator& active_estimator() const;
   [[nodiscard]] const detect::DetectionWindow& window_for_epoch(
       std::int64_t epoch) const;
+  [[nodiscard]] const detect::DomainMatcher& matcher() const { return *matcher_; }
+  /// Epochs prepared so far, ascending.
+  [[nodiscard]] std::span<const std::int64_t> prepared_epochs() const {
+    return prepared_epochs_;
+  }
+  [[nodiscard]] const BotMeterConfig& config() const { return config_; }
 
  private:
   BotMeterConfig config_;

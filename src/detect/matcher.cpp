@@ -29,49 +29,55 @@ void DomainMatcher::add_epoch(const dga::EpochPool& pool,
   }
 }
 
+std::optional<DomainMatcher::MatchOutcome> DomainMatcher::match_one(
+    const dns::ForwardedLookup& lookup) const {
+  auto it = index_.find(lookup.domain);
+  if (it == index_.end()) return std::nullopt;
+  const std::vector<Occurrence>& occurrences = it->second;
+
+  // Attribute the lookup to the pool epoch containing its timestamp when
+  // possible; otherwise to the closest registered epoch (a lookup train
+  // that spilled past an epoch boundary, or a sliding-window domain
+  // observed outside its generation day).
+  const std::int64_t nominal =
+      lookup.timestamp.millis() >= 0
+          ? lookup.timestamp.millis() / epoch_length_.millis()
+          : (lookup.timestamp.millis() - epoch_length_.millis() + 1) /
+                epoch_length_.millis();
+  const Occurrence* best = &occurrences.front();
+  std::int64_t best_distance = std::abs(best->epoch - nominal);
+  for (const Occurrence& occ : occurrences) {
+    const std::int64_t distance = std::abs(occ.epoch - nominal);
+    if (distance < best_distance) {
+      best = &occ;
+      best_distance = distance;
+    }
+  }
+  return MatchOutcome{
+      StreamKey{lookup.forwarder, best->epoch},
+      MatchedLookup{lookup.timestamp, best->pool_position, best->is_valid}};
+}
+
 MatchedStreams DomainMatcher::match(
     std::span<const dns::ForwardedLookup> stream, MatchStats* stats) const {
   MatchedStreams out;
   if (stats != nullptr) *stats = MatchStats{};
   for (const dns::ForwardedLookup& lookup : stream) {
     if (stats != nullptr) ++stats->stream_size;
-    auto it = index_.find(lookup.domain);
-    if (it == index_.end()) {
+    const std::optional<MatchOutcome> outcome = match_one(lookup);
+    if (!outcome) {
       if (stats != nullptr) ++stats->unmatched;
       continue;
     }
-    const std::vector<Occurrence>& occurrences = it->second;
-
-    // Attribute the lookup to the pool epoch containing its timestamp when
-    // possible; otherwise to the closest registered epoch (a lookup train
-    // that spilled past an epoch boundary, or a sliding-window domain
-    // observed outside its generation day).
-    const std::int64_t nominal =
-        lookup.timestamp.millis() >= 0
-            ? lookup.timestamp.millis() / epoch_length_.millis()
-            : (lookup.timestamp.millis() - epoch_length_.millis() + 1) /
-                  epoch_length_.millis();
-    const Occurrence* best = &occurrences.front();
-    std::int64_t best_distance =
-        std::abs(best->epoch - nominal);
-    for (const Occurrence& occ : occurrences) {
-      const std::int64_t distance = std::abs(occ.epoch - nominal);
-      if (distance < best_distance) {
-        best = &occ;
-        best_distance = distance;
-      }
-    }
-
     if (stats != nullptr) {
       ++stats->matched;
-      if (best->is_valid) {
+      if (outcome->lookup.is_valid_domain) {
         ++stats->valid_domain;
       } else {
         ++stats->nxd;
       }
     }
-    out[StreamKey{lookup.forwarder, best->epoch}].push_back(
-        MatchedLookup{lookup.timestamp, best->pool_position, best->is_valid});
+    out[outcome->key].push_back(outcome->lookup);
   }
   for (auto& [key, lookups] : out) {
     std::sort(lookups.begin(), lookups.end(),

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -76,6 +77,19 @@ class DomainMatcher {
   }
   [[nodiscard]] MatchedStreams match(
       std::span<const dns::ForwardedLookup> stream, MatchStats* stats) const;
+
+  /// One matched lookup with its (server, epoch) attribution.
+  struct MatchOutcome {
+    StreamKey key;
+    MatchedLookup lookup;
+  };
+
+  /// Match a single lookup — the incremental entry point the streaming
+  /// engine uses. Attribution is identical to match(): the batch path is a
+  /// loop over this function, so a tuple matches the same way whether it
+  /// arrives in a replayed vector or one at a time off a live feed.
+  [[nodiscard]] std::optional<MatchOutcome> match_one(
+      const dns::ForwardedLookup& lookup) const;
 
   [[nodiscard]] std::uint64_t matchable_domain_count() const {
     return index_size_;

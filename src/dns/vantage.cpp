@@ -6,11 +6,23 @@ namespace botmeter::dns {
 
 void VantagePoint::record(TimePoint t, ServerId forwarder, std::string domain) {
   if (granularity_.millis() > 0) t = quantize(t, granularity_);
+  if (sink_) {
+    sink_(ForwardedLookup{t, forwarder, std::move(domain)});
+    return;
+  }
   stream_.push_back(ForwardedLookup{t, forwarder, std::move(domain)});
 }
 
 std::vector<ForwardedLookup> VantagePoint::take() {
   return std::exchange(stream_, {});
+}
+
+std::size_t VantagePoint::drain(
+    const std::function<void(std::span<const ForwardedLookup>)>& consume) {
+  const std::size_t n = stream_.size();
+  if (n != 0) consume(std::span<const ForwardedLookup>{stream_});
+  stream_.clear();
+  return n;
 }
 
 }  // namespace botmeter::dns

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,13 +29,30 @@ struct ForwardedLookup {
 /// Append-only sink of forwarded lookups, with optional timestamp
 /// quantisation to model the coarse collection granularity of real traces
 /// (100 ms in the synthetic experiments, 1 s in the enterprise dataset).
+///
+/// Two consumption modes:
+///   - *batch* (default): lookups accumulate into an internal vector that
+///     callers read via stream() or move out via take();
+///   - *tap* (set_sink): every record() is handed to a callback in arrival
+///     order and nothing is buffered — the bounded-memory path long-horizon
+///     monitors use to feed the streaming engine (src/stream/) without ever
+///     materialising the full lookup stream.
 class VantagePoint {
  public:
+  using Sink = std::function<void(const ForwardedLookup&)>;
+
   VantagePoint() = default;
   /// `granularity` <= 0 ms means "record exact timestamps".
   explicit VantagePoint(Duration granularity) : granularity_(granularity) {}
 
   void record(TimePoint t, ServerId forwarder, std::string domain);
+
+  /// Install (or, with a null sink, remove) the tap. Timestamp quantisation
+  /// still applies before the callback sees a tuple, so a tapped consumer
+  /// observes exactly the stream a batch caller would. Installing a sink
+  /// does not disturb already-buffered lookups; drain or take them first.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  [[nodiscard]] bool has_sink() const { return static_cast<bool>(sink_); }
 
   [[nodiscard]] const std::vector<ForwardedLookup>& stream() const { return stream_; }
   [[nodiscard]] std::size_t size() const { return stream_.size(); }
@@ -42,9 +61,16 @@ class VantagePoint {
   /// Move the accumulated stream out (the harness drains per-epoch).
   [[nodiscard]] std::vector<ForwardedLookup> take();
 
+  /// Pull-batch drain: hand the buffered lookups to `consume` as one span,
+  /// then clear the buffer. Returns the number of lookups handed over.
+  /// The span is only valid during the call.
+  std::size_t drain(
+      const std::function<void(std::span<const ForwardedLookup>)>& consume);
+
  private:
   Duration granularity_{0};
   std::vector<ForwardedLookup> stream_;
+  Sink sink_;
 };
 
 }  // namespace botmeter::dns

@@ -49,4 +49,25 @@ double estimate_window(const Estimator& estimator,
   return value;
 }
 
+WindowAggregate aggregate_cells(std::span<const EpochCell> cells) {
+  if (cells.empty()) throw ConfigError("aggregate_cells: no cells");
+  double sum = 0.0, lo_sum = 0.0, hi_sum = 0.0;
+  bool all_intervals = true;
+  WindowAggregate out;
+  for (const EpochCell& cell : cells) {
+    sum += cell.estimate.value;
+    if (cell.estimate.interval) {
+      lo_sum += cell.estimate.interval->first;
+      hi_sum += cell.estimate.interval->second;
+    } else {
+      all_intervals = false;
+    }
+    out.matched += cell.matched;
+  }
+  const auto n = static_cast<double>(cells.size());
+  out.population = sum / n;
+  if (all_intervals) out.interval = {lo_sum / n, hi_sum / n};
+  return out;
+}
+
 }  // namespace botmeter::estimators

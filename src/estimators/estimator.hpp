@@ -1,6 +1,7 @@
 // The estimator interface and window-level helpers.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -64,5 +65,30 @@ class Estimator {
 [[nodiscard]] double estimate_window(const Estimator& estimator,
                                      std::span<const EpochObservation> epochs,
                                      obs::MetricsRegistry* metrics = nullptr);
+
+/// One (server, epoch) cell: the per-epoch interval estimate plus the number
+/// of matched lookups it consumed. Cells are what the streaming engine keeps
+/// after an epoch closes — the estimate is final, the lookups are freed.
+struct EpochCell {
+  std::int64_t epoch = 0;
+  IntervalEstimate estimate;
+  std::uint64_t matched = 0;
+};
+
+/// The multi-epoch window aggregate for one server.
+struct WindowAggregate {
+  double population = 0.0;  // mean of the per-epoch point estimates
+  /// Mean of the per-epoch bounds, present only when every cell carries an
+  /// interval (conservative; epoch estimates are close to independent).
+  std::optional<std::pair<double, double>> interval;
+  std::uint64_t matched = 0;  // total matched lookups across the cells
+};
+
+/// Aggregate per-epoch cells into the window estimate, summing in the given
+/// order. This is the single definition of the window aggregation: batch
+/// `BotMeter::analyze` and the streaming engine both call it with cells in
+/// ascending epoch order, which is what makes their floating-point totals
+/// bit-identical. Throws ConfigError on an empty span.
+[[nodiscard]] WindowAggregate aggregate_cells(std::span<const EpochCell> cells);
 
 }  // namespace botmeter::estimators

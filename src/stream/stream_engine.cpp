@@ -1,0 +1,438 @@
+#include "stream/stream_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace botmeter::stream {
+
+namespace {
+
+/// The canonical in-bucket order — the comparator DomainMatcher::match uses,
+/// so a sorted bucket is element-wise identical to the batch matcher's
+/// stream for the same (server, epoch).
+bool lookup_less(const detect::MatchedLookup& a, const detect::MatchedLookup& b) {
+  if (a.t != b.t) return a.t < b.t;
+  return a.pool_position < b.pool_position;
+}
+
+constexpr const char* kCheckpointSchema = "botmeter.stream_checkpoint.v1";
+
+template <typename T>
+json::Value number(T v) {
+  return json::Value(static_cast<double>(v));
+}
+
+}  // namespace
+
+void StreamEngineConfig::validate() const {
+  meter.validate();
+  if (epoch_count <= 0) {
+    throw ConfigError("StreamEngineConfig: epoch_count must be > 0");
+  }
+  if (server_count == 0) {
+    throw ConfigError("StreamEngineConfig: server_count must be > 0");
+  }
+  if (allowed_lateness && allowed_lateness->millis() < 0) {
+    throw ConfigError("StreamEngineConfig: allowed_lateness must be >= 0");
+  }
+}
+
+double EpochReport::total_population() const {
+  double total = 0.0;
+  for (const core::ServerEstimate& s : servers) total += s.population;
+  return total;
+}
+
+core::LandscapeReport EpochReport::as_landscape() const {
+  core::LandscapeReport report;
+  report.estimator_name = estimator_name;
+  report.servers = servers;
+  return report;
+}
+
+StreamEngine::StreamEngine(StreamEngineConfig config)
+    : config_((config.validate(), std::move(config))),
+      meter_(config_.meter),
+      workers_(config_.worker_threads) {
+  meter_.prepare_epochs(config_.first_epoch, config_.epoch_count);
+}
+
+void StreamEngine::on_epoch_close(EpochCallback callback) {
+  on_close_ = std::move(callback);
+}
+
+Duration StreamEngine::lateness() const {
+  return config_.allowed_lateness.value_or(config_.meter.dga.epoch);
+}
+
+TimePoint StreamEngine::epoch_close_boundary(std::int64_t epoch) const {
+  return TimePoint{(epoch + 1) * config_.meter.dga.epoch.millis()} + lateness();
+}
+
+std::int64_t StreamEngine::next_epoch_to_close() const {
+  return config_.first_epoch + static_cast<std::int64_t>(closed_.size());
+}
+
+void StreamEngine::ingest_matched(
+    const detect::DomainMatcher::MatchOutcome& outcome) {
+  if (outcome.key.epoch < next_epoch_to_close()) {
+    ++late_dropped_;
+    return;
+  }
+  ++matched_;
+  open_[outcome.key].push_back(outcome.lookup);
+  ++resident_;
+  peak_resident_ = std::max(peak_resident_, resident_);
+}
+
+void StreamEngine::ingest(const dns::ForwardedLookup& lookup) {
+  if (finished_) throw ConfigError("StreamEngine: ingest after finish()");
+  ++ingested_;
+  const std::optional<detect::DomainMatcher::MatchOutcome> outcome =
+      meter_.matcher().match_one(lookup);
+  if (outcome) {
+    ingest_matched(*outcome);
+  } else {
+    ++unmatched_;
+  }
+  if (!watermark_ || lookup.timestamp > *watermark_) {
+    watermark_ = lookup.timestamp;
+    maybe_close(*watermark_);
+  }
+}
+
+void StreamEngine::ingest(std::span<const dns::ForwardedLookup> batch) {
+  for (const dns::ForwardedLookup& lookup : batch) ingest(lookup);
+}
+
+void StreamEngine::advance(TimePoint watermark) {
+  if (finished_) throw ConfigError("StreamEngine: advance after finish()");
+  if (!watermark_ || watermark > *watermark_) {
+    watermark_ = watermark;
+    maybe_close(*watermark_);
+  }
+}
+
+void StreamEngine::maybe_close(TimePoint watermark) {
+  while (closed_.size() < static_cast<std::size_t>(config_.epoch_count) &&
+         watermark >= epoch_close_boundary(next_epoch_to_close())) {
+    close_next_epoch();
+  }
+}
+
+void StreamEngine::close_through(std::int64_t epoch) {
+  if (finished_) throw ConfigError("StreamEngine: close_through after finish()");
+  while (closed_.size() < static_cast<std::size_t>(config_.epoch_count) &&
+         next_epoch_to_close() <= epoch) {
+    close_next_epoch();
+  }
+}
+
+void StreamEngine::close_next_epoch() {
+  const std::int64_t epoch = next_epoch_to_close();
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Serially detach this epoch's buckets from the open map (one per
+  // server; servers with no matched traffic get an empty bucket — a
+  // population-0 statement, exactly as in batch analyze).
+  std::vector<std::vector<detect::MatchedLookup>> buckets(config_.server_count);
+  std::uint64_t epoch_matched = 0;
+  for (std::uint32_t s = 0; s < config_.server_count; ++s) {
+    auto it = open_.find(detect::StreamKey{dns::ServerId{s}, epoch});
+    if (it != open_.end()) {
+      buckets[s] = std::move(it->second);
+      open_.erase(it);
+      epoch_matched += buckets[s].size();
+    }
+  }
+  resident_ -= static_cast<std::size_t>(epoch_matched);
+
+  // Per-server estimation, sharded over the worker pool. Every cell is an
+  // independent pure function of its bucket written to its own slot, so the
+  // row is bit-identical for any worker_threads value.
+  const estimators::Estimator& estimator = meter_.active_estimator();
+  std::vector<Cell> row(config_.server_count);
+  workers_.parallel_for(config_.server_count, [&](std::size_t s) {
+    std::vector<detect::MatchedLookup>& bucket = buckets[s];
+    std::sort(bucket.begin(), bucket.end(), lookup_less);
+    const std::uint64_t count = bucket.size();
+    const estimators::EpochObservation obs =
+        meter_.make_observation(epoch, std::move(bucket));
+    row[s].epoch = epoch;
+    row[s].estimate = estimator.estimate_with_interval(obs, 0.9);
+    row[s].matched = count;
+  });
+  closed_.push_back(std::move(row));
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                wall_start)
+          .count();
+  close_latencies_ms_.push_back(wall_ms);
+
+  obs::MetricsRegistry* const metrics = config_.meter.metrics;
+  if (metrics != nullptr) {
+    const std::string label = "epoch_" + std::to_string(epoch);
+    metrics->counter("stream.closed_epochs").add(1);
+    metrics->counter("stream.matched.per_epoch", label).add(epoch_matched);
+    static constexpr double kCloseBounds[] = {0.1, 0.3, 1.0,   3.0,  10.0,
+                                              30.0, 100.0, 300.0, 1000.0};
+    metrics->histogram("stream.epoch_close_ms", kCloseBounds).observe(wall_ms);
+    metrics->gauge("stream.resident_lookups").set(static_cast<double>(resident_));
+    metrics->gauge("stream.resident_lookups.peak")
+        .set(static_cast<double>(peak_resident_));
+  }
+  if (config_.meter.trace != nullptr) {
+    config_.meter.trace->record("stream.epoch_close", wall_ms);
+  }
+
+  if (on_close_) {
+    const std::vector<Cell>& cells = closed_.back();
+    EpochReport report;
+    report.epoch = epoch;
+    report.estimator_name = std::string(estimator.name());
+    report.servers.reserve(config_.server_count);
+    for (std::uint32_t s = 0; s < config_.server_count; ++s) {
+      core::ServerEstimate estimate;
+      estimate.server = dns::ServerId{s};
+      estimate.population = cells[s].estimate.value;
+      estimate.per_epoch.emplace_back(epoch, cells[s].estimate.value);
+      estimate.matched_lookups = cells[s].matched;
+      estimate.interval90 = cells[s].estimate.interval;
+      report.servers.push_back(std::move(estimate));
+    }
+    on_close_(report);
+  }
+}
+
+core::LandscapeReport StreamEngine::finish() {
+  if (finished_) throw ConfigError("StreamEngine: finish() called twice");
+  while (closed_.size() < static_cast<std::size_t>(config_.epoch_count)) {
+    close_next_epoch();
+  }
+  finished_ = true;
+
+  // Assemble the final landscape from the retained cells via the shared
+  // window aggregation — the same code path, in the same epoch order, as
+  // batch analyze, hence bit-identical totals.
+  core::LandscapeReport report;
+  report.estimator_name = std::string(meter_.active_estimator().name());
+  report.servers.reserve(config_.server_count);
+  std::vector<Cell> column(static_cast<std::size_t>(config_.epoch_count));
+  for (std::uint32_t s = 0; s < config_.server_count; ++s) {
+    for (std::size_t i = 0; i < closed_.size(); ++i) column[i] = closed_[i][s];
+    core::ServerEstimate estimate;
+    estimate.server = dns::ServerId{s};
+    for (const Cell& cell : column) {
+      estimate.per_epoch.emplace_back(cell.epoch, cell.estimate.value);
+    }
+    const estimators::WindowAggregate aggregate =
+        estimators::aggregate_cells(column);
+    estimate.population = aggregate.population;
+    estimate.interval90 = aggregate.interval;
+    estimate.matched_lookups = aggregate.matched;
+    report.servers.push_back(std::move(estimate));
+  }
+
+  obs::MetricsRegistry* const metrics = config_.meter.metrics;
+  if (metrics != nullptr) {
+    metrics->counter("stream.ingested").add(ingested_);
+    metrics->counter("stream.matched").add(matched_);
+    metrics->counter("stream.unmatched").add(unmatched_);
+    metrics->counter("stream.late_dropped").add(late_dropped_);
+    metrics->gauge("stream.population.total").set(report.total_population());
+  }
+  return report;
+}
+
+// --- checkpointing ---------------------------------------------------------
+
+json::Value StreamEngine::checkpoint() const {
+  json::Object fingerprint;
+  fingerprint.emplace("family", json::Value(config_.meter.dga.name));
+  fingerprint.emplace("dga_seed", number(config_.meter.dga.seed));
+  fingerprint.emplace("estimator", json::Value(config_.meter.estimator));
+  fingerprint.emplace("window_seed", number(config_.meter.seed));
+  fingerprint.emplace("detection_miss_rate",
+                      number(config_.meter.detection_miss_rate));
+  fingerprint.emplace("first_epoch", number(config_.first_epoch));
+  fingerprint.emplace("epoch_count", number(config_.epoch_count));
+  fingerprint.emplace("server_count", number(config_.server_count));
+  fingerprint.emplace("neg_ttl_ms", number(config_.meter.ttl.negative.millis()));
+
+  json::Array closed;
+  for (std::size_t i = 0; i < closed_.size(); ++i) {
+    const std::vector<Cell>& row = closed_[i];
+    json::Array value, matched, lo, hi;
+    for (const Cell& cell : row) {
+      value.push_back(number(cell.estimate.value));
+      matched.push_back(number(cell.matched));
+      if (cell.estimate.interval) {
+        lo.push_back(number(cell.estimate.interval->first));
+        hi.push_back(number(cell.estimate.interval->second));
+      } else {
+        lo.push_back(json::Value(nullptr));
+        hi.push_back(json::Value(nullptr));
+      }
+    }
+    json::Object row_obj;
+    row_obj.emplace("epoch",
+                    number(config_.first_epoch + static_cast<std::int64_t>(i)));
+    row_obj.emplace("value", json::Value(std::move(value)));
+    row_obj.emplace("matched", json::Value(std::move(matched)));
+    row_obj.emplace("lo", json::Value(std::move(lo)));
+    row_obj.emplace("hi", json::Value(std::move(hi)));
+    closed.emplace_back(std::move(row_obj));
+  }
+
+  json::Array open;
+  for (const auto& [key, bucket] : open_) {
+    json::Array t, pos, valid;
+    for (const detect::MatchedLookup& lookup : bucket) {
+      t.push_back(number(lookup.t.millis()));
+      pos.push_back(number(static_cast<std::int64_t>(lookup.pool_position)));
+      valid.push_back(number(static_cast<std::int64_t>(
+          lookup.is_valid_domain ? 1 : 0)));
+    }
+    json::Object bucket_obj;
+    bucket_obj.emplace("server", number(static_cast<std::int64_t>(key.server.value())));
+    bucket_obj.emplace("epoch", number(key.epoch));
+    bucket_obj.emplace("t", json::Value(std::move(t)));
+    bucket_obj.emplace("pos", json::Value(std::move(pos)));
+    bucket_obj.emplace("valid", json::Value(std::move(valid)));
+    open.emplace_back(std::move(bucket_obj));
+  }
+
+  json::Object root;
+  root.emplace("schema", json::Value(std::string(kCheckpointSchema)));
+  root.emplace("config", json::Value(std::move(fingerprint)));
+  root.emplace("watermark_ms", watermark_ ? number(watermark_->millis())
+                                          : json::Value(nullptr));
+  root.emplace("ingested", number(ingested_));
+  root.emplace("matched", number(matched_));
+  root.emplace("unmatched", number(unmatched_));
+  root.emplace("late_dropped", number(late_dropped_));
+  root.emplace("peak_resident", number(peak_resident_));
+  root.emplace("finished", json::Value(finished_));
+  root.emplace("closed", json::Value(std::move(closed)));
+  root.emplace("open", json::Value(std::move(open)));
+  return json::Value(std::move(root));
+}
+
+void StreamEngine::restore(const json::Value& checkpoint) {
+  if (ingested_ != 0 || !closed_.empty() || !open_.empty() || finished_) {
+    throw ConfigError("StreamEngine::restore: engine already used");
+  }
+  if (checkpoint.at("schema").as_string() != kCheckpointSchema) {
+    throw DataError("StreamEngine::restore: unknown schema '" +
+                    checkpoint.at("schema").as_string() + "'");
+  }
+
+  const json::Value& fp = checkpoint.at("config");
+  auto require = [&fp](const std::string& key, auto actual) {
+    const double stored = fp.at(key).as_double();
+    if (stored != static_cast<double>(actual)) {
+      throw DataError("StreamEngine::restore: checkpoint was taken under a "
+                      "different configuration (" + key + " mismatch)");
+    }
+  };
+  if (fp.at("family").as_string() != config_.meter.dga.name) {
+    throw DataError(
+        "StreamEngine::restore: checkpoint was taken under a different "
+        "configuration (family mismatch)");
+  }
+  if (fp.at("estimator").as_string() != config_.meter.estimator) {
+    throw DataError(
+        "StreamEngine::restore: checkpoint was taken under a different "
+        "configuration (estimator mismatch)");
+  }
+  require("dga_seed", config_.meter.dga.seed);
+  require("window_seed", config_.meter.seed);
+  require("detection_miss_rate", config_.meter.detection_miss_rate);
+  require("first_epoch", config_.first_epoch);
+  require("epoch_count", config_.epoch_count);
+  require("server_count", config_.server_count);
+  require("neg_ttl_ms", config_.meter.ttl.negative.millis());
+
+  const json::Value& watermark = checkpoint.at("watermark_ms");
+  if (!watermark.is_null()) watermark_ = TimePoint{watermark.as_int()};
+  ingested_ = static_cast<std::uint64_t>(checkpoint.at("ingested").as_int());
+  matched_ = static_cast<std::uint64_t>(checkpoint.at("matched").as_int());
+  unmatched_ = static_cast<std::uint64_t>(checkpoint.at("unmatched").as_int());
+  late_dropped_ =
+      static_cast<std::uint64_t>(checkpoint.at("late_dropped").as_int());
+  peak_resident_ =
+      static_cast<std::size_t>(checkpoint.at("peak_resident").as_int());
+  finished_ = checkpoint.at("finished").as_bool();
+
+  const json::Array& closed = checkpoint.at("closed").as_array();
+  if (closed.size() > static_cast<std::size_t>(config_.epoch_count)) {
+    throw DataError("StreamEngine::restore: more closed epochs than the horizon");
+  }
+  for (std::size_t i = 0; i < closed.size(); ++i) {
+    const json::Value& row_obj = closed[i];
+    if (row_obj.at("epoch").as_int() !=
+        config_.first_epoch + static_cast<std::int64_t>(i)) {
+      throw DataError("StreamEngine::restore: closed epochs not contiguous");
+    }
+    const json::Array& value = row_obj.at("value").as_array();
+    const json::Array& matched = row_obj.at("matched").as_array();
+    const json::Array& lo = row_obj.at("lo").as_array();
+    const json::Array& hi = row_obj.at("hi").as_array();
+    if (value.size() != config_.server_count ||
+        matched.size() != config_.server_count ||
+        lo.size() != config_.server_count || hi.size() != config_.server_count) {
+      throw DataError("StreamEngine::restore: closed row width mismatch");
+    }
+    std::vector<Cell> row(config_.server_count);
+    for (std::size_t s = 0; s < config_.server_count; ++s) {
+      row[s].epoch = row_obj.at("epoch").as_int();
+      row[s].estimate.value = value[s].as_double();
+      row[s].matched = static_cast<std::uint64_t>(matched[s].as_int());
+      if (!lo[s].is_null() != !hi[s].is_null()) {
+        throw DataError("StreamEngine::restore: half-open interval in cell");
+      }
+      if (!lo[s].is_null()) {
+        row[s].estimate.interval = {lo[s].as_double(), hi[s].as_double()};
+      }
+    }
+    closed_.push_back(std::move(row));
+  }
+
+  for (const json::Value& bucket_obj : checkpoint.at("open").as_array()) {
+    const std::int64_t epoch = bucket_obj.at("epoch").as_int();
+    const std::int64_t server = bucket_obj.at("server").as_int();
+    if (epoch < next_epoch_to_close() ||
+        epoch >= config_.first_epoch + config_.epoch_count) {
+      throw DataError("StreamEngine::restore: open bucket outside the horizon");
+    }
+    if (server < 0 || static_cast<std::size_t>(server) >= config_.server_count) {
+      throw DataError("StreamEngine::restore: open bucket server out of range");
+    }
+    const json::Array& t = bucket_obj.at("t").as_array();
+    const json::Array& pos = bucket_obj.at("pos").as_array();
+    const json::Array& valid = bucket_obj.at("valid").as_array();
+    if (t.size() != pos.size() || t.size() != valid.size()) {
+      throw DataError("StreamEngine::restore: open bucket arrays misaligned");
+    }
+    std::vector<detect::MatchedLookup>& bucket = open_[detect::StreamKey{
+        dns::ServerId{static_cast<std::uint32_t>(server)}, epoch}];
+    bucket.reserve(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      bucket.push_back(detect::MatchedLookup{
+          TimePoint{t[i].as_int()},
+          static_cast<std::uint32_t>(pos[i].as_int()),
+          valid[i].as_int() != 0});
+    }
+    resident_ += bucket.size();
+  }
+  peak_resident_ = std::max(peak_resident_, resident_);
+}
+
+}  // namespace botmeter::stream

@@ -1,0 +1,199 @@
+// The online BotMeter engine: incremental landscape charting over a live
+// border feed.
+//
+// The batch pipeline (core::BotMeter::analyze) consumes the whole
+// vantage-point horizon at once; a deployed monitor can't — it taps the
+// border server continuously (§II, Fig. 2) and must publish estimates as
+// epochs complete, with memory bounded by the *active* window rather than
+// the horizon. StreamEngine is that path:
+//
+//   - Tuples arrive one at a time or in batches (ingest), in any order the
+//     collector's quantised timestamps produce. Each is matched immediately
+//     (DomainMatcher::match_one — the same attribution the batch matcher
+//     applies) and the matched residue is bucketed per (server, epoch).
+//     Unmatched traffic — the overwhelming majority at a real border — is
+//     dropped on arrival, never buffered.
+//   - An epoch closes when the ingest watermark (max timestamp seen) passes
+//     the epoch's end plus `allowed_lateness`, or when the producer closes
+//     it explicitly (close_through / finish). At close, the engine sorts
+//     each server's bucket, builds the same EpochObservation batch analyze
+//     would, runs the active estimator (optionally sharded over servers by
+//     a worker pool), frees the buckets, and emits an EpochReport.
+//   - finish() closes everything outstanding and assembles the final
+//     LandscapeReport from the retained per-epoch cells via the shared
+//     window aggregation — **bit-identical** to core::BotMeter::analyze on
+//     the concatenated stream (provided nothing was dropped as late), for
+//     every estimator and any worker_threads value.
+//   - checkpoint()/restore() round-trip the mutable state through the
+//     byte-stable common/json writer (schema botmeter.stream_checkpoint.v1)
+//     so a monitor can restart mid-horizon without reprocessing the feed.
+//
+// See DESIGN.md §7 for the state layout and equivalence argument.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/parallel.hpp"
+#include "common/time.hpp"
+#include "core/botmeter.hpp"
+#include "detect/matcher.hpp"
+#include "dns/vantage.hpp"
+#include "estimators/estimator.hpp"
+
+namespace botmeter::stream {
+
+struct StreamEngineConfig {
+  /// The analysis configuration (family, TTL policy, estimator choice,
+  /// detection window seed, obs sinks) — exactly what batch BotMeter takes.
+  core::BotMeterConfig meter;
+
+  /// Epoch horizon [first_epoch, first_epoch + epoch_count). All pools and
+  /// detection windows are prepared up front so incremental matching
+  /// attributes tuples exactly as a batch matcher over the horizon would.
+  std::int64_t first_epoch = 0;
+  std::int64_t epoch_count = 1;
+
+  /// Number of local DNS servers behind the border (fixes report width).
+  std::size_t server_count = 1;
+
+  /// Worker threads for per-server estimation at epoch close. Results are
+  /// bit-identical for every value: each server's estimate is an
+  /// independent pure function of its bucket, written to its own slot.
+  std::size_t worker_threads = 1;
+
+  /// How far the watermark must pass an epoch's end before the engine
+  /// auto-closes it. Lookup trains spill past epoch boundaries and
+  /// quantised collectors deliver ties out of order, so closing exactly at
+  /// the boundary would drop stragglers. Default (nullopt): one epoch
+  /// length — ample for every simulated family. Tuples attributed to an
+  /// already-closed epoch are counted in late_dropped(), not analyzed.
+  std::optional<Duration> allowed_lateness;
+
+  void validate() const;
+};
+
+/// What one epoch close produced: per-server single-epoch estimates. The
+/// values are final — late tuples can no longer change them.
+struct EpochReport {
+  std::int64_t epoch = 0;
+  std::string estimator_name;
+  std::vector<core::ServerEstimate> servers;  // per_epoch has one entry each
+
+  [[nodiscard]] double total_population() const;
+  /// View as a one-epoch landscape (for viz::render_landscape etc.).
+  [[nodiscard]] core::LandscapeReport as_landscape() const;
+};
+
+class StreamEngine {
+ public:
+  using EpochCallback = std::function<void(const EpochReport&)>;
+
+  explicit StreamEngine(StreamEngineConfig config);
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Invoked after every epoch close, in ascending epoch order.
+  void on_epoch_close(EpochCallback callback);
+
+  /// Ingest one tuple / a batch of tuples. Throws ConfigError after
+  /// finish(). Advances the watermark and auto-closes every epoch whose
+  /// close boundary it passed.
+  void ingest(const dns::ForwardedLookup& lookup);
+  void ingest(std::span<const dns::ForwardedLookup> batch);
+
+  /// Advance the watermark without data (a quiet feed still makes time
+  /// pass), closing epochs the new watermark matured.
+  void advance(TimePoint watermark);
+
+  /// Explicitly close every epoch up to and including `epoch`, regardless
+  /// of the watermark — for producers that know a period is complete (e.g.
+  /// a per-day batch feed). No-op for epochs already closed.
+  void close_through(std::int64_t epoch);
+
+  /// Close all remaining epochs and return the final landscape —
+  /// bit-identical to batch analyze on the same stream when late_dropped()
+  /// is zero. The engine is sealed afterwards (ingest throws; checkpoint
+  /// and accessors still work).
+  [[nodiscard]] core::LandscapeReport finish();
+
+  // --- introspection -------------------------------------------------------
+  [[nodiscard]] std::uint64_t ingested() const { return ingested_; }
+  [[nodiscard]] std::uint64_t matched() const { return matched_; }
+  [[nodiscard]] std::uint64_t unmatched() const { return unmatched_; }
+  [[nodiscard]] std::uint64_t late_dropped() const { return late_dropped_; }
+  /// Matched lookups currently buffered in open epochs — the engine's
+  /// resident analysis state. Bounded by the active window, not the horizon.
+  [[nodiscard]] std::size_t resident_lookups() const { return resident_; }
+  [[nodiscard]] std::size_t peak_resident_lookups() const { return peak_resident_; }
+  /// Next epoch that will close (first_epoch + epochs_closed); one past the
+  /// horizon once everything closed.
+  [[nodiscard]] std::int64_t next_epoch_to_close() const;
+  [[nodiscard]] std::optional<TimePoint> watermark() const { return watermark_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  /// Wall milliseconds of each epoch close so far (flush latency).
+  [[nodiscard]] std::span<const double> close_latencies_ms() const {
+    return close_latencies_ms_;
+  }
+  [[nodiscard]] const core::BotMeter& meter() const { return meter_; }
+  [[nodiscard]] const StreamEngineConfig& config() const { return config_; }
+
+  // --- checkpointing -------------------------------------------------------
+  /// Serialize the engine's mutable state (schema
+  /// botmeter.stream_checkpoint.v1). Derived state — pools, detection
+  /// windows, the matcher index — is a pure function of the configuration
+  /// and is rebuilt on restore, so checkpoints stay small: counters, the
+  /// watermark, closed-epoch cells, and the open buckets.
+  [[nodiscard]] json::Value checkpoint() const;
+
+  /// Load a checkpoint into a freshly constructed engine (nothing ingested
+  /// yet). The engine's configuration must match the checkpointed
+  /// fingerprint (family, estimator, horizon, server count); mismatches and
+  /// schema violations throw DataError. After restore the engine continues
+  /// exactly where the checkpointed one stopped: resumed ingestion yields
+  /// bit-identical reports.
+  void restore(const json::Value& checkpoint);
+
+ private:
+  /// One closed (server, epoch) cell. The estimate is immutable once the
+  /// epoch closed; buckets are freed at that point.
+  using Cell = estimators::EpochCell;
+
+  void ingest_matched(const detect::DomainMatcher::MatchOutcome& outcome);
+  void maybe_close(TimePoint watermark);
+  void close_next_epoch();
+  [[nodiscard]] Duration lateness() const;
+  [[nodiscard]] TimePoint epoch_close_boundary(std::int64_t epoch) const;
+
+  StreamEngineConfig config_;
+  core::BotMeter meter_;
+  WorkerPool workers_;
+  EpochCallback on_close_;
+
+  /// Open buckets: matched lookups awaiting their epoch's close, keyed by
+  /// (server, epoch). Append order; sorted at close.
+  std::map<detect::StreamKey, std::vector<detect::MatchedLookup>> open_;
+
+  /// Closed cells, [epoch index][server]. Grows one epoch row per close;
+  /// this (plus `open_`) is the entire analysis state.
+  std::vector<std::vector<Cell>> closed_;
+
+  std::optional<TimePoint> watermark_;
+  std::uint64_t ingested_ = 0;
+  std::uint64_t matched_ = 0;
+  std::uint64_t unmatched_ = 0;
+  std::uint64_t late_dropped_ = 0;
+  std::size_t resident_ = 0;
+  std::size_t peak_resident_ = 0;
+  bool finished_ = false;
+  std::vector<double> close_latencies_ms_;
+};
+
+}  // namespace botmeter::stream

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 #include <string_view>
+#include <type_traits>
 
 #include "common/error.hpp"
 
@@ -11,34 +12,77 @@ namespace botmeter::trace {
 
 namespace {
 
-[[noreturn]] void malformed(std::size_t line_no, const std::string& line) {
+[[noreturn]] void malformed(std::size_t line_no, std::string_view reason,
+                            std::string_view line) {
   throw DataError("trace parse error at line " + std::to_string(line_no) +
-                  ": '" + line + "'");
+                  ": " + std::string(reason) + " in '" + std::string(line) +
+                  "'");
 }
 
-/// Split `line` into exactly `n` tab-separated fields; returns false on a
-/// field-count mismatch.
-bool split_tabs(std::string_view line, std::span<std::string_view> fields) {
+/// Split `line` into exactly `fields.size()` tab-separated fields; throws a
+/// located DataError naming the actual count on mismatch (truncated or
+/// over-long collector lines).
+void split_tabs(std::string_view line, std::span<std::string_view> fields,
+                std::size_t line_no) {
   std::size_t i = 0;
-  while (!line.empty() || i < fields.size()) {
-    if (i == fields.size()) return false;  // too many fields
-    const std::size_t tab = line.find('\t');
+  std::string_view rest = line;
+  while (true) {
+    const std::size_t tab = rest.find('\t');
+    if (i == fields.size()) {
+      malformed(line_no, "too many fields (expected " +
+                             std::to_string(fields.size()) + ")", line);
+    }
     if (tab == std::string_view::npos) {
-      fields[i++] = line;
-      line = {};
+      fields[i++] = rest;
       break;
     }
-    fields[i++] = line.substr(0, tab);
-    line.remove_prefix(tab + 1);
+    fields[i++] = rest.substr(0, tab);
+    rest.remove_prefix(tab + 1);
   }
-  return i == fields.size();
+  if (i != fields.size()) {
+    malformed(line_no, "truncated record (" + std::to_string(i) + " of " +
+                           std::to_string(fields.size()) + " fields)", line);
+  }
 }
 
+/// Parse a full-width integer field; distinguishes junk from overflow so the
+/// error names the real problem (a 2^40 "server id" is out of range, not
+/// merely non-numeric).
 template <typename T>
-bool parse_int(std::string_view s, T& out) {
+void parse_int_field(std::string_view s, T& out, std::string_view what,
+                     std::size_t line_no, std::string_view line) {
   const auto* end = s.data() + s.size();
   auto [ptr, ec] = std::from_chars(s.data(), end, out);
-  return ec == std::errc{} && ptr == end;
+  const bool negative_into_unsigned =
+      std::is_unsigned_v<T> && !s.empty() && s.front() == '-';
+  if (ec == std::errc::result_out_of_range || negative_into_unsigned) {
+    malformed(line_no, "out-of-range " + std::string(what) + " '" +
+                           std::string(s) + "'", line);
+  }
+  if (ec != std::errc{} || ptr != end) {
+    malformed(line_no, "non-numeric " + std::string(what) + " '" +
+                           std::string(s) + "'", line);
+  }
+}
+
+/// Per-line front end shared by the readers: strip one trailing CR (CRLF
+/// traces), skip blank lines. Returns false when the line carries no record.
+bool normalize_line(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return !line.empty();
+}
+
+dns::ForwardedLookup parse_observable_line(std::string_view line,
+                                           std::size_t line_no) {
+  std::string_view fields[3];
+  split_tabs(line, fields, line_no);
+  std::int64_t t_ms = 0;
+  std::uint32_t server = 0;
+  parse_int_field(fields[0], t_ms, "timestamp", line_no, line);
+  parse_int_field(fields[1], server, "server id", line_no, line);
+  if (fields[2].empty()) malformed(line_no, "empty domain", line);
+  return dns::ForwardedLookup{TimePoint{t_ms}, dns::ServerId{server},
+                              std::string(fields[2])};
 }
 
 }  // namespace
@@ -64,22 +108,22 @@ std::vector<botnet::RawRecord> read_raw(std::istream& is) {
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
-    if (line.empty()) continue;
+    if (!normalize_line(line)) continue;
     std::string_view fields[4];
-    if (!split_tabs(line, fields)) malformed(line_no, line);
+    split_tabs(line, fields, line_no);
     std::int64_t t_ms = 0;
     std::uint32_t client = 0;
-    if (!parse_int(fields[0], t_ms) || !parse_int(fields[1], client) ||
-        fields[2].empty()) {
-      malformed(line_no, line);
-    }
+    parse_int_field(fields[0], t_ms, "timestamp", line_no, line);
+    parse_int_field(fields[1], client, "client id", line_no, line);
+    if (fields[2].empty()) malformed(line_no, "empty domain", line);
     dns::Rcode rcode;
     if (fields[3] == "A") {
       rcode = dns::Rcode::kAddress;
     } else if (fields[3] == "NX") {
       rcode = dns::Rcode::kNxDomain;
     } else {
-      malformed(line_no, line);
+      malformed(line_no, "unknown rcode '" + std::string(fields[3]) + "'",
+                line);
     }
     records.push_back(botnet::RawRecord{TimePoint{t_ms}, dns::ClientId{client},
                                         std::string(fields[2]), rcode});
@@ -89,23 +133,25 @@ std::vector<botnet::RawRecord> read_raw(std::istream& is) {
 
 std::vector<dns::ForwardedLookup> read_observable(std::istream& is) {
   std::vector<dns::ForwardedLookup> lookups;
+  for_each_observable(is, [&lookups](const dns::ForwardedLookup& l) {
+    lookups.push_back(l);
+  });
+  return lookups;
+}
+
+std::size_t for_each_observable(
+    std::istream& is,
+    const std::function<void(const dns::ForwardedLookup&)>& sink) {
   std::string line;
   std::size_t line_no = 0;
+  std::size_t delivered = 0;
   while (std::getline(is, line)) {
     ++line_no;
-    if (line.empty()) continue;
-    std::string_view fields[3];
-    if (!split_tabs(line, fields)) malformed(line_no, line);
-    std::int64_t t_ms = 0;
-    std::uint32_t server = 0;
-    if (!parse_int(fields[0], t_ms) || !parse_int(fields[1], server) ||
-        fields[2].empty()) {
-      malformed(line_no, line);
-    }
-    lookups.push_back(dns::ForwardedLookup{TimePoint{t_ms}, dns::ServerId{server},
-                                           std::string(fields[2])});
+    if (!normalize_line(line)) continue;
+    sink(parse_observable_line(line, line_no));
+    ++delivered;
   }
-  return lookups;
+  return delivered;
 }
 
 }  // namespace botmeter::trace

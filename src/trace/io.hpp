@@ -8,6 +8,7 @@
 // BotMeter.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <span>
 #include <string>
@@ -22,8 +23,20 @@ void write_raw(std::ostream& os, std::span<const botnet::RawRecord> records);
 void write_observable(std::ostream& os,
                       std::span<const dns::ForwardedLookup> lookups);
 
-/// Parse; throws DataError with the offending line number on malformed input.
+/// Parse; throws DataError on malformed input. Errors carry the 1-based line
+/// number and name the offending field ("non-numeric timestamp",
+/// "out-of-range server id", ...) — a truncated or corrupted collector line
+/// is always a loud, located failure, never a silent skip. Blank lines are
+/// skipped; a trailing CR (CRLF collectors) is tolerated.
 [[nodiscard]] std::vector<botnet::RawRecord> read_raw(std::istream& is);
 [[nodiscard]] std::vector<dns::ForwardedLookup> read_observable(std::istream& is);
+
+/// Streaming variant of read_observable: invoke `sink` on each parsed lookup
+/// without materialising the whole trace — the bounded-memory path
+/// botmeter_stream uses to replay arbitrarily long border feeds. Same
+/// validation and error reporting as read_observable. Returns the number of
+/// lookups delivered.
+std::size_t for_each_observable(
+    std::istream& is, const std::function<void(const dns::ForwardedLookup&)>& sink);
 
 }  // namespace botmeter::trace

@@ -46,6 +46,26 @@ TEST(SimulatorTest, RawTraceIsTimeOrdered) {
       [](const RawRecord& a, const RawRecord& b) { return a.t < b.t; }));
 }
 
+TEST(SimulatorTest, ObservableSinkSeesBatchStreamInCanonicalOrder) {
+  SimulationConfig config = small_config();
+  config.epoch_count = 2;
+  const auto batch = simulate(config);
+
+  std::vector<dns::ForwardedLookup> tapped;
+  config.observable_sink = [&tapped](const dns::ForwardedLookup& lookup) {
+    tapped.push_back(lookup);
+  };
+  const auto streamed = simulate(config);
+
+  // The tap receives exactly the batch stream, tuple for tuple, and the
+  // result's observable vector stays empty (nothing is buffered twice).
+  EXPECT_EQ(tapped, batch.observable);
+  EXPECT_TRUE(streamed.observable.empty());
+  // Raw trace and ground truth are unaffected by the tap.
+  EXPECT_EQ(streamed.raw, batch.raw);
+  EXPECT_EQ(streamed.truth, batch.truth);
+}
+
 TEST(SimulatorTest, ObservableIsCacheFilteredSubsetOfRaw) {
   const auto result = simulate(small_config());
   EXPECT_FALSE(result.observable.empty());

@@ -48,6 +48,52 @@ TEST(VantagePointTest, ClearDiscards) {
   EXPECT_EQ(vantage.size(), 0u);
 }
 
+TEST(VantagePointTest, SinkReceivesQuantizedTuplesInOrderWithoutBuffering) {
+  VantagePoint vantage{seconds(1)};
+  std::vector<ForwardedLookup> tapped;
+  vantage.set_sink([&tapped](const ForwardedLookup& l) { tapped.push_back(l); });
+  EXPECT_TRUE(vantage.has_sink());
+
+  vantage.record(TimePoint{1999}, ServerId{1}, "a.com");
+  vantage.record(TimePoint{2000}, ServerId{2}, "b.com");
+
+  // The tap sees exactly the stream a batch caller would: quantised
+  // timestamps, arrival order — and nothing accumulates internally.
+  ASSERT_EQ(tapped.size(), 2u);
+  EXPECT_EQ(tapped[0], (ForwardedLookup{TimePoint{1000}, ServerId{1}, "a.com"}));
+  EXPECT_EQ(tapped[1], (ForwardedLookup{TimePoint{2000}, ServerId{2}, "b.com"}));
+  EXPECT_EQ(vantage.size(), 0u);
+
+  // Removing the sink returns to batch buffering.
+  vantage.set_sink(nullptr);
+  EXPECT_FALSE(vantage.has_sink());
+  vantage.record(TimePoint{3000}, ServerId{0}, "c.com");
+  EXPECT_EQ(vantage.size(), 1u);
+  EXPECT_EQ(tapped.size(), 2u);
+}
+
+TEST(VantagePointTest, DrainHandsSpanThenClears) {
+  VantagePoint vantage;
+  vantage.record(TimePoint{1}, ServerId{0}, "a.com");
+  vantage.record(TimePoint{2}, ServerId{1}, "b.com");
+
+  std::vector<ForwardedLookup> received;
+  const std::size_t n = vantage.drain(
+      [&received](std::span<const ForwardedLookup> batch) {
+        received.assign(batch.begin(), batch.end());
+      });
+  EXPECT_EQ(n, 2u);
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0].domain, "a.com");
+  EXPECT_EQ(received[1].domain, "b.com");
+  EXPECT_EQ(vantage.size(), 0u);
+
+  // Draining an empty vantage point never invokes the consumer.
+  bool called = false;
+  EXPECT_EQ(vantage.drain([&called](auto) { called = true; }), 0u);
+  EXPECT_FALSE(called);
+}
+
 TEST(ForwardedLookupTest, EqualityIsFieldwise) {
   const ForwardedLookup a{TimePoint{1}, ServerId{2}, "x.com"};
   EXPECT_EQ(a, (ForwardedLookup{TimePoint{1}, ServerId{2}, "x.com"}));

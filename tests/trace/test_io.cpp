@@ -79,6 +79,95 @@ TEST(TraceIoTest, MalformedLinesRejectedWithLineNumber) {
   }
 }
 
+TEST(TraceIoTest, ErrorsNameTheOffendingField) {
+  const auto message_for = [](const std::string& text) -> std::string {
+    std::stringstream ss(text);
+    try {
+      (void)read_observable(ss);
+    } catch (const DataError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // Non-numeric vs out-of-range are distinct diagnoses, and each names the
+  // field, the value, and the line.
+  EXPECT_NE(message_for("12x4\t0\ta.com").find("non-numeric timestamp '12x4'"),
+            std::string::npos);
+  EXPECT_NE(message_for("1000\tabc\ta.com").find("non-numeric server id 'abc'"),
+            std::string::npos);
+  EXPECT_NE(message_for("1000\t99999999999999\ta.com")
+                .find("out-of-range server id '99999999999999'"),
+            std::string::npos);
+  // A negative id into an unsigned field is a range problem, not junk.
+  EXPECT_NE(message_for("1000\t-1\ta.com").find("out-of-range server id '-1'"),
+            std::string::npos);
+  EXPECT_NE(message_for("1000\t0\ta.com\n1000\t0").find(
+                "truncated record (2 of 3 fields)"),
+            std::string::npos);
+  EXPECT_NE(message_for("1000\t0\ta.com\n1000\t0").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(message_for("1000\t0\ta.com\textra").find(
+                "too many fields (expected 3)"),
+            std::string::npos);
+  EXPECT_NE(message_for("1000\t0\t").find("empty domain"), std::string::npos);
+}
+
+TEST(TraceIoTest, RawErrorsNameTheOffendingField) {
+  const auto message_for = [](const std::string& text) -> std::string {
+    std::stringstream ss(text);
+    try {
+      (void)read_raw(ss);
+    } catch (const DataError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(message_for("1000\t-7\ta.com\tA").find("out-of-range client id"),
+            std::string::npos);
+  EXPECT_NE(message_for("1000\t7\ta.com\tMAYBE").find("unknown rcode 'MAYBE'"),
+            std::string::npos);
+  EXPECT_NE(message_for("1000\t7\ta.com").find("truncated record"),
+            std::string::npos);
+}
+
+TEST(TraceIoTest, CrlfLinesTolerated) {
+  std::stringstream ss("1000\t0\tabc.com\r\n2000\t1\tdef.com\r\n");
+  const auto parsed = read_observable(ss);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].domain, "abc.com");
+  EXPECT_EQ(parsed[1].forwarder, dns::ServerId{1});
+
+  std::stringstream raw("1000\t7\tabc.com\tNX\r\n");
+  const auto raw_parsed = read_raw(raw);
+  ASSERT_EQ(raw_parsed.size(), 1u);
+  EXPECT_EQ(raw_parsed[0].domain, "abc.com");
+}
+
+TEST(TraceIoTest, ForEachObservableStreamsWithoutMaterialising) {
+  std::stringstream ss("\n1000\t0\ta.com\n\n2000\t1\tb.com\n");
+  std::vector<dns::ForwardedLookup> seen;
+  const std::size_t delivered = for_each_observable(
+      ss, [&seen](const dns::ForwardedLookup& l) { seen.push_back(l); });
+  EXPECT_EQ(delivered, 2u);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (dns::ForwardedLookup{TimePoint{1000}, dns::ServerId{0},
+                                           "a.com"}));
+  EXPECT_EQ(seen[1], (dns::ForwardedLookup{TimePoint{2000}, dns::ServerId{1},
+                                           "b.com"}));
+
+  // Errors carry the physical line number even with blanks interleaved.
+  std::stringstream bad("1000\t0\ta.com\n\nbroken");
+  std::size_t before_error = 0;
+  try {
+    (void)for_each_observable(
+        bad, [&before_error](const dns::ForwardedLookup&) { ++before_error; });
+    FAIL() << "expected DataError";
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+  EXPECT_EQ(before_error, 1u);  // everything before the bad line was delivered
+}
+
 TEST(TraceIoTest, NegativeTimestampsSupported) {
   std::stringstream ss("-250\t2\tearly.com");
   const auto parsed = read_observable(ss);

@@ -1,0 +1,266 @@
+// botmeter_stream — chart a DGA-botnet landscape *incrementally* from a live
+// or replayed border feed.
+//
+// Unlike botmeter_analyze (which materialises the whole trace, then runs the
+// batch pipeline), this tool pushes tuples one at a time through
+// stream::StreamEngine: memory stays bounded by the active epoch window, an
+// estimate line is printed the moment each epoch closes, and the final
+// landscape is bit-identical to what botmeter_analyze would print on the
+// same stream.
+//
+// Usage:
+//   botmeter_simulate --family newGoZ --bots 64 --servers 4 |
+//     botmeter_stream --family newGoZ --servers 4
+//   botmeter_stream --family newGoZ --simulate --bots 64 --servers 4
+//     --epochs 6 --checkpoint-out cp.json --metrics-out run.json
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "botnet/simulator.hpp"
+#include "cli_util.hpp"
+#include "common/json.hpp"
+#include "dga/config_io.hpp"
+#include "dga/families.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "stream/stream_engine.hpp"
+#include "trace/io.hpp"
+#include "viz/landscape.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: botmeter_stream (--family <name> | --config <file.json>)\n"
+    "         [--estimator timing|poisson|bernoulli|...] [--servers n]\n"
+    "         [--epochs n] [--first-epoch e] [--neg-ttl-min m]\n"
+    "         [--miss-rate x] [--assume-miss x] [--threads n]\n"
+    "         [--lateness-ms l] [--trace file]\n"
+    "         [--simulate --bots N [--seed s] [--granularity-ms g]]\n"
+    "         [--checkpoint-in file] [--checkpoint-out file] [--no-final]\n"
+    "         [--metrics-out file] [--trace-timing] [--viz]\n"
+    "ingests the observable (border) feed tuple by tuple — from --trace or\n"
+    "stdin, or generated on the fly with --simulate — and prints one line\n"
+    "per closed epoch plus the final landscape (bit-identical to\n"
+    "botmeter_analyze on the same stream).\n"
+    "--checkpoint-in resumes from a botmeter.stream_checkpoint.v1 file;\n"
+    "--checkpoint-out writes one after ingest (before the final close), so a\n"
+    "later run can resume mid-horizon; --no-final skips the final close —\n"
+    "use it when more of the feed is still to come.\n"
+    "--metrics-out writes a botmeter.run_report.v1 JSON document (ingest\n"
+    "throughput, per-epoch flush latency, resident state size).\n";
+
+botmeter::dga::DgaConfig config_from_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw botmeter::DataError("cannot open " + path);
+  std::string text((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  return botmeter::dga::config_from_json_text(text);
+}
+
+/// Configuration echo embedded in the run report.
+botmeter::json::Value config_echo(const botmeter::stream::StreamEngineConfig& c,
+                                  bool simulated, std::uint64_t ingested) {
+  using botmeter::json::Value;
+  botmeter::json::Object o;
+  o.emplace("family", Value(c.meter.dga.name));
+  o.emplace("estimator",
+            Value(c.meter.estimator.empty() ? std::string("(recommended)")
+                                            : c.meter.estimator));
+  o.emplace("servers", Value(static_cast<double>(c.server_count)));
+  o.emplace("epochs", Value(static_cast<double>(c.epoch_count)));
+  o.emplace("first_epoch", Value(static_cast<double>(c.first_epoch)));
+  o.emplace("worker_threads", Value(static_cast<double>(c.worker_threads)));
+  o.emplace("detection_miss_rate", Value(c.meter.detection_miss_rate));
+  o.emplace("neg_ttl_ms",
+            Value(static_cast<double>(c.meter.ttl.negative.millis())));
+  o.emplace("source", Value(std::string(simulated ? "simulate" : "trace")));
+  o.emplace("ingested", Value(static_cast<double>(ingested)));
+  return Value(std::move(o));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace botmeter;
+  try {
+    tools::CliArgs args(
+        argc, argv,
+        {"--family", "--config", "--estimator", "--servers", "--epochs",
+         "--first-epoch", "--neg-ttl-min", "--miss-rate", "--assume-miss",
+         "--threads", "--lateness-ms", "--trace", "--bots", "--seed",
+         "--granularity-ms", "--checkpoint-in", "--checkpoint-out",
+         "--metrics-out"},
+        {"--help", "--simulate", "--no-final", "--viz", "--trace-timing"});
+    if (args.flag("--help")) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    const auto family = args.value("--family");
+    const auto config_path = args.value("--config");
+    if (family.has_value() == config_path.has_value()) {
+      throw ConfigError("exactly one of --family / --config is required");
+    }
+
+    stream::StreamEngineConfig config;
+    config.meter.dga = family ? dga::family_config(*family)
+                              : config_from_file(*config_path);
+    config.meter.estimator = args.value_or("--estimator", "");
+    config.meter.ttl.negative = minutes(args.int_or("--neg-ttl-min", 120));
+    config.meter.detection_miss_rate = args.double_or("--miss-rate", 0.0);
+    if (args.value("--assume-miss")) {
+      config.meter.assumed_miss_rate = args.double_or("--assume-miss", 0.0);
+    }
+    config.first_epoch = args.int_or(
+        "--first-epoch",
+        config.meter.dga.taxonomy.pool == dga::PoolModel::kSlidingWindow ? 40
+                                                                         : 0);
+    config.epoch_count = args.int_or("--epochs", 1);
+    config.server_count = static_cast<std::size_t>(args.int_or("--servers", 1));
+    config.worker_threads = static_cast<std::size_t>(args.int_or("--threads", 1));
+    if (args.value("--lateness-ms")) {
+      config.allowed_lateness = milliseconds(args.int_or("--lateness-ms", 0));
+    }
+
+    const auto metrics_path = args.value("--metrics-out");
+    const bool want_trace = args.flag("--trace-timing");
+    obs::MetricsRegistry metrics;
+    obs::TraceSession trace_session;
+    if (metrics_path) config.meter.metrics = &metrics;
+    if (metrics_path || want_trace) config.meter.trace = &trace_session;
+
+    stream::StreamEngine engine(config);
+
+    if (auto checkpoint_path = args.value("--checkpoint-in")) {
+      std::ifstream file(*checkpoint_path);
+      if (!file) throw DataError("cannot open " + *checkpoint_path);
+      std::string text((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+      engine.restore(json::parse(text));
+      std::fprintf(stderr,
+                   "resumed from %s: %llu tuples already ingested, next epoch "
+                   "to close %lld\n",
+                   checkpoint_path->c_str(),
+                   static_cast<unsigned long long>(engine.ingested()),
+                   static_cast<long long>(engine.next_epoch_to_close()));
+    }
+
+    engine.on_epoch_close([](const stream::EpochReport& report) {
+      std::ostringstream line;
+      line << "epoch " << report.epoch << ": total=" << report.total_population();
+      for (const core::ServerEstimate& s : report.servers) {
+        line << " server-" << s.server.value() << "=" << s.population;
+      }
+      std::printf("%s\n", line.str().c_str());
+      std::fflush(stdout);
+    });
+
+    // Ingest: a replayed trace (stdin / --trace) or a simulation feeding the
+    // engine through the vantage-point sink — either way one tuple at a
+    // time, never a materialised stream.
+    const bool simulate_mode = args.flag("--simulate");
+    const auto ingest_start = std::chrono::steady_clock::now();
+    if (simulate_mode) {
+      const std::int64_t bots = args.int_or("--bots", 0);
+      if (bots <= 0) throw ConfigError("--simulate requires --bots > 0");
+      botnet::SimulationConfig sim;
+      sim.dga = config.meter.dga;
+      sim.bot_count = static_cast<std::uint32_t>(bots);
+      sim.server_count = config.server_count;
+      sim.ttl = config.meter.ttl;
+      sim.first_epoch = config.first_epoch;
+      sim.epoch_count = config.epoch_count;
+      sim.seed = static_cast<std::uint64_t>(args.int_or("--seed", 1));
+      sim.timestamp_granularity =
+          milliseconds(args.int_or("--granularity-ms", 100));
+      sim.record_raw = false;
+      sim.observable_sink = [&engine](const dns::ForwardedLookup& lookup) {
+        engine.ingest(lookup);
+      };
+      (void)botnet::simulate(sim);
+    } else if (auto path = args.value("--trace")) {
+      std::ifstream file(*path);
+      if (!file) throw DataError("cannot open " + *path);
+      (void)trace::for_each_observable(
+          file, [&engine](const dns::ForwardedLookup& l) { engine.ingest(l); });
+    } else {
+      (void)trace::for_each_observable(
+          std::cin,
+          [&engine](const dns::ForwardedLookup& l) { engine.ingest(l); });
+    }
+    const double ingest_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - ingest_start)
+            .count();
+    const double tuples_per_sec =
+        ingest_ms > 0.0
+            ? static_cast<double>(engine.ingested()) / (ingest_ms / 1000.0)
+            : 0.0;
+    if (metrics_path) {
+      metrics.gauge("stream.ingest_wall_ms").set(ingest_ms);
+      metrics.gauge("stream.ingest_tuples_per_sec").set(tuples_per_sec);
+    }
+    if (config.meter.trace != nullptr) {
+      config.meter.trace->record("stream.ingest", ingest_ms);
+    }
+
+    if (auto checkpoint_path = args.value("--checkpoint-out")) {
+      std::ofstream file(*checkpoint_path);
+      if (!file) throw DataError("cannot open " + *checkpoint_path);
+      file << json::write_pretty(engine.checkpoint());
+      std::fprintf(stderr, "checkpoint written to %s\n",
+                   checkpoint_path->c_str());
+    }
+
+    std::fprintf(stderr,
+                 "ingested %llu tuples (%.0f/s): %llu matched, %llu "
+                 "unmatched, %llu late-dropped; peak resident %zu lookups\n",
+                 static_cast<unsigned long long>(engine.ingested()),
+                 tuples_per_sec,
+                 static_cast<unsigned long long>(engine.matched()),
+                 static_cast<unsigned long long>(engine.unmatched()),
+                 static_cast<unsigned long long>(engine.late_dropped()),
+                 engine.peak_resident_lookups());
+
+    if (!args.flag("--no-final")) {
+      const core::LandscapeReport report = engine.finish();
+      if (args.flag("--viz")) {
+        std::fputs(viz::render_landscape(report).c_str(), stdout);
+      } else {
+        std::printf("# estimator: %s\n", report.estimator_name.c_str());
+        std::printf("%-10s %12s %18s %16s\n", "server", "population", "90%-CI",
+                    "matched_lookups");
+        for (const core::ServerEstimate& s : report.servers) {
+          char ci[32] = "-";
+          if (s.interval90) {
+            std::snprintf(ci, sizeof(ci), "[%.1f, %.1f]", s.interval90->first,
+                          s.interval90->second);
+          }
+          std::printf("server-%-3u %12.1f %18s %16llu\n", s.server.value(),
+                      s.population, ci,
+                      static_cast<unsigned long long>(s.matched_lookups));
+        }
+        std::printf("total: %.1f\n", report.total_population());
+      }
+    }
+
+    if (metrics_path) {
+      obs::RunReport run_report;
+      run_report.tool = "botmeter_stream";
+      run_report.config = config_echo(config, simulate_mode, engine.ingested());
+      run_report.metrics = &metrics;
+      run_report.trace = &trace_session;
+      obs::write_report_file(run_report, *metrics_path);
+    }
+    if (want_trace) {
+      std::fputs(obs::format_phase_table(trace_session).c_str(), stderr);
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(), kUsage);
+    return 1;
+  }
+}
