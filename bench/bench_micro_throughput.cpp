@@ -3,6 +3,7 @@
 // analytical inversions, and the full per-epoch simulation.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -147,6 +148,29 @@ void BM_EpochSimulationInstrumented(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EpochSimulationInstrumented)->Arg(16)->Arg(64)->Arg(256);
+
+// Cost of one ScopedTimer span by session mode: 0 = null session (tracing
+// compiled in but disabled), 1 = live session, 2 = ended session (sealed
+// mid-run, e.g. after the run report was written). The live path is two
+// clock reads plus one mutex-guarded vector append; null and ended must be
+// near-free — neither even reads the clock.
+void BM_SpanTracingOverhead(benchmark::State& state) {
+  obs::TraceSession session;
+  obs::TraceSession* target = state.range(0) >= 1 ? &session : nullptr;
+  if (state.range(0) == 2) session.end();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    obs::ScopedTimer timer(target, "bench.span");
+    benchmark::DoNotOptimize(&timer);
+    // Keep the live session's span buffer bounded; the amortized clear is
+    // part of what a long-running instrumented loop pays.
+    if ((++i & 0xFFF) == 0 && state.range(0) == 1) session.clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanTracingOverhead)
+    ->DenseRange(0, 2)
+    ->ArgName("mode");
 
 void BM_EpochSimulationThreaded(benchmark::State& state) {
   botnet::SimulationConfig config;

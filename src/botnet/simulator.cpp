@@ -310,6 +310,10 @@ SimulationResult run_simulation(const SimulationConfig& config,
     std::vector<ChunkOutput> chunk_out(n_chunks);
     obs::ScopedTimer generate_timer(trace, "sim.generate");
     workers.parallel_for(n_chunks, [&](std::size_t c) {
+      // Per-chunk span on the worker that actually ran it, so the Perfetto
+      // export shows the generate fan-out across worker tracks. Wall time
+      // only — results are untouched.
+      obs::ScopedTimer chunk_timer(trace, "sim.generate.chunk");
       const auto [lo, hi] = chunk_bounds(active_count, n_chunks, c);
       ChunkOutput& out = chunk_out[c];
       out.active_per_server.assign(truth_server_count, 0);
@@ -396,6 +400,7 @@ SimulationResult run_simulation(const SimulationConfig& config,
     {
       typename NetworkT::Replay replay(network, pool.domains);
       workers.parallel_for(kShards, [&](std::size_t s) {
+        obs::ScopedTimer shard_timer(trace, "sim.replay.shard");
         for (std::size_t i = shard_start[s]; i < shard_start[s + 1]; ++i) {
           const ShardQuery& q = bucketed[i];
           const dns::Rcode rcode =

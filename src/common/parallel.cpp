@@ -1,6 +1,46 @@
 #include "common/parallel.hpp"
 
+#include <map>
+#include <utility>
+
 namespace botmeter {
+
+namespace {
+
+std::atomic<std::uint32_t> g_next_thread_ordinal{0};
+
+std::mutex& thread_label_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::uint32_t, std::string>& thread_labels() {
+  static std::map<std::uint32_t, std::string> labels;
+  return labels;
+}
+
+}  // namespace
+
+std::uint32_t this_thread_ordinal() {
+  thread_local const std::uint32_t ordinal =
+      g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+void set_this_thread_label(std::string label) {
+  const std::uint32_t ordinal = this_thread_ordinal();
+  std::lock_guard<std::mutex> lock(thread_label_mutex());
+  thread_labels()[ordinal] = std::move(label);
+}
+
+std::string thread_label(std::uint32_t ordinal) {
+  {
+    std::lock_guard<std::mutex> lock(thread_label_mutex());
+    const auto it = thread_labels().find(ordinal);
+    if (it != thread_labels().end()) return it->second;
+  }
+  return "thread-" + std::to_string(ordinal);
+}
 
 WorkerPool::WorkerPool(std::size_t thread_count) {
   std::size_t cores = std::thread::hardware_concurrency();
@@ -8,7 +48,10 @@ WorkerPool::WorkerPool(std::size_t thread_count) {
   if (thread_count == 0 || thread_count > cores) thread_count = cores;
   workers_.reserve(thread_count - 1);
   for (std::size_t i = 0; i + 1 < thread_count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      set_this_thread_label("worker-" + std::to_string(i + 1));
+      worker_loop();
+    });
   }
 }
 

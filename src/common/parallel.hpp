@@ -12,13 +12,28 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace botmeter {
+
+/// Stable process-wide ordinal for the calling thread, assigned on first
+/// use from a global counter (the first thread to ask — normally the main
+/// thread — gets 0). Trace exports use it as the track id, so spans recorded
+/// on a pool worker land on that worker's track rather than the caller's.
+/// Never affects any computation: it exists for observability only.
+[[nodiscard]] std::uint32_t this_thread_ordinal();
+
+/// Attach a human-readable label to the calling thread's ordinal ("main",
+/// "worker-2", ...). WorkerPool labels its threads automatically; tools may
+/// label their main thread. Unlabeled ordinals render as "thread-<n>".
+void set_this_thread_label(std::string label);
+[[nodiscard]] std::string thread_label(std::uint32_t ordinal);
 
 class WorkerPool {
  public:

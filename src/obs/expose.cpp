@@ -1,0 +1,237 @@
+#include "obs/expose.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace botmeter::obs {
+
+namespace {
+
+std::string sanitize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string format_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  // Integral values print bare (the common case for counters); everything
+  // else uses the shortest representation that round-trips.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), static_cast<std::int64_t>(v));
+    (void)ec;
+    return std::string(buf, ptr);
+  }
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  return std::string(buf, ptr);
+}
+
+std::string format_number(std::uint64_t v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  return std::string(buf, ptr);
+}
+
+void append_sample(std::string& out, const std::string& name,
+                   const std::string& label_block, const std::string& value) {
+  out += name;
+  out += label_block;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+std::string series_label_block(const std::string& label) {
+  if (label.empty()) return {};
+  return "{series=\"" + escape_label_value(label) + "\"}";
+}
+
+/// Walk samples grouped by name (they arrive sorted by (name, label)) and
+/// emit one TYPE header per group.
+template <typename SampleT, typename EmitT>
+void render_family(std::string& out, const std::vector<SampleT>& samples,
+                   const char* type, const EmitT& emit) {
+  for (std::size_t i = 0; i < samples.size();) {
+    const std::string name = sanitize_name(samples[i].name);
+    out += "# TYPE " + name + " " + type + "\n";
+    for (; i < samples.size() && sanitize_name(samples[i].name) == name; ++i) {
+      emit(out, name, samples[i]);
+    }
+  }
+}
+
+}  // namespace
+
+std::string expose_prometheus(const MetricsRegistry::Snapshot& snapshot) {
+  std::string out;
+  render_family(out, snapshot.counters, "counter",
+                [](std::string& text, const std::string& name,
+                   const MetricsRegistry::CounterSample& sample) {
+                  append_sample(text, name, series_label_block(sample.label),
+                                format_number(sample.value));
+                });
+  render_family(out, snapshot.gauges, "gauge",
+                [](std::string& text, const std::string& name,
+                   const MetricsRegistry::GaugeSample& sample) {
+                  append_sample(text, name, series_label_block(sample.label),
+                                format_number(sample.value));
+                });
+  for (const MetricsRegistry::HistogramSample& hist : snapshot.histograms) {
+    const std::string name = sanitize_name(hist.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.upper_bounds.size(); ++i) {
+      cumulative += hist.counts[i];
+      append_sample(out, name + "_bucket",
+                    "{le=\"" + format_number(hist.upper_bounds[i]) + "\"}",
+                    format_number(cumulative));
+    }
+    cumulative += hist.counts.back();  // the overflow bucket
+    append_sample(out, name + "_bucket", "{le=\"+Inf\"}",
+                  format_number(cumulative));
+    append_sample(out, name + "_sum", {}, format_number(hist.sum));
+    append_sample(out, name + "_count", {}, format_number(hist.count));
+  }
+  return out;
+}
+
+MetricsRegistry::Snapshot delta_snapshot(
+    const MetricsRegistry::Snapshot& current,
+    const MetricsRegistry::Snapshot& baseline) {
+  MetricsRegistry::Snapshot out;
+
+  std::map<std::pair<std::string, std::string>, std::uint64_t> base_counters;
+  for (const auto& sample : baseline.counters) {
+    base_counters.emplace(std::make_pair(sample.name, sample.label),
+                          sample.value);
+  }
+  out.counters.reserve(current.counters.size());
+  for (const auto& sample : current.counters) {
+    auto delta = sample;
+    const auto it = base_counters.find({sample.name, sample.label});
+    if (it != base_counters.end() && it->second <= sample.value) {
+      delta.value = sample.value - it->second;
+    }
+    out.counters.push_back(std::move(delta));
+  }
+
+  out.gauges = current.gauges;
+
+  std::map<std::string, const MetricsRegistry::HistogramSample*> base_hists;
+  for (const auto& sample : baseline.histograms) {
+    base_hists.emplace(sample.name, &sample);
+  }
+  out.histograms.reserve(current.histograms.size());
+  for (const auto& sample : current.histograms) {
+    auto delta = sample;
+    const auto it = base_hists.find(sample.name);
+    if (it != base_hists.end() &&
+        it->second->upper_bounds == sample.upper_bounds &&
+        it->second->count <= sample.count) {
+      const MetricsRegistry::HistogramSample& base = *it->second;
+      for (std::size_t i = 0; i < delta.counts.size(); ++i) {
+        delta.counts[i] -= std::min(base.counts[i], delta.counts[i]);
+      }
+      delta.count = sample.count - base.count;
+      delta.sum = sample.sum - base.sum;
+    }
+    out.histograms.push_back(std::move(delta));
+  }
+  return out;
+}
+
+std::vector<ExpositionSample> parse_exposition(std::string_view text) {
+  std::vector<ExpositionSample> out;
+  std::size_t pos = 0;
+  int line_no = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+
+    ExpositionSample sample;
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    if (i == 0 || i == line.size()) {
+      throw DataError("exposition line " + std::to_string(line_no) +
+                      ": expected '<name>[{labels}] <value>'");
+    }
+    sample.name = std::string(line.substr(0, i));
+    if (line[i] == '{') {
+      // Scan to the closing brace, honoring backslash escapes in quoted
+      // label values (a '}' inside a value must not terminate the block).
+      std::size_t j = i + 1;
+      bool in_quote = false;
+      for (; j < line.size(); ++j) {
+        const char c = line[j];
+        if (in_quote && c == '\\') {
+          ++j;  // skip the escaped character
+        } else if (c == '"') {
+          in_quote = !in_quote;
+        } else if (!in_quote && c == '}') {
+          break;
+        }
+      }
+      if (j >= line.size()) {
+        throw DataError("exposition line " + std::to_string(line_no) +
+                        ": unterminated label block");
+      }
+      sample.labels = std::string(line.substr(i + 1, j - i - 1));
+      i = j + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      throw DataError("exposition line " + std::to_string(line_no) +
+                      ": expected ' <value>' after the name");
+    }
+    const std::string value_text(line.substr(i + 1));
+    char* value_end = nullptr;
+    sample.value = std::strtod(value_text.c_str(), &value_end);
+    if (value_end == value_text.c_str() ||
+        *value_end != '\0') {
+      throw DataError("exposition line " + std::to_string(line_no) +
+                      ": malformed value '" + value_text + "'");
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace botmeter::obs

@@ -1,0 +1,64 @@
+// Prometheus text exposition (format 0.0.4) of a MetricsRegistry snapshot.
+//
+// Rendering rules:
+//   - Metric names are sanitized to the Prometheus charset: every character
+//     outside [a-zA-Z0-9_:] becomes '_' ("sim.queries" -> "sim_queries"),
+//     with a leading '_' prepended when the name would start with a digit.
+//   - The registry's single optional per-series label renders as
+//     `{series="<value>"}`; label values escape backslash, double quote,
+//     and newline per the exposition spec.
+//   - Counters/gauges emit one `# TYPE` line per metric name, then one
+//     sample line per series. Histograms emit the conventional triplet:
+//     cumulative `<name>_bucket{le="..."}` lines ending in `le="+Inf"`,
+//     then `<name>_sum` and `<name>_count`.
+//   - Numbers use the shortest round-trip representation (integers bare);
+//     non-finite values render as +Inf / -Inf / NaN.
+//
+// `delta_snapshot` subtracts a baseline snapshot from a current one so a
+// scraper (or a test) can compute rates between two scrapes without the
+// registry having to track cursors; `parse_exposition` is the minimal
+// inverse used by the round-trip tests.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace botmeter::obs {
+
+/// The standard Content-Type for the text exposition format.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/// Render one snapshot as Prometheus text exposition.
+[[nodiscard]] std::string expose_prometheus(
+    const MetricsRegistry::Snapshot& snapshot);
+
+/// `current - baseline`, series-wise: counter values and histogram
+/// buckets/count/sum subtract (clamped to the current value when the
+/// baseline is missing or larger — a counter reset); gauges pass through
+/// unchanged (they are point-in-time values, not accumulations). Series
+/// absent from `current` are dropped.
+[[nodiscard]] MetricsRegistry::Snapshot delta_snapshot(
+    const MetricsRegistry::Snapshot& current,
+    const MetricsRegistry::Snapshot& baseline);
+
+/// One parsed sample line: the (sanitized) metric name, the raw label block
+/// without braces ("" when absent), and the value.
+struct ExpositionSample {
+  std::string name;
+  std::string labels;
+  double value = 0.0;
+
+  friend bool operator==(const ExpositionSample&,
+                         const ExpositionSample&) = default;
+};
+
+/// Parse exposition text back into sample lines (comments and blank lines
+/// skipped), in document order. Throws DataError on a malformed line.
+[[nodiscard]] std::vector<ExpositionSample> parse_exposition(
+    std::string_view text);
+
+}  // namespace botmeter::obs

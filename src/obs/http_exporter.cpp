@@ -1,0 +1,228 @@
+#include "obs/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace botmeter::obs {
+
+namespace {
+
+/// Upper bound on a request head we are willing to buffer. A scrape request
+/// line plus a handful of headers fits in a fraction of this; anything
+/// larger is a misbehaving client and gets a 400.
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+
+/// Per-connection poll timeout. A scraper that stalls mid-request holds its
+/// connection (and the single-threaded exporter) at most this long.
+constexpr int kClientTimeoutMs = 2000;
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string render_response(const HttpResponse& response) {
+  std::string out;
+  out.reserve(response.body.size() + 128);
+  out += "HTTP/1.1 " + std::to_string(response.status) + " " +
+         reason_phrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+void send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // client went away; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(const HttpExporterConfig& config,
+                           std::map<std::string, Handler> routes)
+    : routes_(std::move(routes)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw DataError("http exporter: socket() failed: " +
+                    std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close_fd(listen_fd_);
+    throw DataError("http exporter: bad bind address '" + config.bind_address +
+                    "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string reason = std::strerror(errno);
+    close_fd(listen_fd_);
+    throw DataError("http exporter: cannot listen on " + config.bind_address +
+                    ":" + std::to_string(config.port) + ": " + reason);
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    close_fd(listen_fd_);
+    throw DataError("http exporter: getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  if (::pipe(wake_pipe_) != 0) {
+    close_fd(listen_fd_);
+    throw DataError("http exporter: pipe() failed");
+  }
+
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+std::uint64_t HttpExporter::requests_served() const noexcept {
+  return requests_.load(std::memory_order_relaxed);
+}
+
+void HttpExporter::stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Wake the accept poll; the write can only fail if the thread already
+  // exited, in which case join() returns immediately anyway.
+  const char byte = 'x';
+  (void)!::write(wake_pipe_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  close_fd(listen_fd_);
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+}
+
+void HttpExporter::serve_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0 ||
+        stopping_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void HttpExporter::handle_connection(int client_fd) {
+  // Read until the end of the request head (blank line) or the byte bound.
+  std::string request;
+  bool overflow = false;
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    pollfd pfd{client_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kClientTimeoutMs);
+    if (ready <= 0) break;  // stalled or errored client: give up
+    char buf[1024];
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+    if (request.size() > kMaxRequestBytes) {
+      overflow = true;
+      break;
+    }
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  HttpResponse response;
+  const std::size_t line_end = request.find('\n');
+  if (overflow || line_end == std::string::npos) {
+    response.status = 400;
+    response.body = "bad request\n";
+    send_all(client_fd, render_response(response));
+    return;
+  }
+
+  // Request line: METHOD SP PATH SP VERSION.
+  std::string_view line(request.data(), line_end);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    response.status = 400;
+    response.body = "bad request\n";
+    send_all(client_fd, render_response(response));
+    return;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string_view::npos) path = path.substr(0, query);
+
+  if (method != "GET") {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+  } else if (const auto it = routes_.find(std::string(path));
+             it != routes_.end()) {
+    response = it->second();
+  } else {
+    response.status = 404;
+    std::string known;
+    for (const auto& [route, handler] : routes_) known += route + "\n";
+    response.body = "not found; routes:\n" + known;
+  }
+  send_all(client_fd, render_response(response));
+}
+
+}  // namespace botmeter::obs

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -21,9 +22,41 @@ Histogram::Histogram(std::span<const double> upper_bounds)
 void Histogram::observe(double x) noexcept {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
   const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  // The mutex makes the three updates atomic with respect to sample() (a
+  // live scrape must never see count ahead of the buckets); the fields stay
+  // atomics so the lock-free accessors remain valid.
+  std::lock_guard<std::mutex> lock(mu_);
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+Histogram::Sample Histogram::sample() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Sample out;
+  out.counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    out.counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t count) {
+  if (!(start > 0.0) || !(factor > 1.0) || count == 0) {
+    throw ConfigError(
+        "exponential_bounds: start > 0, factor > 1, count > 0 required");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
 }
 
 Counter& MetricsRegistry::counter(std::string_view name,
@@ -71,12 +104,10 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
     sample.name = name;
     sample.upper_bounds.assign(hist.upper_bounds().begin(),
                                hist.upper_bounds().end());
-    sample.counts.reserve(hist.bucket_size());
-    for (std::size_t i = 0; i < hist.bucket_size(); ++i) {
-      sample.counts.push_back(hist.bucket_count(i));
-    }
-    sample.count = hist.count();
-    sample.sum = hist.sum();
+    Histogram::Sample consistent = hist.sample();
+    sample.counts = std::move(consistent.counts);
+    sample.count = consistent.count;
+    sample.sum = consistent.sum;
     snap.histograms.push_back(std::move(sample));
   }
   return snap;

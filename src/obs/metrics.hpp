@@ -71,6 +71,15 @@ class Gauge {
 /// integer sums (deterministic under concurrency); `sum()` is a
 /// floating-point accumulation whose last-ulp rounding may depend on the
 /// order of concurrent observes.
+///
+/// Synchronization contract: `observe` updates several fields, so a reader
+/// interleaving the individual accessors (`bucket_count`/`count`/`sum`) with
+/// concurrent observes may see a half-applied observation — count already
+/// incremented, its bucket not yet. A live scrape thread must therefore read
+/// through `sample()` (or `MetricsRegistry::snapshot()`, which uses it):
+/// observe and sample share the histogram's mutex, so every sample is a
+/// whole number of observations. The individual accessors remain lock-free
+/// for tests and single-threaded consumers.
 class Histogram {
  public:
   explicit Histogram(std::span<const double> upper_bounds);
@@ -90,12 +99,29 @@ class Histogram {
     return sum_.load(std::memory_order_relaxed);
   }
 
+  struct Sample {
+    std::vector<std::uint64_t> counts;  // upper_bounds().size() + 1
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  /// Consistent copy of the counts/count/sum triple: taken under the same
+  /// mutex `observe` holds, so it always reflects a whole number of
+  /// observations (sum of `counts` == `count`).
+  [[nodiscard]] Sample sample() const;
+
  private:
   std::vector<double> bounds_;
+  mutable std::mutex mu_;  // serializes observe against sample
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
+
+/// `count` strictly increasing bounds `start, start*factor, ...` — the
+/// conventional exponential bucket layout for latency histograms.
+[[nodiscard]] std::vector<double> exponential_bounds(double start,
+                                                     double factor,
+                                                     std::size_t count);
 
 class MetricsRegistry {
  public:
@@ -139,9 +165,16 @@ class MetricsRegistry {
     friend bool operator==(const HistogramSample&, const HistogramSample&) = default;
   };
 
-  /// A consistent-enough copy of every series, sorted by (name, label).
-  /// Values are read with relaxed loads; take the snapshot from a quiescent
-  /// point (between epochs, after a run) for exact totals.
+  /// A copy of every series, sorted by (name, label). Safe to call from a
+  /// scrape thread while instrumented threads are still writing: series
+  /// discovery holds the registry mutex, counter/gauge values are single
+  /// atomic loads, and each histogram is sampled under its own observe
+  /// mutex, so no individual series is ever torn (a histogram's buckets
+  /// always sum to its count). *Cross*-series consistency is the one thing a
+  /// live snapshot does not promise — e.g. a hit counter may already include
+  /// an event whose companion miss counter does not; take the snapshot from
+  /// a quiescent point (between epochs, after a run) when exact cross-series
+  /// totals matter.
   struct Snapshot {
     std::vector<CounterSample> counters;
     std::vector<GaugeSample> gauges;

@@ -1,14 +1,25 @@
-// Phase tracing for the BotMeter pipeline: wall-clock spans per stage
+// Span tracing for the BotMeter pipeline: wall-clock spans per stage
 // (pool build, query generation, merge, cache replay, matching, estimation)
-// recorded into a `TraceSession` and summarized per phase.
+// recorded into a `TraceSession`, summarized per phase, and exportable as
+// Chrome trace_event JSON so a run opens directly in Perfetto or
+// chrome://tracing.
+//
+// Spans are hierarchical and carry the recording thread's stable ordinal
+// (common/parallel.hpp), so per-chunk / per-shard work instrumented inside a
+// WorkerPool body appears on that worker's own track, nested under the
+// calling thread's enclosing phase by start/duration containment.
 //
 // Like the metrics registry, tracing is optional everywhere: a null
 // `TraceSession*` makes `ScopedTimer` a no-op (it does not even read the
-// clock). Wall times are inherently nondeterministic — they feed the run
-// report only, never the simulation itself, so results stay bit-identical
-// with tracing on or off.
+// clock), and so does an ended session (`end()`), so a timer may safely
+// outlive the consumer that wanted its data — e.g. when the HTTP exporter
+// thread outlives a tool's TraceSession. Wall times are inherently
+// nondeterministic — they feed the run report and the trace file only, never
+// the simulation itself, so results stay bit-identical with tracing on or
+// off.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -16,14 +27,24 @@
 #include <string_view>
 #include <vector>
 
+#include "common/json.hpp"
+
 namespace botmeter::obs {
 
-/// Append-only sink of (phase, wall-milliseconds) spans. Thread-safe.
+/// Append-only sink of hierarchical wall-time spans. Thread-safe.
 class TraceSession {
  public:
   struct Span {
     std::string phase;
     double millis = 0.0;
+    /// Wall offset of the span start from the session's construction, ms.
+    double start_ms = 0.0;
+    /// Stable ordinal of the recording thread (common/parallel.hpp) — the
+    /// track this span renders on.
+    std::uint32_t thread = 0;
+    /// Nesting depth at record time: 0 for a top-level span, 1 for a span
+    /// opened inside one enclosing ScopedTimer on the same thread, ...
+    std::uint32_t depth = 0;
   };
 
   /// One per-phase aggregate row; min/median/max reuse the evaluation
@@ -38,7 +59,24 @@ class TraceSession {
     double max_ms = 0.0;
   };
 
+  TraceSession() : origin_(std::chrono::steady_clock::now()) {}
+
+  /// Record a span that ends now and lasted `millis`, on the calling
+  /// thread's track at its current nesting depth.
   void record(std::string_view phase, double millis);
+  /// Record a fully specified span (ScopedTimer's path).
+  void record_span(std::string_view phase, double start_ms, double millis,
+                   std::uint32_t thread, std::uint32_t depth);
+
+  /// Seal the session: every later record (including from ScopedTimers
+  /// still in flight on other threads) is dropped. Irreversible.
+  void end() { ended_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool ended() const {
+    return ended_.load(std::memory_order_acquire);
+  }
+
+  /// Wall milliseconds elapsed since the session was constructed.
+  [[nodiscard]] double now_ms() const;
 
   /// Copy of every span, in recording order.
   [[nodiscard]] std::vector<Span> spans() const;
@@ -50,21 +88,24 @@ class TraceSession {
   void clear();
 
  private:
+  std::chrono::steady_clock::time_point origin_;
+  std::atomic<bool> ended_{false};
   mutable std::mutex mu_;
   std::vector<Span> spans_;
 };
 
 /// RAII wall timer: records one span into the session on destruction (or at
-/// the first `stop()`). With a null session every operation is a no-op.
+/// the first `stop()`). With a null or ended session every operation is a
+/// no-op; a moved-from timer is inert. Safe to construct inside WorkerPool
+/// bodies — the span lands on the worker's own track.
 class ScopedTimer {
  public:
-  ScopedTimer(TraceSession* session, std::string_view phase)
-      : session_(session), phase_(session != nullptr ? phase : ""),
-        start_(session != nullptr ? std::chrono::steady_clock::now()
-                                  : std::chrono::steady_clock::time_point{}) {}
+  ScopedTimer(TraceSession* session, std::string_view phase);
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ScopedTimer(ScopedTimer&& other) noexcept;
+  ScopedTimer& operator=(ScopedTimer&& other) noexcept;
 
   ~ScopedTimer() { (void)stop(); }
 
@@ -73,13 +114,26 @@ class ScopedTimer {
   double stop();
 
  private:
-  TraceSession* session_;
+  TraceSession* session_ = nullptr;
   std::string phase_;
   std::chrono::steady_clock::time_point start_;
+  double start_ms_ = 0.0;
+  std::uint32_t depth_ = 0;
 };
 
 /// Render `summary()` as an aligned text table (for --trace / bench stderr
 /// output). Returns an empty string when no spans were recorded.
 [[nodiscard]] std::string format_phase_table(const TraceSession& session);
+
+/// The session's spans in the Chrome trace_event JSON format understood by
+/// Perfetto and chrome://tracing: one complete ("ph":"X") event per span
+/// with microsecond ts/dur, one track per recording thread, plus
+/// thread_name metadata naming each track from common/parallel's labels.
+[[nodiscard]] json::Value chrome_trace_json(const TraceSession& session);
+
+/// Serialize chrome_trace_json() to `path` (pretty-printed); throws
+/// DataError when the file cannot be written.
+void write_chrome_trace_file(const TraceSession& session,
+                             const std::string& path);
 
 }  // namespace botmeter::obs

@@ -159,6 +159,9 @@ void StreamEngine::close_next_epoch() {
   const estimators::Estimator& estimator = meter_.active_estimator();
   std::vector<Cell> row(config_.server_count);
   workers_.parallel_for(config_.server_count, [&](std::size_t s) {
+    // Per-server close span on the worker that estimated it (wall time
+    // only; estimates are a pure function of the bucket).
+    obs::ScopedTimer server_timer(config_.meter.trace, "stream.close.server");
     std::vector<detect::MatchedLookup>& bucket = buckets[s];
     std::sort(bucket.begin(), bucket.end(), lookup_less);
     const std::uint64_t count = bucket.size();

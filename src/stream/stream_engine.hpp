@@ -133,6 +133,11 @@ class StreamEngine {
   /// resident analysis state. Bounded by the active window, not the horizon.
   [[nodiscard]] std::size_t resident_lookups() const { return resident_; }
   [[nodiscard]] std::size_t peak_resident_lookups() const { return peak_resident_; }
+  /// Approximate heap bytes the open buckets hold (resident lookups times
+  /// the per-entry size) — the health monitor's buffer-pressure signal.
+  [[nodiscard]] std::size_t open_buffer_bytes() const {
+    return resident_ * sizeof(detect::MatchedLookup);
+  }
   /// Next epoch that will close (first_epoch + epochs_closed); one past the
   /// horizon once everything closed.
   [[nodiscard]] std::int64_t next_epoch_to_close() const;

@@ -1,0 +1,162 @@
+// Prometheus text exposition: golden-file rendering (labels, +Inf bucket,
+// escaping), the parse round trip, and snapshot deltas for rate computation.
+#include "obs/expose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace botmeter::obs {
+namespace {
+
+TEST(ExposePrometheus, GoldenSnapshot) {
+  MetricsRegistry registry;
+  registry.counter("esc", "a\"b\nc\\d").add(1);
+  registry.counter("sim.queries").add(5);
+  registry.counter("sim.queries", "epoch_0").add(2);
+  registry.gauge("pop").set(1.5);
+  const std::array<double, 2> bounds{1.0, 2.0};
+  Histogram& lat = registry.histogram("lat", bounds);
+  lat.observe(0.5);
+  lat.observe(1.5);
+  lat.observe(5.0);
+
+  const std::string expected =
+      "# TYPE esc counter\n"
+      "esc{series=\"a\\\"b\\nc\\\\d\"} 1\n"
+      "# TYPE sim_queries counter\n"
+      "sim_queries 5\n"
+      "sim_queries{series=\"epoch_0\"} 2\n"
+      "# TYPE pop gauge\n"
+      "pop 1.5\n"
+      "# TYPE lat histogram\n"
+      "lat_bucket{le=\"1\"} 1\n"
+      "lat_bucket{le=\"2\"} 2\n"
+      "lat_bucket{le=\"+Inf\"} 3\n"
+      "lat_sum 7\n"
+      "lat_count 3\n";
+  EXPECT_EQ(expose_prometheus(registry.snapshot()), expected);
+}
+
+TEST(ExposePrometheus, SanitizesMetricNames) {
+  MetricsRegistry registry;
+  registry.counter("stream.late-dropped/total").add(3);
+  const std::string text = expose_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("stream_late_dropped_total 3\n"), std::string::npos);
+}
+
+TEST(ExposePrometheus, EmptySnapshotRendersEmpty) {
+  MetricsRegistry registry;
+  EXPECT_EQ(expose_prometheus(registry.snapshot()), "");
+}
+
+TEST(ParseExposition, RoundTripsTotals) {
+  MetricsRegistry registry;
+  registry.counter("tuples").add(12345);
+  registry.counter("tuples", "epoch_7").add(99);
+  registry.gauge("lag_ms").set(17.25);
+  const std::array<double, 3> bounds{0.1, 10.0, 1000.0};
+  Histogram& close = registry.histogram("close_ms", bounds);
+  close.observe(0.05);
+  close.observe(3.0);
+  close.observe(99999.0);
+
+  const std::string text = expose_prometheus(registry.snapshot());
+  const std::vector<ExpositionSample> samples = parse_exposition(text);
+
+  const auto find = [&samples](const std::string& name,
+                               const std::string& labels) -> double {
+    for (const ExpositionSample& s : samples) {
+      if (s.name == name && s.labels == labels) return s.value;
+    }
+    ADD_FAILURE() << "missing sample " << name << "{" << labels << "}";
+    return -1.0;
+  };
+  EXPECT_EQ(find("tuples", ""), 12345.0);
+  EXPECT_EQ(find("tuples", "series=\"epoch_7\""), 99.0);
+  EXPECT_EQ(find("lag_ms", ""), 17.25);
+  EXPECT_EQ(find("close_ms_bucket", "le=\"0.1\""), 1.0);
+  EXPECT_EQ(find("close_ms_bucket", "le=\"10\""), 2.0);
+  EXPECT_EQ(find("close_ms_bucket", "le=\"1000\""), 2.0);
+  EXPECT_EQ(find("close_ms_bucket", "le=\"+Inf\""), 3.0);
+  EXPECT_EQ(find("close_ms_count", ""), 3.0);
+}
+
+TEST(ParseExposition, HonorsEscapesInsideLabelValues) {
+  // A '}' or escaped quote inside a label value must not end the block.
+  const auto samples =
+      parse_exposition("m{series=\"a}b\\\"c\"} 4\n# a comment\n\nn 2\n");
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "m");
+  EXPECT_EQ(samples[0].labels, "series=\"a}b\\\"c\"");
+  EXPECT_EQ(samples[0].value, 4.0);
+  EXPECT_EQ(samples[1].name, "n");
+}
+
+TEST(ParseExposition, RejectsMalformedLines) {
+  EXPECT_THROW(parse_exposition("just_a_name\n"), DataError);
+  EXPECT_THROW(parse_exposition("name{unterminated 3\n"), DataError);
+  EXPECT_THROW(parse_exposition("name not_a_number\n"), DataError);
+  EXPECT_THROW(parse_exposition(" 3\n"), DataError);
+}
+
+TEST(DeltaSnapshot, SubtractsCountersAndHistograms) {
+  MetricsRegistry registry;
+  Counter& tuples = registry.counter("tuples");
+  const std::array<double, 2> bounds{1.0, 10.0};
+  Histogram& lat = registry.histogram("lat", bounds);
+  tuples.add(10);
+  lat.observe(0.5);
+  const MetricsRegistry::Snapshot baseline = registry.snapshot();
+
+  tuples.add(7);
+  lat.observe(5.0);
+  lat.observe(50.0);
+  const MetricsRegistry::Snapshot current = registry.snapshot();
+
+  const MetricsRegistry::Snapshot delta = delta_snapshot(current, baseline);
+  ASSERT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters[0].value, 7u);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].count, 2u);
+  EXPECT_DOUBLE_EQ(delta.histograms[0].sum, 55.0);
+  ASSERT_EQ(delta.histograms[0].counts.size(), 3u);
+  EXPECT_EQ(delta.histograms[0].counts[0], 0u);  // 0.5 was in the baseline
+  EXPECT_EQ(delta.histograms[0].counts[1], 1u);
+  EXPECT_EQ(delta.histograms[0].counts[2], 1u);
+}
+
+TEST(DeltaSnapshot, GaugesPassThroughAndResetsClamp) {
+  MetricsRegistry current_registry;
+  current_registry.counter("restarts").add(3);
+  current_registry.gauge("lag").set(2.0);
+  MetricsRegistry baseline_registry;
+  baseline_registry.counter("restarts").add(100);  // baseline ahead: a reset
+  baseline_registry.gauge("lag").set(9.0);
+
+  const MetricsRegistry::Snapshot delta = delta_snapshot(
+      current_registry.snapshot(), baseline_registry.snapshot());
+  ASSERT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters[0].value, 3u);  // clamped to current, not wrapped
+  ASSERT_EQ(delta.gauges.size(), 1u);
+  EXPECT_EQ(delta.gauges[0].value, 2.0);  // point-in-time, never subtracted
+}
+
+TEST(ExponentialBounds, GeneratesGeometricSeries) {
+  const std::vector<double> bounds = exponential_bounds(0.25, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.25);
+  EXPECT_DOUBLE_EQ(bounds[1], 0.5);
+  EXPECT_DOUBLE_EQ(bounds[2], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 2.0);
+  EXPECT_THROW(exponential_bounds(0.0, 2.0, 4), ConfigError);
+  EXPECT_THROW(exponential_bounds(1.0, 1.0, 4), ConfigError);
+  EXPECT_THROW(exponential_bounds(1.0, 2.0, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace botmeter::obs

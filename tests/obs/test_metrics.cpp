@@ -102,6 +102,53 @@ TEST(MetricsRegistry, HistogramReboundsRejected) {
   EXPECT_THROW(registry.histogram("lat", other), ConfigError);
 }
 
+TEST(Histogram, SampleIsConsistentUnderConcurrentObserves) {
+  // The synchronization contract: sample() (and snapshot(), which uses it)
+  // must never see a torn observation — the bucket counts always sum to the
+  // count. A reader using the raw accessors has no such guarantee; this is
+  // the TSan-exercised pin for the scrape path.
+  MetricsRegistry registry;
+  const std::array<double, 4> bounds{1.0, 8.0, 64.0, 512.0};
+  Histogram& h = registry.histogram("contended.lat", bounds);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, &done, t] {
+      for (int i = 0; !done.load(std::memory_order_relaxed); ++i) {
+        h.observe(static_cast<double>((i * 7 + t) % 1000));
+      }
+    });
+  }
+
+  for (int read = 0; read < 200; ++read) {
+    const Histogram::Sample sample = h.sample();
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t c : sample.counts) bucket_total += c;
+    ASSERT_EQ(bucket_total, sample.count) << "torn sample in read " << read;
+
+    const MetricsRegistry::Snapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    std::uint64_t snap_total = 0;
+    for (const std::uint64_t c : snap.histograms[0].counts) snap_total += c;
+    ASSERT_EQ(snap_total, snap.histograms[0].count)
+        << "torn snapshot in read " << read;
+  }
+  done.store(true);
+  for (auto& w : writers) w.join();
+}
+
+TEST(ExponentialBounds, ProducesStrictlyIncreasingHistogramBounds) {
+  const std::vector<double> bounds = exponential_bounds(0.25, 2.0, 12);
+  ASSERT_EQ(bounds.size(), 12u);
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("close.lat", bounds);  // must not throw
+  h.observe(0.1);
+  h.observe(1e9);  // overflow bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket_count(bounds.size()), 1u);
+}
+
 TEST(MetricsRegistry, ConcurrentAddsSumExactly) {
   MetricsRegistry registry;
   Counter& c = registry.counter("contended");

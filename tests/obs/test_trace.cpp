@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
+
+#include "common/json.hpp"
 
 namespace botmeter::obs {
 namespace {
@@ -67,6 +70,111 @@ TEST(ScopedTimer, DestructorRecords) {
   }
   ASSERT_EQ(session.span_count(), 1u);
   EXPECT_GE(session.spans()[0].millis, 0.0);
+}
+
+TEST(ScopedTimer, EndedSessionIsNoOp) {
+  TraceSession session;
+  session.end();
+  EXPECT_TRUE(session.ended());
+  {
+    ScopedTimer timer(&session, "after-end");
+    EXPECT_EQ(timer.stop(), 0.0);
+  }
+  EXPECT_EQ(session.span_count(), 0u);
+}
+
+TEST(ScopedTimer, TimerInFlightWhenSessionEndsDropsItsSpan) {
+  // The exporter-outlives-the-session shape: a timer constructed before
+  // end() must not record after it.
+  TraceSession session;
+  {
+    ScopedTimer timer(&session, "in-flight");
+    session.end();
+  }  // destructor fires after end(): dropped
+  EXPECT_EQ(session.span_count(), 0u);
+}
+
+TEST(ScopedTimer, MoveTransfersOwnershipAndRecordsOnce) {
+  TraceSession session;
+  {
+    ScopedTimer outer(&session, "moved");
+    ScopedTimer inner(std::move(outer));
+    EXPECT_EQ(outer.stop(), 0.0);  // moved-from timer is inert
+    EXPECT_GE(inner.stop(), 0.0);
+  }  // neither destructor may double-record
+  EXPECT_EQ(session.span_count(), 1u);
+  EXPECT_EQ(session.spans()[0].phase, "moved");
+
+  // Move assignment: the overwritten timer records first, the source is
+  // drained into the target.
+  {
+    ScopedTimer a(&session, "assigned-away");
+    ScopedTimer b(&session, "assigned-in");
+    a = std::move(b);
+    EXPECT_EQ(b.stop(), 0.0);
+  }
+  ASSERT_EQ(session.span_count(), 3u);
+  EXPECT_EQ(session.spans()[1].phase, "assigned-away");
+  EXPECT_EQ(session.spans()[2].phase, "assigned-in");
+}
+
+TEST(ScopedTimer, NestedTimersRecordDepth) {
+  TraceSession session;
+  {
+    ScopedTimer outer(&session, "outer");
+    {
+      ScopedTimer inner(&session, "inner");
+    }
+  }
+  const auto spans = session.spans();
+  ASSERT_EQ(spans.size(), 2u);  // inner completes (and records) first
+  EXPECT_EQ(spans[0].phase, "inner");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].phase, "outer");
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_GE(spans[0].start_ms, spans[1].start_ms);
+}
+
+TEST(ChromeTraceJson, EmitsOneTrackPerThreadWithMetadata) {
+  TraceSession session;
+  // Two explicit tracks, as a WorkerPool run on a multi-core host produces.
+  session.record_span("epoch", 0.0, 10.0, 41, 0);
+  session.record_span("sim.generate.chunk", 1.0, 4.0, 42, 1);
+  session.record_span("sim.generate.chunk", 5.0, 4.0, 41, 1);
+
+  const json::Value root = chrome_trace_json(session);
+  const json::Array& events = root.at("traceEvents").as_array();
+  // 2 thread_name metadata events + 3 span events.
+  ASSERT_EQ(events.size(), 5u);
+
+  int metadata = 0;
+  bool saw_41 = false, saw_42 = false;
+  for (const json::Value& event : events) {
+    const auto& obj = event.as_object();
+    if (obj.at("ph").as_string() == "M") {
+      ++metadata;
+      EXPECT_EQ(obj.at("name").as_string(), "thread_name");
+      const std::int64_t tid = obj.at("tid").as_int();
+      saw_41 |= tid == 41;
+      saw_42 |= tid == 42;
+      EXPECT_EQ(obj.at("args").at("name").as_string(),
+                "thread-" + std::to_string(tid));
+    }
+  }
+  EXPECT_EQ(metadata, 2);
+  EXPECT_TRUE(saw_41);
+  EXPECT_TRUE(saw_42);
+
+  // Span events: complete ("X") with microsecond ts/dur on their thread.
+  const auto& span = events[2].as_object();  // first span after metadata
+  EXPECT_EQ(span.at("ph").as_string(), "X");
+  EXPECT_EQ(span.at("name").as_string(), "epoch");
+  EXPECT_EQ(span.at("tid").as_int(), 41);
+  EXPECT_DOUBLE_EQ(span.at("ts").as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(span.at("dur").as_double(), 10'000.0);  // 10 ms in us
+  const auto& chunk = events[3].as_object();
+  EXPECT_DOUBLE_EQ(chunk.at("ts").as_double(), 1'000.0);
+  EXPECT_DOUBLE_EQ(chunk.at("dur").as_double(), 4'000.0);
 }
 
 TEST(TraceSession, ClearEmptiesTheSession) {

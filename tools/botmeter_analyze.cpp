@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "cli_util.hpp"
+#include "common/parallel.hpp"
 #include "core/botmeter.hpp"
 #include "dga/config_io.hpp"
 #include "dga/families.hpp"
@@ -33,7 +34,7 @@ constexpr const char* kUsage =
     "         [--estimator timing|poisson|bernoulli|...] [--servers n]\n"
     "         [--epochs n] [--first-epoch e] [--neg-ttl-min m]\n"
     "         [--miss-rate x] [--assume-miss x] [--trace file] [--viz]\n"
-    "         [--metrics-out file] [--trace-timing]\n"
+    "         [--metrics-out file] [--trace-timing] [--trace-out file]\n"
     "reads the observable (border) trace from --trace or stdin.\n"
     "--metrics-out writes a botmeter.run_report.v1 JSON document (matcher\n"
     "tallies, per-server matched lookups and populations, stage wall times);\n"
@@ -74,7 +75,7 @@ int main(int argc, char** argv) {
   using namespace botmeter;
   try {
     tools::CliArgs args(argc, argv,
-                        {"--family", "--config", "--estimator", "--servers",
+                        {"--family", "--config", "--estimator", "--servers", "--trace-out",
                          "--epochs", "--first-epoch", "--neg-ttl-min",
                          "--miss-rate", "--assume-miss", "--trace",
                          "--metrics-out"},
@@ -115,12 +116,16 @@ int main(int argc, char** argv) {
     const std::int64_t epochs = args.int_or("--epochs", 1);
     auto server_count = static_cast<std::size_t>(args.int_or("--servers", 1));
 
+    set_this_thread_label("main");
     const auto metrics_path = args.value("--metrics-out");
+    const auto trace_out_path = args.value("--trace-out");
     const bool want_trace = args.flag("--trace-timing");
     obs::MetricsRegistry metrics;
     obs::TraceSession trace_session;
     if (metrics_path) config.metrics = &metrics;
-    if (metrics_path || want_trace) config.trace = &trace_session;
+    if (metrics_path || want_trace || trace_out_path) {
+      config.trace = &trace_session;
+    }
 
     core::BotMeter meter(config);
     {
@@ -140,6 +145,11 @@ int main(int argc, char** argv) {
     }
     if (want_trace) {
       std::fputs(obs::format_phase_table(trace_session).c_str(), stderr);
+    }
+    if (trace_out_path) {
+      obs::write_chrome_trace_file(trace_session, *trace_out_path);
+      std::fprintf(stderr, "span trace written to %s (open in Perfetto)\n",
+                   trace_out_path->c_str());
     }
 
     if (args.flag("--viz")) {

@@ -19,6 +19,7 @@
 
 #include "botnet/simulator.hpp"
 #include "cli_util.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "detect/detection_window.hpp"
 #include "detect/matcher.hpp"
@@ -37,7 +38,7 @@ constexpr const char* kUsage =
     "         [--servers n] [--epochs n] [--first-epoch e] [--seed s]\n"
     "         [--neg-ttl-min m] [--granularity-ms g] [--dynamic-sigma s]\n"
     "         [--evasive] [--raw-out file] [--threads n]\n"
-    "         [--metrics-out file] [--trace]\n"
+    "         [--metrics-out file] [--trace] [--trace-out file]\n"
     "writes the observable (border) trace to stdout.\n"
     "--metrics-out writes a botmeter.run_report.v1 JSON document (cache,\n"
     "vantage, and matcher counters plus per-stage wall times); --trace\n"
@@ -103,7 +104,8 @@ int main(int argc, char** argv) {
         argc, argv,
         {"--family", "--config", "--bots", "--servers", "--epochs",
          "--first-epoch", "--seed", "--neg-ttl-min", "--granularity-ms",
-         "--dynamic-sigma", "--raw-out", "--threads", "--metrics-out"},
+         "--dynamic-sigma", "--raw-out", "--threads", "--metrics-out",
+         "--trace-out"},
         {"--help", "--evasive", "--trace"});
     if (args.flag("--help")) {
       std::fputs(kUsage, stdout);
@@ -140,12 +142,16 @@ int main(int argc, char** argv) {
     config.worker_threads =
         static_cast<std::size_t>(args.int_or("--threads", 1));
 
+    set_this_thread_label("main");
     const auto metrics_path = args.value("--metrics-out");
+    const auto trace_out_path = args.value("--trace-out");
     const bool want_trace = args.flag("--trace");
     obs::MetricsRegistry metrics;
     obs::TraceSession trace_session;
     if (metrics_path) config.metrics = &metrics;
-    if (metrics_path || want_trace) config.trace = &trace_session;
+    if (metrics_path || want_trace || trace_out_path) {
+      config.trace = &trace_session;
+    }
 
     auto pool_model = dga::make_pool_model(config.dga);
     const botnet::SimulationResult result =
@@ -163,6 +169,11 @@ int main(int argc, char** argv) {
     }
     if (want_trace) {
       std::fputs(obs::format_phase_table(trace_session).c_str(), stderr);
+    }
+    if (trace_out_path) {
+      obs::write_chrome_trace_file(trace_session, *trace_out_path);
+      std::fprintf(stderr, "span trace written to %s (open in Perfetto)\n",
+                   trace_out_path->c_str());
     }
 
     if (auto raw_path = args.value("--raw-out")) {

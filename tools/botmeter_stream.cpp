@@ -17,16 +17,23 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 #include "botnet/simulator.hpp"
 #include "cli_util.hpp"
 #include "common/json.hpp"
+#include "common/parallel.hpp"
 #include "dga/config_io.hpp"
 #include "dga/families.hpp"
+#include "obs/expose.hpp"
+#include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "stream/health_monitor.hpp"
 #include "stream/stream_engine.hpp"
 #include "trace/io.hpp"
 #include "viz/landscape.hpp"
@@ -41,7 +48,11 @@ constexpr const char* kUsage =
     "         [--lateness-ms l] [--trace file]\n"
     "         [--simulate --bots N [--seed s] [--granularity-ms g]]\n"
     "         [--checkpoint-in file] [--checkpoint-out file] [--no-final]\n"
-    "         [--metrics-out file] [--trace-timing] [--viz]\n"
+    "         [--metrics-out file] [--trace-timing] [--trace-out file] [--viz]\n"
+    "         [--listen port] [--listen-port-file file] [--linger-ms n]\n"
+    "         [--health-degraded-lag-ms n] [--health-unhealthy-lag-ms n]\n"
+    "         [--health-degraded-late-rate x] [--health-unhealthy-late-rate x]\n"
+    "         [--health-recovery-hold-ms n]\n"
     "ingests the observable (border) feed tuple by tuple — from --trace or\n"
     "stdin, or generated on the fly with --simulate — and prints one line\n"
     "per closed epoch plus the final landscape (bit-identical to\n"
@@ -51,7 +62,14 @@ constexpr const char* kUsage =
     "later run can resume mid-horizon; --no-final skips the final close —\n"
     "use it when more of the feed is still to come.\n"
     "--metrics-out writes a botmeter.run_report.v1 JSON document (ingest\n"
-    "throughput, per-epoch flush latency, resident state size).\n";
+    "throughput, per-epoch flush latency, resident state size).\n"
+    "--listen serves live telemetry while the run is in flight: GET /metrics\n"
+    "is the Prometheus text exposition of the run's registry, GET /healthz\n"
+    "the stream health state (ok/degraded -> 200, unhealthy -> 503). Port 0\n"
+    "binds an ephemeral port; --listen-port-file writes the bound port (for\n"
+    "scripts), --linger-ms keeps serving that long after the run finishes.\n"
+    "--trace-out writes the span trace as Chrome trace_event JSON — open it\n"
+    "in Perfetto (ui.perfetto.dev) or chrome://tracing.\n";
 
 botmeter::dga::DgaConfig config_from_file(const std::string& path) {
   std::ifstream file(path);
@@ -93,7 +111,10 @@ int main(int argc, char** argv) {
          "--first-epoch", "--neg-ttl-min", "--miss-rate", "--assume-miss",
          "--threads", "--lateness-ms", "--trace", "--bots", "--seed",
          "--granularity-ms", "--checkpoint-in", "--checkpoint-out",
-         "--metrics-out"},
+         "--metrics-out", "--trace-out", "--listen", "--listen-port-file",
+         "--linger-ms", "--health-degraded-lag-ms", "--health-unhealthy-lag-ms",
+         "--health-degraded-late-rate", "--health-unhealthy-late-rate",
+         "--health-recovery-hold-ms"},
         {"--help", "--simulate", "--no-final", "--viz", "--trace-timing"});
     if (args.flag("--help")) {
       std::fputs(kUsage, stdout);
@@ -125,14 +146,74 @@ int main(int argc, char** argv) {
       config.allowed_lateness = milliseconds(args.int_or("--lateness-ms", 0));
     }
 
+    set_this_thread_label("main");
     const auto metrics_path = args.value("--metrics-out");
+    const auto trace_out_path = args.value("--trace-out");
+    const auto listen_port = args.value("--listen");
     const bool want_trace = args.flag("--trace-timing");
     obs::MetricsRegistry metrics;
     obs::TraceSession trace_session;
-    if (metrics_path) config.meter.metrics = &metrics;
-    if (metrics_path || want_trace) config.meter.trace = &trace_session;
+    if (metrics_path || listen_port) config.meter.metrics = &metrics;
+    if (metrics_path || want_trace || trace_out_path) {
+      config.meter.trace = &trace_session;
+    }
 
     stream::StreamEngine engine(config);
+
+    // Live telemetry: health monitor fed from the ingest thread, scrape
+    // endpoint served from the exporter's own thread. The exporter only
+    // reads registry snapshots and the monitor's last state — it never
+    // touches the engine, so attaching it cannot perturb results.
+    stream::StreamHealthConfig health_config;
+    health_config.degraded_watermark_lag_ms =
+        args.double_or("--health-degraded-lag-ms",
+                       health_config.degraded_watermark_lag_ms);
+    health_config.unhealthy_watermark_lag_ms =
+        args.double_or("--health-unhealthy-lag-ms",
+                       health_config.unhealthy_watermark_lag_ms);
+    health_config.degraded_late_rate = args.double_or(
+        "--health-degraded-late-rate", health_config.degraded_late_rate);
+    health_config.unhealthy_late_rate = args.double_or(
+        "--health-unhealthy-late-rate", health_config.unhealthy_late_rate);
+    health_config.recovery_hold_ms = args.double_or(
+        "--health-recovery-hold-ms", health_config.recovery_hold_ms);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto wall_ms = [wall_start] {
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - wall_start)
+          .count();
+    };
+
+    std::optional<stream::StreamHealthMonitor> monitor;
+    std::unique_ptr<obs::HttpExporter> exporter;
+    if (listen_port) {
+      monitor.emplace(health_config, &metrics);
+      obs::HttpExporterConfig http;
+      http.port = static_cast<std::uint16_t>(args.int_or("--listen", 0));
+      std::map<std::string, obs::HttpExporter::Handler> routes;
+      routes["/metrics"] = [&metrics] {
+        obs::HttpResponse response;
+        response.content_type = obs::kPrometheusContentType;
+        response.body = obs::expose_prometheus(metrics.snapshot());
+        return response;
+      };
+      routes["/healthz"] = [&monitor] {
+        obs::HttpResponse response;
+        response.status =
+            monitor->state() == stream::HealthState::kUnhealthy ? 503 : 200;
+        response.body = monitor->render();
+        return response;
+      };
+      exporter = std::make_unique<obs::HttpExporter>(http, std::move(routes));
+      std::fprintf(stderr, "telemetry: listening on 127.0.0.1:%u\n",
+                   exporter->port());
+      if (auto port_file = args.value("--listen-port-file")) {
+        std::ofstream file(*port_file);
+        if (!file) throw DataError("cannot open " + *port_file);
+        file << exporter->port() << '\n';
+      }
+    }
 
     if (auto checkpoint_path = args.value("--checkpoint-in")) {
       std::ifstream file(*checkpoint_path);
@@ -162,6 +243,16 @@ int main(int argc, char** argv) {
     // engine through the vantage-point sink — either way one tuple at a
     // time, never a materialised stream.
     const bool simulate_mode = args.flag("--simulate");
+    // Health samples ride the ingest thread (engine accessors are not
+    // synchronized against ingest): one every 4096 tuples is ample —
+    // sub-second cadence at realistic rates, invisible in the profile.
+    std::uint64_t ingest_tick = 0;
+    const auto ingest_one = [&](const dns::ForwardedLookup& lookup) {
+      engine.ingest(lookup);
+      if (monitor && (++ingest_tick & 0xFFF) == 0) {
+        monitor->sample(engine, wall_ms());
+      }
+    };
     const auto ingest_start = std::chrono::steady_clock::now();
     if (simulate_mode) {
       const std::int64_t bots = args.int_or("--bots", 0);
@@ -177,20 +268,22 @@ int main(int argc, char** argv) {
       sim.timestamp_granularity =
           milliseconds(args.int_or("--granularity-ms", 100));
       sim.record_raw = false;
-      sim.observable_sink = [&engine](const dns::ForwardedLookup& lookup) {
-        engine.ingest(lookup);
-      };
+      // The generator shares the run's worker budget and telemetry sinks,
+      // so its per-chunk spans land on the worker tracks of the same
+      // Perfetto trace and its counters appear in the live /metrics page.
+      sim.worker_threads = config.worker_threads;
+      sim.metrics = config.meter.metrics;
+      sim.trace = config.meter.trace;
+      sim.observable_sink = ingest_one;
       (void)botnet::simulate(sim);
     } else if (auto path = args.value("--trace")) {
       std::ifstream file(*path);
       if (!file) throw DataError("cannot open " + *path);
-      (void)trace::for_each_observable(
-          file, [&engine](const dns::ForwardedLookup& l) { engine.ingest(l); });
+      (void)trace::for_each_observable(file, ingest_one);
     } else {
-      (void)trace::for_each_observable(
-          std::cin,
-          [&engine](const dns::ForwardedLookup& l) { engine.ingest(l); });
+      (void)trace::for_each_observable(std::cin, ingest_one);
     }
+    if (monitor) monitor->sample(engine, wall_ms());
     const double ingest_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - ingest_start)
@@ -258,6 +351,22 @@ int main(int argc, char** argv) {
     if (want_trace) {
       std::fputs(obs::format_phase_table(trace_session).c_str(), stderr);
     }
+    if (trace_out_path) {
+      obs::write_chrome_trace_file(trace_session, *trace_out_path);
+      std::fprintf(stderr, "span trace written to %s (open in Perfetto)\n",
+                   trace_out_path->c_str());
+    }
+
+    // Keep the scrape endpoint up (with fresh health samples) so operators
+    // and CI can inspect the terminal state of a short run.
+    if (exporter && args.int_or("--linger-ms", 0) > 0) {
+      const double deadline = wall_ms() + args.double_or("--linger-ms", 0.0);
+      while (wall_ms() < deadline) {
+        if (monitor) monitor->sample(engine, wall_ms());
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+    if (exporter) exporter->stop();
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n%s", e.what(), kUsage);
