@@ -1,0 +1,216 @@
+// Analysis-pipeline throughput (google-benchmark): core::BotMeter::analyze
+// on a frozen 1024-server landscape workload, across thread counts and with
+// the shared EstimationContext disabled, plus the sharded matcher alone.
+//
+// Doubles as the determinism guard for CI: every threaded (and memo-off)
+// configuration renders its landscape to canonical JSON once during setup
+// and the process exits non-zero if any run diverges from the serial
+// reference by a single byte.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/botmeter.hpp"
+#include "detect/matcher.hpp"
+#include "dga/domain_gen.hpp"
+#include "dga/families.hpp"
+#include "dga/pool.hpp"
+
+namespace {
+
+using namespace botmeter;
+
+bool g_diverged = false;
+
+struct AnalyzeWorkload {
+  core::BotMeterConfig config;
+  std::vector<dns::ForwardedLookup> stream;
+  std::size_t servers = 0;
+  std::int64_t epochs = 0;
+};
+
+/// Frozen synthetic landscape: 1024 local servers behind one border vantage,
+/// two newGoZ epochs. Per (epoch, server) a fixed substream draws a matched
+/// count from a sparse, quantised distribution (most servers small or empty —
+/// the regime the memo cache targets) and pads each matched lookup with two
+/// benign ones for the matcher to reject. Fully deterministic: every run and
+/// every machine sees byte-identical input.
+AnalyzeWorkload make_analyze_workload(std::size_t servers, std::int64_t epochs) {
+  AnalyzeWorkload w;
+  w.servers = servers;
+  w.epochs = epochs;
+  w.config.dga = dga::newgoz_config();
+  auto pool_model = dga::make_pool_model(w.config.dga);
+  const std::int64_t epoch_ms = w.config.dga.epoch.millis();
+  static constexpr std::uint32_t kCounts[] = {0, 0, 0, 4, 8, 8, 16, 32};
+  std::uint32_t benign = 0;
+  for (std::int64_t e = 0; e < epochs; ++e) {
+    const dga::EpochPool& pool = pool_model->epoch_pool(e);
+    for (std::size_t s = 0; s < servers; ++s) {
+      Rng rng = Rng::stream(0xA7A1, static_cast<std::uint64_t>(e), s);
+      const std::uint32_t count =
+          kCounts[rng.uniform(sizeof(kCounts) / sizeof(kCounts[0]))];
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const auto pos = static_cast<std::uint32_t>(rng.uniform(pool.size()));
+        const TimePoint t{e * epoch_ms +
+                          static_cast<std::int64_t>(rng.uniform(
+                              static_cast<std::uint64_t>(epoch_ms)))};
+        const dns::ServerId server{static_cast<std::uint32_t>(s)};
+        w.stream.push_back({t, server, pool.domains[pos]});
+        w.stream.push_back({t, server, dga::benign_domain(benign++)});
+        w.stream.push_back({t, server, dga::benign_domain(benign++)});
+      }
+    }
+  }
+  std::sort(w.stream.begin(), w.stream.end(),
+            [](const dns::ForwardedLookup& a, const dns::ForwardedLookup& b) {
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              if (a.forwarder != b.forwarder) return a.forwarder < b.forwarder;
+              return a.domain < b.domain;
+            });
+  return w;
+}
+
+const AnalyzeWorkload& workload() {
+  static const AnalyzeWorkload w = make_analyze_workload(1024, 2);
+  return w;
+}
+
+std::unique_ptr<core::BotMeter> make_meter(std::size_t threads,
+                                           bool share_context) {
+  core::BotMeterConfig config = workload().config;
+  config.analyze_threads = threads;
+  config.share_estimation_context = share_context;
+  auto meter = std::make_unique<core::BotMeter>(config);
+  meter->prepare_epochs(0, workload().epochs);
+  return meter;
+}
+
+std::string landscape_bytes(const core::LandscapeReport& report) {
+  return json::write(core::landscape_to_json(report));
+}
+
+/// Canonical serial landscape (threads = 1, memo on) — the reference every
+/// other configuration must reproduce byte-for-byte.
+const std::string& serial_reference() {
+  static const std::string bytes = [] {
+    const auto meter = make_meter(1, true);
+    return landscape_bytes(
+        meter->analyze(workload().stream, workload().servers));
+  }();
+  return bytes;
+}
+
+void check_divergence(benchmark::State& state,
+                      const core::LandscapeReport& report,
+                      const char* what) {
+  if (landscape_bytes(report) != serial_reference()) {
+    g_diverged = true;
+    state.SkipWithError(what);
+  }
+}
+
+void BM_AnalyzeThreaded(benchmark::State& state) {
+  const auto meter = make_meter(static_cast<std::size_t>(state.range(0)), true);
+  check_divergence(state,
+                   meter->analyze(workload().stream, workload().servers),
+                   "threaded landscape diverged from serial reference");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        meter->analyze(workload().stream, workload().servers));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(workload().stream.size()));
+}
+BENCHMARK(BM_AnalyzeThreaded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The serial pipeline with the shared EstimationContext disabled — the
+// pre-memoization cost, for computing the serial speedup from the same
+// BENCH_analyze.json artifact.
+void BM_AnalyzeMemoOff(benchmark::State& state) {
+  const auto meter = make_meter(1, false);
+  check_divergence(state,
+                   meter->analyze(workload().stream, workload().servers),
+                   "memo-off landscape diverged from serial reference");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        meter->analyze(workload().stream, workload().servers));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(workload().stream.size()));
+}
+BENCHMARK(BM_AnalyzeMemoOff)->Unit(benchmark::kMillisecond);
+
+// Matcher sharding alone, on the same stream the analyze benchmarks see.
+void BM_MatcherSharded(benchmark::State& state) {
+  const auto meter = make_meter(1, true);
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  WorkerPool workers(threads, WorkerPool::Oversubscribe::kAllow);
+  WorkerPool* pool = threads > 1 ? &workers : nullptr;
+  for (auto _ : state) {
+    detect::MatchStats stats;
+    benchmark::DoNotOptimize(
+        meter->matcher().match(workload().stream, &stats, pool));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(workload().stream.size()));
+}
+BENCHMARK(BM_MatcherSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->UseRealTime();
+
+}  // namespace
+
+// Like BENCHMARK_MAIN(), but defaults to writing the results as JSON to
+// BENCH_analyze.json (for CI artifact upload) unless the caller passed their
+// own --benchmark_out, and exits non-zero if any configuration's landscape
+// diverged from the serial reference.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_analyze.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (g_diverged) {
+    std::fputs("FAIL: a threaded or memo-off landscape diverged from the "
+               "serial reference\n",
+               stderr);
+    return 1;
+  }
+  return 0;
+}

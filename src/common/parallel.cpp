@@ -42,10 +42,13 @@ std::string thread_label(std::uint32_t ordinal) {
   return "thread-" + std::to_string(ordinal);
 }
 
-WorkerPool::WorkerPool(std::size_t thread_count) {
+WorkerPool::WorkerPool(std::size_t thread_count, Oversubscribe oversubscribe) {
   std::size_t cores = std::thread::hardware_concurrency();
   if (cores == 0) cores = 1;
-  if (thread_count == 0 || thread_count > cores) thread_count = cores;
+  if (thread_count == 0 ||
+      (thread_count > cores && oversubscribe == Oversubscribe::kClamp)) {
+    thread_count = cores;
+  }
   workers_.reserve(thread_count - 1);
   for (std::size_t i = 0; i + 1 < thread_count; ++i) {
     workers_.emplace_back([this, i] {

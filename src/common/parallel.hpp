@@ -37,13 +37,22 @@ void set_this_thread_label(std::string label);
 
 class WorkerPool {
  public:
+  /// Whether a requested `thread_count` above the hardware concurrency is
+  /// honored or clamped. Clamping is the safe default — oversubscribing
+  /// cores only adds scheduling overhead, and no result ever depends on the
+  /// thread count. kAllow exists for callers that must *exercise* a specific
+  /// count regardless of the machine (determinism regressions asserting
+  /// byte-identical output at 8 threads must actually run 8 threads, even in
+  /// a single-core CI container).
+  enum class Oversubscribe { kClamp, kAllow };
+
   /// `thread_count` is the total parallelism including the calling thread;
   /// 0 means std::thread::hardware_concurrency(). Counts above the hardware
-  /// concurrency are clamped to it — oversubscribing cores only adds
-  /// scheduling overhead, and no result ever depends on the thread count.
+  /// concurrency are clamped to it unless `oversubscribe` is kAllow.
   /// With an effective count <= 1 no threads are spawned and parallel_for
   /// degrades to a plain loop.
-  explicit WorkerPool(std::size_t thread_count = 0);
+  explicit WorkerPool(std::size_t thread_count = 0,
+                      Oversubscribe oversubscribe = Oversubscribe::kClamp);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;

@@ -1,9 +1,12 @@
 #include "core/botmeter.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "estimators/context.hpp"
 #include "estimators/observation.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -28,6 +31,36 @@ double LandscapeReport::total_population() const {
   return total;
 }
 
+json::Value landscape_to_json(const LandscapeReport& report) {
+  json::Array servers;
+  for (const ServerEstimate& s : report.servers) {
+    json::Array per_epoch;
+    for (const auto& [epoch, value] : s.per_epoch) {
+      json::Array pair;
+      pair.emplace_back(static_cast<double>(epoch));
+      pair.emplace_back(value);
+      per_epoch.emplace_back(std::move(pair));
+    }
+    json::Object server;
+    server.emplace("server", json::Value(static_cast<double>(s.server.value())));
+    server.emplace("population", json::Value(s.population));
+    server.emplace("matched_lookups",
+                   json::Value(static_cast<double>(s.matched_lookups)));
+    server.emplace("per_epoch", json::Value(std::move(per_epoch)));
+    server.emplace("interval90_lo", s.interval90
+                                        ? json::Value(s.interval90->first)
+                                        : json::Value(nullptr));
+    server.emplace("interval90_hi", s.interval90
+                                        ? json::Value(s.interval90->second)
+                                        : json::Value(nullptr));
+    servers.emplace_back(std::move(server));
+  }
+  json::Object root;
+  root.emplace("estimator", json::Value(report.estimator_name));
+  root.emplace("servers", json::Value(std::move(servers)));
+  return json::Value(std::move(root));
+}
+
 BotMeter::BotMeter(BotMeterConfig config) : config_(std::move(config)) {
   config_.validate();
   pool_model_ = dga::make_pool_model(config_.dga);
@@ -44,40 +77,76 @@ const estimators::Estimator& BotMeter::active_estimator() const {
 
 void BotMeter::prepare_epochs(std::int64_t first_epoch, std::int64_t epoch_count) {
   if (epoch_count <= 0) throw ConfigError("prepare_epochs: epoch_count must be > 0");
-  Rng window_rng{mix64(config_.seed ^ static_cast<std::uint64_t>(first_epoch))};
   for (std::int64_t e = first_epoch; e < first_epoch + epoch_count; ++e) {
-    if (std::binary_search(prepared_epochs_.begin(), prepared_epochs_.end(), e)) {
-      continue;
-    }
+    if (epoch_states_.contains(e)) continue;
     const dga::EpochPool& pool = pool_model_->epoch_pool(e);
+    // Each epoch samples its window from its own (seed, epoch) substream, so
+    // the windows depend only on the configuration — never on how the
+    // preparation calls were batched ([0,10) vs [0,5)+[5,10) are identical).
+    Rng window_rng{stream_seed(config_.seed, static_cast<std::uint64_t>(e))};
     detect::DetectionWindow window =
         detect::make_detection_window(pool, config_.detection_miss_rate, window_rng);
     matcher_->add_epoch(pool, window);
-    windows_.emplace_back(e, std::move(window));
+    epoch_states_.emplace(e, EpochState{&pool, std::move(window)});
     prepared_epochs_.insert(
         std::upper_bound(prepared_epochs_.begin(), prepared_epochs_.end(), e), e);
   }
 }
 
-const detect::DetectionWindow& BotMeter::window_for_epoch(std::int64_t epoch) const {
-  for (const auto& [e, window] : windows_) {
-    if (e == epoch) return window;
+const BotMeter::EpochState& BotMeter::epoch_state(std::int64_t epoch) const {
+  const auto it = epoch_states_.find(epoch);
+  if (it == epoch_states_.end()) {
+    throw ConfigError("window_for_epoch: epoch not prepared");
   }
-  throw ConfigError("window_for_epoch: epoch not prepared");
+  return it->second;
+}
+
+const detect::DetectionWindow& BotMeter::window_for_epoch(std::int64_t epoch) const {
+  return epoch_state(epoch).window;
 }
 
 estimators::EpochObservation BotMeter::make_observation(
     std::int64_t epoch, std::vector<detect::MatchedLookup> lookups) const {
+  const EpochState& state = epoch_state(epoch);
   estimators::EpochObservation obs;
   obs.lookups = std::move(lookups);
   obs.config = &config_.dga;
-  obs.pool = &pool_model_->epoch_pool(epoch);
-  obs.window = &window_for_epoch(epoch);
+  obs.pool = state.pool;
+  obs.window = &state.window;
   obs.ttl = config_.ttl;
   obs.window_start = TimePoint{epoch * config_.dga.epoch.millis()};
   obs.window_length = config_.dga.epoch;
   obs.assumed_miss_rate = config_.assumed_miss_rate;
   return obs;
+}
+
+std::vector<estimators::EpochCell> BotMeter::estimate_epoch_row(
+    std::int64_t epoch, std::vector<std::vector<detect::MatchedLookup>> buckets,
+    WorkerPool* workers, obs::TraceSession* trace,
+    const char* span_name) const {
+  const estimators::Estimator& estimator = active_estimator();
+  estimators::EstimationContext context;
+  estimators::EstimationContext* const shared =
+      config_.share_estimation_context ? &context : nullptr;
+  std::vector<estimators::EpochCell> cells(buckets.size());
+  const auto estimate_one = [&](std::size_t s) {
+    obs::ScopedTimer server_timer(trace, span_name);
+    std::vector<detect::MatchedLookup>& bucket = buckets[s];
+    std::sort(bucket.begin(), bucket.end(), detect::matched_lookup_less);
+    const std::uint64_t count = bucket.size();
+    estimators::EpochObservation obs = make_observation(epoch, std::move(bucket));
+    obs.context = shared;
+    estimators::EpochCell& cell = cells[s];
+    cell.epoch = epoch;
+    cell.estimate = estimator.estimate_with_interval(obs, 0.9);
+    cell.matched = count;
+  };
+  if (workers != nullptr) {
+    workers->parallel_for(buckets.size(), estimate_one);
+  } else {
+    for (std::size_t s = 0; s < buckets.size(); ++s) estimate_one(s);
+  }
+  return cells;
 }
 
 LandscapeReport BotMeter::analyze(std::span<const dns::ForwardedLookup> stream,
@@ -92,10 +161,16 @@ LandscapeReport BotMeter::analyze(std::span<const dns::ForwardedLookup> stream,
   obs::MetricsRegistry* const metrics = config_.metrics;
   obs::TraceSession* const trace = config_.trace;
 
+  // One pool for the whole call: matcher sharding and every epoch row. With
+  // analyze_threads == 1 no threads are spawned and everything below runs
+  // as a plain loop. kAllow: determinism tests pin specific counts and the
+  // output never depends on the count, so honoring it exactly is safe.
+  WorkerPool workers(config_.analyze_threads,
+                     WorkerPool::Oversubscribe::kAllow);
+
   obs::ScopedTimer match_timer(trace, "analyze.match");
-  detect::MatchStats match_stats;
-  const detect::MatchedStreams matched =
-      matcher_->match(stream, metrics != nullptr ? &match_stats : nullptr);
+  detect::MatchStats match_stats;  // tallied always; flushed when a registry is attached
+  detect::MatchedStreams matched = matcher_->match(stream, &match_stats, &workers);
   match_timer.stop();
   if (metrics != nullptr) {
     metrics->counter("analyze.matcher.stream").add(match_stats.stream_size);
@@ -115,25 +190,32 @@ LandscapeReport BotMeter::analyze(std::span<const dns::ForwardedLookup> stream,
   report.estimator_name = std::string(estimator.name());
   report.servers.reserve(server_count);
 
-  static const std::vector<detect::MatchedLookup> kEmpty;
+  // Epoch-major: each epoch's row shares one EstimationContext (tables and
+  // memoized inversions are per-epoch state) and shards its servers over the
+  // pool. Rows land in pre-sized slots; every cell is an independent pure
+  // function of its bucket, so the landscape is bit-identical to the
+  // server-major serial loop for any analyze_threads.
+  std::vector<std::vector<estimators::EpochCell>> rows;
+  rows.reserve(prepared_epochs_.size());
+  for (std::int64_t e : prepared_epochs_) {
+    std::vector<std::vector<detect::MatchedLookup>> buckets(server_count);
+    for (std::uint32_t s = 0; s < server_count; ++s) {
+      const auto it = matched.find(detect::StreamKey{dns::ServerId{s}, e});
+      if (it != matched.end()) buckets[s] = std::move(it->second);
+    }
+    rows.push_back(estimate_epoch_row(e, std::move(buckets), &workers, trace,
+                                      "analyze.estimate.server"));
+  }
 
+  // Serial assembly and metrics flush, in server order.
+  std::vector<estimators::EpochCell> cells(prepared_epochs_.size());
   for (std::uint32_t s = 0; s < server_count; ++s) {
     ServerEstimate server_estimate;
     server_estimate.server = dns::ServerId{s};
-
-    std::vector<estimators::EpochCell> cells;
-    cells.reserve(prepared_epochs_.size());
-    for (std::int64_t e : prepared_epochs_) {
-      auto it = matched.find(detect::StreamKey{dns::ServerId{s}, e});
-      const std::vector<detect::MatchedLookup>& lookups =
-          (it != matched.end()) ? it->second : kEmpty;
-      const estimators::EpochObservation obs = make_observation(e, lookups);
-      estimators::EpochCell cell;
-      cell.epoch = e;
-      cell.estimate = estimator.estimate_with_interval(obs, 0.9);
-      cell.matched = lookups.size();
-      server_estimate.per_epoch.emplace_back(e, cell.estimate.value);
-      cells.push_back(cell);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      cells[i] = rows[i][s];
+      server_estimate.per_epoch.emplace_back(cells[i].epoch,
+                                             cells[i].estimate.value);
     }
 
     const estimators::WindowAggregate aggregate =

@@ -8,12 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "detect/detection_window.hpp"
 #include "detect/matcher.hpp"
 #include "dga/config.hpp"
@@ -21,7 +23,12 @@
 #include "dns/ids.hpp"
 #include "dns/record.hpp"
 #include "dns/vantage.hpp"
+#include "estimators/estimator.hpp"
 #include "estimators/library.hpp"
+
+namespace botmeter {
+class WorkerPool;
+}
 
 namespace botmeter::obs {
 class MetricsRegistry;
@@ -51,6 +58,19 @@ struct BotMeterConfig {
 
   /// Seed for the detection-window sampling.
   std::uint64_t seed = 7;
+
+  /// Total parallelism of analyze() — matcher sharding plus the
+  /// per-(server, epoch) estimation loop. 1 = serial (the default), 0 =
+  /// hardware concurrency. The LandscapeReport is bit-identical for every
+  /// value: matched streams merge in canonical order and every estimate is
+  /// an independent pure function of its cell, written to its own slot.
+  std::size_t analyze_threads = 1;
+
+  /// Share one EstimationContext per epoch across the servers of that epoch
+  /// (tables built once, duplicate observations memoized). Disabling exists
+  /// only for A/B verification — results are bit-identical either way, the
+  /// cache just recomputes everything.
+  bool share_estimation_context = true;
 
   /// Optional observability sinks (see src/obs/): matcher tallies,
   /// estimator inputs/outputs, and per-stage wall times of analyze().
@@ -84,6 +104,12 @@ struct LandscapeReport {
   [[nodiscard]] double total_population() const;
 };
 
+/// Canonical JSON form of a landscape. Serialized through the byte-stable
+/// common/json writer, two reports render identically iff every field —
+/// every double bit included — is equal, which is how the thread-count and
+/// memo-cache determinism regressions compare runs.
+[[nodiscard]] json::Value landscape_to_json(const LandscapeReport& report);
+
 class BotMeter {
  public:
   explicit BotMeter(BotMeterConfig config);
@@ -110,6 +136,22 @@ class BotMeter {
   [[nodiscard]] estimators::EpochObservation make_observation(
       std::int64_t epoch, std::vector<detect::MatchedLookup> lookups) const;
 
+  /// Estimate one epoch's row of the landscape: cell s from buckets[s], the
+  /// matched lookups of server s (any order; sorted canonically here). The
+  /// per-server estimations run over `workers` (caller participates; null or
+  /// single-threaded pool = plain loop) and share one EstimationContext when
+  /// config().share_estimation_context is set. Each cell is an independent
+  /// pure function of its bucket written to its own pre-sized slot, so the
+  /// row is bit-identical for any worker count. analyze() runs this for
+  /// every prepared epoch; the streaming engine runs it at each epoch close
+  /// — the shared path that keeps the two pipelines equivalent. Per-server
+  /// wall time lands on `span_name` spans of `trace` (observability only).
+  [[nodiscard]] std::vector<estimators::EpochCell> estimate_epoch_row(
+      std::int64_t epoch,
+      std::vector<std::vector<detect::MatchedLookup>> buckets,
+      WorkerPool* workers, obs::TraceSession* trace,
+      const char* span_name) const;
+
   [[nodiscard]] const dga::QueryPoolModel& pool_model() const { return *pool_model_; }
   [[nodiscard]] const estimators::ModelLibrary& library() const { return library_; }
   [[nodiscard]] const estimators::Estimator& active_estimator() const;
@@ -123,11 +165,22 @@ class BotMeter {
   [[nodiscard]] const BotMeterConfig& config() const { return config_; }
 
  private:
+  /// Everything analyze() needs per prepared epoch, resolved once at
+  /// preparation time: the (heap-stable) pool and the detection window.
+  /// Keyed by epoch so the per-cell lookups the estimation loop does are
+  /// O(log epochs) instead of a linear scan per (server, epoch).
+  struct EpochState {
+    const dga::EpochPool* pool = nullptr;
+    detect::DetectionWindow window;
+  };
+
+  [[nodiscard]] const EpochState& epoch_state(std::int64_t epoch) const;
+
   BotMeterConfig config_;
   estimators::ModelLibrary library_;
   std::unique_ptr<dga::QueryPoolModel> pool_model_;
   std::unique_ptr<detect::DomainMatcher> matcher_;
-  std::vector<std::pair<std::int64_t, detect::DetectionWindow>> windows_;
+  std::map<std::int64_t, EpochState> epoch_states_;
   std::vector<std::int64_t> prepared_epochs_;  // sorted
 };
 

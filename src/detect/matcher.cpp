@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace botmeter::detect {
 
@@ -58,33 +59,58 @@ std::optional<DomainMatcher::MatchOutcome> DomainMatcher::match_one(
       MatchedLookup{lookup.timestamp, best->pool_position, best->is_valid}};
 }
 
-MatchedStreams DomainMatcher::match(
-    std::span<const dns::ForwardedLookup> stream, MatchStats* stats) const {
-  MatchedStreams out;
-  if (stats != nullptr) *stats = MatchStats{};
+void DomainMatcher::match_range(std::span<const dns::ForwardedLookup> stream,
+                                MatchedStreams& out, MatchStats& stats) const {
   for (const dns::ForwardedLookup& lookup : stream) {
-    if (stats != nullptr) ++stats->stream_size;
+    ++stats.stream_size;
     const std::optional<MatchOutcome> outcome = match_one(lookup);
     if (!outcome) {
-      if (stats != nullptr) ++stats->unmatched;
+      ++stats.unmatched;
       continue;
     }
-    if (stats != nullptr) {
-      ++stats->matched;
-      if (outcome->lookup.is_valid_domain) {
-        ++stats->valid_domain;
-      } else {
-        ++stats->nxd;
-      }
+    ++stats.matched;
+    if (outcome->lookup.is_valid_domain) {
+      ++stats.valid_domain;
+    } else {
+      ++stats.nxd;
     }
     out[outcome->key].push_back(outcome->lookup);
   }
+}
+
+MatchedStreams DomainMatcher::match(
+    std::span<const dns::ForwardedLookup> stream, MatchStats* stats,
+    WorkerPool* workers) const {
+  MatchedStreams out;
+  MatchStats tally;
+  if (workers != nullptr && workers->thread_count() > 1 && stream.size() > 1) {
+    // Contiguous shards; match_one only reads the immutable index, so shards
+    // are independent. The shard partition depends on the thread count but
+    // the merged output does not: appending each key's shard-local lookups
+    // in shard order reproduces the exact stream order for that key.
+    const std::size_t shard_count =
+        std::min(stream.size(), workers->thread_count() * 4);
+    std::vector<MatchedStreams> shard_out(shard_count);
+    std::vector<MatchStats> shard_stats(shard_count);
+    workers->parallel_for(shard_count, [&](std::size_t s) {
+      const std::size_t begin = stream.size() * s / shard_count;
+      const std::size_t end = stream.size() * (s + 1) / shard_count;
+      match_range(stream.subspan(begin, end - begin), shard_out[s],
+                  shard_stats[s]);
+    });
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      tally += shard_stats[s];
+      for (auto& [key, lookups] : shard_out[s]) {
+        auto& merged = out[key];
+        merged.insert(merged.end(), lookups.begin(), lookups.end());
+      }
+    }
+  } else {
+    match_range(stream, out, tally);
+  }
+  if (stats != nullptr) *stats = tally;
   for (auto& [key, lookups] : out) {
-    std::sort(lookups.begin(), lookups.end(),
-              [](const MatchedLookup& a, const MatchedLookup& b) {
-                if (a.t != b.t) return a.t < b.t;
-                return a.pool_position < b.pool_position;
-              });
+    std::sort(lookups.begin(), lookups.end(), matched_lookup_less);
   }
   return out;
 }

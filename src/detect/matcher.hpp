@@ -23,6 +23,10 @@
 #include "dns/ids.hpp"
 #include "dns/vantage.hpp"
 
+namespace botmeter {
+class WorkerPool;
+}
+
 namespace botmeter::detect {
 
 /// One matched, cache-filtered lookup. `pool_position` indexes the epoch's
@@ -34,6 +38,16 @@ struct MatchedLookup {
 
   friend bool operator==(const MatchedLookup&, const MatchedLookup&) = default;
 };
+
+/// Canonical order of a matched (server, epoch) stream. Ties are benign:
+/// within one epoch a pool position determines the domain, so two lookups
+/// comparing equal are byte-identical elements and even an unstable sort
+/// yields one canonical sequence.
+inline bool matched_lookup_less(const MatchedLookup& a,
+                                const MatchedLookup& b) {
+  if (a.t != b.t) return a.t < b.t;
+  return a.pool_position < b.pool_position;
+}
 
 /// Grouping key for matched streams.
 struct StreamKey {
@@ -56,6 +70,15 @@ struct MatchStats {
   std::uint64_t valid_domain = 0; // matched, registered C2 position
   std::uint64_t nxd = 0;          // matched, detected NXD position
 
+  MatchStats& operator+=(const MatchStats& other) {
+    stream_size += other.stream_size;
+    matched += other.matched;
+    unmatched += other.unmatched;
+    valid_domain += other.valid_domain;
+    nxd += other.nxd;
+    return *this;
+  }
+
   friend bool operator==(const MatchStats&, const MatchStats&) = default;
 };
 
@@ -76,7 +99,19 @@ class DomainMatcher {
     return match(stream, nullptr);
   }
   [[nodiscard]] MatchedStreams match(
-      std::span<const dns::ForwardedLookup> stream, MatchStats* stats) const;
+      std::span<const dns::ForwardedLookup> stream, MatchStats* stats) const {
+    return match(stream, stats, nullptr);
+  }
+
+  /// Parallel variant: shards the stream into contiguous ranges over
+  /// `workers` and merges the per-shard results serially in shard order.
+  /// Matching is stateless per lookup and per-key concatenation in shard
+  /// order reproduces the exact stream order, so the output (and `stats`)
+  /// is bit-identical to the serial overloads for any worker count. A null
+  /// or single-threaded pool degrades to the serial loop.
+  [[nodiscard]] MatchedStreams match(std::span<const dns::ForwardedLookup> stream,
+                                     MatchStats* stats,
+                                     WorkerPool* workers) const;
 
   /// One matched lookup with its (server, epoch) attribution.
   struct MatchOutcome {
@@ -101,6 +136,9 @@ class DomainMatcher {
     std::uint32_t pool_position;
     bool is_valid;
   };
+
+  void match_range(std::span<const dns::ForwardedLookup> stream,
+                   MatchedStreams& out, MatchStats& stats) const;
 
   Duration epoch_length_;
   std::unordered_map<std::string, std::vector<Occurrence>> index_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "common/logmath.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "estimators/context.hpp"
 #include "estimators/segments.hpp"
 
 namespace botmeter::estimators {
@@ -96,6 +99,177 @@ double invert_increasing(F&& expectation, double observed) {
   return 0.5 * (lo + hi);
 }
 
+using WeightHistogram = std::map<std::uint32_t, std::uint32_t>;
+
+/// Flattened, precomputed form of the coverage-weight histogram. Entries
+/// keep the histogram's ascending-weight order so sums accumulate in exactly
+/// the order the map-based code used, and the precomputed members are the
+/// same subexpressions that code evaluated — `log1p(-(weight / pool_size))`
+/// never interacts with the bisection's `n`, so hoisting it out of the
+/// expectation is bit-exact. The histogram walk is O(pool); a bisection
+/// evaluates the expectation a few hundred times, so building the table once
+/// (per call, or once per epoch via EstimationContext) is the dominant win.
+struct CoverageTables {
+  struct Entry {
+    double weight;       // min(a_d, theta_q)
+    double count;        // positions sharing this weight
+    double log1p_neg_p;  // log1p(-(weight / pool_size))
+  };
+  std::vector<Entry> entries;
+  double pool_size = 0.0;
+};
+
+CoverageTables build_coverage_tables(const dga::EpochPool& pool,
+                                     const dga::DgaConfig& config) {
+  CoverageTables tables;
+  tables.pool_size = pool.size();
+  const WeightHistogram histogram = coverage_weight_histogram(pool, config);
+  tables.entries.reserve(histogram.size());
+  for (const auto& [weight, count] : histogram) {
+    const double w = static_cast<double>(weight);
+    tables.entries.push_back(
+        {w, static_cast<double>(count), std::log1p(-(w / tables.pool_size))});
+  }
+  return tables;
+}
+
+/// Precomputed renewal horizons `1 - (k-1) * ttl_fraction` — the fraction of
+/// the epoch within which the k-th forward of one NXD can still happen.
+/// Capped: past the cap (only reachable when the TTL is a vanishing fraction
+/// of the epoch) horizons are computed on the fly with the same expression.
+struct RenewalTable {
+  double ttl_fraction = 0.0;
+  std::vector<double> horizons;
+};
+
+RenewalTable build_renewal_table(double ttl_fraction) {
+  constexpr std::size_t kMaxHorizons = 1u << 16;
+  RenewalTable table;
+  table.ttl_fraction = ttl_fraction;
+  for (std::int64_t k = 1; table.horizons.size() < kMaxHorizons; ++k) {
+    const double horizon = 1.0 - static_cast<double>(k - 1) * ttl_fraction;
+    if (horizon <= 0.0) break;
+    table.horizons.push_back(horizon);
+  }
+  return table;
+}
+
+double expected_coverage_from_tables(const CoverageTables& tables, double n,
+                                     double keep) {
+  double expected = 0.0;
+  for (const CoverageTables::Entry& e : tables.entries) {
+    // (1-p)^n for real n via exp/log; p < 1 because weight < pool size.
+    const double miss_all = std::exp(n * e.log1p_neg_p);
+    expected += e.count * (1.0 - miss_all) * keep;
+  }
+  return expected;
+}
+
+/// Lookups of NXD d arrive (across the population, activations uniform over
+/// the epoch) as an approximately Poisson stream with mean m = n * p_d per
+/// epoch. Negative caching turns the forwarded sub-stream into a renewal
+/// process: the k-th forward happens at (k-1) TTL blocks plus a
+/// Gamma(k, rate) wait, so over the normalised epoch [0, 1]
+///   E[forwards] = sum_k P(Gamma(k) <= 1 - (k-1) f)
+///               = sum_k P(Poisson(m (1 - (k-1) f)) >= k),  f = TTL/epoch —
+/// exact at every TTL, including the short-TTL regime with many windows.
+double renewal_count(const RenewalTable& renewal, double mean_queries) {
+  double total = 0.0;
+  for (std::size_t i = 0;; ++i) {
+    const auto k = static_cast<std::int64_t>(i) + 1;
+    const double horizon =
+        i < renewal.horizons.size()
+            ? renewal.horizons[i]
+            : 1.0 - static_cast<double>(k - 1) * renewal.ttl_fraction;
+    if (horizon <= 0.0) break;
+    const double tail = poisson_tail(mean_queries * horizon, k);
+    total += tail;
+    if (tail < 1e-12 && static_cast<double>(k) > mean_queries) break;
+  }
+  return total;
+}
+
+double expected_forwards_from_tables(const CoverageTables& tables,
+                                     const RenewalTable& renewal, double n,
+                                     double keep) {
+  double expected = 0.0;
+  for (const CoverageTables::Entry& e : tables.entries) {
+    const double mean_queries = n * e.weight / tables.pool_size;
+    expected += e.count * keep * renewal_count(renewal, mean_queries);
+  }
+  return expected;
+}
+
+/// Invert the coverage expectation, memoizing the bisection per observed
+/// statistic when a context is attached. The solve is a pure function of
+/// (observed, keep) given the tables, so a memo hit returns exactly the bits
+/// a fresh bisection would compute.
+double invert_coverage_tables(const CoverageTables& tables, double observed,
+                              double keep, EstimationContext* ctx) {
+  const auto solve = [&] {
+    return invert_increasing(
+        [&](double n) {
+          return expected_coverage_from_tables(tables, n, keep);
+        },
+        observed);
+  };
+  if (ctx != nullptr) {
+    return ctx->memoized("bernoulli.invert_coverage", observed, keep, solve);
+  }
+  return solve();
+}
+
+double invert_forwards_tables(const CoverageTables& tables,
+                              const RenewalTable& renewal, double observed,
+                              double keep, EstimationContext* ctx) {
+  const auto solve = [&] {
+    return invert_increasing(
+        [&](double n) {
+          return expected_forwards_from_tables(tables, renewal, n, keep);
+        },
+        observed);
+  };
+  if (ctx != nullptr) {
+    return ctx->memoized("bernoulli.invert_forwards", observed, keep, solve);
+  }
+  return solve();
+}
+
+/// Coverage tables for this observation: shared via the context when one is
+/// attached, otherwise built locally into `local`.
+const CoverageTables& coverage_tables_for(const EpochObservation& obs,
+                                          std::unique_ptr<CoverageTables>& local) {
+  if (obs.context != nullptr) {
+    return obs.context->table<CoverageTables>("bernoulli.coverage", [&] {
+      return std::make_unique<CoverageTables>(
+          build_coverage_tables(*obs.pool, *obs.config));
+    });
+  }
+  local = std::make_unique<CoverageTables>(
+      build_coverage_tables(*obs.pool, *obs.config));
+  return *local;
+}
+
+const RenewalTable& renewal_table_for(const EpochObservation& obs,
+                                      double ttl_fraction,
+                                      std::unique_ptr<RenewalTable>& local) {
+  if (obs.context != nullptr) {
+    return obs.context->table<RenewalTable>("bernoulli.renewal", [&] {
+      return std::make_unique<RenewalTable>(build_renewal_table(ttl_fraction));
+    });
+  }
+  local = std::make_unique<RenewalTable>(build_renewal_table(ttl_fraction));
+  return *local;
+}
+
+double ttl_fraction_for(const EpochObservation& obs, const char* where) {
+  if (obs.ttl.negative.millis() <= 0 || obs.window_length.millis() <= 0) {
+    throw ConfigError(std::string(where) + ": TTL and epoch must be positive");
+  }
+  return static_cast<double>(obs.ttl.negative.millis()) /
+         static_cast<double>(obs.window_length.millis());
+}
+
 }  // namespace
 
 BernoulliEstimator::BernoulliEstimator(BernoulliMethod method)
@@ -113,79 +287,24 @@ std::string_view BernoulliEstimator::name() const {
   return "bernoulli";
 }
 
-namespace {
-
-using WeightHistogram = std::map<std::uint32_t, std::uint32_t>;
-
-double expected_coverage_from_histogram(const WeightHistogram& histogram,
-                                        double pool_size, double n,
-                                        double keep) {
-  double expected = 0.0;
-  for (const auto& [weight, count] : histogram) {
-    const double p = static_cast<double>(weight) / pool_size;
-    // (1-p)^n for real n via exp/log; p < 1 because weight < pool size.
-    const double miss_all = std::exp(n * std::log1p(-p));
-    expected += static_cast<double>(count) * (1.0 - miss_all) * keep;
-  }
-  return expected;
-}
-
-double expected_forwards_from_histogram(const WeightHistogram& histogram,
-                                        double pool_size, double n,
-                                        double ttl_fraction, double keep) {
-  // Lookups of NXD d arrive (across the population, activations uniform over
-  // the epoch) as an approximately Poisson stream with mean m = n * p_d per
-  // epoch. Negative caching turns the forwarded sub-stream into a renewal
-  // process: the k-th forward happens at (k-1) TTL blocks plus a
-  // Gamma(k, rate) wait, so over the normalised epoch [0, 1]
-  //   E[forwards] = sum_k P(Gamma(k) <= 1 - (k-1) f)
-  //               = sum_k P(Poisson(m (1 - (k-1) f)) >= k),  f = TTL/epoch —
-  // exact at every TTL, including the short-TTL regime with many windows.
-  const auto renewal_count = [ttl_fraction](double mean_queries) {
-    double total = 0.0;
-    for (std::int64_t k = 1;; ++k) {
-      const double horizon = 1.0 - static_cast<double>(k - 1) * ttl_fraction;
-      if (horizon <= 0.0) break;
-      const double tail = poisson_tail(mean_queries * horizon, k);
-      total += tail;
-      if (tail < 1e-12 && static_cast<double>(k) > mean_queries) break;
-    }
-    return total;
-  };
-  double expected = 0.0;
-  for (const auto& [weight, count] : histogram) {
-    const double mean_queries = n * static_cast<double>(weight) / pool_size;
-    expected += static_cast<double>(count) * keep * renewal_count(mean_queries);
-  }
-  return expected;
-}
-
-}  // namespace
-
 double BernoulliEstimator::expected_coverage(const dga::EpochPool& pool,
                                              const dga::DgaConfig& config,
                                              double n,
                                              std::optional<double> miss_rate) {
   if (n < 0.0) throw ConfigError("expected_coverage: n must be >= 0");
-  return expected_coverage_from_histogram(
-      coverage_weight_histogram(pool, config), pool.size(), n,
-      miss_rate ? (1.0 - *miss_rate) : 1.0);
+  return expected_coverage_from_tables(build_coverage_tables(pool, config), n,
+                                       miss_rate ? (1.0 - *miss_rate) : 1.0);
 }
 
 double BernoulliEstimator::invert_coverage(const dga::EpochPool& pool,
                                            const dga::DgaConfig& config,
                                            double observed,
                                            std::optional<double> miss_rate) {
-  // Build the weight histogram once; the bisection evaluates the expectation
-  // a few hundred times.
-  const WeightHistogram histogram = coverage_weight_histogram(pool, config);
-  const double pool_size = pool.size();
-  const double keep = miss_rate ? (1.0 - *miss_rate) : 1.0;
-  return invert_increasing(
-      [&](double n) {
-        return expected_coverage_from_histogram(histogram, pool_size, n, keep);
-      },
-      observed);
+  // Build the tables once; the bisection evaluates the expectation a few
+  // hundred times.
+  const CoverageTables tables = build_coverage_tables(pool, config);
+  return invert_coverage_tables(tables, observed,
+                                miss_rate ? (1.0 - *miss_rate) : 1.0, nullptr);
 }
 
 double BernoulliEstimator::expected_forward_count(
@@ -198,8 +317,8 @@ double BernoulliEstimator::expected_forward_count(
   }
   const double ttl_fraction = static_cast<double>(negative_ttl.millis()) /
                               static_cast<double>(epoch_length.millis());
-  return expected_forwards_from_histogram(
-      coverage_weight_histogram(pool, config), pool.size(), n, ttl_fraction,
+  return expected_forwards_from_tables(
+      build_coverage_tables(pool, config), build_renewal_table(ttl_fraction), n,
       miss_rate ? (1.0 - *miss_rate) : 1.0);
 }
 
@@ -210,17 +329,12 @@ double BernoulliEstimator::invert_forward_count(
   if (negative_ttl.millis() <= 0 || epoch_length.millis() <= 0) {
     throw ConfigError("invert_forward_count: TTL and epoch must be positive");
   }
-  const WeightHistogram histogram = coverage_weight_histogram(pool, config);
-  const double pool_size = pool.size();
+  const CoverageTables tables = build_coverage_tables(pool, config);
   const double ttl_fraction = static_cast<double>(negative_ttl.millis()) /
                               static_cast<double>(epoch_length.millis());
-  const double keep = miss_rate ? (1.0 - *miss_rate) : 1.0;
-  return invert_increasing(
-      [&](double n) {
-        return expected_forwards_from_histogram(histogram, pool_size, n,
-                                                ttl_fraction, keep);
-      },
-      observed);
+  return invert_forwards_tables(tables, build_renewal_table(ttl_fraction),
+                                observed, miss_rate ? (1.0 - *miss_rate) : 1.0,
+                                nullptr);
 }
 
 double BernoulliEstimator::estimate(const EpochObservation& obs) const {
@@ -232,9 +346,14 @@ double BernoulliEstimator::estimate(const EpochObservation& obs) const {
     return estimate_by_segments(obs);
   }
 
+  std::unique_ptr<CoverageTables> local_tables;
+  const CoverageTables& tables = coverage_tables_for(obs, local_tables);
+  const double keep =
+      obs.assumed_miss_rate ? (1.0 - *obs.assumed_miss_rate) : 1.0;
+
   const double distinct = observed_distinct_nxds(obs);
   const double coverage_estimate =
-      invert_coverage(*obs.pool, *obs.config, distinct, obs.assumed_miss_rate);
+      invert_coverage_tables(tables, distinct, keep, obs.context);
   if (method_ == BernoulliMethod::kCoverageInversion) {
     return coverage_estimate;
   }
@@ -242,16 +361,17 @@ double BernoulliEstimator::estimate(const EpochObservation& obs) const {
   // Adaptive: the coverage count is the cleaner statistic (no temporal
   // assumptions at all) while it still has slope; past saturation it stops
   // resolving N and the forwarded-count renewal statistic takes over.
-  const double keep =
-      obs.assumed_miss_rate ? (1.0 - *obs.assumed_miss_rate) : 1.0;
   const double ceiling =
       static_cast<double>(obs.pool->nxd_count()) * keep;
   if (distinct < kSaturationFraction * ceiling) {
     return coverage_estimate;
   }
-  return invert_forward_count(*obs.pool, *obs.config, observed_nxd_lookups(obs),
-                              obs.ttl.negative, obs.window_length,
-                              obs.assumed_miss_rate);
+  const double ttl_fraction = ttl_fraction_for(obs, "invert_forward_count");
+  std::unique_ptr<RenewalTable> local_renewal;
+  const RenewalTable& renewal =
+      renewal_table_for(obs, ttl_fraction, local_renewal);
+  return invert_forwards_tables(tables, renewal, observed_nxd_lookups(obs),
+                                keep, obs.context);
 }
 
 IntervalEstimate BernoulliEstimator::estimate_with_interval(
@@ -259,108 +379,138 @@ IntervalEstimate BernoulliEstimator::estimate_with_interval(
   if (!(level > 0.0 && level < 1.0)) {
     throw ConfigError("estimate_with_interval: level must be in (0,1)");
   }
-  IntervalEstimate result;
-  result.value = estimate(obs);
-  result.level = level;
-  if (method_ == BernoulliMethod::kSegmentExpectation || result.value <= 0.0) {
-    return result;
-  }
 
-  const dga::EpochPool& pool = *obs.pool;
-  const dga::DgaConfig& config = *obs.config;
-  const double keep =
-      obs.assumed_miss_rate ? (1.0 - *obs.assumed_miss_rate) : 1.0;
-  const double distinct = observed_distinct_nxds(obs);
-  const bool use_forward_statistic =
-      method_ == BernoulliMethod::kAdaptive &&
-      distinct >=
-          kSaturationFraction * static_cast<double>(pool.nxd_count()) * keep;
-
-  // Parametric bootstrap under the point estimate. Deterministic: the seed
-  // depends only on the observation, not on global state.
-  Rng rng{mix64(0xB0075742ULL ^ static_cast<std::uint64_t>(pool.epoch) ^
-                (static_cast<std::uint64_t>(obs.lookups.size()) << 20))};
-  constexpr int kResamples = 32;
-  const auto n_hat = static_cast<std::uint32_t>(
-      std::min(result.value + 0.5, 5e6));
-  RunningStats statistic;
-
-  if (!use_forward_statistic) {
-    // Re-simulate the distinct-coverage statistic: N bots, random starts,
-    // runs to the boundary or theta_q, thinned by the detection keep rate.
-    std::vector<bool> covered(pool.size());
-    for (int r = 0; r < kResamples; ++r) {
-      std::fill(covered.begin(), covered.end(), false);
-      for (std::uint32_t b = 0; b < n_hat; ++b) {
-        auto pos = static_cast<std::uint32_t>(rng.uniform(pool.size()));
-        for (std::uint32_t step = 0; step < config.barrel_size; ++step) {
-          if (pool.is_valid_position(pos)) break;
-          covered[pos] = true;
-          pos = (pos + 1) % pool.size();
-        }
-      }
-      double count = 0.0;
-      for (std::uint32_t d = 0; d < pool.size(); ++d) {
-        if (covered[d] && (keep >= 1.0 || rng.bernoulli(keep))) count += 1.0;
-      }
-      statistic.add(count);
+  const auto compute = [&]() -> IntervalEstimate {
+    IntervalEstimate result;
+    result.value = estimate(obs);
+    result.level = level;
+    if (method_ == BernoulliMethod::kSegmentExpectation ||
+        result.value <= 0.0) {
+      return result;
     }
-  } else {
-    // Re-simulate the forwarded-count statistic at the *bot* level: one
-    // bot's run touches up to theta_q consecutive domains at nearly the
-    // same time, so per-domain arrival processes are strongly correlated —
-    // a per-domain Poisson bootstrap would understate the variance badly.
-    const double ttl_fraction =
-        static_cast<double>(obs.ttl.negative.millis()) /
-        static_cast<double>(obs.window_length.millis());
-    const Duration step = config.query_interval.millis() > 0
-                              ? config.query_interval
-                              : (config.jitter_min + config.jitter_max) / 2;
-    const double step_fraction =
-        static_cast<double>(step.millis()) /
-        static_cast<double>(obs.window_length.millis());
-    std::vector<std::vector<double>> arrival_times(pool.size());
-    for (int r = 0; r < kResamples; ++r) {
-      for (auto& times : arrival_times) times.clear();
-      for (std::uint32_t b = 0; b < n_hat; ++b) {
-        auto pos = static_cast<std::uint32_t>(rng.uniform(pool.size()));
-        const double t0 = rng.uniform01();
-        for (std::uint32_t s = 0; s < config.barrel_size; ++s) {
-          if (pool.is_valid_position(pos)) break;
-          arrival_times[pos].push_back(t0 + s * step_fraction);
-          pos = (pos + 1) % pool.size();
-        }
-      }
-      double forwards = 0.0;
-      for (auto& times : arrival_times) {
-        if (times.empty()) continue;
-        std::sort(times.begin(), times.end());
-        double blocked_until = -1.0;
-        for (double t : times) {
-          if (t >= 1.0) break;  // spilled past the window
-          if (t >= blocked_until) {
-            if (keep >= 1.0 || rng.bernoulli(keep)) forwards += 1.0;
-            blocked_until = t + ttl_fraction;
+
+    const dga::EpochPool& pool = *obs.pool;
+    const dga::DgaConfig& config = *obs.config;
+    const double keep =
+        obs.assumed_miss_rate ? (1.0 - *obs.assumed_miss_rate) : 1.0;
+    const double distinct = observed_distinct_nxds(obs);
+    const bool use_forward_statistic =
+        method_ == BernoulliMethod::kAdaptive &&
+        distinct >=
+            kSaturationFraction * static_cast<double>(pool.nxd_count()) * keep;
+
+    std::unique_ptr<CoverageTables> local_tables;
+    const CoverageTables& tables = coverage_tables_for(obs, local_tables);
+
+    // Parametric bootstrap under the point estimate. Deterministic: the seed
+    // depends only on the observation, not on global state.
+    Rng rng{mix64(0xB0075742ULL ^ static_cast<std::uint64_t>(pool.epoch) ^
+                  (static_cast<std::uint64_t>(obs.lookups.size()) << 20))};
+    constexpr int kResamples = 32;
+    const auto n_hat = static_cast<std::uint32_t>(
+        std::min(result.value + 0.5, 5e6));
+    RunningStats statistic;
+
+    if (!use_forward_statistic) {
+      // Re-simulate the distinct-coverage statistic: N bots, random starts,
+      // runs to the boundary or theta_q, thinned by the detection keep rate.
+      std::vector<bool> covered(pool.size());
+      for (int r = 0; r < kResamples; ++r) {
+        std::fill(covered.begin(), covered.end(), false);
+        for (std::uint32_t b = 0; b < n_hat; ++b) {
+          auto pos = static_cast<std::uint32_t>(rng.uniform(pool.size()));
+          for (std::uint32_t step = 0; step < config.barrel_size; ++step) {
+            if (pool.is_valid_position(pos)) break;
+            covered[pos] = true;
+            pos = (pos + 1) % pool.size();
           }
         }
+        double count = 0.0;
+        for (std::uint32_t d = 0; d < pool.size(); ++d) {
+          if (covered[d] && (keep >= 1.0 || rng.bernoulli(keep))) count += 1.0;
+        }
+        statistic.add(count);
       }
-      statistic.add(forwards);
+    } else {
+      // Re-simulate the forwarded-count statistic at the *bot* level: one
+      // bot's run touches up to theta_q consecutive domains at nearly the
+      // same time, so per-domain arrival processes are strongly correlated —
+      // a per-domain Poisson bootstrap would understate the variance badly.
+      const double ttl_fraction =
+          static_cast<double>(obs.ttl.negative.millis()) /
+          static_cast<double>(obs.window_length.millis());
+      const Duration step = config.query_interval.millis() > 0
+                                ? config.query_interval
+                                : (config.jitter_min + config.jitter_max) / 2;
+      const double step_fraction =
+          static_cast<double>(step.millis()) /
+          static_cast<double>(obs.window_length.millis());
+      std::vector<std::vector<double>> arrival_times(pool.size());
+      for (int r = 0; r < kResamples; ++r) {
+        for (auto& times : arrival_times) times.clear();
+        for (std::uint32_t b = 0; b < n_hat; ++b) {
+          auto pos = static_cast<std::uint32_t>(rng.uniform(pool.size()));
+          const double t0 = rng.uniform01();
+          for (std::uint32_t s = 0; s < config.barrel_size; ++s) {
+            if (pool.is_valid_position(pos)) break;
+            arrival_times[pos].push_back(t0 + s * step_fraction);
+            pos = (pos + 1) % pool.size();
+          }
+        }
+        double forwards = 0.0;
+        for (auto& times : arrival_times) {
+          if (times.empty()) continue;
+          std::sort(times.begin(), times.end());
+          double blocked_until = -1.0;
+          for (double t : times) {
+            if (t >= 1.0) break;  // spilled past the window
+            if (t >= blocked_until) {
+              if (keep >= 1.0 || rng.bernoulli(keep)) forwards += 1.0;
+              blocked_until = t + ttl_fraction;
+            }
+          }
+        }
+        statistic.add(forwards);
+      }
     }
-  }
 
-  const double z = normal_quantile(0.5 + level / 2.0);
-  const double observed_statistic =
-      use_forward_statistic ? observed_nxd_lookups(obs) : distinct;
-  const double lo_stat = std::max(observed_statistic - z * statistic.stddev(), 0.0);
-  const double hi_stat = observed_statistic + z * statistic.stddev();
-  const auto invert = [&](double s) {
-    return use_forward_statistic
-               ? invert_forward_count(pool, config, s, obs.ttl.negative,
-                                      obs.window_length, obs.assumed_miss_rate)
-               : invert_coverage(pool, config, s, obs.assumed_miss_rate);
+    const double z = normal_quantile(0.5 + level / 2.0);
+    const double observed_statistic =
+        use_forward_statistic ? observed_nxd_lookups(obs) : distinct;
+    const double lo_stat =
+        std::max(observed_statistic - z * statistic.stddev(), 0.0);
+    const double hi_stat = observed_statistic + z * statistic.stddev();
+    std::unique_ptr<RenewalTable> local_renewal;
+    const RenewalTable* renewal = nullptr;
+    if (use_forward_statistic) {
+      renewal = &renewal_table_for(
+          obs, ttl_fraction_for(obs, "invert_forward_count"), local_renewal);
+    }
+    const auto invert = [&](double s) {
+      return use_forward_statistic
+                 ? invert_forwards_tables(tables, *renewal, s, keep,
+                                          obs.context)
+                 : invert_coverage_tables(tables, s, keep, obs.context);
+    };
+    result.interval = {invert(lo_stat), invert(hi_stat)};
+    return result;
   };
-  result.interval = {invert(lo_stat), invert(hi_stat)};
-  return result;
+
+  // Within one (epoch, configuration) scope the whole result — point
+  // estimate, bootstrap (its seed uses only pool.epoch and lookups.size()),
+  // and pushed-back interval — is a pure function of the sufficient
+  // statistic below, so a shared context can memoize the entire call. The
+  // segment method reads actual positions and is excluded.
+  if (obs.context != nullptr &&
+      method_ != BernoulliMethod::kSegmentExpectation) {
+    obs.validate();
+    return obs.context->memoized_interval(
+        std::string("bernoulli.interval.") + std::string(name()),
+        {observed_distinct_nxds(obs), observed_nxd_lookups(obs),
+         static_cast<double>(obs.lookups.size()), level},
+        compute);
+  }
+  return compute();
 }
 
 double BernoulliEstimator::estimate_by_segments(

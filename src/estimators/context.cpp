@@ -1,0 +1,66 @@
+#include "estimators/context.hpp"
+
+namespace botmeter::estimators {
+
+double EstimationContext::memoized(const std::string& key, double a, double b,
+                                   const std::function<double()>& eval) {
+  const std::pair<std::string, std::pair<double, double>> k{key, {a, b}};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = scalars_.find(k);
+    if (it != scalars_.end()) {
+      ++memo_hits_;
+      return it->second;
+    }
+  }
+  const double value = eval();
+  std::lock_guard<std::mutex> lock(mu_);
+  // First insert wins; a concurrent evaluator computed the same bits anyway.
+  auto [it, inserted] = scalars_.emplace(k, value);
+  if (inserted) {
+    ++memo_misses_;
+  } else {
+    ++memo_hits_;
+  }
+  return it->second;
+}
+
+IntervalEstimate EstimationContext::memoized_interval(
+    const std::string& key, const std::array<double, 4>& stat,
+    const std::function<IntervalEstimate()>& eval) {
+  const std::pair<std::string, std::array<double, 4>> k{key, stat};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = intervals_.find(k);
+    if (it != intervals_.end()) {
+      ++memo_hits_;
+      return it->second;
+    }
+  }
+  const IntervalEstimate value = eval();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = intervals_.emplace(k, value);
+  if (inserted) {
+    ++memo_misses_;
+  } else {
+    ++memo_hits_;
+  }
+  return it->second;
+}
+
+std::uint64_t EstimationContext::tables_built() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_built_;
+}
+
+std::uint64_t EstimationContext::memo_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memo_hits_;
+}
+
+std::uint64_t EstimationContext::memo_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memo_misses_;
+}
+
+}  // namespace botmeter::estimators

@@ -1,0 +1,109 @@
+// Shared per-epoch estimation state: tables built once, inversions solved
+// once.
+//
+// Batch analyze and the streaming epoch close both evaluate the active
+// estimator once per (server, epoch) cell. The expensive ingredients of those
+// evaluations split into two classes that one `EstimationContext` — created
+// per (epoch, meter configuration) and shared by every server of that epoch —
+// caches across cells:
+//
+//  - **Tables**: immutable precomputations that depend only on the epoch's
+//    pool and the analysis configuration (the Bernoulli coverage-weight
+//    histogram, the renewal-horizon table, ...). Without a context they are
+//    rebuilt for every bisection; with one they are built exactly once.
+//  - **Memos**: results of *pure* functions of an observed statistic — a
+//    bisection inversion keyed on the observed coverage count, a chi-square
+//    quantile keyed on (p, dof), a full interval estimate keyed on the
+//    sufficient statistic of the observation. Real landscapes are sparse and
+//    quantised (most local servers report zero or one of a handful of small
+//    counts), so duplicate keys dominate and each repeat is a cache hit
+//    instead of a fresh 200-iteration bisection or 32-resample bootstrap.
+//
+// Invariant — caching never changes results. Everything stored is a
+// deterministic pure function of (key, epoch tables, configuration): whichever
+// thread computes a value first stores the same bits any other thread would
+// have computed, so attaching a context (or racing on one) leaves every
+// estimate byte-identical to the uncached path. That is what makes
+// `analyze` output invariant under both `analyze_threads` and the
+// `share_estimation_context` switch, and it is regression-tested.
+//
+// Scope — one context is valid for ONE (epoch, BotMeterConfig) pair: memo
+// keys deliberately omit the pool, TTL policy, and miss rate because those
+// are constant within that scope. Never share a context across epochs or
+// differently-configured meters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "estimators/estimator.hpp"
+
+namespace botmeter::estimators {
+
+class EstimationContext {
+ public:
+  EstimationContext() = default;
+
+  EstimationContext(const EstimationContext&) = delete;
+  EstimationContext& operator=(const EstimationContext&) = delete;
+
+  /// Get-or-build the immutable table registered under `key`. The first
+  /// caller builds it (under the lock, so concurrent requests for the same
+  /// key block instead of duplicating work); everyone else gets the cached
+  /// instance. `T` must be the same type for every use of a given key.
+  template <typename T>
+  const T& table(const std::string& key,
+                 const std::function<std::unique_ptr<T>()>& build) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(key);
+    if (it == tables_.end()) {
+      ++tables_built_;
+      std::shared_ptr<const T> built{build().release()};
+      it = tables_.emplace(key, std::shared_ptr<const void>(built)).first;
+    }
+    return *static_cast<const T*>(it->second.get());
+  }
+
+  /// Memoized pure scalar function keyed on (key, a) / (key, a, b). On a
+  /// miss, `eval` runs OUTSIDE the lock (concurrent misses on the same key
+  /// may both evaluate — harmless, they compute identical bits; the first
+  /// store wins) so distinct observations still solve in parallel.
+  double memoized(const std::string& key, double a,
+                  const std::function<double()>& eval) {
+    return memoized(key, a, 0.0, eval);
+  }
+  double memoized(const std::string& key, double a, double b,
+                  const std::function<double()>& eval);
+
+  /// Memoized full interval estimate keyed on up to four doubles — the
+  /// sufficient statistic of an observation plus the confidence level. Only
+  /// correct for estimators whose estimate_with_interval is a pure function
+  /// of that statistic (given this context's epoch and configuration).
+  IntervalEstimate memoized_interval(
+      const std::string& key, const std::array<double, 4>& stat,
+      const std::function<IntervalEstimate()>& eval);
+
+  // --- introspection (tests, metrics) --------------------------------------
+  [[nodiscard]] std::uint64_t tables_built() const;
+  [[nodiscard]] std::uint64_t memo_hits() const;
+  [[nodiscard]] std::uint64_t memo_misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const void>> tables_;
+  std::map<std::pair<std::string, std::pair<double, double>>, double> scalars_;
+  std::map<std::pair<std::string, std::array<double, 4>>, IntervalEstimate>
+      intervals_;
+  std::uint64_t tables_built_ = 0;
+  std::uint64_t memo_hits_ = 0;
+  std::uint64_t memo_misses_ = 0;
+};
+
+}  // namespace botmeter::estimators

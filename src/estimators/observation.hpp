@@ -20,6 +20,8 @@
 
 namespace botmeter::estimators {
 
+class EstimationContext;
+
 struct EpochObservation {
   /// Matched lookups for one server and one epoch, sorted by timestamp.
   std::vector<detect::MatchedLookup> lookups;
@@ -45,6 +47,12 @@ struct EpochObservation {
   /// If the analyst has calibrated the D3 miss rate, estimators may correct
   /// for it (extension; the paper's models run uncorrected).
   std::optional<double> assumed_miss_rate;
+
+  /// Optional shared per-(epoch, configuration) cache (see context.hpp).
+  /// When set, estimators may reuse tables and memoized pure results across
+  /// the servers of this epoch; results are bit-identical either way. Null
+  /// means "no sharing" — the exact pre-context computation path.
+  EstimationContext* context = nullptr;
 
   /// Throws ConfigError if a required field is missing/inconsistent.
   void validate() const;

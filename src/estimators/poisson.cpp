@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/logmath.hpp"
+#include "estimators/context.hpp"
 
 namespace botmeter::estimators {
 
@@ -124,12 +125,21 @@ IntervalEstimate PoissonEstimator::estimate_with_interval(
   }
   if (sum_gaps_ms <= 0.0) sum_gaps_ms = 1.0;
 
-  // Exact pivot: 2 * lambda * sum(Delta) ~ chi^2(2n).
+  // Exact pivot: 2 * lambda * sum(Delta) ~ chi^2(2n). The quantile is a
+  // pure function of (p, dof) and dof is quantised (2 * activation count),
+  // so a shared context memoizes it across the epoch's servers.
   const double alpha = 1.0 - level;
+  const auto quantile = [&](double p, double dof) {
+    if (obs.context != nullptr) {
+      return obs.context->memoized("poisson.chi_square_quantile", p, dof,
+                                   [&] { return chi_square_quantile(p, dof); });
+    }
+    return chi_square_quantile(p, dof);
+  };
   const double lambda_lo =
-      chi_square_quantile(alpha / 2.0, 2.0 * n) / (2.0 * sum_gaps_ms);
+      quantile(alpha / 2.0, 2.0 * n) / (2.0 * sum_gaps_ms);
   const double lambda_hi =
-      chi_square_quantile(1.0 - alpha / 2.0, 2.0 * n) / (2.0 * sum_gaps_ms);
+      quantile(1.0 - alpha / 2.0, 2.0 * n) / (2.0 * sum_gaps_ms);
   const double span =
       sum_gaps_ms + n * static_cast<double>(obs.ttl.negative.millis());
   // The n visible activations are a hard lower bound on the population.

@@ -13,14 +13,6 @@ namespace botmeter::stream {
 
 namespace {
 
-/// The canonical in-bucket order — the comparator DomainMatcher::match uses,
-/// so a sorted bucket is element-wise identical to the batch matcher's
-/// stream for the same (server, epoch).
-bool lookup_less(const detect::MatchedLookup& a, const detect::MatchedLookup& b) {
-  if (a.t != b.t) return a.t < b.t;
-  return a.pool_position < b.pool_position;
-}
-
 constexpr const char* kCheckpointSchema = "botmeter.stream_checkpoint.v1";
 
 template <typename T>
@@ -59,7 +51,9 @@ core::LandscapeReport EpochReport::as_landscape() const {
 StreamEngine::StreamEngine(StreamEngineConfig config)
     : config_((config.validate(), std::move(config))),
       meter_(config_.meter),
-      workers_(config_.worker_threads) {
+      // kAllow: close-time estimation is bit-identical for any worker count,
+      // and determinism tests pin counts above small CI machines' cores.
+      workers_(config_.worker_threads, WorkerPool::Oversubscribe::kAllow) {
   meter_.prepare_epochs(config_.first_epoch, config_.epoch_count);
 }
 
@@ -153,25 +147,14 @@ void StreamEngine::close_next_epoch() {
   }
   resident_ -= static_cast<std::size_t>(epoch_matched);
 
-  // Per-server estimation, sharded over the worker pool. Every cell is an
-  // independent pure function of its bucket written to its own slot, so the
-  // row is bit-identical for any worker_threads value.
+  // Per-server estimation through the meter's shared row path — the same
+  // code batch analyze runs per prepared epoch (worker sharding, shared
+  // per-epoch EstimationContext, canonical bucket sort), which is what keeps
+  // streaming closes bit-identical to the batch pipeline.
   const estimators::Estimator& estimator = meter_.active_estimator();
-  std::vector<Cell> row(config_.server_count);
-  workers_.parallel_for(config_.server_count, [&](std::size_t s) {
-    // Per-server close span on the worker that estimated it (wall time
-    // only; estimates are a pure function of the bucket).
-    obs::ScopedTimer server_timer(config_.meter.trace, "stream.close.server");
-    std::vector<detect::MatchedLookup>& bucket = buckets[s];
-    std::sort(bucket.begin(), bucket.end(), lookup_less);
-    const std::uint64_t count = bucket.size();
-    const estimators::EpochObservation obs =
-        meter_.make_observation(epoch, std::move(bucket));
-    row[s].epoch = epoch;
-    row[s].estimate = estimator.estimate_with_interval(obs, 0.9);
-    row[s].matched = count;
-  });
-  closed_.push_back(std::move(row));
+  closed_.push_back(meter_.estimate_epoch_row(epoch, std::move(buckets),
+                                              &workers_, config_.meter.trace,
+                                              "stream.close.server"));
 
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -

@@ -35,10 +35,14 @@ constexpr const char* kUsage =
     "         [--epochs n] [--first-epoch e] [--neg-ttl-min m]\n"
     "         [--miss-rate x] [--assume-miss x] [--trace file] [--viz]\n"
     "         [--metrics-out file] [--trace-timing] [--trace-out file]\n"
+    "         [--threads n]\n"
     "reads the observable (border) trace from --trace or stdin.\n"
     "--metrics-out writes a botmeter.run_report.v1 JSON document (matcher\n"
     "tallies, per-server matched lookups and populations, stage wall times);\n"
-    "--trace-timing prints the phase timing table to stderr.\n";
+    "--trace-timing prints the phase timing table to stderr.\n"
+    "--threads shards matching and per-server estimation over n threads\n"
+    "(1 = serial, 0 = all cores); the landscape is bit-identical for every\n"
+    "value.\n";
 
 botmeter::dga::DgaConfig config_from_file(const std::string& path) {
   std::ifstream file(path);
@@ -78,7 +82,7 @@ int main(int argc, char** argv) {
                         {"--family", "--config", "--estimator", "--servers", "--trace-out",
                          "--epochs", "--first-epoch", "--neg-ttl-min",
                          "--miss-rate", "--assume-miss", "--trace",
-                         "--metrics-out"},
+                         "--metrics-out", "--threads"},
                         {"--help", "--viz", "--trace-timing"});
     if (args.flag("--help")) {
       std::fputs(kUsage, stdout);
@@ -99,6 +103,8 @@ int main(int argc, char** argv) {
     if (auto assume = args.value("--assume-miss")) {
       config.assumed_miss_rate = args.double_or("--assume-miss", 0.0);
     }
+    config.analyze_threads =
+        static_cast<std::size_t>(args.int_or("--threads", 1));
 
     std::vector<dns::ForwardedLookup> stream;
     if (auto path = args.value("--trace")) {
