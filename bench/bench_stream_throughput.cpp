@@ -7,7 +7,13 @@
 //   - the epoch-close (flush) latency distribution: p50 / p99 / max wall ms;
 //   - peak resident state (matched lookups buffered at once);
 //   - batch core::BotMeter::analyze wall time on the same stream, as the
-//     reference point, plus a bit-equivalence check of the two totals.
+//     reference point, plus a bit-equivalence check of the two totals;
+//   - the two codec lanes: the same stream serialised once per codec, then
+//     replayed through a fresh engine — text via for_each_observable +
+//     per-tuple ingest, binary via for_each_block + zero-copy ingest_block.
+//     Best-of-3 per lane; the final landscape_to_json documents must be
+//     byte-identical across lanes, and the binary lane must sustain at
+//     least kCodecSpeedupFloor x the text lane's tuples/s (both enforced).
 //
 // A final scrape-under-load guard re-runs one scenario with the metrics
 // registry attached and the HTTP exporter being scraped every 10 ms, and
@@ -28,6 +34,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,12 +43,15 @@
 #include "botnet/simulator.hpp"
 #include "common/json.hpp"
 #include "common/stats.hpp"
+#include "core/botmeter.hpp"
 #include "dga/families.hpp"
 #include "obs/expose.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
 #include "stream/health_monitor.hpp"
 #include "stream/stream_engine.hpp"
+#include "trace/block.hpp"
+#include "trace/io.hpp"
 
 namespace {
 
@@ -65,7 +76,16 @@ struct Measurement {
   std::size_t peak_resident = 0;
   double batch_ms = 0.0;
   bool totals_match = false;
+  double text_lane_tuples_per_sec = 0.0;
+  double binary_lane_tuples_per_sec = 0.0;
+  double codec_speedup = 0.0;
+  bool codec_reports_identical = false;
 };
+
+/// The binary lane must beat the text lane by at least this factor, per
+/// scenario — the whole point of the columnar codec.
+constexpr double kCodecSpeedupFloor = 5.0;
+constexpr int kCodecLaneReps = 3;
 
 double wall_ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
@@ -122,6 +142,63 @@ Measurement run_scenario(const Scenario& scenario) {
       meter.analyze(result.observable, scenario.servers);
   m.batch_ms = wall_ms_since(batch_start);
   m.totals_match = streamed.total_population() == batch.total_population();
+
+  // --- codec lanes: same stream, serialised once per codec ------------------
+  std::ostringstream text_os;
+  trace::write_observable(text_os, result.observable);
+  const std::string text_bytes = text_os.str();
+  std::ostringstream binary_os;
+  trace::write_blocks(binary_os, result.observable);
+  const std::string binary_bytes = binary_os.str();
+
+  // Each lane times decode + ingest only: lateness is stretched past the
+  // horizon so every epoch close (estimator work, codec-independent) runs
+  // inside the untimed finish(). Reports are still produced and compared —
+  // closing at finish() instead of at the watermark changes nothing about
+  // the landscape, only when the estimator runs.
+  stream::StreamEngineConfig lane_config = config;
+  lane_config.allowed_lateness =
+      Duration{family.epoch.millis() * (scenario.epochs + 2)};
+  double text_best_ms = std::numeric_limits<double>::infinity();
+  double binary_best_ms = std::numeric_limits<double>::infinity();
+  std::string text_report;
+  std::string binary_report;
+  for (int rep = 0; rep < kCodecLaneReps; ++rep) {
+    {
+      stream::StreamEngine lane(lane_config);
+      std::istringstream is(text_bytes);
+      const auto start = std::chrono::steady_clock::now();
+      trace::for_each_observable(
+          is, [&lane](const dns::ForwardedLookup& l) { lane.ingest(l); });
+      text_best_ms = std::min(text_best_ms, wall_ms_since(start));
+      text_report = json::write(core::landscape_to_json(lane.finish()));
+    }
+    {
+      stream::StreamEngine lane(lane_config);
+      std::istringstream is(binary_bytes);
+      const auto start = std::chrono::steady_clock::now();
+      trace::for_each_block(
+          is, [&lane](const dns::LookupColumns& block,
+                      std::span<const std::string_view> table) {
+            lane.ingest_block(block, table);
+          });
+      binary_best_ms = std::min(binary_best_ms, wall_ms_since(start));
+      binary_report = json::write(core::landscape_to_json(lane.finish()));
+    }
+  }
+  m.text_lane_tuples_per_sec =
+      text_best_ms > 0.0 ? static_cast<double>(m.tuples) / (text_best_ms / 1e3)
+                         : 0.0;
+  m.binary_lane_tuples_per_sec =
+      binary_best_ms > 0.0
+          ? static_cast<double>(m.tuples) / (binary_best_ms / 1e3)
+          : 0.0;
+  m.codec_speedup = m.text_lane_tuples_per_sec > 0.0
+                        ? m.binary_lane_tuples_per_sec /
+                              m.text_lane_tuples_per_sec
+                        : 0.0;
+  m.codec_reports_identical =
+      !text_report.empty() && text_report == binary_report;
   return m;
 }
 
@@ -296,6 +373,10 @@ json::Value to_json(const Measurement& m) {
             Value(static_cast<double>(m.peak_resident)));
   o.emplace("batch_analyze_ms", Value(m.batch_ms));
   o.emplace("totals_match_batch", Value(m.totals_match));
+  o.emplace("text_lane_tuples_per_sec", Value(m.text_lane_tuples_per_sec));
+  o.emplace("binary_lane_tuples_per_sec", Value(m.binary_lane_tuples_per_sec));
+  o.emplace("codec_speedup", Value(m.codec_speedup));
+  o.emplace("codec_reports_identical", Value(m.codec_reports_identical));
   return Value(std::move(o));
 }
 
@@ -310,19 +391,28 @@ int main(int argc, char** argv) {
       {"Murofet", 256, 8, 4, 8},
   };
 
-  std::printf("%-10s %5s %4s %3s %3s %9s %12s %9s %9s %9s %9s\n", "family",
-              "bots", "srv", "ep", "thr", "tuples", "tuples/s", "p50ms",
-              "p99ms", "batchms", "equal");
+  std::printf("%-10s %5s %4s %3s %3s %9s %12s %9s %9s %9s %5s %11s %11s %6s %5s\n",
+              "family", "bots", "srv", "ep", "thr", "tuples", "tuples/s",
+              "p50ms", "p99ms", "batchms", "equal", "txt t/s", "bin t/s",
+              "x", "codec");
   json::Array results;
   bool all_match = true;
+  bool codec_identical = true;
+  double min_speedup = std::numeric_limits<double>::infinity();
   for (const Scenario& scenario : scenarios) {
     const Measurement m = run_scenario(scenario);
     all_match = all_match && m.totals_match;
-    std::printf("%-10s %5u %4zu %3lld %3zu %9zu %12.0f %9.2f %9.2f %9.1f %9s\n",
-                m.scenario.family.c_str(), m.scenario.bots, m.scenario.servers,
-                static_cast<long long>(m.scenario.epochs), m.scenario.threads,
-                m.tuples, m.tuples_per_sec, m.close_p50_ms, m.close_p99_ms,
-                m.batch_ms, m.totals_match ? "yes" : "NO");
+    codec_identical = codec_identical && m.codec_reports_identical;
+    min_speedup = std::min(min_speedup, m.codec_speedup);
+    std::printf(
+        "%-10s %5u %4zu %3lld %3zu %9zu %12.0f %9.2f %9.2f %9.1f %5s "
+        "%11.0f %11.0f %6.1f %5s\n",
+        m.scenario.family.c_str(), m.scenario.bots, m.scenario.servers,
+        static_cast<long long>(m.scenario.epochs), m.scenario.threads,
+        m.tuples, m.tuples_per_sec, m.close_p50_ms, m.close_p99_ms,
+        m.batch_ms, m.totals_match ? "yes" : "NO",
+        m.text_lane_tuples_per_sec, m.binary_lane_tuples_per_sec,
+        m.codec_speedup, m.codec_reports_identical ? "same" : "DIFF");
     results.push_back(to_json(m));
   }
 
@@ -354,6 +444,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: streaming and batch totals diverged in at least one "
                  "scenario\n");
+    return 1;
+  }
+  if (!codec_identical) {
+    std::fprintf(stderr,
+                 "FAIL: text and binary codec lanes produced different "
+                 "landscape reports\n");
+    return 1;
+  }
+  if (min_speedup < kCodecSpeedupFloor) {
+    std::fprintf(stderr,
+                 "FAIL: binary codec lane is only %.1fx the text lane "
+                 "(floor %.0fx)\n",
+                 min_speedup, kCodecSpeedupFloor);
     return 1;
   }
   if (!guard.pass && guard.enforced) {

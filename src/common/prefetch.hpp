@@ -1,0 +1,17 @@
+// Portable software-prefetch hint. Batched hot loops (block ingest, bulk
+// domain resolution) touch large tables in data-dependent order; issuing the
+// loads a few iterations ahead overlaps the cache misses that otherwise
+// serialise the loop. A no-op on compilers without the intrinsic.
+#pragma once
+
+namespace botmeter {
+
+inline void prefetch_ro(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace botmeter

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/prefetch.hpp"
 
 namespace botmeter::detect {
 
@@ -24,27 +25,115 @@ void DomainMatcher::add_epoch(const dga::EpochPool& pool,
   }
   for (std::uint32_t pos = 0; pos < pool.size(); ++pos) {
     if (!window.detected[pos]) continue;
-    index_[pool.domains[pos]].push_back(
-        Occurrence{pool.epoch, pos, pool.is_valid_position(pos)});
+    const auto [it, inserted] = index_.try_emplace(pool.domains[pos]);
+    it->second.push_back(Occurrence{pool.epoch, pos, pool.is_valid_position(pos)});
+    if (inserted) fast_insert(*it);
     ++index_size_;
   }
 }
 
-std::optional<DomainMatcher::MatchOutcome> DomainMatcher::match_one(
-    const dns::ForwardedLookup& lookup) const {
-  auto it = index_.find(lookup.domain);
-  if (it == index_.end()) return std::nullopt;
-  const std::vector<Occurrence>& occurrences = it->second;
+void DomainMatcher::fast_insert(const IndexEntry& entry) {
+  if (fast_.empty() || (fast_count_ + 1) * 2 > fast_.size()) {
+    std::vector<FastSlot> grown(fast_.empty() ? 1024 : fast_.size() * 2);
+    const std::size_t mask = grown.size() - 1;
+    for (const FastSlot& slot : fast_) {
+      if (slot.entry == nullptr) continue;
+      std::size_t i = slot.hash & mask;
+      while (grown[i].entry != nullptr) i = (i + 1) & mask;
+      grown[i] = slot;
+    }
+    fast_ = std::move(grown);
+  }
+  const std::uint64_t hash = StringHash{}(entry.first);
+  const std::size_t mask = fast_.size() - 1;
+  std::size_t i = hash & mask;
+  while (fast_[i].entry != nullptr) i = (i + 1) & mask;
+  fast_[i] = FastSlot{hash, &entry};
+  ++fast_count_;
+}
+
+DomainMatcher::Resolved DomainMatcher::fast_find(
+    std::uint64_t hash, std::string_view domain) const {
+  const std::size_t mask = fast_.size() - 1;
+  Resolved resolved;
+  for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+    const FastSlot& slot = fast_[i];
+    if (slot.entry == nullptr) return resolved;
+    if (slot.hash == hash && slot.entry->first == domain) {
+      resolved.occurrences_ = &slot.entry->second;
+      return resolved;
+    }
+  }
+}
+
+DomainMatcher::Resolved DomainMatcher::resolve(std::string_view domain) const {
+  const auto it = index_.find(domain);
+  Resolved resolved;
+  if (it != index_.end()) resolved.occurrences_ = &it->second;
+  return resolved;
+}
+
+void DomainMatcher::resolve_many(std::span<const std::string_view> domains,
+                                 std::span<Resolved> out) const {
+  if (domains.size() != out.size()) {
+    throw ConfigError("DomainMatcher::resolve_many: output span size mismatch");
+  }
+  if (fast_count_ == 0) {
+    std::fill(out.begin(), out.end(), Resolved{});
+    return;
+  }
+  // Staged pipeline over fixed chunks: hash everything first, then walk the
+  // miss chain in prefetch waves — first the probe slots, then the map nodes
+  // they name, then the key bytes — so by the time fast_find compares keys,
+  // each lookup's three dependent lines are already in flight.
+  const std::size_t mask = fast_.size() - 1;
+  constexpr std::size_t kChunk = 64;
+  std::uint64_t hash[kChunk];
+  const FastSlot* slot[kChunk];
+  for (std::size_t base = 0; base < domains.size(); base += kChunk) {
+    const std::size_t m = std::min(kChunk, domains.size() - base);
+    for (std::size_t j = 0; j < m; ++j) {
+      hash[j] = StringHash{}(domains[base + j]);
+      slot[j] = &fast_[hash[j] & mask];
+      prefetch_ro(slot[j]);
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      if (slot[j]->entry != nullptr) prefetch_ro(slot[j]->entry);
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      const IndexEntry* entry = slot[j]->entry;
+      if (entry != nullptr && slot[j]->hash == hash[j]) {
+        prefetch_ro(entry->first.data());
+      }
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      out[base + j] = fast_find(hash[j], domains[base + j]);
+    }
+  }
+}
+
+std::int64_t DomainMatcher::nominal_epoch(TimePoint t) const {
+  return t.millis() >= 0
+             ? t.millis() / epoch_length_.millis()
+             : (t.millis() - epoch_length_.millis() + 1) /
+                   epoch_length_.millis();
+}
+
+DomainMatcher::MatchOutcome DomainMatcher::match_resolved(
+    Resolved resolved, TimePoint t, dns::ServerId forwarder) const {
+  return match_resolved(resolved, t, forwarder, nominal_epoch(t));
+}
+
+DomainMatcher::MatchOutcome DomainMatcher::match_resolved(
+    Resolved resolved, TimePoint t, dns::ServerId forwarder,
+    std::int64_t nominal) const {
+  const auto& occurrences =
+      *static_cast<const std::vector<Occurrence>*>(resolved.occurrences_);
 
   // Attribute the lookup to the pool epoch containing its timestamp when
   // possible; otherwise to the closest registered epoch (a lookup train
   // that spilled past an epoch boundary, or a sliding-window domain
   // observed outside its generation day).
-  const std::int64_t nominal =
-      lookup.timestamp.millis() >= 0
-          ? lookup.timestamp.millis() / epoch_length_.millis()
-          : (lookup.timestamp.millis() - epoch_length_.millis() + 1) /
-                epoch_length_.millis();
   const Occurrence* best = &occurrences.front();
   std::int64_t best_distance = std::abs(best->epoch - nominal);
   for (const Occurrence& occ : occurrences) {
@@ -54,9 +143,15 @@ std::optional<DomainMatcher::MatchOutcome> DomainMatcher::match_one(
       best_distance = distance;
     }
   }
-  return MatchOutcome{
-      StreamKey{lookup.forwarder, best->epoch},
-      MatchedLookup{lookup.timestamp, best->pool_position, best->is_valid}};
+  return MatchOutcome{StreamKey{forwarder, best->epoch},
+                      MatchedLookup{t, best->pool_position, best->is_valid}};
+}
+
+std::optional<DomainMatcher::MatchOutcome> DomainMatcher::match_one(
+    const dns::ForwardedLookup& lookup) const {
+  const Resolved resolved = resolve(lookup.domain);
+  if (!resolved) return std::nullopt;
+  return match_resolved(resolved, lookup.timestamp, lookup.forwarder);
 }
 
 void DomainMatcher::match_range(std::span<const dns::ForwardedLookup> stream,

@@ -126,6 +126,58 @@ class DomainMatcher {
   [[nodiscard]] std::optional<MatchOutcome> match_one(
       const dns::ForwardedLookup& lookup) const;
 
+  /// Pre-resolved pool membership of one domain string — the per-interned-id
+  /// cache entry of the batched block path. Falsy means the domain is not in
+  /// any detection window (the overwhelming majority of border traffic).
+  /// Valid as long as the matcher lives and no further add_epoch() happens.
+  class Resolved {
+   public:
+    Resolved() = default;
+    [[nodiscard]] explicit operator bool() const { return occurrences_ != nullptr; }
+
+   private:
+    friend class DomainMatcher;
+    const void* occurrences_ = nullptr;
+  };
+
+  /// One string hash per *distinct* domain: resolve the membership once
+  /// (per interned id per trace file / vantage table), then replay the
+  /// handle per tuple via match_resolved — no hashing, no allocation.
+  [[nodiscard]] Resolved resolve(std::string_view domain) const;
+
+  /// Batched resolve: `out[i] == resolve(domains[i])` for every i
+  /// (`out.size() == domains.size()`). Probes a flat open-addressed mirror
+  /// of the index with a software-prefetch pipeline, so the dependent cache
+  /// misses of tens of thousands of lookups against a large table overlap
+  /// instead of serialising — the block path resolves a whole freshly
+  /// interned table tail per call.
+  void resolve_many(std::span<const std::string_view> domains,
+                    std::span<Resolved> out) const;
+
+  /// Attribute one tuple of a pre-resolved domain. Precondition: `resolved`
+  /// is truthy and came from this matcher. Attribution is byte-identical to
+  /// match_one on the equivalent (t, server, domain) tuple — match_one is
+  /// resolve + match_resolved.
+  [[nodiscard]] MatchOutcome match_resolved(Resolved resolved, TimePoint t,
+                                            dns::ServerId forwarder) const;
+
+  /// The nominal pool epoch containing `t` — the reference point of
+  /// match_resolved's closest-epoch attribution. Exposed so batched callers
+  /// can hoist the per-tuple division out of their hot loop: timestamps
+  /// arrive almost sorted, so one epoch's range answers long runs of tuples.
+  [[nodiscard]] std::int64_t nominal_epoch(TimePoint t) const;
+
+  /// match_resolved with the nominal epoch precomputed. Precondition on top
+  /// of match_resolved's: `nominal == nominal_epoch(t)`. The outcome's
+  /// (epoch, pool_position, is_valid_domain) depend only on the domain and
+  /// `nominal` — t and forwarder pass through — so callers may additionally
+  /// memoise the attribution per (domain, nominal) pair.
+  [[nodiscard]] MatchOutcome match_resolved(Resolved resolved, TimePoint t,
+                                            dns::ServerId forwarder,
+                                            std::int64_t nominal) const;
+
+  [[nodiscard]] Duration epoch_length() const { return epoch_length_; }
+
   [[nodiscard]] std::uint64_t matchable_domain_count() const {
     return index_size_;
   }
@@ -137,12 +189,41 @@ class DomainMatcher {
     bool is_valid;
   };
 
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   void match_range(std::span<const dns::ForwardedLookup> stream,
                    MatchedStreams& out, MatchStats& stats) const;
 
+  using IndexEntry = std::pair<const std::string, std::vector<Occurrence>>;
+
+  /// One slot of the flat probe table: the key's hash plus the address of
+  /// the owning map node (node addresses are stable across map rehashes).
+  struct FastSlot {
+    std::uint64_t hash = 0;
+    const IndexEntry* entry = nullptr;
+  };
+
+  void fast_insert(const IndexEntry& entry);
+  [[nodiscard]] Resolved fast_find(std::uint64_t hash,
+                                   std::string_view domain) const;
+
   Duration epoch_length_;
-  std::unordered_map<std::string, std::vector<Occurrence>> index_;
+  std::unordered_map<std::string, std::vector<Occurrence>, StringHash,
+                     std::equal_to<>>
+      index_;
   std::uint64_t index_size_ = 0;
+
+  /// Flat linear-probe mirror of `index_` (power-of-two size, load ≤ 1/2),
+  /// maintained by add_epoch and read-only afterwards — resolve_many's
+  /// prefetch pipeline needs direct slot addresses, which the node-based
+  /// map cannot expose.
+  std::vector<FastSlot> fast_;
+  std::size_t fast_count_ = 0;
 };
 
 /// Structural recognition of a DGA family's output: length bounds, allowed

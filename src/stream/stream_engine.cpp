@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <string>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/prefetch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -80,9 +82,32 @@ void StreamEngine::ingest_matched(
     return;
   }
   ++matched_;
-  open_[outcome.key].push_back(outcome.lookup);
+  bucket_for(outcome.key)->push_back(outcome.lookup);
   ++resident_;
   peak_resident_ = std::max(peak_resident_, resident_);
+}
+
+std::vector<detect::MatchedLookup>* StreamEngine::bucket_for(
+    const detect::StreamKey& key) {
+  const std::size_t server = key.server.value();
+  const std::int64_t row = key.epoch - config_.first_epoch;
+  // Keys outside the horizon grid (a trace naming more servers than
+  // configured) take the uncached map path; everything the matcher emits
+  // for a prepared horizon lands in the grid.
+  if (server >= config_.server_count || row < 0 ||
+      row >= config_.epoch_count) {
+    return &open_[key];
+  }
+  if (bucket_cache_.empty()) {
+    bucket_cache_.assign(
+        config_.server_count * static_cast<std::size_t>(config_.epoch_count),
+        nullptr);
+  }
+  std::vector<detect::MatchedLookup>*& slot =
+      bucket_cache_[static_cast<std::size_t>(row) * config_.server_count +
+                    server];
+  if (slot == nullptr) slot = &open_[key];
+  return slot;
 }
 
 void StreamEngine::ingest(const dns::ForwardedLookup& lookup) {
@@ -103,6 +128,132 @@ void StreamEngine::ingest(const dns::ForwardedLookup& lookup) {
 
 void StreamEngine::ingest(std::span<const dns::ForwardedLookup> batch) {
   for (const dns::ForwardedLookup& lookup : batch) ingest(lookup);
+}
+
+void StreamEngine::ingest_block(const dns::LookupColumns& block,
+                                std::span<const std::string> domains) {
+  table_view_scratch_.assign(domains.begin(), domains.end());
+  ingest_block(block, std::span<const std::string_view>(table_view_scratch_));
+}
+
+void StreamEngine::ingest_block(const dns::LookupColumns& block,
+                                std::span<const std::string_view> domains) {
+  if (finished_) throw ConfigError("StreamEngine: ingest after finish()");
+  if (block.server.size() != block.size() ||
+      block.domain.size() != block.size()) {
+    throw DataError("StreamEngine::ingest_block: ragged columns");
+  }
+  if (domains.size() < resolved_.size()) {
+    throw ConfigError(
+        "StreamEngine::ingest_block: domain table shrank — blocks from a "
+        "different interning lineage");
+  }
+  // Resolve pool membership for the table's new tail: one hash per distinct
+  // domain per engine, ever — batched so the index's cache misses overlap.
+  const detect::DomainMatcher& matcher = meter_.matcher();
+  if (domains.size() > resolved_.size()) {
+    const std::size_t old = resolved_.size();
+    resolve_scratch_.resize(domains.size() - old);
+    matcher.resolve_many(domains.subspan(old), resolve_scratch_);
+    resolved_.resize(domains.size());
+    for (std::size_t i = 0; i < resolve_scratch_.size(); ++i) {
+      resolved_[old + i].resolved = resolve_scratch_[i];
+    }
+  }
+
+  // The per-tuple loop keeps its bookkeeping in locals and commits on exit
+  // (including the throw paths), so the compiler needn't reload members
+  // around every push_back. Committed state is identical to the per-tuple
+  // ingest() path's at every observable point: before each epoch close and
+  // whenever control leaves this function.
+  const std::int64_t epoch_ms = matcher.epoch_length().millis();
+  std::int64_t nominal = 0;
+  std::int64_t nominal_start = 1;  // empty range: first tuple recomputes
+  std::int64_t nominal_end = 0;
+  bool have_wm = watermark_.has_value();
+  std::int64_t wm = have_wm ? watermark_->millis()
+                            : std::numeric_limits<std::int64_t>::min();
+  std::int64_t open_floor = next_epoch_to_close();
+  auto close_boundary_ms = [this] {
+    return closed_.size() < static_cast<std::size_t>(config_.epoch_count)
+               ? epoch_close_boundary(next_epoch_to_close()).millis()
+               : std::numeric_limits<std::int64_t>::max();
+  };
+  std::int64_t next_boundary = close_boundary_ms();
+  std::uint64_t ingested = 0, matched = 0, unmatched = 0, late = 0;
+  std::size_t resident = resident_;
+  const auto commit = [&] {
+    ingested_ += ingested;
+    matched_ += matched;
+    unmatched_ += unmatched;
+    late_dropped_ += late;
+    ingested = matched = unmatched = late = 0;
+    resident_ = resident;
+    peak_resident_ = std::max(peak_resident_, resident);
+    if (have_wm) watermark_ = TimePoint{wm};
+  };
+
+  const std::size_t n = block.size();
+  try {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (const std::size_t ahead = i + 16; ahead < n) {
+        const std::uint32_t pid = block.domain[ahead];
+        if (pid < resolved_.size()) prefetch_ro(resolved_.data() + pid);
+      }
+      ++ingested;
+      const std::uint32_t id = block.domain[i];
+      if (id >= resolved_.size()) {
+        throw DataError("StreamEngine::ingest_block: domain id " +
+                        std::to_string(id) + " outside the table");
+      }
+      const std::int64_t t_ms = block.t_ms[i];
+      BlockDomain& entry = resolved_[id];
+      if (entry.resolved) {
+        if (t_ms < nominal_start || t_ms >= nominal_end) {
+          nominal = matcher.nominal_epoch(TimePoint{t_ms});
+          nominal_start = nominal * epoch_ms;
+          nominal_end = nominal_start + epoch_ms;
+        }
+        if (entry.memo_nominal != nominal) {
+          const detect::DomainMatcher::MatchOutcome outcome =
+              matcher.match_resolved(entry.resolved, TimePoint{t_ms},
+                                     dns::ServerId{block.server[i]}, nominal);
+          entry.memo_nominal = nominal;
+          entry.memo_epoch = outcome.key.epoch;
+          entry.memo_position = outcome.lookup.pool_position;
+          entry.memo_valid = outcome.lookup.is_valid_domain;
+        }
+        if (entry.memo_epoch < open_floor) {
+          ++late;
+        } else {
+          ++matched;
+          bucket_for(
+              detect::StreamKey{dns::ServerId{block.server[i]}, entry.memo_epoch})
+              ->push_back(
+                  detect::MatchedLookup{TimePoint{t_ms}, entry.memo_position,
+                                        entry.memo_valid});
+          ++resident;
+        }
+      } else {
+        ++unmatched;
+      }
+      if (!have_wm || t_ms > wm) {
+        wm = t_ms;
+        have_wm = true;
+        if (wm >= next_boundary) {
+          commit();
+          maybe_close(TimePoint{wm});
+          resident = resident_;  // closes freed their buckets
+          open_floor = next_epoch_to_close();
+          next_boundary = close_boundary_ms();
+        }
+      }
+    }
+  } catch (...) {
+    commit();
+    throw;
+  }
+  commit();
 }
 
 void StreamEngine::advance(TimePoint watermark) {
@@ -146,6 +297,13 @@ void StreamEngine::close_next_epoch() {
     }
   }
   resident_ -= static_cast<std::size_t>(epoch_matched);
+  if (!bucket_cache_.empty()) {
+    // The erased buckets' cached addresses are dead; null the epoch's row.
+    const auto row = static_cast<std::size_t>(epoch - config_.first_epoch);
+    std::fill_n(bucket_cache_.begin() +
+                    static_cast<std::ptrdiff_t>(row * config_.server_count),
+                config_.server_count, nullptr);
+  }
 
   // Per-server estimation through the meter's shared row path — the same
   // code batch analyze runs per prepared epoch (worker sharding, shared

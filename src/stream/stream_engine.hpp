@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -109,6 +110,27 @@ class StreamEngine {
   void ingest(const dns::ForwardedLookup& lookup);
   void ingest(std::span<const dns::ForwardedLookup> batch);
 
+  /// Zero-copy batched ingest of one columnar block (a decoded
+  /// trace::BlockReader frame or a VantagePoint::drain_block batch).
+  /// `domains` is the producer's full accumulated string table, which the
+  /// block's `domain` ids index. Pool membership is resolved once per
+  /// newly-seen interned id and cached for the engine's lifetime, so the
+  /// per-tuple path does no hashing and no allocation. Semantics — matching
+  /// attribution, watermark advance, epoch closes, lateness drops, counters
+  /// — are tuple-for-tuple identical to ingest() on the equivalent stream.
+  ///
+  /// All blocks fed to one engine must share one interning lineage (one
+  /// reader / one vantage point): the table may only grow between calls,
+  /// and ids must keep their meaning. A shrinking table throws ConfigError.
+  void ingest_block(const dns::LookupColumns& block,
+                    std::span<const std::string_view> domains);
+
+  /// Convenience for producers whose table is owned strings (a
+  /// VantagePoint's intern table); rebuilds a view table per call — O(table
+  /// size), fine for the drain path's small tables.
+  void ingest_block(const dns::LookupColumns& block,
+                    std::span<const std::string> domains);
+
   /// Advance the watermark without data (a quiet feed still makes time
   /// pass), closing epochs the new watermark matured.
   void advance(TimePoint watermark);
@@ -172,6 +194,8 @@ class StreamEngine {
   using Cell = estimators::EpochCell;
 
   void ingest_matched(const detect::DomainMatcher::MatchOutcome& outcome);
+  [[nodiscard]] std::vector<detect::MatchedLookup>* bucket_for(
+      const detect::StreamKey& key);
   void maybe_close(TimePoint watermark);
   void close_next_epoch();
   [[nodiscard]] Duration lateness() const;
@@ -185,6 +209,37 @@ class StreamEngine {
   /// Open buckets: matched lookups awaiting their epoch's close, keyed by
   /// (server, epoch). Append order; sorted at close.
   std::map<detect::StreamKey, std::vector<detect::MatchedLookup>> open_;
+
+  /// Flat (epoch row × server) cache of open-bucket addresses, so the
+  /// per-matched-tuple path skips the map walk — map nodes are stable, so a
+  /// pointer stays valid until close_next_epoch() erases its bucket (the
+  /// row is nulled there). Lazily sized; derived state, never checkpointed.
+  std::vector<std::vector<detect::MatchedLookup>*> bucket_cache_;
+
+  /// Per-interned-domain-id cache entry of the block path: pool membership,
+  /// resolved once per id, plus a one-slot memo of the last attribution.
+  /// The matcher's (epoch, pool_position, is_valid) answer depends only on
+  /// (domain, nominal epoch), and lookup trains repeat a domain many times
+  /// within one epoch, so the memo turns most tuples into a single indexed
+  /// load with no occurrence scan.
+  struct BlockDomain {
+    detect::DomainMatcher::Resolved resolved;
+    std::int64_t memo_nominal = std::numeric_limits<std::int64_t>::min();
+    std::int64_t memo_epoch = 0;
+    std::uint32_t memo_position = 0;
+    bool memo_valid = false;
+  };
+
+  /// Indexed by the producer's table ids. Derived state (a pure function of
+  /// the matcher and the table) — never checkpointed, rebuilt as blocks
+  /// arrive.
+  std::vector<BlockDomain> resolved_;
+
+  /// Reused landing strip for resolve_many over the table's new tail.
+  std::vector<detect::DomainMatcher::Resolved> resolve_scratch_;
+
+  /// Reused view table for the owned-strings ingest_block overload.
+  std::vector<std::string_view> table_view_scratch_;
 
   /// Closed cells, [epoch index][server]. Grows one epoch row per close;
   /// this (plus `open_`) is the entire analysis state.

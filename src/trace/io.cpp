@@ -48,9 +48,19 @@ void split_tabs(std::string_view line, std::span<std::string_view> fields,
 /// Parse a full-width integer field; distinguishes junk from overflow so the
 /// error names the real problem (a 2^40 "server id" is out of range, not
 /// merely non-numeric).
+///
+/// The accepted grammar is exactly digits-with-optional-minus — no leading
+/// '+', whitespace, or hex. write_* never emits anything else, and the
+/// text↔binary convert round trip is only injective if read_* accepts
+/// nothing else; the guard makes the contract explicit (and keeps it if the
+/// parser underneath ever changes).
 template <typename T>
 void parse_int_field(std::string_view s, T& out, std::string_view what,
                      std::size_t line_no, std::string_view line) {
+  if (!s.empty() && s.front() == '+') {
+    malformed(line_no, "non-numeric " + std::string(what) + " '" +
+                           std::string(s) + "'", line);
+  }
   const auto* end = s.data() + s.size();
   auto [ptr, ec] = std::from_chars(s.data(), end, out);
   const bool negative_into_unsigned =
@@ -70,6 +80,27 @@ void parse_int_field(std::string_view s, T& out, std::string_view what,
 bool normalize_line(std::string& line) {
   if (!line.empty() && line.back() == '\r') line.pop_back();
   return !line.empty();
+}
+
+/// A failed std::getline is either clean EOF (eofbit) or a mid-record I/O
+/// error (badbit — the stream lost data). The latter must never read as a
+/// shorter-but-valid trace: throw a located DataError instead.
+void check_read_stream(const std::istream& is, std::size_t line_no) {
+  if (is.bad()) {
+    throw DataError("trace read error after line " + std::to_string(line_no) +
+                    ": stream I/O failure (not EOF) — trace is truncated");
+  }
+}
+
+/// write_* never observes individual insertions; a full disk or closed pipe
+/// only shows up in the stream state. Flush and check once per call so a
+/// truncated output file is a loud error, never a silent one.
+void check_write_stream(std::ostream& os, std::string_view what) {
+  os.flush();
+  if (!os) {
+    throw DataError("trace write failed (" + std::string(what) +
+                    "): disk full or closed stream");
+  }
 }
 
 dns::ForwardedLookup parse_observable_line(std::string_view line,
@@ -92,6 +123,7 @@ void write_raw(std::ostream& os, std::span<const botnet::RawRecord> records) {
     os << r.t.millis() << '\t' << r.client.value() << '\t' << r.domain << '\t'
        << (r.rcode == dns::Rcode::kAddress ? "A" : "NX") << '\n';
   }
+  check_write_stream(os, "raw trace");
 }
 
 void write_observable(std::ostream& os,
@@ -100,6 +132,7 @@ void write_observable(std::ostream& os,
     os << l.timestamp.millis() << '\t' << l.forwarder.value() << '\t'
        << l.domain << '\n';
   }
+  check_write_stream(os, "observable trace");
 }
 
 std::vector<botnet::RawRecord> read_raw(std::istream& is) {
@@ -128,6 +161,7 @@ std::vector<botnet::RawRecord> read_raw(std::istream& is) {
     records.push_back(botnet::RawRecord{TimePoint{t_ms}, dns::ClientId{client},
                                         std::string(fields[2]), rcode});
   }
+  check_read_stream(is, line_no);
   return records;
 }
 
@@ -151,6 +185,7 @@ std::size_t for_each_observable(
     sink(parse_observable_line(line, line_no));
     ++delivered;
   }
+  check_read_stream(is, line_no);
   return delivered;
 }
 

@@ -19,6 +19,8 @@
 
 namespace botmeter::trace {
 
+/// Serialise; flushes and throws DataError if the stream failed (a full
+/// disk or closed pipe is a loud error, never a silently truncated file).
 void write_raw(std::ostream& os, std::span<const botnet::RawRecord> records);
 void write_observable(std::ostream& os,
                       std::span<const dns::ForwardedLookup> lookups);
@@ -26,8 +28,11 @@ void write_observable(std::ostream& os,
 /// Parse; throws DataError on malformed input. Errors carry the 1-based line
 /// number and name the offending field ("non-numeric timestamp",
 /// "out-of-range server id", ...) — a truncated or corrupted collector line
-/// is always a loud, located failure, never a silent skip. Blank lines are
-/// skipped; a trailing CR (CRLF collectors) is tolerated.
+/// is always a loud, located failure, never a silent skip. A mid-read I/O
+/// failure (stream badbit) likewise throws instead of masquerading as EOF.
+/// Numeric fields accept exactly digits-with-optional-minus (no '+', no
+/// whitespace), so read ∘ write is the identity on the emitted bytes.
+/// Blank lines are skipped; a trailing CR (CRLF collectors) is tolerated.
 [[nodiscard]] std::vector<botnet::RawRecord> read_raw(std::istream& is);
 [[nodiscard]] std::vector<dns::ForwardedLookup> read_observable(std::istream& is);
 

@@ -141,6 +141,75 @@ TEST(MatcherConfigTest, PositiveEpochLengthRequired) {
   EXPECT_THROW(DomainMatcher{Duration{0}}, ConfigError);
 }
 
+TEST_F(MatcherTest, ResolveDistinguishesMembership) {
+  const dga::EpochPool& pool = model_->epoch_pool(0);
+  EXPECT_TRUE(static_cast<bool>(matcher_.resolve(pool.domains[0])));
+  EXPECT_FALSE(static_cast<bool>(matcher_.resolve("benign.example")));
+  EXPECT_FALSE(static_cast<bool>(DomainMatcher::Resolved{}));  // default falsy
+}
+
+TEST_F(MatcherTest, MatchResolvedAttributesLikeMatchOne) {
+  // resolve + match_resolved must reproduce match_one's attribution exactly,
+  // including the interesting cases: boundary spill into the previous
+  // epoch's pool and a domain present in both epochs' pools (epoch chosen by
+  // the nominal timestamp).
+  std::vector<dns::ForwardedLookup> probes;
+  for (std::int64_t epoch = 0; epoch < 2; ++epoch) {
+    for (std::uint32_t pos = 0; pos < model_->epoch_pool(epoch).size(); ++pos) {
+      probes.push_back(lookup_for(epoch, pos, seconds(17), dns::ServerId{1}));
+      probes.push_back(lookup_for(epoch, pos, days(1) + minutes(9)));
+    }
+  }
+  for (const dns::ForwardedLookup& probe : probes) {
+    SCOPED_TRACE(probe.domain + " @" + std::to_string(probe.timestamp.millis()));
+    const auto via_one = matcher_.match_one(probe);
+    const DomainMatcher::Resolved resolved = matcher_.resolve(probe.domain);
+    ASSERT_TRUE(via_one.has_value());
+    ASSERT_TRUE(static_cast<bool>(resolved));
+    const DomainMatcher::MatchOutcome via_resolved =
+        matcher_.match_resolved(resolved, probe.timestamp, probe.forwarder);
+    EXPECT_EQ(via_resolved.key, via_one->key);
+    EXPECT_EQ(via_resolved.lookup, via_one->lookup);
+  }
+}
+
+TEST_F(MatcherTest, ResolveManyAgreesWithResolve) {
+  // The batched pipeline (flat probe table + prefetch waves) must answer
+  // exactly like the canonical map lookup, member and non-member alike,
+  // across several pipeline chunks.
+  std::vector<std::string_view> domains;
+  for (std::int64_t epoch = 0; epoch < 2; ++epoch) {
+    for (const std::string& d : model_->epoch_pool(epoch).domains) {
+      domains.push_back(d);
+    }
+  }
+  std::vector<std::string> misses;
+  for (int i = 0; i < 150; ++i) {
+    misses.push_back("benign" + std::to_string(i) + ".example");
+  }
+  for (const std::string& miss : misses) domains.push_back(miss);
+
+  std::vector<DomainMatcher::Resolved> batched(domains.size());
+  matcher_.resolve_many(domains, batched);
+  const TimePoint t{seconds(17).millis()};
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    SCOPED_TRACE(std::string(domains[i]));
+    const DomainMatcher::Resolved single = matcher_.resolve(domains[i]);
+    ASSERT_EQ(static_cast<bool>(batched[i]), static_cast<bool>(single));
+    if (single) {
+      const auto via_batched =
+          matcher_.match_resolved(batched[i], t, dns::ServerId{2});
+      const auto via_single =
+          matcher_.match_resolved(single, t, dns::ServerId{2});
+      EXPECT_EQ(via_batched.key, via_single.key);
+      EXPECT_EQ(via_batched.lookup, via_single.lookup);
+    }
+  }
+
+  std::vector<DomainMatcher::Resolved> wrong_size(domains.size() + 1);
+  EXPECT_THROW(matcher_.resolve_many(domains, wrong_size), ConfigError);
+}
+
 TEST(AlgorithmicPatternTest, MatchesGeneratedDomains) {
   const AlgorithmicPattern pattern(8, 19, {".com", ".net", ".org", ".biz",
                                            ".info", ".ru"});

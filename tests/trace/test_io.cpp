@@ -175,5 +175,106 @@ TEST(TraceIoTest, NegativeTimestampsSupported) {
   EXPECT_EQ(parsed[0].timestamp.millis(), -250);
 }
 
+TEST(TraceIoTest, LeadingPlusSignRejected) {
+  // Numeric fields are exactly digits-with-optional-minus: "+1000" is a
+  // different spelling of a value write_* would emit as "1000", so accepting
+  // it would make the text→binary→text round trip non-injective.
+  {
+    std::stringstream ss("+1000\t0\ta.com");
+    try {
+      (void)read_observable(ss);
+      FAIL() << "expected DataError";
+    } catch (const DataError& e) {
+      EXPECT_NE(std::string(e.what()).find("non-numeric timestamp '+1000'"),
+                std::string::npos);
+    }
+  }
+  {
+    std::stringstream ss("1000\t+0\ta.com");
+    try {
+      (void)read_observable(ss);
+      FAIL() << "expected DataError";
+    } catch (const DataError& e) {
+      EXPECT_NE(std::string(e.what()).find("non-numeric server id '+0'"),
+                std::string::npos);
+    }
+  }
+  {
+    std::stringstream ss("1000\t+7\ta.com\tA");
+    EXPECT_THROW((void)read_raw(ss), DataError);
+  }
+}
+
+/// A source that yields `limit` bytes of `text` and then fails like a dying
+/// disk (streambuf exception → badbit), instead of signalling EOF.
+struct DyingSourceBuf : std::stringbuf {
+  DyingSourceBuf(const std::string& text, std::size_t limit)
+      : std::stringbuf(text.substr(0, limit)) {}
+  int_type underflow() override {
+    if (gptr() == egptr()) throw std::runtime_error("simulated disk error");
+    return std::stringbuf::underflow();
+  }
+};
+
+TEST(TraceIoTest, MidReadIoFailureThrowsInsteadOfTruncating) {
+  // 3 complete records, stream dies inside the third line. Silent behaviour
+  // would be a "valid" 2-record trace; the reader must throw instead, naming
+  // the last fully parsed line.
+  const std::string text = "1000\t0\ta.com\n2000\t1\tb.com\n3000\t2\tc.com\n";
+  {
+    DyingSourceBuf buf(text, text.size() - 4);
+    std::istream is(&buf);
+    std::size_t delivered = 0;
+    try {
+      (void)for_each_observable(
+          is, [&delivered](const dns::ForwardedLookup&) { ++delivered; });
+      FAIL() << "expected DataError";
+    } catch (const DataError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("stream I/O failure"), std::string::npos);
+      EXPECT_NE(what.find("after line 2"), std::string::npos);
+    }
+    EXPECT_EQ(delivered, 2u);  // complete records were still delivered
+  }
+  {
+    const std::string raw = "1000\t7\ta.com\tA\n2000\t8\tb.com\tNX\n";
+    DyingSourceBuf buf(raw, raw.size() - 3);
+    std::istream is(&buf);
+    EXPECT_THROW((void)read_raw(is), DataError);
+  }
+}
+
+TEST(TraceIoTest, WriteFailureIsALoudError) {
+  // A sink that accepts nothing — a full disk from byte zero.
+  struct FullDiskBuf : std::streambuf {
+    int_type overflow(int_type) override { return traits_type::eof(); }
+  };
+  const std::vector<dns::ForwardedLookup> lookups{
+      {TimePoint{1000}, dns::ServerId{0}, "a.com"}};
+  const std::vector<botnet::RawRecord> records{
+      {TimePoint{1000}, dns::ClientId{7}, "a.com", dns::Rcode::kNxDomain}};
+  {
+    FullDiskBuf buf;
+    std::ostream os(&buf);
+    try {
+      write_observable(os, lookups);
+      FAIL() << "expected DataError";
+    } catch (const DataError& e) {
+      EXPECT_NE(std::string(e.what()).find("disk full or closed stream"),
+                std::string::npos);
+    }
+  }
+  {
+    FullDiskBuf buf;
+    std::ostream os(&buf);
+    EXPECT_THROW(write_raw(os, records), DataError);
+  }
+  // Writing an empty span to a healthy stream stays fine (the check must not
+  // misfire on a no-op).
+  std::stringstream ok;
+  write_observable(ok, {});
+  EXPECT_TRUE(ok.str().empty());
+}
+
 }  // namespace
 }  // namespace botmeter::trace

@@ -24,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "trace/block.hpp"
 #include "trace/io.hpp"
 #include "viz/landscape.hpp"
 
@@ -33,10 +34,13 @@ constexpr const char* kUsage =
     "usage: botmeter_analyze (--family <name> | --config <file.json>)\n"
     "         [--estimator timing|poisson|bernoulli|...] [--servers n]\n"
     "         [--epochs n] [--first-epoch e] [--neg-ttl-min m]\n"
-    "         [--miss-rate x] [--assume-miss x] [--trace file] [--viz]\n"
-    "         [--metrics-out file] [--trace-timing] [--trace-out file]\n"
+    "         [--miss-rate x] [--assume-miss x] [--trace file] [--binary]\n"
+    "         [--viz] [--metrics-out file] [--trace-timing] [--trace-out file]\n"
     "         [--threads n]\n"
-    "reads the observable (border) trace from --trace or stdin.\n"
+    "reads the observable (border) trace from --trace or stdin. Binary\n"
+    "columnar traces (botmeter.trace_block.v1, see botmeter_trace_convert)\n"
+    "are detected automatically for --trace files; --binary forces the\n"
+    "binary codec for stdin.\n"
     "--metrics-out writes a botmeter.run_report.v1 JSON document (matcher\n"
     "tallies, per-server matched lookups and populations, stage wall times);\n"
     "--trace-timing prints the phase timing table to stderr.\n"
@@ -83,7 +87,7 @@ int main(int argc, char** argv) {
                          "--epochs", "--first-epoch", "--neg-ttl-min",
                          "--miss-rate", "--assume-miss", "--trace",
                          "--metrics-out", "--threads"},
-                        {"--help", "--viz", "--trace-timing"});
+                        {"--help", "--viz", "--trace-timing", "--binary"});
     if (args.flag("--help")) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -108,11 +112,14 @@ int main(int argc, char** argv) {
 
     std::vector<dns::ForwardedLookup> stream;
     if (auto path = args.value("--trace")) {
-      std::ifstream file(*path);
+      std::ifstream file(*path, std::ios::binary);
       if (!file) throw DataError("cannot open " + *path);
-      stream = trace::read_observable(file);
+      stream = args.flag("--binary") || trace::sniff_block_file(file)
+                   ? trace::read_blocks(file)
+                   : trace::read_observable(file);
     } else {
-      stream = trace::read_observable(std::cin);
+      stream = args.flag("--binary") ? trace::read_blocks(std::cin)
+                                     : trace::read_observable(std::cin);
     }
     if (stream.empty()) throw DataError("empty observable trace");
 
