@@ -28,6 +28,10 @@ constexpr std::size_t kChecksummedBytes = 24;
 /// (64k tuples ≈ 1 MiB); a "consistent" corrupt header cannot demand a
 /// multi-gigabyte allocation.
 constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+/// Writer-side cap on tuples per block: the fixed columns alone cost 16
+/// bytes per tuple, so anything above this could never frame a payload a
+/// reader accepts (and would overflow the u32 header fields well before).
+constexpr std::size_t kMaxBlockTuples = kMaxPayloadBytes / 16;
 
 constexpr std::size_t align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
 
@@ -77,6 +81,13 @@ BlockWriter::BlockWriter(std::ostream& os, std::size_t block_tuples)
     : os_(&os), block_tuples_(block_tuples) {
   if (block_tuples_ == 0) {
     throw ConfigError("BlockWriter: block_tuples must be > 0");
+  }
+  if (block_tuples_ > kMaxBlockTuples) {
+    throw ConfigError("BlockWriter: block_tuples " +
+                      std::to_string(block_tuples_) + " exceeds the maximum " +
+                      std::to_string(kMaxBlockTuples) +
+                      " (one block's payload must stay under " +
+                      std::to_string(kMaxPayloadBytes) + " bytes)");
   }
   std::string header;
   header.append(kFileMagic, sizeof(kFileMagic));
@@ -128,18 +139,29 @@ void BlockWriter::append(TimePoint t, dns::ServerId server,
 }
 
 void BlockWriter::flush_block() {
-  const auto n = static_cast<std::uint32_t>(t_ms_.size());
-  if (n == 0) return;
-  const auto string_bytes = static_cast<std::uint32_t>(new_strings_.size());
-  const std::size_t payload = align8(string_bytes) + std::size_t{8} * n +
-                              2 * align8(std::size_t{4} * n);
+  const std::size_t count = t_ms_.size();
+  if (count == 0) return;
+  const std::size_t string_bytes = new_strings_.size();
+  const std::size_t payload = align8(string_bytes) + std::size_t{8} * count +
+                              2 * align8(std::size_t{4} * count);
+  // Readers reject any payload above kMaxPayloadBytes as corrupt, and the
+  // header's size fields are u32 — a block that cannot be framed faithfully
+  // must fail loudly at write time, never truncate into a "corrupt" file.
+  if (payload > kMaxPayloadBytes) {
+    throw DataError("trace block payload too large at block " +
+                    std::to_string(blocks_written_) + " (" +
+                    std::to_string(payload) + " bytes; limit " +
+                    std::to_string(kMaxPayloadBytes) +
+                    " — lower block_tuples)");
+  }
+  const auto n = static_cast<std::uint32_t>(count);
 
   std::string frame;
   frame.reserve(kBlockHeaderBytes + payload);
   put_u32(frame, kBlockMagic);
   put_u32(frame, n);
   put_u32(frame, new_domain_count_);
-  put_u32(frame, string_bytes);
+  put_u32(frame, static_cast<std::uint32_t>(string_bytes));
   put_u32(frame, pending_first_id_);
   put_u32(frame, static_cast<std::uint32_t>(payload));
   put_u64(frame, fnv1a(frame.data(), kChecksummedBytes));

@@ -57,6 +57,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <optional>
@@ -158,9 +159,12 @@ class BlockReader {
  private:
   std::istream* is_;
   std::vector<std::string_view> domains_;
-  /// One decoded string section per block with new domains; the table's
-  /// views point into these, so entries are never resized or discarded.
-  std::vector<std::string> string_arena_;
+  /// One decoded string section per block with new domains. The table's
+  /// views point into these entries, so their character buffers must never
+  /// move: a deque keeps element addresses stable under push_back, where a
+  /// vector reallocation would move SSO-sized sections (a block interning a
+  /// single short domain) and dangle every earlier view.
+  std::deque<std::string> string_arena_;
   /// Payload buffer; u64-backed so the decoded i64/u32 columns are aligned.
   std::vector<std::uint64_t> payload_;
   std::uint64_t tuples_read_ = 0;

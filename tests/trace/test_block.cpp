@@ -105,6 +105,38 @@ TEST(TraceBlockTest, StringTablePast64kDistinctDomains) {
   EXPECT_EQ(decoded, lookups);
 }
 
+TEST(TraceBlockTest, ShortDomainArenaEntriesStayValidAcrossBlocks) {
+  // Regression: one short new domain per single-tuple block makes every
+  // block's decoded string section small enough for SSO. An arena whose
+  // strings move on growth (e.g. a reallocating std::vector<std::string>)
+  // dangles every earlier table view — under ASan this was a
+  // heap-use-after-free; without it, garbage domains. The table must hold
+  // the exact domains after the whole file is read.
+  std::vector<dns::ForwardedLookup> lookups;
+  for (int i = 0; i < 500; ++i) {
+    lookups.push_back(dns::ForwardedLookup{TimePoint{i}, dns::ServerId{0},
+                                           "d" + std::to_string(i)});
+  }
+  std::istringstream is(encode(lookups, 1));  // one tuple (and domain)/block
+  BlockReader reader(is);
+  while (reader.next()) {
+  }
+  ASSERT_EQ(reader.domains().size(), lookups.size());
+  for (std::size_t i = 0; i < lookups.size(); ++i) {
+    EXPECT_EQ(reader.domains()[i], lookups[i].domain) << "id " << i;
+  }
+
+  std::istringstream is2(encode(lookups, 1));
+  EXPECT_EQ(read_blocks(is2), lookups);
+}
+
+TEST(TraceBlockTest, WriterRejectsOversizedBlockTuples) {
+  // block_tuples above the per-block payload budget would truncate the u32
+  // header fields; the constructor must refuse it up front.
+  std::ostringstream os;
+  EXPECT_THROW(BlockWriter writer(os, std::size_t{1} << 30), ConfigError);
+}
+
 TEST(TraceBlockTest, TextBinaryTextIsByteIdentity) {
   const auto lookups = sample_trace(500, 17);
   std::ostringstream text;
