@@ -18,7 +18,10 @@
 // A final scrape-under-load guard re-runs one scenario with the metrics
 // registry attached and the HTTP exporter being scraped every 10 ms, and
 // asserts the live telemetry costs < 2% of ingest throughput; the numbers
-// land in the JSON under "scrape_guard".
+// land in the JSON under "scrape_guard". A second guard re-runs the same
+// scenario with a LandscapeHistory attached and asserts recording per-epoch
+// snapshots also stays under the 2% budget — and that the final landscape is
+// byte-identical with and without the history ("history_guard").
 //
 // Results go to stdout as a table and to BENCH_stream.json
 // (schema botmeter.bench_stream.v1) for CI artifact upload; pass an output
@@ -35,6 +38,7 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -47,6 +51,7 @@
 #include "dga/families.hpp"
 #include "obs/expose.hpp"
 #include "obs/http_exporter.hpp"
+#include "obs/landscape_history.hpp"
 #include "obs/metrics.hpp"
 #include "stream/health_monitor.hpp"
 #include "stream/stream_engine.hpp"
@@ -308,7 +313,7 @@ ScrapeGuard run_scrape_guard() {
 
   obs::HttpExporter exporter(
       obs::HttpExporterConfig{},
-      {{"/metrics", [&metrics] {
+      {{"/metrics", [&metrics](const obs::HttpRequest&) {
           return obs::HttpResponse{200, obs::kPrometheusContentType,
                                    obs::expose_prometheus(metrics.snapshot())};
         }}});
@@ -339,6 +344,113 @@ ScrapeGuard run_scrape_guard() {
   guard.enforced = std::thread::hardware_concurrency() >= 2;
   guard.pass = guard.regression < kScrapeRegressionLimit;
   return guard;
+}
+
+/// Landscape-history lane: ingest throughput with the per-epoch snapshot
+/// store attached vs detached. Recording happens inline on the ingest thread
+/// at every epoch close, so the whole cost shows up here; the guard enforces
+/// the <2% budget and that attaching a history never changes the landscape.
+struct HistoryGuard {
+  double baseline_tuples_per_sec = 0.0;
+  double history_tuples_per_sec = 0.0;
+  double regression = 0.0;
+  std::uint64_t epochs_recorded = 0;
+  bool landscapes_identical = false;
+  bool pass = false;
+};
+
+constexpr double kHistoryRegressionLimit = 0.02;
+
+HistoryGuard run_history_guard() {
+  const Scenario scenario{"Murofet", 256, 8, 4, 1};
+  const dga::DgaConfig family = dga::family_config(scenario.family);
+
+  botnet::SimulationConfig sim;
+  sim.dga = family;
+  sim.bot_count = scenario.bots;
+  sim.server_count = scenario.servers;
+  sim.first_epoch = 0;
+  sim.epoch_count = scenario.epochs;
+  sim.seed = 7;
+  sim.record_raw = false;
+  const botnet::SimulationResult result = botnet::simulate(sim);
+
+  stream::StreamEngineConfig config;
+  config.meter.dga = family;
+  config.first_epoch = 0;
+  config.epoch_count = scenario.epochs;
+  config.server_count = scenario.servers;
+  config.worker_threads = scenario.threads;
+
+  // Same multi-pass stretch as the scrape guard: a single ~10 ms pass is too
+  // short for a stable delta. Each pass gets a fresh history — every replay
+  // restarts at the first epoch, and a series' epochs must only increase.
+  constexpr int kPassesPerRep = 8;
+  HistoryGuard guard;
+  const auto lane_tps = [&](bool with_history, std::string* report_out) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int pass = 0; pass < kPassesPerRep; ++pass) {
+      std::optional<obs::LandscapeHistory> history;
+      stream::StreamEngineConfig lane = config;
+      if (with_history) {
+        history.emplace();
+        lane.history = &*history;
+      }
+      stream::StreamEngine engine(lane);
+      for (const dns::ForwardedLookup& lookup : result.observable) {
+        engine.ingest(lookup);
+      }
+      const core::LandscapeReport report = engine.finish();
+      if (report_out != nullptr && pass == 0) {
+        *report_out = json::write(core::landscape_to_json(report));
+      }
+      if (history.has_value()) {
+        guard.epochs_recorded = history->epochs_recorded();
+      }
+    }
+    const double ms = wall_ms_since(start);
+    return ms > 0.0 ? static_cast<double>(result.observable.size()) *
+                          kPassesPerRep / (ms / 1e3)
+                    : 0.0;
+  };
+
+  // Interleave the arms (instead of all-baseline-then-all-history) so CPU
+  // warm-up and frequency drift hit both equally; best-of-N per arm on top.
+  constexpr int kHistoryGuardReps = 5;
+  std::string bare_report;
+  std::string observed_report;
+  for (int rep = 0; rep < kHistoryGuardReps; ++rep) {
+    guard.baseline_tuples_per_sec = std::max(
+        guard.baseline_tuples_per_sec,
+        lane_tps(false, rep == 0 ? &bare_report : nullptr));
+    guard.history_tuples_per_sec = std::max(
+        guard.history_tuples_per_sec,
+        lane_tps(true, rep == 0 ? &observed_report : nullptr));
+  }
+
+  guard.landscapes_identical =
+      !bare_report.empty() && bare_report == observed_report;
+  guard.regression =
+      guard.baseline_tuples_per_sec > 0.0
+          ? (guard.baseline_tuples_per_sec - guard.history_tuples_per_sec) /
+                guard.baseline_tuples_per_sec
+          : 0.0;
+  guard.pass =
+      guard.landscapes_identical && guard.regression < kHistoryRegressionLimit;
+  return guard;
+}
+
+json::Value to_json(const HistoryGuard& g) {
+  using json::Value;
+  json::Object o;
+  o.emplace("baseline_tuples_per_sec", Value(g.baseline_tuples_per_sec));
+  o.emplace("history_tuples_per_sec", Value(g.history_tuples_per_sec));
+  o.emplace("regression", Value(g.regression));
+  o.emplace("regression_limit", Value(kHistoryRegressionLimit));
+  o.emplace("epochs_recorded", Value(static_cast<double>(g.epochs_recorded)));
+  o.emplace("landscapes_identical", Value(g.landscapes_identical));
+  o.emplace("pass", Value(g.pass));
+  return Value(std::move(o));
 }
 
 json::Value to_json(const ScrapeGuard& g) {
@@ -428,10 +540,23 @@ int main(int argc, char** argv) {
                        : "over limit (not enforced: no spare core for the "
                          "exporter)");
 
+  const HistoryGuard history_guard = run_history_guard();
+  std::printf(
+      "history guard: baseline %.0f t/s, with history %.0f t/s "
+      "(%llu epochs recorded) -> regression %.2f%% (limit %.0f%%), "
+      "landscapes %s: %s\n",
+      history_guard.baseline_tuples_per_sec,
+      history_guard.history_tuples_per_sec,
+      static_cast<unsigned long long>(history_guard.epochs_recorded),
+      history_guard.regression * 100.0, kHistoryRegressionLimit * 100.0,
+      history_guard.landscapes_identical ? "identical" : "DIFFERENT",
+      history_guard.pass ? "pass" : "FAIL");
+
   json::Object root;
   root.emplace("schema", json::Value(std::string("botmeter.bench_stream.v1")));
   root.emplace("results", json::Value(std::move(results)));
   root.emplace("scrape_guard", to_json(guard));
+  root.emplace("history_guard", to_json(history_guard));
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -465,6 +590,20 @@ int main(int argc, char** argv) {
                  "throughput (limit %.0f%%)\n",
                  kScrapeIntervalMs, guard.regression * 100.0,
                  kScrapeRegressionLimit * 100.0);
+    return 1;
+  }
+  if (!history_guard.landscapes_identical) {
+    std::fprintf(stderr,
+                 "FAIL: attaching the landscape history changed the final "
+                 "landscape\n");
+    return 1;
+  }
+  if (!history_guard.pass) {
+    std::fprintf(stderr,
+                 "FAIL: recording landscape history cost %.2f%% ingest "
+                 "throughput (limit %.0f%%)\n",
+                 history_guard.regression * 100.0,
+                 kHistoryRegressionLimit * 100.0);
     return 1;
   }
   return 0;

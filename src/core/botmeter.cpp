@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "estimators/context.hpp"
 #include "estimators/observation.hpp"
+#include "obs/landscape_history.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -205,6 +206,26 @@ LandscapeReport BotMeter::analyze(std::span<const dns::ForwardedLookup> stream,
     }
     rows.push_back(estimate_epoch_row(e, std::move(buckets), &workers, trace,
                                       "analyze.estimate.server"));
+    if (config_.history != nullptr) {
+      // Record the same per-epoch row the streaming engine appends at its
+      // watermark close for this epoch, so batch and stream emit identical
+      // landscape_series.v1 documents for the same trace. Batch rows carry
+      // no health annotation (there is no feed to monitor).
+      const std::vector<estimators::EpochCell>& row_cells = rows.back();
+      obs::LandscapeEpochRecord history_row;
+      history_row.epoch = e;
+      history_row.family = config_.dga.name;
+      history_row.estimator = std::string(estimator.name());
+      history_row.servers.reserve(row_cells.size());
+      for (const estimators::EpochCell& cell : row_cells) {
+        obs::LandscapeCell snapshot_cell;
+        snapshot_cell.population = cell.estimate.value;
+        snapshot_cell.interval90 = cell.estimate.interval;
+        snapshot_cell.matched = cell.matched;
+        history_row.servers.push_back(std::move(snapshot_cell));
+      }
+      config_.history->record(history_row);
+    }
   }
 
   // Serial assembly and metrics flush, in server order.

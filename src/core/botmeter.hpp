@@ -31,6 +31,7 @@ class WorkerPool;
 }
 
 namespace botmeter::obs {
+class LandscapeHistory;
 class MetricsRegistry;
 class TraceSession;
 }  // namespace botmeter::obs
@@ -77,6 +78,12 @@ struct BotMeterConfig {
   /// Null means no-op; attaching them never changes the LandscapeReport.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceSession* trace = nullptr;
+
+  /// Optional landscape time-series sink: analyze() appends one per-server
+  /// snapshot row per prepared epoch (same rows the streaming engine records
+  /// at its closes, so the two pipelines emit identical series documents
+  /// for the same trace). Observational only — never changes the report.
+  obs::LandscapeHistory* history = nullptr;
 
   void validate() const;
 };

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <map>
+#include <tuple>
 #include <utility>
 
 #include "common/error.hpp"
@@ -232,6 +233,49 @@ std::vector<ExpositionSample> parse_exposition(std::string_view text) {
     out.push_back(std::move(sample));
   }
   return out;
+}
+
+RateTracker::RateTracker(std::vector<std::string> counter_names)
+    : names_(std::move(counter_names)) {}
+
+void RateTracker::tick(MetricsRegistry::Snapshot& snapshot, double now_ms) {
+  // The baseline must be the un-augmented snapshot: copy before appending.
+  const MetricsRegistry::Snapshot baseline = snapshot;
+
+  const double dt_s =
+      have_previous_ ? (now_ms - previous_ms_) / 1000.0 : 0.0;
+  MetricsRegistry::Snapshot delta;
+  if (dt_s > 0.0) delta = delta_snapshot(snapshot, previous_);
+
+  for (const std::string& name : names_) {
+    bool found = false;
+    for (const MetricsRegistry::CounterSample& counter : snapshot.counters) {
+      if (counter.name != name) continue;
+      found = true;
+      double rate = 0.0;
+      if (dt_s > 0.0) {
+        for (const MetricsRegistry::CounterSample& d : delta.counters) {
+          if (d.name == counter.name && d.label == counter.label) {
+            rate = static_cast<double>(d.value) / dt_s;
+            break;
+          }
+        }
+      }
+      snapshot.gauges.push_back({name + ".per_sec", counter.label, rate});
+    }
+    // Emit the plain series even before its counter exists, so dashboards
+    // see the gauge from the very first scrape.
+    if (!found) snapshot.gauges.push_back({name + ".per_sec", "", 0.0});
+  }
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(),
+            [](const MetricsRegistry::GaugeSample& a,
+               const MetricsRegistry::GaugeSample& b) {
+              return std::tie(a.name, a.label) < std::tie(b.name, b.label);
+            });
+
+  previous_ = baseline;
+  previous_ms_ = now_ms;
+  have_previous_ = true;
 }
 
 }  // namespace botmeter::obs

@@ -61,4 +61,35 @@ struct ExpositionSample {
 [[nodiscard]] std::vector<ExpositionSample> parse_exposition(
     std::string_view text);
 
+/// Derives per-second rate gauges from successive registry snapshots so
+/// dashboards scrape ready-made rates (`tuples/s`, `epochs closed/s`)
+/// instead of differencing counters client-side.
+///
+/// Construct with the counter names to track; each `tick` appends one
+/// `<name>.per_sec` gauge per tracked counter series (labels preserved) to
+/// the snapshot, computed via `delta_snapshot` against the previous tick,
+/// then remembers the un-augmented snapshot as the next baseline. The first
+/// tick — and any tick with a non-positive time step — reports 0, so the
+/// series exists from the first scrape. Counter resets clamp to 0 (the
+/// delta_snapshot rule), never negative rates.
+///
+/// Not thread-safe: tick() is meant to be called from exactly one thread —
+/// in practice the HTTP exporter's handler thread, where successive
+/// /metrics scrapes are naturally serialized.
+class RateTracker {
+ public:
+  explicit RateTracker(std::vector<std::string> counter_names);
+
+  /// Augment `snapshot` with rate gauges (keeping the gauge list sorted by
+  /// (name, label)) and advance the baseline. `now_ms` is any monotonic
+  /// millisecond clock.
+  void tick(MetricsRegistry::Snapshot& snapshot, double now_ms);
+
+ private:
+  std::vector<std::string> names_;
+  MetricsRegistry::Snapshot previous_;
+  double previous_ms_ = 0.0;
+  bool have_previous_ = false;
+};
+
 }  // namespace botmeter::obs

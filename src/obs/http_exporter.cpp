@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
@@ -75,7 +76,51 @@ void close_fd(int& fd) {
   }
 }
 
+/// Percent-decode one query component ('+' means space). Malformed escapes
+/// pass through literally — telemetry queries are best-effort, not strict.
+std::string url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < text.size() &&
+               std::isxdigit(static_cast<unsigned char>(text[i + 1])) != 0 &&
+               std::isxdigit(static_cast<unsigned char>(text[i + 2])) != 0) {
+      const auto nibble = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        return (std::tolower(static_cast<unsigned char>(h)) - 'a') + 10;
+      };
+      out += static_cast<char>(nibble(text[i + 1]) * 16 + nibble(text[i + 2]));
+      i += 2;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::optional<std::string> HttpRequest::param(std::string_view key) const {
+  std::string_view rest = query;
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    const std::string_view name =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (url_decode(name) == key) {
+      return eq == std::string_view::npos ? std::string()
+                                          : url_decode(pair.substr(eq + 1));
+    }
+  }
+  return std::nullopt;
+}
 
 HttpExporter::HttpExporter(const HttpExporterConfig& config,
                            std::map<std::string, Handler> routes)
@@ -206,16 +251,19 @@ void HttpExporter::handle_connection(int client_fd) {
     return;
   }
   const std::string_view method = line.substr(0, sp1);
-  std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  const std::size_t query = path.find('?');
-  if (query != std::string_view::npos) path = path.substr(0, query);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  HttpRequest parsed;
+  const std::size_t query = target.find('?');
+  parsed.path = std::string(target.substr(0, query));
+  if (query != std::string_view::npos) {
+    parsed.query = std::string(target.substr(query + 1));
+  }
 
   if (method != "GET") {
     response.status = 405;
     response.body = "only GET is supported\n";
-  } else if (const auto it = routes_.find(std::string(path));
-             it != routes_.end()) {
-    response = it->second();
+  } else if (const auto it = routes_.find(parsed.path); it != routes_.end()) {
+    response = it->second(parsed);
   } else {
     response.status = 404;
     std::string known;

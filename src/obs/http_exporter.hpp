@@ -28,7 +28,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 
 namespace botmeter::obs {
@@ -39,6 +41,21 @@ struct HttpExporterConfig {
   /// Address to bind. Defaults to loopback: telemetry is unauthenticated,
   /// so exposing it beyond the host is an explicit operator decision.
   std::string bind_address = "127.0.0.1";
+};
+
+/// One parsed GET request as handlers see it. Routing matches `path`
+/// exactly; anything after '?' lands in `query` so handlers can take
+/// parameters (`/landscape/history?from=3&to=9`) without the route table
+/// caring.
+struct HttpRequest {
+  std::string path;
+  /// Raw query string (without the '?'); empty when the request had none.
+  std::string query;
+
+  /// Value of the query parameter `key` ("a=1&b=2" → param("b") == "2"),
+  /// percent-decoded with '+' as space; nullopt when absent. A bare key
+  /// with no '=' yields an empty string.
+  [[nodiscard]] std::optional<std::string> param(std::string_view key) const;
 };
 
 /// One HTTP response. Handlers fill status/content_type/body; the exporter
@@ -52,7 +69,7 @@ struct HttpResponse {
 
 class HttpExporter {
  public:
-  using Handler = std::function<HttpResponse()>;
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
   /// Bind, listen, and start the serving thread. Routes map exact request
   /// paths ("/metrics") to handlers; unknown paths answer 404, non-GET

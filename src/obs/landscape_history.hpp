@@ -1,0 +1,237 @@
+// Landscape time-series history: the queryable record of how a DGA-botnet
+// landscape evolves across epochs.
+//
+// The paper's deliverable is *charting* landscapes, yet a monitor that only
+// emits a final LandscapeReport (or instantaneous /metrics counters) cannot
+// answer "how did server 12's Murofet population move over the last week?".
+// `LandscapeHistory` is that record: every epoch close (streaming) or every
+// analyzed epoch row (batch) appends one per-server snapshot — population
+// estimate, 90% confidence interval, and the matched-lookup count that is the
+// estimate's recorded sufficient statistic — plus the health-monitor state at
+// close time when a monitor is attached.
+//
+// Retention is bounded and two-tiered so thousands of epochs stay cheap:
+//   - the most recent `retain_recent` epochs are kept at full resolution,
+//     *delta-encoded*: each entry stores only the cells that changed against
+//     the previous epoch (sparse landscapes — few infected servers in a large
+//     network — collapse to a handful of cells per epoch);
+//   - epochs evicted from the recent ring are *coarsened*: only epochs
+//     divisible by `coarse_stride` survive, as sparse full rows, up to
+//     `retain_coarse` of them. Older history keeps its shape at reduced
+//     temporal resolution instead of vanishing.
+//
+// Serialization is the canonical `botmeter.landscape_series.v1` document via
+// the byte-stable common/json writer: the document is a pure function of the
+// recorded row sequence and the retention configuration, so the streaming and
+// batch pipelines — which hand over bit-identical rows — produce byte-equal
+// files for the same trace (provided neither or both record health states).
+//
+// Thread-safety: every public method takes the internal mutex and returns
+// copies, so the ingest thread may `record()` while the HTTP exporter thread
+// serves `/landscape*` queries — the copy-under-mutex contract the exporter's
+// handler rules require. Attaching a history never changes pipeline results:
+// it only observes rows the pipelines already computed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace botmeter::obs {
+
+/// One (family, server) cell of a snapshot: the per-epoch interval estimate
+/// and the matched-lookup count it consumed (the observation's recorded
+/// sufficient statistic). A default-constructed cell — population 0, no
+/// interval, nothing matched — is what an unrecorded server means, which is
+/// what makes sparse encodings lossless.
+struct LandscapeCell {
+  double population = 0.0;
+  std::optional<std::pair<double, double>> interval90;
+  std::uint64_t matched = 0;
+
+  friend bool operator==(const LandscapeCell&, const LandscapeCell&) = default;
+};
+
+/// What a pipeline hands to record(): one epoch's full landscape row. The
+/// family/estimator identify the series (fixed after the first record);
+/// `health` is the stream health state word at close time, absent when no
+/// monitor is attached (always absent for batch analyze).
+struct LandscapeEpochRecord {
+  std::int64_t epoch = 0;
+  std::string family;
+  std::string estimator;
+  std::vector<LandscapeCell> servers;
+  std::optional<std::string> health;
+};
+
+struct LandscapeHistoryConfig {
+  /// Full-resolution epochs retained (the delta-encoded recent ring).
+  std::size_t retain_recent = 4096;
+  /// Coarsened older epochs retained beyond the recent ring.
+  std::size_t retain_coarse = 512;
+  /// Only epochs divisible by this stride survive coarsening. 1 keeps every
+  /// evicted epoch (until retain_coarse evicts it for good).
+  std::int64_t coarse_stride = 16;
+
+  void validate() const;
+};
+
+/// One fully reconstructed epoch snapshot, as queries return it.
+struct LandscapeSnapshot {
+  std::int64_t epoch = 0;
+  /// "recent" (full-resolution ring) or "coarse" (survived coarsening).
+  std::string tier;
+  std::vector<LandscapeCell> servers;
+  std::optional<std::string> health;
+
+  [[nodiscard]] double total_population() const;
+  [[nodiscard]] std::uint64_t total_matched() const;
+
+  friend bool operator==(const LandscapeSnapshot&,
+                         const LandscapeSnapshot&) = default;
+};
+
+/// One point of a per-server series query.
+struct LandscapeSeriesPoint {
+  std::int64_t epoch = 0;
+  LandscapeCell cell;
+
+  friend bool operator==(const LandscapeSeriesPoint&,
+                         const LandscapeSeriesPoint&) = default;
+};
+
+/// Per-family quality telemetry over the retained window.
+struct LandscapeSummary {
+  std::string family;
+  std::string estimator;
+  std::size_t server_count = 0;
+  std::uint64_t epochs_recorded = 0;   // ever, including evicted-for-good
+  std::size_t epochs_retained = 0;     // recent + coarse
+  std::int64_t first_retained_epoch = 0;
+  std::int64_t last_epoch = 0;
+  double latest_total_population = 0.0;
+  std::uint64_t latest_total_matched = 0;
+  std::optional<std::string> latest_health;
+  /// Fraction of servers whose latest cell carries a confidence interval.
+  double interval_coverage = 0.0;
+  /// Mean (hi - lo) over the latest cells that carry an interval; 0 if none.
+  double mean_ci_width = 0.0;
+  /// Delta-encoding telemetry: cells stored vs. the dense equivalent
+  /// (epochs_retained * server_count) — the retention policy's win.
+  std::uint64_t stored_cells = 0;
+};
+
+/// The parsed form of a botmeter.landscape_series.v1 document: every entry
+/// reconstructed to a full row, ascending by epoch.
+struct LandscapeSeries {
+  std::string family;
+  std::string estimator;
+  std::size_t server_count = 0;
+  std::uint64_t epochs_recorded = 0;
+  std::vector<LandscapeSnapshot> snapshots;
+};
+
+class LandscapeHistory {
+ public:
+  explicit LandscapeHistory(LandscapeHistoryConfig config = {});
+
+  LandscapeHistory(const LandscapeHistory&) = delete;
+  LandscapeHistory& operator=(const LandscapeHistory&) = delete;
+
+  /// Append one epoch row. Epochs must be strictly increasing; the first
+  /// record fixes the series' family, estimator, and server width, and every
+  /// later record must match them (ConfigError otherwise).
+  void record(const LandscapeEpochRecord& row);
+
+  /// Latest snapshot, or nullopt before the first record.
+  [[nodiscard]] std::optional<LandscapeSnapshot> latest() const;
+
+  /// Every retained snapshot with epoch in [from, to], ascending (coarse
+  /// tier first — coarse epochs always precede recent ones).
+  [[nodiscard]] std::vector<LandscapeSnapshot> window(std::int64_t from,
+                                                      std::int64_t to) const;
+
+  /// One server's series over [from, to], ascending. Throws ConfigError when
+  /// `server` is outside the recorded width.
+  [[nodiscard]] std::vector<LandscapeSeriesPoint> series(std::uint32_t server,
+                                                         std::int64_t from,
+                                                         std::int64_t to) const;
+
+  /// Quality telemetry, or nullopt before the first record.
+  [[nodiscard]] std::optional<LandscapeSummary> summary() const;
+
+  [[nodiscard]] std::uint64_t epochs_recorded() const;
+
+  // --- canonical JSON (schema botmeter.landscape_series.v1) ----------------
+  /// The full retained history: coarse entries as sparse full rows, the
+  /// recent ring with its delta encoding (first recent entry materialized).
+  /// Byte-stable: a pure function of the recorded rows and the retention
+  /// configuration.
+  [[nodiscard]] json::Value to_json() const;
+
+  /// A one-entry series document holding only the latest snapshot (the
+  /// `/landscape` route body). Before the first record: an entry-less
+  /// document (schema + empty entries).
+  [[nodiscard]] json::Value latest_json() const;
+
+  /// A windowed series document: every retained entry in [from, to],
+  /// materialized as full sparse rows; with `server` set, rows are narrowed
+  /// to that one server's cell (the `/landscape/history` route body).
+  [[nodiscard]] json::Value window_json(std::optional<std::uint32_t> server,
+                                        std::int64_t from,
+                                        std::int64_t to) const;
+
+  /// The summary document (schema botmeter.landscape_summary.v1, the
+  /// `/landscape/summary` route body).
+  [[nodiscard]] json::Value summary_json() const;
+
+  [[nodiscard]] const LandscapeHistoryConfig& config() const { return config_; }
+
+ private:
+  /// One recent-ring entry: the cells that differ from the previous epoch's
+  /// row. The first entry's predecessor is `base_` (the reconstruction
+  /// anchor — the full row state just before the ring).
+  struct Entry {
+    std::int64_t epoch = 0;
+    std::optional<std::string> health;
+    std::vector<std::pair<std::uint32_t, LandscapeCell>> cells;  // ascending id
+  };
+
+  void evict_locked();
+  [[nodiscard]] std::vector<LandscapeSnapshot> window_locked(
+      std::int64_t from, std::int64_t to) const;
+  [[nodiscard]] LandscapeSummary summary_locked() const;
+  [[nodiscard]] json::Value series_header_locked() const;
+
+  LandscapeHistoryConfig config_;
+
+  mutable std::mutex mu_;
+  std::string family_;
+  std::string estimator_;
+  std::size_t server_count_ = 0;
+  std::uint64_t epochs_recorded_ = 0;
+
+  /// Reconstruction anchor: the full row state immediately before
+  /// `recent_.front()` (all-default until the first eviction).
+  std::vector<LandscapeCell> base_;
+  std::deque<Entry> recent_;
+  /// Latest full row (base_ with every recent delta applied), maintained
+  /// incrementally so record() diffs in O(changed).
+  std::vector<LandscapeCell> last_;
+  std::optional<std::string> last_health_;
+  /// Coarsened tier: sparse full rows (cells differing from default).
+  std::deque<Entry> coarse_;
+};
+
+/// Parse a botmeter.landscape_series.v1 document (as produced by to_json /
+/// latest_json / window_json) back into fully reconstructed snapshots.
+/// Throws DataError on schema or structural violations.
+[[nodiscard]] LandscapeSeries parse_landscape_series(const json::Value& doc);
+
+}  // namespace botmeter::obs

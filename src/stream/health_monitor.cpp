@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "stream/stream_engine.hpp"
 
 namespace botmeter::stream {
@@ -118,6 +119,8 @@ HealthState StreamHealthMonitor::sample(const StreamEngine& engine,
 
     // Observe close latencies appended since the previous sample.
     const std::span<const double> closes = engine.close_latencies_ms();
+    signals.epochs_closed = closes.size();
+    if (!closes.empty()) signals.last_close_ms = closes.back();
     if (metrics_ != nullptr && close_latency_cursor_ < closes.size()) {
       obs::Histogram& hist = metrics_->histogram(
           "stream.epoch_close_latency_ms", close_latency_bounds());
@@ -189,7 +192,35 @@ std::string StreamHealthMonitor::render() const {
   out += "ingested: " + std::to_string(signals_.ingested) + '\n';
   out += "matched: " + std::to_string(signals_.matched) + '\n';
   out += "late_dropped: " + std::to_string(signals_.late_dropped) + '\n';
+  out += "epochs_closed: " + std::to_string(signals_.epochs_closed) + '\n';
+  if (signals_.last_close_ms.has_value()) {
+    out += "last_close_ms: " + format_fixed(*signals_.last_close_ms, 3) + '\n';
+  }
   return out;
+}
+
+std::string StreamHealthMonitor::render_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Object doc;
+  doc.emplace("schema", json::Value(std::string("botmeter.healthz.v1")));
+  doc.emplace("status",
+              json::Value(std::string(health_state_name(state_))));
+  doc.emplace("watermark_lag_ms", json::Value(signals_.watermark_lag_ms));
+  doc.emplace("late_rate", json::Value(signals_.late_rate));
+  doc.emplace("open_buffer_bytes",
+              json::Value(static_cast<double>(signals_.open_buffer_bytes)));
+  doc.emplace("ingested",
+              json::Value(static_cast<double>(signals_.ingested)));
+  doc.emplace("matched", json::Value(static_cast<double>(signals_.matched)));
+  doc.emplace("late_dropped",
+              json::Value(static_cast<double>(signals_.late_dropped)));
+  doc.emplace("epochs_closed",
+              json::Value(static_cast<double>(signals_.epochs_closed)));
+  doc.emplace("last_close_ms",
+              signals_.last_close_ms.has_value()
+                  ? json::Value(*signals_.last_close_ms)
+                  : json::Value(nullptr));
+  return json::write(json::Value(std::move(doc)));
 }
 
 }  // namespace botmeter::stream

@@ -78,6 +78,10 @@ struct StreamHealthSignals {
   std::uint64_t ingested = 0;
   std::uint64_t matched = 0;
   std::uint64_t late_dropped = 0;
+  /// Watermark epoch closes so far, and the wall time the most recent one
+  /// took (nullopt before the first close).
+  std::uint64_t epochs_closed = 0;
+  std::optional<double> last_close_ms;
 
   friend bool operator==(const StreamHealthSignals&,
                          const StreamHealthSignals&) = default;
@@ -109,6 +113,11 @@ class StreamHealthMonitor {
   /// Plain-text body for `/healthz`: the state line first, then one
   /// `name: value` line per signal.
   [[nodiscard]] std::string render() const;
+
+  /// Canonical JSON body for `/healthz?format=json` (schema
+  /// `botmeter.healthz.v1`): state word plus the full signal vector, via
+  /// the byte-stable common/json writer. Same thread-safety as render().
+  [[nodiscard]] std::string render_json() const;
 
  private:
   [[nodiscard]] HealthState raw_state(const StreamHealthSignals& s) const;

@@ -8,8 +8,10 @@
 
 #include "common/error.hpp"
 #include "common/prefetch.hpp"
+#include "obs/landscape_history.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "stream/health_monitor.hpp"
 
 namespace botmeter::stream {
 
@@ -148,10 +150,14 @@ void StreamEngine::ingest_block(const dns::LookupColumns& block,
         "StreamEngine::ingest_block: domain table shrank — blocks from a "
         "different interning lineage");
   }
+  obs::ScopedTimer block_span(config_.meter.trace, "stream.block.ingest");
+
   // Resolve pool membership for the table's new tail: one hash per distinct
   // domain per engine, ever — batched so the index's cache misses overlap.
   const detect::DomainMatcher& matcher = meter_.matcher();
   if (domains.size() > resolved_.size()) {
+    obs::ScopedTimer resolve_span(config_.meter.trace,
+                                  "stream.block.resolve_many");
     const std::size_t old = resolved_.size();
     resolve_scratch_.resize(domains.size() - old);
     matcher.resolve_many(domains.subspan(old), resolve_scratch_);
@@ -331,9 +337,30 @@ void StreamEngine::close_next_epoch() {
     metrics->gauge("stream.resident_lookups").set(static_cast<double>(resident_));
     metrics->gauge("stream.resident_lookups.peak")
         .set(static_cast<double>(peak_resident_));
+    flush_counters(*metrics);
   }
   if (config_.meter.trace != nullptr) {
     config_.meter.trace->record("stream.epoch_close", wall_ms);
+  }
+
+  if (config_.history != nullptr) {
+    const std::vector<Cell>& cells = closed_.back();
+    obs::LandscapeEpochRecord row;
+    row.epoch = epoch;
+    row.family = config_.meter.dga.name;
+    row.estimator = std::string(meter_.active_estimator().name());
+    row.servers.reserve(cells.size());
+    for (const Cell& cell : cells) {
+      obs::LandscapeCell snapshot_cell;
+      snapshot_cell.population = cell.estimate.value;
+      snapshot_cell.interval90 = cell.estimate.interval;
+      snapshot_cell.matched = cell.matched;
+      row.servers.push_back(std::move(snapshot_cell));
+    }
+    if (config_.health != nullptr) {
+      row.health = std::string(health_state_name(config_.health->state()));
+    }
+    config_.history->record(row);
   }
 
   if (on_close_) {
@@ -386,13 +413,22 @@ core::LandscapeReport StreamEngine::finish() {
 
   obs::MetricsRegistry* const metrics = config_.meter.metrics;
   if (metrics != nullptr) {
-    metrics->counter("stream.ingested").add(ingested_);
-    metrics->counter("stream.matched").add(matched_);
-    metrics->counter("stream.unmatched").add(unmatched_);
-    metrics->counter("stream.late_dropped").add(late_dropped_);
+    flush_counters(*metrics);
     metrics->gauge("stream.population.total").set(report.total_population());
   }
   return report;
+}
+
+void StreamEngine::flush_counters(obs::MetricsRegistry& metrics) {
+  metrics.counter("stream.ingested").add(ingested_ - flushed_ingested_);
+  metrics.counter("stream.matched").add(matched_ - flushed_matched_);
+  metrics.counter("stream.unmatched").add(unmatched_ - flushed_unmatched_);
+  metrics.counter("stream.late_dropped")
+      .add(late_dropped_ - flushed_late_dropped_);
+  flushed_ingested_ = ingested_;
+  flushed_matched_ = matched_;
+  flushed_unmatched_ = unmatched_;
+  flushed_late_dropped_ = late_dropped_;
 }
 
 // --- checkpointing ---------------------------------------------------------

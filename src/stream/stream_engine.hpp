@@ -48,7 +48,13 @@
 #include "dns/vantage.hpp"
 #include "estimators/estimator.hpp"
 
+namespace botmeter::obs {
+class LandscapeHistory;
+}  // namespace botmeter::obs
+
 namespace botmeter::stream {
+
+class StreamHealthMonitor;
 
 struct StreamEngineConfig {
   /// The analysis configuration (family, TTL policy, estimator choice,
@@ -68,6 +74,20 @@ struct StreamEngineConfig {
   /// bit-identical for every value: each server's estimate is an
   /// independent pure function of its bucket, written to its own slot.
   std::size_t worker_threads = 1;
+
+  /// Optional landscape time-series sink: every epoch close appends one
+  /// per-server snapshot row (estimate, CI, matched count) to the history.
+  /// Purely observational — attaching a history never changes the engine's
+  /// reports or counters. The history outlives the engine's use of it; its
+  /// own mutex makes record() safe against concurrent HTTP queries.
+  obs::LandscapeHistory* history = nullptr;
+
+  /// Optional health monitor whose coarse state is stamped onto each history
+  /// row at close time (the "what did the feed look like when this estimate
+  /// landed" annotation). Read-only; ignored when `history` is null. Leave
+  /// null when cross-pipeline byte-equality with batch analyze matters —
+  /// batch rows never carry health.
+  const StreamHealthMonitor* health = nullptr;
 
   /// How far the watermark must pass an epoch's end before the engine
   /// auto-closes it. Lookup trains spill past epoch boundaries and
@@ -194,6 +214,11 @@ class StreamEngine {
   using Cell = estimators::EpochCell;
 
   void ingest_matched(const detect::DomainMatcher::MatchOutcome& outcome);
+  /// Flush counter deltas accumulated since the previous flush into the
+  /// registry, so `stream.ingested`/`stream.matched`/... advance at every
+  /// epoch close (live rate gauges need moving counters) while the final
+  /// totals stay exactly what finish() always published.
+  void flush_counters(obs::MetricsRegistry& metrics);
   [[nodiscard]] std::vector<detect::MatchedLookup>* bucket_for(
       const detect::StreamKey& key);
   void maybe_close(TimePoint watermark);
@@ -254,6 +279,13 @@ class StreamEngine {
   std::size_t peak_resident_ = 0;
   bool finished_ = false;
   std::vector<double> close_latencies_ms_;
+
+  // Counter-flush cursors: how much of each total has already been added to
+  // the registry (incrementally at closes, remainder at finish()).
+  std::uint64_t flushed_ingested_ = 0;
+  std::uint64_t flushed_matched_ = 0;
+  std::uint64_t flushed_unmatched_ = 0;
+  std::uint64_t flushed_late_dropped_ = 0;
 };
 
 }  // namespace botmeter::stream

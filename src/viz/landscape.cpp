@@ -79,4 +79,42 @@ std::string render_threat_grid(const std::vector<std::string>& server_labels,
   return os.str();
 }
 
+std::string render_top(const TopFrame& frame) {
+  if (frame.server_labels.size() != frame.populations.size()) {
+    throw ConfigError("render_top: one population row per server label");
+  }
+  for (const std::vector<double>& row : frame.populations) {
+    if (row.size() != frame.epochs.size()) {
+      throw ConfigError("render_top: every row must cover the epoch window");
+    }
+  }
+
+  std::vector<double> totals(frame.epochs.size(), 0.0);
+  for (const std::vector<double>& row : frame.populations) {
+    for (std::size_t e = 0; e < row.size(); ++e) totals[e] += row[e];
+  }
+
+  std::ostringstream os;
+  os << "botmeter_top - " << frame.family << " landscape ("
+     << frame.estimator << " estimator)";
+  if (frame.health) os << " [health: " << *frame.health << "]";
+  if (!frame.epochs.empty()) {
+    os << "  epochs " << frame.epochs.front() << ".." << frame.epochs.back();
+    char latest[48];
+    std::snprintf(latest, sizeof(latest), "  total %.1f",
+                  totals.empty() ? 0.0 : totals.back());
+    os << latest;
+  }
+  os << '\n';
+
+  std::vector<Series> series;
+  series.reserve(frame.server_labels.size() + 1);
+  series.push_back(Series{"total", std::move(totals)});
+  for (std::size_t s = 0; s < frame.server_labels.size(); ++s) {
+    series.push_back(Series{frame.server_labels[s], frame.populations[s]});
+  }
+  os << render_series(series);
+  return os.str();
+}
+
 }  // namespace botmeter::viz

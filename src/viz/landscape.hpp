@@ -5,8 +5,13 @@
 //    ordering ("prioritize the remediation efforts", §I);
 //  - render_series: daily estimate sparklines per family (the Fig. 7 view);
 //  - render_threat_grid: server x family heatmap for multi-family sweeps.
+// ...and render_top: the live terminal-dashboard frame botmeter_top redraws
+// from a landscape time-series (total-population sparkline plus per-server
+// heat rows over the displayed epoch window).
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -37,5 +42,26 @@ struct Series {
     const std::vector<std::string>& server_labels,
     const std::vector<std::string>& family_labels,
     const std::vector<std::vector<double>>& populations);
+
+/// One frame of the botmeter_top dashboard: a family's landscape series
+/// over the displayed epoch window, as reconstructed from a
+/// botmeter.landscape_series.v1 document (live endpoint or history file).
+struct TopFrame {
+  std::string family;
+  std::string estimator;
+  /// Stream health state word at the latest snapshot, when recorded.
+  std::optional<std::string> health;
+  std::vector<std::int64_t> epochs;        // ascending, the visible window
+  std::vector<std::string> server_labels;  // one per server row
+  /// populations[s][e]: estimate for server s at epochs[e]; every row must
+  /// be epochs.size() wide (render_top throws ConfigError otherwise).
+  std::vector<std::vector<double>> populations;
+};
+
+/// Render one dashboard frame: a header line (family, estimator, health,
+/// epoch window, latest total), the total-population sparkline, then one
+/// sparkline heat row per server with min/last/max annotations. Pure 7-bit
+/// ASCII — the caller owns screen clearing / cursor control.
+[[nodiscard]] std::string render_top(const TopFrame& frame);
 
 }  // namespace botmeter::viz

@@ -146,6 +146,66 @@ TEST(DeltaSnapshot, GaugesPassThroughAndResetsClamp) {
   EXPECT_EQ(delta.gauges[0].value, 2.0);  // point-in-time, never subtracted
 }
 
+double rate_gauge(const MetricsRegistry::Snapshot& snapshot,
+                  const std::string& name, const std::string& label = "") {
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == name && gauge.label == label) return gauge.value;
+  }
+  ADD_FAILURE() << "missing rate gauge " << name << "/" << label;
+  return -1.0;
+}
+
+TEST(RateTracker, DerivesPerSecondGaugesAcrossTicks) {
+  MetricsRegistry registry;
+  Counter& tuples = registry.counter("stream.ingested");
+  Counter& labeled = registry.counter("stream.ingested", "epoch_0");
+  RateTracker rates({"stream.ingested", "stream.closed_epochs"});
+
+  tuples.add(100);
+  MetricsRegistry::Snapshot first = registry.snapshot();
+  rates.tick(first, 1000.0);
+  // The first tick has no baseline: the series exists, at 0.
+  EXPECT_EQ(rate_gauge(first, "stream.ingested.per_sec"), 0.0);
+  // Tracked-but-absent counters still materialize a 0 series.
+  EXPECT_EQ(rate_gauge(first, "stream.closed_epochs.per_sec"), 0.0);
+
+  tuples.add(50);
+  labeled.add(10);
+  MetricsRegistry::Snapshot second = registry.snapshot();
+  rates.tick(second, 3000.0);  // 2 s after the first tick
+  EXPECT_DOUBLE_EQ(rate_gauge(second, "stream.ingested.per_sec"), 25.0);
+  EXPECT_DOUBLE_EQ(rate_gauge(second, "stream.ingested.per_sec", "epoch_0"),
+                   5.0);
+
+  // The baseline advances on every tick — and never includes the synthetic
+  // gauges themselves, so rates do not feed back into later deltas.
+  MetricsRegistry::Snapshot third = registry.snapshot();
+  rates.tick(third, 4000.0);
+  EXPECT_DOUBLE_EQ(rate_gauge(third, "stream.ingested.per_sec"), 0.0);
+
+  // Gauge list stays sorted, so exposition order is deterministic.
+  for (std::size_t i = 1; i < third.gauges.size(); ++i) {
+    const bool ordered =
+        third.gauges[i - 1].name < third.gauges[i].name ||
+        (third.gauges[i - 1].name == third.gauges[i].name &&
+         third.gauges[i - 1].label <= third.gauges[i].label);
+    EXPECT_TRUE(ordered) << "gauges out of order at " << i;
+  }
+}
+
+TEST(RateTracker, NonPositiveTimeStepReportsZero) {
+  MetricsRegistry registry;
+  Counter& tuples = registry.counter("stream.ingested");
+  RateTracker rates({"stream.ingested"});
+  tuples.add(1);
+  MetricsRegistry::Snapshot first = registry.snapshot();
+  rates.tick(first, 500.0);
+  tuples.add(99);
+  MetricsRegistry::Snapshot second = registry.snapshot();
+  rates.tick(second, 500.0);  // clock did not advance
+  EXPECT_EQ(rate_gauge(second, "stream.ingested.per_sec"), 0.0);
+}
+
 TEST(ExponentialBounds, GeneratesGeometricSeries) {
   const std::vector<double> bounds = exponential_bounds(0.25, 2.0, 4);
   ASSERT_EQ(bounds.size(), 4u);

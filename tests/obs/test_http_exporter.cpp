@@ -61,10 +61,10 @@ std::string body_of(const std::string& response) {
 TEST(HttpExporter, ServesRoutesOnEphemeralPort) {
   HttpExporterConfig config;  // port 0
   std::map<std::string, HttpExporter::Handler> routes;
-  routes["/metrics"] = [] {
+  routes["/metrics"] = [](const HttpRequest&) {
     return HttpResponse{200, kPrometheusContentType, "up 1\n"};
   };
-  routes["/healthz"] = [] {
+  routes["/healthz"] = [](const HttpRequest&) {
     return HttpResponse{200, "text/plain; charset=utf-8", "status: ok\n"};
   };
   HttpExporter exporter(config, std::move(routes));
@@ -83,7 +83,7 @@ TEST(HttpExporter, ServesRoutesOnEphemeralPort) {
 
 TEST(HttpExporter, UnknownPathIs404AndNonGetIs405) {
   HttpExporter exporter(HttpExporterConfig{},
-                        {{"/metrics", [] { return HttpResponse{}; }}});
+                        {{"/metrics", [](const HttpRequest&) { return HttpResponse{}; }}});
   EXPECT_NE(http_get(exporter.port(), "/nope").find("HTTP/1.1 404"),
             std::string::npos);
   EXPECT_NE(raw_request(exporter.port(), "POST /metrics HTTP/1.1\r\n\r\n")
@@ -94,15 +94,37 @@ TEST(HttpExporter, UnknownPathIs404AndNonGetIs405) {
 TEST(HttpExporter, QueryStringsResolveToTheBarePath) {
   HttpExporter exporter(
       HttpExporterConfig{},
-      {{"/metrics", [] { return HttpResponse{200, "text/plain", "ok"}; }}});
+      {{"/metrics", [](const HttpRequest&) { return HttpResponse{200, "text/plain", "ok"}; }}});
   EXPECT_NE(http_get(exporter.port(), "/metrics?format=prometheus")
                 .find("HTTP/1.1 200"),
             std::string::npos);
 }
 
+TEST(HttpExporter, HandlersReceiveDecodedQueryParameters) {
+  HttpExporter exporter(
+      HttpExporterConfig{},
+      {{"/echo", [](const HttpRequest& request) {
+          std::string body = request.path + "\n";
+          body += "from=" + request.param("from").value_or("<absent>") + "\n";
+          body += "family=" + request.param("family").value_or("<absent>") + "\n";
+          body += std::string("bare=") +
+                  (request.param("bare") ? "<set>" : "<absent>") + "\n";
+          body += "nope=" + request.param("nope").value_or("<absent>") + "\n";
+          return HttpResponse{200, "text/plain", body};
+        }}});
+  const std::string response = http_get(
+      exporter.port(), "/echo?from=-3&family=new%47oZ%20x&bare&=orphan");
+  EXPECT_EQ(body_of(response),
+            "/echo\n"
+            "from=-3\n"
+            "family=newGoZ x\n"  // %47 -> 'G', %20 -> ' '
+            "bare=<set>\n"       // bare key: present with empty value
+            "nope=<absent>\n");
+}
+
 TEST(HttpExporter, MalformedAndOversizedRequestsAre400) {
   HttpExporter exporter(HttpExporterConfig{},
-                        {{"/metrics", [] { return HttpResponse{}; }}});
+                        {{"/metrics", [](const HttpRequest&) { return HttpResponse{}; }}});
   EXPECT_NE(raw_request(exporter.port(), "NONSENSE\r\n\r\n")
                 .find("HTTP/1.1 400"),
             std::string::npos);
@@ -116,8 +138,9 @@ TEST(HttpExporter, MalformedAndOversizedRequestsAre400) {
 TEST(HttpExporter, UnhealthyStatusPassesThrough) {
   HttpExporter exporter(
       HttpExporterConfig{},
-      {{"/healthz",
-        [] { return HttpResponse{503, "text/plain", "status: unhealthy\n"}; }}});
+      {{"/healthz", [](const HttpRequest&) {
+          return HttpResponse{503, "text/plain", "status: unhealthy\n"};
+        }}});
   const std::string response = http_get(exporter.port(), "/healthz");
   EXPECT_NE(response.find("HTTP/1.1 503 Service Unavailable"),
             std::string::npos);
@@ -135,7 +158,7 @@ TEST(HttpExporter, ScrapesLiveRegistryWhileInstrumentedThreadWrites) {
 
   HttpExporter exporter(
       HttpExporterConfig{},
-      {{"/metrics", [&registry] {
+      {{"/metrics", [&registry](const HttpRequest&) {
           return HttpResponse{200, kPrometheusContentType,
                               expose_prometheus(registry.snapshot())};
         }}});
@@ -170,7 +193,7 @@ TEST(HttpExporter, StopIsIdempotentAndReleasesThePort) {
   HttpExporterConfig config;
   auto exporter = std::make_unique<HttpExporter>(
       config, std::map<std::string, HttpExporter::Handler>{
-                  {"/metrics", [] { return HttpResponse{}; }}});
+                  {"/metrics", [](const HttpRequest&) { return HttpResponse{}; }}});
   const std::uint16_t port = exporter->port();
   exporter->stop();
   exporter->stop();  // second stop: no-op
@@ -178,7 +201,7 @@ TEST(HttpExporter, StopIsIdempotentAndReleasesThePort) {
 
   // The port must be rebindable immediately after shutdown.
   config.port = port;
-  HttpExporter rebound(config, {{"/metrics", [] { return HttpResponse{}; }}});
+  HttpExporter rebound(config, {{"/metrics", [](const HttpRequest&) { return HttpResponse{}; }}});
   EXPECT_EQ(rebound.port(), port);
 }
 

@@ -1,0 +1,273 @@
+// LandscapeHistory: delta-encoded recording, two-tier retention, the
+// window/series/summary queries, the canonical landscape_series.v1 documents,
+// and the parse round trip.
+#include "obs/landscape_history.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace botmeter::obs {
+namespace {
+
+LandscapeCell cell(double population, std::uint64_t matched,
+                   bool with_interval = true) {
+  LandscapeCell c;
+  c.population = population;
+  c.matched = matched;
+  if (with_interval) c.interval90 = {population - 1.0, population + 1.0};
+  return c;
+}
+
+LandscapeEpochRecord row_of(std::int64_t epoch,
+                            std::vector<LandscapeCell> servers,
+                            std::optional<std::string> health = std::nullopt) {
+  LandscapeEpochRecord row;
+  row.epoch = epoch;
+  row.family = "newGoZ";
+  row.estimator = "bernoulli";
+  row.servers = std::move(servers);
+  row.health = std::move(health);
+  return row;
+}
+
+TEST(LandscapeHistory, RecordsAndExposesLatest) {
+  LandscapeHistory history;
+  EXPECT_FALSE(history.latest().has_value());
+  EXPECT_FALSE(history.summary().has_value());
+
+  history.record(row_of(3, {cell(10.0, 100), cell(20.0, 200)}, "ok"));
+  history.record(row_of(4, {cell(11.0, 110), cell(20.0, 200)}, "degraded"));
+
+  EXPECT_EQ(history.epochs_recorded(), 2u);
+  const auto latest = history.latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->epoch, 4);
+  EXPECT_EQ(latest->tier, "recent");
+  ASSERT_EQ(latest->servers.size(), 2u);
+  EXPECT_DOUBLE_EQ(latest->servers[0].population, 11.0);
+  EXPECT_DOUBLE_EQ(latest->total_population(), 31.0);
+  EXPECT_EQ(latest->total_matched(), 310u);
+  EXPECT_EQ(latest->health, std::optional<std::string>("degraded"));
+}
+
+TEST(LandscapeHistory, DeltaEncodingStoresOnlyChangedCells) {
+  LandscapeHistory history;
+  history.record(row_of(0, {cell(10.0, 1), cell(20.0, 2), cell(30.0, 3)}));
+  // Only server 1 moves: the entry should carry exactly one cell.
+  auto next = row_of(1, {cell(10.0, 1), cell(21.0, 2), cell(30.0, 3)});
+  history.record(next);
+
+  const auto summary = history.summary();
+  ASSERT_TRUE(summary.has_value());
+  // 3 cells for the first (all-change vs default) row + 1 changed cell.
+  EXPECT_EQ(summary->stored_cells, 4u);
+  EXPECT_EQ(summary->epochs_retained, 2u);
+  EXPECT_DOUBLE_EQ(summary->latest_total_population, 61.0);
+  EXPECT_DOUBLE_EQ(summary->interval_coverage, 1.0);
+  EXPECT_DOUBLE_EQ(summary->mean_ci_width, 2.0);
+}
+
+TEST(LandscapeHistory, WindowAndSeriesFilterByEpoch) {
+  LandscapeHistory history;
+  for (std::int64_t e = 0; e < 6; ++e) {
+    history.record(
+        row_of(e, {cell(10.0 + static_cast<double>(e), 100), cell(5.0, 50)}));
+  }
+
+  const auto window = history.window(2, 4);
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_EQ(window.front().epoch, 2);
+  EXPECT_EQ(window.back().epoch, 4);
+  EXPECT_DOUBLE_EQ(window[1].servers[0].population, 13.0);
+  // Unchanged cells reconstruct through the deltas.
+  EXPECT_DOUBLE_EQ(window[1].servers[1].population, 5.0);
+
+  const auto series = history.series(0, 0, 99);
+  ASSERT_EQ(series.size(), 6u);
+  EXPECT_DOUBLE_EQ(series.back().cell.population, 15.0);
+  EXPECT_THROW((void)history.series(2, 0, 99), ConfigError);
+}
+
+TEST(LandscapeHistory, EvictionCoarsensByStride) {
+  LandscapeHistoryConfig config;
+  config.retain_recent = 3;
+  config.retain_coarse = 2;
+  config.coarse_stride = 2;
+  LandscapeHistory history(config);
+  for (std::int64_t e = 0; e < 10; ++e) {
+    history.record(row_of(e, {cell(10.0 + static_cast<double>(e), 100)}));
+  }
+
+  // Epochs 0..6 were evicted; only even ones survive, bounded to the last 2.
+  const auto window = history.window(0, 99);
+  std::vector<std::int64_t> epochs;
+  std::vector<std::string> tiers;
+  for (const LandscapeSnapshot& snap : window) {
+    epochs.push_back(snap.epoch);
+    tiers.push_back(snap.tier);
+  }
+  EXPECT_EQ(epochs, (std::vector<std::int64_t>{4, 6, 7, 8, 9}));
+  EXPECT_EQ(tiers, (std::vector<std::string>{"coarse", "coarse", "recent",
+                                             "recent", "recent"}));
+  // Coarse rows are full reconstructions, not bare deltas.
+  EXPECT_DOUBLE_EQ(window[0].servers[0].population, 14.0);
+
+  const auto summary = history.summary();
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(summary->epochs_recorded, 10u);
+  EXPECT_EQ(summary->epochs_retained, 5u);
+  EXPECT_EQ(summary->first_retained_epoch, 4);
+  EXPECT_EQ(summary->last_epoch, 9);
+}
+
+TEST(LandscapeHistory, ToJsonParsesBackToTheRetainedWindow) {
+  LandscapeHistoryConfig config;
+  config.retain_recent = 4;
+  config.retain_coarse = 8;
+  config.coarse_stride = 2;
+  LandscapeHistory history(config);
+  for (std::int64_t e = 0; e < 9; ++e) {
+    std::optional<std::string> health =
+        e % 2 == 0 ? std::optional<std::string>("ok") : std::nullopt;
+    const double fe = static_cast<double>(e);
+    history.record(
+        row_of(e,
+               {cell(10.0 + fe, 100 + static_cast<std::uint64_t>(e)),
+                cell(0.5 * fe, 7, /*with_interval=*/false)},
+               health));
+  }
+
+  const json::Value doc = history.to_json();
+  EXPECT_EQ(doc.at("schema").as_string(), "botmeter.landscape_series.v1");
+  EXPECT_EQ(doc.at("family").as_string(), "newGoZ");
+  EXPECT_EQ(doc.at("server_count").as_int(), 2);
+  EXPECT_EQ(doc.at("retention").at("coarse_stride").as_int(), 2);
+  // Byte-stable writer: same state, same bytes.
+  EXPECT_EQ(json::write(doc), json::write(history.to_json()));
+
+  const LandscapeSeries series = parse_landscape_series(doc);
+  EXPECT_EQ(series.family, "newGoZ");
+  EXPECT_EQ(series.estimator, "bernoulli");
+  EXPECT_EQ(series.server_count, 2u);
+  EXPECT_EQ(series.epochs_recorded, 9u);
+  // The parse reconstructs exactly the retained window.
+  const auto window = history.window(
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max());
+  ASSERT_EQ(series.snapshots.size(), window.size());
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    EXPECT_EQ(series.snapshots[i], window[i]) << "snapshot " << i;
+  }
+  // The first recent entry is materialized full, so the document is
+  // self-contained even after eviction.
+  const json::Array& entries = doc.at("entries").as_array();
+  for (const json::Value& entry : entries) {
+    if (entry.at("tier").as_string() == "recent") {
+      EXPECT_EQ(entry.at("encoding").as_string(), "full");
+      break;
+    }
+  }
+}
+
+TEST(LandscapeHistory, LatestAndWindowDocuments) {
+  LandscapeHistory history;
+  history.record(row_of(0, {cell(10.0, 1), cell(0.0, 0, false)}));
+  history.record(row_of(1, {cell(12.0, 2), cell(3.0, 4)}));
+
+  const json::Value latest = history.latest_json();
+  ASSERT_EQ(latest.at("entries").as_array().size(), 1u);
+  const LandscapeSeries latest_series = parse_landscape_series(latest);
+  ASSERT_EQ(latest_series.snapshots.size(), 1u);
+  EXPECT_EQ(latest_series.snapshots[0].epoch, 1);
+  EXPECT_DOUBLE_EQ(latest_series.snapshots[0].total_population(), 15.0);
+
+  // Narrowed to one server: every entry carries at most that server's cell.
+  const json::Value narrowed = history.window_json(1, 0, 99);
+  EXPECT_EQ(narrowed.at("server").as_int(), 1);
+  const LandscapeSeries narrowed_series = parse_landscape_series(narrowed);
+  ASSERT_EQ(narrowed_series.snapshots.size(), 2u);
+  EXPECT_DOUBLE_EQ(narrowed_series.snapshots[1].servers[1].population, 3.0);
+  EXPECT_DOUBLE_EQ(narrowed_series.snapshots[1].servers[0].population, 0.0);
+  EXPECT_THROW((void)history.window_json(9, 0, 99), ConfigError);
+
+  const json::Value summary = history.summary_json();
+  EXPECT_EQ(summary.at("schema").as_string(),
+            "botmeter.landscape_summary.v1");
+  EXPECT_DOUBLE_EQ(summary.at("total_population").as_double(), 15.0);
+  EXPECT_EQ(summary.at("dense_cells").as_int(), 4);
+}
+
+TEST(LandscapeHistory, RejectsIdentityAndOrderViolations) {
+  LandscapeHistory history;
+  EXPECT_THROW(history.record(row_of(0, {})), ConfigError);
+  history.record(row_of(5, {cell(1.0, 1)}));
+
+  auto other_family = row_of(6, {cell(1.0, 1)});
+  other_family.family = "Ramnit";
+  EXPECT_THROW(history.record(other_family), ConfigError);
+
+  EXPECT_THROW(history.record(row_of(6, {cell(1.0, 1), cell(2.0, 2)})),
+               ConfigError);
+  EXPECT_THROW(history.record(row_of(5, {cell(1.0, 1)})), ConfigError);
+  EXPECT_THROW(history.record(row_of(4, {cell(1.0, 1)})), ConfigError);
+
+  LandscapeHistoryConfig bad;
+  bad.retain_recent = 0;
+  EXPECT_THROW(LandscapeHistory{bad}, ConfigError);
+  bad.retain_recent = 1;
+  bad.coarse_stride = 0;
+  EXPECT_THROW(LandscapeHistory{bad}, ConfigError);
+}
+
+TEST(ParseLandscapeSeries, RejectsMalformedDocuments) {
+  const auto doc_with = [](const std::string& entries) {
+    return json::parse(
+        "{\"schema\":\"botmeter.landscape_series.v1\",\"family\":\"f\","
+        "\"estimator\":\"e\",\"server_count\":2,\"epochs_recorded\":1,"
+        "\"entries\":[" + entries + "]}");
+  };
+
+  EXPECT_THROW((void)parse_landscape_series(json::parse(
+                   "{\"schema\":\"botmeter.unknown.v9\"}")),
+               DataError);
+  // A delta entry with no predecessor cannot be reconstructed.
+  EXPECT_THROW(
+      (void)parse_landscape_series(doc_with(
+          "{\"cells\":[],\"encoding\":\"delta\",\"epoch\":0,\"tier\":\"recent\"}")),
+      DataError);
+  EXPECT_THROW(
+      (void)parse_landscape_series(doc_with(
+          "{\"cells\":[],\"encoding\":\"rle\",\"epoch\":0,\"tier\":\"recent\"}")),
+      DataError);
+  EXPECT_THROW(
+      (void)parse_landscape_series(doc_with(
+          "{\"cells\":[],\"encoding\":\"full\",\"epoch\":0,\"tier\":\"hot\"}")),
+      DataError);
+  // Server id outside the declared width.
+  EXPECT_THROW(
+      (void)parse_landscape_series(doc_with(
+          "{\"cells\":[{\"server\":2,\"population\":1,\"matched\":0}],"
+          "\"encoding\":\"full\",\"epoch\":0,\"tier\":\"recent\"}")),
+      DataError);
+  // A lone interval bound.
+  EXPECT_THROW(
+      (void)parse_landscape_series(doc_with(
+          "{\"cells\":[{\"server\":0,\"population\":1,\"matched\":0,"
+          "\"lo\":0.5}],\"encoding\":\"full\",\"epoch\":0,\"tier\":\"recent\"}")),
+      DataError);
+  // Epochs must be strictly increasing.
+  EXPECT_THROW(
+      (void)parse_landscape_series(doc_with(
+          "{\"cells\":[],\"encoding\":\"full\",\"epoch\":3,\"tier\":\"recent\"},"
+          "{\"cells\":[],\"encoding\":\"full\",\"epoch\":3,\"tier\":\"recent\"}")),
+      DataError);
+}
+
+}  // namespace
+}  // namespace botmeter::obs

@@ -9,6 +9,7 @@
 
 #include "botnet/simulator.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "dga/families.hpp"
 #include "obs/metrics.hpp"
 #include "stream/stream_engine.hpp"
@@ -120,6 +121,36 @@ TEST(StreamHealthMonitor, RendersStateAndSignals) {
   EXPECT_NE(text.find("late_dropped: 10"), std::string::npos);
 }
 
+TEST(StreamHealthMonitor, RendersJsonSignalVector) {
+  StreamHealthMonitor monitor(tight_config());
+  StreamHealthSignals signals;
+  signals.watermark_lag_ms = 42.5;
+  signals.late_rate = 0.25;
+  signals.open_buffer_bytes = 4096;
+  signals.ingested = 100;
+  signals.matched = 30;
+  signals.late_dropped = 10;
+  signals.epochs_closed = 3;
+  signals.last_close_ms = 1.5;
+  monitor.evaluate(signals, 0.0);
+
+  const json::Value doc = json::parse(monitor.render_json());
+  EXPECT_EQ(doc.at("schema").as_string(), "botmeter.healthz.v1");
+  EXPECT_EQ(doc.at("status").as_string(), "degraded");
+  EXPECT_DOUBLE_EQ(doc.at("watermark_lag_ms").as_double(), 42.5);
+  EXPECT_DOUBLE_EQ(doc.at("late_rate").as_double(), 0.25);
+  EXPECT_EQ(doc.at("open_buffer_bytes").as_int(), 4096);
+  EXPECT_EQ(doc.at("ingested").as_int(), 100);
+  EXPECT_EQ(doc.at("late_dropped").as_int(), 10);
+  EXPECT_EQ(doc.at("epochs_closed").as_int(), 3);
+  EXPECT_DOUBLE_EQ(doc.at("last_close_ms").as_double(), 1.5);
+
+  // Before any epoch close, last_close_ms is explicitly null (never absent).
+  StreamHealthMonitor fresh(tight_config());
+  fresh.evaluate(ok_signals(), 0.0);
+  EXPECT_TRUE(json::parse(fresh.render_json()).at("last_close_ms").is_null());
+}
+
 TEST(StreamHealthMonitor, PublishesGaugesIntoTheRegistry) {
   obs::MetricsRegistry metrics;
   StreamHealthMonitor monitor(tight_config(), &metrics);
@@ -198,6 +229,8 @@ TEST(StreamHealthMonitor, SampleObservesCloseLatenciesExactlyOnce) {
   // Late-rate signal comes straight from the engine's counters.
   EXPECT_EQ(monitor.last_signals().matched, engine.matched());
   EXPECT_EQ(monitor.last_signals().late_rate, 0.0);
+  EXPECT_EQ(monitor.last_signals().epochs_closed, 2u);
+  EXPECT_TRUE(monitor.last_signals().last_close_ms.has_value());
 }
 
 TEST(HealthStateName, NamesAllStates) {

@@ -64,6 +64,59 @@ TEST(SeriesViewTest, EmptySeriesHandled) {
   EXPECT_NE(view.find("min 0.0 last 0.0 max 0.0"), std::string::npos);
 }
 
+TEST(TopFrameTest, RendersHeaderTotalAndServerRows) {
+  TopFrame frame;
+  frame.family = "newGoZ";
+  frame.estimator = "bernoulli";
+  frame.health = "degraded";
+  frame.epochs = {40, 41, 42};
+  frame.server_labels = {"server-0", "server-1"};
+  frame.populations = {{1.0, 2.0, 3.0}, {10.0, 10.0, 20.0}};
+
+  const std::string view = render_top(frame);
+  EXPECT_NE(view.find("newGoZ"), std::string::npos);
+  EXPECT_NE(view.find("bernoulli"), std::string::npos);
+  EXPECT_NE(view.find("[health: degraded]"), std::string::npos);
+  EXPECT_NE(view.find("epochs 40..42"), std::string::npos);
+  EXPECT_NE(view.find("total 23.0"), std::string::npos);  // 3 + 20
+  // Totals row, then one row per server in declared order.
+  const std::size_t total_row = view.find("total ");
+  const std::size_t s0 = view.find("server-0");
+  const std::size_t s1 = view.find("server-1");
+  ASSERT_NE(s0, std::string::npos);
+  ASSERT_NE(s1, std::string::npos);
+  EXPECT_LT(total_row, s0);
+  EXPECT_LT(s0, s1);
+  EXPECT_NE(view.find("min 1.0 last 3.0 max 3.0"), std::string::npos);
+  EXPECT_NE(view.find("min 10.0 last 20.0 max 20.0"), std::string::npos);
+  // Pure 7-bit ASCII: safe for any terminal or CI log.
+  for (const char c : view) {
+    EXPECT_TRUE(c == '\n' || (c >= 0x20 && c < 0x7f)) << "byte " << int(c);
+  }
+}
+
+TEST(TopFrameTest, HealthOmittedWhenAbsent) {
+  TopFrame frame;
+  frame.family = "Ramnit";
+  frame.estimator = "poisson";
+  frame.epochs = {0};
+  frame.server_labels = {"server-0"};
+  frame.populations = {{5.0}};
+  const std::string view = render_top(frame);
+  EXPECT_EQ(view.find("[health:"), std::string::npos);
+}
+
+TEST(TopFrameTest, RejectsRaggedDimensions) {
+  TopFrame frame;
+  frame.epochs = {0, 1};
+  frame.server_labels = {"server-0"};
+  frame.populations = {{1.0}};  // row narrower than the epoch window
+  EXPECT_THROW((void)render_top(frame), ConfigError);
+
+  frame.populations = {{1.0, 2.0}, {3.0, 4.0}};  // more rows than labels
+  EXPECT_THROW((void)render_top(frame), ConfigError);
+}
+
 TEST(ThreatGridTest, RendersHeatmap) {
   const std::string view = render_threat_grid(
       {"site-a", "site-b"}, {"newGoZ", "Ramnit"}, {{10.0, 0.0}, {5.0, 10.0}});

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "cli_util.hpp"
 #include "common/parallel.hpp"
@@ -21,6 +22,7 @@
 #include "dga/config_io.hpp"
 #include "dga/families.hpp"
 #include "estimators/library.hpp"
+#include "obs/landscape_history.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -36,7 +38,7 @@ constexpr const char* kUsage =
     "         [--epochs n] [--first-epoch e] [--neg-ttl-min m]\n"
     "         [--miss-rate x] [--assume-miss x] [--trace file] [--binary]\n"
     "         [--viz] [--metrics-out file] [--trace-timing] [--trace-out file]\n"
-    "         [--threads n]\n"
+    "         [--threads n] [--history-out file] [--history-retain n]\n"
     "reads the observable (border) trace from --trace or stdin. Binary\n"
     "columnar traces (botmeter.trace_block.v1, see botmeter_trace_convert)\n"
     "are detected automatically for --trace files; --binary forces the\n"
@@ -46,7 +48,11 @@ constexpr const char* kUsage =
     "--trace-timing prints the phase timing table to stderr.\n"
     "--threads shards matching and per-server estimation over n threads\n"
     "(1 = serial, 0 = all cores); the landscape is bit-identical for every\n"
-    "value.\n";
+    "value.\n"
+    "--history-out writes the per-epoch landscape series\n"
+    "(botmeter.landscape_series.v1 — the same document botmeter_stream\n"
+    "records at its epoch closes, byte-identical for the same trace);\n"
+    "--history-retain bounds the full-resolution ring (default 4096).\n";
 
 botmeter::dga::DgaConfig config_from_file(const std::string& path) {
   std::ifstream file(path);
@@ -86,7 +92,8 @@ int main(int argc, char** argv) {
                         {"--family", "--config", "--estimator", "--servers", "--trace-out",
                          "--epochs", "--first-epoch", "--neg-ttl-min",
                          "--miss-rate", "--assume-miss", "--trace",
-                         "--metrics-out", "--threads"},
+                         "--metrics-out", "--threads", "--history-out",
+                         "--history-retain"},
                         {"--help", "--viz", "--trace-timing", "--binary"});
     if (args.flag("--help")) {
       std::fputs(kUsage, stdout);
@@ -140,12 +147,31 @@ int main(int argc, char** argv) {
       config.trace = &trace_session;
     }
 
+    const auto history_path = args.value("--history-out");
+    std::optional<obs::LandscapeHistory> history;
+    if (history_path) {
+      obs::LandscapeHistoryConfig history_config;
+      history_config.retain_recent = static_cast<std::size_t>(args.int_or(
+          "--history-retain",
+          static_cast<std::int64_t>(history_config.retain_recent)));
+      history.emplace(history_config);
+      config.history = &*history;
+    }
+
     core::BotMeter meter(config);
     {
       obs::ScopedTimer prepare_timer(config.trace, "analyze.prepare");
       meter.prepare_epochs(first_epoch, epochs);
     }
     const core::LandscapeReport report = meter.analyze(stream, server_count);
+
+    if (history_path) {
+      std::ofstream file(*history_path);
+      if (!file) throw DataError("cannot open " + *history_path);
+      file << json::write_pretty(history->to_json());
+      std::fprintf(stderr, "landscape history written to %s\n",
+                   history_path->c_str());
+    }
 
     if (metrics_path) {
       obs::RunReport run_report;

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -30,6 +31,7 @@
 #include "dga/families.hpp"
 #include "obs/expose.hpp"
 #include "obs/http_exporter.hpp"
+#include "obs/landscape_history.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -51,6 +53,7 @@ constexpr const char* kUsage =
     "         [--checkpoint-in file] [--checkpoint-out file] [--no-final]\n"
     "         [--metrics-out file] [--trace-timing] [--trace-out file] [--viz]\n"
     "         [--listen port] [--listen-port-file file] [--linger-ms n]\n"
+    "         [--history-out file] [--history-retain n]\n"
     "         [--health-degraded-lag-ms n] [--health-unhealthy-lag-ms n]\n"
     "         [--health-degraded-late-rate x] [--health-unhealthy-late-rate x]\n"
     "         [--health-recovery-hold-ms n]\n"
@@ -69,10 +72,20 @@ constexpr const char* kUsage =
     "--metrics-out writes a botmeter.run_report.v1 JSON document (ingest\n"
     "throughput, per-epoch flush latency, resident state size).\n"
     "--listen serves live telemetry while the run is in flight: GET /metrics\n"
-    "is the Prometheus text exposition of the run's registry, GET /healthz\n"
-    "the stream health state (ok/degraded -> 200, unhealthy -> 503). Port 0\n"
-    "binds an ephemeral port; --listen-port-file writes the bound port (for\n"
-    "scripts), --linger-ms keeps serving that long after the run finishes.\n"
+    "is the Prometheus text exposition of the run's registry (including\n"
+    "derived *.per_sec rate gauges), GET /healthz the stream health state\n"
+    "(ok/degraded -> 200, unhealthy -> 503; add ?format=json for the full\n"
+    "signal vector as JSON), GET /landscape the latest per-server snapshot,\n"
+    "GET /landscape/history?server=&from=&to= the retained epoch series, and\n"
+    "GET /landscape/summary per-family totals with CI-quality telemetry —\n"
+    "all landscape documents in the botmeter.landscape_series.v1 schema.\n"
+    "Port 0 binds an ephemeral port; --listen-port-file writes the bound\n"
+    "port (for scripts), --linger-ms keeps serving that long after the run\n"
+    "finishes.\n"
+    "--history-out writes the retained landscape series (recent epochs\n"
+    "delta-encoded, older epochs coarsened) after the run; --history-retain\n"
+    "bounds the full-resolution ring (default 4096 epochs). botmeter_top\n"
+    "renders either the live endpoint or the written file.\n"
     "--trace-out writes the span trace as Chrome trace_event JSON — open it\n"
     "in Perfetto (ui.perfetto.dev) or chrome://tracing.\n";
 
@@ -117,7 +130,8 @@ int main(int argc, char** argv) {
          "--threads", "--lateness-ms", "--trace", "--bots", "--seed",
          "--granularity-ms", "--checkpoint-in", "--checkpoint-out",
          "--metrics-out", "--trace-out", "--listen", "--listen-port-file",
-         "--linger-ms", "--health-degraded-lag-ms", "--health-unhealthy-lag-ms",
+         "--linger-ms", "--history-out", "--history-retain",
+         "--health-degraded-lag-ms", "--health-unhealthy-lag-ms",
          "--health-degraded-late-rate", "--health-unhealthy-late-rate",
          "--health-recovery-hold-ms"},
         {"--help", "--simulate", "--no-final", "--viz", "--trace-timing",
@@ -164,12 +178,11 @@ int main(int argc, char** argv) {
       config.meter.trace = &trace_session;
     }
 
-    stream::StreamEngine engine(config);
-
     // Live telemetry: health monitor fed from the ingest thread, scrape
     // endpoint served from the exporter's own thread. The exporter only
-    // reads registry snapshots and the monitor's last state — it never
-    // touches the engine, so attaching it cannot perturb results.
+    // reads registry snapshots, the monitor's last state, and
+    // copy-under-mutex landscape history documents — it never touches the
+    // engine, so attaching it cannot perturb results.
     stream::StreamHealthConfig health_config;
     health_config.degraded_watermark_lag_ms =
         args.double_or("--health-degraded-lag-ms",
@@ -191,26 +204,102 @@ int main(int argc, char** argv) {
           .count();
     };
 
+    // Landscape time-series history: recorded by the engine at every epoch
+    // close, queried live through the exporter and/or written after the run.
+    const auto history_path = args.value("--history-out");
+    std::optional<obs::LandscapeHistory> history;
+    if (history_path || listen_port) {
+      obs::LandscapeHistoryConfig history_config;
+      history_config.retain_recent = static_cast<std::size_t>(args.int_or(
+          "--history-retain",
+          static_cast<std::int64_t>(history_config.retain_recent)));
+      history.emplace(history_config);
+      config.history = &*history;
+    }
+
     std::optional<stream::StreamHealthMonitor> monitor;
-    std::unique_ptr<obs::HttpExporter> exporter;
     if (listen_port) {
       monitor.emplace(health_config, &metrics);
+      // Stamp the monitor's state onto each history row at close time.
+      config.health = &*monitor;
+    }
+
+    stream::StreamEngine engine(config);
+
+    std::unique_ptr<obs::HttpExporter> exporter;
+    // Derived per-second rate gauges, advanced once per /metrics scrape.
+    // tick() runs only on the exporter thread (scrapes are serialized).
+    obs::RateTracker rates({"stream.ingested", "stream.closed_epochs"});
+    if (listen_port) {
       obs::HttpExporterConfig http;
       http.port = static_cast<std::uint16_t>(args.int_or("--listen", 0));
+      const std::string family_name = config.meter.dga.name;
       std::map<std::string, obs::HttpExporter::Handler> routes;
-      routes["/metrics"] = [&metrics] {
+      routes["/metrics"] = [&metrics, &rates,
+                            wall_ms](const obs::HttpRequest&) {
         obs::HttpResponse response;
         response.content_type = obs::kPrometheusContentType;
-        response.body = obs::expose_prometheus(metrics.snapshot());
+        obs::MetricsRegistry::Snapshot snapshot = metrics.snapshot();
+        rates.tick(snapshot, wall_ms());
+        response.body = obs::expose_prometheus(snapshot);
         return response;
       };
-      routes["/healthz"] = [&monitor] {
+      routes["/healthz"] = [&monitor](const obs::HttpRequest& request) {
         obs::HttpResponse response;
         response.status =
             monitor->state() == stream::HealthState::kUnhealthy ? 503 : 200;
-        response.body = monitor->render();
+        if (request.param("format").value_or("") == "json") {
+          response.content_type = "application/json; charset=utf-8";
+          response.body = monitor->render_json() + "\n";
+        } else {
+          response.body = monitor->render();
+        }
         return response;
       };
+      const auto json_response = [](std::string body) {
+        obs::HttpResponse response;
+        response.content_type = "application/json; charset=utf-8";
+        response.body = std::move(body) + "\n";
+        return response;
+      };
+      routes["/landscape"] = [&history, json_response](const obs::HttpRequest&) {
+        return json_response(json::write(history->latest_json()));
+      };
+      routes["/landscape/history"] = [&history, json_response, family_name](
+                                         const obs::HttpRequest& request) {
+        try {
+          if (const auto family = request.param("family");
+              family && !family->empty() && *family != family_name) {
+            obs::HttpResponse response;
+            response.status = 404;
+            response.body = "unknown family '" + *family + "'; this run is " +
+                            family_name + "\n";
+            return response;
+          }
+          std::optional<std::uint32_t> server;
+          if (const auto s = request.param("server"); s && !s->empty()) {
+            server = static_cast<std::uint32_t>(std::stoul(*s));
+          }
+          std::int64_t from = std::numeric_limits<std::int64_t>::min();
+          std::int64_t to = std::numeric_limits<std::int64_t>::max();
+          if (const auto f = request.param("from"); f && !f->empty()) {
+            from = std::stoll(*f);
+          }
+          if (const auto t = request.param("to"); t && !t->empty()) {
+            to = std::stoll(*t);
+          }
+          return json_response(json::write(history->window_json(server, from, to)));
+        } catch (const std::exception& e) {
+          obs::HttpResponse response;
+          response.status = 400;
+          response.body = std::string("bad query: ") + e.what() + "\n";
+          return response;
+        }
+      };
+      routes["/landscape/summary"] =
+          [&history, json_response](const obs::HttpRequest&) {
+            return json_response(json::write(history->summary_json()));
+          };
       exporter = std::make_unique<obs::HttpExporter>(http, std::move(routes));
       std::fprintf(stderr, "telemetry: listening on 127.0.0.1:%u\n",
                    exporter->port());
@@ -358,6 +447,14 @@ int main(int argc, char** argv) {
         }
         std::printf("total: %.1f\n", report.total_population());
       }
+    }
+
+    if (history_path) {
+      std::ofstream file(*history_path);
+      if (!file) throw DataError("cannot open " + *history_path);
+      file << json::write_pretty(history->to_json());
+      std::fprintf(stderr, "landscape history written to %s\n",
+                   history_path->c_str());
     }
 
     if (metrics_path) {
