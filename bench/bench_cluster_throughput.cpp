@@ -1,0 +1,265 @@
+// bench_cluster_throughput — multi-border cluster scaling characterisation.
+//
+// Simulates one union border feed, serialises it once in the binary columnar
+// codec, pre-splits it into per-vantage sub-streams with trace::split_blocks
+// (the multi-border deployment shape: one capture per border), then measures
+// ingest throughput of cluster::ClusterRuntime at 1 / 2 / 4 / 8 shards with
+// one producer thread per shard driving its ShardFeed through the zero-copy
+// block path. Best-of-3 per shard count.
+//
+// Two guards:
+//   - byte identity (always enforced): every shard count's final
+//     landscape_to_json document must equal the single StreamEngine's over
+//     the union feed — sharding is a throughput knob, never a result knob;
+//   - scaling floor (enforced only with >= 8 hardware threads): 8 shards
+//     must sustain at least kScalingFloor x the 1-shard throughput. On
+//     smaller hosts the producers and shard threads time-share cores, so the
+//     measured ratio is scheduler behaviour, not cluster behaviour — the
+//     numbers are still reported.
+//
+// The timed window covers decode + scatter + queue + shard-engine ingest:
+// producers join, then the clock stops when every shard's applied-tuple
+// mirror reaches the expected total (the queues are drained). Lateness is
+// stretched past the horizon so epoch closes (estimator work, identical at
+// every shard count) run inside the untimed finish(), exactly as
+// bench_stream_throughput times its codec lanes.
+//
+// Results go to stdout as a table and to BENCH_cluster.json (schema
+// botmeter.bench_cluster.v1); pass an output path as argv[1] to redirect.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "botnet/simulator.hpp"
+#include "cluster/cluster_runtime.hpp"
+#include "common/json.hpp"
+#include "core/botmeter.hpp"
+#include "dga/families.hpp"
+#include "stream/stream_engine.hpp"
+#include "trace/block.hpp"
+#include "trace/split.hpp"
+
+namespace {
+
+using namespace botmeter;
+
+constexpr const char* kFamily = "Murofet";
+constexpr std::uint32_t kBots = 256;
+constexpr std::size_t kServers = 8;
+constexpr std::int64_t kEpochs = 4;
+constexpr int kReps = 3;
+/// 8 shards must beat 1 shard by at least this factor — enforced only when
+/// the host has >= 8 hardware threads (see header comment).
+constexpr double kScalingFloor = 3.0;
+
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Measurement {
+  std::size_t shards = 0;
+  std::size_t tuples = 0;
+  double best_ms = std::numeric_limits<double>::infinity();
+  double tuples_per_sec = 0.0;
+  double speedup_vs_one = 0.0;
+  bool report_identical = false;
+};
+
+json::Value to_json(const Measurement& m) {
+  using json::Value;
+  json::Object o;
+  o.emplace("shards", Value(static_cast<double>(m.shards)));
+  o.emplace("tuples", Value(static_cast<double>(m.tuples)));
+  o.emplace("ingest_ms", Value(m.best_ms));
+  o.emplace("tuples_per_sec", Value(m.tuples_per_sec));
+  o.emplace("speedup_vs_one_shard", Value(m.speedup_vs_one));
+  o.emplace("report_identical", Value(m.report_identical));
+  return Value(std::move(o));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_cluster.json";
+  const dga::DgaConfig family = dga::family_config(kFamily);
+
+  botnet::SimulationConfig sim;
+  sim.dga = family;
+  sim.bot_count = kBots;
+  sim.server_count = kServers;
+  sim.first_epoch = 0;
+  sim.epoch_count = kEpochs;
+  sim.seed = 7;
+  sim.record_raw = false;
+  const botnet::SimulationResult result = botnet::simulate(sim);
+  const std::size_t tuples = result.observable.size();
+
+  // Epoch closes run inside the untimed finish() at every shard count.
+  const Duration lateness{family.epoch.millis() * (kEpochs + 2)};
+
+  // Single-engine reference over the union feed: the byte-identity anchor.
+  std::string reference_report;
+  {
+    stream::StreamEngineConfig config;
+    config.meter.dga = family;
+    config.first_epoch = 0;
+    config.epoch_count = kEpochs;
+    config.server_count = kServers;
+    config.allowed_lateness = lateness;
+    stream::StreamEngine engine(config);
+    engine.ingest(result.observable);
+    reference_report = json::write(core::landscape_to_json(engine.finish()));
+  }
+
+  std::ostringstream union_os;
+  trace::write_blocks(union_os, result.observable);
+  const std::string union_bytes = union_os.str();
+
+  std::printf("cluster scaling: %s, %u bots, %zu servers, %lld epochs, "
+              "%zu tuples (%u hardware threads)\n",
+              kFamily, kBots, kServers, static_cast<long long>(kEpochs),
+              tuples, std::thread::hardware_concurrency());
+  std::printf("%-7s %9s %10s %12s %8s %6s\n", "shards", "tuples", "best_ms",
+              "tuples/s", "speedup", "bytes");
+
+  json::Array results;
+  double one_shard_tps = 0.0;
+  double eight_shard_tps = 0.0;
+  bool all_identical = true;
+  for (const std::size_t shard_count : {1u, 2u, 4u, 8u}) {
+    const cluster::ShardRouter router =
+        cluster::ShardRouter::by_range(kServers, shard_count);
+
+    // Pre-split the union feed into per-vantage binary sub-streams — the
+    // deployment shape (one collector per border), and what lets each
+    // producer decode its own stream without a fan-out bottleneck.
+    std::vector<std::ostringstream> sub_os(shard_count);
+    std::vector<std::ostream*> outs;
+    for (std::ostringstream& os : sub_os) outs.push_back(&os);
+    {
+      std::istringstream is(union_bytes);
+      (void)trace::split_blocks(
+          is, outs, [&router](std::uint32_t s) { return router.shard_of(s); });
+    }
+    std::vector<std::string> sub_bytes;
+    sub_bytes.reserve(shard_count);
+    for (std::ostringstream& os : sub_os) sub_bytes.push_back(os.str());
+
+    Measurement m;
+    m.shards = shard_count;
+    m.tuples = tuples;
+    for (int rep = 0; rep < kReps; ++rep) {
+      cluster::ClusterConfig config;
+      config.meter.dga = family;
+      config.first_epoch = 0;
+      config.epoch_count = kEpochs;
+      config.router = router;
+      config.allowed_lateness = lateness;
+      cluster::ClusterRuntime runtime(std::move(config));
+
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> producers;
+      producers.reserve(shard_count);
+      for (std::size_t i = 0; i < shard_count; ++i) {
+        producers.emplace_back([&runtime, &sub_bytes, i] {
+          cluster::ShardFeed feed = runtime.shard_feed(i);
+          std::istringstream is(sub_bytes[i]);
+          (void)trace::for_each_block(
+              is, [&feed](const dns::LookupColumns& block,
+                          std::span<const std::string_view> table) {
+                feed.ingest_block(block, table);
+              });
+          feed.flush();
+        });
+      }
+      for (std::thread& producer : producers) producer.join();
+      // Clock stops when the queues are drained: every shard's applied-tuple
+      // mirror has reached the sub-stream totals.
+      const auto drained = [&runtime, tuples] {
+        std::uint64_t applied = 0;
+        for (std::size_t i = 0; i < runtime.shard_count(); ++i) {
+          applied += runtime.shard_stats(i).ingested;
+        }
+        return applied == tuples;
+      };
+      while (!drained()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      m.best_ms = std::min(m.best_ms, wall_ms_since(start));
+
+      const std::string report =
+          json::write(core::landscape_to_json(runtime.finish()));
+      m.report_identical = report == reference_report;
+      if (!m.report_identical) break;
+    }
+    all_identical = all_identical && m.report_identical;
+    m.tuples_per_sec =
+        m.best_ms > 0.0 ? static_cast<double>(tuples) / (m.best_ms / 1e3) : 0.0;
+    if (shard_count == 1) one_shard_tps = m.tuples_per_sec;
+    if (shard_count == 8) eight_shard_tps = m.tuples_per_sec;
+    m.speedup_vs_one =
+        one_shard_tps > 0.0 ? m.tuples_per_sec / one_shard_tps : 0.0;
+    std::printf("%-7zu %9zu %10.1f %12.0f %7.2fx %6s\n", m.shards, m.tuples,
+                m.best_ms, m.tuples_per_sec, m.speedup_vs_one,
+                m.report_identical ? "same" : "DIFF");
+    results.push_back(to_json(m));
+  }
+
+  const double scaling =
+      one_shard_tps > 0.0 ? eight_shard_tps / one_shard_tps : 0.0;
+  const bool enforced = std::thread::hardware_concurrency() >= 8;
+  const bool scaling_pass = scaling >= kScalingFloor;
+  std::printf(
+      "scaling: 8 shards at %.2fx the 1-shard throughput (floor %.1fx): %s\n",
+      scaling, kScalingFloor,
+      scaling_pass ? "pass"
+      : enforced   ? "FAIL"
+                   : "below floor (not enforced: fewer than 8 hardware "
+                     "threads — producers and shards time-share cores)");
+
+  json::Object root;
+  root.emplace("schema", json::Value(std::string("botmeter.bench_cluster.v1")));
+  root.emplace("family", json::Value(std::string(kFamily)));
+  root.emplace("tuples", json::Value(static_cast<double>(tuples)));
+  root.emplace("hardware_threads",
+               json::Value(static_cast<double>(
+                   std::thread::hardware_concurrency())));
+  root.emplace("results", json::Value(std::move(results)));
+  root.emplace("scaling_8_vs_1", json::Value(scaling));
+  root.emplace("scaling_floor", json::Value(kScalingFloor));
+  root.emplace("scaling_enforced", json::Value(enforced));
+  root.emplace("scaling_pass", json::Value(scaling_pass));
+  root.emplace("reports_identical", json::Value(all_identical));
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json::write_pretty(json::Value(std::move(root)));
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: a sharded run produced a different landscape than the "
+                 "single engine on the union feed\n");
+    return 1;
+  }
+  if (enforced && !scaling_pass) {
+    std::fprintf(stderr,
+                 "FAIL: 8 shards sustained only %.2fx the 1-shard throughput "
+                 "(floor %.1fx)\n",
+                 scaling, kScalingFloor);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,642 @@
+#include "cluster/cluster_runtime.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "obs/landscape_history.hpp"
+#include "obs/metrics.hpp"
+
+namespace botmeter::cluster {
+
+namespace {
+
+constexpr const char* kCheckpointSchema = "botmeter.cluster_checkpoint.v1";
+constexpr const char* kHealthSchema = "botmeter.cluster_health.v1";
+constexpr std::uint32_t kNoRemap = 0xffffffffu;
+
+template <typename T>
+json::Value number(T v) {
+  return json::Value(static_cast<double>(v));
+}
+
+}  // namespace
+
+void ClusterConfig::validate() const {
+  meter.validate();
+  if (epoch_count <= 0) {
+    throw ConfigError("ClusterConfig: epoch_count must be > 0");
+  }
+  if (router.shard_count() == 0) {
+    throw ConfigError("ClusterConfig: router is empty — build one via "
+                      "ShardRouter::by_range or explicit_assignment");
+  }
+  if (queue_capacity == 0) {
+    throw ConfigError("ClusterConfig: queue_capacity must be > 0");
+  }
+  if (flush_tuples == 0) {
+    throw ConfigError("ClusterConfig: flush_tuples must be > 0");
+  }
+  if (degraded_frontier_lag < 1 ||
+      unhealthy_frontier_lag < degraded_frontier_lag) {
+    throw ConfigError(
+        "ClusterConfig: need 1 <= degraded_frontier_lag <= "
+        "unhealthy_frontier_lag");
+  }
+  if (health) health->validate();
+}
+
+// --- ShardFeed (thin forwarding handles) ------------------------------------
+
+void ShardFeed::ingest(const dns::ForwardedLookup& lookup) {
+  runtime_->feed_ingest(shard_, lookup);
+}
+
+void ShardFeed::ingest(std::span<const dns::ForwardedLookup> batch) {
+  for (const dns::ForwardedLookup& lookup : batch) {
+    runtime_->feed_ingest(shard_, lookup);
+  }
+}
+
+void ShardFeed::ingest_block(const dns::LookupColumns& block,
+                             std::span<const std::string_view> domains) {
+  runtime_->feed_ingest_block(shard_, block, domains);
+}
+
+void ShardFeed::ingest_block(const dns::LookupColumns& block,
+                             std::span<const std::string> domains) {
+  std::vector<std::string_view> views(domains.begin(), domains.end());
+  runtime_->feed_ingest_block(shard_, block,
+                              std::span<const std::string_view>(views));
+}
+
+void ShardFeed::advance(TimePoint watermark) {
+  runtime_->feed_advance(shard_, watermark);
+}
+
+void ShardFeed::flush() { runtime_->flush_shard(shard_); }
+
+// --- construction -----------------------------------------------------------
+
+ClusterRuntime::ClusterRuntime(ClusterConfig config)
+    : config_((config.validate(), std::move(config))),
+      merger_(config_.router, config_.first_epoch, config_.epoch_count) {
+  merger_.on_merge([this](const MergedEpoch& merged) { handle_merge(merged); });
+
+  const std::size_t n = config_.router.shard_count();
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+
+    stream::StreamEngineConfig ec;
+    ec.meter = config_.meter;
+    // Shard engines publish nothing themselves: their stream.* series would
+    // collide across shards and their per-shard histories would not be the
+    // merged landscape. The runtime publishes cluster.* series and records
+    // merged rows instead.
+    ec.meter.metrics = nullptr;
+    ec.meter.trace = nullptr;
+    ec.meter.history = nullptr;
+    ec.first_epoch = config_.first_epoch;
+    ec.epoch_count = config_.epoch_count;
+    ec.server_count = config_.router.servers_of(i).size();
+    ec.worker_threads = config_.shard_worker_threads;
+    ec.allowed_lateness = config_.allowed_lateness;
+    shard->engine = std::make_unique<stream::StreamEngine>(std::move(ec));
+    shard->engine->on_epoch_close(
+        [this, i](const stream::EpochReport& report) {
+          handle_close(i, report.epoch);
+        });
+    shard->monitor = std::make_unique<stream::StreamHealthMonitor>(
+        config_.health.value_or(stream::StreamHealthConfig{}));
+    shard->next_epoch.store(config_.first_epoch, std::memory_order_relaxed);
+    shards_.push_back(std::move(shard));
+  }
+  estimator_name_ =
+      std::string(shards_.front()->engine->meter().active_estimator().name());
+}
+
+ClusterRuntime::~ClusterRuntime() { stop_threads(); }
+
+// --- merge / close plumbing -------------------------------------------------
+
+void ClusterRuntime::handle_close(std::size_t shard, std::int64_t epoch) {
+  // Runs on the shard's thread (or the control thread during finish()),
+  // immediately after the engine appended the epoch's cell row.
+  const auto rows = shards_[shard]->engine->closed_rows();
+  merger_.offer(shard, epoch,
+                std::vector<estimators::EpochCell>(rows.back().begin(),
+                                                   rows.back().end()));
+}
+
+void ClusterRuntime::handle_merge(const MergedEpoch& merged) {
+  // Under the merger mutex, on whichever shard thread completed the epoch.
+  if (replaying_ || config_.history == nullptr) return;
+  obs::LandscapeEpochRecord row;
+  row.epoch = merged.epoch;
+  row.family = config_.meter.dga.name;
+  row.estimator = estimator_name_;
+  row.servers.reserve(merged.cells.size());
+  for (const estimators::EpochCell& cell : merged.cells) {
+    obs::LandscapeCell snapshot;
+    snapshot.population = cell.estimate.value;
+    snapshot.interval90 = cell.estimate.interval;
+    snapshot.matched = cell.matched;
+    row.servers.push_back(std::move(snapshot));
+  }
+  if (config_.health) {
+    row.health = std::string(stream::health_state_name(cluster_state()));
+  }
+  config_.history->record(row);
+}
+
+// --- shard threads ----------------------------------------------------------
+
+void ClusterRuntime::ensure_started() {
+  if (finished_.load(std::memory_order_acquire)) {
+    throw ConfigError("ClusterRuntime: ingest after finish()");
+  }
+  if (started_.load(std::memory_order_acquire)) return;
+  // Per-shard feeds may race here from different producer threads; exactly
+  // one spawns the shard threads.
+  std::lock_guard<std::mutex> lock(start_mu_);
+  if (started_.load(std::memory_order_relaxed)) return;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->thread = std::thread([this, i] { shard_main(i); });
+  }
+  started_.store(true, std::memory_order_release);
+}
+
+void ClusterRuntime::shard_main(std::size_t index) {
+  set_this_thread_label("cluster.shard_" + std::to_string(index));
+  Shard& shard = *shards_[index];
+  for (;;) {
+    ShardBatch batch;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      for (;;) {
+        if (!shard.queue.empty()) break;  // drain before stop or pause
+        if (shard.stop) return;
+        if (shard.pause) {
+          shard.idle = true;
+          shard.cv_idle.notify_all();
+          shard.cv_pop.wait(lock, [&shard] {
+            return !shard.pause || shard.stop || !shard.queue.empty();
+          });
+          shard.idle = false;
+          continue;
+        }
+        shard.cv_pop.wait(lock);
+      }
+      batch = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      shard.cv_push.notify_one();
+    }
+    apply_batch(shard, batch);
+  }
+}
+
+void ClusterRuntime::apply_batch(Shard& shard, ShardBatch& batch) {
+  // New table entries first: ids in the batch's columns were assigned
+  // against the table including them.
+  for (std::string& s : batch.new_strings) {
+    shard.storage.push_back(std::move(s));
+    shard.table.emplace_back(shard.storage.back());
+  }
+  if (!batch.t_ms.empty()) {
+    dns::LookupColumns columns;
+    columns.t_ms = batch.t_ms;
+    columns.server = batch.server;
+    columns.domain = batch.domain;
+    shard.engine->ingest_block(columns,
+                               std::span<const std::string_view>(shard.table));
+  }
+  if (batch.advance) shard.engine->advance(*batch.advance);
+  if (batch.sample_now_ms) {
+    shard.monitor->sample(*shard.engine, *batch.sample_now_ms);
+  }
+
+  shard.ingested.store(shard.engine->ingested(), std::memory_order_relaxed);
+  shard.matched.store(shard.engine->matched(), std::memory_order_relaxed);
+  shard.unmatched.store(shard.engine->unmatched(), std::memory_order_relaxed);
+  shard.late_dropped.store(shard.engine->late_dropped(),
+                           std::memory_order_relaxed);
+  shard.next_epoch.store(shard.engine->next_epoch_to_close(),
+                         std::memory_order_relaxed);
+}
+
+void ClusterRuntime::enqueue(std::size_t shard, ShardBatch batch) {
+  ensure_started();
+  Shard& s = *shards_[shard];
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.cv_push.wait(lock,
+                 [&s, this] { return s.queue.size() < config_.queue_capacity; });
+  s.queue.push_back(std::move(batch));
+  s.cv_pop.notify_one();
+}
+
+void ClusterRuntime::pause_threads() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->pause = true;
+    shard->cv_pop.notify_all();
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    shard->cv_idle.wait(lock, [&shard] {
+      return shard->idle && shard->queue.empty();
+    });
+  }
+}
+
+void ClusterRuntime::resume_threads() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->pause = false;
+    shard->cv_pop.notify_all();
+  }
+}
+
+void ClusterRuntime::stop_threads() {
+  if (!started_) return;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stop = true;
+    shard->cv_pop.notify_all();
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  started_ = false;
+}
+
+// --- producer-side scatter --------------------------------------------------
+
+std::uint32_t ClusterRuntime::intern_domain(ShardScatter& scatter,
+                                            std::string_view domain) {
+  const auto it = scatter.intern.find(domain);
+  if (it != scatter.intern.end()) return it->second;
+  const std::uint32_t id = scatter.next_id++;
+  scatter.intern.emplace(std::string(domain), id);
+  scatter.pending.new_strings.emplace_back(domain);
+  return id;
+}
+
+void ClusterRuntime::scatter_tuple(std::size_t shard, std::int64_t t_ms,
+                                   std::uint32_t local_server,
+                                   std::uint32_t local_domain) {
+  ShardScatter& scatter = shards_[shard]->scatter;
+  scatter.pending.t_ms.push_back(t_ms);
+  scatter.pending.server.push_back(local_server);
+  scatter.pending.domain.push_back(local_domain);
+  if (scatter.pending.t_ms.size() >= config_.flush_tuples) flush_shard(shard);
+}
+
+void ClusterRuntime::ingest(const dns::ForwardedLookup& lookup) {
+  const std::uint32_t server = lookup.forwarder.value();
+  const std::size_t shard = config_.router.shard_of(server);
+  ShardScatter& scatter = shards_[shard]->scatter;
+  scatter_tuple(shard, lookup.timestamp.millis(),
+                config_.router.local_index(server),
+                intern_domain(scatter, lookup.domain));
+}
+
+void ClusterRuntime::ingest(std::span<const dns::ForwardedLookup> batch) {
+  for (const dns::ForwardedLookup& lookup : batch) ingest(lookup);
+}
+
+void ClusterRuntime::ingest_block(const dns::LookupColumns& block,
+                                  std::span<const std::string> domains) {
+  std::vector<std::string_view> views(domains.begin(), domains.end());
+  ingest_block(block, std::span<const std::string_view>(views));
+}
+
+void ClusterRuntime::ingest_block(const dns::LookupColumns& block,
+                                  std::span<const std::string_view> domains) {
+  if (block.server.size() != block.size() ||
+      block.domain.size() != block.size()) {
+    throw DataError("ClusterRuntime::ingest_block: ragged columns");
+  }
+  const std::size_t n = block.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t server = block.server[i];
+    const std::size_t shard = config_.router.shard_of(server);
+    ShardScatter& scatter = shards_[shard]->scatter;
+    const std::uint32_t pid = block.domain[i];
+    if (pid >= domains.size()) {
+      throw DataError("ClusterRuntime::ingest_block: domain id " +
+                      std::to_string(pid) + " outside the table");
+    }
+    if (scatter.remap.size() < domains.size()) {
+      scatter.remap.resize(domains.size(), kNoRemap);
+    }
+    std::uint32_t& local = scatter.remap[pid];
+    if (local == kNoRemap) local = intern_domain(scatter, domains[pid]);
+    scatter_tuple(shard, block.t_ms[i], config_.router.local_index(server),
+                  local);
+  }
+}
+
+void ClusterRuntime::flush_shard(std::size_t shard) {
+  ShardScatter& scatter = shards_[shard]->scatter;
+  if (scatter.pending.empty()) return;
+  ShardBatch batch = std::move(scatter.pending);
+  scatter.pending = ShardBatch{};
+  enqueue(shard, std::move(batch));
+}
+
+void ClusterRuntime::flush() {
+  for (std::size_t i = 0; i < shards_.size(); ++i) flush_shard(i);
+}
+
+void ClusterRuntime::advance(TimePoint watermark) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) feed_advance(i, watermark);
+}
+
+ShardFeed ClusterRuntime::shard_feed(std::size_t shard) {
+  if (shard >= shards_.size()) {
+    throw ConfigError("ClusterRuntime: shard " + std::to_string(shard) +
+                      " outside the shard count " +
+                      std::to_string(shards_.size()));
+  }
+  return ShardFeed(this, shard);
+}
+
+void ClusterRuntime::feed_ingest(std::size_t shard,
+                                 const dns::ForwardedLookup& lookup) {
+  const std::uint32_t server = lookup.forwarder.value();
+  if (config_.router.shard_of(server) != shard) {
+    throw ConfigError("ShardFeed: server " + std::to_string(server) +
+                      " is not owned by shard " + std::to_string(shard));
+  }
+  ShardScatter& scatter = shards_[shard]->scatter;
+  scatter_tuple(shard, lookup.timestamp.millis(),
+                config_.router.local_index(server),
+                intern_domain(scatter, lookup.domain));
+}
+
+void ClusterRuntime::feed_ingest_block(
+    std::size_t shard, const dns::LookupColumns& block,
+    std::span<const std::string_view> domains) {
+  if (block.server.size() != block.size() ||
+      block.domain.size() != block.size()) {
+    throw DataError("ShardFeed::ingest_block: ragged columns");
+  }
+  ShardScatter& scatter = shards_[shard]->scatter;
+  if (scatter.remap.size() < domains.size()) {
+    scatter.remap.resize(domains.size(), kNoRemap);
+  }
+  const std::size_t n = block.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t server = block.server[i];
+    if (config_.router.shard_of(server) != shard) {
+      throw ConfigError("ShardFeed: server " + std::to_string(server) +
+                        " is not owned by shard " + std::to_string(shard));
+    }
+    const std::uint32_t pid = block.domain[i];
+    if (pid >= domains.size()) {
+      throw DataError("ShardFeed::ingest_block: domain id " +
+                      std::to_string(pid) + " outside the table");
+    }
+    std::uint32_t& local = scatter.remap[pid];
+    if (local == kNoRemap) local = intern_domain(scatter, domains[pid]);
+    scatter_tuple(shard, block.t_ms[i], config_.router.local_index(server),
+                  local);
+  }
+}
+
+void ClusterRuntime::feed_advance(std::size_t shard, TimePoint watermark) {
+  ShardScatter& scatter = shards_[shard]->scatter;
+  if (!scatter.pending.advance || watermark > *scatter.pending.advance) {
+    scatter.pending.advance = watermark;
+  }
+  flush_shard(shard);
+}
+
+// --- finish -----------------------------------------------------------------
+
+core::LandscapeReport ClusterRuntime::finish() {
+  if (finished_) throw ConfigError("ClusterRuntime: finish() called twice");
+  flush();
+  stop_threads();
+  finished_ = true;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    // Closes every remaining epoch; each close offers its row to the merger
+    // through the on_epoch_close wiring. The per-shard report is the merged
+    // report's restriction to the shard's servers — nothing to keep.
+    (void)shard.engine->finish();
+    shard.ingested.store(shard.engine->ingested(), std::memory_order_relaxed);
+    shard.matched.store(shard.engine->matched(), std::memory_order_relaxed);
+    shard.unmatched.store(shard.engine->unmatched(),
+                          std::memory_order_relaxed);
+    shard.late_dropped.store(shard.engine->late_dropped(),
+                             std::memory_order_relaxed);
+    shard.next_epoch.store(shard.engine->next_epoch_to_close(),
+                           std::memory_order_relaxed);
+  }
+  core::LandscapeReport report = merger_.assemble(estimator_name_);
+  if (config_.meter.metrics != nullptr) {
+    config_.meter.metrics->gauge("cluster.population.total")
+        .set(report.total_population());
+  }
+  return report;
+}
+
+// --- introspection / health -------------------------------------------------
+
+ShardStats ClusterRuntime::shard_stats(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw ConfigError("ClusterRuntime: shard " + std::to_string(shard) +
+                      " outside the shard count " +
+                      std::to_string(shards_.size()));
+  }
+  const Shard& s = *shards_[shard];
+  ShardStats stats;
+  stats.ingested = s.ingested.load(std::memory_order_relaxed);
+  stats.matched = s.matched.load(std::memory_order_relaxed);
+  stats.unmatched = s.unmatched.load(std::memory_order_relaxed);
+  stats.late_dropped = s.late_dropped.load(std::memory_order_relaxed);
+  stats.next_epoch_to_close = s.next_epoch.load(std::memory_order_relaxed);
+  return stats;
+}
+
+stream::HealthState ClusterRuntime::sample_health(double now_ms) {
+  if (started_ && !finished_) {
+    // Monitors must sample on the thread that owns the engine; queue one
+    // sample item per shard. The fold below therefore reads the *previous*
+    // round's samples — health is an operational signal, one round of
+    // latency is immaterial.
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      ShardBatch batch;
+      batch.sample_now_ms = now_ms;
+      enqueue(i, std::move(batch));
+    }
+  } else {
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      shard->monitor->sample(*shard->engine, now_ms);
+    }
+  }
+
+  stream::HealthState worst = stream::HealthState::kOk;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    worst = std::max(worst, shard->monitor->state());
+  }
+  const std::int64_t frontier = merger_.merge_frontier();
+  const std::int64_t lag = merger_.max_shard_progress() - frontier;
+  if (lag >= config_.unhealthy_frontier_lag) {
+    worst = std::max(worst, stream::HealthState::kUnhealthy);
+  } else if (lag >= config_.degraded_frontier_lag) {
+    worst = std::max(worst, stream::HealthState::kDegraded);
+  }
+  cluster_state_.store(static_cast<int>(worst), std::memory_order_relaxed);
+
+  obs::MetricsRegistry* const metrics = config_.meter.metrics;
+  if (metrics != nullptr) {
+    metrics->gauge("cluster.health.state").set(static_cast<double>(worst));
+    metrics->gauge("cluster.merge_frontier")
+        .set(static_cast<double>(frontier));
+    metrics->gauge("cluster.frontier_lag").set(static_cast<double>(lag));
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const std::string label = "shard_" + std::to_string(i);
+      const ShardStats stats = shard_stats(i);
+      metrics->gauge("cluster.shard.health_state", label)
+          .set(static_cast<double>(shards_[i]->monitor->state()));
+      metrics->gauge("cluster.shard.ingested", label)
+          .set(static_cast<double>(stats.ingested));
+      metrics->gauge("cluster.shard.matched", label)
+          .set(static_cast<double>(stats.matched));
+      metrics->gauge("cluster.shard.late_dropped", label)
+          .set(static_cast<double>(stats.late_dropped));
+      metrics->gauge("cluster.shard.next_epoch", label)
+          .set(static_cast<double>(stats.next_epoch_to_close));
+    }
+  }
+  return worst;
+}
+
+json::Value ClusterRuntime::health_json() const {
+  const std::int64_t frontier = merger_.merge_frontier();
+  const std::int64_t progress = merger_.max_shard_progress();
+
+  json::Array shards;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const stream::StreamHealthSignals signals =
+        shards_[i]->monitor->last_signals();
+    json::Object entry;
+    entry.emplace("shard", number(static_cast<std::int64_t>(i)));
+    entry.emplace("state",
+                  json::Value(std::string(stream::health_state_name(
+                      shards_[i]->monitor->state()))));
+    entry.emplace("watermark_lag_ms", number(signals.watermark_lag_ms));
+    entry.emplace("late_rate", number(signals.late_rate));
+    entry.emplace("open_buffer_bytes", number(signals.open_buffer_bytes));
+    entry.emplace("ingested", number(signals.ingested));
+    entry.emplace("matched", number(signals.matched));
+    entry.emplace("late_dropped", number(signals.late_dropped));
+    entry.emplace("epochs_closed", number(signals.epochs_closed));
+    shards.emplace_back(std::move(entry));
+  }
+
+  json::Object root;
+  root.emplace("schema", json::Value(std::string(kHealthSchema)));
+  root.emplace("state", json::Value(std::string(stream::health_state_name(
+                            cluster_state()))));
+  root.emplace("merge_frontier", number(frontier));
+  root.emplace("max_shard_progress", number(progress));
+  root.emplace("frontier_lag", number(progress - frontier));
+  root.emplace("shards", json::Value(std::move(shards)));
+  return json::Value(std::move(root));
+}
+
+// --- checkpointing ----------------------------------------------------------
+
+json::Value ClusterRuntime::checkpoint() {
+  // Pending producer-side batches are part of the state being snapshotted:
+  // flush them first (this starts the shard threads if nothing had ever
+  // filled a batch — small traces live entirely in pending batches).
+  if (!finished_.load(std::memory_order_acquire)) flush();
+  const bool pause = started_ && !finished_;
+  if (pause) pause_threads();
+
+  json::Array shards;
+  shards.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shards.emplace_back(shard->engine->checkpoint());
+  }
+  json::Object root;
+  root.emplace("schema", json::Value(std::string(kCheckpointSchema)));
+  root.emplace("router", config_.router.to_json());
+  root.emplace("merge_frontier", number(merger_.merge_frontier()));
+  root.emplace("shards", json::Value(std::move(shards)));
+
+  if (pause) resume_threads();
+  return json::Value(std::move(root));
+}
+
+void ClusterRuntime::restore(const json::Value& checkpoint) {
+  if (started_ || finished_) {
+    throw ConfigError("ClusterRuntime::restore: runtime already used");
+  }
+  if (merger_.merged_count() != 0) {
+    throw ConfigError("ClusterRuntime::restore: merger already populated");
+  }
+  if (checkpoint.at("schema").as_string() != kCheckpointSchema) {
+    throw DataError("ClusterRuntime::restore: unknown schema '" +
+                    checkpoint.at("schema").as_string() + "'");
+  }
+  const ShardRouter stored = ShardRouter::from_json(checkpoint.at("router"));
+  if (!(stored == config_.router)) {
+    throw DataError(
+        "ClusterRuntime::restore: checkpoint was taken under a different "
+        "routing — resumed traffic would land on the wrong shards");
+  }
+  const json::Array& shards = checkpoint.at("shards").as_array();
+  if (shards.size() != shards_.size()) {
+    throw DataError("ClusterRuntime::restore: checkpoint holds " +
+                    std::to_string(shards.size()) + " shards, runtime has " +
+                    std::to_string(shards_.size()));
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->engine->restore(shards[i]);
+  }
+
+  // Rebuild the merger from the restored engines' closed rows. The replay is
+  // silent — history records only post-restore merges, exactly as a restored
+  // single engine records only post-restore closes.
+  replaying_ = true;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const auto rows = shards_[i]->engine->closed_rows();
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      merger_.offer(i, config_.first_epoch + static_cast<std::int64_t>(j),
+                    std::vector<estimators::EpochCell>(rows[j].begin(),
+                                                       rows[j].end()));
+    }
+  }
+  replaying_ = false;
+
+  const std::int64_t stored_frontier =
+      checkpoint.at("merge_frontier").as_int();
+  if (stored_frontier != merger_.merge_frontier()) {
+    throw DataError("ClusterRuntime::restore: stored merge frontier " +
+                    std::to_string(stored_frontier) +
+                    " does not match the replayed frontier " +
+                    std::to_string(merger_.merge_frontier()));
+  }
+
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    shard.ingested.store(shard.engine->ingested(), std::memory_order_relaxed);
+    shard.matched.store(shard.engine->matched(), std::memory_order_relaxed);
+    shard.unmatched.store(shard.engine->unmatched(),
+                          std::memory_order_relaxed);
+    shard.late_dropped.store(shard.engine->late_dropped(),
+                             std::memory_order_relaxed);
+    shard.next_epoch.store(shard.engine->next_epoch_to_close(),
+                           std::memory_order_relaxed);
+  }
+}
+
+}  // namespace botmeter::cluster

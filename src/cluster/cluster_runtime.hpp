@@ -1,0 +1,378 @@
+// The multi-border cluster runtime: N sharded stream engines behind one
+// global landscape.
+//
+// A large network taps several border vantage points at once (§II, Fig. 2:
+// one collector per border resolver). One StreamEngine cannot ingest every
+// border's feed — it is single-threaded by contract — so the cluster runtime
+// owns one engine per shard, each on its own worker thread behind a bounded
+// ingest queue, routes traffic by server ownership (ShardRouter), and merges
+// per-shard epoch closes into the global landscape through a
+// watermark-aligned LandscapeMerger. The merged LandscapeReport, the
+// recorded landscape_series.v1 history, and the canonical landscape JSON are
+// all **byte-identical** to a single engine analyzing the union trace — for
+// every shard count, every per-shard worker count, and both codec paths —
+// because a (server, epoch) cell is a pure function of the server's matched
+// bucket and every server is owned by exactly one shard.
+//
+// Data path. Producers hand the runtime tuples (per-tuple or columnar
+// blocks); the runtime scatters them by router onto per-shard pending
+// batches, re-interning domains into each shard's own string table (shard
+// engines never share producer tables — each shard thread owns its table,
+// so no cross-thread view ever dangles). Batches flush to the shard queue
+// when full, on advance()/flush(), and at checkpoint/finish barriers; a full
+// queue blocks the producer — backpressure, never loss. Inside a shard
+// everything is columnar: the engine's ingest_block path is tuple-for-tuple
+// identical to per-tuple ingest, which is what lets the cluster batch at
+// the boundary without changing a single bit of the result.
+//
+// Pre-split feeds. When the feed is already divided by border (one capture
+// per vantage), shard_feed(i) returns a direct handle bound to shard i with
+// its own scatter state — one producer thread per shard, no global
+// fan-out bottleneck. Feed handles and the cluster-level ingest calls share
+// per-shard scatter state and must not run concurrently with each other.
+//
+// Lateness caveat (same as the engine's stream≡batch equivalence): each
+// shard's watermark advances on *its* traffic only, so shards are more
+// lenient about late tuples than a single engine over the interleaved union
+// would be. Byte-identity therefore holds whenever nothing is dropped late
+// on either side; a run that drops differs exactly by the dropped evidence.
+//
+// Checkpointing generalizes the engine envelope: botmeter.cluster_checkpoint.v1
+// = router + merge frontier + one botmeter.stream_checkpoint.v1 per shard.
+// checkpoint() drains the queues, pauses every shard thread at an item
+// boundary, snapshots, and resumes; restore() loads each shard engine,
+// replays their closed rows into a fresh merger (silently — history only
+// records post-restore merges, mirroring StreamEngine::restore), and
+// cross-checks the stored frontier.
+//
+// Health. Each shard carries a StreamHealthMonitor sampled on its own
+// thread (engine accessors are not synchronized); the cluster folds the
+// worst shard state with the merge-frontier lag — a lagging shard both
+// degrades the cluster state and holds the global landscape back, by
+// construction — into one state /healthz keys on.
+//
+// See DESIGN.md §11 for the full architecture and equivalence argument.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/landscape_merger.hpp"
+#include "cluster/shard_router.hpp"
+#include "common/json.hpp"
+#include "common/time.hpp"
+#include "core/botmeter.hpp"
+#include "dns/vantage.hpp"
+#include "stream/health_monitor.hpp"
+#include "stream/stream_engine.hpp"
+
+namespace botmeter::obs {
+class LandscapeHistory;
+}  // namespace botmeter::obs
+
+namespace botmeter::cluster {
+
+struct ClusterConfig {
+  /// The analysis configuration every shard engine runs under. The obs
+  /// pointers (metrics/trace/history) are *cluster-level*: shard engines get
+  /// them nulled (their series would collide across shards) and the runtime
+  /// publishes `cluster.*` series and merged history rows itself.
+  core::BotMeterConfig meter;
+
+  /// Epoch horizon, as for StreamEngine.
+  std::int64_t first_epoch = 0;
+  std::int64_t epoch_count = 1;
+
+  /// Server ownership map; also fixes shard count and global report width.
+  ShardRouter router;
+
+  /// Estimation worker threads per shard engine (close-time parallelism;
+  /// bit-identical for every value).
+  std::size_t shard_worker_threads = 1;
+
+  /// Passed through to every shard engine.
+  std::optional<Duration> allowed_lateness;
+
+  /// Bounded ingest queue depth per shard, in batches. A full queue blocks
+  /// the producer (backpressure, never loss).
+  std::size_t queue_capacity = 64;
+
+  /// Producer-side batching: pending tuples per shard before a batch is
+  /// enqueued. Purely a throughput knob — results are bit-identical for any
+  /// value because the engine's block path equals its per-tuple path.
+  std::size_t flush_tuples = 8192;
+
+  /// Per-shard health thresholds. When set, the runtime samples every shard
+  /// monitor on sample_health(), folds states into the cluster state, and
+  /// stamps that state onto merged history rows (when unset, rows carry no
+  /// health — the batch/single-engine-compatible mode determinism tests use).
+  std::optional<stream::StreamHealthConfig> health;
+
+  /// Merge-frontier lag (epochs the fastest shard is ahead of the slowest)
+  /// at which the *cluster* degrades even if every shard is individually ok:
+  /// the global landscape is being held back.
+  std::int64_t degraded_frontier_lag = 2;
+  std::int64_t unhealthy_frontier_lag = 8;
+
+  /// Optional merged-landscape time-series sink: one row per *merged* epoch,
+  /// byte-identical to the rows a single engine over the union trace would
+  /// record (when neither stamps health). Observational only.
+  obs::LandscapeHistory* history = nullptr;
+
+  void validate() const;
+};
+
+/// Point-in-time per-shard counters, readable from any thread.
+struct ShardStats {
+  std::uint64_t ingested = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t unmatched = 0;
+  std::uint64_t late_dropped = 0;
+  /// Next epoch the shard will close (first_epoch + its closes so far).
+  std::int64_t next_epoch_to_close = 0;
+};
+
+class ClusterRuntime;
+
+/// Direct ingest handle bound to one shard, for feeds already split by
+/// border vantage. Obtain via ClusterRuntime::shard_feed(). One producer
+/// thread per feed; a feed shares its shard's scatter state with the
+/// cluster-level ingest calls, so the two must not run concurrently.
+class ShardFeed {
+ public:
+  /// `lookup.forwarder` must be a *global* server id owned by this feed's
+  /// shard (ConfigError otherwise — a misrouted tuple is a wiring bug, never
+  /// silently re-routed).
+  void ingest(const dns::ForwardedLookup& lookup);
+  void ingest(std::span<const dns::ForwardedLookup> batch);
+
+  /// Columnar ingest; `domains` is this feed's producer table (one interning
+  /// lineage per feed, as for StreamEngine::ingest_block). Server column
+  /// holds global ids owned by this shard.
+  void ingest_block(const dns::LookupColumns& block,
+                    std::span<const std::string_view> domains);
+  void ingest_block(const dns::LookupColumns& block,
+                    std::span<const std::string> domains);
+
+  /// Advance this shard's watermark without data.
+  void advance(TimePoint watermark);
+
+  /// Enqueue any pending partial batch.
+  void flush();
+
+  [[nodiscard]] std::size_t shard() const { return shard_; }
+
+ private:
+  friend class ClusterRuntime;
+  ShardFeed(ClusterRuntime* runtime, std::size_t shard)
+      : runtime_(runtime), shard_(shard) {}
+
+  ClusterRuntime* runtime_;
+  std::size_t shard_;
+};
+
+class ClusterRuntime {
+ public:
+  explicit ClusterRuntime(ClusterConfig config);
+  ~ClusterRuntime();
+
+  ClusterRuntime(const ClusterRuntime&) = delete;
+  ClusterRuntime& operator=(const ClusterRuntime&) = delete;
+
+  // --- ingest (single producer thread; scatters across all shards) ---------
+  void ingest(const dns::ForwardedLookup& lookup);
+  void ingest(std::span<const dns::ForwardedLookup> batch);
+
+  /// Columnar ingest of one producer-lineage block (server column holds
+  /// global ids); domains re-intern per shard, one hash per distinct
+  /// producer id per shard, ever.
+  void ingest_block(const dns::LookupColumns& block,
+                    std::span<const std::string_view> domains);
+  void ingest_block(const dns::LookupColumns& block,
+                    std::span<const std::string> domains);
+
+  /// Advance every shard's watermark (a quiet border still makes time pass).
+  /// Flushes pending batches first so closes happen in ingest order.
+  void advance(TimePoint watermark);
+
+  /// Enqueue all pending partial batches.
+  void flush();
+
+  /// Per-shard direct handle (see ShardFeed). Valid for the runtime's
+  /// lifetime.
+  [[nodiscard]] ShardFeed shard_feed(std::size_t shard);
+
+  /// Drain queues, stop the shard threads, close every remaining epoch, and
+  /// return the merged global landscape — byte-identical to a single
+  /// engine's finish() over the union trace (late-drop caveat above). The
+  /// runtime is sealed afterwards.
+  [[nodiscard]] core::LandscapeReport finish();
+
+  // --- introspection (any thread) ------------------------------------------
+  [[nodiscard]] std::size_t shard_count() const {
+    return config_.router.shard_count();
+  }
+  [[nodiscard]] const ShardRouter& router() const { return config_.router; }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] ShardStats shard_stats(std::size_t shard) const;
+  /// First epoch not yet merged across every shard.
+  [[nodiscard]] std::int64_t merge_frontier() const {
+    return merger_.merge_frontier();
+  }
+  /// Close progress of the fastest shard; the gap to merge_frontier() is the
+  /// frontier lag a laggard causes.
+  [[nodiscard]] std::int64_t max_shard_progress() const {
+    return merger_.max_shard_progress();
+  }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const LandscapeMerger& merger() const { return merger_; }
+
+  // --- health --------------------------------------------------------------
+  /// Queue a health sample on every shard thread (monitors must sample on
+  /// the thread that owns the engine), then fold the *previous* samples plus
+  /// the current frontier lag into the cluster state. Call periodically from
+  /// the control/scrape thread with monotonic wall milliseconds; also
+  /// publishes cluster.* gauges when a metrics registry is attached.
+  stream::HealthState sample_health(double now_ms);
+  [[nodiscard]] stream::HealthState cluster_state() const {
+    return static_cast<stream::HealthState>(
+        cluster_state_.load(std::memory_order_relaxed));
+  }
+  /// Canonical cluster health document (schema botmeter.cluster_health.v1):
+  /// cluster state + frontier, plus one entry per shard with its state and
+  /// signal vector. Any thread.
+  [[nodiscard]] json::Value health_json() const;
+
+  // --- checkpointing -------------------------------------------------------
+  /// Serialize the whole cluster (schema botmeter.cluster_checkpoint.v1):
+  /// router, merge frontier, and one per-shard stream checkpoint. Drains the
+  /// shard queues and pauses every shard thread at an item boundary for the
+  /// snapshot, so the envelope is a consistent cut; producers must not
+  /// ingest concurrently with checkpoint().
+  [[nodiscard]] json::Value checkpoint();
+
+  /// Load a cluster checkpoint into a freshly constructed runtime (nothing
+  /// ingested, threads not yet started). The stored router must equal the
+  /// configured one — a different routing would scatter resumed traffic onto
+  /// the wrong engines — and the stored frontier must match the replayed
+  /// merger's. Throws DataError on any mismatch; on failure the runtime may
+  /// not be used further.
+  void restore(const json::Value& checkpoint);
+
+ private:
+  friend class ShardFeed;
+
+  /// One unit of shard-thread work. Columns are shard-local: `server` holds
+  /// local dense indices, `domain` holds shard-table ids, `new_strings` are
+  /// the table entries this batch introduces (appended by the shard thread
+  /// before ingesting, preserving id order).
+  struct ShardBatch {
+    std::vector<std::int64_t> t_ms;
+    std::vector<std::uint32_t> server;
+    std::vector<std::uint32_t> domain;
+    std::vector<std::string> new_strings;
+    std::optional<TimePoint> advance;
+    std::optional<double> sample_now_ms;
+
+    [[nodiscard]] bool empty() const {
+      return t_ms.empty() && new_strings.empty() && !advance && !sample_now_ms;
+    }
+  };
+
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  /// Producer-side scatter state for one shard: the pending batch plus the
+  /// interning maps that translate producer domains to shard-table ids.
+  /// Owned by whichever single producer currently feeds the shard.
+  struct ShardScatter {
+    ShardBatch pending;
+    /// domain string -> shard-table id (covers both ingest paths).
+    std::unordered_map<std::string, std::uint32_t, StringHash,
+                       std::equal_to<>>
+        intern;
+    /// producer block-table id -> shard-table id (kNoRemap = not yet seen).
+    std::vector<std::uint32_t> remap;
+    /// Shard-table size after every enqueued batch + pending.new_strings.
+    std::uint32_t next_id = 0;
+  };
+
+  /// Shard-thread-side state: the bounded queue and the engine's string
+  /// table. `storage` is a deque so the string_view table never dangles on
+  /// growth; both are touched only by the shard thread once started.
+  struct Shard {
+    std::unique_ptr<stream::StreamEngine> engine;
+    std::unique_ptr<stream::StreamHealthMonitor> monitor;
+    ShardScatter scatter;
+
+    std::mutex mu;
+    std::condition_variable cv_push;   // producer waits: queue full
+    std::condition_variable cv_pop;    // thread waits: queue empty
+    std::condition_variable cv_idle;   // checkpoint waits: thread paused
+    std::deque<ShardBatch> queue;
+    bool stop = false;
+    bool pause = false;
+    bool idle = false;
+
+    std::deque<std::string> storage;
+    std::vector<std::string_view> table;
+
+    // Point-in-time counters mirrored by the shard thread after each batch.
+    std::atomic<std::uint64_t> ingested{0};
+    std::atomic<std::uint64_t> matched{0};
+    std::atomic<std::uint64_t> unmatched{0};
+    std::atomic<std::uint64_t> late_dropped{0};
+    std::atomic<std::int64_t> next_epoch{0};
+
+    std::thread thread;
+  };
+
+  void ensure_started();
+  void shard_main(std::size_t index);
+  void apply_batch(Shard& shard, ShardBatch& batch);
+  void enqueue(std::size_t shard, ShardBatch batch);
+  void flush_shard(std::size_t shard);
+  [[nodiscard]] std::uint32_t intern_domain(ShardScatter& scatter,
+                                            std::string_view domain);
+  void scatter_tuple(std::size_t shard, std::int64_t t_ms,
+                     std::uint32_t local_server, std::uint32_t local_domain);
+  void feed_ingest(std::size_t shard, const dns::ForwardedLookup& lookup);
+  void feed_ingest_block(std::size_t shard, const dns::LookupColumns& block,
+                         std::span<const std::string_view> domains);
+  void feed_advance(std::size_t shard, TimePoint watermark);
+  void handle_close(std::size_t shard, std::int64_t epoch);
+  void handle_merge(const MergedEpoch& merged);
+  void stop_threads();
+  void pause_threads();
+  void resume_threads();
+
+  ClusterConfig config_;
+  std::string estimator_name_;
+  LandscapeMerger merger_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Guards the one-time thread spawn: feeds for different shards may ingest
+  /// concurrently, and whichever enqueues first starts the threads.
+  std::mutex start_mu_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> finished_{false};
+  /// Suppresses history recording while restore() replays closed rows.
+  bool replaying_ = false;
+  std::atomic<int> cluster_state_{0};
+};
+
+}  // namespace botmeter::cluster

@@ -1,0 +1,161 @@
+#include "cluster/shard_router.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace botmeter::cluster {
+
+namespace {
+
+constexpr const char* kModeRange = "range";
+constexpr const char* kModeExplicit = "explicit";
+
+}  // namespace
+
+ShardRouter ShardRouter::by_range(std::size_t server_count,
+                                  std::size_t shard_count) {
+  if (server_count == 0 || shard_count == 0) {
+    throw ConfigError("ShardRouter: server_count and shard_count must be > 0");
+  }
+  if (shard_count > server_count) {
+    throw ConfigError("ShardRouter: " + std::to_string(shard_count) +
+                      " shards over " + std::to_string(server_count) +
+                      " servers would leave a shard empty");
+  }
+  ShardRouter router;
+  router.range_mode_ = true;
+  router.shard_of_server_.resize(server_count);
+  const std::size_t base = server_count / shard_count;
+  const std::size_t extra = server_count % shard_count;
+  std::size_t server = 0;
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    const std::size_t width = base + (shard < extra ? 1 : 0);
+    for (std::size_t i = 0; i < width; ++i) {
+      router.shard_of_server_[server++] = static_cast<std::uint32_t>(shard);
+    }
+  }
+  router.build_inverse(shard_count);
+  return router;
+}
+
+ShardRouter ShardRouter::explicit_assignment(
+    std::vector<std::uint32_t> shard_of_server, std::size_t shard_count) {
+  if (shard_of_server.empty() || shard_count == 0) {
+    throw ConfigError("ShardRouter: assignment and shard_count must be non-empty");
+  }
+  for (std::size_t s = 0; s < shard_of_server.size(); ++s) {
+    if (shard_of_server[s] >= shard_count) {
+      throw ConfigError("ShardRouter: server " + std::to_string(s) +
+                        " assigned to shard " +
+                        std::to_string(shard_of_server[s]) + " of only " +
+                        std::to_string(shard_count));
+    }
+  }
+  ShardRouter router;
+  router.range_mode_ = false;
+  router.shard_of_server_ = std::move(shard_of_server);
+  router.build_inverse(shard_count);
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    if (router.servers_of_[shard].empty()) {
+      throw ConfigError("ShardRouter: shard " + std::to_string(shard) +
+                        " owns no servers");
+    }
+  }
+  return router;
+}
+
+void ShardRouter::build_inverse(std::size_t shard_count) {
+  servers_of_.assign(shard_count, {});
+  local_index_.resize(shard_of_server_.size());
+  for (std::uint32_t server = 0; server < shard_of_server_.size(); ++server) {
+    std::vector<std::uint32_t>& owned = servers_of_[shard_of_server_[server]];
+    local_index_[server] = static_cast<std::uint32_t>(owned.size());
+    owned.push_back(server);  // ascending: servers visited in id order
+  }
+}
+
+std::size_t ShardRouter::shard_of(std::uint32_t server) const {
+  if (server >= shard_of_server_.size()) {
+    throw ConfigError("ShardRouter: server id " + std::to_string(server) +
+                      " outside the routed width " +
+                      std::to_string(shard_of_server_.size()));
+  }
+  return shard_of_server_[server];
+}
+
+std::uint32_t ShardRouter::local_index(std::uint32_t server) const {
+  if (server >= local_index_.size()) {
+    throw ConfigError("ShardRouter: server id " + std::to_string(server) +
+                      " outside the routed width " +
+                      std::to_string(local_index_.size()));
+  }
+  return local_index_[server];
+}
+
+const std::vector<std::uint32_t>& ShardRouter::servers_of(
+    std::size_t shard) const {
+  if (shard >= servers_of_.size()) {
+    throw ConfigError("ShardRouter: shard " + std::to_string(shard) +
+                      " outside the shard count " +
+                      std::to_string(servers_of_.size()));
+  }
+  return servers_of_[shard];
+}
+
+json::Value ShardRouter::to_json() const {
+  json::Object o;
+  o.emplace("server_count",
+            json::Value(static_cast<double>(shard_of_server_.size())));
+  o.emplace("shard_count", json::Value(static_cast<double>(servers_of_.size())));
+  if (range_mode_) {
+    o.emplace("mode", json::Value(std::string(kModeRange)));
+  } else {
+    o.emplace("mode", json::Value(std::string(kModeExplicit)));
+    json::Array assignment;
+    assignment.reserve(shard_of_server_.size());
+    for (const std::uint32_t shard : shard_of_server_) {
+      assignment.push_back(json::Value(static_cast<double>(shard)));
+    }
+    o.emplace("assignment", json::Value(std::move(assignment)));
+  }
+  return json::Value(std::move(o));
+}
+
+ShardRouter ShardRouter::from_json(const json::Value& value) {
+  const std::string mode = value.at("mode").as_string();
+  const auto server_count =
+      static_cast<std::size_t>(value.at("server_count").as_int());
+  const auto shard_count =
+      static_cast<std::size_t>(value.at("shard_count").as_int());
+  if (mode == kModeRange) {
+    return by_range(server_count, shard_count);
+  }
+  if (mode != kModeExplicit) {
+    throw DataError("ShardRouter: unknown router mode '" + mode + "'");
+  }
+  const json::Array& assignment = value.at("assignment").as_array();
+  if (assignment.size() != server_count) {
+    throw DataError("ShardRouter: assignment length " +
+                    std::to_string(assignment.size()) +
+                    " does not match server_count " +
+                    std::to_string(server_count));
+  }
+  std::vector<std::uint32_t> shard_of_server;
+  shard_of_server.reserve(assignment.size());
+  for (const json::Value& entry : assignment) {
+    const std::int64_t shard = entry.as_int();
+    if (shard < 0) throw DataError("ShardRouter: negative shard id");
+    shard_of_server.push_back(static_cast<std::uint32_t>(shard));
+  }
+  try {
+    return explicit_assignment(std::move(shard_of_server), shard_count);
+  } catch (const ConfigError& e) {
+    // A structurally invalid stored router is corrupt data, not a caller
+    // configuration mistake.
+    throw DataError(std::string("ShardRouter: invalid stored router: ") +
+                    e.what());
+  }
+}
+
+}  // namespace botmeter::cluster

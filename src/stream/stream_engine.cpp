@@ -540,17 +540,27 @@ void StreamEngine::restore(const json::Value& checkpoint) {
   require("server_count", config_.server_count);
   require("neg_ttl_ms", config_.meter.ttl.negative.millis());
 
+  // Parse the entire payload into locals first and commit members only once
+  // every field validated. A checkpoint rejected mid-parse (truncated row,
+  // out-of-range bucket, misaligned arrays) must leave the engine exactly as
+  // constructed — empty and usable — not with a half-loaded watermark and
+  // counters that a retry or fallback ingest would silently build on.
+  std::optional<TimePoint> new_watermark;
   const json::Value& watermark = checkpoint.at("watermark_ms");
-  if (!watermark.is_null()) watermark_ = TimePoint{watermark.as_int()};
-  ingested_ = static_cast<std::uint64_t>(checkpoint.at("ingested").as_int());
-  matched_ = static_cast<std::uint64_t>(checkpoint.at("matched").as_int());
-  unmatched_ = static_cast<std::uint64_t>(checkpoint.at("unmatched").as_int());
-  late_dropped_ =
+  if (!watermark.is_null()) new_watermark = TimePoint{watermark.as_int()};
+  const auto new_ingested =
+      static_cast<std::uint64_t>(checkpoint.at("ingested").as_int());
+  const auto new_matched =
+      static_cast<std::uint64_t>(checkpoint.at("matched").as_int());
+  const auto new_unmatched =
+      static_cast<std::uint64_t>(checkpoint.at("unmatched").as_int());
+  const auto new_late_dropped =
       static_cast<std::uint64_t>(checkpoint.at("late_dropped").as_int());
-  peak_resident_ =
+  auto new_peak_resident =
       static_cast<std::size_t>(checkpoint.at("peak_resident").as_int());
-  finished_ = checkpoint.at("finished").as_bool();
+  const bool new_finished = checkpoint.at("finished").as_bool();
 
+  std::vector<std::vector<Cell>> new_closed;
   const json::Array& closed = checkpoint.at("closed").as_array();
   if (closed.size() > static_cast<std::size_t>(config_.epoch_count)) {
     throw DataError("StreamEngine::restore: more closed epochs than the horizon");
@@ -582,13 +592,17 @@ void StreamEngine::restore(const json::Value& checkpoint) {
         row[s].estimate.interval = {lo[s].as_double(), hi[s].as_double()};
       }
     }
-    closed_.push_back(std::move(row));
+    new_closed.push_back(std::move(row));
   }
 
+  std::map<detect::StreamKey, std::vector<detect::MatchedLookup>> new_open;
+  std::size_t new_resident = 0;
+  const std::int64_t open_floor =
+      config_.first_epoch + static_cast<std::int64_t>(new_closed.size());
   for (const json::Value& bucket_obj : checkpoint.at("open").as_array()) {
     const std::int64_t epoch = bucket_obj.at("epoch").as_int();
     const std::int64_t server = bucket_obj.at("server").as_int();
-    if (epoch < next_epoch_to_close() ||
+    if (epoch < open_floor ||
         epoch >= config_.first_epoch + config_.epoch_count) {
       throw DataError("StreamEngine::restore: open bucket outside the horizon");
     }
@@ -601,7 +615,7 @@ void StreamEngine::restore(const json::Value& checkpoint) {
     if (t.size() != pos.size() || t.size() != valid.size()) {
       throw DataError("StreamEngine::restore: open bucket arrays misaligned");
     }
-    std::vector<detect::MatchedLookup>& bucket = open_[detect::StreamKey{
+    std::vector<detect::MatchedLookup>& bucket = new_open[detect::StreamKey{
         dns::ServerId{static_cast<std::uint32_t>(server)}, epoch}];
     bucket.reserve(t.size());
     for (std::size_t i = 0; i < t.size(); ++i) {
@@ -610,9 +624,21 @@ void StreamEngine::restore(const json::Value& checkpoint) {
           static_cast<std::uint32_t>(pos[i].as_int()),
           valid[i].as_int() != 0});
     }
-    resident_ += bucket.size();
+    new_resident += bucket.size();
   }
-  peak_resident_ = std::max(peak_resident_, resident_);
+  new_peak_resident = std::max(new_peak_resident, new_resident);
+
+  // Commit — nothing below throws.
+  watermark_ = new_watermark;
+  ingested_ = new_ingested;
+  matched_ = new_matched;
+  unmatched_ = new_unmatched;
+  late_dropped_ = new_late_dropped;
+  finished_ = new_finished;
+  closed_ = std::move(new_closed);
+  open_ = std::move(new_open);
+  resident_ = new_resident;
+  peak_resident_ = new_peak_resident;
 }
 
 }  // namespace botmeter::stream

@@ -191,6 +191,14 @@ class StreamEngine {
   }
   [[nodiscard]] const core::BotMeter& meter() const { return meter_; }
   [[nodiscard]] const StreamEngineConfig& config() const { return config_; }
+  /// Closed per-epoch cell rows so far, [epoch index][server] — the final
+  /// per-cell estimates a cluster merger scatters into the global grid.
+  /// Rows are immutable once closed; the span is invalidated by the next
+  /// close.
+  [[nodiscard]] std::span<const std::vector<estimators::EpochCell>>
+  closed_rows() const {
+    return closed_;
+  }
 
   // --- checkpointing -------------------------------------------------------
   /// Serialize the engine's mutable state (schema

@@ -1,0 +1,314 @@
+// Cluster determinism: an N-shard ClusterRuntime must chart byte-for-byte
+// the landscape a single StreamEngine charts over the union trace — for
+// shard counts {1, 2, 4, 8}, for the per-tuple and binary-block ingest
+// paths, for per-shard feed handles, across estimation thread counts, and
+// under aggressive batching/backpressure settings. The recorded
+// landscape_series.v1 history must be byte-equal too. A final test drives
+// concurrent per-shard producers against live queries (the TSan target).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "botnet/simulator.hpp"
+#include "cluster/cluster_runtime.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "core/botmeter.hpp"
+#include "dga/families.hpp"
+#include "obs/landscape_history.hpp"
+#include "stream/stream_engine.hpp"
+#include "trace/block.hpp"
+
+namespace botmeter::cluster {
+namespace {
+
+constexpr std::size_t kServers = 8;
+constexpr std::int64_t kEpochs = 3;
+
+std::vector<dns::ForwardedLookup> simulate_stream(std::uint64_t seed) {
+  botnet::SimulationConfig sim;
+  sim.dga = dga::newgoz_config();
+  sim.bot_count = 24;
+  sim.server_count = kServers;
+  sim.epoch_count = kEpochs;
+  sim.seed = seed;
+  sim.timestamp_granularity = milliseconds(100);
+  sim.record_raw = false;
+  return botnet::simulate(sim).observable;
+}
+
+core::BotMeterConfig meter_config() {
+  core::BotMeterConfig config;
+  config.dga = dga::newgoz_config();
+  return config;
+}
+
+ClusterConfig cluster_config(std::size_t shards, std::size_t threads) {
+  ClusterConfig config;
+  config.meter = meter_config();
+  config.first_epoch = 0;
+  config.epoch_count = kEpochs;
+  config.router = ShardRouter::by_range(kServers, shards);
+  config.shard_worker_threads = threads;
+  return config;
+}
+
+std::string landscape_bytes(const core::LandscapeReport& report) {
+  return json::write(core::landscape_to_json(report));
+}
+
+/// Reference: one StreamEngine over the union trace, history attached.
+struct Reference {
+  std::string landscape;
+  std::string history;
+  std::uint64_t ingested = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t unmatched = 0;
+};
+
+Reference single_engine_reference(
+    std::span<const dns::ForwardedLookup> stream) {
+  obs::LandscapeHistory history;
+  stream::StreamEngineConfig config;
+  config.meter = meter_config();
+  config.first_epoch = 0;
+  config.epoch_count = kEpochs;
+  config.server_count = kServers;
+  config.history = &history;
+  stream::StreamEngine engine(std::move(config));
+  engine.ingest(stream);
+  Reference ref;
+  ref.landscape = landscape_bytes(engine.finish());
+  ref.history = json::write(history.to_json());
+  ref.ingested = engine.ingested();
+  ref.matched = engine.matched();
+  ref.unmatched = engine.unmatched();
+  return ref;
+}
+
+void expect_cluster_matches(const Reference& ref, ClusterRuntime& runtime,
+                            obs::LandscapeHistory& history) {
+  EXPECT_EQ(landscape_bytes(runtime.finish()), ref.landscape);
+  EXPECT_EQ(json::write(history.to_json()), ref.history);
+
+  std::uint64_t ingested = 0, matched = 0, unmatched = 0, late = 0;
+  for (std::size_t i = 0; i < runtime.shard_count(); ++i) {
+    const ShardStats stats = runtime.shard_stats(i);
+    ingested += stats.ingested;
+    matched += stats.matched;
+    unmatched += stats.unmatched;
+    late += stats.late_dropped;
+  }
+  EXPECT_EQ(ingested, ref.ingested);
+  EXPECT_EQ(matched, ref.matched);
+  EXPECT_EQ(unmatched, ref.unmatched);
+  EXPECT_EQ(late, 0u);
+  EXPECT_EQ(runtime.merge_frontier(), kEpochs);
+}
+
+TEST(ClusterRuntimeTest, PerTupleShardCountsAreByteIdenticalToSingleEngine) {
+  const auto stream = simulate_stream(71);
+  ASSERT_FALSE(stream.empty());
+  const Reference ref = single_engine_reference(stream);
+
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    obs::LandscapeHistory history;
+    ClusterConfig config = cluster_config(shards, 1);
+    config.history = &history;
+    ClusterRuntime runtime(std::move(config));
+    for (const dns::ForwardedLookup& lookup : stream) runtime.ingest(lookup);
+    expect_cluster_matches(ref, runtime, history);
+  }
+}
+
+TEST(ClusterRuntimeTest, BinaryBlockPathIsByteIdenticalToSingleEngine) {
+  const auto stream = simulate_stream(72);
+  const Reference ref = single_engine_reference(stream);
+
+  std::ostringstream binary_os;
+  trace::write_blocks(binary_os, stream, 1 << 10);  // force several blocks
+
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    obs::LandscapeHistory history;
+    ClusterConfig config = cluster_config(shards, 1);
+    config.history = &history;
+    ClusterRuntime runtime(std::move(config));
+    std::istringstream binary_is(binary_os.str());
+    trace::for_each_block(
+        binary_is, [&runtime](const dns::LookupColumns& columns,
+                              std::span<const std::string_view> table) {
+          runtime.ingest_block(columns, table);
+        });
+    expect_cluster_matches(ref, runtime, history);
+  }
+}
+
+TEST(ClusterRuntimeTest, ThreadCountsAndBatchingNeverChangeBits) {
+  const auto stream = simulate_stream(73);
+  const Reference ref = single_engine_reference(stream);
+
+  struct Variant {
+    std::size_t threads;
+    std::size_t flush_tuples;
+    std::size_t queue_capacity;
+  };
+  // Oversubscribed estimation workers; tiny batches through a tiny queue
+  // (constant producer backpressure); one jumbo batch.
+  const Variant variants[] = {{2, 8192, 64}, {3, 64, 2}, {1, 1 << 20, 64}};
+
+  for (const Variant& v : variants) {
+    SCOPED_TRACE("threads=" + std::to_string(v.threads) +
+                 " flush=" + std::to_string(v.flush_tuples) +
+                 " queue=" + std::to_string(v.queue_capacity));
+    obs::LandscapeHistory history;
+    ClusterConfig config = cluster_config(4, v.threads);
+    config.flush_tuples = v.flush_tuples;
+    config.queue_capacity = v.queue_capacity;
+    config.history = &history;
+    ClusterRuntime runtime(std::move(config));
+    for (const dns::ForwardedLookup& lookup : stream) runtime.ingest(lookup);
+    expect_cluster_matches(ref, runtime, history);
+  }
+}
+
+TEST(ClusterRuntimeTest, ShardFeedsMatchAndRejectMisroutedTraffic) {
+  const auto stream = simulate_stream(74);
+  const Reference ref = single_engine_reference(stream);
+
+  obs::LandscapeHistory history;
+  ClusterConfig config = cluster_config(4, 1);
+  config.history = &history;
+  ClusterRuntime runtime(std::move(config));
+
+  // Pre-split the union trace by router, then feed per-shard handles.
+  std::vector<std::vector<dns::ForwardedLookup>> per_shard(4);
+  for (const dns::ForwardedLookup& lookup : stream) {
+    per_shard[runtime.router().shard_of(lookup.forwarder.value())].push_back(
+        lookup);
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    ShardFeed feed = runtime.shard_feed(i);
+    feed.ingest(per_shard[i]);
+    feed.flush();
+  }
+  expect_cluster_matches(ref, runtime, history);
+
+  // A tuple whose server another shard owns is a loud wiring error.
+  ClusterRuntime other(cluster_config(4, 1));
+  ShardFeed feed = other.shard_feed(0);
+  EXPECT_THROW(
+      feed.ingest(dns::ForwardedLookup{TimePoint{0}, dns::ServerId{7}, "x"}),
+      ConfigError);
+  EXPECT_THROW((void)other.shard_feed(9), ConfigError);
+}
+
+// The TSan target: per-shard producer threads drive their feeds while a
+// query thread polls the merged view, health, and stats. The final
+// landscape must still be byte-identical — concurrency is allowed to change
+// timing, never bits.
+TEST(ClusterRuntimeTest, ConcurrentProducersAndQueriesStayByteIdentical) {
+  const auto stream = simulate_stream(75);
+  const Reference ref = single_engine_reference(stream);
+
+  constexpr std::size_t kShards = 4;
+  obs::LandscapeHistory history;
+  ClusterConfig config = cluster_config(kShards, 1);
+  config.flush_tuples = 256;  // plenty of queue traffic
+  config.history = &history;
+  ClusterRuntime runtime(std::move(config));
+
+  std::vector<std::vector<dns::ForwardedLookup>> per_shard(kShards);
+  for (const dns::ForwardedLookup& lookup : stream) {
+    per_shard[runtime.router().shard_of(lookup.forwarder.value())].push_back(
+        lookup);
+  }
+
+  std::atomic<bool> done{false};
+  std::thread query([&runtime, &history, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)runtime.merge_frontier();
+      (void)runtime.max_shard_progress();
+      (void)json::write(runtime.health_json());
+      for (std::size_t i = 0; i < kShards; ++i) (void)runtime.shard_stats(i);
+      (void)history.latest();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  producers.reserve(kShards);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    producers.emplace_back([&runtime, &per_shard, i] {
+      ShardFeed feed = runtime.shard_feed(i);
+      for (const dns::ForwardedLookup& lookup : per_shard[i]) {
+        feed.ingest(lookup);
+      }
+      feed.flush();
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  done.store(true, std::memory_order_relaxed);
+  query.join();
+
+  expect_cluster_matches(ref, runtime, history);
+}
+
+TEST(ClusterRuntimeTest, FrontierLagDegradesClusterHealth) {
+  // Two shards; only shard 0 receives traffic, so its closes race ahead of
+  // the frontier — the merged landscape is held back and the cluster must
+  // say so even though each shard is individually healthy.
+  const auto stream = simulate_stream(76);
+  ClusterConfig config = cluster_config(2, 1);
+  config.health = stream::StreamHealthConfig{};
+  config.degraded_frontier_lag = 1;
+  config.unhealthy_frontier_lag = 100;
+  ClusterRuntime runtime(std::move(config));
+
+  ShardFeed feed = runtime.shard_feed(0);
+  for (const dns::ForwardedLookup& lookup : stream) {
+    if (runtime.router().shard_of(lookup.forwarder.value()) == 0) {
+      feed.ingest(lookup);
+    }
+  }
+  feed.advance(TimePoint{days(365).millis()});  // close shard 0's horizon
+  feed.flush();
+
+  // Wait (bounded) for the shard thread to drain and close.
+  for (int i = 0; i < 2000 && runtime.max_shard_progress() < kEpochs; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(runtime.max_shard_progress(), kEpochs);
+  EXPECT_EQ(runtime.merge_frontier(), 0);
+
+  const stream::HealthState state = runtime.sample_health(1000.0);
+  EXPECT_GE(state, stream::HealthState::kDegraded);
+  const json::Value health = runtime.health_json();
+  EXPECT_EQ(health.at("schema").as_string(), "botmeter.cluster_health.v1");
+  EXPECT_EQ(health.at("frontier_lag").as_int(), kEpochs);
+  EXPECT_EQ(health.at("shards").as_array().size(), 2u);
+}
+
+TEST(ClusterRuntimeTest, ValidatesConfiguration) {
+  // Empty router (default-constructed placeholder).
+  ClusterConfig config;
+  config.meter = meter_config();
+  EXPECT_THROW(ClusterRuntime{config}, ConfigError);
+
+  ClusterConfig zero_queue = cluster_config(2, 1);
+  zero_queue.queue_capacity = 0;
+  EXPECT_THROW(ClusterRuntime{zero_queue}, ConfigError);
+
+  ClusterConfig bad_lag = cluster_config(2, 1);
+  bad_lag.unhealthy_frontier_lag = 1;
+  bad_lag.degraded_frontier_lag = 4;
+  EXPECT_THROW(ClusterRuntime{bad_lag}, ConfigError);
+}
+
+}  // namespace
+}  // namespace botmeter::cluster

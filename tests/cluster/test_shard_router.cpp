@@ -1,0 +1,117 @@
+// ShardRouter: the server-ownership map must be total, balanced (range
+// mode), invertible (local_index / servers_of agree), loud on every
+// out-of-range query, and exactly round-trippable through the checkpoint
+// envelope serialisation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/shard_router.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace botmeter::cluster {
+namespace {
+
+TEST(ShardRouterTest, RangePartitionIsBalancedAndContiguous) {
+  const ShardRouter router = ShardRouter::by_range(10, 3);
+  EXPECT_EQ(router.server_count(), 10u);
+  EXPECT_EQ(router.shard_count(), 3u);
+
+  // 10 over 3: widths 4, 3, 3 — the first extra server goes to shard 0.
+  EXPECT_EQ(router.servers_of(0), (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(router.servers_of(1), (std::vector<std::uint32_t>{4, 5, 6}));
+  EXPECT_EQ(router.servers_of(2), (std::vector<std::uint32_t>{7, 8, 9}));
+
+  // Every server owned by exactly one shard, addressed by its rank.
+  for (std::uint32_t server = 0; server < 10; ++server) {
+    const std::size_t shard = router.shard_of(server);
+    const std::uint32_t local = router.local_index(server);
+    EXPECT_EQ(router.servers_of(shard)[local], server);
+  }
+}
+
+TEST(ShardRouterTest, SingleShardOwnsEverything) {
+  const ShardRouter router = ShardRouter::by_range(5, 1);
+  EXPECT_EQ(router.servers_of(0).size(), 5u);
+  for (std::uint32_t s = 0; s < 5; ++s) {
+    EXPECT_EQ(router.shard_of(s), 0u);
+    EXPECT_EQ(router.local_index(s), s);
+  }
+}
+
+TEST(ShardRouterTest, ExplicitAssignmentInvertsByAscendingServerId) {
+  // Interleaved ownership: locals are ranks among owned ids, ascending.
+  const ShardRouter router =
+      ShardRouter::explicit_assignment({1, 0, 1, 0, 1}, 2);
+  EXPECT_EQ(router.servers_of(0), (std::vector<std::uint32_t>{1, 3}));
+  EXPECT_EQ(router.servers_of(1), (std::vector<std::uint32_t>{0, 2, 4}));
+  EXPECT_EQ(router.local_index(3), 1u);
+  EXPECT_EQ(router.local_index(4), 2u);
+}
+
+TEST(ShardRouterTest, RejectsDegenerateConfigurations) {
+  EXPECT_THROW((void)ShardRouter::by_range(0, 1), ConfigError);
+  EXPECT_THROW((void)ShardRouter::by_range(4, 0), ConfigError);
+  // More shards than servers would leave an engine with nothing to estimate.
+  EXPECT_THROW((void)ShardRouter::by_range(2, 3), ConfigError);
+  // Shard 2 owns no servers.
+  EXPECT_THROW((void)ShardRouter::explicit_assignment({0, 1, 0}, 3),
+               ConfigError);
+  // Assignment names a shard outside the count.
+  EXPECT_THROW((void)ShardRouter::explicit_assignment({0, 5}, 2), ConfigError);
+}
+
+TEST(ShardRouterTest, QueriesRejectOutOfRangeIds) {
+  const ShardRouter router = ShardRouter::by_range(4, 2);
+  EXPECT_THROW((void)router.shard_of(4), ConfigError);
+  EXPECT_THROW((void)router.local_index(4), ConfigError);
+  EXPECT_THROW((void)router.servers_of(2), ConfigError);
+}
+
+TEST(ShardRouterTest, JsonRoundTripIsExact) {
+  const ShardRouter range = ShardRouter::by_range(11, 4);
+  EXPECT_EQ(ShardRouter::from_json(range.to_json()), range);
+  // Byte-stable through the canonical writer too.
+  EXPECT_EQ(json::write(ShardRouter::from_json(range.to_json()).to_json()),
+            json::write(range.to_json()));
+
+  const ShardRouter assigned =
+      ShardRouter::explicit_assignment({2, 0, 1, 2, 0}, 3);
+  EXPECT_EQ(ShardRouter::from_json(assigned.to_json()), assigned);
+
+  // The two construction modes are distinguishable even when equivalent.
+  const ShardRouter as_range = ShardRouter::by_range(4, 2);
+  const ShardRouter as_explicit =
+      ShardRouter::explicit_assignment({0, 0, 1, 1}, 2);
+  EXPECT_FALSE(as_range == as_explicit);
+}
+
+TEST(ShardRouterTest, FromJsonRejectsCorruptDocuments) {
+  const ShardRouter router = ShardRouter::explicit_assignment({0, 1}, 2);
+  {
+    json::Object broken = router.to_json().as_object();
+    broken["mode"] = json::Value(std::string("hashed"));
+    EXPECT_THROW((void)ShardRouter::from_json(json::Value(std::move(broken))),
+                 DataError);
+  }
+  {
+    json::Object broken = router.to_json().as_object();
+    broken["server_count"] = json::Value(7.0);  // assignment length is 2
+    EXPECT_THROW((void)ShardRouter::from_json(json::Value(std::move(broken))),
+                 DataError);
+  }
+  {
+    // Structurally invalid stored assignment (shard 1 empty) is DataError,
+    // not ConfigError: the document is corrupt, the caller did nothing wrong.
+    json::Object broken = router.to_json().as_object();
+    broken["assignment"] =
+        json::Value(json::Array{json::Value(0.0), json::Value(0.0)});
+    EXPECT_THROW((void)ShardRouter::from_json(json::Value(std::move(broken))),
+                 DataError);
+  }
+}
+
+}  // namespace
+}  // namespace botmeter::cluster

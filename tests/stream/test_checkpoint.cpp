@@ -157,6 +157,65 @@ TEST(StreamCheckpointTest, RestoreRejectsUnknownSchemaAndUsedEngine) {
   }
 }
 
+// A checkpoint rejected mid-parse (here: a structurally valid document whose
+// open section names a server outside the configured width — detected after
+// the counters and closed rows already parsed) must leave the engine exactly
+// as constructed: empty, with deterministic counters, and fully usable for
+// both a fresh ingest run and a retried restore from an intact document.
+TEST(StreamCheckpointTest, RejectedCheckpointLeavesEngineEmptyAndUsable) {
+  const auto stream = simulate_stream(3, 2, 61);
+  ASSERT_GT(stream.size(), 10u);
+
+  StreamEngine reference(newgoz_config(3, 2));
+  reference.ingest(stream);
+  const std::string want =
+      json::write(core::landscape_to_json(reference.finish()));
+
+  // An otherwise-valid mid-stream checkpoint with one poisoned open bucket.
+  const std::size_t split = (stream.size() * 2) / 5;
+  StreamEngine source(newgoz_config(3, 2));
+  source.ingest(std::span<const dns::ForwardedLookup>(stream).first(split));
+  const json::Value intact = source.checkpoint();
+  json::Object broken = intact.as_object();
+  {
+    json::Object bucket;
+    bucket["server"] = json::Value(999.0);  // width is 2
+    bucket["epoch"] = json::Value(2.0);
+    bucket["t"] = json::Value(json::Array{});
+    bucket["pos"] = json::Value(json::Array{});
+    bucket["valid"] = json::Value(json::Array{});
+    json::Array open = broken.at("open").as_array();
+    open.emplace_back(std::move(bucket));
+    broken["open"] = json::Value(std::move(open));
+  }
+  const json::Value corrupt{std::move(broken)};
+
+  StreamEngine engine(newgoz_config(3, 2));
+  EXPECT_THROW(engine.restore(corrupt), DataError);
+
+  // Pinned: the failed restore left nothing behind.
+  EXPECT_EQ(engine.ingested(), 0u);
+  EXPECT_EQ(engine.matched(), 0u);
+  EXPECT_EQ(engine.unmatched(), 0u);
+  EXPECT_EQ(engine.late_dropped(), 0u);
+  EXPECT_EQ(engine.resident_lookups(), 0u);
+  EXPECT_EQ(engine.peak_resident_lookups(), 0u);
+  EXPECT_FALSE(engine.watermark().has_value());
+  EXPECT_EQ(engine.next_epoch_to_close(), 0);
+  EXPECT_FALSE(engine.finished());
+
+  // ...and the engine runs a full fresh ingest bit-identically.
+  engine.ingest(stream);
+  EXPECT_EQ(json::write(core::landscape_to_json(engine.finish())), want);
+
+  // A failed restore may also be retried with the intact document.
+  StreamEngine retry(newgoz_config(3, 2));
+  EXPECT_THROW(retry.restore(corrupt), DataError);
+  retry.restore(intact);
+  retry.ingest(std::span<const dns::ForwardedLookup>(stream).subspan(split));
+  EXPECT_EQ(json::write(core::landscape_to_json(retry.finish())), want);
+}
+
 TEST(StreamCheckpointTest, FinishedEngineRoundTripsSealed) {
   const auto stream = simulate_stream(2, 1, 59);
   StreamEngine engine(newgoz_config(2, 1));
