@@ -7,7 +7,7 @@
 // one producer thread per shard driving its ShardFeed through the zero-copy
 // block path. Best-of-3 per shard count.
 //
-// Two guards:
+// Three guards:
 //   - byte identity (always enforced): every shard count's final
 //     landscape_to_json document must equal the single StreamEngine's over
 //     the union feed — sharding is a throughput knob, never a result knob;
@@ -15,7 +15,12 @@
 //     must sustain at least kScalingFloor x the 1-shard throughput. On
 //     smaller hosts the producers and shard threads time-share cores, so the
 //     measured ratio is scheduler behaviour, not cluster behaviour — the
-//     numbers are still reported.
+//     numbers are still reported;
+//   - instrumentation overhead (enforced only with >= 8 hardware threads):
+//     a 4-shard run with the full observability layer attached (LagTracker
+//     + EventJournal + TraceSession) must sustain at least kOverheadFloor x
+//     the plain 4-shard throughput, and its report must still be
+//     byte-identical — "provably free" as a regression gate, not a slogan.
 //
 // The timed window covers decode + scatter + queue + shard-engine ingest:
 // producers join, then the clock stops when every shard's applied-tuple
@@ -33,6 +38,7 @@
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -43,6 +49,9 @@
 #include "common/json.hpp"
 #include "core/botmeter.hpp"
 #include "dga/families.hpp"
+#include "obs/event_journal.hpp"
+#include "obs/lag_tracker.hpp"
+#include "obs/trace.hpp"
 #include "stream/stream_engine.hpp"
 #include "trace/block.hpp"
 #include "trace/split.hpp"
@@ -59,6 +68,11 @@ constexpr int kReps = 3;
 /// 8 shards must beat 1 shard by at least this factor — enforced only when
 /// the host has >= 8 hardware threads (see header comment).
 constexpr double kScalingFloor = 3.0;
+/// The fully instrumented 4-shard lane must keep at least this fraction of
+/// the plain 4-shard throughput (< 2% overhead) — same enforcement gate.
+constexpr double kOverheadFloor = 0.98;
+/// Shard count for the instrumentation-overhead lane.
+constexpr std::size_t kOverheadShards = 4;
 
 double wall_ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
@@ -132,11 +146,11 @@ int main(int argc, char** argv) {
   std::printf("%-7s %9s %10s %12s %8s %6s\n", "shards", "tuples", "best_ms",
               "tuples/s", "speedup", "bytes");
 
-  json::Array results;
-  double one_shard_tps = 0.0;
-  double eight_shard_tps = 0.0;
-  bool all_identical = true;
-  for (const std::size_t shard_count : {1u, 2u, 4u, 8u}) {
+  // One lane: best-of-kReps ingest of the pre-split feed at `shard_count`
+  // shards, optionally with the full observability layer attached. The timed
+  // window is identical either way — instrumentation must pay for itself
+  // inside it.
+  const auto measure = [&](std::size_t shard_count, bool instrumented) {
     const cluster::ShardRouter router =
         cluster::ShardRouter::by_range(kServers, shard_count);
 
@@ -159,12 +173,23 @@ int main(int argc, char** argv) {
     m.shards = shard_count;
     m.tuples = tuples;
     for (int rep = 0; rep < kReps; ++rep) {
+      std::optional<obs::LagTracker> lag;
+      std::optional<obs::EventJournal> journal;
+      std::optional<obs::TraceSession> trace_session;
       cluster::ClusterConfig config;
       config.meter.dga = family;
       config.first_epoch = 0;
       config.epoch_count = kEpochs;
       config.router = router;
       config.allowed_lateness = lateness;
+      if (instrumented) {
+        lag.emplace(shard_count);
+        journal.emplace();
+        trace_session.emplace();
+        config.lag = &*lag;
+        config.journal = &*journal;
+        config.meter.trace = &*trace_session;
+      }
       cluster::ClusterRuntime runtime(std::move(config));
 
       const auto start = std::chrono::steady_clock::now();
@@ -202,10 +227,21 @@ int main(int argc, char** argv) {
       m.report_identical = report == reference_report;
       if (!m.report_identical) break;
     }
-    all_identical = all_identical && m.report_identical;
     m.tuples_per_sec =
         m.best_ms > 0.0 ? static_cast<double>(tuples) / (m.best_ms / 1e3) : 0.0;
+    return m;
+  };
+
+  json::Array results;
+  double one_shard_tps = 0.0;
+  double four_shard_tps = 0.0;
+  double eight_shard_tps = 0.0;
+  bool all_identical = true;
+  for (const std::size_t shard_count : {1u, 2u, 4u, 8u}) {
+    Measurement m = measure(shard_count, /*instrumented=*/false);
+    all_identical = all_identical && m.report_identical;
     if (shard_count == 1) one_shard_tps = m.tuples_per_sec;
+    if (shard_count == 4) four_shard_tps = m.tuples_per_sec;
     if (shard_count == 8) eight_shard_tps = m.tuples_per_sec;
     m.speedup_vs_one =
         one_shard_tps > 0.0 ? m.tuples_per_sec / one_shard_tps : 0.0;
@@ -214,6 +250,17 @@ int main(int argc, char** argv) {
                 m.report_identical ? "same" : "DIFF");
     results.push_back(to_json(m));
   }
+
+  // Instrumentation-overhead lane: the same 4-shard configuration with the
+  // full observability layer live (lag histograms + flight recorder + flow
+  // tracing), against the plain 4-shard best above.
+  const Measurement instr = measure(kOverheadShards, /*instrumented=*/true);
+  all_identical = all_identical && instr.report_identical;
+  const double overhead_ratio =
+      four_shard_tps > 0.0 ? instr.tuples_per_sec / four_shard_tps : 0.0;
+  std::printf("%-7s %9zu %10.1f %12.0f %7s %6s\n", "4+obs", instr.tuples,
+              instr.best_ms, instr.tuples_per_sec, "-",
+              instr.report_identical ? "same" : "DIFF");
 
   const double scaling =
       one_shard_tps > 0.0 ? eight_shard_tps / one_shard_tps : 0.0;
@@ -226,6 +273,15 @@ int main(int argc, char** argv) {
       : enforced   ? "FAIL"
                    : "below floor (not enforced: fewer than 8 hardware "
                      "threads — producers and shards time-share cores)");
+  const bool overhead_pass = overhead_ratio >= kOverheadFloor;
+  std::printf(
+      "instrumentation: lag+journal+trace at %.3fx the plain %zu-shard "
+      "throughput (floor %.2fx): %s\n",
+      overhead_ratio, kOverheadShards, kOverheadFloor,
+      overhead_pass ? "pass"
+      : enforced    ? "FAIL"
+                    : "below floor (not enforced: fewer than 8 hardware "
+                      "threads — timing noise dominates on shared cores)");
 
   json::Object root;
   root.emplace("schema", json::Value(std::string("botmeter.bench_cluster.v1")));
@@ -240,6 +296,19 @@ int main(int argc, char** argv) {
   root.emplace("scaling_enforced", json::Value(enforced));
   root.emplace("scaling_pass", json::Value(scaling_pass));
   root.emplace("reports_identical", json::Value(all_identical));
+  {
+    json::Object o;
+    o.emplace("shards", json::Value(static_cast<double>(kOverheadShards)));
+    o.emplace("plain_tuples_per_sec", json::Value(four_shard_tps));
+    o.emplace("instrumented_tuples_per_sec", json::Value(instr.tuples_per_sec));
+    o.emplace("instrumented_ingest_ms", json::Value(instr.best_ms));
+    o.emplace("ratio", json::Value(overhead_ratio));
+    o.emplace("floor", json::Value(kOverheadFloor));
+    o.emplace("enforced", json::Value(enforced));
+    o.emplace("pass", json::Value(overhead_pass));
+    o.emplace("report_identical", json::Value(instr.report_identical));
+    root.emplace("instrumentation", json::Value(std::move(o)));
+  }
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -259,6 +328,14 @@ int main(int argc, char** argv) {
                  "FAIL: 8 shards sustained only %.2fx the 1-shard throughput "
                  "(floor %.1fx)\n",
                  scaling, kScalingFloor);
+    return 1;
+  }
+  if (enforced && !overhead_pass) {
+    std::fprintf(stderr,
+                 "FAIL: instrumentation kept only %.3fx the plain %zu-shard "
+                 "throughput (floor %.2fx — the observability layer must "
+                 "stay under 2%% overhead)\n",
+                 overhead_ratio, kOverheadShards, kOverheadFloor);
     return 1;
   }
   return 0;

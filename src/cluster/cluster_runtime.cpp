@@ -6,8 +6,11 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/event_journal.hpp"
+#include "obs/lag_tracker.hpp"
 #include "obs/landscape_history.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace botmeter::cluster {
 
@@ -46,6 +49,12 @@ void ClusterConfig::validate() const {
         "unhealthy_frontier_lag");
   }
   if (health) health->validate();
+  if (lag != nullptr && lag->shard_count() != router.shard_count()) {
+    throw ConfigError("ClusterConfig: lag tracker was built for " +
+                      std::to_string(lag->shard_count()) +
+                      " shards, router has " +
+                      std::to_string(router.shard_count()));
+  }
 }
 
 // --- ShardFeed (thin forwarding handles) ------------------------------------
@@ -82,13 +91,18 @@ void ShardFeed::flush() { runtime_->flush_shard(shard_); }
 
 ClusterRuntime::ClusterRuntime(ClusterConfig config)
     : config_((config.validate(), std::move(config))),
-      merger_(config_.router, config_.first_epoch, config_.epoch_count) {
+      merger_(config_.router, config_.first_epoch, config_.epoch_count),
+      instr_(config_.lag != nullptr || config_.journal != nullptr ||
+             config_.meter.trace != nullptr),
+      origin_(std::chrono::steady_clock::now()) {
   merger_.on_merge([this](const MergedEpoch& merged) { handle_merge(merged); });
 
   const std::size_t n = config_.router.shard_count();
   shards_.reserve(n);
+  prev_shard_state_.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>();
+    shard->index = i;
 
     stream::StreamEngineConfig ec;
     ec.meter = config_.meter;
@@ -122,10 +136,54 @@ ClusterRuntime::~ClusterRuntime() { stop_threads(); }
 
 // --- merge / close plumbing -------------------------------------------------
 
+double ClusterRuntime::obs_now_ms() const {
+  if (config_.meter.trace != nullptr) return config_.meter.trace->now_ms();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+void ClusterRuntime::drain_close_latencies(Shard& shard) {
+  if (config_.lag == nullptr) return;
+  const std::span<const double> latencies = shard.engine->close_latencies_ms();
+  while (shard.close_latency_cursor < latencies.size()) {
+    config_.lag->record(shard.index, obs::LagStage::kEpochClose,
+                        latencies[shard.close_latency_cursor++]);
+  }
+}
+
 void ClusterRuntime::handle_close(std::size_t shard, std::int64_t epoch) {
   // Runs on the shard's thread (or the control thread during finish()),
   // immediately after the engine appended the epoch's cell row.
   const auto rows = shards_[shard]->engine->closed_rows();
+  if (instr_ && !replaying_) {
+    const double now = obs_now_ms();
+    const std::span<const double> latencies =
+        shards_[shard]->engine->close_latencies_ms();
+    const double close_ms = latencies.empty() ? 0.0 : latencies.back();
+    if (config_.journal != nullptr) {
+      config_.journal->log(obs::EventKind::kEpochClose,
+                           static_cast<std::int32_t>(shard), epoch, close_ms);
+    }
+    if (config_.lag != nullptr) {
+      config_.lag->note_shard_close(epoch, shard, now);
+    }
+    if (config_.meter.trace != nullptr) {
+      // Mint the close->merge flow id BEFORE offering: when this is the
+      // last-arriving close, offer() merges the epoch synchronously on this
+      // thread and handle_merge must find the id already stored. Earlier
+      // closes of the same epoch are overwritten — the triggering (last)
+      // writer is the one the merge span links from.
+      const std::uint64_t flow = obs::TraceSession::next_flow_id();
+      {
+        std::lock_guard<std::mutex> lock(flow_mu_);
+        close_flow_[epoch] = flow;
+      }
+      config_.meter.trace->record_flow_span("cluster.epoch_close",
+                                            now - close_ms, close_ms,
+                                            this_thread_ordinal(), 0, flow);
+    }
+  }
   merger_.offer(shard, epoch,
                 std::vector<estimators::EpochCell>(rows.back().begin(),
                                                    rows.back().end()));
@@ -133,6 +191,30 @@ void ClusterRuntime::handle_close(std::size_t shard, std::int64_t epoch) {
 
 void ClusterRuntime::handle_merge(const MergedEpoch& merged) {
   // Under the merger mutex, on whichever shard thread completed the epoch.
+  // Keep this short and never call back into the merger.
+  if (instr_ && !replaying_) {
+    const double now = obs_now_ms();
+    if (config_.lag != nullptr) config_.lag->note_merge(merged.epoch, now);
+    if (config_.journal != nullptr) {
+      // No merger accessors here — we are under its mutex.
+      config_.journal->log(obs::EventKind::kMergePublish, -1, merged.epoch,
+                           static_cast<double>(merged.cells.size()));
+    }
+    if (config_.meter.trace != nullptr) {
+      std::uint64_t flow = 0;
+      {
+        std::lock_guard<std::mutex> lock(flow_mu_);
+        const auto it = close_flow_.find(merged.epoch);
+        if (it != close_flow_.end()) {
+          flow = it->second;
+          close_flow_.erase(it);
+        }
+      }
+      config_.meter.trace->record_flow_span("cluster.merge_publish", now,
+                                            obs_now_ms() - now,
+                                            this_thread_ordinal(), flow, 0);
+    }
+  }
   if (replaying_ || config_.history == nullptr) return;
   obs::LandscapeEpochRecord row;
   row.epoch = merged.epoch;
@@ -199,6 +281,16 @@ void ClusterRuntime::shard_main(std::size_t index) {
 }
 
 void ClusterRuntime::apply_batch(Shard& shard, ShardBatch& batch) {
+  const bool tracked = instr_ && !batch.t_ms.empty();
+  double dequeued_ms = 0.0;
+  if (tracked) {
+    dequeued_ms = obs_now_ms();
+    if (config_.lag != nullptr) {
+      config_.lag->record(shard.index, obs::LagStage::kQueueWait,
+                          dequeued_ms - batch.enqueued_ms);
+    }
+  }
+
   // New table entries first: ids in the batch's columns were assigned
   // against the table including them.
   for (std::string& s : batch.new_strings) {
@@ -213,10 +305,35 @@ void ClusterRuntime::apply_batch(Shard& shard, ShardBatch& batch) {
     shard.engine->ingest_block(columns,
                                std::span<const std::string_view>(shard.table));
   }
-  if (batch.advance) shard.engine->advance(*batch.advance);
+  if (batch.advance) {
+    shard.engine->advance(*batch.advance);
+    if (config_.journal != nullptr) {
+      config_.journal->log(obs::EventKind::kWatermarkAdvance,
+                           static_cast<std::int32_t>(shard.index),
+                           obs::JournalEvent::kNoEpoch,
+                           static_cast<double>(batch.advance->millis()));
+    }
+  }
   if (batch.sample_now_ms) {
     shard.monitor->sample(*shard.engine, *batch.sample_now_ms);
   }
+
+  if (tracked) {
+    const double done_ms = obs_now_ms();
+    if (config_.lag != nullptr) {
+      config_.lag->record(shard.index, obs::LagStage::kShardIngest,
+                          done_ms - dequeued_ms);
+    }
+    if (config_.meter.trace != nullptr) {
+      config_.meter.trace->record_flow_span("cluster.shard_ingest",
+                                            dequeued_ms, done_ms - dequeued_ms,
+                                            this_thread_ordinal(),
+                                            batch.flow_id, 0);
+    }
+  }
+  // Epoch closes happen inside ingest_block/advance; attribute their wall
+  // time (already measured by the engine) to the epoch_close stage.
+  drain_close_latencies(shard);
 
   shard.ingested.store(shard.engine->ingested(), std::memory_order_relaxed);
   shard.matched.store(shard.engine->matched(), std::memory_order_relaxed);
@@ -229,10 +346,38 @@ void ClusterRuntime::apply_batch(Shard& shard, ShardBatch& batch) {
 
 void ClusterRuntime::enqueue(std::size_t shard, ShardBatch batch) {
   ensure_started();
+  const bool tracked = instr_ && !batch.t_ms.empty();
+  if (tracked) {
+    const double now = obs_now_ms();
+    if (config_.lag != nullptr) {
+      config_.lag->record(shard, obs::LagStage::kProducerBatch,
+                          now - batch.formed_ms);
+    }
+    if (config_.meter.trace != nullptr) {
+      batch.flow_id = obs::TraceSession::next_flow_id();
+      config_.meter.trace->record_flow_span("cluster.producer_batch",
+                                            batch.formed_ms,
+                                            now - batch.formed_ms,
+                                            this_thread_ordinal(), 0,
+                                            batch.flow_id);
+    }
+  }
   Shard& s = *shards_[shard];
   std::unique_lock<std::mutex> lock(s.mu);
+  if (config_.journal != nullptr &&
+      s.queue.size() >= config_.queue_capacity) {
+    // The producer is about to block on a full queue — backpressure worth a
+    // flight-recorder entry (the journal mutex is a leaf; safe under s.mu).
+    config_.journal->log(obs::EventKind::kQueueSaturation,
+                         static_cast<std::int32_t>(shard),
+                         obs::JournalEvent::kNoEpoch,
+                         static_cast<double>(s.queue.size()));
+  }
   s.cv_push.wait(lock,
                  [&s, this] { return s.queue.size() < config_.queue_capacity; });
+  // Stamp after the capacity wait: time blocked on backpressure belongs to
+  // the producer, not to the batch's queue_wait stage.
+  if (tracked) batch.enqueued_ms = obs_now_ms();
   s.queue.push_back(std::move(batch));
   s.cv_pop.notify_one();
 }
@@ -288,6 +433,11 @@ void ClusterRuntime::scatter_tuple(std::size_t shard, std::int64_t t_ms,
                                    std::uint32_t local_server,
                                    std::uint32_t local_domain) {
   ShardScatter& scatter = shards_[shard]->scatter;
+  // One predictable branch per tuple when instrumentation is off; the clock
+  // is read once per *batch* (first tuple) when it is on.
+  if (instr_ && scatter.pending.t_ms.empty()) {
+    scatter.pending.formed_ms = obs_now_ms();
+  }
   scatter.pending.t_ms.push_back(t_ms);
   scatter.pending.server.push_back(local_server);
   scatter.pending.domain.push_back(local_domain);
@@ -428,6 +578,7 @@ core::LandscapeReport ClusterRuntime::finish() {
     // through the on_epoch_close wiring. The per-shard report is the merged
     // report's restriction to the shard's servers — nothing to keep.
     (void)shard.engine->finish();
+    drain_close_latencies(shard);
     shard.ingested.store(shard.engine->ingested(), std::memory_order_relaxed);
     shard.matched.store(shard.engine->matched(), std::memory_order_relaxed);
     shard.unmatched.store(shard.engine->unmatched(),
@@ -493,6 +644,43 @@ stream::HealthState ClusterRuntime::sample_health(double now_ms) {
   }
   cluster_state_.store(static_cast<int>(worst), std::memory_order_relaxed);
 
+  if (config_.journal != nullptr) {
+    // Journal every state change since the previous sample (shard-level and
+    // cluster-level), and flush the black box the moment the cluster goes
+    // unhealthy — by then the interesting history is already in the ring.
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const int state = static_cast<int>(shards_[i]->monitor->state());
+      if (state != prev_shard_state_[i]) {
+        config_.journal->log(
+            obs::EventKind::kHealthTransition, static_cast<std::int32_t>(i),
+            obs::JournalEvent::kNoEpoch, static_cast<double>(state),
+            std::string(stream::health_state_name(
+                static_cast<stream::HealthState>(prev_shard_state_[i]))) +
+                "->" +
+                std::string(stream::health_state_name(
+                    static_cast<stream::HealthState>(state))));
+        prev_shard_state_[i] = state;
+        if (state == static_cast<int>(stream::HealthState::kUnhealthy)) {
+          (void)config_.journal->auto_dump();
+        }
+      }
+    }
+    const int cluster_now = static_cast<int>(worst);
+    if (cluster_now != prev_cluster_state_) {
+      config_.journal->log(
+          obs::EventKind::kHealthTransition, -1, obs::JournalEvent::kNoEpoch,
+          static_cast<double>(cluster_now),
+          std::string(stream::health_state_name(
+              static_cast<stream::HealthState>(prev_cluster_state_))) +
+              "->" + std::string(stream::health_state_name(worst)));
+      const bool went_unhealthy =
+          worst == stream::HealthState::kUnhealthy &&
+          prev_cluster_state_ != static_cast<int>(stream::HealthState::kUnhealthy);
+      prev_cluster_state_ = cluster_now;
+      if (went_unhealthy) (void)config_.journal->auto_dump();
+    }
+  }
+
   obs::MetricsRegistry* const metrics = config_.meter.metrics;
   if (metrics != nullptr) {
     metrics->gauge("cluster.health.state").set(static_cast<double>(worst));
@@ -548,6 +736,11 @@ json::Value ClusterRuntime::health_json() const {
   root.emplace("max_shard_progress", number(progress));
   root.emplace("frontier_lag", number(progress - frontier));
   root.emplace("shards", json::Value(std::move(shards)));
+  if (config_.lag != nullptr) {
+    // A "degraded" verdict names its suspect: the slowest pipeline stage and
+    // the shard that accumulated the most wall time.
+    root.emplace("lag", config_.lag->attribution_json());
+  }
   return json::Value(std::move(root));
 }
 
@@ -573,6 +766,11 @@ json::Value ClusterRuntime::checkpoint() {
   root.emplace("shards", json::Value(std::move(shards)));
 
   if (pause) resume_threads();
+  if (config_.journal != nullptr) {
+    config_.journal->log(obs::EventKind::kCheckpoint, -1,
+                         obs::JournalEvent::kNoEpoch,
+                         static_cast<double>(merger_.merge_frontier()));
+  }
   return json::Value(std::move(root));
 }
 
@@ -636,6 +834,11 @@ void ClusterRuntime::restore(const json::Value& checkpoint) {
                              std::memory_order_relaxed);
     shard.next_epoch.store(shard.engine->next_epoch_to_close(),
                            std::memory_order_relaxed);
+  }
+  if (config_.journal != nullptr) {
+    config_.journal->log(obs::EventKind::kRestore, -1,
+                         obs::JournalEvent::kNoEpoch,
+                         static_cast<double>(merger_.merge_frontier()));
   }
 }
 

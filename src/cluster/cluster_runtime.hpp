@@ -55,6 +55,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -78,6 +79,8 @@
 #include "stream/stream_engine.hpp"
 
 namespace botmeter::obs {
+class EventJournal;
+class LagTracker;
 class LandscapeHistory;
 }  // namespace botmeter::obs
 
@@ -129,6 +132,20 @@ struct ClusterConfig {
   /// byte-identical to the rows a single engine over the union trace would
   /// record (when neither stamps health). Observational only.
   obs::LandscapeHistory* history = nullptr;
+
+  /// Optional lag attribution sink (must be built for exactly this shard
+  /// count): per-(shard, stage) wall-time histograms plus the per-epoch
+  /// straggler table. Observational only — a null tracker means no clock
+  /// reads on the ingest path, and results are byte-identical either way.
+  obs::LagTracker* lag = nullptr;
+
+  /// Optional flight recorder: health transitions, epoch closes, watermark
+  /// advances, checkpoint/restore, queue saturation, and merge publishes
+  /// each append one structured event (shard-level events carry the shard
+  /// index, cluster-level events -1). sample_health() auto-dumps the journal
+  /// the moment the cluster turns unhealthy when a dump path is configured.
+  /// Observational only, same null contract as `lag`.
+  obs::EventJournal* journal = nullptr;
 
   void validate() const;
 };
@@ -285,6 +302,15 @@ class ClusterRuntime {
     std::optional<TimePoint> advance;
     std::optional<double> sample_now_ms;
 
+    // Lag/flow metadata, stamped only when instrumentation is attached
+    // (obs_now_ms is never read otherwise). Not data: empty() ignores it.
+    /// When the batch's first tuple entered the pending scatter state.
+    double formed_ms = 0.0;
+    /// When the batch landed on the shard queue.
+    double enqueued_ms = 0.0;
+    /// Perfetto flow id linking the producer span to the shard-ingest span.
+    std::uint64_t flow_id = 0;
+
     [[nodiscard]] bool empty() const {
       return t_ms.empty() && new_strings.empty() && !advance && !sample_now_ms;
     }
@@ -316,9 +342,15 @@ class ClusterRuntime {
   /// table. `storage` is a deque so the string_view table never dangles on
   /// growth; both are touched only by the shard thread once started.
   struct Shard {
+    std::size_t index = 0;
     std::unique_ptr<stream::StreamEngine> engine;
     std::unique_ptr<stream::StreamHealthMonitor> monitor;
     ShardScatter scatter;
+    /// How many of the engine's close_latencies_ms() entries were already
+    /// drained into the lag tracker's epoch_close stage. Touched only by
+    /// whichever thread currently drives the engine (shard thread, or the
+    /// control thread during finish()).
+    std::size_t close_latency_cursor = 0;
 
     std::mutex mu;
     std::condition_variable cv_push;   // producer waits: queue full
@@ -360,11 +392,30 @@ class ClusterRuntime {
   void stop_threads();
   void pause_threads();
   void resume_threads();
+  /// Instrumentation clock: the attached trace session's timeline when there
+  /// is one (so lag spans align with its spans), else milliseconds since
+  /// construction. Only called when instr_ is set.
+  [[nodiscard]] double obs_now_ms() const;
+  /// Push any engine close latencies past the shard's cursor into the lag
+  /// tracker's epoch_close stage.
+  void drain_close_latencies(Shard& shard);
 
   ClusterConfig config_;
   std::string estimator_name_;
   LandscapeMerger merger_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// True when any of lag/journal/trace is attached — the single gate every
+  /// instrumentation point tests before touching a clock.
+  bool instr_ = false;
+  std::chrono::steady_clock::time_point origin_;
+  /// Epoch -> flow id minted at the triggering close, consumed by the merge
+  /// publish span (the offer that completes an epoch merges it on the same
+  /// thread, so the last writer is the one handle_merge reads).
+  std::mutex flow_mu_;
+  std::unordered_map<std::int64_t, std::uint64_t> close_flow_;
+  /// Previous health states (control thread only): journal transitions.
+  std::vector<int> prev_shard_state_;
+  int prev_cluster_state_ = 0;
   /// Guards the one-time thread spawn: feeds for different shards may ingest
   /// concurrently, and whichever enqueues first starts the threads.
   std::mutex start_mu_;

@@ -242,8 +242,18 @@ void RateTracker::tick(MetricsRegistry::Snapshot& snapshot, double now_ms) {
   // The baseline must be the un-augmented snapshot: copy before appending.
   const MetricsRegistry::Snapshot baseline = snapshot;
 
-  const double dt_s =
-      have_previous_ ? (now_ms - previous_ms_) / 1000.0 : 0.0;
+  // First poll: no baseline to difference against, so any rate would be an
+  // artifact — the counter's whole lifetime divided by an arbitrary dt (the
+  // classic first-scrape spike). Emit nothing; rates appear once two
+  // samples exist.
+  if (!have_previous_) {
+    previous_ = baseline;
+    previous_ms_ = now_ms;
+    have_previous_ = true;
+    return;
+  }
+
+  const double dt_s = (now_ms - previous_ms_) / 1000.0;
   MetricsRegistry::Snapshot delta;
   if (dt_s > 0.0) delta = delta_snapshot(snapshot, previous_);
 

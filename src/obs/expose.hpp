@@ -69,9 +69,11 @@ struct ExpositionSample {
 /// `<name>.per_sec` gauge per tracked counter series (labels preserved) to
 /// the snapshot, computed via `delta_snapshot` against the previous tick,
 /// then remembers the un-augmented snapshot as the next baseline. The first
-/// tick — and any tick with a non-positive time step — reports 0, so the
-/// series exists from the first scrape. Counter resets clamp to 0 (the
-/// delta_snapshot rule), never negative rates.
+/// tick appends *no* rate gauges — there is no baseline yet, and dividing a
+/// counter's whole lifetime by an arbitrary dt is the classic first-scrape
+/// spike — so `*_per_sec` series exist only once two samples do. Later
+/// ticks with a non-positive time step report 0. Counter resets clamp to 0
+/// (the delta_snapshot rule), never negative rates.
 ///
 /// Not thread-safe: tick() is meant to be called from exactly one thread —
 /// in practice the HTTP exporter's handler thread, where successive

@@ -28,6 +28,11 @@ constexpr std::size_t kMaxRequestBytes = 8 * 1024;
 /// connection (and the single-threaded exporter) at most this long.
 constexpr int kClientTimeoutMs = 2000;
 
+/// Error responses are always plain text; set explicitly rather than relying
+/// on the HttpResponse default so every response the exporter itself builds
+/// names its Content-Type.
+constexpr const char* kErrorContentType = "text/plain; charset=utf-8";
+
 const char* reason_phrase(int status) {
   switch (status) {
     case 200: return "OK";
@@ -233,6 +238,7 @@ void HttpExporter::handle_connection(int client_fd) {
   const std::size_t line_end = request.find('\n');
   if (overflow || line_end == std::string::npos) {
     response.status = 400;
+    response.content_type = kErrorContentType;
     response.body = "bad request\n";
     send_all(client_fd, render_response(response));
     return;
@@ -246,6 +252,7 @@ void HttpExporter::handle_connection(int client_fd) {
       sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
   if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
     response.status = 400;
+    response.content_type = kErrorContentType;
     response.body = "bad request\n";
     send_all(client_fd, render_response(response));
     return;
@@ -261,11 +268,15 @@ void HttpExporter::handle_connection(int client_fd) {
 
   if (method != "GET") {
     response.status = 405;
+    response.content_type = kErrorContentType;
     response.body = "only GET is supported\n";
   } else if (const auto it = routes_.find(parsed.path); it != routes_.end()) {
     response = it->second(parsed);
   } else {
+    // Unknown route: a plain-text listing of everything that *is* served,
+    // so a mistyped scrape config diagnoses itself.
     response.status = 404;
+    response.content_type = kErrorContentType;
     std::string known;
     for (const auto& [route, handler] : routes_) known += route + "\n";
     response.body = "not found; routes:\n" + known;

@@ -39,7 +39,23 @@ void TraceSession::record_span(std::string_view phase, double start_ms,
                                std::uint32_t depth) {
   if (ended()) return;
   std::lock_guard<std::mutex> lock(mu_);
-  spans_.push_back(Span{std::string(phase), millis, start_ms, thread, depth});
+  spans_.push_back(
+      Span{std::string(phase), millis, start_ms, thread, depth, 0, 0});
+}
+
+void TraceSession::record_flow_span(std::string_view phase, double start_ms,
+                                    double millis, std::uint32_t thread,
+                                    std::uint64_t flow_in,
+                                    std::uint64_t flow_out) {
+  if (ended()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(Span{std::string(phase), millis, start_ms, thread, 0,
+                        flow_in, flow_out});
+}
+
+std::uint64_t TraceSession::next_flow_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<TraceSession::Span> TraceSession::spans() const {
@@ -176,6 +192,33 @@ json::Value chrome_trace_json(const TraceSession& session) {
     event.emplace("ts", json::Value(span.start_ms * 1000.0));
     event.emplace("dur", json::Value(span.millis * 1000.0));
     events.emplace_back(std::move(event));
+
+    // Flow halves: the start anchors at the producing span's END, the
+    // finish (binding point "e" = enclosing slice) at the consuming span's
+    // START — so the viewer draws the arrow across threads in time order.
+    if (span.flow_out != 0) {
+      json::Object flow;
+      flow.emplace("cat", json::Value(std::string("botmeter.flow")));
+      flow.emplace("name", json::Value(std::string("flow")));
+      flow.emplace("ph", json::Value(std::string("s")));
+      flow.emplace("id", json::Value(static_cast<double>(span.flow_out)));
+      flow.emplace("pid", json::Value(1.0));
+      flow.emplace("tid", json::Value(static_cast<double>(span.thread)));
+      flow.emplace("ts", json::Value((span.start_ms + span.millis) * 1000.0));
+      events.emplace_back(std::move(flow));
+    }
+    if (span.flow_in != 0) {
+      json::Object flow;
+      flow.emplace("bp", json::Value(std::string("e")));
+      flow.emplace("cat", json::Value(std::string("botmeter.flow")));
+      flow.emplace("name", json::Value(std::string("flow")));
+      flow.emplace("ph", json::Value(std::string("f")));
+      flow.emplace("id", json::Value(static_cast<double>(span.flow_in)));
+      flow.emplace("pid", json::Value(1.0));
+      flow.emplace("tid", json::Value(static_cast<double>(span.thread)));
+      flow.emplace("ts", json::Value(span.start_ms * 1000.0));
+      events.emplace_back(std::move(flow));
+    }
   }
 
   json::Object root;

@@ -45,6 +45,11 @@ class TraceSession {
     /// Nesting depth at record time: 0 for a top-level span, 1 for a span
     /// opened inside one enclosing ScopedTimer on the same thread, ...
     std::uint32_t depth = 0;
+    /// Cross-thread flow linkage (Perfetto flow events): `flow_out` draws an
+    /// arrow from this span's end to the start of the span whose `flow_in`
+    /// carries the same id. 0 = no linkage. Ids come from next_flow_id().
+    std::uint64_t flow_in = 0;
+    std::uint64_t flow_out = 0;
   };
 
   /// One per-phase aggregate row; min/median/max reuse the evaluation
@@ -67,6 +72,16 @@ class TraceSession {
   /// Record a fully specified span (ScopedTimer's path).
   void record_span(std::string_view phase, double start_ms, double millis,
                    std::uint32_t thread, std::uint32_t depth);
+  /// Record a span carrying flow linkage: `flow_out` starts an arrow at this
+  /// span's end, `flow_in` terminates one at its start (0 = none). The two
+  /// halves of one arrow must pass the same id, minted by next_flow_id().
+  void record_flow_span(std::string_view phase, double start_ms, double millis,
+                        std::uint32_t thread, std::uint64_t flow_in,
+                        std::uint64_t flow_out);
+
+  /// Mint a fresh nonzero flow id (process-wide, so ids never collide even
+  /// across sessions written into one trace file).
+  [[nodiscard]] static std::uint64_t next_flow_id();
 
   /// Seal the session: every later record (including from ScopedTimers
   /// still in flight on other threads) is dropped. Irreversible.
@@ -129,6 +144,11 @@ class ScopedTimer {
 /// Perfetto and chrome://tracing: one complete ("ph":"X") event per span
 /// with microsecond ts/dur, one track per recording thread, plus
 /// thread_name metadata naming each track from common/parallel's labels.
+/// Spans carrying flow ids additionally emit flow start ("ph":"s", at the
+/// producing span's end) and flow finish ("ph":"f", binding point "e", at
+/// the consuming span's start) events under the "botmeter.flow" category —
+/// the arrows linking producer batches to shard ingests and epoch closes to
+/// merge publishes across threads.
 [[nodiscard]] json::Value chrome_trace_json(const TraceSession& session);
 
 /// Serialize chrome_trace_json() to `path` (pretty-printed); throws

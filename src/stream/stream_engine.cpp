@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/prefetch.hpp"
+#include "obs/event_journal.hpp"
 #include "obs/landscape_history.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -266,6 +267,11 @@ void StreamEngine::advance(TimePoint watermark) {
   if (finished_) throw ConfigError("StreamEngine: advance after finish()");
   if (!watermark_ || watermark > *watermark_) {
     watermark_ = watermark;
+    if (config_.journal != nullptr) {
+      config_.journal->log(obs::EventKind::kWatermarkAdvance, -1,
+                           obs::JournalEvent::kNoEpoch,
+                           static_cast<double>(watermark.millis()));
+    }
     maybe_close(*watermark_);
   }
 }
@@ -341,6 +347,9 @@ void StreamEngine::close_next_epoch() {
   }
   if (config_.meter.trace != nullptr) {
     config_.meter.trace->record("stream.epoch_close", wall_ms);
+  }
+  if (config_.journal != nullptr) {
+    config_.journal->log(obs::EventKind::kEpochClose, -1, epoch, wall_ms);
   }
 
   if (config_.history != nullptr) {
@@ -502,6 +511,11 @@ json::Value StreamEngine::checkpoint() const {
   root.emplace("finished", json::Value(finished_));
   root.emplace("closed", json::Value(std::move(closed)));
   root.emplace("open", json::Value(std::move(open)));
+  if (config_.journal != nullptr) {
+    config_.journal->log(obs::EventKind::kCheckpoint, -1,
+                         obs::JournalEvent::kNoEpoch,
+                         static_cast<double>(closed_.size()));
+  }
   return json::Value(std::move(root));
 }
 
@@ -639,6 +653,11 @@ void StreamEngine::restore(const json::Value& checkpoint) {
   open_ = std::move(new_open);
   resident_ = new_resident;
   peak_resident_ = new_peak_resident;
+  if (config_.journal != nullptr) {
+    config_.journal->log(obs::EventKind::kRestore, -1,
+                         obs::JournalEvent::kNoEpoch,
+                         static_cast<double>(closed_.size()));
+  }
 }
 
 }  // namespace botmeter::stream

@@ -49,6 +49,7 @@
 #include "estimators/estimator.hpp"
 
 namespace botmeter::obs {
+class EventJournal;
 class LandscapeHistory;
 }  // namespace botmeter::obs
 
@@ -88,6 +89,12 @@ struct StreamEngineConfig {
   /// null when cross-pipeline byte-equality with batch analyze matters —
   /// batch rows never carry health.
   const StreamHealthMonitor* health = nullptr;
+
+  /// Optional flight recorder: epoch closes, explicit watermark advances,
+  /// and checkpoint/restore each append one structured event. Purely
+  /// observational (a null journal means no clock reads and no-ops), and
+  /// never consulted on the per-tuple path — events are per close/advance.
+  obs::EventJournal* journal = nullptr;
 
   /// How far the watermark must pass an epoch's end before the engine
   /// auto-closes it. Lookup trains spill past epoch boundaries and

@@ -79,6 +79,15 @@ std::string render_threat_grid(const std::vector<std::string>& server_labels,
   return os.str();
 }
 
+namespace {
+
+/// Columns a sparkline row spends on everything that is not the sparkline:
+/// the " |"/"|" frame plus the widest " min X last Y max Z" annotation the
+/// %.1f format produces for plausible populations.
+constexpr std::size_t kRowOverhead = 3 + 34;
+
+}  // namespace
+
 std::string render_top(const TopFrame& frame) {
   if (frame.server_labels.size() != frame.populations.size()) {
     throw ConfigError("render_top: one population row per server label");
@@ -107,11 +116,41 @@ std::string render_top(const TopFrame& frame) {
   }
   os << '\n';
 
+  // Not-yet-populated history: one honest placeholder, never empty
+  // sparkline rows annotated with fabricated zeros.
+  if (frame.epochs.empty()) {
+    os << "(no epochs recorded yet)\n";
+    return os.str();
+  }
+
+  // Clamp to the terminal budget by showing only the most recent epochs
+  // that fit beside the labels and annotations. Always at least one column.
+  std::size_t first = 0;
+  if (frame.max_width > 0) {
+    std::size_t label_width = 5;  // "total"
+    for (const std::string& label : frame.server_labels) {
+      label_width = std::max(label_width, label.size());
+    }
+    const std::size_t overhead = label_width + kRowOverhead;
+    const std::size_t cols =
+        std::clamp<std::size_t>(
+            frame.max_width > overhead ? frame.max_width - overhead : 1, 1,
+            frame.epochs.size());
+    first = frame.epochs.size() - cols;
+  }
+
   std::vector<Series> series;
   series.reserve(frame.server_labels.size() + 1);
-  series.push_back(Series{"total", std::move(totals)});
+  series.push_back(Series{
+      "total", std::vector<double>(totals.begin() +
+                                       static_cast<std::ptrdiff_t>(first),
+                                   totals.end())});
   for (std::size_t s = 0; s < frame.server_labels.size(); ++s) {
-    series.push_back(Series{frame.server_labels[s], frame.populations[s]});
+    const std::vector<double>& row = frame.populations[s];
+    series.push_back(Series{
+        frame.server_labels[s],
+        std::vector<double>(row.begin() + static_cast<std::ptrdiff_t>(first),
+                            row.end())});
   }
   os << render_series(series);
   return os.str();

@@ -56,12 +56,19 @@ struct TopFrame {
   /// populations[s][e]: estimate for server s at epochs[e]; every row must
   /// be epochs.size() wide (render_top throws ConfigError otherwise).
   std::vector<std::vector<double>> populations;
+  /// Terminal width budget in columns; 0 = unlimited. When the frame is
+  /// wider than the budget, the sparklines are clamped by showing only the
+  /// most recent epochs that fit next to the labels and annotations (the
+  /// header still names the full window).
+  std::size_t max_width = 0;
 };
 
 /// Render one dashboard frame: a header line (family, estimator, health,
 /// epoch window, latest total), the total-population sparkline, then one
 /// sparkline heat row per server with min/last/max annotations. Pure 7-bit
-/// ASCII — the caller owns screen clearing / cursor control.
+/// ASCII — the caller owns screen clearing / cursor control. A frame with
+/// no epochs renders the header plus a single placeholder line instead of
+/// empty sparkline rows.
 [[nodiscard]] std::string render_top(const TopFrame& frame);
 
 }  // namespace botmeter::viz

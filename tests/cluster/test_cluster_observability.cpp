@@ -1,0 +1,379 @@
+// The pipeline-observability layer must be provably free and provably
+// informative: with lag attribution, the flight recorder, and flow tracing
+// all attached, the merged landscape stays byte-identical to the bare run
+// at every shard count and codec; the straggler table names a deliberately
+// delayed shard; the journal records the epoch lifecycle and auto-dumps
+// when the cluster turns unhealthy; and concurrent producers, queries, and
+// journal readers stay consistent (the TSan target).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "botnet/simulator.hpp"
+#include "cluster/cluster_runtime.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "core/botmeter.hpp"
+#include "dga/families.hpp"
+#include "obs/event_journal.hpp"
+#include "obs/lag_tracker.hpp"
+#include "obs/landscape_history.hpp"
+#include "obs/trace.hpp"
+#include "stream/stream_engine.hpp"
+#include "trace/block.hpp"
+
+namespace botmeter::cluster {
+namespace {
+
+constexpr std::size_t kServers = 8;
+constexpr std::int64_t kEpochs = 3;
+
+std::vector<dns::ForwardedLookup> simulate_stream(std::uint64_t seed) {
+  botnet::SimulationConfig sim;
+  sim.dga = dga::newgoz_config();
+  sim.bot_count = 24;
+  sim.server_count = kServers;
+  sim.epoch_count = kEpochs;
+  sim.seed = seed;
+  sim.timestamp_granularity = milliseconds(100);
+  sim.record_raw = false;
+  return botnet::simulate(sim).observable;
+}
+
+core::BotMeterConfig meter_config() {
+  core::BotMeterConfig config;
+  config.dga = dga::newgoz_config();
+  return config;
+}
+
+ClusterConfig cluster_config(std::size_t shards, std::size_t threads) {
+  ClusterConfig config;
+  config.meter = meter_config();
+  config.first_epoch = 0;
+  config.epoch_count = kEpochs;
+  config.router = ShardRouter::by_range(kServers, shards);
+  config.shard_worker_threads = threads;
+  return config;
+}
+
+std::string landscape_bytes(const core::LandscapeReport& report) {
+  return json::write(core::landscape_to_json(report));
+}
+
+struct Reference {
+  std::string landscape;
+  std::string history;
+};
+
+Reference single_engine_reference(
+    std::span<const dns::ForwardedLookup> stream) {
+  obs::LandscapeHistory history;
+  stream::StreamEngineConfig config;
+  config.meter = meter_config();
+  config.first_epoch = 0;
+  config.epoch_count = kEpochs;
+  config.server_count = kServers;
+  config.history = &history;
+  stream::StreamEngine engine(std::move(config));
+  engine.ingest(stream);
+  Reference ref;
+  ref.landscape = landscape_bytes(engine.finish());
+  ref.history = json::write(history.to_json());
+  return ref;
+}
+
+std::size_t count_kind(const obs::EventJournal& journal, obs::EventKind kind) {
+  std::size_t count = 0;
+  for (const obs::JournalEvent& event : journal.events_since(0)) {
+    if (event.kind == kind) ++count;
+  }
+  return count;
+}
+
+// The byte-identity guarantee with the full observability layer attached:
+// lag tracker + journal + trace session at shard counts {1, 2, 4, 8} over
+// the per-tuple path, the binary-block path, and an oversubscribed
+// thread/batching variant. Instrumentation may observe, never perturb.
+TEST(ClusterObservability, FullInstrumentationNeverChangesBits) {
+  const auto stream = simulate_stream(81);
+  ASSERT_FALSE(stream.empty());
+  const Reference ref = single_engine_reference(stream);
+
+  std::ostringstream binary_os;
+  trace::write_blocks(binary_os, stream, 1 << 10);
+
+  struct Variant {
+    std::size_t shards;
+    std::size_t threads;
+    std::size_t flush_tuples;
+    std::size_t queue_capacity;
+    bool block_codec;
+  };
+  const Variant variants[] = {
+      {1, 1, 8192, 64, false}, {2, 1, 8192, 64, false},
+      {4, 1, 8192, 64, false}, {8, 1, 8192, 64, false},
+      {4, 1, 8192, 64, true},  {8, 1, 8192, 64, true},
+      {4, 3, 64, 2, false},  // oversubscribed workers, constant backpressure
+  };
+
+  for (const Variant& v : variants) {
+    SCOPED_TRACE("shards=" + std::to_string(v.shards) +
+                 " threads=" + std::to_string(v.threads) +
+                 " block=" + std::to_string(v.block_codec));
+    obs::LandscapeHistory history;
+    obs::LagTracker lag(v.shards);
+    obs::EventJournal journal;
+    obs::TraceSession trace_session;
+    ClusterConfig config = cluster_config(v.shards, v.threads);
+    config.flush_tuples = v.flush_tuples;
+    config.queue_capacity = v.queue_capacity;
+    config.history = &history;
+    config.lag = &lag;
+    config.journal = &journal;
+    config.meter.trace = &trace_session;
+    ClusterRuntime runtime(std::move(config));
+
+    if (v.block_codec) {
+      std::istringstream binary_is(binary_os.str());
+      trace::for_each_block(
+          binary_is, [&runtime](const dns::LookupColumns& columns,
+                                std::span<const std::string_view> table) {
+            runtime.ingest_block(columns, table);
+          });
+    } else {
+      for (const dns::ForwardedLookup& lookup : stream) runtime.ingest(lookup);
+    }
+    EXPECT_EQ(landscape_bytes(runtime.finish()), ref.landscape);
+    EXPECT_EQ(json::write(history.to_json()), ref.history);
+    // The instrumentation actually observed the run it did not perturb.
+    EXPECT_GT(journal.next_seq(), 0u);
+    EXPECT_TRUE(lag.attribution().slowest_stage.has_value());
+  }
+}
+
+TEST(ClusterObservability, JournalAndLagObserveTheEpochLifecycle) {
+  const auto stream = simulate_stream(82);
+  constexpr std::size_t kShards = 4;
+  obs::LagTracker lag(kShards);
+  obs::EventJournal journal;
+  ClusterConfig config = cluster_config(kShards, 1);
+  config.health = stream::StreamHealthConfig{};
+  config.lag = &lag;
+  config.journal = &journal;
+  ClusterRuntime runtime(std::move(config));
+
+  for (const dns::ForwardedLookup& lookup : stream) runtime.ingest(lookup);
+  (void)landscape_bytes(runtime.finish());
+
+  // Every shard closed every epoch; every merged epoch published once.
+  EXPECT_EQ(count_kind(journal, obs::EventKind::kEpochClose),
+            kShards * static_cast<std::size_t>(kEpochs));
+  EXPECT_EQ(count_kind(journal, obs::EventKind::kMergePublish),
+            static_cast<std::size_t>(kEpochs));
+
+  // The straggler table has one row per merged epoch, in merge order.
+  const auto stragglers = lag.stragglers();
+  ASSERT_EQ(stragglers.size(), static_cast<std::size_t>(kEpochs));
+  for (std::int64_t e = 0; e < kEpochs; ++e) {
+    EXPECT_EQ(stragglers[static_cast<std::size_t>(e)].epoch, e);
+    EXPECT_LT(stragglers[static_cast<std::size_t>(e)].straggler_shard,
+              kShards);
+  }
+
+  // Per-shard stage histograms saw the batches and the closes.
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    EXPECT_GT(lag.stage_sample(shard, obs::LagStage::kShardIngest).count, 0u)
+        << "shard " << shard;
+    EXPECT_GT(lag.stage_sample(shard, obs::LagStage::kEpochClose).count, 0u)
+        << "shard " << shard;
+    EXPECT_GT(lag.stage_sample(shard, obs::LagStage::kMergePublish).count, 0u)
+        << "shard " << shard;
+  }
+
+  // The health document names the lag attribution.
+  (void)runtime.sample_health(1000.0);
+  const json::Value health = runtime.health_json();
+  EXPECT_EQ(health.at("schema").as_string(), "botmeter.cluster_health.v1");
+  EXPECT_NE(health.at("lag").find("slowest_stage"), nullptr);
+
+  // Checkpointing is a journaled lifecycle moment too.
+  (void)runtime.checkpoint();
+  EXPECT_EQ(count_kind(journal, obs::EventKind::kCheckpoint), 1u);
+}
+
+// Fault injection: one shard's producer is held back, so its closes reach
+// the merger last — the straggler table must name it, every epoch.
+TEST(ClusterObservability, StragglerTableNamesTheDelayedShard) {
+  const auto stream = simulate_stream(83);
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kDelayed = 2;
+  obs::LagTracker lag(kShards);
+  obs::EventJournal journal;
+  ClusterConfig config = cluster_config(kShards, 1);
+  config.lag = &lag;
+  config.journal = &journal;
+  ClusterRuntime runtime(std::move(config));
+
+  std::vector<std::vector<dns::ForwardedLookup>> per_shard(kShards);
+  for (const dns::ForwardedLookup& lookup : stream) {
+    per_shard[runtime.router().shard_of(lookup.forwarder.value())].push_back(
+        lookup);
+  }
+
+  std::vector<std::thread> producers;
+  producers.reserve(kShards);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    producers.emplace_back([&runtime, &per_shard, i] {
+      if (i == kDelayed) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(60));
+      }
+      ShardFeed feed = runtime.shard_feed(i);
+      for (const dns::ForwardedLookup& lookup : per_shard[i]) {
+        feed.ingest(lookup);
+      }
+      feed.advance(TimePoint{days(365).millis()});  // close every epoch
+      feed.flush();
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+
+  // Bounded wait for the shard threads to drain and the merger to publish.
+  for (int i = 0; i < 2000 && runtime.merge_frontier() < kEpochs; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(runtime.merge_frontier(), kEpochs);
+
+  const auto stragglers = lag.stragglers();
+  ASSERT_EQ(stragglers.size(), static_cast<std::size_t>(kEpochs));
+  for (const obs::StragglerRow& row : stragglers) {
+    EXPECT_EQ(row.straggler_shard, kDelayed) << "epoch " << row.epoch;
+    EXPECT_GE(row.straggle_ms, 20.0) << "epoch " << row.epoch;
+    EXPECT_GE(row.merge_ms, row.last_close_ms);
+  }
+
+  // The explicit advances are journaled per shard.
+  EXPECT_GE(count_kind(journal, obs::EventKind::kWatermarkAdvance), kShards);
+  (void)runtime.finish();
+}
+
+// The TSan target: per-shard producers drive their feeds while a query
+// thread polls exactly what the /debug/lag, /events, and /healthz handlers
+// read. Concurrency may change timing, never bits.
+TEST(ClusterObservability, ConcurrentProducersAndObservabilityQueries) {
+  const auto stream = simulate_stream(84);
+  const Reference ref = single_engine_reference(stream);
+
+  constexpr std::size_t kShards = 4;
+  obs::LandscapeHistory history;
+  obs::LagTracker lag(kShards);
+  obs::EventJournal journal;
+  ClusterConfig config = cluster_config(kShards, 1);
+  config.flush_tuples = 256;  // plenty of queue traffic
+  config.history = &history;
+  // No health config: a health monitor stamps its state onto history rows,
+  // which would (legitimately) differ from the bare single-engine reference.
+  config.lag = &lag;
+  config.journal = &journal;
+  ClusterRuntime runtime(std::move(config));
+
+  std::vector<std::vector<dns::ForwardedLookup>> per_shard(kShards);
+  for (const dns::ForwardedLookup& lookup : stream) {
+    per_shard[runtime.router().shard_of(lookup.forwarder.value())].push_back(
+        lookup);
+  }
+
+  std::atomic<bool> done{false};
+  std::thread query([&runtime, &lag, &journal, &done] {
+    std::uint64_t cursor = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)json::write(lag.to_json());
+      (void)json::write(journal.to_json(cursor));
+      for (const obs::JournalEvent& event : journal.events_since(cursor)) {
+        cursor = event.seq + 1;
+      }
+      (void)json::write(runtime.health_json());
+      (void)lag.stragglers();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  producers.reserve(kShards);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    producers.emplace_back([&runtime, &per_shard, i] {
+      ShardFeed feed = runtime.shard_feed(i);
+      for (const dns::ForwardedLookup& lookup : per_shard[i]) {
+        feed.ingest(lookup);
+      }
+      feed.flush();
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  done.store(true, std::memory_order_relaxed);
+  query.join();
+
+  EXPECT_EQ(landscape_bytes(runtime.finish()), ref.landscape);
+  EXPECT_EQ(json::write(history.to_json()), ref.history);
+}
+
+TEST(ClusterObservability, JournalAutoDumpsWhenClusterTurnsUnhealthy) {
+  // Only shard 0 receives traffic: its closes race ahead of the frontier
+  // until the frontier-lag threshold flips the cluster unhealthy — the
+  // moment the flight recorder must hit the disk on its own.
+  const auto stream = simulate_stream(85);
+  obs::LagTracker lag(2);
+  obs::EventJournal journal;
+  const std::string dump_path =
+      testing::TempDir() + "/botmeter_cluster_autodump.json";
+  std::remove(dump_path.c_str());
+  journal.set_dump_path(dump_path);
+
+  ClusterConfig config = cluster_config(2, 1);
+  config.health = stream::StreamHealthConfig{};
+  config.degraded_frontier_lag = 1;
+  config.unhealthy_frontier_lag = 2;
+  config.lag = &lag;
+  config.journal = &journal;
+  ClusterRuntime runtime(std::move(config));
+
+  ShardFeed feed = runtime.shard_feed(0);
+  for (const dns::ForwardedLookup& lookup : stream) {
+    if (runtime.router().shard_of(lookup.forwarder.value()) == 0) {
+      feed.ingest(lookup);
+    }
+  }
+  feed.advance(TimePoint{days(365).millis()});
+  feed.flush();
+  for (int i = 0; i < 2000 && runtime.max_shard_progress() < kEpochs; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(runtime.max_shard_progress(), kEpochs);
+
+  const stream::HealthState state = runtime.sample_health(1000.0);
+  ASSERT_EQ(state, stream::HealthState::kUnhealthy);
+
+  // The transition was journaled and the black box written.
+  EXPECT_GE(count_kind(journal, obs::EventKind::kHealthTransition), 1u);
+  std::ifstream dumped(dump_path);
+  ASSERT_TRUE(dumped.good()) << "auto-dump did not write " << dump_path;
+  const std::string text((std::istreambuf_iterator<char>(dumped)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_EQ(json::parse(text).at("schema").as_string(), "botmeter.events.v1");
+}
+
+TEST(ClusterObservability, LagTrackerShardCountMustMatchRouter) {
+  obs::LagTracker lag(3);  // router below has 4 shards
+  ClusterConfig config = cluster_config(4, 1);
+  config.lag = &lag;
+  EXPECT_THROW(ClusterRuntime{std::move(config)}, ConfigError);
+}
+
+}  // namespace
+}  // namespace botmeter::cluster

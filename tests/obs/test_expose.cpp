@@ -155,6 +155,14 @@ double rate_gauge(const MetricsRegistry::Snapshot& snapshot,
   return -1.0;
 }
 
+bool has_gauge(const MetricsRegistry::Snapshot& snapshot,
+               const std::string& name) {
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == name) return true;
+  }
+  return false;
+}
+
 TEST(RateTracker, DerivesPerSecondGaugesAcrossTicks) {
   MetricsRegistry registry;
   Counter& tuples = registry.counter("stream.ingested");
@@ -164,10 +172,10 @@ TEST(RateTracker, DerivesPerSecondGaugesAcrossTicks) {
   tuples.add(100);
   MetricsRegistry::Snapshot first = registry.snapshot();
   rates.tick(first, 1000.0);
-  // The first tick has no baseline: the series exists, at 0.
-  EXPECT_EQ(rate_gauge(first, "stream.ingested.per_sec"), 0.0);
-  // Tracked-but-absent counters still materialize a 0 series.
-  EXPECT_EQ(rate_gauge(first, "stream.closed_epochs.per_sec"), 0.0);
+  // The first tick has no baseline: appending any rate would be the
+  // lifetime-over-arbitrary-dt first-scrape spike, so nothing is emitted.
+  EXPECT_FALSE(has_gauge(first, "stream.ingested.per_sec"));
+  EXPECT_FALSE(has_gauge(first, "stream.closed_epochs.per_sec"));
 
   tuples.add(50);
   labeled.add(10);
@@ -176,6 +184,9 @@ TEST(RateTracker, DerivesPerSecondGaugesAcrossTicks) {
   EXPECT_DOUBLE_EQ(rate_gauge(second, "stream.ingested.per_sec"), 25.0);
   EXPECT_DOUBLE_EQ(rate_gauge(second, "stream.ingested.per_sec", "epoch_0"),
                    5.0);
+  // Tracked-but-absent counters still materialize a 0 series from the
+  // second tick on.
+  EXPECT_EQ(rate_gauge(second, "stream.closed_epochs.per_sec"), 0.0);
 
   // The baseline advances on every tick — and never includes the synthetic
   // gauges themselves, so rates do not feed back into later deltas.

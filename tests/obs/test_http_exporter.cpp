@@ -91,6 +91,42 @@ TEST(HttpExporter, UnknownPathIs404AndNonGetIs405) {
             std::string::npos);
 }
 
+TEST(HttpExporter, NotFoundListsKnownRoutesAsPlainText) {
+  // Golden 404: explicit plain-text Content-Type and a sorted route listing,
+  // so a mistyped scrape config diagnoses itself.
+  HttpExporter exporter(
+      HttpExporterConfig{},
+      {{"/metrics", [](const HttpRequest&) { return HttpResponse{}; }},
+       {"/healthz", [](const HttpRequest&) { return HttpResponse{}; }},
+       {"/events", [](const HttpRequest&) { return HttpResponse{}; }}});
+  const std::string response = http_get(exporter.port(), "/metricz");
+  EXPECT_NE(response.find("HTTP/1.1 404 Not Found"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain; charset=utf-8"),
+            std::string::npos);
+  EXPECT_EQ(body_of(response),
+            "not found; routes:\n"
+            "/events\n"
+            "/healthz\n"
+            "/metrics\n");
+}
+
+TEST(HttpExporter, ErrorResponsesCarryExplicitPlainTextContentType) {
+  HttpExporter exporter(HttpExporterConfig{},
+                        {{"/metrics", [](const HttpRequest&) { return HttpResponse{}; }}});
+  const std::string content_type = "Content-Type: text/plain; charset=utf-8";
+
+  const std::string bad = raw_request(exporter.port(), "NONSENSE\r\n\r\n");
+  EXPECT_NE(bad.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_NE(bad.find(content_type), std::string::npos);
+  EXPECT_EQ(body_of(bad), "bad request\n");
+
+  const std::string post =
+      raw_request(exporter.port(), "POST /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos);
+  EXPECT_NE(post.find(content_type), std::string::npos);
+  EXPECT_EQ(body_of(post), "only GET is supported\n");
+}
+
 TEST(HttpExporter, QueryStringsResolveToTheBarePath) {
   HttpExporter exporter(
       HttpExporterConfig{},

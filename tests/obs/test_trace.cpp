@@ -177,6 +177,46 @@ TEST(ChromeTraceJson, EmitsOneTrackPerThreadWithMetadata) {
   EXPECT_DOUBLE_EQ(chunk.at("dur").as_double(), 4'000.0);
 }
 
+TEST(ChromeTraceJson, FlowEventsBindProducerEndToConsumerStart) {
+  TraceSession session;
+  const std::uint64_t id = TraceSession::next_flow_id();
+  EXPECT_NE(id, 0u);
+  EXPECT_GT(TraceSession::next_flow_id(), id);  // ids are never reused
+
+  // Producer on thread 1 hands off to a consumer on thread 2.
+  session.record_flow_span("cluster.producer_batch", 0.0, 2.0, 1, 0, id);
+  session.record_flow_span("cluster.shard_ingest", 5.0, 1.0, 2, id, 0);
+  // A plain span must emit no flow events at all.
+  session.record_span("cluster.epoch_close", 9.0, 1.0, 2, 0);
+
+  const json::Value root = chrome_trace_json(session);
+  const json::Array& events = root.at("traceEvents").as_array();
+
+  int starts = 0, finishes = 0;
+  for (const json::Value& event : events) {
+    const auto& obj = event.as_object();
+    const std::string& ph = obj.at("ph").as_string();
+    if (ph == "s") {
+      ++starts;
+      EXPECT_EQ(obj.at("cat").as_string(), "botmeter.flow");
+      EXPECT_EQ(obj.at("id").as_int(), static_cast<std::int64_t>(id));
+      EXPECT_EQ(obj.at("tid").as_int(), 1);
+      // The arrow leaves at the producing span's END: (0 + 2) ms in us.
+      EXPECT_DOUBLE_EQ(obj.at("ts").as_double(), 2'000.0);
+    } else if (ph == "f") {
+      ++finishes;
+      EXPECT_EQ(obj.at("cat").as_string(), "botmeter.flow");
+      EXPECT_EQ(obj.at("id").as_int(), static_cast<std::int64_t>(id));
+      EXPECT_EQ(obj.at("bp").as_string(), "e");
+      EXPECT_EQ(obj.at("tid").as_int(), 2);
+      // ...and lands at the consuming span's START: 5 ms in us.
+      EXPECT_DOUBLE_EQ(obj.at("ts").as_double(), 5'000.0);
+    }
+  }
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(finishes, 1);
+}
+
 TEST(TraceSession, ClearEmptiesTheSession) {
   TraceSession session;
   session.record("x", 1.0);

@@ -106,6 +106,56 @@ TEST(TopFrameTest, HealthOmittedWhenAbsent) {
   EXPECT_EQ(view.find("[health:"), std::string::npos);
 }
 
+TEST(TopFrameTest, EmptyHistoryRendersPlaceholderRow) {
+  TopFrame frame;
+  frame.family = "newGoZ";
+  frame.estimator = "bernoulli";
+  frame.server_labels = {"server-0", "server-1"};
+  frame.populations = {{}, {}};  // no epochs recorded yet
+  const std::string view = render_top(frame);
+  EXPECT_NE(view.find("newGoZ"), std::string::npos);
+  EXPECT_NE(view.find("(no epochs recorded yet)"), std::string::npos);
+  // No fabricated zero-annotated sparkline rows.
+  EXPECT_EQ(view.find("min 0.0"), std::string::npos);
+  EXPECT_EQ(view.find("server-0"), std::string::npos);
+}
+
+TEST(TopFrameTest, MaxWidthClampsToMostRecentEpochs) {
+  TopFrame frame;
+  frame.family = "Ramnit";
+  frame.estimator = "poisson";
+  for (std::int64_t e = 0; e < 10; ++e) frame.epochs.push_back(e);
+  frame.server_labels = {"server-0"};
+  // The early spike must vanish once the window is clamped to the tail.
+  frame.populations = {{100.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 2.0}};
+
+  // Unlimited: annotations cover the full window, spike included.
+  const std::string full = render_top(frame);
+  EXPECT_NE(full.find("max 100.0"), std::string::npos);
+
+  // label "server-0" (8 cols) + row overhead leaves 4 sparkline columns.
+  frame.max_width = 49;
+  const std::string clamped = render_top(frame);
+  // The header still names the full recorded window...
+  EXPECT_NE(clamped.find("epochs 0..9"), std::string::npos);
+  // ...but the rows only cover the most recent epochs that fit.
+  EXPECT_EQ(clamped.find("max 100.0"), std::string::npos);
+  EXPECT_NE(clamped.find("min 0.0 last 2.0 max 2.0"), std::string::npos);
+}
+
+TEST(TopFrameTest, TinyWidthStillShowsTheLatestEpoch) {
+  TopFrame frame;
+  frame.family = "Ramnit";
+  frame.estimator = "poisson";
+  frame.epochs = {0, 1, 2};
+  frame.server_labels = {"server-0"};
+  frame.populations = {{5.0, 6.0, 7.0}};
+  frame.max_width = 1;  // narrower than the fixed row overhead
+  const std::string view = render_top(frame);
+  // At least one column always renders — the most recent epoch.
+  EXPECT_NE(view.find("min 7.0 last 7.0 max 7.0"), std::string::npos);
+}
+
 TEST(TopFrameTest, RejectsRaggedDimensions) {
   TopFrame frame;
   frame.epochs = {0, 1};

@@ -30,8 +30,10 @@
 #include "common/parallel.hpp"
 #include "dga/config_io.hpp"
 #include "dga/families.hpp"
+#include "obs/event_journal.hpp"
 #include "obs/expose.hpp"
 #include "obs/http_exporter.hpp"
+#include "obs/lag_tracker.hpp"
 #include "obs/landscape_history.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -55,6 +57,7 @@ constexpr const char* kUsage =
     "         [--metrics-out file] [--viz]\n"
     "         [--listen port] [--listen-port-file file] [--linger-ms n]\n"
     "         [--history-out file] [--history-retain n]\n"
+    "         [--journal-out file]\n"
     "ingests the observable (border) union feed — from --trace or stdin, or\n"
     "generated with --simulate — scatters it across --shards stream engines\n"
     "(contiguous server ranges, one worker thread each), and prints one line\n"
@@ -74,7 +77,13 @@ constexpr const char* kUsage =
     "series, and GET /landscape/summary per-family totals — all landscape\n"
     "documents in the botmeter.landscape_series.v1 schema.\n"
     "--history-out writes the retained merged landscape series after the\n"
-    "run; botmeter_top renders either the live endpoint or the file.\n";
+    "run; botmeter_top renders either the live endpoint or the file.\n"
+    "With --listen the pipeline-observability layer is also on: GET\n"
+    "/debug/lag serves the per-shard lag attribution and straggler table\n"
+    "(botmeter.lag.v1), GET /events?from=&shard= the flight-recorder journal\n"
+    "(botmeter.events.v1). --journal-out writes the journal after the run\n"
+    "and is the auto-dump target should any shard or the cluster turn\n"
+    "unhealthy mid-flight.\n";
 
 botmeter::dga::DgaConfig config_from_file(const std::string& path) {
   std::ifstream file(path);
@@ -120,7 +129,7 @@ int main(int argc, char** argv) {
          "--queue-capacity", "--trace", "--bots", "--seed", "--granularity-ms",
          "--checkpoint-in", "--checkpoint-out", "--metrics-out", "--listen",
          "--listen-port-file", "--linger-ms", "--history-out",
-         "--history-retain"},
+         "--history-retain", "--journal-out"},
         {"--help", "--simulate", "--no-final", "--viz", "--binary"});
     if (args.flag("--help")) {
       std::fputs(kUsage, stdout);
@@ -191,6 +200,20 @@ int main(int argc, char** argv) {
       // Per-shard monitors + frontier-lag fold; stamps the cluster state
       // onto merged history rows.
       config.health = stream::StreamHealthConfig{};
+    }
+
+    // Pipeline observability: the lag tracker backs /debug/lag and the lag
+    // fold in /healthz?format=json; the flight-recorder journal backs
+    // /events and the unhealthy auto-dump.
+    const auto journal_path = args.value("--journal-out");
+    std::optional<obs::LagTracker> lag;
+    std::optional<obs::EventJournal> journal;
+    if (listen_port || journal_path) {
+      lag.emplace(shard_count);
+      config.lag = &*lag;
+      journal.emplace();
+      if (journal_path) journal->set_dump_path(*journal_path);
+      config.journal = &*journal;
     }
 
     cluster::ClusterRuntime runtime(std::move(config));
@@ -268,6 +291,29 @@ int main(int argc, char** argv) {
           [&history, json_response](const obs::HttpRequest&) {
             return json_response(json::write(history->summary_json()));
           };
+      routes["/debug/lag"] = [&lag, json_response](const obs::HttpRequest&) {
+        return json_response(json::write(lag->to_json()));
+      };
+      routes["/events"] = [&journal,
+                           json_response](const obs::HttpRequest& request) {
+        try {
+          std::uint64_t from = 0;
+          if (const auto f = request.param("from"); f && !f->empty()) {
+            from = std::stoull(*f);
+          }
+          std::optional<std::int32_t> shard;
+          if (const auto s = request.param("shard"); s && !s->empty()) {
+            shard = static_cast<std::int32_t>(std::stol(*s));
+          }
+          return json_response(json::write(journal->to_json(from, shard)));
+        } catch (const std::exception& e) {
+          obs::HttpResponse response;
+          response.status = 400;
+          response.content_type = "text/plain; charset=utf-8";
+          response.body = std::string("bad query: ") + e.what() + "\n";
+          return response;
+        }
+      };
       exporter = std::make_unique<obs::HttpExporter>(http, std::move(routes));
       std::fprintf(stderr, "telemetry: listening on 127.0.0.1:%u\n",
                    exporter->port());
@@ -428,6 +474,12 @@ int main(int argc, char** argv) {
       file << json::write_pretty(history->to_json());
       std::fprintf(stderr, "merged landscape history written to %s\n",
                    history_path->c_str());
+    }
+
+    if (journal_path) {
+      journal->dump(*journal_path);
+      std::fprintf(stderr, "event journal written to %s\n",
+                   journal_path->c_str());
     }
 
     if (metrics_path) {

@@ -29,6 +29,7 @@
 #include "common/parallel.hpp"
 #include "dga/config_io.hpp"
 #include "dga/families.hpp"
+#include "obs/event_journal.hpp"
 #include "obs/expose.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/landscape_history.hpp"
@@ -78,7 +79,10 @@ constexpr const char* kUsage =
     "signal vector as JSON), GET /landscape the latest per-server snapshot,\n"
     "GET /landscape/history?server=&from=&to= the retained epoch series, and\n"
     "GET /landscape/summary per-family totals with CI-quality telemetry —\n"
-    "all landscape documents in the botmeter.landscape_series.v1 schema.\n"
+    "all landscape documents in the botmeter.landscape_series.v1 schema —\n"
+    "and GET /events?from=&shard= the engine's flight-recorder journal\n"
+    "(epoch closes, watermark advances, checkpoint/restore) in the\n"
+    "botmeter.events.v1 schema.\n"
     "Port 0 binds an ephemeral port; --listen-port-file writes the bound\n"
     "port (for scripts), --linger-ms keeps serving that long after the run\n"
     "finishes.\n"
@@ -224,6 +228,14 @@ int main(int argc, char** argv) {
       config.health = &*monitor;
     }
 
+    // Flight-recorder journal behind /events: epoch closes, watermark
+    // advances, checkpoint/restore, as the engine reports them.
+    std::optional<obs::EventJournal> journal;
+    if (listen_port) {
+      journal.emplace();
+      config.journal = &*journal;
+    }
+
     stream::StreamEngine engine(config);
 
     std::unique_ptr<obs::HttpExporter> exporter;
@@ -300,6 +312,26 @@ int main(int argc, char** argv) {
           [&history, json_response](const obs::HttpRequest&) {
             return json_response(json::write(history->summary_json()));
           };
+      routes["/events"] = [&journal,
+                           json_response](const obs::HttpRequest& request) {
+        try {
+          std::uint64_t from = 0;
+          if (const auto f = request.param("from"); f && !f->empty()) {
+            from = std::stoull(*f);
+          }
+          std::optional<std::int32_t> shard;
+          if (const auto s = request.param("shard"); s && !s->empty()) {
+            shard = static_cast<std::int32_t>(std::stol(*s));
+          }
+          return json_response(json::write(journal->to_json(from, shard)));
+        } catch (const std::exception& e) {
+          obs::HttpResponse response;
+          response.status = 400;
+          response.content_type = "text/plain; charset=utf-8";
+          response.body = std::string("bad query: ") + e.what() + "\n";
+          return response;
+        }
+      };
       exporter = std::make_unique<obs::HttpExporter>(http, std::move(routes));
       std::fprintf(stderr, "telemetry: listening on 127.0.0.1:%u\n",
                    exporter->port());

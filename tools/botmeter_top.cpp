@@ -10,10 +10,11 @@
 //
 // Usage:
 //   botmeter_top --port 9090 [--host 127.0.0.1] [--interval-ms 1000]
-//                [--frames n] [--window n] [--once] [--no-clear]
-//   botmeter_top --history series.json [--window n] [--once]
+//                [--frames n] [--window n] [--width n] [--once] [--no-clear]
+//   botmeter_top --history series.json [--window n] [--width n] [--once]
 #include <arpa/inet.h>
 #include <netdb.h>
+#include <sys/ioctl.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -35,14 +36,18 @@ namespace {
 constexpr const char* kUsage =
     "usage: botmeter_top (--port n | --history <series.json>)\n"
     "         [--host addr] [--interval-ms n] [--frames n] [--window n]\n"
-    "         [--once] [--no-clear]\n"
+    "         [--width n] [--once] [--no-clear]\n"
     "live terminal dashboard over a botmeter.landscape_series.v1 feed.\n"
     "--port polls http://<host>:<port>/landscape/history (a botmeter_stream\n"
     "run started with --listen); --history replays a saved series file\n"
     "(e.g. a --history-out artifact). --window shows the last n epochs\n"
-    "(default 60); --interval-ms sets the refresh period (default 1000);\n"
-    "--frames stops after n redraws (0 = until interrupted); --once is\n"
-    "shorthand for --frames 1 --no-clear, the CI/scripting mode.\n";
+    "(default 60); --width caps the rendered columns (default: the terminal\n"
+    "width when stdout is a tty, otherwise unlimited; 0 = unlimited);\n"
+    "--interval-ms sets the refresh period (default 1000); --frames stops\n"
+    "after n redraws (0 = until interrupted); --once is shorthand for\n"
+    "--frames 1 --no-clear, the CI/scripting mode. In --port mode a\n"
+    "pipeline-lag pane (slowest stage/shard, recent stragglers) is appended\n"
+    "when the endpoint also serves /debug/lag (botmeter_cluster --listen).\n";
 
 /// Blocking GET against host:port, returning the response body. Raw POSIX
 /// sockets — the tool must not owe its build to anything beyond libc.
@@ -112,6 +117,55 @@ std::string read_file(const std::string& path) {
                      std::istreambuf_iterator<char>());
 }
 
+/// Terminal width in columns when stdout is a tty, 0 (unlimited) otherwise.
+std::size_t detect_terminal_width() {
+  if (::isatty(STDOUT_FILENO) == 0) return 0;
+  winsize ws{};
+  if (::ioctl(STDOUT_FILENO, TIOCGWINSZ, &ws) != 0 || ws.ws_col == 0) return 0;
+  return ws.ws_col;
+}
+
+/// Render the pipeline-lag pane from a parsed botmeter.lag.v1 document:
+/// the attributed slowest stage/shard plus the most recent straggler rows.
+std::string render_lag_pane(const botmeter::json::Value& lag) {
+  std::string out = "pipeline lag: ";
+  const botmeter::json::Value& attribution = lag.at("attribution");
+  const botmeter::json::Value* stage = attribution.find("slowest_stage");
+  if (stage == nullptr) {
+    out += "no samples yet\n";
+    return out;
+  }
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "slowest stage %s (%.1f ms total), slowest shard %lld "
+                "(%.1f ms total)\n",
+                stage->as_string().c_str(),
+                attribution.at("slowest_stage_total_ms").as_double(),
+                static_cast<long long>(
+                    attribution.at("slowest_shard").as_int()),
+                attribution.at("slowest_shard_total_ms").as_double());
+  out += line;
+
+  const botmeter::json::Array& rows = lag.at("stragglers").as_array();
+  if (rows.empty()) return out;
+  out += "recent stragglers:\n";
+  const std::size_t first = rows.size() > 3 ? rows.size() - 3 : 0;
+  for (std::size_t i = first; i < rows.size(); ++i) {
+    const botmeter::json::Value& row = rows[i];
+    std::snprintf(line, sizeof(line),
+                  "  epoch %lld  shard %lld  straggle %.1f ms  merge +%.1f "
+                  "ms\n",
+                  static_cast<long long>(row.at("epoch").as_int()),
+                  static_cast<long long>(
+                      row.at("straggler_shard").as_int()),
+                  row.at("straggle_ms").as_double(),
+                  row.at("merge_ms").as_double() -
+                      row.at("last_close_ms").as_double());
+    out += line;
+  }
+  return out;
+}
+
 /// Shape the last `window` snapshots of a parsed series into one frame.
 botmeter::viz::TopFrame frame_of(const botmeter::obs::LandscapeSeries& series,
                                  std::size_t window) {
@@ -148,7 +202,7 @@ int main(int argc, char** argv) {
   try {
     tools::CliArgs args(argc, argv,
                         {"--port", "--host", "--history", "--interval-ms",
-                         "--frames", "--window"},
+                         "--frames", "--window", "--width"},
                         {"--help", "--once", "--no-clear"});
     if (args.flag("--help")) {
       std::fputs(kUsage, stdout);
@@ -164,6 +218,8 @@ int main(int argc, char** argv) {
         std::chrono::milliseconds(args.int_or("--interval-ms", 1000));
     const auto window = static_cast<std::size_t>(args.int_or("--window", 60));
     if (window == 0) throw ConfigError("--window must be > 0");
+    const auto width = static_cast<std::size_t>(args.int_or(
+        "--width", static_cast<std::int64_t>(detect_terminal_width())));
     const bool once = args.flag("--once");
     const std::int64_t frames = once ? 1 : args.int_or("--frames", 0);
     const bool clear = !once && !args.flag("--no-clear");
@@ -179,11 +235,20 @@ int main(int argc, char** argv) {
       const obs::LandscapeSeries series =
           obs::parse_landscape_series(json::parse(text));
 
-      std::string screen;
-      if (series.snapshots.empty()) {
-        screen = "botmeter_top - no landscape snapshots recorded yet\n";
-      } else {
-        screen = viz::render_top(frame_of(series, window));
+      viz::TopFrame frame = frame_of(series, window);
+      frame.max_width = width;
+      std::string screen = viz::render_top(frame);
+
+      // Lag pane: only clusters serve /debug/lag — a plain botmeter_stream
+      // endpoint 404s, and the pane is simply skipped.
+      if (port_arg) {
+        try {
+          const json::Value lag =
+              json::parse(http_get_body(host, port, "/debug/lag"));
+          screen += render_lag_pane(lag);
+        } catch (const DataError&) {
+          // endpoint absent or malformed; the dashboard stays useful
+        }
       }
       if (clear) std::fputs("\x1b[H\x1b[2J", stdout);
       std::fputs(screen.c_str(), stdout);
