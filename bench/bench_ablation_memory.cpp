@@ -1,0 +1,228 @@
+// bench_ablation_memory — accuracy vs memory for the compact observation
+// path (DESIGN.md §13).
+//
+// For each (family, fleet size, KMV size) row, the same simulated border
+// feed runs through two StreamEngines — exact buffering and --compact-state
+// with the row's sketch budget — with allowed lateness stretched past the
+// horizon so every epoch's state is resident at once (the worst case the
+// compact path bounds). Each row records:
+//   - the open-epoch byte high-water mark of both arms and their ratio;
+//   - the mean absolute relative error (ARE) of per-server populations,
+//     compact vs exact — the accuracy the saved bytes cost;
+//   - how many servers the compact landscape flags approximate, and the
+//     largest propagated sketch RSE.
+//
+// Rows span both estimator regimes of the adaptive Bernoulli family: small
+// fleets resolve through distinct-NXD coverage (the KMV statistic — real
+// sketch error, shrinking as kmv_k grows) and large fleets through the
+// forwarded-count renewal statistic (exact in compact cells — ARE 0 at a
+// tiny fraction of the memory). Murofet and Torpig cover the Poisson
+// time-slot path over sliding-window pools — always flagged approximate,
+// with the slot-width bound as the propagated RSE — where the kmv_k column
+// is inert (Poisson cells carry no KMV). Every row's ARE must stay inside
+// its limit — 2 x the KMV's
+// saturated relative standard error 1/sqrt(k - 2), floored at 5% — or the
+// bench exits non-zero.
+//
+// Results go to stdout as a table and to BENCH_memory.json (schema
+// botmeter.bench_memory.v1); pass an output path as argv[1] to redirect.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "botnet/simulator.hpp"
+#include "common/json.hpp"
+#include "dga/families.hpp"
+#include "stream/stream_engine.hpp"
+#include "support/rss.hpp"
+
+namespace {
+
+using namespace botmeter;
+
+struct Row {
+  std::string family;
+  std::uint32_t bots;
+  std::size_t servers;
+  std::int64_t epochs;
+  std::uint32_t kmv_k;
+};
+
+struct Result {
+  Row row;
+  std::size_t tuples = 0;
+  std::size_t exact_peak_bytes = 0;
+  std::size_t compact_peak_bytes = 0;
+  double reduction = 0.0;
+  std::uint64_t compact_spills = 0;
+  std::size_t approximate_servers = 0;
+  double max_sketch_rse = 0.0;
+  double are = 0.0;
+  double are_limit = 0.0;
+  bool pass = false;
+};
+
+constexpr std::size_t kSpillThreshold = 512;
+
+/// The ARE budget for a row: the population inversion can amplify the
+/// distinct-count error, so the budget is twice the KMV's saturated RSE,
+/// floored at 5% for large-k rows whose active statistic is exact anyway.
+double are_limit_for(std::uint32_t kmv_k) {
+  const double rse = 1.0 / std::sqrt(static_cast<double>(kmv_k) - 2.0);
+  return std::max(0.05, 2.0 * rse);
+}
+
+Result run_row(const Row& row) {
+  const dga::DgaConfig family = dga::family_config(row.family);
+  const std::int64_t first_epoch =
+      family.taxonomy.pool == dga::PoolModel::kSlidingWindow ? 40 : 0;
+
+  botnet::SimulationConfig sim;
+  sim.dga = family;
+  sim.bot_count = row.bots;
+  sim.server_count = row.servers;
+  sim.first_epoch = first_epoch;
+  sim.epoch_count = row.epochs;
+  sim.seed = 7;
+  sim.record_raw = false;
+  const botnet::SimulationResult result = botnet::simulate(sim);
+
+  stream::StreamEngineConfig config;
+  config.meter.dga = family;
+  config.first_epoch = first_epoch;
+  config.epoch_count = row.epochs;
+  config.server_count = row.servers;
+  // Hold every epoch open until finish(): the byte high-water mark then
+  // measures the whole horizon's state.
+  config.allowed_lateness = Duration{family.epoch.millis() * (row.epochs + 2)};
+
+  Result r;
+  r.row = row;
+  r.tuples = result.observable.size();
+  r.are_limit = are_limit_for(row.kmv_k);
+
+  stream::StreamEngine exact(config);
+  for (const dns::ForwardedLookup& lookup : result.observable) {
+    exact.ingest(lookup);
+  }
+  const core::LandscapeReport exact_report = exact.finish();
+  r.exact_peak_bytes = exact.peak_open_buffer_bytes();
+
+  stream::StreamEngineConfig compact_config = config;
+  compact_config.compact_state = true;
+  compact_config.compact_spill_threshold = kSpillThreshold;
+  compact_config.compact.kmv_k = row.kmv_k;
+  stream::StreamEngine compact(compact_config);
+  for (const dns::ForwardedLookup& lookup : result.observable) {
+    compact.ingest(lookup);
+  }
+  const core::LandscapeReport compact_report = compact.finish();
+  r.compact_peak_bytes = compact.peak_open_buffer_bytes();
+  r.compact_spills = compact.compact_spills();
+  r.reduction = r.compact_peak_bytes > 0
+                    ? static_cast<double>(r.exact_peak_bytes) /
+                          static_cast<double>(r.compact_peak_bytes)
+                    : 0.0;
+
+  std::size_t compared = 0;
+  for (std::size_t i = 0; i < exact_report.servers.size(); ++i) {
+    const double e = exact_report.servers[i].population;
+    const double c = compact_report.servers[i].population;
+    if (e > 0.0) {
+      r.are += std::abs(c - e) / e;
+      ++compared;
+    }
+    if (compact_report.servers[i].approximate) ++r.approximate_servers;
+    r.max_sketch_rse =
+        std::max(r.max_sketch_rse, compact_report.servers[i].sketch_rse);
+  }
+  if (compared > 0) r.are /= static_cast<double>(compared);
+
+  r.pass = r.are <= r.are_limit;
+  return r;
+}
+
+json::Value to_json(const Result& r) {
+  using json::Value;
+  json::Object o;
+  o.emplace("family", Value(r.row.family));
+  o.emplace("bots", Value(static_cast<double>(r.row.bots)));
+  o.emplace("servers", Value(static_cast<double>(r.row.servers)));
+  o.emplace("epochs", Value(static_cast<double>(r.row.epochs)));
+  o.emplace("kmv_k", Value(static_cast<double>(r.row.kmv_k)));
+  o.emplace("tuples", Value(static_cast<double>(r.tuples)));
+  o.emplace("exact_peak_open_buffer_bytes",
+            Value(static_cast<double>(r.exact_peak_bytes)));
+  o.emplace("compact_peak_open_buffer_bytes",
+            Value(static_cast<double>(r.compact_peak_bytes)));
+  o.emplace("reduction", Value(r.reduction));
+  o.emplace("compact_spills", Value(static_cast<double>(r.compact_spills)));
+  o.emplace("approximate_servers",
+            Value(static_cast<double>(r.approximate_servers)));
+  o.emplace("max_sketch_rse", Value(r.max_sketch_rse));
+  o.emplace("are", Value(r.are));
+  o.emplace("are_limit", Value(r.are_limit));
+  o.emplace("pass", Value(r.pass));
+  return Value(std::move(o));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_memory.json";
+
+  // Coverage regime (small fleet, KMV sweep), forward regime (large fleet),
+  // and the sliding-window pool model.
+  const std::vector<Row> rows = {
+      {"newGoZ", 48, 2, 6, 32},    {"newGoZ", 48, 2, 6, 64},
+      {"newGoZ", 48, 2, 6, 128},   {"newGoZ", 48, 2, 6, 256},
+      {"newGoZ", 1024, 2, 6, 256}, {"Murofet", 256, 8, 4, 256},
+      {"Torpig", 256, 8, 4, 256},
+  };
+
+  std::printf("%-10s %5s %4s %5s %9s %12s %12s %8s %7s %7s %8s %7s %5s\n",
+              "family", "bots", "srv", "kmv", "tuples", "exact_B", "compact_B",
+              "ratio", "spills", "approx", "max_rse", "are", "pass");
+  json::Array results;
+  bool all_pass = true;
+  for (const Row& row : rows) {
+    const Result r = run_row(row);
+    all_pass = all_pass && r.pass;
+    std::printf(
+        "%-10s %5u %4zu %5u %9zu %12zu %12zu %7.1fx %7llu %4zu/%-2zu %8.4f "
+        "%7.4f %5s\n",
+        r.row.family.c_str(), r.row.bots, r.row.servers, r.row.kmv_k, r.tuples,
+        r.exact_peak_bytes, r.compact_peak_bytes, r.reduction,
+        static_cast<unsigned long long>(r.compact_spills),
+        r.approximate_servers, r.row.servers, r.max_sketch_rse, r.are,
+        r.pass ? "yes" : "NO");
+    results.push_back(to_json(r));
+  }
+
+  json::Object root;
+  root.emplace("schema", json::Value(std::string("botmeter.bench_memory.v1")));
+  root.emplace("spill_threshold",
+               json::Value(static_cast<double>(kSpillThreshold)));
+  root.emplace("results", json::Value(std::move(results)));
+  root.emplace("peak_rss_bytes",
+               json::Value(static_cast<double>(bench::peak_rss_bytes())));
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json::write_pretty(json::Value(std::move(root)));
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!all_pass) {
+    std::fprintf(stderr,
+                 "FAIL: at least one row's compact-state ARE exceeded its "
+                 "limit\n");
+    return 1;
+  }
+  return 0;
+}

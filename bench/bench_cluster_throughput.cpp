@@ -29,10 +29,18 @@
 // every shard count) run inside the untimed finish(), exactly as
 // bench_stream_throughput times its codec lanes.
 //
+// A memory lane mirrors bench_stream_throughput's memory guard at cluster
+// scale: the frozen large-fleet workload through 4 shards, exact vs
+// --compact-state, lateness stretched past the horizon. The summed per-shard
+// open-epoch byte high-water marks must drop by >= kMemoryReductionFloor x
+// with the per-server absolute relative error inside kMemoryAreLimit; the
+// process peak RSS lands at the JSON root as "peak_rss_bytes".
+//
 // Results go to stdout as a table and to BENCH_cluster.json (schema
 // botmeter.bench_cluster.v1); pass an output path as argv[1] to redirect.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -53,6 +61,7 @@
 #include "obs/lag_tracker.hpp"
 #include "obs/trace.hpp"
 #include "stream/stream_engine.hpp"
+#include "support/rss.hpp"
 #include "trace/block.hpp"
 #include "trace/split.hpp"
 
@@ -86,8 +95,132 @@ struct Measurement {
   double best_ms = std::numeric_limits<double>::infinity();
   double tuples_per_sec = 0.0;
   double speedup_vs_one = 0.0;
+  std::size_t peak_open_bytes = 0;  // summed shard high-water marks
   bool report_identical = false;
 };
+
+/// Cluster memory lane (see header comment): frozen large-fleet workload,
+/// exact vs compact, open-epoch byte high-water marks summed across shards.
+struct MemoryGuard {
+  std::size_t tuples = 0;
+  std::size_t shards = 0;
+  std::size_t exact_peak_bytes = 0;
+  std::size_t compact_peak_bytes = 0;
+  double reduction = 0.0;
+  std::uint64_t compact_spills = 0;
+  std::size_t servers = 0;
+  std::size_t approximate_servers = 0;
+  double are = 0.0;
+  bool pass = false;
+};
+
+constexpr double kMemoryReductionFloor = 10.0;
+constexpr double kMemoryAreLimit = 0.25;
+constexpr std::size_t kMemoryShards = 4;
+constexpr std::uint32_t kMemoryBots = 1024;
+constexpr std::size_t kMemoryServers = 8;
+constexpr std::int64_t kMemoryEpochs = 6;
+constexpr std::size_t kMemorySpillThreshold = 512;
+constexpr std::uint32_t kMemoryKmvK = 256;
+
+MemoryGuard run_memory_guard() {
+  // Same frozen workload as bench_stream_throughput's memory guard, spread
+  // over 8 servers so the 4-shard router has work for every shard.
+  const dga::DgaConfig family = dga::family_config("newGoZ");
+  botnet::SimulationConfig sim;
+  sim.dga = family;
+  sim.bot_count = kMemoryBots;
+  sim.server_count = kMemoryServers;
+  sim.first_epoch = 0;
+  sim.epoch_count = kMemoryEpochs;
+  sim.seed = 7;
+  sim.record_raw = false;
+  const botnet::SimulationResult result = botnet::simulate(sim);
+
+  struct Arm {
+    core::LandscapeReport report;
+    std::size_t peak_bytes = 0;
+    std::uint64_t spills = 0;
+  };
+  const auto run_arm = [&](bool compact) {
+    cluster::ClusterConfig config;
+    config.meter.dga = family;
+    config.first_epoch = 0;
+    config.epoch_count = kMemoryEpochs;
+    config.router = cluster::ShardRouter::by_range(kMemoryServers, kMemoryShards);
+    // Hold every epoch open until finish() — the peak then covers the whole
+    // horizon's state, the case the compact path exists for.
+    config.allowed_lateness =
+        Duration{family.epoch.millis() * (kMemoryEpochs + 2)};
+    if (compact) {
+      config.compact_state = true;
+      config.compact_spill_threshold = kMemorySpillThreshold;
+      config.compact.kmv_k = kMemoryKmvK;
+    }
+    cluster::ClusterRuntime runtime(std::move(config));
+    runtime.ingest(result.observable);
+    Arm arm;
+    arm.report = runtime.finish();
+    for (std::size_t i = 0; i < runtime.shard_count(); ++i) {
+      const cluster::ShardStats stats = runtime.shard_stats(i);
+      arm.peak_bytes += stats.peak_open_buffer_bytes;
+      arm.spills += stats.compact_spills;
+    }
+    return arm;
+  };
+
+  const Arm exact = run_arm(false);
+  const Arm compact = run_arm(true);
+
+  MemoryGuard guard;
+  guard.tuples = result.observable.size();
+  guard.shards = kMemoryShards;
+  guard.exact_peak_bytes = exact.peak_bytes;
+  guard.compact_peak_bytes = compact.peak_bytes;
+  guard.compact_spills = compact.spills;
+  guard.reduction = compact.peak_bytes > 0
+                        ? static_cast<double>(exact.peak_bytes) /
+                              static_cast<double>(compact.peak_bytes)
+                        : 0.0;
+  guard.servers = exact.report.servers.size();
+  std::size_t compared = 0;
+  for (std::size_t i = 0; i < exact.report.servers.size(); ++i) {
+    const double e = exact.report.servers[i].population;
+    const double c = compact.report.servers[i].population;
+    if (e > 0.0) {
+      guard.are += std::abs(c - e) / e;
+      ++compared;
+    }
+    if (compact.report.servers[i].approximate) ++guard.approximate_servers;
+  }
+  if (compared > 0) guard.are /= static_cast<double>(compared);
+  guard.pass = guard.reduction >= kMemoryReductionFloor &&
+               guard.compact_spills > 0 && guard.are <= kMemoryAreLimit;
+  return guard;
+}
+
+json::Value to_json(const MemoryGuard& g) {
+  using json::Value;
+  json::Object o;
+  o.emplace("tuples", Value(static_cast<double>(g.tuples)));
+  o.emplace("shards", Value(static_cast<double>(g.shards)));
+  o.emplace("exact_peak_open_buffer_bytes",
+            Value(static_cast<double>(g.exact_peak_bytes)));
+  o.emplace("compact_peak_open_buffer_bytes",
+            Value(static_cast<double>(g.compact_peak_bytes)));
+  o.emplace("reduction", Value(g.reduction));
+  o.emplace("reduction_floor", Value(kMemoryReductionFloor));
+  o.emplace("compact_spills", Value(static_cast<double>(g.compact_spills)));
+  o.emplace("compact_spill_threshold",
+            Value(static_cast<double>(kMemorySpillThreshold)));
+  o.emplace("kmv_k", Value(static_cast<double>(kMemoryKmvK)));
+  o.emplace("approximate_servers",
+            Value(static_cast<double>(g.approximate_servers)));
+  o.emplace("are", Value(g.are));
+  o.emplace("are_limit", Value(kMemoryAreLimit));
+  o.emplace("pass", Value(g.pass));
+  return Value(std::move(o));
+}
 
 json::Value to_json(const Measurement& m) {
   using json::Value;
@@ -97,6 +230,8 @@ json::Value to_json(const Measurement& m) {
   o.emplace("ingest_ms", Value(m.best_ms));
   o.emplace("tuples_per_sec", Value(m.tuples_per_sec));
   o.emplace("speedup_vs_one_shard", Value(m.speedup_vs_one));
+  o.emplace("peak_open_buffer_bytes",
+            Value(static_cast<double>(m.peak_open_bytes)));
   o.emplace("report_identical", Value(m.report_identical));
   return Value(std::move(o));
 }
@@ -224,6 +359,11 @@ int main(int argc, char** argv) {
 
       const std::string report =
           json::write(core::landscape_to_json(runtime.finish()));
+      std::size_t peak_sum = 0;
+      for (std::size_t i = 0; i < runtime.shard_count(); ++i) {
+        peak_sum += runtime.shard_stats(i).peak_open_buffer_bytes;
+      }
+      m.peak_open_bytes = std::max(m.peak_open_bytes, peak_sum);
       m.report_identical = report == reference_report;
       if (!m.report_identical) break;
     }
@@ -283,6 +423,18 @@ int main(int argc, char** argv) {
                     : "below floor (not enforced: fewer than 8 hardware "
                       "threads — timing noise dominates on shared cores)");
 
+  const MemoryGuard memory_guard = run_memory_guard();
+  std::printf(
+      "memory lane: %zu shards, exact peak %zu B, compact peak %zu B -> "
+      "%.1fx reduction (floor %.0fx), %llu spills, ARE %.4f (limit %.2f), "
+      "%zu/%zu servers sketch-flagged: %s\n",
+      memory_guard.shards, memory_guard.exact_peak_bytes,
+      memory_guard.compact_peak_bytes, memory_guard.reduction,
+      kMemoryReductionFloor,
+      static_cast<unsigned long long>(memory_guard.compact_spills),
+      memory_guard.are, kMemoryAreLimit, memory_guard.approximate_servers,
+      memory_guard.servers, memory_guard.pass ? "pass" : "FAIL");
+
   json::Object root;
   root.emplace("schema", json::Value(std::string("botmeter.bench_cluster.v1")));
   root.emplace("family", json::Value(std::string(kFamily)));
@@ -309,6 +461,9 @@ int main(int argc, char** argv) {
     o.emplace("report_identical", json::Value(instr.report_identical));
     root.emplace("instrumentation", json::Value(std::move(o)));
   }
+  root.emplace("memory_guard", to_json(memory_guard));
+  root.emplace("peak_rss_bytes",
+               json::Value(static_cast<double>(bench::peak_rss_bytes())));
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -336,6 +491,15 @@ int main(int argc, char** argv) {
                  "throughput (floor %.2fx — the observability layer must "
                  "stay under 2%% overhead)\n",
                  overhead_ratio, kOverheadShards, kOverheadFloor);
+    return 1;
+  }
+  if (!memory_guard.pass) {
+    std::fprintf(stderr,
+                 "FAIL: compact state cut summed open-epoch bytes only %.1fx "
+                 "(floor %.0fx) with ARE %.4f (limit %.2f) and %llu spills\n",
+                 memory_guard.reduction, kMemoryReductionFloor,
+                 memory_guard.are, kMemoryAreLimit,
+                 static_cast<unsigned long long>(memory_guard.compact_spills));
     return 1;
   }
   return 0;

@@ -23,6 +23,14 @@
 // snapshots also stays under the 2% budget — and that the final landscape is
 // byte-identical with and without the history ("history_guard").
 //
+// A memory guard ("memory_guard") runs the frozen large-fleet workload with
+// lateness stretched past the horizon — every epoch's state resident at
+// once, the worst case the compact observation path exists for — in an exact
+// and a --compact-state arm, and enforces that sketch-backed state cuts the
+// open-epoch byte high-water mark by at least kMemoryReductionFloor x while
+// the per-server absolute relative error stays under kMemoryAreLimit. The
+// process-wide peak RSS lands at the JSON root as "peak_rss_bytes".
+//
 // Results go to stdout as a table and to BENCH_stream.json
 // (schema botmeter.bench_stream.v1) for CI artifact upload; pass an output
 // path as argv[1] to redirect the JSON.
@@ -34,6 +42,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -46,6 +55,7 @@
 
 #include "botnet/simulator.hpp"
 #include "common/json.hpp"
+#include "support/rss.hpp"
 #include "common/stats.hpp"
 #include "core/botmeter.hpp"
 #include "dga/families.hpp"
@@ -79,6 +89,7 @@ struct Measurement {
   double close_p99_ms = 0.0;
   double close_max_ms = 0.0;
   std::size_t peak_resident = 0;
+  std::size_t peak_open_bytes = 0;
   double batch_ms = 0.0;
   bool totals_match = false;
   double text_lane_tuples_per_sec = 0.0;
@@ -139,6 +150,7 @@ Measurement run_scenario(const Scenario& scenario) {
   m.close_p99_ms = percentile(closes, 99.0);
   m.close_max_ms = percentile(closes, 100.0);
   m.peak_resident = engine.peak_resident_lookups();
+  m.peak_open_bytes = engine.peak_open_buffer_bytes();
 
   core::BotMeter meter(config.meter);
   meter.prepare_epochs(first_epoch, scenario.epochs);
@@ -440,6 +452,129 @@ HistoryGuard run_history_guard() {
   return guard;
 }
 
+/// Memory lane: the frozen large-fleet workload, run once exact and once
+/// with --compact-state, lateness stretched past the horizon so every
+/// epoch's open state is resident simultaneously — the unbounded-memory
+/// failure mode the sketch path bounds. Enforces the headline win (open-epoch
+/// byte high-water mark cut by >= kMemoryReductionFloor x), that the compact
+/// arm actually spilled (a guard that never leaves the exact regime proves
+/// nothing), and that the accuracy cost stays inside kMemoryAreLimit mean
+/// absolute relative error across per-server populations.
+struct MemoryGuard {
+  std::size_t tuples = 0;
+  std::size_t exact_peak_bytes = 0;
+  std::size_t compact_peak_bytes = 0;
+  double reduction = 0.0;
+  std::uint64_t compact_spills = 0;
+  std::size_t servers = 0;
+  std::size_t approximate_servers = 0;
+  double max_sketch_rse = 0.0;
+  double are = 0.0;
+  bool pass = false;
+};
+
+constexpr double kMemoryReductionFloor = 10.0;
+constexpr double kMemoryAreLimit = 0.25;
+constexpr std::size_t kMemorySpillThreshold = 512;
+constexpr std::uint32_t kMemoryKmvK = 256;
+
+MemoryGuard run_memory_guard() {
+  // Frozen: newGoZ at 1024 bots is the largest fleet in the bench suite, and
+  // its static pool keeps every epoch's geometry identical — byte counts are
+  // reproducible run to run (simulation seed 7, single ingest thread).
+  const Scenario scenario{"newGoZ", 1024, 2, 6, 1};
+  const dga::DgaConfig family = dga::family_config(scenario.family);
+
+  botnet::SimulationConfig sim;
+  sim.dga = family;
+  sim.bot_count = scenario.bots;
+  sim.server_count = scenario.servers;
+  sim.first_epoch = 0;
+  sim.epoch_count = scenario.epochs;
+  sim.seed = 7;
+  sim.record_raw = false;
+  const botnet::SimulationResult result = botnet::simulate(sim);
+
+  stream::StreamEngineConfig config;
+  config.meter.dga = family;
+  config.first_epoch = 0;
+  config.epoch_count = scenario.epochs;
+  config.server_count = scenario.servers;
+  config.worker_threads = scenario.threads;
+  // Hold every epoch open until finish(): peak open bytes then measure the
+  // whole horizon's state, not whichever single epoch happened to be open.
+  config.allowed_lateness =
+      Duration{family.epoch.millis() * (scenario.epochs + 2)};
+
+  MemoryGuard guard;
+  guard.tuples = result.observable.size();
+
+  stream::StreamEngine exact(config);
+  for (const dns::ForwardedLookup& lookup : result.observable) {
+    exact.ingest(lookup);
+  }
+  const core::LandscapeReport exact_report = exact.finish();
+  guard.exact_peak_bytes = exact.peak_open_buffer_bytes();
+
+  stream::StreamEngineConfig compact_config = config;
+  compact_config.compact_state = true;
+  compact_config.compact_spill_threshold = kMemorySpillThreshold;
+  compact_config.compact.kmv_k = kMemoryKmvK;
+  stream::StreamEngine compact(compact_config);
+  for (const dns::ForwardedLookup& lookup : result.observable) {
+    compact.ingest(lookup);
+  }
+  const core::LandscapeReport compact_report = compact.finish();
+  guard.compact_peak_bytes = compact.peak_open_buffer_bytes();
+  guard.compact_spills = compact.compact_spills();
+
+  guard.reduction = guard.compact_peak_bytes > 0
+                        ? static_cast<double>(guard.exact_peak_bytes) /
+                              static_cast<double>(guard.compact_peak_bytes)
+                        : 0.0;
+  std::size_t compared = 0;
+  guard.servers = exact_report.servers.size();
+  for (std::size_t i = 0; i < exact_report.servers.size(); ++i) {
+    const double e = exact_report.servers[i].population;
+    const double c = compact_report.servers[i].population;
+    if (e > 0.0) {
+      guard.are += std::abs(c - e) / e;
+      ++compared;
+    }
+    if (compact_report.servers[i].approximate) ++guard.approximate_servers;
+    guard.max_sketch_rse =
+        std::max(guard.max_sketch_rse, compact_report.servers[i].sketch_rse);
+  }
+  if (compared > 0) guard.are /= static_cast<double>(compared);
+
+  guard.pass = guard.reduction >= kMemoryReductionFloor &&
+               guard.compact_spills > 0 && guard.are <= kMemoryAreLimit;
+  return guard;
+}
+
+json::Value to_json(const MemoryGuard& g) {
+  using json::Value;
+  json::Object o;
+  o.emplace("tuples", Value(static_cast<double>(g.tuples)));
+  o.emplace("exact_peak_open_buffer_bytes",
+            Value(static_cast<double>(g.exact_peak_bytes)));
+  o.emplace("compact_peak_open_buffer_bytes",
+            Value(static_cast<double>(g.compact_peak_bytes)));
+  o.emplace("reduction", Value(g.reduction));
+  o.emplace("reduction_floor", Value(kMemoryReductionFloor));
+  o.emplace("compact_spills", Value(static_cast<double>(g.compact_spills)));
+  o.emplace("compact_spill_threshold",
+            Value(static_cast<double>(kMemorySpillThreshold)));
+  o.emplace("kmv_k", Value(static_cast<double>(kMemoryKmvK)));
+  o.emplace("approximate_servers",
+            Value(static_cast<double>(g.approximate_servers)));
+  o.emplace("max_sketch_rse", Value(g.max_sketch_rse));
+  o.emplace("are", Value(g.are));
+  o.emplace("are_limit", Value(kMemoryAreLimit));
+  o.emplace("pass", Value(g.pass));
+  return Value(std::move(o));
+}
+
 json::Value to_json(const HistoryGuard& g) {
   using json::Value;
   json::Object o;
@@ -483,6 +618,8 @@ json::Value to_json(const Measurement& m) {
   o.emplace("epoch_close_max_ms", Value(m.close_max_ms));
   o.emplace("peak_resident_lookups",
             Value(static_cast<double>(m.peak_resident)));
+  o.emplace("peak_open_buffer_bytes",
+            Value(static_cast<double>(m.peak_open_bytes)));
   o.emplace("batch_analyze_ms", Value(m.batch_ms));
   o.emplace("totals_match_batch", Value(m.totals_match));
   o.emplace("text_lane_tuples_per_sec", Value(m.text_lane_tuples_per_sec));
@@ -552,11 +689,25 @@ int main(int argc, char** argv) {
       history_guard.landscapes_identical ? "identical" : "DIFFERENT",
       history_guard.pass ? "pass" : "FAIL");
 
+  const MemoryGuard memory_guard = run_memory_guard();
+  std::printf(
+      "memory guard: exact peak %zu B, compact peak %zu B -> %.1fx reduction "
+      "(floor %.0fx), %llu spills, ARE %.4f (limit %.2f), %zu/%zu servers "
+      "sketch-flagged: %s\n",
+      memory_guard.exact_peak_bytes, memory_guard.compact_peak_bytes,
+      memory_guard.reduction, kMemoryReductionFloor,
+      static_cast<unsigned long long>(memory_guard.compact_spills),
+      memory_guard.are, kMemoryAreLimit, memory_guard.approximate_servers,
+      memory_guard.servers, memory_guard.pass ? "pass" : "FAIL");
+
   json::Object root;
   root.emplace("schema", json::Value(std::string("botmeter.bench_stream.v1")));
   root.emplace("results", json::Value(std::move(results)));
   root.emplace("scrape_guard", to_json(guard));
   root.emplace("history_guard", to_json(history_guard));
+  root.emplace("memory_guard", to_json(memory_guard));
+  root.emplace("peak_rss_bytes",
+               json::Value(static_cast<double>(bench::peak_rss_bytes())));
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -604,6 +755,15 @@ int main(int argc, char** argv) {
                  "throughput (limit %.0f%%)\n",
                  history_guard.regression * 100.0,
                  kHistoryRegressionLimit * 100.0);
+    return 1;
+  }
+  if (!memory_guard.pass) {
+    std::fprintf(stderr,
+                 "FAIL: compact state cut open-epoch bytes only %.1fx "
+                 "(floor %.0fx) with ARE %.4f (limit %.2f) and %llu spills\n",
+                 memory_guard.reduction, kMemoryReductionFloor,
+                 memory_guard.are, kMemoryAreLimit,
+                 static_cast<unsigned long long>(memory_guard.compact_spills));
     return 1;
   }
   return 0;

@@ -1,0 +1,24 @@
+// Peak-RSS probe for the bench harness: the process-wide memory high-water
+// mark, recorded into every BENCH_*.json so the memory trajectory is tracked
+// alongside throughput across commits.
+#pragma once
+
+#include <sys/resource.h>
+
+#include <cstddef>
+
+namespace botmeter::bench {
+
+/// Peak resident-set size of this process, in bytes (0 if the kernel refuses
+/// to say). ru_maxrss is kilobytes on Linux and bytes on Darwin.
+inline std::size_t peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+}
+
+}  // namespace botmeter::bench

@@ -118,6 +118,9 @@ ClusterRuntime::ClusterRuntime(ClusterConfig config)
     ec.server_count = config_.router.servers_of(i).size();
     ec.worker_threads = config_.shard_worker_threads;
     ec.allowed_lateness = config_.allowed_lateness;
+    ec.compact_state = config_.compact_state;
+    ec.compact_spill_threshold = config_.compact_spill_threshold;
+    ec.compact = config_.compact;
     shard->engine = std::make_unique<stream::StreamEngine>(std::move(ec));
     shard->engine->on_epoch_close(
         [this, i](const stream::EpochReport& report) {
@@ -226,6 +229,8 @@ void ClusterRuntime::handle_merge(const MergedEpoch& merged) {
     snapshot.population = cell.estimate.value;
     snapshot.interval90 = cell.estimate.interval;
     snapshot.matched = cell.matched;
+    snapshot.approximate = cell.estimate.approximate;
+    snapshot.sketch_rse = cell.estimate.sketch_rse;
     row.servers.push_back(std::move(snapshot));
   }
   if (config_.health) {
@@ -335,6 +340,10 @@ void ClusterRuntime::apply_batch(Shard& shard, ShardBatch& batch) {
   // time (already measured by the engine) to the epoch_close stage.
   drain_close_latencies(shard);
 
+  mirror_counters(shard);
+}
+
+void ClusterRuntime::mirror_counters(Shard& shard) {
   shard.ingested.store(shard.engine->ingested(), std::memory_order_relaxed);
   shard.matched.store(shard.engine->matched(), std::memory_order_relaxed);
   shard.unmatched.store(shard.engine->unmatched(), std::memory_order_relaxed);
@@ -342,6 +351,12 @@ void ClusterRuntime::apply_batch(Shard& shard, ShardBatch& batch) {
                            std::memory_order_relaxed);
   shard.next_epoch.store(shard.engine->next_epoch_to_close(),
                          std::memory_order_relaxed);
+  shard.open_bytes.store(shard.engine->open_buffer_bytes(),
+                         std::memory_order_relaxed);
+  shard.peak_open_bytes.store(shard.engine->peak_open_buffer_bytes(),
+                              std::memory_order_relaxed);
+  shard.compact_spills.store(shard.engine->compact_spills(),
+                             std::memory_order_relaxed);
 }
 
 void ClusterRuntime::enqueue(std::size_t shard, ShardBatch batch) {
@@ -579,14 +594,7 @@ core::LandscapeReport ClusterRuntime::finish() {
     // report's restriction to the shard's servers — nothing to keep.
     (void)shard.engine->finish();
     drain_close_latencies(shard);
-    shard.ingested.store(shard.engine->ingested(), std::memory_order_relaxed);
-    shard.matched.store(shard.engine->matched(), std::memory_order_relaxed);
-    shard.unmatched.store(shard.engine->unmatched(),
-                          std::memory_order_relaxed);
-    shard.late_dropped.store(shard.engine->late_dropped(),
-                             std::memory_order_relaxed);
-    shard.next_epoch.store(shard.engine->next_epoch_to_close(),
-                           std::memory_order_relaxed);
+    mirror_counters(shard);
   }
   core::LandscapeReport report = merger_.assemble(estimator_name_);
   if (config_.meter.metrics != nullptr) {
@@ -611,6 +619,10 @@ ShardStats ClusterRuntime::shard_stats(std::size_t shard) const {
   stats.unmatched = s.unmatched.load(std::memory_order_relaxed);
   stats.late_dropped = s.late_dropped.load(std::memory_order_relaxed);
   stats.next_epoch_to_close = s.next_epoch.load(std::memory_order_relaxed);
+  stats.open_buffer_bytes = s.open_bytes.load(std::memory_order_relaxed);
+  stats.peak_open_buffer_bytes =
+      s.peak_open_bytes.load(std::memory_order_relaxed);
+  stats.compact_spills = s.compact_spills.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -700,6 +712,14 @@ stream::HealthState ClusterRuntime::sample_health(double now_ms) {
           .set(static_cast<double>(stats.late_dropped));
       metrics->gauge("cluster.shard.next_epoch", label)
           .set(static_cast<double>(stats.next_epoch_to_close));
+      metrics->gauge("cluster.shard.open_buffer_bytes", label)
+          .set(static_cast<double>(stats.open_buffer_bytes));
+      metrics->gauge("cluster.shard.open_buffer_bytes.peak", label)
+          .set(static_cast<double>(stats.peak_open_buffer_bytes));
+      if (config_.compact_state) {
+        metrics->gauge("cluster.shard.compact_spills", label)
+            .set(static_cast<double>(stats.compact_spills));
+      }
     }
   }
   return worst;
@@ -721,6 +741,9 @@ json::Value ClusterRuntime::health_json() const {
     entry.emplace("watermark_lag_ms", number(signals.watermark_lag_ms));
     entry.emplace("late_rate", number(signals.late_rate));
     entry.emplace("open_buffer_bytes", number(signals.open_buffer_bytes));
+    entry.emplace("peak_open_buffer_bytes",
+                  number(shards_[i]->peak_open_bytes.load(
+                      std::memory_order_relaxed)));
     entry.emplace("ingested", number(signals.ingested));
     entry.emplace("matched", number(signals.matched));
     entry.emplace("late_dropped", number(signals.late_dropped));
@@ -825,15 +848,7 @@ void ClusterRuntime::restore(const json::Value& checkpoint) {
   }
 
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    Shard& shard = *shards_[i];
-    shard.ingested.store(shard.engine->ingested(), std::memory_order_relaxed);
-    shard.matched.store(shard.engine->matched(), std::memory_order_relaxed);
-    shard.unmatched.store(shard.engine->unmatched(),
-                          std::memory_order_relaxed);
-    shard.late_dropped.store(shard.engine->late_dropped(),
-                             std::memory_order_relaxed);
-    shard.next_epoch.store(shard.engine->next_epoch_to_close(),
-                           std::memory_order_relaxed);
+    mirror_counters(*shards_[i]);
   }
   if (config_.journal != nullptr) {
     config_.journal->log(obs::EventKind::kRestore, -1,

@@ -107,6 +107,15 @@ struct ClusterConfig {
   /// Passed through to every shard engine.
   std::optional<Duration> allowed_lateness;
 
+  /// Bounded-memory mode, passed through to every shard engine (see
+  /// stream::StreamEngineConfig): open buckets past the spill threshold fold
+  /// into sketch-backed compact cells, and spilled cells' estimates surface
+  /// in merged landscapes/history flagged approximate with the sketch error
+  /// propagated. Off ⇒ cluster output is byte-identical to the exact path.
+  bool compact_state = false;
+  std::size_t compact_spill_threshold = 8192;
+  estimators::CompactObservationConfig compact;
+
   /// Bounded ingest queue depth per shard, in batches. A full queue blocks
   /// the producer (backpressure, never loss).
   std::size_t queue_capacity = 64;
@@ -158,6 +167,14 @@ struct ShardStats {
   std::uint64_t late_dropped = 0;
   /// Next epoch the shard will close (first_epoch + its closes so far).
   std::int64_t next_epoch_to_close = 0;
+  /// Bytes held by the shard engine's open-epoch buffers (exact vector
+  /// capacities plus compact-cell footprints), and the run's high-water
+  /// mark — the memory the compact observation path bounds.
+  std::uint64_t open_buffer_bytes = 0;
+  std::uint64_t peak_open_buffer_bytes = 0;
+  /// Exact buffers folded into sketch cells so far (0 when compact_state
+  /// is off).
+  std::uint64_t compact_spills = 0;
 };
 
 class ClusterRuntime;
@@ -370,6 +387,9 @@ class ClusterRuntime {
     std::atomic<std::uint64_t> unmatched{0};
     std::atomic<std::uint64_t> late_dropped{0};
     std::atomic<std::int64_t> next_epoch{0};
+    std::atomic<std::uint64_t> open_bytes{0};
+    std::atomic<std::uint64_t> peak_open_bytes{0};
+    std::atomic<std::uint64_t> compact_spills{0};
 
     std::thread thread;
   };
@@ -377,6 +397,9 @@ class ClusterRuntime {
   void ensure_started();
   void shard_main(std::size_t index);
   void apply_batch(Shard& shard, ShardBatch& batch);
+  /// Copy the engine's counters into the shard's atomic mirrors. Must run on
+  /// the thread that currently owns the engine.
+  static void mirror_counters(Shard& shard);
   void enqueue(std::size_t shard, ShardBatch batch);
   void flush_shard(std::size_t shard);
   [[nodiscard]] std::uint32_t intern_domain(ShardScatter& scatter,

@@ -125,6 +125,8 @@ core::LandscapeReport LandscapeMerger::assemble(
     estimate.population = aggregate.population;
     estimate.interval90 = aggregate.interval;
     estimate.matched_lookups = aggregate.matched;
+    estimate.approximate = aggregate.approximate;
+    estimate.sketch_rse = aggregate.sketch_rse;
     report.servers.push_back(std::move(estimate));
   }
   return report;

@@ -54,6 +54,12 @@ json::Value landscape_to_json(const LandscapeReport& report) {
     server.emplace("interval90_hi", s.interval90
                                         ? json::Value(s.interval90->second)
                                         : json::Value(nullptr));
+    // Emitted only for sketch-approximate estimates so exact pipelines stay
+    // byte-identical to their pre-compact output.
+    if (s.approximate) {
+      server.emplace("approximate", json::Value(true));
+      server.emplace("sketch_rse", json::Value(s.sketch_rse));
+    }
     servers.emplace_back(std::move(server));
   }
   json::Object root;
@@ -121,10 +127,52 @@ estimators::EpochObservation BotMeter::make_observation(
   return obs;
 }
 
+estimators::CompactObservation BotMeter::make_compact_observation(
+    std::int64_t epoch, const estimators::CompactCell& cell) const {
+  const EpochState& state = epoch_state(epoch);
+  estimators::CompactObservation obs;
+  obs.cell = &cell;
+  obs.config = &config_.dga;
+  obs.pool = state.pool;
+  obs.window = &state.window;
+  obs.ttl = config_.ttl;
+  obs.window_start = TimePoint{epoch * config_.dga.epoch.millis()};
+  obs.window_length = config_.dga.epoch;
+  obs.assumed_miss_rate = config_.assumed_miss_rate;
+  return obs;
+}
+
+estimators::CompactCellSpec BotMeter::compact_spec_for_epoch(
+    std::int64_t epoch,
+    const estimators::CompactObservationConfig& compact) const {
+  const estimators::CompactSupport support =
+      active_estimator().compact_support();
+  if (!support.supported) {
+    throw ConfigError("BotMeter: estimator '" +
+                      std::string(active_estimator().name()) +
+                      "' has no compact observation path");
+  }
+  return estimators::make_compact_spec(
+      compact, support, TimePoint{epoch * config_.dga.epoch.millis()},
+      config_.dga.epoch, config_.ttl);
+}
+
 std::vector<estimators::EpochCell> BotMeter::estimate_epoch_row(
     std::int64_t epoch, std::vector<std::vector<detect::MatchedLookup>> buckets,
     WorkerPool* workers, obs::TraceSession* trace,
     const char* span_name) const {
+  return estimate_epoch_row(epoch, std::move(buckets), {}, workers, trace,
+                            span_name);
+}
+
+std::vector<estimators::EpochCell> BotMeter::estimate_epoch_row(
+    std::int64_t epoch, std::vector<std::vector<detect::MatchedLookup>> buckets,
+    std::vector<std::unique_ptr<estimators::CompactCell>> compact_cells,
+    WorkerPool* workers, obs::TraceSession* trace,
+    const char* span_name) const {
+  if (!compact_cells.empty() && compact_cells.size() != buckets.size()) {
+    throw ConfigError("estimate_epoch_row: compact_cells width mismatch");
+  }
   const estimators::Estimator& estimator = active_estimator();
   estimators::EstimationContext context;
   estimators::EstimationContext* const shared =
@@ -132,13 +180,22 @@ std::vector<estimators::EpochCell> BotMeter::estimate_epoch_row(
   std::vector<estimators::EpochCell> cells(buckets.size());
   const auto estimate_one = [&](std::size_t s) {
     obs::ScopedTimer server_timer(trace, span_name);
+    estimators::EpochCell& cell = cells[s];
+    cell.epoch = epoch;
+    if (!compact_cells.empty() && compact_cells[s] != nullptr) {
+      const estimators::CompactCell& compact = *compact_cells[s];
+      estimators::CompactObservation obs =
+          make_compact_observation(epoch, compact);
+      obs.context = shared;
+      cell.estimate = estimator.estimate_with_interval(obs, 0.9);
+      cell.matched = compact.matched();
+      return;
+    }
     std::vector<detect::MatchedLookup>& bucket = buckets[s];
     std::sort(bucket.begin(), bucket.end(), detect::matched_lookup_less);
     const std::uint64_t count = bucket.size();
     estimators::EpochObservation obs = make_observation(epoch, std::move(bucket));
     obs.context = shared;
-    estimators::EpochCell& cell = cells[s];
-    cell.epoch = epoch;
     cell.estimate = estimator.estimate_with_interval(obs, 0.9);
     cell.matched = count;
   };
@@ -222,6 +279,8 @@ LandscapeReport BotMeter::analyze(std::span<const dns::ForwardedLookup> stream,
         snapshot_cell.population = cell.estimate.value;
         snapshot_cell.interval90 = cell.estimate.interval;
         snapshot_cell.matched = cell.matched;
+        snapshot_cell.approximate = cell.estimate.approximate;
+        snapshot_cell.sketch_rse = cell.estimate.sketch_rse;
         history_row.servers.push_back(std::move(snapshot_cell));
       }
       config_.history->record(history_row);
@@ -244,6 +303,8 @@ LandscapeReport BotMeter::analyze(std::span<const dns::ForwardedLookup> stream,
     server_estimate.population = aggregate.population;
     server_estimate.interval90 = aggregate.interval;
     server_estimate.matched_lookups = aggregate.matched;
+    server_estimate.approximate = aggregate.approximate;
+    server_estimate.sketch_rse = aggregate.sketch_rse;
     if (metrics != nullptr) {
       const std::string label = "server_" + std::to_string(s);
       metrics->counter("analyze.matched_lookups.per_server", label)

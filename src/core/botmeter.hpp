@@ -101,6 +101,13 @@ struct ServerEstimate {
   /// mean of the per-epoch bounds — conservative, since epoch estimates are
   /// close to independent.
   std::optional<std::pair<double, double>> interval90;
+
+  /// True when any contributing epoch estimate came from saturated sketch
+  /// state (compact observation path): the interval has been widened by the
+  /// propagated sketch error and `sketch_rse` carries the largest per-epoch
+  /// sketch relative standard error. Exact pipelines always report false.
+  bool approximate = false;
+  double sketch_rse = 0.0;
 };
 
 /// The charted landscape (step 7).
@@ -143,6 +150,17 @@ class BotMeter {
   [[nodiscard]] estimators::EpochObservation make_observation(
       std::int64_t epoch, std::vector<detect::MatchedLookup> lookups) const;
 
+  /// Compact counterpart of make_observation: bundle a sketch-backed cell
+  /// with the same per-epoch context. `cell` must outlive the observation.
+  [[nodiscard]] estimators::CompactObservation make_compact_observation(
+      std::int64_t epoch, const estimators::CompactCell& cell) const;
+
+  /// The cell shape for one epoch under this meter's configuration and the
+  /// active estimator's compact support.
+  [[nodiscard]] estimators::CompactCellSpec compact_spec_for_epoch(
+      std::int64_t epoch,
+      const estimators::CompactObservationConfig& compact) const;
+
   /// Estimate one epoch's row of the landscape: cell s from buckets[s], the
   /// matched lookups of server s (any order; sorted canonically here). The
   /// per-server estimations run over `workers` (caller participates; null or
@@ -156,6 +174,18 @@ class BotMeter {
   [[nodiscard]] std::vector<estimators::EpochCell> estimate_epoch_row(
       std::int64_t epoch,
       std::vector<std::vector<detect::MatchedLookup>> buckets,
+      WorkerPool* workers, obs::TraceSession* trace,
+      const char* span_name) const;
+
+  /// Mixed-state variant for the compact streaming path: cell s comes from
+  /// `compact_cells[s]` when non-null (a spilled sketch cell), otherwise
+  /// from `buckets[s]` exactly as above. `compact_cells` must be empty or
+  /// the same width as `buckets`. The exact overload forwards here with no
+  /// compact cells, so both pipelines share one estimation path.
+  [[nodiscard]] std::vector<estimators::EpochCell> estimate_epoch_row(
+      std::int64_t epoch,
+      std::vector<std::vector<detect::MatchedLookup>> buckets,
+      std::vector<std::unique_ptr<estimators::CompactCell>> compact_cells,
       WorkerPool* workers, obs::TraceSession* trace,
       const char* span_name) const;
 

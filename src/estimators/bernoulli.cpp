@@ -235,26 +235,27 @@ double invert_forwards_tables(const CoverageTables& tables,
   return solve();
 }
 
-/// Coverage tables for this observation: shared via the context when one is
+/// Coverage tables for this problem: shared via the context when one is
 /// attached, otherwise built locally into `local`.
-const CoverageTables& coverage_tables_for(const EpochObservation& obs,
+const CoverageTables& coverage_tables_for(EstimationContext* ctx,
+                                          const dga::EpochPool& pool,
+                                          const dga::DgaConfig& config,
                                           std::unique_ptr<CoverageTables>& local) {
-  if (obs.context != nullptr) {
-    return obs.context->table<CoverageTables>("bernoulli.coverage", [&] {
+  if (ctx != nullptr) {
+    return ctx->table<CoverageTables>("bernoulli.coverage", [&] {
       return std::make_unique<CoverageTables>(
-          build_coverage_tables(*obs.pool, *obs.config));
+          build_coverage_tables(pool, config));
     });
   }
-  local = std::make_unique<CoverageTables>(
-      build_coverage_tables(*obs.pool, *obs.config));
+  local = std::make_unique<CoverageTables>(build_coverage_tables(pool, config));
   return *local;
 }
 
-const RenewalTable& renewal_table_for(const EpochObservation& obs,
+const RenewalTable& renewal_table_for(EstimationContext* ctx,
                                       double ttl_fraction,
                                       std::unique_ptr<RenewalTable>& local) {
-  if (obs.context != nullptr) {
-    return obs.context->table<RenewalTable>("bernoulli.renewal", [&] {
+  if (ctx != nullptr) {
+    return ctx->table<RenewalTable>("bernoulli.renewal", [&] {
       return std::make_unique<RenewalTable>(build_renewal_table(ttl_fraction));
     });
   }
@@ -262,12 +263,232 @@ const RenewalTable& renewal_table_for(const EpochObservation& obs,
   return *local;
 }
 
-double ttl_fraction_for(const EpochObservation& obs, const char* where) {
-  if (obs.ttl.negative.millis() <= 0 || obs.window_length.millis() <= 0) {
+double ttl_fraction_for(Duration negative_ttl, Duration window_length,
+                        const char* where) {
+  if (negative_ttl.millis() <= 0 || window_length.millis() <= 0) {
     throw ConfigError(std::string(where) + ": TTL and epoch must be positive");
   }
-  return static_cast<double>(obs.ttl.negative.millis()) /
-         static_cast<double>(obs.window_length.millis());
+  return static_cast<double>(negative_ttl.millis()) /
+         static_cast<double>(window_length.millis());
+}
+
+/// The sufficient statistic of the coverage/forward methods, producible from
+/// either observation form. From an exact observation every field is exact;
+/// from a compact cell the distinct count comes from the KMV sketch —
+/// integer-exact until saturation, flagged approximate with its relative
+/// standard error afterwards.
+struct BernoulliStats {
+  double distinct = 0.0;
+  double nxd_lookups = 0.0;
+  std::uint64_t total_lookups = 0;  // bootstrap-seed ingredient
+  bool approximate = false;
+  double distinct_rse = 0.0;
+};
+
+BernoulliStats stats_of(const EpochObservation& obs) {
+  BernoulliStats stats;
+  stats.distinct = observed_distinct_nxds(obs);
+  stats.nxd_lookups = observed_nxd_lookups(obs);
+  stats.total_lookups = obs.lookups.size();
+  return stats;
+}
+
+BernoulliStats stats_of(const CompactObservation& obs) {
+  const KmvSketch* kmv = obs.cell->distinct_nxd();
+  if (kmv == nullptr) {
+    throw ConfigError(
+        "BernoulliEstimator: compact cell lacks the distinct-NXD sketch");
+  }
+  BernoulliStats stats;
+  stats.distinct = kmv->estimate();
+  stats.nxd_lookups = static_cast<double>(obs.cell->nxd_lookups());
+  stats.total_lookups = obs.cell->matched();
+  stats.approximate = kmv->saturated();
+  stats.distinct_rse = kmv->relative_error();
+  return stats;
+}
+
+/// Everything else an evaluation needs, identical across observation forms.
+struct BernoulliProblem {
+  const dga::EpochPool* pool = nullptr;
+  const dga::DgaConfig* config = nullptr;
+  dns::TtlPolicy ttl;
+  Duration window_length;
+  std::optional<double> assumed_miss_rate;
+  EstimationContext* context = nullptr;
+};
+
+BernoulliProblem problem_of(const EpochObservation& obs) {
+  return {obs.pool, obs.config, obs.ttl, obs.window_length,
+          obs.assumed_miss_rate, obs.context};
+}
+
+BernoulliProblem problem_of(const CompactObservation& obs) {
+  return {obs.pool, obs.config, obs.ttl, obs.window_length,
+          obs.assumed_miss_rate, obs.context};
+}
+
+/// The shared point-estimate core of the coverage/adaptive methods. Exact
+/// and compact paths both land here; identical stats give identical bits.
+double estimate_core(const BernoulliProblem& p, const BernoulliStats& stats,
+                     BernoulliMethod method) {
+  std::unique_ptr<CoverageTables> local_tables;
+  const CoverageTables& tables =
+      coverage_tables_for(p.context, *p.pool, *p.config, local_tables);
+  const double keep = p.assumed_miss_rate ? (1.0 - *p.assumed_miss_rate) : 1.0;
+
+  const double coverage_estimate =
+      invert_coverage_tables(tables, stats.distinct, keep, p.context);
+  if (method == BernoulliMethod::kCoverageInversion) {
+    return coverage_estimate;
+  }
+
+  // Adaptive: the coverage count is the cleaner statistic (no temporal
+  // assumptions at all) while it still has slope; past saturation it stops
+  // resolving N and the forwarded-count renewal statistic takes over.
+  const double ceiling = static_cast<double>(p.pool->nxd_count()) * keep;
+  if (stats.distinct < kSaturationFraction * ceiling) {
+    return coverage_estimate;
+  }
+  const double ttl_fraction =
+      ttl_fraction_for(p.ttl.negative, p.window_length, "invert_forward_count");
+  std::unique_ptr<RenewalTable> local_renewal;
+  const RenewalTable& renewal =
+      renewal_table_for(p.context, ttl_fraction, local_renewal);
+  return invert_forwards_tables(tables, renewal, stats.nxd_lookups, keep,
+                                p.context);
+}
+
+/// The shared interval core: point estimate plus the parametric bootstrap of
+/// the active statistic, pushed back through the inversion. For approximate
+/// stats the coverage band additionally carries the KMV standard error
+/// (variances add: the bootstrap spread and the sketch error are
+/// independent); the guard keeps the exact path's arithmetic untouched.
+IntervalEstimate interval_core(const BernoulliProblem& p,
+                               const BernoulliStats& stats,
+                               BernoulliMethod method, double level) {
+  IntervalEstimate result;
+  result.value = estimate_core(p, stats, method);
+  result.level = level;
+  result.approximate = stats.approximate;
+  result.sketch_rse = stats.distinct_rse;
+  if (result.value <= 0.0) return result;
+
+  const dga::EpochPool& pool = *p.pool;
+  const dga::DgaConfig& config = *p.config;
+  const double keep = p.assumed_miss_rate ? (1.0 - *p.assumed_miss_rate) : 1.0;
+  const double distinct = stats.distinct;
+  const bool use_forward_statistic =
+      method == BernoulliMethod::kAdaptive &&
+      distinct >=
+          kSaturationFraction * static_cast<double>(pool.nxd_count()) * keep;
+
+  std::unique_ptr<CoverageTables> local_tables;
+  const CoverageTables& tables =
+      coverage_tables_for(p.context, pool, config, local_tables);
+
+  // Parametric bootstrap under the point estimate. Deterministic: the seed
+  // depends only on the observation, not on global state.
+  Rng rng{mix64(0xB0075742ULL ^ static_cast<std::uint64_t>(pool.epoch) ^
+                (static_cast<std::uint64_t>(stats.total_lookups) << 20))};
+  constexpr int kResamples = 32;
+  const auto n_hat =
+      static_cast<std::uint32_t>(std::min(result.value + 0.5, 5e6));
+  RunningStats statistic;
+
+  if (!use_forward_statistic) {
+    // Re-simulate the distinct-coverage statistic: N bots, random starts,
+    // runs to the boundary or theta_q, thinned by the detection keep rate.
+    std::vector<bool> covered(pool.size());
+    for (int r = 0; r < kResamples; ++r) {
+      std::fill(covered.begin(), covered.end(), false);
+      for (std::uint32_t b = 0; b < n_hat; ++b) {
+        auto pos = static_cast<std::uint32_t>(rng.uniform(pool.size()));
+        for (std::uint32_t step = 0; step < config.barrel_size; ++step) {
+          if (pool.is_valid_position(pos)) break;
+          covered[pos] = true;
+          pos = (pos + 1) % pool.size();
+        }
+      }
+      double count = 0.0;
+      for (std::uint32_t d = 0; d < pool.size(); ++d) {
+        if (covered[d] && (keep >= 1.0 || rng.bernoulli(keep))) count += 1.0;
+      }
+      statistic.add(count);
+    }
+  } else {
+    // Re-simulate the forwarded-count statistic at the *bot* level: one
+    // bot's run touches up to theta_q consecutive domains at nearly the
+    // same time, so per-domain arrival processes are strongly correlated —
+    // a per-domain Poisson bootstrap would understate the variance badly.
+    const double ttl_fraction =
+        static_cast<double>(p.ttl.negative.millis()) /
+        static_cast<double>(p.window_length.millis());
+    const Duration step = config.query_interval.millis() > 0
+                              ? config.query_interval
+                              : (config.jitter_min + config.jitter_max) / 2;
+    const double step_fraction =
+        static_cast<double>(step.millis()) /
+        static_cast<double>(p.window_length.millis());
+    std::vector<std::vector<double>> arrival_times(pool.size());
+    for (int r = 0; r < kResamples; ++r) {
+      for (auto& times : arrival_times) times.clear();
+      for (std::uint32_t b = 0; b < n_hat; ++b) {
+        auto pos = static_cast<std::uint32_t>(rng.uniform(pool.size()));
+        const double t0 = rng.uniform01();
+        for (std::uint32_t s = 0; s < config.barrel_size; ++s) {
+          if (pool.is_valid_position(pos)) break;
+          arrival_times[pos].push_back(t0 + s * step_fraction);
+          pos = (pos + 1) % pool.size();
+        }
+      }
+      double forwards = 0.0;
+      for (auto& times : arrival_times) {
+        if (times.empty()) continue;
+        std::sort(times.begin(), times.end());
+        double blocked_until = -1.0;
+        for (double t : times) {
+          if (t >= 1.0) break;  // spilled past the window
+          if (t >= blocked_until) {
+            if (keep >= 1.0 || rng.bernoulli(keep)) forwards += 1.0;
+            blocked_until = t + ttl_fraction;
+          }
+        }
+      }
+      statistic.add(forwards);
+    }
+  }
+
+  const double z = normal_quantile(0.5 + level / 2.0);
+  double spread = statistic.stddev();
+  if (stats.approximate && !use_forward_statistic) {
+    // The coverage statistic itself is sketch-estimated: its standard error
+    // distinct * rse adds in quadrature to the bootstrap spread. (The
+    // forwarded count stays exact in compact cells, so the forward band
+    // needs no widening.) Guarded so exact stats keep their exact bits.
+    const double sketch_sd = distinct * stats.distinct_rse;
+    spread = std::sqrt(spread * spread + sketch_sd * sketch_sd);
+  }
+  const double observed_statistic =
+      use_forward_statistic ? stats.nxd_lookups : distinct;
+  const double lo_stat = std::max(observed_statistic - z * spread, 0.0);
+  const double hi_stat = observed_statistic + z * spread;
+  std::unique_ptr<RenewalTable> local_renewal;
+  const RenewalTable* renewal = nullptr;
+  if (use_forward_statistic) {
+    renewal = &renewal_table_for(
+        p.context,
+        ttl_fraction_for(p.ttl.negative, p.window_length,
+                         "invert_forward_count"),
+        local_renewal);
+  }
+  const auto invert = [&](double s) {
+    return use_forward_statistic
+               ? invert_forwards_tables(tables, *renewal, s, keep, p.context)
+               : invert_coverage_tables(tables, s, keep, p.context);
+  };
+  result.interval = {invert(lo_stat), invert(hi_stat)};
+  return result;
 }
 
 }  // namespace
@@ -345,33 +566,7 @@ double BernoulliEstimator::estimate(const EpochObservation& obs) const {
   if (method_ == BernoulliMethod::kSegmentExpectation) {
     return estimate_by_segments(obs);
   }
-
-  std::unique_ptr<CoverageTables> local_tables;
-  const CoverageTables& tables = coverage_tables_for(obs, local_tables);
-  const double keep =
-      obs.assumed_miss_rate ? (1.0 - *obs.assumed_miss_rate) : 1.0;
-
-  const double distinct = observed_distinct_nxds(obs);
-  const double coverage_estimate =
-      invert_coverage_tables(tables, distinct, keep, obs.context);
-  if (method_ == BernoulliMethod::kCoverageInversion) {
-    return coverage_estimate;
-  }
-
-  // Adaptive: the coverage count is the cleaner statistic (no temporal
-  // assumptions at all) while it still has slope; past saturation it stops
-  // resolving N and the forwarded-count renewal statistic takes over.
-  const double ceiling =
-      static_cast<double>(obs.pool->nxd_count()) * keep;
-  if (distinct < kSaturationFraction * ceiling) {
-    return coverage_estimate;
-  }
-  const double ttl_fraction = ttl_fraction_for(obs, "invert_forward_count");
-  std::unique_ptr<RenewalTable> local_renewal;
-  const RenewalTable& renewal =
-      renewal_table_for(obs, ttl_fraction, local_renewal);
-  return invert_forwards_tables(tables, renewal, observed_nxd_lookups(obs),
-                                keep, obs.context);
+  return estimate_core(problem_of(obs), stats_of(obs), method_);
 }
 
 IntervalEstimate BernoulliEstimator::estimate_with_interval(
@@ -380,134 +575,74 @@ IntervalEstimate BernoulliEstimator::estimate_with_interval(
     throw ConfigError("estimate_with_interval: level must be in (0,1)");
   }
 
-  const auto compute = [&]() -> IntervalEstimate {
-    IntervalEstimate result;
-    result.value = estimate(obs);
-    result.level = level;
-    if (method_ == BernoulliMethod::kSegmentExpectation ||
-        result.value <= 0.0) {
-      return result;
-    }
+  if (method_ == BernoulliMethod::kSegmentExpectation) {
+    return IntervalEstimate{estimate(obs), std::nullopt, level};
+  }
+  obs.validate();
+  if (!applicable(*obs.config)) {
+    throw ConfigError("BernoulliEstimator: requires the randomcut barrel (A_R)");
+  }
 
-    const dga::EpochPool& pool = *obs.pool;
-    const dga::DgaConfig& config = *obs.config;
-    const double keep =
-        obs.assumed_miss_rate ? (1.0 - *obs.assumed_miss_rate) : 1.0;
-    const double distinct = observed_distinct_nxds(obs);
-    const bool use_forward_statistic =
-        method_ == BernoulliMethod::kAdaptive &&
-        distinct >=
-            kSaturationFraction * static_cast<double>(pool.nxd_count()) * keep;
-
-    std::unique_ptr<CoverageTables> local_tables;
-    const CoverageTables& tables = coverage_tables_for(obs, local_tables);
-
-    // Parametric bootstrap under the point estimate. Deterministic: the seed
-    // depends only on the observation, not on global state.
-    Rng rng{mix64(0xB0075742ULL ^ static_cast<std::uint64_t>(pool.epoch) ^
-                  (static_cast<std::uint64_t>(obs.lookups.size()) << 20))};
-    constexpr int kResamples = 32;
-    const auto n_hat = static_cast<std::uint32_t>(
-        std::min(result.value + 0.5, 5e6));
-    RunningStats statistic;
-
-    if (!use_forward_statistic) {
-      // Re-simulate the distinct-coverage statistic: N bots, random starts,
-      // runs to the boundary or theta_q, thinned by the detection keep rate.
-      std::vector<bool> covered(pool.size());
-      for (int r = 0; r < kResamples; ++r) {
-        std::fill(covered.begin(), covered.end(), false);
-        for (std::uint32_t b = 0; b < n_hat; ++b) {
-          auto pos = static_cast<std::uint32_t>(rng.uniform(pool.size()));
-          for (std::uint32_t step = 0; step < config.barrel_size; ++step) {
-            if (pool.is_valid_position(pos)) break;
-            covered[pos] = true;
-            pos = (pos + 1) % pool.size();
-          }
-        }
-        double count = 0.0;
-        for (std::uint32_t d = 0; d < pool.size(); ++d) {
-          if (covered[d] && (keep >= 1.0 || rng.bernoulli(keep))) count += 1.0;
-        }
-        statistic.add(count);
-      }
-    } else {
-      // Re-simulate the forwarded-count statistic at the *bot* level: one
-      // bot's run touches up to theta_q consecutive domains at nearly the
-      // same time, so per-domain arrival processes are strongly correlated —
-      // a per-domain Poisson bootstrap would understate the variance badly.
-      const double ttl_fraction =
-          static_cast<double>(obs.ttl.negative.millis()) /
-          static_cast<double>(obs.window_length.millis());
-      const Duration step = config.query_interval.millis() > 0
-                                ? config.query_interval
-                                : (config.jitter_min + config.jitter_max) / 2;
-      const double step_fraction =
-          static_cast<double>(step.millis()) /
-          static_cast<double>(obs.window_length.millis());
-      std::vector<std::vector<double>> arrival_times(pool.size());
-      for (int r = 0; r < kResamples; ++r) {
-        for (auto& times : arrival_times) times.clear();
-        for (std::uint32_t b = 0; b < n_hat; ++b) {
-          auto pos = static_cast<std::uint32_t>(rng.uniform(pool.size()));
-          const double t0 = rng.uniform01();
-          for (std::uint32_t s = 0; s < config.barrel_size; ++s) {
-            if (pool.is_valid_position(pos)) break;
-            arrival_times[pos].push_back(t0 + s * step_fraction);
-            pos = (pos + 1) % pool.size();
-          }
-        }
-        double forwards = 0.0;
-        for (auto& times : arrival_times) {
-          if (times.empty()) continue;
-          std::sort(times.begin(), times.end());
-          double blocked_until = -1.0;
-          for (double t : times) {
-            if (t >= 1.0) break;  // spilled past the window
-            if (t >= blocked_until) {
-              if (keep >= 1.0 || rng.bernoulli(keep)) forwards += 1.0;
-              blocked_until = t + ttl_fraction;
-            }
-          }
-        }
-        statistic.add(forwards);
-      }
-    }
-
-    const double z = normal_quantile(0.5 + level / 2.0);
-    const double observed_statistic =
-        use_forward_statistic ? observed_nxd_lookups(obs) : distinct;
-    const double lo_stat =
-        std::max(observed_statistic - z * statistic.stddev(), 0.0);
-    const double hi_stat = observed_statistic + z * statistic.stddev();
-    std::unique_ptr<RenewalTable> local_renewal;
-    const RenewalTable* renewal = nullptr;
-    if (use_forward_statistic) {
-      renewal = &renewal_table_for(
-          obs, ttl_fraction_for(obs, "invert_forward_count"), local_renewal);
-    }
-    const auto invert = [&](double s) {
-      return use_forward_statistic
-                 ? invert_forwards_tables(tables, *renewal, s, keep,
-                                          obs.context)
-                 : invert_coverage_tables(tables, s, keep, obs.context);
-    };
-    result.interval = {invert(lo_stat), invert(hi_stat)};
-    return result;
+  const BernoulliStats stats = stats_of(obs);
+  const BernoulliProblem problem = problem_of(obs);
+  const auto compute = [&] {
+    return interval_core(problem, stats, method_, level);
   };
 
   // Within one (epoch, configuration) scope the whole result — point
-  // estimate, bootstrap (its seed uses only pool.epoch and lookups.size()),
-  // and pushed-back interval — is a pure function of the sufficient
+  // estimate, bootstrap (its seed uses only pool.epoch and the lookup
+  // count), and pushed-back interval — is a pure function of the sufficient
   // statistic below, so a shared context can memoize the entire call. The
   // segment method reads actual positions and is excluded.
-  if (obs.context != nullptr &&
-      method_ != BernoulliMethod::kSegmentExpectation) {
-    obs.validate();
+  if (obs.context != nullptr) {
     return obs.context->memoized_interval(
         std::string("bernoulli.interval.") + std::string(name()),
-        {observed_distinct_nxds(obs), observed_nxd_lookups(obs),
-         static_cast<double>(obs.lookups.size()), level},
+        {stats.distinct, stats.nxd_lookups,
+         static_cast<double>(stats.total_lookups), level},
+        compute);
+  }
+  return compute();
+}
+
+CompactSupport BernoulliEstimator::compact_support() const {
+  if (method_ == BernoulliMethod::kSegmentExpectation) return {};
+  CompactSupport support;
+  support.supported = true;
+  support.needs_distinct = true;
+  return support;
+}
+
+IntervalEstimate BernoulliEstimator::estimate_with_interval(
+    const CompactObservation& obs, double level) const {
+  if (!(level > 0.0 && level < 1.0)) {
+    throw ConfigError("estimate_with_interval: level must be in (0,1)");
+  }
+  if (method_ == BernoulliMethod::kSegmentExpectation) {
+    return Estimator::estimate_with_interval(obs, level);  // throws
+  }
+  obs.validate();
+  if (!applicable(*obs.config)) {
+    throw ConfigError("BernoulliEstimator: requires the randomcut barrel (A_R)");
+  }
+
+  const BernoulliStats stats = stats_of(obs);
+  const BernoulliProblem problem = problem_of(obs);
+  const auto compute = [&] {
+    return interval_core(problem, stats, method_, level);
+  };
+  if (obs.context != nullptr) {
+    // Exact-regime compact stats coincide with the exact path's sufficient
+    // statistic, so sharing its memo key returns the exact path's bits.
+    // Saturated stats use their own key space: the saturated estimate is a
+    // continuous value that must never collide with an exact entry.
+    const std::string key =
+        (stats.approximate ? std::string("bernoulli.compact_interval.")
+                           : std::string("bernoulli.interval.")) +
+        std::string(name());
+    return obs.context->memoized_interval(
+        key,
+        {stats.distinct, stats.nxd_lookups,
+         static_cast<double>(stats.total_lookups), level},
         compute);
   }
   return compute();

@@ -66,6 +66,19 @@ class BernoulliEstimator final : public Estimator {
   [[nodiscard]] IntervalEstimate estimate_with_interval(
       const EpochObservation& obs, double level = 0.9) const override;
 
+  /// The coverage/forward statistics are sufficient for the adaptive and
+  /// coverage methods, so both run from a compact cell (distinct NXDs via
+  /// KMV, forwarded counts exact). The segment method reads individual pool
+  /// positions and has no compact path.
+  [[nodiscard]] CompactSupport compact_support() const override;
+
+  /// Compact-path estimate. Bit-identical to the exact path while the KMV
+  /// sketch is unsaturated; past saturation the estimate is flagged
+  /// approximate and the bootstrap band is widened by the sketch's
+  /// distinct-count standard error before the inversion.
+  [[nodiscard]] IntervalEstimate estimate_with_interval(
+      const CompactObservation& obs, double level = 0.9) const override;
+
   /// E[C | N]: expected distinct observed NXDs for a population of `n`
   /// (fractional n allowed). If `miss_rate` is set, the expectation is of
   /// the *detected* coverage. Exposed for tests and benches.

@@ -1,0 +1,173 @@
+// The bounded-memory observation path (DESIGN.md §13).
+//
+// A `CompactCell` is the sketch-backed replacement for a buffered
+// per-(server, epoch) lookup vector: exact scalar tallies (matched counts,
+// first/last timestamps), a KMV sketch of the distinct detected-NXD pool
+// positions, an optional count-min sketch of per-position forwarded counts,
+// and a fixed grid of time slots holding {NXD count, earliest timestamp} —
+// everything the compact-capable estimators consume, in O(k + slots) bytes
+// regardless of traffic volume. `CompactObservation` then plays the role of
+// `EpochObservation` for the compact path: the cell plus the same family /
+// pool / window / TTL context, handed to `Estimator::estimate_with_interval`.
+//
+// Cells are insertion-order invariant and merge deterministically (sketches
+// merge, scalars add, slots add with min-timestamps), so spilling an exact
+// buffer into a cell mid-stream, restoring one from a checkpoint, or merging
+// shard-local cells all reproduce the cell a single pass would have built.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/time.hpp"
+#include "detect/detection_window.hpp"
+#include "detect/matcher.hpp"
+#include "dga/config.hpp"
+#include "dga/pool.hpp"
+#include "dns/record.hpp"
+#include "estimators/sketch.hpp"
+
+namespace botmeter::estimators {
+
+class EstimationContext;
+
+/// What a given estimator can do with compact state. `supported` false means
+/// the model needs individual lookups (timing, Bernoulli segments) and the
+/// compact path must not be enabled for it; the `needs_*` flags size the
+/// cell — structures no model asked for are simply absent.
+struct CompactSupport {
+  bool supported = false;
+  bool needs_distinct = false;         // KMV over detected-NXD positions
+  bool needs_position_counts = false;  // count-min per-position tallies
+  bool needs_time_slots = false;       // slotted NXD timestamps (Poisson)
+};
+
+/// Tuning for the compact path; one config serves every cell of a run.
+struct CompactObservationConfig {
+  /// KMV size: cells stay exact below this many distinct NXD positions;
+  /// saturated relative error is 1/sqrt(kmv_k - 2) (~3.2% at 1024).
+  std::uint32_t kmv_k = 1024;
+  /// Count-min shape for the per-position tally sketch.
+  std::uint32_t cms_depth = 4;
+  std::uint32_t cms_width = 256;  // power of two
+  /// Include the count-min tally even when no estimator asked for it
+  /// (per-position forwarded-count diagnostics).
+  bool position_counts = false;
+  /// Upper bound on time slots per cell; the actual count is derived from
+  /// the window length and the negative-TTL activation spacing.
+  std::uint32_t max_time_slots = 4096;
+
+  void validate() const;
+};
+
+/// The concrete shape of one cell, derived from config + estimator support +
+/// the epoch's window geometry. A zero count/size means the structure is
+/// absent. Cells serialize their spec, and only equal-spec cells merge.
+struct CompactCellSpec {
+  std::int64_t window_start_ms = 0;
+  std::int64_t window_ms = 0;
+  std::uint32_t slot_count = 0;
+  std::uint32_t kmv_k = 0;
+  std::uint32_t cms_depth = 0;
+  std::uint32_t cms_width = 0;
+
+  friend bool operator==(const CompactCellSpec&, const CompactCellSpec&) = default;
+
+  [[nodiscard]] json::Value serialize() const;
+  [[nodiscard]] static CompactCellSpec parse(const json::Value& value);
+};
+
+/// Derive the cell shape for one epoch. The slot width is chosen so that
+/// consecutive kept activations (spaced at least delta_l - slack apart, the
+/// Poisson estimator's filter) land in distinct slots: half that spacing,
+/// clamped to [1 ms, window] and to at most `max_time_slots` slots.
+[[nodiscard]] CompactCellSpec make_compact_spec(
+    const CompactObservationConfig& config, const CompactSupport& support,
+    TimePoint window_start, Duration window_length, const dns::TtlPolicy& ttl);
+
+/// Bounded sketch state for one (server, epoch) cell. All allocation happens
+/// in the constructor, so `memory_bytes()` is constant over the cell's life.
+class CompactCell {
+ public:
+  explicit CompactCell(const CompactCellSpec& spec);
+
+  /// Fold one matched lookup into the cell. Order-invariant.
+  void add(const detect::MatchedLookup& lookup);
+
+  /// Fold a whole buffer (the spill path).
+  void add_all(std::span<const detect::MatchedLookup> lookups);
+
+  /// Merge another cell built with an identical spec (throws ConfigError on
+  /// mismatch). Equivalent to having added both input streams to one cell.
+  void merge(const CompactCell& other);
+
+  [[nodiscard]] const CompactCellSpec& spec() const { return spec_; }
+
+  /// Exact scalars.
+  [[nodiscard]] std::uint64_t matched() const { return matched_; }
+  [[nodiscard]] std::uint64_t nxd_lookups() const { return nxd_lookups_; }
+  [[nodiscard]] std::uint64_t valid_lookups() const { return valid_lookups_; }
+  [[nodiscard]] std::optional<TimePoint> first_t() const;
+  [[nodiscard]] std::optional<TimePoint> last_t() const;
+
+  /// Sketches; null when the spec excluded them.
+  [[nodiscard]] const KmvSketch* distinct_nxd() const { return kmv_ ? &*kmv_ : nullptr; }
+  [[nodiscard]] const CountMinSketch* position_counts() const {
+    return cms_ ? &*cms_ : nullptr;
+  }
+
+  /// Time-slot grid (empty spans when slot_count == 0). `slot_min_ms()[i]`
+  /// is meaningful only where `slot_counts()[i] > 0`.
+  [[nodiscard]] std::span<const std::uint32_t> slot_counts() const {
+    return slot_counts_;
+  }
+  [[nodiscard]] std::span<const std::int64_t> slot_min_ms() const {
+    return slot_min_ms_;
+  }
+  [[nodiscard]] Duration slot_width() const;
+
+  /// Heap + inline footprint; constant after construction.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Deterministic JSON state (spec included; parse is self-contained).
+  [[nodiscard]] json::Value serialize() const;
+  [[nodiscard]] static CompactCell parse(const json::Value& value);
+
+ private:
+  CompactCellSpec spec_;
+  std::uint64_t matched_ = 0;
+  std::uint64_t nxd_lookups_ = 0;
+  std::uint64_t valid_lookups_ = 0;
+  std::int64_t first_ms_ = 0;  // valid iff matched_ > 0
+  std::int64_t last_ms_ = 0;
+  std::optional<KmvSketch> kmv_;
+  std::optional<CountMinSketch> cms_;
+  std::vector<std::uint32_t> slot_counts_;
+  std::vector<std::int64_t> slot_min_ms_;
+};
+
+/// The compact counterpart of `EpochObservation`: one cell plus the same
+/// analyst-side context. Estimators whose `compact_support().supported` is
+/// true accept this via `estimate_with_interval(const CompactObservation&)`
+/// and flag which reported statistics became approximate.
+struct CompactObservation {
+  const CompactCell* cell = nullptr;
+
+  const dga::DgaConfig* config = nullptr;
+  const dga::EpochPool* pool = nullptr;
+  const detect::DetectionWindow* window = nullptr;
+  dns::TtlPolicy ttl;
+  TimePoint window_start;
+  Duration window_length = days(1);
+  std::optional<double> assumed_miss_rate;
+  EstimationContext* context = nullptr;
+
+  /// Throws ConfigError if a required field is missing/inconsistent or the
+  /// cell's spec disagrees with the stated window geometry.
+  void validate() const;
+};
+
+}  // namespace botmeter::estimators

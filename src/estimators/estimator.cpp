@@ -7,6 +7,13 @@
 
 namespace botmeter::estimators {
 
+IntervalEstimate Estimator::estimate_with_interval(const CompactObservation&,
+                                                   double) const {
+  throw ConfigError(std::string(name()) +
+                    ": no compact observation path (compact_support() is "
+                    "false for this model)");
+}
+
 void EpochObservation::validate() const {
   if (config == nullptr) throw ConfigError("EpochObservation: config missing");
   if (pool == nullptr) throw ConfigError("EpochObservation: pool missing");
@@ -63,6 +70,12 @@ WindowAggregate aggregate_cells(std::span<const EpochCell> cells) {
       all_intervals = false;
     }
     out.matched += cell.matched;
+    if (cell.estimate.approximate) {
+      out.approximate = true;
+      if (cell.estimate.sketch_rse > out.sketch_rse) {
+        out.sketch_rse = cell.estimate.sketch_rse;
+      }
+    }
   }
   const auto n = static_cast<double>(cells.size());
   out.population = sum / n;

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <utility>
 
+#include "estimators/compact_observation.hpp"
 #include "estimators/observation.hpp"
 
 namespace botmeter::obs {
@@ -20,10 +21,18 @@ namespace botmeter::estimators {
 /// can quantify their uncertainty (Poisson via the exact chi-square rate
 /// interval, Bernoulli via a parametric bootstrap of its statistic) fill
 /// `interval`; others return the point alone.
+///
+/// Estimates produced from compact (sketch-backed) observations additionally
+/// say whether any input statistic was approximate: when `approximate` is
+/// true the interval has been widened by the sketch's error contribution and
+/// `sketch_rse` records the relative standard error of the dominant sketch
+/// input. Exact-path estimates always report `approximate == false`.
 struct IntervalEstimate {
   double value = 0.0;
   std::optional<std::pair<double, double>> interval;  // [lo, hi]
   double level = 0.9;                                 // confidence level
+  bool approximate = false;
+  double sketch_rse = 0.0;
 };
 
 /// A bot-population estimation model (one entry of the analytic model
@@ -56,6 +65,21 @@ class Estimator {
       const EpochObservation& obs, double level = 0.9) const {
     return IntervalEstimate{estimate(obs), std::nullopt, level};
   }
+
+  /// Whether (and how) this model can consume sketch-backed compact cells.
+  /// The default — no support — covers models that genuinely need individual
+  /// lookup timestamps/positions (timing, Bernoulli segment expectation).
+  [[nodiscard]] virtual CompactSupport compact_support() const { return {}; }
+
+  /// Estimate from a compact observation. Only valid when
+  /// `compact_support().supported`; the default throws ConfigError. While a
+  /// cell's sketches are still exact (below the KMV saturation point and,
+  /// for slotted models, exactly reconstructible), compact-capable models
+  /// return bit-identical results to the exact path and leave
+  /// `approximate` false; past that point they flag the estimate and widen
+  /// the interval by the propagated sketch error.
+  [[nodiscard]] virtual IntervalEstimate estimate_with_interval(
+      const CompactObservation& obs, double level = 0.9) const;
 };
 
 /// Multi-epoch observation window (§V-A, Fig. 6(b)): per-epoch estimates are
@@ -82,6 +106,10 @@ struct WindowAggregate {
   /// interval (conservative; epoch estimates are close to independent).
   std::optional<std::pair<double, double>> interval;
   std::uint64_t matched = 0;  // total matched lookups across the cells
+  /// True when any contributing epoch estimate was sketch-approximate; the
+  /// largest per-epoch sketch relative error is carried alongside.
+  bool approximate = false;
+  double sketch_rse = 0.0;
 };
 
 /// Aggregate per-epoch cells into the window estimate, summing in the given

@@ -32,6 +32,18 @@ class HybridEstimator final : public Estimator {
 
   [[nodiscard]] double estimate(const EpochObservation& obs) const override;
 
+  /// Compact-capable iff both components are; the cell must carry the union
+  /// of the components' sketch needs. (The library's default hybrid pairs
+  /// Bernoulli with Timing, which has no compact path — such a hybrid
+  /// reports unsupported.)
+  [[nodiscard]] CompactSupport compact_support() const override;
+
+  /// Weighted blend of the components' compact estimates. Approximate when
+  /// either side is, carrying the larger sketch error; the interval is the
+  /// weighted blend when both components produce one.
+  [[nodiscard]] IntervalEstimate estimate_with_interval(
+      const CompactObservation& obs, double level = 0.9) const override;
+
   [[nodiscard]] double semantic_weight() const { return weight_; }
 
  private:

@@ -26,6 +26,44 @@ Duration burst_gap_threshold(const dga::DgaConfig& config,
   return std::min(lower, upper);
 }
 
+/// Second clustering stage, shared by the exact and compact paths. Enforces
+/// the visibility model of Fig. 4: under the uniform barrel a genuinely new
+/// activation can only become visible once the previous window's negative
+/// TTL has lapsed. Bursts starting earlier are boundary leakage — jittered
+/// per-bot query offsets let a handful of tail lookups slip past entries
+/// that expire a few seconds apart — and belong to the previous window. The
+/// slack bounds that jitter accumulation.
+std::vector<TimePoint> keep_spaced_bursts(const std::vector<TimePoint>& bursts,
+                                          const dns::TtlPolicy& ttl) {
+  const Duration delta_l = ttl.negative;
+  const Duration slack =
+      std::min(seconds(60), Duration{delta_l.millis() / 4});
+  std::vector<TimePoint> kept;
+  kept.reserve(bursts.size());
+  for (const TimePoint& t : bursts) {
+    if (kept.empty() || t - kept.back() >= delta_l - slack) {
+      kept.push_back(t);
+    }
+  }
+  return kept;
+}
+
+/// Sum of the waiting gaps Delta_i of Fig. 4. Delta_1 runs from the window
+/// start; subsequent gaps run from the end of the previous TTL window.
+/// Clamp at zero: with coarse timestamps a new activation can appear to
+/// start marginally before the previous TTL lapsed.
+double waiting_gap_sum_ms(const std::vector<TimePoint>& activations,
+                          TimePoint window_start, Duration delta_l) {
+  double sum_gaps_ms = 0.0;
+  TimePoint previous_ttl_end = window_start;
+  for (const TimePoint& v : activations) {
+    const std::int64_t gap = (v - previous_ttl_end).millis();
+    sum_gaps_ms += static_cast<double>(std::max<std::int64_t>(gap, 0));
+    previous_ttl_end = v + delta_l;
+  }
+  return sum_gaps_ms;
+}
+
 }  // namespace
 
 std::vector<TimePoint> PoissonEstimator::visible_activations(
@@ -44,24 +82,33 @@ std::vector<TimePoint> PoissonEstimator::visible_activations(
     }
     last_lookup = lookup.t;
   }
+  return keep_spaced_bursts(bursts, obs.ttl);
+}
 
-  // Enforce the visibility model of Fig. 4: under the uniform barrel a
-  // genuinely new activation can only become visible once the previous
-  // window's negative TTL has lapsed. Bursts starting earlier are boundary
-  // leakage — jittered per-bot query offsets let a handful of tail lookups
-  // slip past entries that expire a few seconds apart — and belong to the
-  // previous window. The slack bounds that jitter accumulation.
-  const Duration delta_l = obs.ttl.negative;
-  const Duration slack =
-      std::min(seconds(60), Duration{delta_l.millis() / 4});
-  std::vector<TimePoint> kept;
-  kept.reserve(bursts.size());
-  for (const TimePoint& t : bursts) {
-    if (kept.empty() || t - kept.back() >= delta_l - slack) {
-      kept.push_back(t);
+std::vector<TimePoint> PoissonEstimator::visible_activations(
+    const CompactObservation& obs) {
+  // The slot minima are a time-ordered subsample of the NXD stream: the
+  // first lookup of every kept activation survives (kept activations are at
+  // least two slot widths apart, so no earlier lookup can share its slot),
+  // while intra-burst lookups mostly collapse. The same two-stage clustering
+  // then reproduces the exact path's activation sequence up to slot-width
+  // timestamp error.
+  const Duration threshold = burst_gap_threshold(*obs.config, obs.ttl);
+  const std::span<const std::uint32_t> counts = obs.cell->slot_counts();
+  const std::span<const std::int64_t> mins = obs.cell->slot_min_ms();
+  std::vector<TimePoint> bursts;
+  bool in_burst = false;
+  TimePoint last_lookup;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const TimePoint t{mins[i]};
+    if (!in_burst || (t - last_lookup) > threshold) {
+      bursts.push_back(t);
+      in_burst = true;
     }
+    last_lookup = t;
   }
-  return kept;
+  return keep_spaced_bursts(bursts, obs.ttl);
 }
 
 double PoissonEstimator::estimate(const EpochObservation& obs) const {
@@ -71,18 +118,8 @@ double PoissonEstimator::estimate(const EpochObservation& obs) const {
   if (activations.empty()) return 0.0;
 
   const Duration delta_l = obs.ttl.negative;
-
-  // Sum the waiting gaps Delta_i of Fig. 4. Delta_1 runs from the window
-  // start; subsequent gaps run from the end of the previous TTL window.
-  // Clamp at zero: with coarse timestamps a new activation can appear to
-  // start marginally before the previous TTL lapsed.
-  double sum_gaps_ms = 0.0;
-  TimePoint previous_ttl_end = obs.window_start;
-  for (const TimePoint& v : activations) {
-    const std::int64_t gap = (v - previous_ttl_end).millis();
-    sum_gaps_ms += static_cast<double>(std::max<std::int64_t>(gap, 0));
-    previous_ttl_end = v + delta_l;
-  }
+  double sum_gaps_ms =
+      waiting_gap_sum_ms(activations, obs.window_start, delta_l);
 
   // The paper's Eqn (1) uses the rate MLE n / sum(Delta), whose small-sample
   // moments are unbounded: a single activation landing just after the window
@@ -116,13 +153,8 @@ IntervalEstimate PoissonEstimator::estimate_with_interval(
   const auto n = static_cast<double>(activations.size());
   if (n < 2.0) return result;  // rate unmeasurable: point only
 
-  double sum_gaps_ms = 0.0;
-  TimePoint previous_ttl_end = obs.window_start;
-  for (const TimePoint& v : activations) {
-    const std::int64_t gap = (v - previous_ttl_end).millis();
-    sum_gaps_ms += static_cast<double>(std::max<std::int64_t>(gap, 0));
-    previous_ttl_end = v + obs.ttl.negative;
-  }
+  double sum_gaps_ms =
+      waiting_gap_sum_ms(activations, obs.window_start, obs.ttl.negative);
   if (sum_gaps_ms <= 0.0) sum_gaps_ms = 1.0;
 
   // Exact pivot: 2 * lambda * sum(Delta) ~ chi^2(2n). The quantile is a
@@ -144,6 +176,76 @@ IntervalEstimate PoissonEstimator::estimate_with_interval(
       sum_gaps_ms + n * static_cast<double>(obs.ttl.negative.millis());
   // The n visible activations are a hard lower bound on the population.
   result.interval = {std::max(lambda_lo * span, n), lambda_hi * span};
+  return result;
+}
+
+CompactSupport PoissonEstimator::compact_support() const {
+  CompactSupport support;
+  support.supported = true;
+  support.needs_time_slots = true;
+  return support;
+}
+
+IntervalEstimate PoissonEstimator::estimate_with_interval(
+    const CompactObservation& obs, double level) const {
+  if (!(level > 0.0 && level < 1.0)) {
+    throw ConfigError("estimate_with_interval: level must be in (0,1)");
+  }
+  obs.validate();
+  if (obs.cell->spec().slot_count == 0) {
+    throw ConfigError("PoissonEstimator: compact cell lacks time slots");
+  }
+
+  // Always approximate: even when the slot minima happen to equal the exact
+  // burst starts, the cell cannot prove it — each gap is only known to
+  // within one slot width.
+  IntervalEstimate result;
+  result.level = level;
+  result.approximate = true;
+
+  const std::vector<TimePoint> activations = visible_activations(obs);
+  const auto n = static_cast<double>(activations.size());
+  if (activations.empty()) return result;
+  const Duration delta_l = obs.ttl.negative;
+  double sum_gaps_ms =
+      waiting_gap_sum_ms(activations, obs.window_start, delta_l);
+  if (n < 2.0) {
+    result.value = n;
+    return result;
+  }
+  if (sum_gaps_ms <= 0.0) sum_gaps_ms = 1.0;
+  const double lambda = (n - 1.0) / sum_gaps_ms;
+  result.value =
+      lambda * (sum_gaps_ms + n * static_cast<double>(delta_l.millis()));
+
+  // Slot-width error on the gap sum: every activation timestamp may sit up
+  // to one slot width before the true burst start, so the sum is trusted
+  // only within +/- n * w. The estimate is decreasing in the gap sum, so the
+  // chi-square band is evaluated at the perturbed sums — low at sum + n * w,
+  // high at max(sum - n * w, 1).
+  const double slot_w_ms =
+      static_cast<double>(obs.cell->slot_width().millis());
+  const double sum_hi = sum_gaps_ms + n * slot_w_ms;
+  const double sum_lo = std::max(sum_gaps_ms - n * slot_w_ms, 1.0);
+  result.sketch_rse = n * slot_w_ms / sum_gaps_ms;
+
+  const double alpha = 1.0 - level;
+  const auto quantile = [&](double p, double dof) {
+    if (obs.context != nullptr) {
+      return obs.context->memoized("poisson.chi_square_quantile", p, dof,
+                                   [&] { return chi_square_quantile(p, dof); });
+    }
+    return chi_square_quantile(p, dof);
+  };
+  const double q_lo = quantile(alpha / 2.0, 2.0 * n);
+  const double q_hi = quantile(1.0 - alpha / 2.0, 2.0 * n);
+  const double delta_l_ms = static_cast<double>(delta_l.millis());
+  const double lo =
+      q_lo / (2.0 * sum_hi) * (sum_hi + n * delta_l_ms);
+  const double hi =
+      q_hi / (2.0 * sum_lo) * (sum_lo + n * delta_l_ms);
+  // The n visible activations are a hard lower bound on the population.
+  result.interval = {std::max(lo, n), hi};
   return result;
 }
 

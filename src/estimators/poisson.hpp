@@ -49,6 +49,25 @@ class PoissonEstimator final : public Estimator {
   /// exposed for tests and for the hybrid estimator.
   [[nodiscard]] static std::vector<TimePoint> visible_activations(
       const EpochObservation& obs);
+
+  /// The slotted NXD timestamps of a compact cell carry the activation
+  /// structure: slots are half the minimum kept-activation spacing wide, so
+  /// every kept activation owns its slot and the slot-minimum timestamps
+  /// reconstruct the visible-activation sequence to within one slot width.
+  [[nodiscard]] CompactSupport compact_support() const override;
+
+  /// Compact-path estimate: the same burst clustering and gap-sum estimator
+  /// over the slot-minimum pseudo-stream. Always flagged approximate — the
+  /// gap sum is only known to within n * slot_width — with the chi-square
+  /// interval evaluated at the perturbed gap-sum bounds (the estimate is
+  /// decreasing in the gap sum, so the low bound uses sum + n * w and the
+  /// high bound sum - n * w).
+  [[nodiscard]] IntervalEstimate estimate_with_interval(
+      const CompactObservation& obs, double level = 0.9) const override;
+
+  /// The pseudo-activation instants read off a compact cell's slot grid.
+  [[nodiscard]] static std::vector<TimePoint> visible_activations(
+      const CompactObservation& obs);
 };
 
 }  // namespace botmeter::estimators

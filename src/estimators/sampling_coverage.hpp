@@ -41,6 +41,18 @@ class SamplingCoverageEstimator final : public Estimator {
 
   [[nodiscard]] double estimate(const EpochObservation& obs) const override;
 
+  /// The closed-form inversion needs only the distinct-NXD count, so the KMV
+  /// sketch is a sufficient compact statistic.
+  [[nodiscard]] CompactSupport compact_support() const override;
+
+  /// Compact-path estimate: bit-identical to the exact path while the KMV
+  /// sketch is unsaturated (and, like the exact path, interval-free there);
+  /// once saturated the estimate is flagged approximate and the closed form
+  /// is inverted at distinct * (1 -/+ z * rse) to produce a propagated
+  /// confidence band.
+  [[nodiscard]] IntervalEstimate estimate_with_interval(
+      const CompactObservation& obs, double level = 0.9) const override;
+
   /// Marginal probability that one bot queries a given NXD. Exposed for
   /// tests.
   [[nodiscard]] static double per_bot_nxd_probability(const dga::DgaConfig& config);

@@ -1,0 +1,158 @@
+// Bounded-memory streaming sketches backing the compact observation path.
+//
+// Three classic summaries, each chosen for a statistic the estimators need
+// (DESIGN.md §13):
+//  - KmvSketch: k-minimum-values distinct counter over u32 item ids. Exact
+//    while the distinct count stays below k (every survivor keeps its original
+//    value, so small cells lose nothing); once saturated it estimates
+//    (k-1)/u_k with relative standard error 1/sqrt(k-2).
+//  - CountMinSketch: conservative point-frequency tallies (per-position
+//    forwarded-count diagnostics); never underestimates, overestimates by at
+//    most (e/w)*N with probability >= 1 - e^-d.
+//  - HllSketch: HyperLogLog distinct counter, the denser alternative to KMV
+//    when only the cardinality (not the surviving ids) is needed.
+//
+// All three share the properties the streaming engine relies on: insertion
+// order never changes the state, merge is associative and commutative, the
+// state serializes to JSON deterministically, and every hash is the seedless
+// mix64 bijection — so shard count, thread count, and spill timing cannot
+// perturb an estimate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace botmeter::estimators {
+
+/// K-minimum-values distinct sketch over 32-bit item ids (pool positions).
+/// mix64 is a bijection on u64, so distinct u32 inputs map to distinct
+/// hashes: while fewer than k distinct items have been inserted the sketch
+/// is exact (`saturated()` false, `estimate() == distinct count`, and
+/// `values()` returns every inserted id). Memory is bounded at construction:
+/// the entry vector reserves k once and never reallocates.
+class KmvSketch {
+ public:
+  /// k must be >= 8 (the estimator variance formula needs k-2 >> 0).
+  explicit KmvSketch(std::uint32_t k);
+
+  /// Insert one item id; duplicate inserts are no-ops. O(1) when the sketch
+  /// is full and the hash exceeds the current k-th minimum.
+  void insert(std::uint32_t value);
+
+  /// Estimated distinct count: exact (integer-valued) until saturation,
+  /// (k-1)/u_k afterwards where u_k is the k-th minimum hash mapped to (0,1].
+  [[nodiscard]] double estimate() const;
+
+  /// True once any item has been rejected or evicted — the exactness
+  /// guarantee is gone and `estimate()` is approximate.
+  [[nodiscard]] bool saturated() const { return saturated_; }
+
+  /// Relative standard error of the saturated estimator: 1/sqrt(k-2).
+  /// Zero while the sketch is still exact.
+  [[nodiscard]] double relative_error() const;
+
+  /// Number of entries currently held (== distinct count while exact).
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint32_t k() const { return k_; }
+
+  /// The surviving item ids, ascending by hash. While exact this is the full
+  /// distinct set (in hash order, not insertion order).
+  [[nodiscard]] std::vector<std::uint32_t> values() const;
+
+  /// Merge another sketch (same k required; throws ConfigError otherwise).
+  /// Equivalent to having inserted both input streams into one sketch.
+  void merge(const KmvSketch& other);
+
+  /// Bytes of heap + inline state; constant after construction.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Deterministic JSON state: {k, saturated, values:[u32...]}. Values (not
+  /// hashes) are stored — they fit JSON numbers exactly and re-hash on parse,
+  /// so serialize/parse round-trips bit-identically.
+  [[nodiscard]] json::Value serialize() const;
+  [[nodiscard]] static KmvSketch parse(const json::Value& value);
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::uint32_t value = 0;
+  };
+  std::uint32_t k_ = 0;
+  bool saturated_ = false;
+  std::vector<Entry> entries_;  // ascending by hash, size <= k
+};
+
+/// Count-min frequency sketch: d rows of w (power-of-two) u64 counters.
+/// Point queries never underestimate; the overestimate is bounded by
+/// epsilon() * total() with probability >= 1 - e^-depth.
+class CountMinSketch {
+ public:
+  /// depth >= 1, width a power of two >= 2.
+  CountMinSketch(std::uint32_t depth, std::uint32_t width);
+
+  void add(std::uint32_t item, std::uint64_t count = 1);
+
+  /// Upper-biased frequency of `item` (min over rows).
+  [[nodiscard]] std::uint64_t query(std::uint32_t item) const;
+
+  /// Total mass added (exact).
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Expected-error factor e/width: query(x) <= true(x) + epsilon()*total().
+  [[nodiscard]] double epsilon() const;
+
+  [[nodiscard]] std::uint32_t depth() const { return depth_; }
+  [[nodiscard]] std::uint32_t width() const { return width_; }
+
+  /// Elementwise-add merge (same shape required; throws ConfigError).
+  void merge(const CountMinSketch& other);
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// {depth, width, total, rows:[[u64-as-int...]...]}; counters stay below
+  /// 2^53 at any realistic tuple volume, enforced on serialize.
+  [[nodiscard]] json::Value serialize() const;
+  [[nodiscard]] static CountMinSketch parse(const json::Value& value);
+
+ private:
+  [[nodiscard]] std::size_t slot(std::uint32_t row, std::uint32_t item) const;
+
+  std::uint32_t depth_ = 0;
+  std::uint32_t width_ = 0;  // power of two
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counters_;  // depth_ * width_, row-major
+};
+
+/// HyperLogLog distinct counter with 2^precision one-byte registers.
+/// RSE ~ 1.04/sqrt(2^precision); small ranges use linear counting.
+class HllSketch {
+ public:
+  /// precision in [4, 16].
+  explicit HllSketch(std::uint32_t precision);
+
+  void insert(std::uint32_t value);
+
+  [[nodiscard]] double estimate() const;
+
+  /// 1.04/sqrt(m) — the asymptotic relative standard error.
+  [[nodiscard]] double relative_error() const;
+
+  [[nodiscard]] std::uint32_t precision() const { return precision_; }
+
+  /// Register-wise max merge (same precision required; throws ConfigError).
+  void merge(const HllSketch& other);
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// {precision, registers:[u8...]}.
+  [[nodiscard]] json::Value serialize() const;
+  [[nodiscard]] static HllSketch parse(const json::Value& value);
+
+ private:
+  std::uint32_t precision_ = 0;
+  std::vector<std::uint8_t> registers_;  // 2^precision_
+};
+
+}  // namespace botmeter::estimators

@@ -22,6 +22,10 @@ json::Value cell_to_json(std::uint32_t server, const LandscapeCell& cell) {
     o.emplace("lo", json::Value(cell.interval90->first));
     o.emplace("hi", json::Value(cell.interval90->second));
   }
+  if (cell.approximate) {
+    o.emplace("approximate", json::Value(true));
+    o.emplace("sketch_rse", json::Value(cell.sketch_rse));
+  }
   return json::Value(std::move(o));
 }
 
@@ -428,6 +432,11 @@ LandscapeSeries parse_landscape_series(const json::Value& doc) {
       }
       if (lo != nullptr) {
         cell.interval90 = {lo->as_double(), hi->as_double()};
+      }
+      if (const json::Value* approx = cell_value.find("approximate");
+          approx != nullptr) {
+        cell.approximate = approx->as_bool();
+        cell.sketch_rse = cell_value.at("sketch_rse").as_double();
       }
       rolling[static_cast<std::size_t>(id)] = cell;
     }

@@ -55,6 +55,13 @@ struct LandscapeCell {
   std::optional<std::pair<double, double>> interval90;
   std::uint64_t matched = 0;
 
+  /// True when the estimate came from saturated sketch state (the compact
+  /// observation path); `sketch_rse` then carries the sketch relative
+  /// standard error propagated into the interval. Serialized only when set,
+  /// so exact pipelines' documents are unchanged.
+  bool approximate = false;
+  double sketch_rse = 0.0;
+
   friend bool operator==(const LandscapeCell&, const LandscapeCell&) = default;
 };
 

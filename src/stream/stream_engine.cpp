@@ -38,6 +38,13 @@ void StreamEngineConfig::validate() const {
   if (allowed_lateness && allowed_lateness->millis() < 0) {
     throw ConfigError("StreamEngineConfig: allowed_lateness must be >= 0");
   }
+  if (compact_state) {
+    compact.validate();
+    if (compact_spill_threshold == 0) {
+      throw ConfigError(
+          "StreamEngineConfig: compact_spill_threshold must be > 0");
+    }
+  }
 }
 
 double EpochReport::total_population() const {
@@ -60,6 +67,13 @@ StreamEngine::StreamEngine(StreamEngineConfig config)
       // and determinism tests pin counts above small CI machines' cores.
       workers_(config_.worker_threads, WorkerPool::Oversubscribe::kAllow) {
   meter_.prepare_epochs(config_.first_epoch, config_.epoch_count);
+  if (config_.compact_state &&
+      !meter_.active_estimator().compact_support().supported) {
+    throw ConfigError(
+        "StreamEngine: estimator '" +
+        std::string(meter_.active_estimator().name()) +
+        "' has no compact observation path; compact_state requires one");
+  }
 }
 
 void StreamEngine::on_epoch_close(EpochCallback callback) {
@@ -85,12 +99,46 @@ void StreamEngine::ingest_matched(
     return;
   }
   ++matched_;
-  bucket_for(outcome.key)->push_back(outcome.lookup);
+  append_matched(*bucket_for(outcome.key), outcome.key.epoch, outcome.lookup);
   ++resident_;
   peak_resident_ = std::max(peak_resident_, resident_);
 }
 
-std::vector<detect::MatchedLookup>* StreamEngine::bucket_for(
+void StreamEngine::note_open_bytes_grew(std::size_t delta) {
+  open_bytes_ += delta;
+  peak_open_bytes_ = std::max(peak_open_bytes_, open_bytes_);
+}
+
+void StreamEngine::spill_bucket(OpenBucket& bucket, std::int64_t epoch) {
+  bucket.compact = std::make_unique<estimators::CompactCell>(
+      meter_.compact_spec_for_epoch(epoch, config_.compact));
+  bucket.compact->add_all(bucket.exact);
+  open_bytes_ -= bucket.exact.capacity() * sizeof(detect::MatchedLookup);
+  // Free, not clear — the buffer is what the spill sheds. (`= {}` would take
+  // the initializer_list assignment, which keeps the capacity allocated.)
+  std::vector<detect::MatchedLookup>{}.swap(bucket.exact);
+  note_open_bytes_grew(bucket.compact->memory_bytes());
+  ++compact_spills_;
+}
+
+void StreamEngine::append_matched(OpenBucket& bucket, std::int64_t epoch,
+                                  const detect::MatchedLookup& lookup) {
+  if (bucket.compact != nullptr) {
+    bucket.compact->add(lookup);  // cell footprint is constant
+    return;
+  }
+  const std::size_t before = bucket.exact.capacity();
+  bucket.exact.push_back(lookup);
+  if (const std::size_t after = bucket.exact.capacity(); after != before) {
+    note_open_bytes_grew((after - before) * sizeof(detect::MatchedLookup));
+  }
+  if (config_.compact_state &&
+      bucket.exact.size() >= config_.compact_spill_threshold) {
+    spill_bucket(bucket, epoch);
+  }
+}
+
+StreamEngine::OpenBucket* StreamEngine::bucket_for(
     const detect::StreamKey& key) {
   const std::size_t server = key.server.value();
   const std::int64_t row = key.epoch - config_.first_epoch;
@@ -106,7 +154,7 @@ std::vector<detect::MatchedLookup>* StreamEngine::bucket_for(
         config_.server_count * static_cast<std::size_t>(config_.epoch_count),
         nullptr);
   }
-  std::vector<detect::MatchedLookup>*& slot =
+  OpenBucket*& slot =
       bucket_cache_[static_cast<std::size_t>(row) * config_.server_count +
                     server];
   if (slot == nullptr) slot = &open_[key];
@@ -234,11 +282,12 @@ void StreamEngine::ingest_block(const dns::LookupColumns& block,
           ++late;
         } else {
           ++matched;
-          bucket_for(
-              detect::StreamKey{dns::ServerId{block.server[i]}, entry.memo_epoch})
-              ->push_back(
-                  detect::MatchedLookup{TimePoint{t_ms}, entry.memo_position,
-                                        entry.memo_valid});
+          append_matched(
+              *bucket_for(detect::StreamKey{dns::ServerId{block.server[i]},
+                                            entry.memo_epoch}),
+              entry.memo_epoch,
+              detect::MatchedLookup{TimePoint{t_ms}, entry.memo_position,
+                                    entry.memo_valid});
           ++resident;
         }
       } else {
@@ -299,13 +348,23 @@ void StreamEngine::close_next_epoch() {
   // server; servers with no matched traffic get an empty bucket — a
   // population-0 statement, exactly as in batch analyze).
   std::vector<std::vector<detect::MatchedLookup>> buckets(config_.server_count);
+  std::vector<std::unique_ptr<estimators::CompactCell>> compact_cells;
+  if (config_.compact_state) compact_cells.resize(config_.server_count);
   std::uint64_t epoch_matched = 0;
   for (std::uint32_t s = 0; s < config_.server_count; ++s) {
     auto it = open_.find(detect::StreamKey{dns::ServerId{s}, epoch});
     if (it != open_.end()) {
-      buckets[s] = std::move(it->second);
+      OpenBucket bucket = std::move(it->second);
       open_.erase(it);
-      epoch_matched += buckets[s].size();
+      open_bytes_ -= bucket.exact.capacity() * sizeof(detect::MatchedLookup);
+      if (bucket.compact != nullptr) {
+        open_bytes_ -= bucket.compact->memory_bytes();
+        epoch_matched += bucket.compact->matched();
+        compact_cells[s] = std::move(bucket.compact);
+      } else {
+        epoch_matched += bucket.exact.size();
+        buckets[s] = std::move(bucket.exact);
+      }
     }
   }
   resident_ -= static_cast<std::size_t>(epoch_matched);
@@ -322,9 +381,9 @@ void StreamEngine::close_next_epoch() {
   // per-epoch EstimationContext, canonical bucket sort), which is what keeps
   // streaming closes bit-identical to the batch pipeline.
   const estimators::Estimator& estimator = meter_.active_estimator();
-  closed_.push_back(meter_.estimate_epoch_row(epoch, std::move(buckets),
-                                              &workers_, config_.meter.trace,
-                                              "stream.close.server"));
+  closed_.push_back(meter_.estimate_epoch_row(
+      epoch, std::move(buckets), std::move(compact_cells), &workers_,
+      config_.meter.trace, "stream.close.server"));
 
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
@@ -343,6 +402,14 @@ void StreamEngine::close_next_epoch() {
     metrics->gauge("stream.resident_lookups").set(static_cast<double>(resident_));
     metrics->gauge("stream.resident_lookups.peak")
         .set(static_cast<double>(peak_resident_));
+    metrics->gauge("stream.open_buffer_bytes")
+        .set(static_cast<double>(open_bytes_));
+    metrics->gauge("stream.open_buffer_bytes.peak")
+        .set(static_cast<double>(peak_open_bytes_));
+    if (config_.compact_state) {
+      metrics->gauge("stream.compact_spills")
+          .set(static_cast<double>(compact_spills_));
+    }
     flush_counters(*metrics);
   }
   if (config_.meter.trace != nullptr) {
@@ -364,6 +431,8 @@ void StreamEngine::close_next_epoch() {
       snapshot_cell.population = cell.estimate.value;
       snapshot_cell.interval90 = cell.estimate.interval;
       snapshot_cell.matched = cell.matched;
+      snapshot_cell.approximate = cell.estimate.approximate;
+      snapshot_cell.sketch_rse = cell.estimate.sketch_rse;
       row.servers.push_back(std::move(snapshot_cell));
     }
     if (config_.health != nullptr) {
@@ -385,6 +454,8 @@ void StreamEngine::close_next_epoch() {
       estimate.per_epoch.emplace_back(epoch, cells[s].estimate.value);
       estimate.matched_lookups = cells[s].matched;
       estimate.interval90 = cells[s].estimate.interval;
+      estimate.approximate = cells[s].estimate.approximate;
+      estimate.sketch_rse = cells[s].estimate.sketch_rse;
       report.servers.push_back(std::move(estimate));
     }
     on_close_(report);
@@ -417,6 +488,8 @@ core::LandscapeReport StreamEngine::finish() {
     estimate.population = aggregate.population;
     estimate.interval90 = aggregate.interval;
     estimate.matched_lookups = aggregate.matched;
+    estimate.approximate = aggregate.approximate;
+    estimate.sketch_rse = aggregate.sketch_rse;
     report.servers.push_back(std::move(estimate));
   }
 
@@ -454,11 +527,26 @@ json::Value StreamEngine::checkpoint() const {
   fingerprint.emplace("epoch_count", number(config_.epoch_count));
   fingerprint.emplace("server_count", number(config_.server_count));
   fingerprint.emplace("neg_ttl_ms", number(config_.meter.ttl.negative.millis()));
+  // Compact-mode fields appear only when the mode is on, so exact engines'
+  // checkpoints stay byte-identical to their pre-compact form.
+  if (config_.compact_state) {
+    fingerprint.emplace("compact_state", json::Value(true));
+    fingerprint.emplace("compact_spill_threshold",
+                        number(config_.compact_spill_threshold));
+    fingerprint.emplace("compact_kmv_k", number(config_.compact.kmv_k));
+    fingerprint.emplace("compact_cms_depth", number(config_.compact.cms_depth));
+    fingerprint.emplace("compact_cms_width", number(config_.compact.cms_width));
+    fingerprint.emplace("compact_max_time_slots",
+                        number(config_.compact.max_time_slots));
+    fingerprint.emplace("compact_position_counts",
+                        json::Value(config_.compact.position_counts));
+  }
 
   json::Array closed;
   for (std::size_t i = 0; i < closed_.size(); ++i) {
     const std::vector<Cell>& row = closed_[i];
     json::Array value, matched, lo, hi;
+    bool any_approximate = false;
     for (const Cell& cell : row) {
       value.push_back(number(cell.estimate.value));
       matched.push_back(number(cell.matched));
@@ -469,6 +557,7 @@ json::Value StreamEngine::checkpoint() const {
         lo.push_back(json::Value(nullptr));
         hi.push_back(json::Value(nullptr));
       }
+      any_approximate = any_approximate || cell.estimate.approximate;
     }
     json::Object row_obj;
     row_obj.emplace("epoch",
@@ -477,13 +566,25 @@ json::Value StreamEngine::checkpoint() const {
     row_obj.emplace("matched", json::Value(std::move(matched)));
     row_obj.emplace("lo", json::Value(std::move(lo)));
     row_obj.emplace("hi", json::Value(std::move(hi)));
+    if (any_approximate) {
+      // Emitted only when some cell is sketch-approximate, keeping exact
+      // rows byte-identical to the v1 layout.
+      json::Array approx, rse;
+      for (const Cell& cell : row) {
+        approx.push_back(
+            number(static_cast<std::int64_t>(cell.estimate.approximate ? 1 : 0)));
+        rse.push_back(number(cell.estimate.sketch_rse));
+      }
+      row_obj.emplace("approx", json::Value(std::move(approx)));
+      row_obj.emplace("rse", json::Value(std::move(rse)));
+    }
     closed.emplace_back(std::move(row_obj));
   }
 
   json::Array open;
   for (const auto& [key, bucket] : open_) {
     json::Array t, pos, valid;
-    for (const detect::MatchedLookup& lookup : bucket) {
+    for (const detect::MatchedLookup& lookup : bucket.exact) {
       t.push_back(number(lookup.t.millis()));
       pos.push_back(number(static_cast<std::int64_t>(lookup.pool_position)));
       valid.push_back(number(static_cast<std::int64_t>(
@@ -495,6 +596,10 @@ json::Value StreamEngine::checkpoint() const {
     bucket_obj.emplace("t", json::Value(std::move(t)));
     bucket_obj.emplace("pos", json::Value(std::move(pos)));
     bucket_obj.emplace("valid", json::Value(std::move(valid)));
+    if (bucket.compact != nullptr) {
+      // A spilled bucket: the sketch cell is the state (`exact` is empty).
+      bucket_obj.emplace("compact", bucket.compact->serialize());
+    }
     open.emplace_back(std::move(bucket_obj));
   }
 
@@ -508,6 +613,11 @@ json::Value StreamEngine::checkpoint() const {
   root.emplace("unmatched", number(unmatched_));
   root.emplace("late_dropped", number(late_dropped_));
   root.emplace("peak_resident", number(peak_resident_));
+  // Only compact engines carry a spill counter, keeping exact checkpoints
+  // byte-identical to their pre-compact form.
+  if (config_.compact_state) {
+    root.emplace("compact_spills", number(compact_spills_));
+  }
   root.emplace("finished", json::Value(finished_));
   root.emplace("closed", json::Value(std::move(closed)));
   root.emplace("open", json::Value(std::move(open)));
@@ -553,6 +663,33 @@ void StreamEngine::restore(const json::Value& checkpoint) {
   require("epoch_count", config_.epoch_count);
   require("server_count", config_.server_count);
   require("neg_ttl_ms", config_.meter.ttl.negative.millis());
+  const bool checkpoint_compact = fp.find("compact_state") != nullptr;
+  if (checkpoint_compact && !config_.compact_state) {
+    // Sketch state cannot be expanded back into exact buffers; a compact
+    // checkpoint only restores into a compact engine.
+    throw DataError(
+        "StreamEngine::restore: compact-state checkpoint into an exact "
+        "engine (enable compact_state to resume it)");
+  }
+  if (checkpoint_compact) {
+    // Sketch parameters shape the live cells; resuming under different ones
+    // would silently mix error regimes.
+    require("compact_spill_threshold", config_.compact_spill_threshold);
+    require("compact_kmv_k", config_.compact.kmv_k);
+    require("compact_cms_depth", config_.compact.cms_depth);
+    require("compact_cms_width", config_.compact.cms_width);
+    require("compact_max_time_slots", config_.compact.max_time_slots);
+    if (fp.at("compact_position_counts").as_bool() !=
+        config_.compact.position_counts) {
+      throw DataError("StreamEngine::restore: checkpoint was taken under a "
+                      "different configuration (compact_position_counts "
+                      "mismatch)");
+    }
+  }
+  // An exact checkpoint *is* restorable into a compact engine: the exact
+  // buckets load verbatim and any at or past the spill threshold are spilled
+  // below, exactly as if the threshold had been crossed live (cells are
+  // insertion-order invariant, so the result is identical).
 
   // Parse the entire payload into locals first and commit members only once
   // every field validated. A checkpoint rejected mid-parse (truncated row,
@@ -572,6 +709,12 @@ void StreamEngine::restore(const json::Value& checkpoint) {
       static_cast<std::uint64_t>(checkpoint.at("late_dropped").as_int());
   auto new_peak_resident =
       static_cast<std::size_t>(checkpoint.at("peak_resident").as_int());
+  // Absent in exact checkpoints; spills-on-load below add on top.
+  std::uint64_t new_compact_spills = 0;
+  if (const json::Value* spills = checkpoint.find("compact_spills");
+      spills != nullptr) {
+    new_compact_spills = static_cast<std::uint64_t>(spills->as_int());
+  }
   const bool new_finished = checkpoint.at("finished").as_bool();
 
   std::vector<std::vector<Cell>> new_closed;
@@ -594,6 +737,16 @@ void StreamEngine::restore(const json::Value& checkpoint) {
         lo.size() != config_.server_count || hi.size() != config_.server_count) {
       throw DataError("StreamEngine::restore: closed row width mismatch");
     }
+    const json::Value* approx = row_obj.find("approx");
+    const json::Value* rse = row_obj.find("rse");
+    if ((approx == nullptr) != (rse == nullptr)) {
+      throw DataError("StreamEngine::restore: approx/rse arrays misaligned");
+    }
+    if (approx != nullptr &&
+        (approx->as_array().size() != config_.server_count ||
+         rse->as_array().size() != config_.server_count)) {
+      throw DataError("StreamEngine::restore: closed row width mismatch");
+    }
     std::vector<Cell> row(config_.server_count);
     for (std::size_t s = 0; s < config_.server_count; ++s) {
       row[s].epoch = row_obj.at("epoch").as_int();
@@ -605,11 +758,15 @@ void StreamEngine::restore(const json::Value& checkpoint) {
       if (!lo[s].is_null()) {
         row[s].estimate.interval = {lo[s].as_double(), hi[s].as_double()};
       }
+      if (approx != nullptr) {
+        row[s].estimate.approximate = approx->as_array()[s].as_int() != 0;
+        row[s].estimate.sketch_rse = rse->as_array()[s].as_double();
+      }
     }
     new_closed.push_back(std::move(row));
   }
 
-  std::map<detect::StreamKey, std::vector<detect::MatchedLookup>> new_open;
+  std::map<detect::StreamKey, OpenBucket> new_open;
   std::size_t new_resident = 0;
   const std::int64_t open_floor =
       config_.first_epoch + static_cast<std::int64_t>(new_closed.size());
@@ -629,20 +786,45 @@ void StreamEngine::restore(const json::Value& checkpoint) {
     if (t.size() != pos.size() || t.size() != valid.size()) {
       throw DataError("StreamEngine::restore: open bucket arrays misaligned");
     }
-    std::vector<detect::MatchedLookup>& bucket = new_open[detect::StreamKey{
+    OpenBucket& bucket = new_open[detect::StreamKey{
         dns::ServerId{static_cast<std::uint32_t>(server)}, epoch}];
-    bucket.reserve(t.size());
+    if (const json::Value* compact = bucket_obj.find("compact");
+        compact != nullptr) {
+      if (!config_.compact_state) {
+        throw DataError(
+            "StreamEngine::restore: compact-state checkpoint into an exact "
+            "engine (enable compact_state to resume it)");
+      }
+      if (!t.empty()) {
+        throw DataError(
+            "StreamEngine::restore: spilled bucket with exact residue");
+      }
+      auto cell =
+          std::make_unique<estimators::CompactCell>(
+              estimators::CompactCell::parse(*compact));
+      if (!(cell->spec() ==
+            meter_.compact_spec_for_epoch(epoch, config_.compact))) {
+        throw DataError(
+            "StreamEngine::restore: compact cell spec disagrees with the "
+            "engine's configuration");
+      }
+      new_resident += cell->matched();
+      bucket.compact = std::move(cell);
+      continue;
+    }
+    bucket.exact.reserve(t.size());
     for (std::size_t i = 0; i < t.size(); ++i) {
-      bucket.push_back(detect::MatchedLookup{
+      bucket.exact.push_back(detect::MatchedLookup{
           TimePoint{t[i].as_int()},
           static_cast<std::uint32_t>(pos[i].as_int()),
           valid[i].as_int() != 0});
     }
-    new_resident += bucket.size();
+    new_resident += bucket.exact.size();
   }
   new_peak_resident = std::max(new_peak_resident, new_resident);
 
-  // Commit — nothing below throws.
+  // Commit — nothing below throws (spill_bucket only allocates fixed-size
+  // cells whose specs this configuration already produced above).
   watermark_ = new_watermark;
   ingested_ = new_ingested;
   matched_ = new_matched;
@@ -653,6 +835,26 @@ void StreamEngine::restore(const json::Value& checkpoint) {
   open_ = std::move(new_open);
   resident_ = new_resident;
   peak_resident_ = new_peak_resident;
+  compact_spills_ = new_compact_spills;
+
+  // Rebuild the byte accounting from the restored buckets, then apply the
+  // spill policy to exact buckets already past the threshold — an exact
+  // checkpoint resumed by a compact engine spills on load, and cells are
+  // insertion-order invariant, so the state matches a live-spilled run.
+  open_bytes_ = 0;
+  for (auto& [key, bucket] : open_) {
+    open_bytes_ += bucket.exact.capacity() * sizeof(detect::MatchedLookup);
+    if (bucket.compact != nullptr) open_bytes_ += bucket.compact->memory_bytes();
+  }
+  if (config_.compact_state) {
+    for (auto& [key, bucket] : open_) {
+      if (bucket.compact == nullptr &&
+          bucket.exact.size() >= config_.compact_spill_threshold) {
+        spill_bucket(bucket, key.epoch);
+      }
+    }
+  }
+  peak_open_bytes_ = std::max(peak_open_bytes_, open_bytes_);
   if (config_.journal != nullptr) {
     config_.journal->log(obs::EventKind::kRestore, -1,
                          obs::JournalEvent::kNoEpoch,

@@ -104,6 +104,18 @@ struct StreamEngineConfig {
   /// already-closed epoch are counted in late_dropped(), not analyzed.
   std::optional<Duration> allowed_lateness;
 
+  /// Bounded-memory mode (DESIGN.md §13): once an open (server, epoch)
+  /// bucket holds `compact_spill_threshold` matched lookups, its buffer is
+  /// folded into a sketch-backed estimators::CompactCell and freed; further
+  /// matched tuples stream into the cell in O(1) space. Cells below the
+  /// threshold stay exact and produce byte-identical estimates; spilled
+  /// cells are estimated through the active estimator's compact path (the
+  /// constructor rejects estimators without one) and their statistics are
+  /// flagged approximate with the sketch error propagated into the interval.
+  bool compact_state = false;
+  std::size_t compact_spill_threshold = 8192;
+  estimators::CompactObservationConfig compact;
+
   void validate() const;
 };
 
@@ -178,15 +190,24 @@ class StreamEngine {
   [[nodiscard]] std::uint64_t matched() const { return matched_; }
   [[nodiscard]] std::uint64_t unmatched() const { return unmatched_; }
   [[nodiscard]] std::uint64_t late_dropped() const { return late_dropped_; }
-  /// Matched lookups currently buffered in open epochs — the engine's
-  /// resident analysis state. Bounded by the active window, not the horizon.
+  /// Matched lookups attributed to open epochs (buffered exactly or
+  /// absorbed into compact cells) — the engine's resident analysis state.
+  /// Bounded by the active window, not the horizon.
   [[nodiscard]] std::size_t resident_lookups() const { return resident_; }
   [[nodiscard]] std::size_t peak_resident_lookups() const { return peak_resident_; }
-  /// Approximate heap bytes the open buckets hold (resident lookups times
-  /// the per-entry size) — the health monitor's buffer-pressure signal.
-  [[nodiscard]] std::size_t open_buffer_bytes() const {
-    return resident_ * sizeof(detect::MatchedLookup);
+  /// Heap bytes the open buckets actually hold: the *capacity* of every
+  /// exact buffer (vectors over-allocate on growth, so element counts
+  /// understate the real footprint) plus the constant footprint of every
+  /// spilled compact cell. Maintained incrementally — O(1) to read — and
+  /// the health monitor's buffer-pressure signal.
+  [[nodiscard]] std::size_t open_buffer_bytes() const { return open_bytes_; }
+  /// High-water mark of open_buffer_bytes() over the engine's life.
+  [[nodiscard]] std::size_t peak_open_buffer_bytes() const {
+    return peak_open_bytes_;
   }
+  /// Open buckets that have spilled to sketch state so far (0 when the
+  /// compact path is off).
+  [[nodiscard]] std::uint64_t compact_spills() const { return compact_spills_; }
   /// Next epoch that will close (first_epoch + epochs_closed); one past the
   /// horizon once everything closed.
   [[nodiscard]] std::int64_t next_epoch_to_close() const;
@@ -228,14 +249,29 @@ class StreamEngine {
   /// epoch closed; buckets are freed at that point.
   using Cell = estimators::EpochCell;
 
+  /// One open (server, epoch) bucket: the exact buffer, or — after a
+  /// compact-mode spill — a sketch cell (the exact buffer is then empty and
+  /// freed). Appends land in whichever representation is live.
+  struct OpenBucket {
+    std::vector<detect::MatchedLookup> exact;
+    std::unique_ptr<estimators::CompactCell> compact;
+  };
+
   void ingest_matched(const detect::DomainMatcher::MatchOutcome& outcome);
   /// Flush counter deltas accumulated since the previous flush into the
   /// registry, so `stream.ingested`/`stream.matched`/... advance at every
   /// epoch close (live rate gauges need moving counters) while the final
   /// totals stay exactly what finish() always published.
   void flush_counters(obs::MetricsRegistry& metrics);
-  [[nodiscard]] std::vector<detect::MatchedLookup>* bucket_for(
-      const detect::StreamKey& key);
+  [[nodiscard]] OpenBucket* bucket_for(const detect::StreamKey& key);
+  /// Append one matched lookup to its bucket, maintaining the byte
+  /// accounting and spilling the exact buffer into a compact cell when the
+  /// threshold is crossed.
+  void append_matched(OpenBucket& bucket, std::int64_t epoch,
+                      const detect::MatchedLookup& lookup);
+  /// Fold `bucket.exact` into a freshly specced compact cell and free it.
+  void spill_bucket(OpenBucket& bucket, std::int64_t epoch);
+  void note_open_bytes_grew(std::size_t delta);
   void maybe_close(TimePoint watermark);
   void close_next_epoch();
   [[nodiscard]] Duration lateness() const;
@@ -248,13 +284,13 @@ class StreamEngine {
 
   /// Open buckets: matched lookups awaiting their epoch's close, keyed by
   /// (server, epoch). Append order; sorted at close.
-  std::map<detect::StreamKey, std::vector<detect::MatchedLookup>> open_;
+  std::map<detect::StreamKey, OpenBucket> open_;
 
   /// Flat (epoch row × server) cache of open-bucket addresses, so the
   /// per-matched-tuple path skips the map walk — map nodes are stable, so a
   /// pointer stays valid until close_next_epoch() erases its bucket (the
   /// row is nulled there). Lazily sized; derived state, never checkpointed.
-  std::vector<std::vector<detect::MatchedLookup>*> bucket_cache_;
+  std::vector<OpenBucket*> bucket_cache_;
 
   /// Per-interned-domain-id cache entry of the block path: pool membership,
   /// resolved once per id, plus a one-slot memo of the last attribution.
@@ -292,6 +328,11 @@ class StreamEngine {
   std::uint64_t late_dropped_ = 0;
   std::size_t resident_ = 0;
   std::size_t peak_resident_ = 0;
+  /// Open-bucket heap bytes (exact capacities + compact cell footprints),
+  /// maintained at every growth/spill/close so the accessor is O(1).
+  std::size_t open_bytes_ = 0;
+  std::size_t peak_open_bytes_ = 0;
+  std::uint64_t compact_spills_ = 0;
   bool finished_ = false;
   std::vector<double> close_latencies_ms_;
 

@@ -25,9 +25,15 @@ std::string render_landscape(const core::LandscapeReport& report,
 
   std::vector<std::pair<std::string, double>> rows;
   rows.reserve(order.size());
+  bool any_approximate = false;
   for (std::size_t i : order) {
     const core::ServerEstimate& s = report.servers[i];
     std::string label = "server-" + std::to_string(s.server.value());
+    // "~" marks a sketch-approximate estimate (compact observation path).
+    if (s.approximate) {
+      label += "~";
+      any_approximate = true;
+    }
     if (!actual.empty()) {
       char note[32];
       std::snprintf(note, sizeof(note), " (actual %.0f)", actual[i]);
@@ -40,6 +46,10 @@ std::string render_landscape(const core::LandscapeReport& report,
   os << "botnet landscape (" << report.estimator_name
      << " estimator), remediation order:\n";
   os << bar_chart(rows);
+  if (any_approximate) {
+    os << "~ = sketch-approximate estimate (compact state; CI widened by the "
+          "sketch error)\n";
+  }
   char total[64];
   std::snprintf(total, sizeof(total), "total estimated population: %.1f\n",
                 report.total_population());

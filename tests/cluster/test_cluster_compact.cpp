@@ -1,0 +1,130 @@
+// Compact-state (bounded-memory) mode across the cluster runtime: an
+// N-shard cluster with sketch-backed spilling must chart byte-for-byte the
+// landscape a single compact StreamEngine charts over the union trace —
+// approximate flags and propagated error bounds included — and the spilled
+// sketch state must survive a cluster checkpoint/restore cycle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "botnet/simulator.hpp"
+#include "cluster/cluster_runtime.hpp"
+#include "common/json.hpp"
+#include "core/botmeter.hpp"
+#include "dga/families.hpp"
+#include "stream/stream_engine.hpp"
+
+namespace botmeter::cluster {
+namespace {
+
+constexpr std::size_t kServers = 4;
+constexpr std::int64_t kEpochs = 2;
+constexpr std::size_t kSpillThreshold = 64;
+constexpr std::uint32_t kKmvK = 64;
+
+std::vector<dns::ForwardedLookup> simulate_stream(std::uint64_t seed) {
+  botnet::SimulationConfig sim;
+  sim.dga = dga::newgoz_config();
+  sim.bot_count = 96;  // enough traffic per server to cross the threshold
+  sim.server_count = kServers;
+  sim.epoch_count = kEpochs;
+  sim.seed = seed;
+  sim.timestamp_granularity = milliseconds(100);
+  sim.record_raw = false;
+  return botnet::simulate(sim).observable;
+}
+
+ClusterConfig compact_cluster_config(std::size_t shards) {
+  ClusterConfig config;
+  config.meter.dga = dga::newgoz_config();
+  config.first_epoch = 0;
+  config.epoch_count = kEpochs;
+  config.router = ShardRouter::by_range(kServers, shards);
+  config.compact_state = true;
+  config.compact_spill_threshold = kSpillThreshold;
+  config.compact.kmv_k = kKmvK;
+  return config;
+}
+
+std::string landscape_bytes(const core::LandscapeReport& report) {
+  return json::write(core::landscape_to_json(report));
+}
+
+TEST(ClusterCompactTest, ShardCountsAreByteIdenticalToSingleCompactEngine) {
+  const auto stream = simulate_stream(91);
+  ASSERT_FALSE(stream.empty());
+
+  stream::StreamEngineConfig single;
+  single.meter.dga = dga::newgoz_config();
+  single.first_epoch = 0;
+  single.epoch_count = kEpochs;
+  single.server_count = kServers;
+  single.compact_state = true;
+  single.compact_spill_threshold = kSpillThreshold;
+  single.compact.kmv_k = kKmvK;
+  stream::StreamEngine engine(std::move(single));
+  engine.ingest(stream);
+  const core::LandscapeReport reference = engine.finish();
+  ASSERT_GT(engine.compact_spills(), 0u);
+
+  // Spilled cells must actually surface as flagged statistics.
+  bool any_flagged = false;
+  for (const core::ServerEstimate& s : reference.servers) {
+    any_flagged = any_flagged || s.approximate;
+  }
+  ASSERT_TRUE(any_flagged);
+
+  for (const std::size_t shards : {1u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ClusterRuntime runtime(compact_cluster_config(shards));
+    runtime.ingest(stream);
+    EXPECT_EQ(landscape_bytes(runtime.finish()), landscape_bytes(reference));
+
+    // The router partitions servers, so per-(server, epoch) spills are
+    // shard-local and their sum matches the single engine exactly; the
+    // mirrored byte counters must show the spilled state.
+    std::uint64_t spills = 0;
+    for (std::size_t i = 0; i < runtime.shard_count(); ++i) {
+      const ShardStats stats = runtime.shard_stats(i);
+      spills += stats.compact_spills;
+      EXPECT_GT(stats.peak_open_buffer_bytes, 0u);
+      EXPECT_GE(stats.peak_open_buffer_bytes, stats.open_buffer_bytes);
+    }
+    EXPECT_EQ(spills, engine.compact_spills());
+  }
+}
+
+TEST(ClusterCompactTest, CheckpointRoundTripCarriesSketchState) {
+  const auto stream = simulate_stream(93);
+  const std::size_t split = (stream.size() * 3) / 5;
+
+  ClusterRuntime reference(compact_cluster_config(2));
+  reference.ingest(stream);
+  const std::string want = landscape_bytes(reference.finish());
+
+  std::string checkpoint_text;
+  {
+    ClusterRuntime first(compact_cluster_config(2));
+    first.ingest(std::span<const dns::ForwardedLookup>(stream).first(split));
+    checkpoint_text = json::write(first.checkpoint());
+    std::uint64_t spills = 0;
+    for (std::size_t i = 0; i < first.shard_count(); ++i) {
+      spills += first.shard_stats(i).compact_spills;
+    }
+    ASSERT_GT(spills, 0u);  // sketch cells are in the checkpoint
+  }
+  ClusterRuntime resumed(compact_cluster_config(2));
+  resumed.restore(json::parse(checkpoint_text));
+  std::uint64_t restored_spills = 0;
+  for (std::size_t i = 0; i < resumed.shard_count(); ++i) {
+    restored_spills += resumed.shard_stats(i).compact_spills;
+  }
+  EXPECT_GT(restored_spills, 0u);
+  resumed.ingest(std::span<const dns::ForwardedLookup>(stream).subspan(split));
+  EXPECT_EQ(landscape_bytes(resumed.finish()), want);
+}
+
+}  // namespace
+}  // namespace botmeter::cluster

@@ -50,6 +50,7 @@ constexpr const char* kUsage =
     "         [--estimator timing|poisson|bernoulli|...] [--epochs n]\n"
     "         [--first-epoch e] [--neg-ttl-min m] [--miss-rate x]\n"
     "         [--assume-miss x] [--lateness-ms l]\n"
+    "         [--compact-state] [--compact-spill n] [--compact-kmv-k k]\n"
     "         [--flush-tuples n] [--queue-capacity n]\n"
     "         [--trace file] [--binary]\n"
     "         [--simulate --bots N [--seed s] [--granularity-ms g]]\n"
@@ -65,6 +66,10 @@ constexpr const char* kUsage =
     "botmeter_stream on the same feed at every shard count.\n"
     "--trace files in the binary columnar codec (botmeter.trace_block.v1)\n"
     "are detected automatically; --binary forces the binary codec for stdin.\n"
+    "--compact-state bounds per-shard memory: open buckets past\n"
+    "--compact-spill matched lookups fold into sketch-backed compact cells\n"
+    "(KMV size --compact-kmv-k); spilled cells' merged estimates are flagged\n"
+    "approximate with the sketch error widened into their intervals.\n"
     "--checkpoint-in resumes from a botmeter.cluster_checkpoint.v1 file\n"
     "(router + merge frontier + one stream checkpoint per shard);\n"
     "--checkpoint-out writes one after ingest, before the final close.\n"
@@ -129,8 +134,10 @@ int main(int argc, char** argv) {
          "--queue-capacity", "--trace", "--bots", "--seed", "--granularity-ms",
          "--checkpoint-in", "--checkpoint-out", "--metrics-out", "--listen",
          "--listen-port-file", "--linger-ms", "--history-out",
-         "--history-retain", "--journal-out"},
-        {"--help", "--simulate", "--no-final", "--viz", "--binary"});
+         "--history-retain", "--journal-out", "--compact-spill",
+         "--compact-kmv-k"},
+        {"--help", "--simulate", "--no-final", "--viz", "--binary",
+         "--compact-state"});
     if (args.flag("--help")) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -169,6 +176,12 @@ int main(int argc, char** argv) {
     if (args.value("--lateness-ms")) {
       config.allowed_lateness = milliseconds(args.int_or("--lateness-ms", 0));
     }
+    config.compact_state = args.flag("--compact-state");
+    config.compact_spill_threshold = static_cast<std::size_t>(args.int_or(
+        "--compact-spill",
+        static_cast<std::int64_t>(config.compact_spill_threshold)));
+    config.compact.kmv_k = static_cast<std::uint32_t>(args.int_or(
+        "--compact-kmv-k", static_cast<std::int64_t>(config.compact.kmv_k)));
 
     set_this_thread_label("main");
     const auto metrics_path = args.value("--metrics-out");

@@ -50,6 +50,7 @@ constexpr const char* kUsage =
     "         [--epochs n] [--first-epoch e] [--neg-ttl-min m]\n"
     "         [--miss-rate x] [--assume-miss x] [--threads n]\n"
     "         [--lateness-ms l] [--trace file] [--binary]\n"
+    "         [--compact-state] [--compact-spill n] [--compact-kmv-k k]\n"
     "         [--simulate --bots N [--seed s] [--granularity-ms g]]\n"
     "         [--checkpoint-in file] [--checkpoint-out file] [--no-final]\n"
     "         [--metrics-out file] [--trace-timing] [--trace-out file] [--viz]\n"
@@ -72,6 +73,12 @@ constexpr const char* kUsage =
     "use it when more of the feed is still to come.\n"
     "--metrics-out writes a botmeter.run_report.v1 JSON document (ingest\n"
     "throughput, per-epoch flush latency, resident state size).\n"
+    "--compact-state bounds memory: open (server, epoch) buckets past\n"
+    "--compact-spill matched lookups (default 8192) fold into sketch-backed\n"
+    "compact cells (KMV size --compact-kmv-k, default 1024) and stream on in\n"
+    "O(1) space; spilled cells' estimates are flagged approximate with the\n"
+    "sketch error widened into their intervals. Buckets below the threshold\n"
+    "stay exact, so small landscapes are byte-identical to the exact path.\n"
     "--listen serves live telemetry while the run is in flight: GET /metrics\n"
     "is the Prometheus text exposition of the run's registry (including\n"
     "derived *.per_sec rate gauges), GET /healthz the stream health state\n"
@@ -137,9 +144,9 @@ int main(int argc, char** argv) {
          "--linger-ms", "--history-out", "--history-retain",
          "--health-degraded-lag-ms", "--health-unhealthy-lag-ms",
          "--health-degraded-late-rate", "--health-unhealthy-late-rate",
-         "--health-recovery-hold-ms"},
+         "--health-recovery-hold-ms", "--compact-spill", "--compact-kmv-k"},
         {"--help", "--simulate", "--no-final", "--viz", "--trace-timing",
-         "--binary"});
+         "--binary", "--compact-state"});
     if (args.flag("--help")) {
       std::fputs(kUsage, stdout);
       return 0;
@@ -169,6 +176,12 @@ int main(int argc, char** argv) {
     if (args.value("--lateness-ms")) {
       config.allowed_lateness = milliseconds(args.int_or("--lateness-ms", 0));
     }
+    config.compact_state = args.flag("--compact-state");
+    config.compact_spill_threshold = static_cast<std::size_t>(args.int_or(
+        "--compact-spill",
+        static_cast<std::int64_t>(config.compact_spill_threshold)));
+    config.compact.kmv_k = static_cast<std::uint32_t>(args.int_or(
+        "--compact-kmv-k", static_cast<std::int64_t>(config.compact.kmv_k)));
 
     set_this_thread_label("main");
     const auto metrics_path = args.value("--metrics-out");
@@ -451,13 +464,19 @@ int main(int argc, char** argv) {
 
     std::fprintf(stderr,
                  "ingested %llu tuples (%.0f/s): %llu matched, %llu "
-                 "unmatched, %llu late-dropped; peak resident %zu lookups\n",
+                 "unmatched, %llu late-dropped; peak resident %zu lookups "
+                 "(%zu peak open bytes)\n",
                  static_cast<unsigned long long>(engine.ingested()),
                  tuples_per_sec,
                  static_cast<unsigned long long>(engine.matched()),
                  static_cast<unsigned long long>(engine.unmatched()),
                  static_cast<unsigned long long>(engine.late_dropped()),
-                 engine.peak_resident_lookups());
+                 engine.peak_resident_lookups(),
+                 engine.peak_open_buffer_bytes());
+    if (config.compact_state) {
+      std::fprintf(stderr, "compact state: %llu bucket spills\n",
+                   static_cast<unsigned long long>(engine.compact_spills()));
+    }
 
     if (!args.flag("--no-final")) {
       const core::LandscapeReport report = engine.finish();
@@ -470,7 +489,9 @@ int main(int argc, char** argv) {
         for (const core::ServerEstimate& s : report.servers) {
           char ci[32] = "-";
           if (s.interval90) {
-            std::snprintf(ci, sizeof(ci), "[%.1f, %.1f]", s.interval90->first,
+            // "~" marks a sketch-approximate band (compact path, saturated).
+            std::snprintf(ci, sizeof(ci), "%s[%.1f, %.1f]",
+                          s.approximate ? "~" : "", s.interval90->first,
                           s.interval90->second);
           }
           std::printf("server-%-3u %12.1f %18s %16llu\n", s.server.value(),
